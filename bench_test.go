@@ -1,0 +1,210 @@
+package repro_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchConfig trims the sweeps under -short so `go test -short -bench=.`
+// stays fast; a plain -bench=. run regenerates the full tables.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	if testing.Short() {
+		cfg.Quick = true
+	}
+	return cfg
+}
+
+// runExperiment executes one registered experiment per benchmark
+// iteration and surfaces its headline number as a custom metric.
+func runExperiment(b *testing.B, id string, metric func(*experiments.Table) (string, float64)) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	var tab *experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err = exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if metric != nil {
+		name, v := metric(tab)
+		b.ReportMetric(v, name)
+	}
+}
+
+// parsePct turns a "+12.3%" cell into 12.3.
+func parsePct(cell string) float64 {
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%"), 64)
+	return v
+}
+
+// lastRowPct fetches column col of the last row as a percentage metric.
+func lastRowPct(col string) func(*experiments.Table) (string, float64) {
+	return func(t *experiments.Table) (string, float64) {
+		cell, err := t.Cell(len(t.Rows)-1, col)
+		if err != nil {
+			return "err", 0
+		}
+		return "saving_%", parsePct(cell)
+	}
+}
+
+// BenchmarkExpE1EnergyTable regenerates Table 1 (the per-bit CNFET cell
+// energies) and reports the write asymmetry.
+func BenchmarkExpE1EnergyTable(b *testing.B) {
+	runExperiment(b, "E1", func(t *experiments.Table) (string, float64) {
+		for i, row := range t.Rows {
+			if row[0] == "cnfet-32" {
+				cell, _ := t.Cell(i, "wr1/wr0")
+				v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+				return "wr1_over_wr0", v
+			}
+		}
+		return "wr1_over_wr0", 0
+	})
+}
+
+// BenchmarkExpE2Config regenerates the configuration table.
+func BenchmarkExpE2Config(b *testing.B) { runExperiment(b, "E2", nil) }
+
+// BenchmarkExpE3DCacheEnergy regenerates the headline figure: per-
+// benchmark D-cache savings. The reported metric is the suite-average
+// CNT-Cache saving, the paper's 22.2% claim.
+func BenchmarkExpE3DCacheEnergy(b *testing.B) {
+	runExperiment(b, "E3", lastRowPct("cnt-cache"))
+}
+
+// BenchmarkExpE4WindowSweep regenerates the W sweep.
+func BenchmarkExpE4WindowSweep(b *testing.B) { runExperiment(b, "E4", nil) }
+
+// BenchmarkExpE5PartitionSweep regenerates the K sweep.
+func BenchmarkExpE5PartitionSweep(b *testing.B) { runExperiment(b, "E5", nil) }
+
+// BenchmarkExpE6MixSweep regenerates the read-fraction x density grid.
+func BenchmarkExpE6MixSweep(b *testing.B) { runExperiment(b, "E6", nil) }
+
+// BenchmarkExpE7DeltaTSweep regenerates the ΔT hysteresis sweep.
+func BenchmarkExpE7DeltaTSweep(b *testing.B) { runExperiment(b, "E7", nil) }
+
+// BenchmarkExpE8Overhead regenerates the overhead accounting table.
+func BenchmarkExpE8Overhead(b *testing.B) { runExperiment(b, "E8", nil) }
+
+// BenchmarkExpE9ICache regenerates the I-cache/D-cache comparison on the
+// ISA programs and reports the average I-cache saving.
+func BenchmarkExpE9ICache(b *testing.B) {
+	runExperiment(b, "E9", lastRowPct("I saving"))
+}
+
+// BenchmarkExpE10Ablation regenerates the design-choice ablations.
+func BenchmarkExpE10Ablation(b *testing.B) { runExperiment(b, "E10", nil) }
+
+// BenchmarkExpE11CMOS regenerates the CNFET-vs-CMOS table.
+func BenchmarkExpE11CMOS(b *testing.B) { runExperiment(b, "E11", nil) }
+
+// BenchmarkExpE12Leakage regenerates the leakage-aware accounting table
+// and reports the combined (dynamic + leakage) suite-average saving.
+func BenchmarkExpE12Leakage(b *testing.B) {
+	runExperiment(b, "E12", lastRowPct("combined saving"))
+}
+
+// --- micro-benchmarks of the simulator hot path --------------------------
+
+// BenchmarkSimAccessBaseline measures raw simulator throughput without
+// encoding machinery.
+func BenchmarkSimAccessBaseline(b *testing.B) {
+	benchSimAccess(b, core.BaselineOptions())
+}
+
+// BenchmarkSimAccessCNTCache measures throughput with the full adaptive
+// pipeline (popcounts, predictor, FIFO).
+func BenchmarkSimAccessCNTCache(b *testing.B) {
+	benchSimAccess(b, core.DefaultOptions())
+}
+
+func benchSimAccess(b *testing.B, opts core.Options) {
+	inst := workload.Histogram(1)
+	cfg := core.SimConfig{Hierarchy: cache.DefaultHierarchyConfig(), DOpts: opts, IOpts: opts}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		rep, err := core.RunInstance(inst, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += int(rep.DStats.Accesses)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(done)/b.Elapsed().Seconds()/1e6, "Maccess/s")
+}
+
+// BenchmarkWorkloadGeneration measures the kernel generators themselves.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for _, builder := range workload.Suite() {
+		builder := builder
+		b.Run(builder.Name, func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = len(builder.Build(1).Accesses)
+			}
+			b.ReportMetric(float64(n), "accesses")
+		})
+	}
+}
+
+// BenchmarkTraceBinaryRoundTrip measures trace serialization throughput.
+func BenchmarkTraceBinaryRoundTrip(b *testing.B) {
+	inst := workload.Sort(1)
+	var sb strings.Builder
+	w := trace.NewTextWriter(&sb)
+	for _, a := range inst.Accesses[:1000] {
+		if err := w.Access(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	payload := sb.String()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		accs, err := trace.Collect(trace.NewTextReader(strings.NewReader(payload)))
+		if err != nil || len(accs) != 1000 {
+			b.Fatalf("collect: %d records, err=%v", len(accs), err)
+		}
+	}
+}
+
+// TestBenchmarksSmoke keeps `go test ./...` exercising every experiment
+// path even when benchmarks are not requested.
+func TestBenchmarksSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke")
+	}
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	for _, e := range experiments.Registry() {
+		if _, err := e.Run(cfg); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+		}
+	}
+}
+
+// BenchmarkExpE13Policies regenerates the prediction-policy comparison.
+func BenchmarkExpE13Policies(b *testing.B) {
+	runExperiment(b, "E13", lastRowPct("avg saving"))
+}

@@ -1,0 +1,114 @@
+// Command cntasm is the toolchain driver for the bundled ISA: it
+// assembles programs, disassembles them, and runs them on the functional
+// VM with a register/memory dump — everything needed to author new
+// benchmark kernels for the I-cache experiments.
+//
+// Usage:
+//
+//	cntasm -list matmul                 # disassemble a bundled program
+//	cntasm -run matmul                  # run it, dump registers and trace mix
+//	cntasm -asm prog.s -run-file        # assemble and run your own source
+//	cntasm -asm prog.s -list-file       # assemble and disassemble it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func main() {
+	list := flag.String("list", "", "disassemble a bundled program: "+strings.Join(isa.ProgramNames(), ","))
+	run := flag.String("run", "", "run a bundled program")
+	asmPath := flag.String("asm", "", "assembly source file")
+	runFile := flag.Bool("run-file", false, "run the -asm file")
+	listFile := flag.Bool("list-file", false, "disassemble the -asm file")
+	base := flag.Uint64("base", isa.CodeBase, "load address")
+	maxSteps := flag.Uint64("max-steps", isa.DefaultMaxSteps, "instruction budget")
+	flag.Parse()
+
+	switch {
+	case *list != "":
+		src, ok := isa.Programs()[*list]
+		if !ok {
+			fatal(fmt.Errorf("unknown program %q", *list))
+		}
+		listing(src, *base)
+	case *run != "":
+		src, ok := isa.Programs()[*run]
+		if !ok {
+			fatal(fmt.Errorf("unknown program %q", *run))
+		}
+		execute(src, *base, *maxSteps)
+	case *asmPath != "":
+		raw, err := os.ReadFile(*asmPath)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *runFile:
+			execute(string(raw), *base, *maxSteps)
+		case *listFile:
+			listing(string(raw), *base)
+		default:
+			// Assemble-only: report size and symbols.
+			prog, err := isa.Assemble(string(raw), *base)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("assembled %d words (%d bytes) at %#x\n", len(prog.Words), prog.Size(), prog.Base)
+			for name, addr := range prog.Symbols {
+				fmt.Printf("  %-16s %#x\n", name, addr)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func listing(src string, base uint64) {
+	prog, err := isa.Assemble(src, base)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(isa.Disassemble(prog))
+}
+
+func execute(src string, base, maxSteps uint64) {
+	prog, err := isa.Assemble(src, base)
+	if err != nil {
+		fatal(err)
+	}
+	vm, accs, err := isa.RunProgram(src, base, maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	var fetches, reads, writes int
+	for _, a := range accs {
+		switch a.Op {
+		case trace.Fetch:
+			fetches++
+		case trace.Read:
+			reads++
+		case trace.Write:
+			writes++
+		}
+	}
+	fmt.Printf("program: %d words, %d instructions executed\n", len(prog.Words), vm.Steps())
+	fmt.Printf("trace:   F=%d R=%d W=%d\n", fetches, reads, writes)
+	fmt.Println("registers:")
+	for r := 0; r < 16; r += 4 {
+		fmt.Printf("  r%-2d=%-12d r%-2d=%-12d r%-2d=%-12d r%-2d=%-12d\n",
+			r, vm.Regs[r], r+1, vm.Regs[r+1], r+2, vm.Regs[r+2], r+3, vm.Regs[r+3])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cntasm:", err)
+	os.Exit(1)
+}

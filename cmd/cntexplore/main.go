@@ -1,0 +1,105 @@
+// Command cntexplore runs ad-hoc parameter sweeps over one workload: it
+// varies one knob (window, partitions, deltat, fifo, idle) across a list
+// of values and prints the saving of CNT-Cache over the baseline at each
+// point. It complements cntbench (which regenerates the fixed experiment
+// suite) for interactive design-space exploration.
+//
+// Usage:
+//
+//	cntexplore -workload mm -knob window -values 3,7,15,31,63
+//	cntexplore -workload list -knob partitions -values 1,2,4,8,16,32,64
+//	cntexplore -workload stack -knob deltat -values 0,0.1,0.2,0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "mm", "bundled kernel: "+strings.Join(workload.Names(), ","))
+	knob := flag.String("knob", "window", "knob to sweep: window, partitions, deltat, fifo, idle, predictor")
+	values := flag.String("values", "", "comma-separated values (required)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *values == "" {
+		fatal(fmt.Errorf("-values is required"))
+	}
+	b, err := workload.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	inst := b.Build(*seed)
+	hier := cache.DefaultHierarchyConfig()
+
+	base := core.BaselineOptions()
+	baseRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: base, IOpts: base})
+	if err != nil {
+		fatal(err)
+	}
+	baseTotal := baseRep.DEnergy.Total()
+	fmt.Printf("workload %s: baseline D-cache %s\n", inst.Name, energy.Format(baseTotal))
+	fmt.Printf("%-10s %12s %10s %10s %8s\n", *knob, "D energy", "saving", "switches", "drop")
+
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		opts := core.DefaultOptions()
+		if err := applyKnob(&opts, *knob, raw); err != nil {
+			fatal(err)
+		}
+		rep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+		if err != nil {
+			fatal(err)
+		}
+		tot := rep.DEnergy.Total()
+		fmt.Printf("%-10s %12s %+9.1f%% %10d %8.3f\n",
+			raw, energy.Format(tot), 100*energy.Saving(baseTotal, tot),
+			rep.DSwitches, rep.DFIFO.DropRate())
+	}
+}
+
+func applyKnob(o *core.Options, knob, raw string) error {
+	switch knob {
+	case "window", "partitions", "fifo", "idle":
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return fmt.Errorf("knob %s: bad value %q", knob, raw)
+		}
+		switch knob {
+		case "window":
+			o.Window = v
+		case "partitions":
+			o.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: v}
+		case "fifo":
+			o.FIFODepth = v
+		case "idle":
+			o.IdleSlots = v
+		}
+	case "deltat":
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("knob deltat: bad value %q", raw)
+		}
+		o.DeltaT = v
+	case "predictor":
+		o.PolicyName = raw
+	default:
+		return fmt.Errorf("unknown knob %q (want window, partitions, deltat, fifo, idle, predictor)", knob)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cntexplore:", err)
+	os.Exit(1)
+}

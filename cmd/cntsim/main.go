@@ -1,0 +1,209 @@
+// Command cntsim runs one workload — a bundled benchmark kernel, a
+// bundled ISA program, or a trace file — through the simulated cache
+// hierarchy and prints the architectural and energy report for a chosen
+// encoding variant (or a side-by-side comparison of all variants).
+//
+// Usage:
+//
+//	cntsim -workload mm                 # bundled kernel, CNT-Cache vs baseline
+//	cntsim -program matmul              # bundled ISA program (I+D traffic)
+//	cntsim -trace t.bin                 # binary or text trace file
+//	cntsim -workload list -compare      # all variants side by side
+//	cntsim -workload mm -variant baseline -window 31 -partitions 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "bundled kernel: "+strings.Join(workload.Names(), ","))
+	prog := flag.String("program", "", "bundled ISA program: "+strings.Join(isa.ProgramNames(), ","))
+	traceFile := flag.String("trace", "", "trace file (.txt or binary)")
+	variant := flag.String("variant", "cnt-cache", "encoding variant: baseline,static-write,static-read,write-greedy,cnt-whole,cnt-cache")
+	compare := flag.Bool("compare", false, "run every variant and print a comparison")
+	window := flag.Int("window", 15, "prediction window W")
+	partitions := flag.Int("partitions", 8, "partition count K")
+	deltaT := flag.Float64("deltat", core.DefaultDeltaT, "switch hysteresis")
+	device := flag.String("device", "cnfet-32", "device preset: "+strings.Join(cnfet.PresetNames(), ","))
+	seed := flag.Int64("seed", 1, "workload seed")
+	configPath := flag.String("config", "", "JSON run configuration (overrides variant/device/geometry flags)")
+	exampleConfig := flag.Bool("example-config", false, "print a sample configuration file and exit")
+	inspect := flag.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
+	flag.Parse()
+
+	if *exampleConfig {
+		if err := config.WriteExample(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *configPath != "" {
+		doc, err := config.Load(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		simCfg, cfgSeed, err := doc.Resolve()
+		if err != nil {
+			fatal(err)
+		}
+		inst, err := loadInstance(*wl, *prog, *traceFile, cfgSeed)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := core.RunInstance(inst, simCfg)
+		if err != nil {
+			fatal(err)
+		}
+		printReport(inst, rep)
+		return
+	}
+
+	dev, err := cnfet.PresetByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+	tab, err := dev.Table()
+	if err != nil {
+		fatal(err)
+	}
+
+	inst, err := loadInstance(*wl, *prog, *traceFile, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	hier := cache.DefaultHierarchyConfig()
+	if *compare {
+		cmp, err := core.Compare(inst, hier, core.Variants(tab, *partitions, *window))
+		if err != nil {
+			fatal(err)
+		}
+		base := cmp.BaselineTotal()
+		fmt.Printf("workload %s: %d accesses, baseline D-cache %s\n",
+			inst.Name, len(inst.Accesses), energy.Format(base))
+		for i, name := range cmp.Names {
+			rep := cmp.Reports[i]
+			fmt.Printf("  %-13s D=%12s  saving=%+6.1f%%  switches=%d  drops=%.3f\n",
+				name, energy.Format(rep.DEnergy.Total()), 100*cmp.SavingOf(name),
+				rep.DSwitches, rep.DFIFO.DropRate())
+		}
+		return
+	}
+
+	opts, err := optionsFor(*variant, tab, *partitions, *window, *deltaT)
+	if err != nil {
+		fatal(err)
+	}
+	rep, snap, err := runWithSnapshot(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+	if err != nil {
+		fatal(err)
+	}
+	printReport(inst, rep)
+	if *inspect {
+		fmt.Println("\nD-cache line-state snapshot:")
+		fmt.Print(snap.String())
+	}
+}
+
+// runWithSnapshot mirrors core.RunInstance but keeps the simulation alive
+// long enough to take the end-of-run snapshot.
+func runWithSnapshot(inst *workload.Instance, cfg core.SimConfig) (*core.Report, core.Snapshot, error) {
+	m := mem.New()
+	inst.Preload(m)
+	sim, err := core.NewSim(cfg, m)
+	if err != nil {
+		return nil, core.Snapshot{}, err
+	}
+	for i, a := range inst.Accesses {
+		if err := sim.Access(a); err != nil {
+			return nil, core.Snapshot{}, fmt.Errorf("access %d: %w", i, err)
+		}
+	}
+	rep := sim.Finish(inst.Name, cfg.DOpts.Spec.String())
+	return rep, sim.L1D.Snapshot(), nil
+}
+
+func loadInstance(wl, prog, traceFile string, seed int64) (*workload.Instance, error) {
+	selected := 0
+	for _, s := range []string{wl, prog, traceFile} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return nil, fmt.Errorf("exactly one of -workload, -program, -trace is required")
+	}
+	switch {
+	case wl != "":
+		b, err := workload.ByName(wl)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(seed), nil
+	case prog != "":
+		src, ok := isa.Programs()[prog]
+		if !ok {
+			return nil, fmt.Errorf("unknown program %q (have %v)", prog, isa.ProgramNames())
+		}
+		_, accs, err := isa.RunProgram(src, isa.CodeBase, isa.DefaultMaxSteps)
+		if err != nil {
+			return nil, err
+		}
+		return &workload.Instance{Name: prog, Accesses: accs}, nil
+	default:
+		accs, err := trace.ReadFile(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		return &workload.Instance{Name: traceFile, Accesses: accs}, nil
+	}
+}
+
+func optionsFor(variant string, tab cnfet.EnergyTable, k, w int, dt float64) (core.Options, error) {
+	for _, v := range core.Variants(tab, k, w) {
+		if v.Name == variant {
+			o := v.Opts
+			if o.Spec.Kind == encoding.KindAdaptive {
+				o.DeltaT = dt
+			}
+			return o, nil
+		}
+	}
+	return core.Options{}, fmt.Errorf("unknown variant %q", variant)
+}
+
+func printReport(inst *workload.Instance, rep *core.Report) {
+	r, w, f := inst.Counts()
+	fmt.Printf("workload %s: %d accesses (R=%d W=%d F=%d)\n", inst.Name, len(inst.Accesses), r, w, f)
+	fmt.Printf("variant: %s  (H&D %d bits/line)\n", rep.Variant, rep.DMetaBits)
+	fmt.Printf("L1D: %s\n", rep.DStats)
+	fmt.Printf("     %s\n", rep.DEnergy.String())
+	fmt.Printf("     switches=%d windows=%d fifo: enq=%d drop=%.3f\n",
+		rep.DSwitches, rep.DWindows, rep.DFIFO.Enqueued, rep.DFIFO.DropRate())
+	if rep.IStats.Accesses > 0 {
+		fmt.Printf("L1I: %s\n", rep.IStats)
+		fmt.Printf("     %s\n", rep.IEnergy.String())
+	}
+	fmt.Printf("total L1 dynamic energy: %s\n", energy.Format(rep.DEnergy.Total()+rep.IEnergy.Total()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cntsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "CNT-Cache: an
+// Energy-Efficient Carbon Nanotube Cache with Adaptive Encoding"
+// (DATE 2020).
+//
+// The paper's observation is that CNFET SRAM cells read and write '0' and
+// '1' at very different energies (writing '1' costs roughly 10x writing
+// '0'); CNT-Cache exploits it by predicting each cache line's read/write
+// preference from its access history and re-encoding the stored bits —
+// whole-line or per-partition inversion — to match.
+//
+// The reproduction spans the full stack the evaluation needs:
+//
+//   - internal/cnfet, internal/sram: device and array energy models;
+//   - internal/cache, internal/mem: a data-carrying set-associative cache
+//     hierarchy over a sparse memory image;
+//   - internal/encoding, internal/predictor, internal/fifo: the adaptive
+//     encoder, Algorithm 1's direction predictor, and the deferred-update
+//     queues;
+//   - internal/core: CNT-Cache itself plus the baseline/static/greedy
+//     comparison variants and the simulation driver;
+//   - internal/isa, internal/workload, internal/trace: benchmark
+//     substrates — a small assembler+VM, nine data-carrying kernels, and
+//     archival trace formats;
+//   - internal/experiments: the registry that regenerates every table and
+//     figure (see DESIGN.md and EXPERIMENTS.md).
+//
+// The root-level benchmarks (bench_test.go) expose one benchmark per
+// experiment; cmd/cntbench writes the same tables to disk.
+package repro

@@ -1,0 +1,45 @@
+// Matrix: run the matrix-multiply benchmark kernel through every encoding
+// variant and print the per-component energy breakdown — the scenario the
+// paper's D-cache claim is built on (read-dominated, zero-heavy integer
+// data).
+//
+//	go run ./examples/matrix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+func main() {
+	inst := workload.MatMul(1)
+	reads, writes, _ := inst.Counts()
+	fmt.Printf("mm: %d accesses (%.1f%% reads), 48x48 int32 matrices\n\n",
+		len(inst.Accesses), 100*float64(reads)/float64(reads+writes))
+
+	tab := cnfet.MustTable(cnfet.CNFET32())
+	cmp, err := core.Compare(inst, cache.DefaultHierarchyConfig(), core.Variants(tab, 8, 15))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-13s %12s %9s %10s %10s %8s %8s\n",
+		"variant", "D total", "saving", "data read", "data write", "meta", "switch")
+	for i, name := range cmp.Names {
+		eb := cmp.Reports[i].DEnergy
+		fmt.Printf("%-13s %12s %+8.1f%% %10s %10s %8s %8s\n",
+			name, energy.Format(eb.Total()), 100*cmp.SavingOf(name),
+			energy.Format(eb.DataRead), energy.Format(eb.DataWrite),
+			energy.Format(eb.MetaRead+eb.MetaWrite), energy.Format(eb.Switch))
+	}
+
+	fmt.Println("\nwhy: reading '0' costs ~7.4x reading '1' on the CNFET cell, and the")
+	fmt.Println("matrices are zero-heavy, so re-encoding read-intensive lines as their")
+	fmt.Println("complement turns expensive zero-reads into cheap one-reads.")
+}

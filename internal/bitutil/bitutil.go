@@ -1,0 +1,153 @@
+// Package bitutil provides the bit-level primitives the adaptive encoder
+// is built from: population counts over byte slices and partitions, and
+// in-place inversion of whole lines or individual partitions.
+//
+// These functions sit on the hot path of every simulated cache access, so
+// they operate on raw byte slices with no allocation. A cache line of L
+// bits is represented as a []byte of L/8 bytes; partitioned operations
+// split that slice into K equal byte-aligned partitions (the paper's
+// Figure 2 shows byte-aligned partitions, and hardware would slice the
+// line at fixed bit boundaries).
+package bitutil
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Ones returns the number of '1' bits in data. It is the paper's
+// getNumOfBit1() primitive (Algorithm 1, step 2).
+func Ones(data []byte) int {
+	n := 0
+	i := 0
+	// Word-at-a-time main loop.
+	for ; i+8 <= len(data); i += 8 {
+		w := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
+			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
+			uint64(data[i+6])<<48 | uint64(data[i+7])<<56
+		n += bits.OnesCount64(w)
+	}
+	for ; i < len(data); i++ {
+		n += bits.OnesCount8(data[i])
+	}
+	return n
+}
+
+// Zeros returns the number of '0' bits in data.
+func Zeros(data []byte) int { return len(data)*8 - Ones(data) }
+
+// Invert flips every bit of data in place.
+func Invert(data []byte) {
+	for i := range data {
+		data[i] = ^data[i]
+	}
+}
+
+// Inverted returns a freshly allocated copy of data with every bit
+// flipped.
+func Inverted(data []byte) []byte {
+	out := make([]byte, len(data))
+	for i, b := range data {
+		out[i] = ^b
+	}
+	return out
+}
+
+// CheckPartitions validates that a line of lineBytes bytes can be split
+// into k equal byte-aligned partitions.
+func CheckPartitions(lineBytes, k int) error {
+	switch {
+	case lineBytes <= 0:
+		return fmt.Errorf("bitutil: line length must be positive, got %d bytes", lineBytes)
+	case k <= 0:
+		return fmt.Errorf("bitutil: partition count must be positive, got %d", k)
+	case k > lineBytes:
+		return fmt.Errorf("bitutil: %d partitions exceed %d line bytes (sub-byte partitions unsupported)", k, lineBytes)
+	case lineBytes%k != 0:
+		return fmt.Errorf("bitutil: %d line bytes not divisible into %d partitions", lineBytes, k)
+	}
+	return nil
+}
+
+// Partition returns the p-th of k equal partitions of data. The returned
+// slice aliases data.
+func Partition(data []byte, k, p int) []byte {
+	if err := CheckPartitions(len(data), k); err != nil {
+		panic(err)
+	}
+	if p < 0 || p >= k {
+		panic(fmt.Sprintf("bitutil: partition index %d out of range [0,%d)", p, k))
+	}
+	sz := len(data) / k
+	return data[p*sz : (p+1)*sz]
+}
+
+// OnesPerPartition returns the number of '1' bits in each of the k equal
+// partitions of data. If dst has capacity k it is reused, otherwise a new
+// slice is allocated.
+func OnesPerPartition(data []byte, k int, dst []int) []int {
+	if err := CheckPartitions(len(data), k); err != nil {
+		panic(err)
+	}
+	if cap(dst) >= k {
+		dst = dst[:k]
+	} else {
+		dst = make([]int, k)
+	}
+	sz := len(data) / k
+	for p := 0; p < k; p++ {
+		dst[p] = Ones(data[p*sz : (p+1)*sz])
+	}
+	return dst
+}
+
+// InvertPartition flips every bit of the p-th of k equal partitions of
+// data, in place.
+func InvertPartition(data []byte, k, p int) {
+	Invert(Partition(data, k, p))
+}
+
+// ApplyMask XORs each partition of data whose bit is set in mask with all
+// ones (i.e. inverts it), in place. Bit p of mask corresponds to
+// partition p. It is the hardware encoder: a row of inverters and 2:1
+// muxes steered by the per-partition direction bits.
+func ApplyMask(data []byte, k int, mask uint64) {
+	if err := CheckPartitions(len(data), k); err != nil {
+		panic(err)
+	}
+	if k < 64 && mask>>uint(k) != 0 {
+		panic(fmt.Sprintf("bitutil: mask %#x has bits beyond partition count %d", mask, k))
+	}
+	sz := len(data) / k
+	for p := 0; p < k; p++ {
+		if mask&(1<<uint(p)) != 0 {
+			Invert(data[p*sz : (p+1)*sz])
+		}
+	}
+}
+
+// DiffBits returns the number of bit positions at which a and b differ.
+// It panics if the lengths differ.
+func DiffBits(a, b []byte) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bitutil: DiffBits length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := 0
+	for i := range a {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+// Equal reports whether a and b hold identical bytes.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,335 @@
+package bitutil
+
+import (
+	"bytes"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveOnes(data []byte) int {
+	n := 0
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			if b&(1<<uint(i)) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestOnesKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want int
+	}{
+		{"empty", nil, 0},
+		{"zero byte", []byte{0x00}, 0},
+		{"all ones byte", []byte{0xFF}, 8},
+		{"alternating", []byte{0xAA, 0x55}, 8},
+		{"single bit", []byte{0x01}, 1},
+		{"high bit", []byte{0x80}, 1},
+		{"64 zero bytes", make([]byte, 64), 0},
+		{"word boundary", []byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 0xFF}, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Ones(tc.data); got != tc.want {
+				t.Errorf("Ones(%x) = %d, want %d", tc.data, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOnesMatchesNaive(t *testing.T) {
+	f := func(data []byte) bool { return Ones(data) == naiveOnes(data) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnesPlusZerosIsTotal(t *testing.T) {
+	f := func(data []byte) bool { return Ones(data)+Zeros(data) == len(data)*8 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		orig := append([]byte(nil), data...)
+		Invert(data)
+		Invert(data)
+		return bytes.Equal(orig, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertComplementsOnes(t *testing.T) {
+	f := func(data []byte) bool {
+		ones := Ones(data)
+		inv := Inverted(data)
+		return Ones(inv) == len(data)*8-ones
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertedDoesNotAliasInput(t *testing.T) {
+	data := []byte{0x0F, 0xF0}
+	inv := Inverted(data)
+	if !bytes.Equal(inv, []byte{0xF0, 0x0F}) {
+		t.Fatalf("Inverted = %x, want f00f", inv)
+	}
+	inv[0] = 0
+	if data[0] != 0x0F {
+		t.Error("Inverted aliased its input")
+	}
+}
+
+func TestCheckPartitions(t *testing.T) {
+	cases := []struct {
+		lineBytes, k int
+		ok           bool
+	}{
+		{64, 1, true},
+		{64, 2, true},
+		{64, 8, true},
+		{64, 64, true},
+		{64, 0, false},
+		{64, -1, false},
+		{64, 3, false},   // not divisible
+		{64, 128, false}, // sub-byte
+		{0, 1, false},
+		{-8, 1, false},
+	}
+	for _, tc := range cases {
+		err := CheckPartitions(tc.lineBytes, tc.k)
+		if (err == nil) != tc.ok {
+			t.Errorf("CheckPartitions(%d,%d) error=%v, want ok=%v", tc.lineBytes, tc.k, err, tc.ok)
+		}
+	}
+}
+
+func TestPartitionAliasesAndTiles(t *testing.T) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	const k = 8
+	for p := 0; p < k; p++ {
+		part := Partition(data, k, p)
+		if len(part) != 8 {
+			t.Fatalf("partition %d length = %d, want 8", p, len(part))
+		}
+		if part[0] != byte(p*8) {
+			t.Errorf("partition %d starts with %d, want %d", p, part[0], p*8)
+		}
+	}
+	// Mutation through the partition must be visible in the line.
+	Partition(data, k, 3)[0] = 0xEE
+	if data[24] != 0xEE {
+		t.Error("Partition should alias the underlying line")
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	data := make([]byte, 64)
+	for _, tc := range []struct{ k, p int }{{8, -1}, {8, 8}, {3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(k=%d,p=%d) should panic", tc.k, tc.p)
+				}
+			}()
+			Partition(data, tc.k, tc.p)
+		}()
+	}
+}
+
+func TestOnesPerPartitionSumsToOnes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 64)
+		rng.Read(data)
+		for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+			per := OnesPerPartition(data, k, nil)
+			sum := 0
+			for _, n := range per {
+				sum += n
+			}
+			if sum != Ones(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnesPerPartitionReusesDst(t *testing.T) {
+	data := make([]byte, 64)
+	dst := make([]int, 0, 8)
+	got := OnesPerPartition(data, 8, dst)
+	if &got[0] != &dst[:1][0] {
+		t.Error("OnesPerPartition should reuse dst when capacity allows")
+	}
+}
+
+func TestInvertPartitionOnlyTouchesPartition(t *testing.T) {
+	data := make([]byte, 32)
+	InvertPartition(data, 4, 1)
+	for i, b := range data {
+		inPart := i >= 8 && i < 16
+		if inPart && b != 0xFF {
+			t.Errorf("byte %d = %#x, want 0xFF inside inverted partition", i, b)
+		}
+		if !inPart && b != 0x00 {
+			t.Errorf("byte %d = %#x, want 0x00 outside inverted partition", i, b)
+		}
+	}
+}
+
+func TestApplyMask(t *testing.T) {
+	data := make([]byte, 32)
+	ApplyMask(data, 4, 0b0101)
+	want := append(append(append(append([]byte{},
+		bytes.Repeat([]byte{0xFF}, 8)...),
+		bytes.Repeat([]byte{0x00}, 8)...),
+		bytes.Repeat([]byte{0xFF}, 8)...),
+		bytes.Repeat([]byte{0x00}, 8)...)
+	if !bytes.Equal(data, want) {
+		t.Errorf("ApplyMask result %x, want %x", data, want)
+	}
+}
+
+func TestApplyMaskRoundTrip(t *testing.T) {
+	f := func(seed int64, maskRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 64)
+		rng.Read(data)
+		orig := append([]byte(nil), data...)
+		mask := uint64(maskRaw)
+		ApplyMask(data, 8, mask)
+		ApplyMask(data, 8, mask)
+		return bytes.Equal(orig, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyMaskRejectsOutOfRangeMask(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ApplyMask with out-of-range mask bits should panic")
+		}
+	}()
+	ApplyMask(make([]byte, 64), 4, 0b10000)
+}
+
+func TestApplyMaskFullWidthMaskAllowed(t *testing.T) {
+	data := make([]byte, 64)
+	ApplyMask(data, 64, ^uint64(0)) // k == 64: every mask bit is meaningful
+	if Ones(data) != 64*8 {
+		t.Error("full mask should invert every partition")
+	}
+}
+
+func TestDiffBits(t *testing.T) {
+	cases := []struct {
+		a, b []byte
+		want int
+	}{
+		{[]byte{0x00}, []byte{0x00}, 0},
+		{[]byte{0x00}, []byte{0xFF}, 8},
+		{[]byte{0xAA}, []byte{0x55}, 8},
+		{[]byte{0xF0, 0x0F}, []byte{0xF0, 0x0F}, 0},
+		{[]byte{0x01, 0x00}, []byte{0x00, 0x80}, 2},
+	}
+	for _, tc := range cases {
+		if got := DiffBits(tc.a, tc.b); got != tc.want {
+			t.Errorf("DiffBits(%x,%x) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDiffBitsSymmetricAndTriangular(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := make([]byte, 32), make([]byte, 32), make([]byte, 32)
+		rng.Read(a)
+		rng.Read(b)
+		rng.Read(c)
+		if DiffBits(a, b) != DiffBits(b, a) {
+			return false
+		}
+		// Hamming distance triangle inequality.
+		return DiffBits(a, c) <= DiffBits(a, b)+DiffBits(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffBitsPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DiffBits with mismatched lengths should panic")
+		}
+	}()
+	DiffBits([]byte{1}, []byte{1, 2})
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]byte{1, 2}, []byte{1, 2}) {
+		t.Error("Equal should accept identical slices")
+	}
+	if Equal([]byte{1, 2}, []byte{1, 3}) {
+		t.Error("Equal should reject differing content")
+	}
+	if Equal([]byte{1}, []byte{1, 2}) {
+		t.Error("Equal should reject differing lengths")
+	}
+	if !Equal(nil, []byte{}) {
+		t.Error("Equal should treat nil and empty as equal")
+	}
+}
+
+func TestOnesAgainstStdlibOnWords(t *testing.T) {
+	f := func(w uint64) bool {
+		data := []byte{
+			byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24),
+			byte(w >> 32), byte(w >> 40), byte(w >> 48), byte(w >> 56),
+		}
+		return Ones(data) == bits.OnesCount64(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOnes64B(b *testing.B) {
+	data := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Ones(data)
+	}
+}
+
+func BenchmarkApplyMask64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ApplyMask(data, 8, 0xA5)
+	}
+}

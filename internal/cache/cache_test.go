@@ -1,0 +1,535 @@
+package cache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+func smallCache(t *testing.T, sets, ways int, pol Policy) (*Cache, *mem.Memory) {
+	t.Helper()
+	m := mem.New()
+	c, err := New(Config{
+		Name:     "L1D",
+		Geometry: sram.Geometry{Sets: sets, Ways: ways, LineBytes: 64},
+		Policy:   pol,
+	}, MemBackend{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func TestNewValidation(t *testing.T) {
+	m := mem.New()
+	if _, err := New(Config{Name: "x", Geometry: sram.Geometry{Sets: 3, Ways: 1, LineBytes: 64}}, MemBackend{M: m}); err == nil {
+		t.Error("non-power-of-two sets should fail")
+	}
+	if _, err := New(Config{Name: "x", Geometry: sram.Geometry{Sets: 4, Ways: 1, LineBytes: 64}}, nil); err == nil {
+		t.Error("nil backend should fail")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, _ := smallCache(t, 4, 2, nil)
+	res, err := c.Access(false, 0x1000, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || !res.Filled || res.Evicted {
+		t.Errorf("first access: %+v, want cold miss with fill, no evict", res)
+	}
+	res, err = c.Access(false, 0x1008, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Errorf("same-line access should hit: %+v", res)
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestReadReturnsWrittenData(t *testing.T) {
+	c, _ := smallCache(t, 4, 2, nil)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := c.Access(true, 0x2000, 8, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := c.Access(false, 0x2000, 8, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read %v, want %v", got, payload)
+	}
+}
+
+func TestReadMissFetchesFromMemory(t *testing.T) {
+	c, m := smallCache(t, 4, 2, nil)
+	m.Write(0x3000, []byte{0xAA, 0xBB})
+	got := make([]byte, 2)
+	if _, err := c.Access(false, 0x3000, 2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0xAA, 0xBB}) {
+		t.Errorf("fill data = %x", got)
+	}
+}
+
+func TestWriteBackOnEviction(t *testing.T) {
+	// 1 set, 1 way: every new line evicts the previous one.
+	c, m := smallCache(t, 1, 1, nil)
+	if _, err := c.Access(true, 0x0, 8, []byte{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Access(false, 0x40, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Evicted || !res.WroteBack || res.EvictedAddr != 0 {
+		t.Errorf("eviction result = %+v", res)
+	}
+	buf := make([]byte, 8)
+	m.Read(0, buf)
+	if buf[0] != 9 {
+		t.Error("dirty data did not reach memory on eviction")
+	}
+	// A clean eviction must not write back.
+	res, err = c.Access(false, 0x80, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Evicted || res.WroteBack {
+		t.Errorf("clean eviction result = %+v", res)
+	}
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	c, _ := smallCache(t, 1, 2, NewLRU())
+	c.Access(false, 0x000, 1, nil) // way 0: line 0
+	c.Access(false, 0x040, 1, nil) // way 1: line 1
+	c.Access(false, 0x000, 1, nil) // touch line 0 -> line 1 is LRU
+	res, _ := c.Access(false, 0x080, 1, nil)
+	if res.EvictedAddr != 0x040 {
+		t.Errorf("evicted %#x, want the LRU line 0x40", res.EvictedAddr)
+	}
+	// Line 0 must still hit.
+	res, _ = c.Access(false, 0x000, 1, nil)
+	if !res.Hit {
+		t.Error("recently used line was evicted")
+	}
+}
+
+func TestFIFOIgnoresTouches(t *testing.T) {
+	c, _ := smallCache(t, 1, 2, NewFIFO())
+	c.Access(false, 0x000, 1, nil)
+	c.Access(false, 0x040, 1, nil)
+	c.Access(false, 0x000, 1, nil) // touch does not save line 0 under FIFO
+	res, _ := c.Access(false, 0x080, 1, nil)
+	if res.EvictedAddr != 0x000 {
+		t.Errorf("evicted %#x, want first-in line 0x0", res.EvictedAddr)
+	}
+}
+
+func TestPLRUCoversAllWays(t *testing.T) {
+	c, _ := smallCache(t, 1, 4, NewTreePLRU())
+	// Fill the set.
+	for i := 0; i < 4; i++ {
+		c.Access(false, uint64(i)*64, 1, nil)
+	}
+	// Victims over the next 8 misses must cycle through distinct ways
+	// without ever evicting the just-filled line.
+	last := uint64(0xFFFF)
+	for i := 4; i < 12; i++ {
+		res, err := c.Access(false, uint64(i)*64, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Evicted {
+			t.Fatalf("access %d should evict", i)
+		}
+		if res.EvictedAddr == last {
+			t.Fatalf("PLRU evicted the line filled on the previous miss (%#x)", last)
+		}
+		last = uint64(i) * 64
+	}
+}
+
+func TestPLRURejectsNonPow2Ways(t *testing.T) {
+	if err := NewTreePLRU().Reset(4, 6); err == nil {
+		t.Error("tree PLRU with 6 ways should fail")
+	}
+}
+
+func TestRandomPolicyDeterministicBySeed(t *testing.T) {
+	victims := func(seed int64) []int {
+		p := NewRandom(seed)
+		if err := p.Reset(1, 8); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 20)
+		for i := range out {
+			out[i] = p.Victim(0)
+		}
+		return out
+	}
+	a, b := victims(42), victims(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same victims")
+		}
+		if a[i] < 0 || a[i] >= 8 {
+			t.Fatalf("victim %d out of range", a[i])
+		}
+	}
+}
+
+func TestNewPolicyByName(t *testing.T) {
+	for _, name := range []string{"", "lru", "plru", "fifo", "random"} {
+		if _, err := NewPolicy(name, 1); err != nil {
+			t.Errorf("NewPolicy(%q) error: %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("belady", 1); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestAccessErrors(t *testing.T) {
+	c, _ := smallCache(t, 4, 2, nil)
+	if _, err := c.Access(false, 0, 0, nil); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := c.Access(false, 0, 128, nil); err == nil {
+		t.Error("oversized access should fail")
+	}
+	if _, err := c.Access(false, 60, 8, nil); err == nil {
+		t.Error("line-crossing access should fail")
+	}
+	if _, err := c.Access(true, 0, 8, nil); err == nil {
+		t.Error("write without data should fail")
+	}
+	if _, err := c.Access(false, 0, 8, make([]byte, 4)); err == nil {
+		t.Error("mismatched buffer should fail")
+	}
+}
+
+func TestLinePanicsOutOfRange(t *testing.T) {
+	c, _ := smallCache(t, 4, 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Line out of range should panic")
+		}
+	}()
+	c.Line(4, 0)
+}
+
+func TestLineExposesResident(t *testing.T) {
+	c, _ := smallCache(t, 4, 2, nil)
+	payload := bytes.Repeat([]byte{0x5A}, 64)
+	res, err := c.Access(true, 0x40, 64, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, addr, valid, dirty := c.Line(res.Set, res.Way)
+	if !valid || !dirty || addr != 0x40 || !bytes.Equal(data, payload) {
+		t.Errorf("Line = addr %#x valid=%v dirty=%v", addr, valid, dirty)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c, m := smallCache(t, 4, 2, nil)
+	c.Access(true, 0x100, 8, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	m.Read(0x100, buf)
+	if buf[0] != 1 || buf[7] != 8 {
+		t.Error("FlushAll did not push dirty data")
+	}
+	// After flush everything misses again.
+	res, _ := c.Access(false, 0x100, 8, nil)
+	if res.Hit {
+		t.Error("line should be invalid after FlushAll")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	// Within one line: unchanged.
+	a := trace.Access{Op: trace.Read, Addr: 0x10, Size: 8}
+	if got := Split(a, 64); len(got) != 1 || got[0].Addr != a.Addr || got[0].Size != a.Size || got[0].Op != a.Op {
+		t.Errorf("Split aligned = %+v", got)
+	}
+	// Crossing one boundary.
+	w := trace.Access{Op: trace.Write, Addr: 60, Size: 8, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	got := Split(w, 64)
+	if len(got) != 2 {
+		t.Fatalf("Split crossing = %d pieces", len(got))
+	}
+	if got[0].Addr != 60 || got[0].Size != 4 || !bytes.Equal(got[0].Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("piece 0 = %+v", got[0])
+	}
+	if got[1].Addr != 64 || got[1].Size != 4 || !bytes.Equal(got[1].Data, []byte{5, 6, 7, 8}) {
+		t.Errorf("piece 1 = %+v", got[1])
+	}
+	// Pieces must validate and preserve total size.
+	for _, p := range got {
+		if err := p.Validate(); err != nil {
+			t.Errorf("piece invalid: %v", err)
+		}
+	}
+}
+
+func TestSplitManyLines(t *testing.T) {
+	a := trace.Access{Op: trace.Read, Addr: 5, Size: 64}
+	got := Split(a, 16)
+	total := 0
+	for i, p := range got {
+		total += p.Size
+		if i > 0 && p.Addr%16 != 0 {
+			t.Errorf("piece %d not aligned: %#x", i, p.Addr)
+		}
+	}
+	if total != 64 || len(got) != 5 {
+		t.Errorf("Split produced %d pieces totaling %d", len(got), total)
+	}
+}
+
+func TestHierarchyRouting(t *testing.T) {
+	m := mem.New()
+	h, err := NewHierarchy(DefaultHierarchyConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Route(trace.Fetch) != h.L1I || h.Route(trace.Read) != h.L1D || h.Route(trace.Write) != h.L1D {
+		t.Error("routing mismatch")
+	}
+	if _, err := h.Access(trace.Access{Op: trace.Fetch, Addr: 0x400000, Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Access(trace.Access{Op: trace.Read, Addr: 0x1000, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if h.L1I.Stats().Accesses != 1 || h.L1D.Stats().Accesses != 1 {
+		t.Error("accesses not routed to split L1")
+	}
+	if h.L2.Stats().Accesses != 2 {
+		t.Errorf("L2 accesses = %d, want 2 (both L1 fills)", h.L2.Stats().Accesses)
+	}
+}
+
+func TestHierarchyWithoutL2(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.L2 = Config{}
+	m := mem.New()
+	h, err := NewHierarchy(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L2 != nil {
+		t.Fatal("L2 should be omitted")
+	}
+	if _, err := h.Access(trace.Access{Op: trace.Read, Addr: 0x10, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := m.AccessCounts(); r == 0 {
+		t.Error("L1 miss should reach memory directly")
+	}
+}
+
+func TestHierarchyRejectsNilMemory(t *testing.T) {
+	if _, err := NewHierarchy(DefaultHierarchyConfig(), nil); err == nil {
+		t.Error("nil memory should fail")
+	}
+}
+
+func TestHierarchySplitsUnaligned(t *testing.T) {
+	m := mem.New()
+	h, err := NewHierarchy(DefaultHierarchyConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Access(trace.Access{Op: trace.Read, Addr: 60, Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("unaligned access produced %d results, want 2", len(res))
+	}
+}
+
+// TestFunctionalEquivalenceWithMemory replays a random store/load mix
+// through the cache and checks every load returns exactly what a plain
+// memory image would.
+func TestFunctionalEquivalenceWithMemory(t *testing.T) {
+	for _, pol := range []Policy{NewLRU(), NewTreePLRU(), NewFIFO(), NewRandom(7)} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			c, _ := smallCache(t, 4, 2, pol) // tiny: lots of evictions
+			ref := mem.New()
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 20000; i++ {
+				addr := uint64(rng.Intn(64)) * 8 // 512-byte region, 8 sets' worth
+				if rng.Intn(2) == 0 {
+					data := make([]byte, 8)
+					rng.Read(data)
+					if _, err := c.Access(true, addr, 8, data); err != nil {
+						t.Fatal(err)
+					}
+					ref.Write(addr, data)
+				} else {
+					got := make([]byte, 8)
+					if _, err := c.Access(false, addr, 8, got); err != nil {
+						t.Fatal(err)
+					}
+					want := make([]byte, 8)
+					ref.Read(addr, want)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("iteration %d addr %#x: cache %x != ref %x", i, addr, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStatsInvariants checks counter consistency after a random workload.
+func TestStatsInvariants(t *testing.T) {
+	c, _ := smallCache(t, 8, 2, nil)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(4096)) &^ 7
+		if rng.Intn(3) == 0 {
+			c.Access(true, addr, 8, make([]byte, 8))
+		} else {
+			c.Access(false, addr, 8, nil)
+		}
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Accesses {
+		t.Errorf("hits+misses != accesses: %+v", s)
+	}
+	if s.Reads+s.Writes != s.Accesses {
+		t.Errorf("reads+writes != accesses: %+v", s)
+	}
+	if s.ReadHits+s.ReadMisses != s.Reads || s.WriteHits+s.WriteMisses != s.Writes {
+		t.Errorf("per-op splits inconsistent: %+v", s)
+	}
+	if s.Fills != s.Misses {
+		t.Errorf("fills %d != misses %d (write-allocate fills every miss)", s.Fills, s.Misses)
+	}
+	if s.WriteBacks > s.Evictions {
+		t.Errorf("writebacks %d > evictions %d", s.WriteBacks, s.Evictions)
+	}
+	if s.MissRate()+s.HitRate() != 1 {
+		t.Errorf("rates don't sum to 1")
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{Accesses: 1, Reads: 1, Hits: 1, ReadHits: 1}
+	b := Stats{Accesses: 2, Writes: 2, Misses: 2, WriteMisses: 2, Fills: 2}
+	sum := a.Add(b)
+	if sum.Accesses != 3 || sum.Reads != 1 || sum.Writes != 2 || sum.Fills != 2 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if (Stats{}).HitRate() != 0 || (Stats{}).WriteFraction() != 0 {
+		t.Error("zero stats rates should be 0")
+	}
+	if s := sum.String(); s == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestCacheAsBackend(t *testing.T) {
+	// L1 (64B lines) over L2 (64B lines): writeback from L1 should land
+	// in L2, not memory, until L2 evicts.
+	m := mem.New()
+	l2, err := New(Config{Name: "L2", Geometry: sram.Geometry{Sets: 16, Ways: 4, LineBytes: 64}}, MemBackend{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := New(Config{Name: "L1", Geometry: sram.Geometry{Sets: 1, Ways: 1, LineBytes: 64}}, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1.Access(true, 0x0, 8, []byte{7, 7, 7, 7, 7, 7, 7, 7})
+	l1.Access(false, 0x40, 8, nil) // evicts dirty line 0 into L2
+	if l2.Stats().Writes != 1 {
+		t.Errorf("L2 writes = %d, want 1 writeback", l2.Stats().Writes)
+	}
+	got := make([]byte, 8)
+	l1.Access(false, 0x0, 8, got) // refetch through L2
+	if got[0] != 7 {
+		t.Error("writeback data lost between levels")
+	}
+}
+
+func TestOversizedLineToBackendRejected(t *testing.T) {
+	m := mem.New()
+	l2, _ := New(Config{Name: "L2", Geometry: sram.Geometry{Sets: 16, Ways: 4, LineBytes: 64}}, MemBackend{M: m})
+	if err := l2.ReadLine(0, make([]byte, 128)); err == nil {
+		t.Error("oversized ReadLine should fail")
+	}
+	if err := l2.WriteLine(0, make([]byte, 128)); err == nil {
+		t.Error("oversized WriteLine should fail")
+	}
+}
+
+func TestEvictHookSeesVictim(t *testing.T) {
+	c, _ := smallCache(t, 1, 1, nil)
+	payload := bytes.Repeat([]byte{0xAB}, 8)
+	c.Access(true, 0x0, 8, payload)
+
+	var hooked struct {
+		called bool
+		set    int
+		way    int
+		dirty  bool
+		first  byte
+	}
+	c.SetEvictHook(func(set, way int, data []byte, dirty bool) {
+		hooked.called = true
+		hooked.set, hooked.way, hooked.dirty = set, way, dirty
+		hooked.first = data[0]
+	})
+	c.Access(false, 0x40, 8, nil) // displaces the dirty line
+	if !hooked.called {
+		t.Fatal("hook not invoked on eviction")
+	}
+	if hooked.set != 0 || hooked.way != 0 || !hooked.dirty || hooked.first != 0xAB {
+		t.Errorf("hook saw %+v", hooked)
+	}
+
+	// Clean eviction reports dirty=false.
+	hooked.called, hooked.dirty = false, true
+	c.Access(false, 0x80, 8, nil)
+	if !hooked.called || hooked.dirty {
+		t.Errorf("clean eviction hook: called=%v dirty=%v", hooked.called, hooked.dirty)
+	}
+
+	// Clearing the hook stops callbacks.
+	c.SetEvictHook(nil)
+	hooked.called = false
+	c.Access(false, 0xC0, 8, nil)
+	if hooked.called {
+		t.Error("cleared hook still invoked")
+	}
+}
+
+func TestEvictHookNotCalledOnColdFill(t *testing.T) {
+	c, _ := smallCache(t, 4, 2, nil)
+	called := false
+	c.SetEvictHook(func(int, int, []byte, bool) { called = true })
+	c.Access(false, 0x0, 8, nil) // cold miss into an invalid way
+	if called {
+		t.Error("hook must not fire when no valid line is displaced")
+	}
+}

@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sram"
+)
+
+// flakyBackend fails reads/writes on demand, for error-path testing.
+type flakyBackend struct {
+	inner      Backend
+	failReads  bool
+	failWrites bool
+}
+
+var errInjected = errors.New("injected backend failure")
+
+func (f *flakyBackend) ReadLine(addr uint64, dst []byte) error {
+	if f.failReads {
+		return errInjected
+	}
+	return f.inner.ReadLine(addr, dst)
+}
+
+func (f *flakyBackend) WriteLine(addr uint64, src []byte) error {
+	if f.failWrites {
+		return errInjected
+	}
+	return f.inner.WriteLine(addr, src)
+}
+
+func flakyCache(t *testing.T) (*Cache, *flakyBackend) {
+	t.Helper()
+	fb := &flakyBackend{inner: MemBackend{M: mem.New()}}
+	c, err := New(Config{
+		Name:     "L1D",
+		Geometry: sram.Geometry{Sets: 1, Ways: 1, LineBytes: 64},
+	}, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fb
+}
+
+func TestFillErrorPropagates(t *testing.T) {
+	c, fb := flakyCache(t)
+	fb.failReads = true
+	_, err := c.Access(false, 0x0, 8, nil)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if !strings.Contains(err.Error(), "fill") {
+		t.Errorf("error should mention the fill: %v", err)
+	}
+	// The failed fill must not leave a half-valid line behind.
+	fb.failReads = false
+	res, err := c.Access(false, 0x0, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Error("line became valid despite the failed fill")
+	}
+}
+
+func TestWritebackErrorPropagates(t *testing.T) {
+	c, fb := flakyCache(t)
+	if _, err := c.Access(true, 0x0, 8, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	fb.failWrites = true
+	_, err := c.Access(false, 0x40, 8, nil) // evicts the dirty line
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if !strings.Contains(err.Error(), "writeback") {
+		t.Errorf("error should mention the writeback: %v", err)
+	}
+}
+
+func TestFlushErrorPropagates(t *testing.T) {
+	c, fb := flakyCache(t)
+	if _, err := c.Access(true, 0x0, 8, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	fb.failWrites = true
+	if err := c.FlushAll(); !errors.Is(err, errInjected) {
+		t.Fatalf("FlushAll err = %v, want injected failure", err)
+	}
+}
+
+func TestStatsStableAfterErrors(t *testing.T) {
+	c, fb := flakyCache(t)
+	fb.failReads = true
+	for i := 0; i < 5; i++ {
+		c.Access(false, uint64(i)*64, 8, nil)
+	}
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Errorf("phantom hits after failed fills: %+v", s)
+	}
+	if s.Hits+s.Misses != s.Accesses {
+		t.Errorf("counter invariant broken under errors: %+v", s)
+	}
+}

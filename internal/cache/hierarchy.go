@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+// MemBackend adapts a sparse memory image to the Backend interface.
+type MemBackend struct {
+	M *mem.Memory
+}
+
+// ReadLine implements Backend.
+func (b MemBackend) ReadLine(addr uint64, dst []byte) error {
+	b.M.Read(addr, dst)
+	return nil
+}
+
+// WriteLine implements Backend.
+func (b MemBackend) WriteLine(addr uint64, src []byte) error {
+	b.M.Write(addr, src)
+	return nil
+}
+
+// HierarchyConfig describes a 2-level hierarchy with split L1.
+type HierarchyConfig struct {
+	// L1D and L1I are the first-level data and instruction caches.
+	L1D, L1I Config
+	// L2 is the shared second level; a zero Geometry omits it.
+	L2 Config
+}
+
+// DefaultHierarchyConfig returns the configuration used across the
+// reproduction's experiments: 32 KiB 8-way L1D, 32 KiB 4-way L1I, 256 KiB
+// 8-way shared L2, 64-byte lines everywhere.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D: Config{Name: "L1D", Geometry: sram.Geometry{Sets: 64, Ways: 8, LineBytes: 64}},
+		L1I: Config{Name: "L1I", Geometry: sram.Geometry{Sets: 128, Ways: 4, LineBytes: 64}},
+		L2:  Config{Name: "L2", Geometry: sram.Geometry{Sets: 512, Ways: 8, LineBytes: 64}},
+	}
+}
+
+// Hierarchy wires split L1 caches over an optional shared L2 over memory.
+type Hierarchy struct {
+	L1D, L1I *Cache
+	L2       *Cache
+	Memory   *mem.Memory
+}
+
+// NewHierarchy builds the hierarchy over the given memory image.
+func NewHierarchy(cfg HierarchyConfig, m *mem.Memory) (*Hierarchy, error) {
+	if m == nil {
+		return nil, fmt.Errorf("cache: hierarchy needs a memory image")
+	}
+	var lower Backend = MemBackend{M: m}
+	h := &Hierarchy{Memory: m}
+	if cfg.L2.Geometry != (sram.Geometry{}) {
+		l2, err := New(cfg.L2, lower)
+		if err != nil {
+			return nil, err
+		}
+		h.L2 = l2
+		lower = l2
+	}
+	l1d, err := New(cfg.L1D, lower)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := New(cfg.L1I, lower)
+	if err != nil {
+		return nil, err
+	}
+	h.L1D, h.L1I = l1d, l1i
+	return h, nil
+}
+
+// Route returns the L1 cache an access targets: fetches go to the I-cache,
+// loads and stores to the D-cache.
+func (h *Hierarchy) Route(op trace.Op) *Cache {
+	if op == trace.Fetch {
+		return h.L1I
+	}
+	return h.L1D
+}
+
+// Access runs one trace access through the hierarchy, splitting at line
+// boundaries when necessary, and returns the per-piece results.
+func (h *Hierarchy) Access(a trace.Access) ([]Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	target := h.Route(a.Op)
+	pieces := Split(a, target.LineBytes())
+	results := make([]Result, 0, len(pieces))
+	for _, p := range pieces {
+		res, err := target.Access(p.Op == trace.Write, p.Addr, p.Size, p.Data)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FlushAll drains every level so the memory image is coherent.
+func (h *Hierarchy) FlushAll() error {
+	for _, c := range []*Cache{h.L1D, h.L1I, h.L2} {
+		if c == nil {
+			continue
+		}
+		if err := c.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

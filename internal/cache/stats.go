@@ -1,0 +1,69 @@
+package cache
+
+import "fmt"
+
+// Stats counts the architectural events of one cache.
+type Stats struct {
+	// Accesses = Reads + Writes.
+	Accesses uint64
+	// Reads and Writes split Accesses by op.
+	Reads, Writes uint64
+	// Hits and Misses split Accesses by outcome.
+	Hits, Misses uint64
+	// Per-op outcome splits.
+	ReadHits, ReadMisses, WriteHits, WriteMisses uint64
+	// Fills counts lines brought in from the backend.
+	Fills uint64
+	// Evictions counts valid lines displaced.
+	Evictions uint64
+	// WriteBacks counts dirty evictions pushed to the backend.
+	WriteBacks uint64
+}
+
+// HitRate returns Hits/Accesses, or 0 for an idle cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns Misses/Accesses, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// WriteFraction returns Writes/Accesses, or 0 for an idle cache.
+func (s Stats) WriteFraction() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Accesses)
+}
+
+// Add returns the element-wise sum of two stats snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Accesses:    s.Accesses + o.Accesses,
+		Reads:       s.Reads + o.Reads,
+		Writes:      s.Writes + o.Writes,
+		Hits:        s.Hits + o.Hits,
+		Misses:      s.Misses + o.Misses,
+		ReadHits:    s.ReadHits + o.ReadHits,
+		ReadMisses:  s.ReadMisses + o.ReadMisses,
+		WriteHits:   s.WriteHits + o.WriteHits,
+		WriteMisses: s.WriteMisses + o.WriteMisses,
+		Fills:       s.Fills + o.Fills,
+		Evictions:   s.Evictions + o.Evictions,
+		WriteBacks:  s.WriteBacks + o.WriteBacks,
+	}
+}
+
+// String renders the headline counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("acc=%d rd=%d wr=%d hit=%.1f%% fills=%d evict=%d wb=%d",
+		s.Accesses, s.Reads, s.Writes, 100*s.HitRate(), s.Fills, s.Evictions, s.WriteBacks)
+}

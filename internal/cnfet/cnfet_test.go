@@ -1,0 +1,263 @@
+package cnfet
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestCNFET32TableRatios(t *testing.T) {
+	tab := MustTable(CNFET32())
+
+	asym := tab.WriteAsymmetry()
+	if asym < 9 || asym > 11 {
+		t.Errorf("write asymmetry = %.3f, want ~10x as stated by the paper", asym)
+	}
+	if !almostEqual(tab.ReadDelta(), tab.WriteDelta(), 0.05) {
+		t.Errorf("ReadDelta=%.4f WriteDelta=%.4f, paper states they are close", tab.ReadDelta(), tab.WriteDelta())
+	}
+}
+
+func TestCNFET32TableOrdering(t *testing.T) {
+	tab := MustTable(CNFET32())
+	if tab.ReadZero <= tab.ReadOne {
+		t.Errorf("ReadZero=%g should exceed ReadOne=%g", tab.ReadZero, tab.ReadOne)
+	}
+	if tab.WriteOne <= tab.WriteZero {
+		t.Errorf("WriteOne=%g should exceed WriteZero=%g", tab.WriteOne, tab.WriteZero)
+	}
+	if tab.EncoderBit <= 0 {
+		t.Errorf("EncoderBit=%g, want positive encoder overhead in the preset", tab.EncoderBit)
+	}
+	if tab.EncoderBit > tab.ReadOne {
+		t.Errorf("EncoderBit=%g should be small relative to the cheapest access (%g)", tab.EncoderBit, tab.ReadOne)
+	}
+}
+
+func TestAllPresetsValidate(t *testing.T) {
+	for name, d := range Presets() {
+		d := d
+		t.Run(name, func(t *testing.T) {
+			tab, err := d.Table()
+			if err != nil {
+				t.Fatalf("Table() error: %v", err)
+			}
+			if err := tab.Validate(); err != nil {
+				t.Fatalf("Validate() error: %v", err)
+			}
+			if tab.Name != name {
+				t.Errorf("table name = %q, want %q", tab.Name, name)
+			}
+		})
+	}
+}
+
+func TestCMOSMoreExpensiveThanCNFET(t *testing.T) {
+	cn := MustTable(CNFET32())
+	cm := MustTable(CMOS32())
+	// Average per-bit energy over a uniform op/value mix.
+	avg := func(t EnergyTable) float64 {
+		return (t.ReadZero + t.ReadOne + t.WriteZero + t.WriteOne) / 4
+	}
+	if avg(cm) <= avg(cn) {
+		t.Errorf("CMOS average per-bit energy %.2f should exceed CNFET %.2f", avg(cm), avg(cn))
+	}
+	// CMOS should be much closer to symmetric than CNFET.
+	if cm.WriteAsymmetry() >= cn.WriteAsymmetry()/2 {
+		t.Errorf("CMOS write asymmetry %.2f should be far below CNFET %.2f",
+			cm.WriteAsymmetry(), cn.WriteAsymmetry())
+	}
+}
+
+func TestLowVddQuadraticScaling(t *testing.T) {
+	hi := MustTable(CNFET32())
+	lo := MustTable(CNFETLowVdd())
+	want := (0.5 * 0.5) / (0.7 * 0.7)
+	for _, pair := range []struct {
+		name   string
+		hi, lo float64
+	}{
+		{"ReadZero", hi.ReadZero, lo.ReadZero},
+		{"ReadOne", hi.ReadOne, lo.ReadOne},
+		{"WriteZero", hi.WriteZero, lo.WriteZero},
+		{"WriteOne", hi.WriteOne, lo.WriteOne},
+	} {
+		if got := pair.lo / pair.hi; !almostEqual(got, want, 1e-9) {
+			t.Errorf("%s: low/high ratio = %.6f, want %.6f (quadratic in Vdd)", pair.name, got, want)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range PresetNames() {
+		if _, err := PresetByName(name); err != nil {
+			t.Errorf("PresetByName(%q) error: %v", name, err)
+		}
+	}
+	if _, err := PresetByName("no-such-device"); err == nil {
+		t.Error("PresetByName of unknown preset should fail")
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Device)
+	}{
+		{"empty name", func(d *Device) { d.Name = "" }},
+		{"zero vdd", func(d *Device) { d.Vdd = 0 }},
+		{"negative vdd", func(d *Device) { d.Vdd = -1 }},
+		{"zero bitline", func(d *Device) { d.CBitline = 0 }},
+		{"negative sense", func(d *Device) { d.CSense = -1 }},
+		{"negative cell", func(d *Device) { d.CCell = -0.1 }},
+		{"negative contention", func(d *Device) { d.WriteOneContention = -2 }},
+		{"negative discharge", func(d *Device) { d.WriteZeroDischarge = -2 }},
+		{"negative leak", func(d *Device) { d.ReadOneLeak = -2 }},
+		{"negative mux", func(d *Device) { d.MuxInverter = -2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := CNFET32()
+			tc.mutate(&d)
+			if err := d.Validate(); err == nil {
+				t.Error("Validate() should fail")
+			}
+			if _, err := d.Table(); err == nil {
+				t.Error("Table() should fail")
+			}
+		})
+	}
+}
+
+func TestTableValidateOrderings(t *testing.T) {
+	base := MustTable(CNFET32())
+
+	bad := base
+	bad.ReadOne = bad.ReadZero + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate should reject ReadOne > ReadZero")
+	}
+
+	bad = base
+	bad.WriteZero = bad.WriteOne + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate should reject WriteZero > WriteOne")
+	}
+
+	bad = base
+	bad.WriteZero = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate should reject zero energies")
+	}
+
+	bad = base
+	bad.EncoderBit = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate should reject negative encoder energy")
+	}
+}
+
+func TestReadWriteBitsLinearity(t *testing.T) {
+	tab := MustTable(CNFET32())
+	const L = 512
+	for ones := 0; ones <= L; ones += 37 {
+		wantR := float64(ones)*tab.ReadOne + float64(L-ones)*tab.ReadZero
+		if got := tab.ReadBits(ones, L); !almostEqual(got, wantR, 1e-12) {
+			t.Errorf("ReadBits(%d,%d) = %g, want %g", ones, L, got, wantR)
+		}
+		wantW := float64(ones)*tab.WriteOne + float64(L-ones)*tab.WriteZero
+		if got := tab.WriteBits(ones, L); !almostEqual(got, wantW, 1e-12) {
+			t.Errorf("WriteBits(%d,%d) = %g, want %g", ones, L, got, wantW)
+		}
+	}
+}
+
+func TestReadBitsMonotoneInOnes(t *testing.T) {
+	// More ones must never make a read dearer, nor a write cheaper.
+	tab := MustTable(CNFET32())
+	f := func(onesRaw uint16) bool {
+		const L = 512
+		ones := int(onesRaw % L)
+		return tab.ReadBits(ones+1, L) < tab.ReadBits(ones, L) &&
+			tab.WriteBits(ones+1, L) > tab.WriteBits(ones, L)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsPanicsOnInvalid(t *testing.T) {
+	tab := MustTable(CNFET32())
+	for _, tc := range []struct{ ones, total int }{
+		{-1, 8}, {9, 8}, {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ReadBits(%d,%d) should panic", tc.ones, tc.total)
+				}
+			}()
+			tab.ReadBits(tc.ones, tc.total)
+		}()
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	tab := MustTable(CNFET32())
+	if tab.ReadBit(true) != tab.ReadOne || tab.ReadBit(false) != tab.ReadZero {
+		t.Error("ReadBit mismatch")
+	}
+	if tab.WriteBit(true) != tab.WriteOne || tab.WriteBit(false) != tab.WriteZero {
+		t.Error("WriteBit mismatch")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tab := MustTable(CNFET32())
+	s, err := tab.Scale(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s.ReadZero, tab.ReadZero/2, 1e-12) ||
+		!almostEqual(s.WriteOne, tab.WriteOne/2, 1e-12) ||
+		!almostEqual(s.EncoderBit, tab.EncoderBit/2, 1e-12) {
+		t.Errorf("Scale(0.5) did not halve energies: %v vs %v", s, tab)
+	}
+	if !strings.Contains(s.Name, tab.Name) {
+		t.Errorf("scaled name %q should contain original %q", s.Name, tab.Name)
+	}
+	if _, err := tab.Scale(0); err == nil {
+		t.Error("Scale(0) should fail")
+	}
+	if _, err := tab.Scale(-1); err == nil {
+		t.Error("Scale(-1) should fail")
+	}
+}
+
+func TestScalePreservesRatios(t *testing.T) {
+	tab := MustTable(CNFET32())
+	f := func(raw uint8) bool {
+		factor := 0.1 + float64(raw)/64.0
+		s, err := tab.Scale(factor)
+		if err != nil {
+			return false
+		}
+		return almostEqual(s.WriteAsymmetry(), tab.WriteAsymmetry(), 1e-9) &&
+			almostEqual(s.ReadDelta()/s.WriteDelta(), tab.ReadDelta()/tab.WriteDelta(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringContainsName(t *testing.T) {
+	tab := MustTable(CNFET32())
+	if got := tab.String(); !strings.Contains(got, "cnfet-32") {
+		t.Errorf("String() = %q, want it to contain the preset name", got)
+	}
+}

@@ -1,0 +1,144 @@
+package cnfet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Device describes the electrical parameters of a 6T SRAM cell and the
+// column circuitry it hangs off. The model is deliberately simple: each
+// energy component is a capacitance charged through the supply
+// (E = C * Vdd^2) plus, for write-'1', an explicit contention charge that
+// captures the weak pull-up fight characteristic of CNFET cells.
+type Device struct {
+	// Name identifies the preset ("cnfet-32", "cmos-32", ...).
+	Name string
+
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+
+	// CBitline is the effective bitline capacitance seen by one cell
+	// access, in femtofarads. A full-swing bitline transition costs
+	// CBitline * Vdd^2.
+	CBitline float64
+
+	// CSense is the effective capacitance switched by the sense amplifier
+	// and column mux on a read that does not discharge the bitline
+	// (reading the "cheap" value), in femtofarads.
+	CSense float64
+
+	// CCell is the internal storage-node capacitance flipped on a write,
+	// in femtofarads.
+	CCell float64
+
+	// WriteOneContention is the extra charge, expressed as an equivalent
+	// capacitance in femtofarads, burned while the write driver fights the
+	// cell's pull-up network when forcing a '1'. CNFET p-type pull-ups are
+	// comparatively weak, making this term large; for CMOS it is small.
+	WriteOneContention float64
+
+	// WriteZeroDischarge is the equivalent capacitance of the (strong,
+	// cheap) discharge path used when forcing a '0', in femtofarads.
+	WriteZeroDischarge float64
+
+	// ReadOneLeak is the equivalent capacitance of the residual swing on a
+	// read of the cheap value, in femtofarads. It keeps E_rd1 nonzero.
+	ReadOneLeak float64
+
+	// MuxInverter is the equivalent capacitance of one inverter + 2:1 mux
+	// stage of the adaptive encoder, per bit, in femtofarads. The paper
+	// describes the encoder as "a series of inverters with 2-to-1
+	// multiplexers"; this is its per-bit dynamic energy knob.
+	MuxInverter float64
+
+	// LeakNWPerCell is the static leakage of one cell in nanowatts. The
+	// paper evaluates dynamic power only; leakage is kept separate from
+	// the dynamic EnergyTable components and used by the E12 extension
+	// experiment to account for the H&D metadata's standby cost.
+	LeakNWPerCell float64
+
+	// CycleNS is the nominal access cycle time in nanoseconds, converting
+	// leakage power to per-cycle energy.
+	CycleNS float64
+}
+
+// Validate reports whether the device parameters are physically usable.
+func (d *Device) Validate() error {
+	switch {
+	case d.Name == "":
+		return errors.New("cnfet: device name must not be empty")
+	case d.Vdd <= 0:
+		return fmt.Errorf("cnfet: device %q: Vdd must be positive, got %g", d.Name, d.Vdd)
+	case d.CBitline <= 0:
+		return fmt.Errorf("cnfet: device %q: CBitline must be positive, got %g", d.Name, d.CBitline)
+	case d.CSense < 0, d.CCell < 0, d.WriteOneContention < 0,
+		d.WriteZeroDischarge < 0, d.ReadOneLeak < 0, d.MuxInverter < 0:
+		return fmt.Errorf("cnfet: device %q: capacitances must be non-negative", d.Name)
+	case d.LeakNWPerCell < 0:
+		return fmt.Errorf("cnfet: device %q: leakage must be non-negative", d.Name)
+	case d.CycleNS < 0:
+		return fmt.Errorf("cnfet: device %q: cycle time must be non-negative", d.Name)
+	}
+	return nil
+}
+
+// LeakBitCycle returns the leakage energy of one cell over one cycle, in
+// femtojoules: P[nW] * t[ns] = 1e-18 J = 1e-3 fJ per nW*ns.
+func (d *Device) LeakBitCycle() float64 {
+	return d.LeakNWPerCell * d.CycleNS * 1e-3
+}
+
+// vdd2 returns Vdd squared; with capacitances in fF and Vdd in volts,
+// C * Vdd^2 is directly in femtojoules.
+func (d *Device) vdd2() float64 { return d.Vdd * d.Vdd }
+
+// ReadZeroEnergy returns the energy (fJ) to read a stored '0': the bitline
+// discharges through the cell (full swing) and the sense amp fires.
+func (d *Device) ReadZeroEnergy() float64 {
+	return (d.CBitline + d.CSense) * d.vdd2()
+}
+
+// ReadOneEnergy returns the energy (fJ) to read a stored '1': the bitline
+// stays high, so only the sense amp and residual swing contribute.
+func (d *Device) ReadOneEnergy() float64 {
+	return (d.CSense + d.ReadOneLeak) * d.vdd2()
+}
+
+// WriteZeroEnergy returns the energy (fJ) to force a '0' into the cell via
+// the strong discharge path.
+func (d *Device) WriteZeroEnergy() float64 {
+	return (d.WriteZeroDischarge + d.CCell) * d.vdd2()
+}
+
+// WriteOneEnergy returns the energy (fJ) to force a '1' into the cell: the
+// bitline must be driven high and the write driver fights the weak pull-up.
+func (d *Device) WriteOneEnergy() float64 {
+	return (d.CBitline + d.CCell + d.WriteOneContention) * d.vdd2()
+}
+
+// EncoderBitEnergy returns the per-bit dynamic energy (fJ) of one adaptive
+// encoder stage (inverter + 2:1 mux).
+func (d *Device) EncoderBitEnergy() float64 {
+	return d.MuxInverter * d.vdd2()
+}
+
+// Table derives the four-scalar energy table consumed by the rest of the
+// system, after validating the device.
+func (d *Device) Table() (EnergyTable, error) {
+	if err := d.Validate(); err != nil {
+		return EnergyTable{}, err
+	}
+	t := EnergyTable{
+		Name:         d.Name,
+		ReadZero:     d.ReadZeroEnergy(),
+		ReadOne:      d.ReadOneEnergy(),
+		WriteZero:    d.WriteZeroEnergy(),
+		WriteOne:     d.WriteOneEnergy(),
+		EncoderBit:   d.EncoderBitEnergy(),
+		LeakBitCycle: d.LeakBitCycle(),
+	}
+	if err := t.Validate(); err != nil {
+		return EnergyTable{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,27 @@
+// Package cnfet models the per-bit access energy of carbon-nanotube
+// field-effect transistor (CNFET) SRAM cells.
+//
+// The CNT-Cache paper's central observation is that a CNFET 6T SRAM cell
+// has strongly asymmetric access energy: reading/writing a '0' costs a
+// very different amount than reading/writing a '1'. In particular the
+// paper states that writing '1' is roughly 10x more expensive than
+// writing '0', and that the read asymmetry is of comparable magnitude
+// (E_rd0 - E_rd1 is close to E_wr1 - E_wr0).
+//
+// The original work characterized cells with SPICE and the Stanford CNFET
+// model; that tooling is not available here, so this package substitutes a
+// small analytic model. A Device describes the electrical parameters of a
+// cell and its column (supply voltage, bitline capacitance, sense-amp
+// capacitance, write contention charge); EnergyTable derives from it the
+// four scalars the rest of the system consumes:
+//
+//	E_rd0, E_rd1, E_wr0, E_wr1   (femtojoules per bit)
+//
+// Every downstream component (encoder, predictor, energy accounting) uses
+// only those four numbers, so any device model that reproduces the
+// published ratios exercises exactly the same code paths as the original
+// SPICE-derived table. Presets are provided for a representative CNFET
+// process and a CMOS process used as the comparison baseline.
+//
+// All energies in this module are expressed in femtojoules (fJ).
+package cnfet

@@ -1,0 +1,130 @@
+package cnfet
+
+import (
+	"fmt"
+)
+
+// Process describes a CNFET fabrication point at the level a technology
+// paper quotes it: supply, tubes per device, drive currents, wire
+// parasitics and array organization. Device() lowers it to the circuit
+// capacitances the energy model consumes, so what-if studies ("what if
+// tube count doubles", "what if the array is taller") can be run without
+// hand-editing capacitances.
+//
+// The lowering uses first-order approximations, each stated at its use
+// site. They are calibrated so the reference process reproduces the
+// CNFET32 preset; tests pin that equivalence.
+type Process struct {
+	// Name labels the derived device.
+	Name string
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// TubesPerDevice is the number of parallel nanotubes per transistor.
+	TubesPerDevice int
+	// Rows is the number of cells sharing a bitline.
+	Rows int
+	// CellHeightUM is the cell pitch along the bitline in micrometers.
+	CellHeightUM float64
+	// WireCapFFPerUM is the bitline wire capacitance per micrometer (fF).
+	WireCapFFPerUM float64
+	// DrainCapFFPerTube is the per-tube drain loading each cell adds to
+	// the bitline (fF).
+	DrainCapFFPerTube float64
+	// StorageCapFFPerTube is the per-tube storage-node capacitance (fF).
+	StorageCapFFPerTube float64
+	// DischargeCapFFPerTube is the per-tube equivalent capacitance of the
+	// strong pull-down path used when writing '0' (fF).
+	DischargeCapFFPerTube float64
+	// PullupIonUAPerTube is the p-type on-current per tube (µA); the
+	// write-'1' driver fights this current for WritePulseNS.
+	PullupIonUAPerTube float64
+	// WritePulseNS is the write pulse width (ns).
+	WritePulseNS float64
+	// SenseCapFF is the sense-amp + column-mux capacitance (fF).
+	SenseCapFF float64
+	// ResidualSwingFF is the residual bitline swing on a read of the
+	// cheap value (fF).
+	ResidualSwingFF float64
+	// MuxCapFFPerTube sizes the encoder inverter+mux stage (fF per tube).
+	MuxCapFFPerTube float64
+	// LeakNWPerTube is the standby leakage per tube (nW).
+	LeakNWPerTube float64
+	// CycleNS is the access cycle time (ns).
+	CycleNS float64
+}
+
+// Validate checks the process point.
+func (p Process) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("cnfet: process name must not be empty")
+	case p.Vdd <= 0:
+		return fmt.Errorf("cnfet: process %q: Vdd must be positive", p.Name)
+	case p.TubesPerDevice <= 0:
+		return fmt.Errorf("cnfet: process %q: tubes per device must be positive", p.Name)
+	case p.Rows <= 0:
+		return fmt.Errorf("cnfet: process %q: rows must be positive", p.Name)
+	case p.CellHeightUM <= 0 || p.WireCapFFPerUM < 0 || p.DrainCapFFPerTube < 0 ||
+		p.StorageCapFFPerTube < 0 || p.DischargeCapFFPerTube < 0 ||
+		p.PullupIonUAPerTube < 0 || p.WritePulseNS < 0 || p.SenseCapFF < 0 ||
+		p.ResidualSwingFF < 0 || p.MuxCapFFPerTube < 0 || p.LeakNWPerTube < 0 ||
+		p.CycleNS < 0:
+		return fmt.Errorf("cnfet: process %q: parameters must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// Device lowers the process point to circuit capacitances.
+func (p Process) Device() (Device, error) {
+	if err := p.Validate(); err != nil {
+		return Device{}, err
+	}
+	tubes := float64(p.TubesPerDevice)
+	// Bitline: wire run over Rows cells plus each cell's drain loading.
+	cBitline := float64(p.Rows) * (p.WireCapFFPerUM*p.CellHeightUM + p.DrainCapFFPerTube*tubes)
+	// Write-'1' contention: the driver sources the pull-up's on-current
+	// for the pulse width; expressed as the equivalent capacitance
+	// Q/Vdd = I*t/Vdd (µA*ns/V = fF exactly).
+	contention := p.PullupIonUAPerTube * tubes * p.WritePulseNS / p.Vdd
+	d := Device{
+		Name:               p.Name,
+		Vdd:                p.Vdd,
+		CBitline:           cBitline,
+		CSense:             p.SenseCapFF,
+		CCell:              p.StorageCapFFPerTube * tubes,
+		WriteOneContention: contention,
+		WriteZeroDischarge: p.DischargeCapFFPerTube * tubes,
+		ReadOneLeak:        p.ResidualSwingFF,
+		MuxInverter:        p.MuxCapFFPerTube * tubes,
+		LeakNWPerCell:      p.LeakNWPerTube * tubes,
+		CycleNS:            p.CycleNS,
+	}
+	if err := d.Validate(); err != nil {
+		return Device{}, err
+	}
+	return d, nil
+}
+
+// ReferenceProcess returns the process point that lowers to (numerically
+// the same device as) the CNFET32 preset: a 4-tube cell on a 256-row
+// bitline at 0.7 V.
+func ReferenceProcess() Process {
+	return Process{
+		Name:                  "cnfet-32-derived",
+		Vdd:                   0.7,
+		TubesPerDevice:        4,
+		Rows:                  256,
+		CellHeightUM:          0.2,
+		WireCapFFPerUM:        1.2,
+		DrainCapFFPerTube:     0.02,
+		StorageCapFFPerTube:   0.3,
+		DischargeCapFFPerTube: 2.0,
+		PullupIonUAPerTube:    5.0,
+		WritePulseNS:          0.2275,
+		SenseCapFF:            11,
+		ResidualSwingFF:       1.5,
+		MuxCapFFPerTube:       0.03,
+		LeakNWPerTube:         0.375,
+		CycleNS:               0.5,
+	}
+}

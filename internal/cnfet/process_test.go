@@ -1,0 +1,123 @@
+package cnfet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReferenceProcessMatchesPreset(t *testing.T) {
+	// The process lowering must reproduce the hand-calibrated preset.
+	dev, err := ReferenceProcess().Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CNFET32()
+	close := func(name string, got, expect float64) {
+		if math.Abs(got-expect) > 0.02*math.Max(1, math.Abs(expect)) {
+			t.Errorf("%s = %g, want %g", name, got, expect)
+		}
+	}
+	close("CBitline", dev.CBitline, want.CBitline)
+	close("CSense", dev.CSense, want.CSense)
+	close("CCell", dev.CCell, want.CCell)
+	close("WriteOneContention", dev.WriteOneContention, want.WriteOneContention)
+	close("WriteZeroDischarge", dev.WriteZeroDischarge, want.WriteZeroDischarge)
+	close("ReadOneLeak", dev.ReadOneLeak, want.ReadOneLeak)
+	close("MuxInverter", dev.MuxInverter, want.MuxInverter)
+	close("LeakNWPerCell", dev.LeakNWPerCell, want.LeakNWPerCell)
+
+	tab, err := dev.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTab := MustTable(want)
+	close("WriteAsymmetry", tab.WriteAsymmetry(), wantTab.WriteAsymmetry())
+	close("ReadDelta", tab.ReadDelta(), wantTab.ReadDelta())
+}
+
+func TestProcessValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Process)
+	}{
+		{"empty name", func(p *Process) { p.Name = "" }},
+		{"zero vdd", func(p *Process) { p.Vdd = 0 }},
+		{"zero tubes", func(p *Process) { p.TubesPerDevice = 0 }},
+		{"zero rows", func(p *Process) { p.Rows = 0 }},
+		{"zero cell height", func(p *Process) { p.CellHeightUM = 0 }},
+		{"negative wire cap", func(p *Process) { p.WireCapFFPerUM = -1 }},
+		{"negative pulse", func(p *Process) { p.WritePulseNS = -1 }},
+		{"negative leak", func(p *Process) { p.LeakNWPerTube = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := ReferenceProcess()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+			if _, err := p.Device(); err == nil {
+				t.Error("Device should fail")
+			}
+		})
+	}
+}
+
+func TestMoreTubesRaiseDriveAndCost(t *testing.T) {
+	// Doubling the tube count doubles contention charge, storage cap and
+	// leakage — write-'1' stays expensive, asymmetry persists.
+	p4 := ReferenceProcess()
+	p8 := ReferenceProcess()
+	p8.Name = "cnfet-8tube"
+	p8.TubesPerDevice = 8
+	d4, err := p4.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := p8.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d8.WriteOneContention-2*d4.WriteOneContention) > 1e-9 {
+		t.Errorf("contention did not double: %g vs %g", d8.WriteOneContention, d4.WriteOneContention)
+	}
+	if math.Abs(d8.CCell-2*d4.CCell) > 1e-9 {
+		t.Errorf("storage cap did not double")
+	}
+	if math.Abs(d8.LeakNWPerCell-2*d4.LeakNWPerCell) > 1e-9 {
+		t.Errorf("leakage did not double")
+	}
+	t8, err := d8.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.WriteAsymmetry() < 5 {
+		t.Errorf("asymmetry collapsed at 8 tubes: %.2f", t8.WriteAsymmetry())
+	}
+}
+
+func TestTallerArrayRaisesBitlineEnergy(t *testing.T) {
+	short := ReferenceProcess()
+	tall := ReferenceProcess()
+	tall.Name = "cnfet-512row"
+	tall.Rows = 512
+	ds, err := short.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := tall.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.CBitline <= ds.CBitline {
+		t.Error("taller array should load the bitline more")
+	}
+	ts := MustTable(ds)
+	tt := MustTable(dt)
+	if tt.ReadZero <= ts.ReadZero || tt.WriteOne <= ts.WriteOne {
+		t.Error("bitline-dominated energies should rise with rows")
+	}
+	if tt.ReadOne != ts.ReadOne {
+		t.Error("reading '1' does not swing the bitline and should not change")
+	}
+}

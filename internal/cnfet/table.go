@@ -1,0 +1,134 @@
+package cnfet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EnergyTable holds the per-bit access energies of an SRAM cell, in
+// femtojoules. It is the complete interface between the device model and
+// the architectural layers: the encoder, predictor and accounting logic
+// consume nothing about the device beyond these scalars.
+//
+// This is the reproduction of the paper's Table "tab:rw-analysis" (the
+// table itself is referenced but not reprinted in the available text; the
+// values here are derived from the Device model and satisfy the two
+// relations the paper states: WriteOne ~= 10x WriteZero, and
+// ReadZero-ReadOne close to WriteOne-WriteZero).
+type EnergyTable struct {
+	// Name identifies the originating device preset.
+	Name string
+
+	// ReadZero and ReadOne are the energies to read a stored '0'/'1'.
+	ReadZero, ReadOne float64
+
+	// WriteZero and WriteOne are the energies to write a '0'/'1'.
+	WriteZero, WriteOne float64
+
+	// EncoderBit is the per-bit dynamic energy of one adaptive-encoder
+	// stage (inverter + 2:1 mux). Zero disables encoder overhead.
+	EncoderBit float64
+
+	// LeakBitCycle is the standby leakage of one cell over one access
+	// cycle (fJ). It is reported separately from dynamic energy, matching
+	// the paper's dynamic-power-only evaluation; zero disables leakage
+	// accounting.
+	LeakBitCycle float64
+}
+
+// Validate checks the table for the orderings the CNT-Cache design relies
+// on: all energies positive, reading '0' dearer than reading '1', and
+// writing '1' dearer than writing '0'.
+func (t *EnergyTable) Validate() error {
+	switch {
+	case t.ReadZero <= 0 || t.ReadOne <= 0 || t.WriteZero <= 0 || t.WriteOne <= 0:
+		return fmt.Errorf("cnfet: table %q: energies must be positive: %+v", t.Name, *t)
+	case t.EncoderBit < 0:
+		return fmt.Errorf("cnfet: table %q: EncoderBit must be non-negative", t.Name)
+	case t.LeakBitCycle < 0:
+		return fmt.Errorf("cnfet: table %q: LeakBitCycle must be non-negative", t.Name)
+	case t.ReadZero <= t.ReadOne:
+		return fmt.Errorf("cnfet: table %q: expected ReadZero > ReadOne (got %g <= %g)",
+			t.Name, t.ReadZero, t.ReadOne)
+	case t.WriteOne <= t.WriteZero:
+		return fmt.Errorf("cnfet: table %q: expected WriteOne > WriteZero (got %g <= %g)",
+			t.Name, t.WriteOne, t.WriteZero)
+	}
+	return nil
+}
+
+// ReadDelta returns E_rd0 - E_rd1, the per-bit read saving of storing a
+// '1' instead of a '0'.
+func (t *EnergyTable) ReadDelta() float64 { return t.ReadZero - t.ReadOne }
+
+// WriteDelta returns E_wr1 - E_wr0, the per-bit write saving of storing a
+// '0' instead of a '1'.
+func (t *EnergyTable) WriteDelta() float64 { return t.WriteOne - t.WriteZero }
+
+// WriteAsymmetry returns WriteOne/WriteZero (the paper reports ~10x for
+// CNFET).
+func (t *EnergyTable) WriteAsymmetry() float64 { return t.WriteOne / t.WriteZero }
+
+// ReadBit returns the energy of reading a bit with the given value.
+func (t *EnergyTable) ReadBit(one bool) float64 {
+	if one {
+		return t.ReadOne
+	}
+	return t.ReadZero
+}
+
+// WriteBit returns the energy of writing a bit with the given value.
+func (t *EnergyTable) WriteBit(one bool) float64 {
+	if one {
+		return t.WriteOne
+	}
+	return t.WriteZero
+}
+
+// ReadBits returns the energy of reading a field of totalBits bits of
+// which ones are '1'.
+func (t *EnergyTable) ReadBits(ones, totalBits int) float64 {
+	if err := checkBits(ones, totalBits); err != nil {
+		panic(err)
+	}
+	return float64(ones)*t.ReadOne + float64(totalBits-ones)*t.ReadZero
+}
+
+// WriteBits returns the energy of writing a field of totalBits bits of
+// which ones are '1'.
+func (t *EnergyTable) WriteBits(ones, totalBits int) float64 {
+	if err := checkBits(ones, totalBits); err != nil {
+		panic(err)
+	}
+	return float64(ones)*t.WriteOne + float64(totalBits-ones)*t.WriteZero
+}
+
+func checkBits(ones, totalBits int) error {
+	if totalBits < 0 || ones < 0 || ones > totalBits {
+		return fmt.Errorf("cnfet: invalid bit field: ones=%d totalBits=%d", ones, totalBits)
+	}
+	return nil
+}
+
+// String renders the table in a compact single-line form.
+func (t *EnergyTable) String() string {
+	return fmt.Sprintf("%s{rd0=%.3ffJ rd1=%.3ffJ wr0=%.3ffJ wr1=%.3ffJ enc=%.3ffJ}",
+		t.Name, t.ReadZero, t.ReadOne, t.WriteZero, t.WriteOne, t.EncoderBit)
+}
+
+// Scale returns a copy of the table with every energy multiplied by f.
+// Useful for what-if studies (e.g. voltage scaling at fixed ratios).
+func (t *EnergyTable) Scale(f float64) (EnergyTable, error) {
+	if f <= 0 {
+		return EnergyTable{}, errors.New("cnfet: scale factor must be positive")
+	}
+	s := *t
+	s.ReadZero *= f
+	s.ReadOne *= f
+	s.WriteZero *= f
+	s.WriteOne *= f
+	s.EncoderBit *= f
+	s.LeakBitCycle *= f
+	s.Name = fmt.Sprintf("%s*%.3g", t.Name, f)
+	return s, nil
+}

@@ -1,0 +1,238 @@
+// Package config loads simulation configurations from JSON, so cntsim and
+// scripted runs can describe a full experiment — hierarchy geometry,
+// device, encoding variant and all CNT-Cache knobs — in one reviewable
+// file instead of a flag soup.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/sram"
+)
+
+// CacheJSON describes one cache level.
+type CacheJSON struct {
+	Sets      int    `json:"sets"`
+	Ways      int    `json:"ways"`
+	LineBytes int    `json:"line_bytes"`
+	Policy    string `json:"policy,omitempty"` // lru (default), plru, fifo, random
+}
+
+// OptionsJSON describes one L1 variant's encoding options.
+type OptionsJSON struct {
+	// Variant is the encoding policy: baseline, static-write,
+	// static-read, write-greedy, cnt-cache (default).
+	Variant    string  `json:"variant,omitempty"`
+	Partitions int     `json:"partitions,omitempty"`
+	Window     int     `json:"window,omitempty"`
+	DeltaT     float64 `json:"delta_t,omitempty"`
+	FIFODepth  int     `json:"fifo_depth,omitempty"`
+	IdleSlots  *int    `json:"idle_slots,omitempty"`
+	// Granularity is "line" (default) or "word".
+	Granularity string `json:"granularity,omitempty"`
+	// SwitchCost is "flipped-only" (default) or "full-line".
+	SwitchCost string `json:"switch_cost,omitempty"`
+	// FillPolicy is "neutral" (default) or "write-optimal".
+	FillPolicy string `json:"fill_policy,omitempty"`
+	// Predictor selects the direction-prediction policy: "window"
+	// (Algorithm 1, default), "conf2", "conf3" or "ewma".
+	Predictor string `json:"predictor,omitempty"`
+}
+
+// File is the top-level configuration document.
+type File struct {
+	// Device is a cnfet preset name ("cnfet-32", "cmos-32", ...).
+	Device string `json:"device,omitempty"`
+	// Seed feeds workload generators.
+	Seed int64 `json:"seed,omitempty"`
+	// L1D, L1I and L2 geometry; zero-valued L2 omits the level.
+	L1D *CacheJSON `json:"l1d,omitempty"`
+	L1I *CacheJSON `json:"l1i,omitempty"`
+	L2  *CacheJSON `json:"l2,omitempty"`
+	// DCache and ICache select the per-side encoding options.
+	DCache *OptionsJSON `json:"dcache,omitempty"`
+	ICache *OptionsJSON `json:"icache,omitempty"`
+}
+
+// Load parses a configuration file from disk.
+func Load(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse parses a configuration document, rejecting unknown fields.
+func Parse(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var out File
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &out, nil
+}
+
+// Resolve materializes the document into a runnable simulation
+// configuration, filling defaults for everything omitted.
+func (f *File) Resolve() (core.SimConfig, int64, error) {
+	device := f.Device
+	if device == "" {
+		device = "cnfet-32"
+	}
+	dev, err := cnfet.PresetByName(device)
+	if err != nil {
+		return core.SimConfig{}, 0, err
+	}
+	tab, err := dev.Table()
+	if err != nil {
+		return core.SimConfig{}, 0, err
+	}
+
+	hier := cache.DefaultHierarchyConfig()
+	if err := applyCache(&hier.L1D, f.L1D, f.Seed); err != nil {
+		return core.SimConfig{}, 0, fmt.Errorf("config: l1d: %w", err)
+	}
+	if err := applyCache(&hier.L1I, f.L1I, f.Seed); err != nil {
+		return core.SimConfig{}, 0, fmt.Errorf("config: l1i: %w", err)
+	}
+	if f.L2 != nil {
+		if f.L2.Sets == 0 { // explicit {"sets":0} drops the level
+			hier.L2 = cache.Config{}
+		} else if err := applyCache(&hier.L2, f.L2, f.Seed); err != nil {
+			return core.SimConfig{}, 0, fmt.Errorf("config: l2: %w", err)
+		}
+	}
+
+	dOpts, err := resolveOptions(f.DCache, tab)
+	if err != nil {
+		return core.SimConfig{}, 0, fmt.Errorf("config: dcache: %w", err)
+	}
+	iOpts, err := resolveOptions(f.ICache, tab)
+	if err != nil {
+		return core.SimConfig{}, 0, fmt.Errorf("config: icache: %w", err)
+	}
+
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return core.SimConfig{Hierarchy: hier, DOpts: dOpts, IOpts: iOpts}, seed, nil
+}
+
+func applyCache(dst *cache.Config, src *CacheJSON, seed int64) error {
+	if src == nil {
+		return nil
+	}
+	if src.Sets <= 0 || src.Ways <= 0 || src.LineBytes <= 0 {
+		return fmt.Errorf("sets/ways/line_bytes must be positive, got %d/%d/%d",
+			src.Sets, src.Ways, src.LineBytes)
+	}
+	dst.Geometry = sram.Geometry{Sets: src.Sets, Ways: src.Ways, LineBytes: src.LineBytes}
+	pol, err := cache.NewPolicy(src.Policy, seed)
+	if err != nil {
+		return err
+	}
+	dst.Policy = pol
+	return nil
+}
+
+func resolveOptions(src *OptionsJSON, tab cnfet.EnergyTable) (core.Options, error) {
+	opts := core.DefaultOptions()
+	opts.Table = tab
+	if src == nil {
+		return opts, nil
+	}
+	if src.Variant != "" {
+		kind, err := encoding.ParseKind(src.Variant)
+		if err != nil {
+			return core.Options{}, err
+		}
+		if kind == encoding.KindOracleStatic {
+			return core.Options{}, fmt.Errorf("oracle-static needs offline masks and cannot be configured from a file")
+		}
+		opts.Spec.Kind = kind
+		if kind == encoding.KindNone {
+			opts.Spec.Partitions = 0
+			opts.Window = 0
+			opts.DeltaT = 0
+		}
+	}
+	if src.Partitions > 0 {
+		opts.Spec.Partitions = src.Partitions
+	}
+	if src.Window > 0 {
+		opts.Window = src.Window
+	}
+	if src.DeltaT != 0 {
+		opts.DeltaT = src.DeltaT
+	}
+	if src.FIFODepth > 0 {
+		opts.FIFODepth = src.FIFODepth
+	}
+	if src.IdleSlots != nil {
+		opts.IdleSlots = *src.IdleSlots
+	}
+	switch src.Granularity {
+	case "", "line":
+	case "word":
+		opts.Granularity = core.GranularityWord
+	default:
+		return core.Options{}, fmt.Errorf("unknown granularity %q", src.Granularity)
+	}
+	switch src.SwitchCost {
+	case "", "flipped-only":
+	case "full-line":
+		opts.SwitchCost = core.SwitchFullLine
+	default:
+		return core.Options{}, fmt.Errorf("unknown switch_cost %q", src.SwitchCost)
+	}
+	switch src.FillPolicy {
+	case "", "neutral":
+	case "write-optimal":
+		opts.FillPolicy = core.FillWriteOptimal
+	default:
+		return core.Options{}, fmt.Errorf("unknown fill_policy %q", src.FillPolicy)
+	}
+	switch src.Predictor {
+	case "", "window", "conf2", "conf3", "ewma":
+		opts.PolicyName = src.Predictor
+	default:
+		return core.Options{}, fmt.Errorf("unknown predictor %q", src.Predictor)
+	}
+	return opts, nil
+}
+
+// Example returns a fully populated sample document.
+func Example() *File {
+	idle := 1
+	return &File{
+		Device: "cnfet-32",
+		Seed:   1,
+		L1D:    &CacheJSON{Sets: 64, Ways: 8, LineBytes: 64, Policy: "lru"},
+		L1I:    &CacheJSON{Sets: 128, Ways: 4, LineBytes: 64, Policy: "lru"},
+		L2:     &CacheJSON{Sets: 512, Ways: 8, LineBytes: 64, Policy: "lru"},
+		DCache: &OptionsJSON{
+			Variant: "cnt-cache", Partitions: 8, Window: 15,
+			DeltaT: core.DefaultDeltaT, FIFODepth: 16, IdleSlots: &idle,
+			Granularity: "line", SwitchCost: "flipped-only", FillPolicy: "neutral",
+		},
+		ICache: &OptionsJSON{Variant: "cnt-cache", Partitions: 8, Window: 15},
+	}
+}
+
+// WriteExample writes the sample document as indented JSON.
+func WriteExample(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Example())
+}

@@ -1,0 +1,177 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+func TestParseEmptyGivesDefaults(t *testing.T) {
+	f, err := Parse(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, seed, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 1 {
+		t.Errorf("seed = %d, want default 1", seed)
+	}
+	def := core.DefaultOptions()
+	if cfg.DOpts.Spec != def.Spec || cfg.DOpts.Window != def.Window {
+		t.Errorf("default D options not applied: %+v", cfg.DOpts.Spec)
+	}
+	if cfg.Hierarchy.L1D.Geometry.Sets != 64 {
+		t.Errorf("default hierarchy not applied")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"devize": "x"}`)); err == nil {
+		t.Error("unknown field should fail")
+	}
+}
+
+func TestParseRejectsBadJSON(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{`)); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+}
+
+func TestResolveFullDocument(t *testing.T) {
+	doc := `{
+		"device": "cmos-32",
+		"seed": 7,
+		"l1d": {"sets": 32, "ways": 4, "line_bytes": 64, "policy": "plru"},
+		"l2": {"sets": 0},
+		"dcache": {
+			"variant": "cnt-cache", "partitions": 16, "window": 31,
+			"delta_t": 0.2, "fifo_depth": 8, "idle_slots": 2,
+			"granularity": "word", "switch_cost": "full-line",
+			"fill_policy": "write-optimal"
+		},
+		"icache": {"variant": "baseline"}
+	}`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, seed, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 7 {
+		t.Errorf("seed = %d", seed)
+	}
+	if cfg.DOpts.Table.Name != "cmos-32" {
+		t.Errorf("device = %s", cfg.DOpts.Table.Name)
+	}
+	if g := cfg.Hierarchy.L1D.Geometry; g.Sets != 32 || g.Ways != 4 {
+		t.Errorf("l1d geometry = %+v", g)
+	}
+	if cfg.Hierarchy.L1D.Policy.Name() != "plru" {
+		t.Errorf("policy = %s", cfg.Hierarchy.L1D.Policy.Name())
+	}
+	if cfg.Hierarchy.L2.Geometry.Sets != 0 {
+		t.Error("l2 should be dropped by sets:0")
+	}
+	d := cfg.DOpts
+	if d.Spec.Partitions != 16 || d.Window != 31 || d.DeltaT != 0.2 ||
+		d.FIFODepth != 8 || d.IdleSlots != 2 {
+		t.Errorf("dcache options = %+v", d)
+	}
+	if d.Granularity != core.GranularityWord || d.SwitchCost != core.SwitchFullLine ||
+		d.FillPolicy != core.FillWriteOptimal {
+		t.Errorf("dcache enums = %v %v %v", d.Granularity, d.SwitchCost, d.FillPolicy)
+	}
+	if cfg.IOpts.Spec.Kind != encoding.KindNone {
+		t.Errorf("icache kind = %v", cfg.IOpts.Spec.Kind)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad device":      `{"device": "no-such"}`,
+		"bad geometry":    `{"l1d": {"sets": -1, "ways": 1, "line_bytes": 64}}`,
+		"bad policy":      `{"l1d": {"sets": 4, "ways": 1, "line_bytes": 64, "policy": "belady"}}`,
+		"bad variant":     `{"dcache": {"variant": "quantum"}}`,
+		"oracle variant":  `{"dcache": {"variant": "oracle-static"}}`,
+		"bad granularity": `{"dcache": {"granularity": "nibble"}}`,
+		"bad switch":      `{"dcache": {"switch_cost": "half"}}`,
+		"bad fill":        `{"dcache": {"fill_policy": "maybe"}}`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			f, err := Parse(strings.NewReader(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := f.Resolve(); err == nil {
+				t.Error("Resolve should fail")
+			}
+		})
+	}
+}
+
+func TestExampleRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExample(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("example does not parse: %v", err)
+	}
+	cfg, _, err := f.Resolve()
+	if err != nil {
+		t.Fatalf("example does not resolve: %v", err)
+	}
+	if cfg.DOpts.Spec.Kind != encoding.KindAdaptive {
+		t.Error("example should configure cnt-cache")
+	}
+}
+
+func TestBaselineVariantClearsAdaptiveKnobs(t *testing.T) {
+	f, err := Parse(strings.NewReader(`{"dcache": {"variant": "baseline"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DOpts.Spec.Kind != encoding.KindNone || cfg.DOpts.Spec.Partitions != 0 {
+		t.Errorf("baseline spec = %+v", cfg.DOpts.Spec)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/no/such/file.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestPredictorOption(t *testing.T) {
+	f, err := Parse(strings.NewReader(`{"dcache": {"predictor": "ewma"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := f.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DOpts.PolicyName != "ewma" {
+		t.Errorf("policy = %q", cfg.DOpts.PolicyName)
+	}
+	f, err = Parse(strings.NewReader(`{"dcache": {"predictor": "psychic"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Resolve(); err == nil {
+		t.Error("unknown predictor should fail")
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/workload"
+)
+
+func TestCalibrationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration smoke")
+	}
+	tab := cnfet.MustTable(cnfet.CNFET32())
+	vars := Variants(tab, 8, 15)
+	sum := 0.0
+	for _, b := range workload.Suite() {
+		inst := b.Build(1)
+		cmp, err := Compare(inst, cache.DefaultHierarchyConfig(), vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-9s base=%12.0f static-w=%+6.1f%% static-r=%+6.1f%% greedy=%+6.1f%% whole=%+6.1f%% cnt=%+6.1f%%",
+			b.Name, cmp.BaselineTotal(),
+			100*cmp.SavingOf("static-write"), 100*cmp.SavingOf("static-read"),
+			100*cmp.SavingOf("write-greedy"), 100*cmp.SavingOf("cnt-whole"),
+			100*cmp.SavingOf("cnt-cache"))
+		sum += cmp.SavingOf("cnt-cache")
+		if b.Name == "stream" || b.Name == "stack" {
+			for i, rep := range cmp.Reports {
+				t.Logf("  %-12s %s switches=%d windows=%d fifo=%+v stats=%s",
+					cmp.Names[i], rep.DEnergy.String(), rep.DSwitches, rep.DWindows, rep.DFIFO, rep.DStats)
+			}
+		}
+	}
+	t.Logf("average cnt-cache saving: %.1f%%", 100*sum/float64(len(workload.Suite())))
+}

@@ -1,0 +1,594 @@
+// Package core implements CNT-Cache: a CNFET SRAM cache whose lines are
+// adaptively encoded to match their access pattern (DATE 2020).
+//
+// A CNTCache wraps an architectural cache (package cache) with the three
+// mechanisms of Figure 1 of the paper:
+//
+//   - the adaptive encoder (package encoding): each line is stored under a
+//     per-partition inversion mask, decoded on the fly by a row of
+//     inverters and 2:1 muxes;
+//   - the encoding direction predictor (package predictor): per-line
+//     access-history counters in the widened H&D metadata drive
+//     Algorithm 1 at every window boundary;
+//   - the deferred-update FIFOs (package fifo): direction switches are
+//     queued and drained on idle slots so the re-encode write never
+//     stalls the data path.
+//
+// The same machinery, configured through Options, also realizes the
+// comparison baselines: the plain CNFET cache (no encoding), static
+// fill-time inversion, and a bus-invert-style per-write greedy encoder.
+// Dynamic energy is accounted per component (package energy) from the
+// stored — i.e. encoded — bit counts, which is precisely what the
+// physical array sees.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+	"repro/internal/fifo"
+	"repro/internal/predictor"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+// Granularity selects how many data bits an access touches energetically.
+type Granularity int
+
+const (
+	// GranularityLine charges every access for the full line, matching
+	// the paper's equations (L is the cache line length in Eq. 4-6).
+	GranularityLine Granularity = iota
+	// GranularityWord charges only the accessed bytes (ablation).
+	GranularityWord
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	if g == GranularityWord {
+		return "word"
+	}
+	return "line"
+}
+
+// SwitchCost selects how a drained re-encode is charged.
+type SwitchCost int
+
+const (
+	// SwitchFlippedOnly charges a write of just the flipped partitions,
+	// consistent with the per-partition threshold derivation (a write
+	// mask keeps untouched partitions idle).
+	SwitchFlippedOnly SwitchCost = iota
+	// SwitchFullLine charges rewriting the entire line, the conservative
+	// reading of the paper's E_encode (ablation).
+	SwitchFullLine
+)
+
+// String names the switch-cost model.
+func (s SwitchCost) String() string {
+	if s == SwitchFullLine {
+		return "full-line"
+	}
+	return "flipped-only"
+}
+
+// FillPolicy selects the encoding direction given to a freshly filled
+// line, before any history exists.
+type FillPolicy int
+
+const (
+	// FillNeutral stores fills unencoded and lets the predictor find the
+	// right direction. For zero-heavy data this coincides with the
+	// write-optimal choice; for dense read-heavy data it avoids
+	// pessimizing the reads that follow the fill.
+	FillNeutral FillPolicy = iota
+	// FillWriteOptimal encodes the fill write itself optimally (minimum
+	// ones stored), using the bit counter already present in the design
+	// (ablation; helps write-dominated dense data, hurts read-heavy).
+	FillWriteOptimal
+)
+
+// String names the fill policy.
+func (f FillPolicy) String() string {
+	if f == FillNeutral {
+		return "neutral"
+	}
+	return "write-optimal"
+}
+
+// Options configures one CNTCache (or baseline variant).
+type Options struct {
+	// Spec selects the encoding policy and partition count.
+	Spec encoding.Spec
+	// Window is the predictor window W (adaptive only).
+	Window int
+	// DeltaT is the switch hysteresis (adaptive only).
+	DeltaT float64
+	// FIFODepth is the update queue capacity (adaptive only).
+	FIFODepth int
+	// IdleSlots is how many queued updates drain per access interval;
+	// it models the idle-slot availability of the cache port.
+	IdleSlots int
+	// Table is the CNFET per-bit energy model.
+	Table cnfet.EnergyTable
+	// Periphery overrides the array peripheral energies; zero value
+	// derives defaults from Table.
+	Periphery *sram.Periphery
+	// Granularity is the energy access-granularity model.
+	Granularity Granularity
+	// SwitchCost is the re-encode charging model.
+	SwitchCost SwitchCost
+	// FillPolicy is the initial direction for filled lines.
+	FillPolicy FillPolicy
+	// FillMasks pins a fixed per-line-address direction mask applied at
+	// fill time. Required by (and only used with) the oracle-static
+	// variant, whose masks come from an offline pass over the trace.
+	FillMasks map[uint64]uint64
+	// PolicyName selects the direction-prediction policy for the
+	// adaptive variant: "window" (Algorithm 1, default), "conf2",
+	// "conf3" or "ewma". See package predictor.
+	PolicyName string
+}
+
+// DefaultDeltaT is the default switch hysteresis. The paper selects ΔT
+// empirically ("we will explore the relationship between ΔT and dynamic
+// energy saving through a series of experiments"); experiment E7 sweeps
+// it. On the benchmark suite the saving is flat up to ΔT≈0.1 and decays
+// beyond, so 0.1 takes the free oscillation damping without costing the
+// clear wins.
+const DefaultDeltaT = 0.1
+
+// DefaultOptions returns the CNT-Cache configuration used by the headline
+// experiments: adaptive encoding, K=8 partitions, W=15 (the paper's
+// default checkpoint), ΔT=0.1 hysteresis, a 16-entry update FIFO
+// draining one entry per idle interval, on the reference CNFET device.
+func DefaultOptions() Options {
+	return Options{
+		Spec:      encoding.Spec{Kind: encoding.KindAdaptive, Partitions: 8},
+		Window:    15,
+		DeltaT:    DefaultDeltaT,
+		FIFODepth: 16,
+		IdleSlots: 1,
+		Table:     cnfet.MustTable(cnfet.CNFET32()),
+	}
+}
+
+// BaselineOptions returns the plain CNFET cache (no encoding) on the same
+// device.
+func BaselineOptions() Options {
+	return Options{
+		Spec:  encoding.Spec{Kind: encoding.KindNone},
+		Table: cnfet.MustTable(cnfet.CNFET32()),
+	}
+}
+
+// lineState is the per-line CNT-Cache state alongside the architectural
+// line: the direction mask and the H&D history counters.
+type lineState struct {
+	mask uint64
+	hist predictor.LineState
+}
+
+// CNTCache wraps one cache level with encoding, prediction and energy
+// accounting.
+type CNTCache struct {
+	opts  Options
+	cache *cache.Cache
+	arr   *sram.Array
+	pred  predictor.Policy
+	queue *fifo.Queue
+
+	state [][]lineState
+
+	lineBytes int
+	lineBits  int
+	parts     int
+	partBits  int
+	metaBits  int
+	histBits  int
+
+	eb energy.Breakdown
+
+	switches       uint64
+	windows        uint64
+	staleDrops     uint64
+	perPartScratch []int
+}
+
+// New builds a CNTCache over the given architectural cache configuration
+// and backend.
+func New(cfg cache.Config, next cache.Backend, opts Options) (*CNTCache, error) {
+	if err := opts.Spec.Validate(cfg.Geometry.LineBytes); err != nil {
+		return nil, err
+	}
+	if err := opts.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.IdleSlots < 0 {
+		return nil, fmt.Errorf("core: idle slots must be non-negative, got %d", opts.IdleSlots)
+	}
+
+	c := &CNTCache{
+		opts:      opts,
+		lineBytes: cfg.Geometry.LineBytes,
+		lineBits:  cfg.Geometry.LineBytes * 8,
+	}
+
+	parts := opts.Spec.Partitions
+	if opts.Spec.Kind == encoding.KindNone {
+		parts = 1
+	}
+	c.parts = parts
+	c.partBits = c.lineBits / parts
+
+	// Metadata width: direction bits for every encoded variant, history
+	// counters only for the adaptive one.
+	switch opts.Spec.Kind {
+	case encoding.KindNone:
+		c.metaBits, c.histBits = 0, 0
+	case encoding.KindAdaptive:
+		if opts.Window <= 0 {
+			return nil, fmt.Errorf("core: adaptive encoding needs a positive window")
+		}
+		mb, err := sram.MetadataBits(opts.Window, parts)
+		if err != nil {
+			return nil, err
+		}
+		base, err := predictor.New(predictor.Config{
+			Window:     opts.Window,
+			LineBytes:  cfg.Geometry.LineBytes,
+			Partitions: parts,
+			Table:      opts.Table,
+			DeltaT:     opts.DeltaT,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pol, err := predictor.NewPolicy(opts.PolicyName, base)
+		if err != nil {
+			return nil, err
+		}
+		c.pred = pol
+		c.metaBits = mb + pol.StateBits()
+		c.histBits = mb - parts + pol.StateBits()
+		depth := opts.FIFODepth
+		if depth <= 0 {
+			depth = 16
+		}
+		q, err := fifo.New(depth)
+		if err != nil {
+			return nil, err
+		}
+		c.queue = q
+	default:
+		c.metaBits = opts.Spec.DirectionBits()
+	}
+
+	geom := cfg.Geometry
+	geom.MetaBitsPerLine = c.metaBits
+	perif := sram.DefaultPeriphery(opts.Table)
+	if opts.Periphery != nil {
+		perif = *opts.Periphery
+	}
+	arr, err := sram.NewArray(geom, opts.Table, perif)
+	if err != nil {
+		return nil, err
+	}
+	c.arr = arr
+
+	inner, err := cache.New(cfg, next)
+	if err != nil {
+		return nil, err
+	}
+	c.cache = inner
+	// A dirty victim is read out of the array on its way to the backend;
+	// the hook sees the exact stored bits before the fill replaces them.
+	inner.SetEvictHook(func(set, way int, data []byte, dirty bool) {
+		if !dirty {
+			return
+		}
+		st := &c.state[set][way]
+		ones := c.storedOnes(data, st.mask, 0, c.lineBytes)
+		c.eb.DataRead += c.arr.ReadEnergy(ones, c.lineBytes)
+	})
+
+	c.state = make([][]lineState, geom.Sets)
+	for s := range c.state {
+		c.state[s] = make([]lineState, geom.Ways)
+	}
+	c.perPartScratch = make([]int, parts)
+	return c, nil
+}
+
+// Options returns the configuration.
+func (c *CNTCache) Options() Options { return c.opts }
+
+// Cache exposes the wrapped architectural cache.
+func (c *CNTCache) Cache() *cache.Cache { return c.cache }
+
+// Energy returns the accumulated breakdown.
+func (c *CNTCache) Energy() energy.Breakdown { return c.eb }
+
+// Stats returns the architectural counters.
+func (c *CNTCache) Stats() cache.Stats { return c.cache.Stats() }
+
+// FIFOStats returns the update-queue accounting (zero for non-adaptive).
+func (c *CNTCache) FIFOStats() fifo.Stats {
+	if c.queue == nil {
+		return fifo.Stats{}
+	}
+	return c.queue.Stats()
+}
+
+// Switches returns the number of direction switches applied.
+func (c *CNTCache) Switches() uint64 { return c.switches }
+
+// Windows returns the number of completed prediction windows.
+func (c *CNTCache) Windows() uint64 { return c.windows }
+
+// MetaBitsPerLine returns the H&D width this variant adds to each line.
+func (c *CNTCache) MetaBitsPerLine() int { return c.metaBits }
+
+// CellsTotal returns the number of SRAM cells in the array, data plus
+// metadata columns.
+func (c *CNTCache) CellsTotal() int {
+	g := c.cache.Geometry()
+	return g.Lines() * (c.lineBits + c.metaBits)
+}
+
+// Leakage returns the accumulated standby leakage estimate in fJ: every
+// cell leaks for one cycle per access served. The paper's evaluation is
+// dynamic-only (CNFET leakage is low — that is part of its appeal); this
+// activity-proportional estimate feeds the E12 extension experiment,
+// which asks whether the H&D metadata's extra leaking cells erode the
+// dynamic savings.
+func (c *CNTCache) Leakage() float64 {
+	return float64(c.cache.Stats().Accesses) * float64(c.CellsTotal()) * c.opts.Table.LeakBitCycle
+}
+
+// storedOnes returns the ones count of the stored (encoded) image of the
+// byte range [off, off+size) of the logical line under mask.
+func (c *CNTCache) storedOnes(logical []byte, mask uint64, off, size int) int {
+	partBytes := c.lineBytes / c.parts
+	ones := 0
+	for p := off / partBytes; p*partBytes < off+size; p++ {
+		lo := p * partBytes
+		hi := lo + partBytes
+		if lo < off {
+			lo = off
+		}
+		if hi > off+size {
+			hi = off + size
+		}
+		n := bitutil.Ones(logical[lo:hi])
+		if mask&(1<<uint(p)) != 0 {
+			n = (hi-lo)*8 - n
+		}
+		ones += n
+	}
+	return ones
+}
+
+// accessSpan returns the byte range energy is charged for.
+func (c *CNTCache) accessSpan(res cache.Result) (off, size int) {
+	if c.opts.Granularity == GranularityWord {
+		return res.Offset, res.Size
+	}
+	return 0, c.lineBytes
+}
+
+// metaOnes approximates the ones stored in a line's metadata field.
+func (c *CNTCache) metaOnes(st *lineState) int {
+	ones := st.hist.Bits()
+	for m := st.mask; m != 0; m &= m - 1 {
+		ones++
+	}
+	return ones
+}
+
+// Access runs one data access through the cache, charging energy.
+func (c *CNTCache) Access(a trace.Access) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	for _, piece := range cache.Split(a, c.lineBytes) {
+		if err := c.accessPiece(piece); err != nil {
+			return err
+		}
+	}
+	// Idle interval after the access: drain queued re-encodes.
+	c.drain(c.opts.IdleSlots)
+	return nil
+}
+
+func (c *CNTCache) accessPiece(a trace.Access) error {
+	write := a.Op == trace.Write
+
+	// Writeback read-out happens before the fill overwrites the victim:
+	// peek at the victim's cost by observing the eviction in the result.
+	// The architectural cache has already moved the data; we reconstruct
+	// the energy from the state we keep.
+	res, err := c.cache.Access(write, a.Addr, a.Size, a.Data)
+	if err != nil {
+		return err
+	}
+
+	c.eb.Periphery += c.arr.LookupEnergy()
+	st := &c.state[res.Set][res.Way]
+
+	if res.Filled {
+		c.onFill(res, st)
+	}
+
+	logical, _, _, _ := c.cache.Line(res.Set, res.Way)
+	off, size := c.accessSpan(res)
+
+	if write {
+		if c.opts.Spec.Kind == encoding.KindWriteGreedy {
+			c.greedyReencode(st, logical, off, size)
+		}
+		ones := c.storedOnes(logical, st.mask, off, size)
+		c.eb.DataWrite += c.arr.WriteEnergy(ones, size)
+	} else {
+		ones := c.storedOnes(logical, st.mask, off, size)
+		c.eb.DataRead += c.arr.ReadEnergy(ones, size)
+	}
+	// Every access passes the encoder stage (mux+inverter per bit).
+	if c.opts.Spec.Kind != encoding.KindNone {
+		c.eb.Encoder += float64(size*8) * c.opts.Table.EncoderBit
+		// The H&D field is read alongside the line.
+		c.eb.MetaRead += c.arr.ReadMetaEnergy(c.metaOnes(st), c.metaBits)
+	}
+
+	if c.pred != nil {
+		c.recordHistory(res, st, logical, write)
+	}
+	return nil
+}
+
+// onFill initializes the state of a freshly filled line and charges the
+// fill write (plus the displaced victim's writeback read-out).
+func (c *CNTCache) onFill(res cache.Result, st *lineState) {
+	if res.Evicted {
+		// The dirty-victim read-out energy was charged by the evict hook,
+		// which saw the exact stored bits before the fill replaced them.
+		if c.queue != nil {
+			if c.queue.Invalidate(res.Set, res.Way) {
+				c.staleDrops++
+			}
+		}
+	}
+	st.hist = predictor.LineState{} // fresh resident: clear policy state too
+	st.mask = 0
+
+	logical, _, _, _ := c.cache.Line(res.Set, res.Way)
+	switch c.opts.Spec.Kind {
+	case encoding.KindNone:
+	case encoding.KindStaticWrite, encoding.KindWriteGreedy:
+		st.mask = encoding.MaskMinOnes(logical, c.parts)
+	case encoding.KindStaticRead:
+		st.mask = encoding.MaskMaxOnes(logical, c.parts)
+	case encoding.KindAdaptive:
+		if c.opts.FillPolicy == FillWriteOptimal {
+			st.mask = encoding.MaskMinOnes(logical, c.parts)
+		}
+	case encoding.KindOracleStatic:
+		st.mask = c.opts.FillMasks[res.LineAddr]
+	}
+
+	ones := c.storedOnes(logical, st.mask, 0, c.lineBytes)
+	c.eb.DataWrite += c.arr.WriteEnergy(ones, c.lineBytes)
+	if c.metaBits > 0 {
+		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
+	}
+}
+
+// greedyReencode is the bus-invert-style baseline: on every store, re-pick
+// the masks of the partitions the write touches to minimize stored ones,
+// charging the direction-bit rewrite. Untouched partitions keep their
+// direction (they are not physically rewritten by the store).
+func (c *CNTCache) greedyReencode(st *lineState, logical []byte, off, size int) {
+	optimal := encoding.MaskMinOnes(logical, c.parts)
+	partBytes := c.lineBytes / c.parts
+	var touched uint64
+	for p := off / partBytes; p*partBytes < off+size; p++ {
+		touched |= 1 << uint(p)
+	}
+	newMask := st.mask&^touched | optimal&touched
+	if newMask != st.mask {
+		st.mask = newMask
+		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
+		c.switches++
+	}
+}
+
+// recordHistory advances Algorithm 1 for the accessed line.
+func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte, write bool) {
+	complete := c.pred.RecordAccess(&st.hist, write)
+	if !complete {
+		// Counter update: rewrite the history bits.
+		c.eb.MetaWrite += c.arr.WriteMetaEnergy(st.hist.Bits(), c.histBits)
+		return
+	}
+	c.windows++
+
+	per := bitutil.OnesPerPartition(logical, c.parts, c.perPartScratch)
+	for p := range per {
+		if st.mask&(1<<uint(p)) != 0 {
+			per[p] = c.partBits - per[p]
+		}
+	}
+	d := c.pred.Decide(&st.hist, per)
+	if d.FlipMask != 0 {
+		ones := 0
+		for p := range per {
+			if d.FlipMask&(1<<uint(p)) != 0 {
+				ones += c.partBits - per[p] // ones after the flip
+			} else if c.opts.SwitchCost == SwitchFullLine {
+				ones += per[p]
+			}
+		}
+		update := fifo.Update{Set: res.Set, Way: res.Way, Mask: st.mask ^ d.FlipMask, Ones: ones}
+		c.queue.Push(update)
+	}
+	// Algorithm 1 resets the counters after every prediction; the
+	// triggering access itself starts the new window. Both land in one
+	// physical rewrite of the history field.
+	st.hist.Reset()
+	c.pred.RecordAccess(&st.hist, write)
+	c.eb.MetaWrite += c.arr.WriteMetaEnergy(st.hist.Bits(), c.histBits)
+}
+
+// drain retires up to n queued re-encodes into the array.
+func (c *CNTCache) drain(n int) {
+	if c.queue == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		u, ok := c.queue.Pop()
+		if !ok {
+			return
+		}
+		st := &c.state[u.Set][u.Way]
+		logical, _, valid, _ := c.cache.Line(u.Set, u.Way)
+		if !valid {
+			c.staleDrops++
+			continue
+		}
+		flips := st.mask ^ u.Mask
+		if flips == 0 {
+			continue
+		}
+		st.mask = u.Mask
+		c.switches++
+
+		// Switch energy: write of the re-encoded bits plus the direction
+		// bits. Ones are recomputed from the line as it is now — the data
+		// may have been written between decision and drain.
+		partBytes := c.lineBytes / c.parts
+		bytes := 0
+		ones := 0
+		for p := 0; p < c.parts; p++ {
+			inFlip := flips&(1<<uint(p)) != 0
+			if !inFlip && c.opts.SwitchCost != SwitchFullLine {
+				continue
+			}
+			bytes += partBytes
+			ones += c.storedOnes(logical, st.mask, p*partBytes, partBytes)
+		}
+		c.eb.Switch += c.arr.WriteEnergy(ones, bytes)
+		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
+	}
+}
+
+// DrainAll retires every queued update (end of simulation).
+func (c *CNTCache) DrainAll() {
+	if c.queue == nil {
+		return
+	}
+	c.drain(c.queue.Len())
+}

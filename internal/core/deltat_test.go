@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+func TestDeltaTSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration smoke")
+	}
+	base := BaselineOptions()
+	hier := cache.DefaultHierarchyConfig()
+	for _, dt := range []float64{0, 0.1, 0.15, 0.25, 0.4} {
+		sum := 0.0
+		for _, b := range workload.Suite() {
+			inst := b.Build(1)
+			bRep, err := RunInstance(inst, SimConfig{Hierarchy: hier, DOpts: base, IOpts: base})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.DeltaT = dt
+			opts.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: 8}
+			cRep, err := RunInstance(inst, SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total())
+		}
+		t.Logf("deltaT=%.2f average saving %.2f%%", dt, 100*sum/float64(len(workload.Suite())))
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/encoding"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The oracle-static variant answers "how close does Algorithm 1 get to
+// the best any per-line static encoding could do?" It replays the trace
+// once architecturally, accumulating per line address and per partition
+// the read/write counts and the ones counts of the data actually resident
+// at each access, then solves the (independent, linear) per-partition
+// choice offline: keep or invert. A second pass runs the normal simulator
+// with those masks pinned at fill time. No online policy restricted to
+// one static direction per line can beat it, so it upper-bounds the
+// E3-style comparisons.
+
+// partitionTally accumulates the offline statistics of one partition of
+// one line address.
+type partitionTally struct {
+	reads, writes       int64
+	readOnes, writeOnes int64
+}
+
+// OracleMasks computes, for every line address the instance touches, the
+// energy-optimal fixed per-partition inversion mask.
+func OracleMasks(inst *workload.Instance, hier cache.HierarchyConfig, tab cnfet.EnergyTable, partitions int) (map[uint64]uint64, error) {
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	lineBytes := hier.L1D.Geometry.LineBytes
+	if err := encoding.CheckPartitions(lineBytes, partitions); err != nil {
+		return nil, err
+	}
+
+	// Architectural probe pass: plain caches over a fresh image, with the
+	// D-side per-access logical ones recorded. Fetches are excluded: the
+	// oracle bounds the D-cache comparison.
+	m := mem.New()
+	inst.Preload(m)
+	h, err := cache.NewHierarchy(hier, m)
+	if err != nil {
+		return nil, err
+	}
+
+	tallies := map[uint64][]partitionTally{}
+	scratch := make([]int, partitions)
+
+	for i, a := range inst.Accesses {
+		if a.Op == trace.Fetch {
+			if _, err := h.Access(a); err != nil {
+				return nil, fmt.Errorf("core: oracle probe access %d: %w", i, err)
+			}
+			continue
+		}
+		for _, piece := range cache.Split(a, lineBytes) {
+			res, err := h.L1D.Access(piece.Op == trace.Write, piece.Addr, piece.Size, piece.Data)
+			if err != nil {
+				return nil, fmt.Errorf("core: oracle probe access %d: %w", i, err)
+			}
+			logical, _, _, _ := h.L1D.Line(res.Set, res.Way)
+			per := bitutil.OnesPerPartition(logical, partitions, scratch)
+			tl, ok := tallies[res.LineAddr]
+			if !ok {
+				tl = make([]partitionTally, partitions)
+				tallies[res.LineAddr] = tl
+			}
+			for p, n := range per {
+				if piece.Op == trace.Write {
+					tl[p].writes++
+					tl[p].writeOnes += int64(n)
+				} else {
+					tl[p].reads++
+					tl[p].readOnes += int64(n)
+				}
+			}
+		}
+	}
+
+	// Offline solve: per partition, compare the linear energy of keeping
+	// versus inverting across the whole recorded history.
+	masks := make(map[uint64]uint64, len(tallies))
+	lp := float64(lineBytes * 8 / partitions)
+	for addr, tl := range tallies {
+		var mask uint64
+		for p, s := range tl {
+			rOnes := float64(s.readOnes)
+			wOnes := float64(s.writeOnes)
+			rZeros := float64(s.reads)*lp - rOnes
+			wZeros := float64(s.writes)*lp - wOnes
+			keep := rOnes*tab.ReadOne + rZeros*tab.ReadZero + wOnes*tab.WriteOne + wZeros*tab.WriteZero
+			flip := rZeros*tab.ReadOne + rOnes*tab.ReadZero + wZeros*tab.WriteOne + wOnes*tab.WriteZero
+			if flip < keep {
+				mask |= 1 << uint(p)
+			}
+		}
+		if mask != 0 {
+			masks[addr] = mask
+		}
+	}
+	return masks, nil
+}
+
+// OracleVariant builds the options realizing the oracle-static policy for
+// one instance: masks are computed offline and pinned at fill time.
+func OracleVariant(inst *workload.Instance, hier cache.HierarchyConfig, tab cnfet.EnergyTable, partitions int) (Options, error) {
+	masks, err := OracleMasks(inst, hier, tab, partitions)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		Spec:      encoding.Spec{Kind: encoding.KindOracleStatic, Partitions: partitions},
+		Table:     tab,
+		FillMasks: masks,
+	}, nil
+}

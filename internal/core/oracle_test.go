@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func oracleSavings(t *testing.T, inst *workload.Instance) (oracle, staticRead, staticWrite, adaptive float64) {
+	t.Helper()
+	hier := cache.DefaultHierarchyConfig()
+	tab := cnfet.MustTable(cnfet.CNFET32())
+
+	run := func(opts Options) float64 {
+		rep, err := RunInstance(inst, SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.DEnergy.Total()
+	}
+	baseOpts := BaselineOptions()
+	base := run(baseOpts)
+
+	oOpts, err := OracleVariant(inst, hier, tab, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := func(kind encoding.Kind) Options {
+		return Options{Spec: encoding.Spec{Kind: kind, Partitions: 8}, Table: tab}
+	}
+	return energy.Saving(base, run(oOpts)),
+		energy.Saving(base, run(static(encoding.KindStaticRead))),
+		energy.Saving(base, run(static(encoding.KindStaticWrite))),
+		energy.Saving(base, run(DefaultOptions()))
+}
+
+// TestOracleDominatesStaticVariants: the offline per-line optimum must
+// beat (or tie, within the tolerance set by fill/writeback effects the
+// oracle objective ignores) every online static policy.
+func TestOracleDominatesStaticVariants(t *testing.T) {
+	for _, build := range []func(int64) *workload.Instance{
+		workload.Histogram, workload.List, workload.Sort,
+	} {
+		inst := build(3)
+		oracle, sRead, sWrite, _ := oracleSavings(t, inst)
+		const tol = 0.02
+		if oracle < sRead-tol {
+			t.Errorf("%s: oracle %.3f < static-read %.3f", inst.Name, oracle, sRead)
+		}
+		if oracle < sWrite-tol {
+			t.Errorf("%s: oracle %.3f < static-write %.3f", inst.Name, oracle, sWrite)
+		}
+	}
+}
+
+// TestOracleNeverLosesMuch: unlike the reactive predictor, the oracle
+// must never be clearly worse than the unencoded baseline — its worst
+// case is "don't invert anything" plus direction-bit metadata overhead.
+func TestOracleNeverLosesMuch(t *testing.T) {
+	for _, b := range workload.Suite() {
+		inst := b.Build(1)
+		oracle, _, _, _ := oracleSavings(t, inst)
+		if oracle < -0.03 {
+			t.Errorf("%s: oracle saving %.3f, should be bounded below by ~-3%% (metadata overhead)", b.Name, oracle)
+		}
+	}
+}
+
+func TestOracleMasksValidation(t *testing.T) {
+	inst := workload.Histogram(1)
+	hier := cache.DefaultHierarchyConfig()
+	if _, err := OracleMasks(inst, hier, cnfet.EnergyTable{}, 8); err == nil {
+		t.Error("invalid table should fail")
+	}
+	if _, err := OracleMasks(inst, hier, cnfet.MustTable(cnfet.CNFET32()), 3); err == nil {
+		t.Error("indivisible partitions should fail")
+	}
+}
+
+func TestOracleMasksFavorInversionOnZeroReadLines(t *testing.T) {
+	// A purely read, all-zeros workload: every touched line must be fully
+	// inverted by the oracle.
+	wl := &workload.Instance{Name: "zeros"}
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0x100000); addr < 0x100000+4096; addr += 64 {
+			wl.Accesses = append(wl.Accesses, trace.Access{Op: trace.Read, Addr: addr, Size: 64})
+		}
+	}
+	hier := cache.DefaultHierarchyConfig()
+	masks, err := OracleMasks(wl, hier, cnfet.MustTable(cnfet.CNFET32()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masks) == 0 {
+		t.Fatal("no masks computed")
+	}
+	for addr, m := range masks {
+		if m != 0xFF {
+			t.Errorf("line %#x: mask %#x, want all partitions inverted", addr, m)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+	"repro/internal/fifo"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SimConfig describes one end-to-end simulation: the hierarchy geometry
+// and the encoding variant of each L1. The L2 (when present) stays a
+// plain architectural cache — the paper optimizes the first-level
+// CNFET arrays.
+type SimConfig struct {
+	// Hierarchy is the cache organization.
+	Hierarchy cache.HierarchyConfig
+	// DOpts configures the L1 D-cache variant.
+	DOpts Options
+	// IOpts configures the L1 I-cache variant.
+	IOpts Options
+}
+
+// DefaultSimConfig returns the experiment configuration: CNT-Cache on both
+// L1s over the default hierarchy.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Hierarchy: cache.DefaultHierarchyConfig(),
+		DOpts:     DefaultOptions(),
+		IOpts:     DefaultOptions(),
+	}
+}
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	// Workload names the instance that ran.
+	Workload string
+	// Variant names the D-cache encoding variant.
+	Variant string
+
+	// DStats and IStats are the architectural counters.
+	DStats, IStats cache.Stats
+	// DEnergy and IEnergy are the dynamic-energy breakdowns.
+	DEnergy, IEnergy energy.Breakdown
+	// DFIFO is the D-cache update-queue accounting.
+	DFIFO fifo.Stats
+	// DSwitches and DWindows count direction switches and completed
+	// prediction windows in the D-cache.
+	DSwitches, DWindows uint64
+	// DMetaBits is the H&D width per line of the D-cache variant.
+	DMetaBits int
+	// DLeakage and ILeakage are the standby-leakage estimates (fJ),
+	// reported separately from the dynamic breakdowns.
+	DLeakage, ILeakage float64
+}
+
+// Sim is a ready-to-run simulation over one memory image.
+type Sim struct {
+	Mem *mem.Memory
+	L1D *CNTCache
+	L1I *CNTCache
+	L2  *cache.Cache
+}
+
+// NewSim wires up the hierarchy with CNT-wrapped L1 caches.
+func NewSim(cfg SimConfig, m *mem.Memory) (*Sim, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: simulation needs a memory image")
+	}
+	s := &Sim{Mem: m}
+	var lower cache.Backend = cache.MemBackend{M: m}
+	if cfg.Hierarchy.L2.Geometry.Sets > 0 {
+		l2, err := cache.New(cfg.Hierarchy.L2, lower)
+		if err != nil {
+			return nil, err
+		}
+		s.L2 = l2
+		lower = l2
+	}
+	l1d, err := New(cfg.Hierarchy.L1D, lower, cfg.DOpts)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := New(cfg.Hierarchy.L1I, lower, cfg.IOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.L1D, s.L1I = l1d, l1i
+	return s, nil
+}
+
+// Access routes one access to the right L1.
+func (s *Sim) Access(a trace.Access) error {
+	if a.Op == trace.Fetch {
+		return s.L1I.Access(a)
+	}
+	return s.L1D.Access(a)
+}
+
+// Finish drains pending updates and reports.
+func (s *Sim) Finish(workloadName, variant string) *Report {
+	s.L1D.DrainAll()
+	s.L1I.DrainAll()
+	return &Report{
+		Workload:  workloadName,
+		Variant:   variant,
+		DStats:    s.L1D.Stats(),
+		IStats:    s.L1I.Stats(),
+		DEnergy:   s.L1D.Energy(),
+		IEnergy:   s.L1I.Energy(),
+		DFIFO:     s.L1D.FIFOStats(),
+		DSwitches: s.L1D.Switches(),
+		DWindows:  s.L1D.Windows(),
+		DMetaBits: s.L1D.MetaBitsPerLine(),
+		DLeakage:  s.L1D.Leakage(),
+		ILeakage:  s.L1I.Leakage(),
+	}
+}
+
+// RunInstance replays a workload instance through a fresh simulation.
+func RunInstance(inst *workload.Instance, cfg SimConfig) (*Report, error) {
+	m := mem.New()
+	inst.Preload(m)
+	sim, err := NewSim(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range inst.Accesses {
+		if err := sim.Access(a); err != nil {
+			return nil, fmt.Errorf("core: %s access %d: %w", inst.Name, i, err)
+		}
+	}
+	return sim.Finish(inst.Name, cfg.DOpts.Spec.String()), nil
+}
+
+// Variant couples a display name with the options realizing it.
+type Variant struct {
+	Name string
+	Opts Options
+}
+
+// Variants returns the comparison set of the headline experiment, all on
+// the same energy table: the plain CNFET baseline, fill-time static
+// inversion (both orientations), the bus-invert-style write-greedy
+// encoder, whole-line CNT-Cache and partitioned CNT-Cache.
+func Variants(tab cnfet.EnergyTable, partitions, window int) []Variant {
+	adaptive := func(k int) Options {
+		o := DefaultOptions()
+		o.Table = tab
+		o.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: k}
+		o.Window = window
+		return o
+	}
+	static := func(kind encoding.Kind) Options {
+		return Options{
+			Spec:  encoding.Spec{Kind: kind, Partitions: partitions},
+			Table: tab,
+		}
+	}
+	return []Variant{
+		{Name: "baseline", Opts: Options{Spec: encoding.Spec{Kind: encoding.KindNone}, Table: tab}},
+		{Name: "static-write", Opts: static(encoding.KindStaticWrite)},
+		{Name: "static-read", Opts: static(encoding.KindStaticRead)},
+		{Name: "write-greedy", Opts: static(encoding.KindWriteGreedy)},
+		{Name: "cnt-whole", Opts: adaptive(1)},
+		{Name: "cnt-cache", Opts: adaptive(partitions)},
+	}
+}
+
+// Comparison is the result of running one workload across the variant set.
+type Comparison struct {
+	Workload string
+	Reports  []*Report
+	// Names[i] labels Reports[i].
+	Names []string
+}
+
+// BaselineTotal returns the baseline variant's D-cache total energy.
+func (c *Comparison) BaselineTotal() float64 {
+	for i, n := range c.Names {
+		if n == "baseline" {
+			return c.Reports[i].DEnergy.Total()
+		}
+	}
+	return 0
+}
+
+// SavingOf returns the fractional D-cache energy saving of the named
+// variant relative to the baseline.
+func (c *Comparison) SavingOf(name string) float64 {
+	base := c.BaselineTotal()
+	for i, n := range c.Names {
+		if n == name {
+			return energy.Saving(base, c.Reports[i].DEnergy.Total())
+		}
+	}
+	return 0
+}
+
+// Compare runs the instance under every variant (identical hierarchy,
+// fresh memory each time). Variants are independent simulations, so they
+// run concurrently; results come back in variant order regardless.
+func Compare(inst *workload.Instance, hier cache.HierarchyConfig, variants []Variant) (*Comparison, error) {
+	cmp := &Comparison{
+		Workload: inst.Name,
+		Reports:  make([]*Report, len(variants)),
+		Names:    make([]string, len(variants)),
+	}
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		i, v := i, v
+		cmp.Names[i] = v.Name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := SimConfig{Hierarchy: hier, DOpts: v.Opts, IOpts: v.Opts}
+			rep, err := RunInstance(inst, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: variant %s: %w", v.Name, err)
+				return
+			}
+			rep.Variant = v.Name
+			cmp.Reports[i] = rep
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cmp, nil
+}

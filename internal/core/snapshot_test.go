@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSnapshotEmptyCache(t *testing.T) {
+	c, _ := newCNT(t, DefaultOptions())
+	s := c.Snapshot()
+	if s.ValidLines != 0 || s.TotalPartitions != 0 || s.InvertedFraction() != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	if out := s.String(); out == "" {
+		t.Error("String should render even when empty")
+	}
+}
+
+func TestSnapshotTracksResidency(t *testing.T) {
+	c, _ := newCNT(t, DefaultOptions())
+	c.Access(trace.Access{Op: trace.Read, Addr: 0, Size: 8})
+	c.Access(trace.Access{Op: trace.Write, Addr: 64, Size: 8, Data: make([]byte, 8)})
+	s := c.Snapshot()
+	if s.ValidLines != 2 {
+		t.Errorf("ValidLines = %d, want 2", s.ValidLines)
+	}
+	if s.DirtyLines != 1 {
+		t.Errorf("DirtyLines = %d, want 1 (the written line)", s.DirtyLines)
+	}
+	if s.TotalPartitions != 16 {
+		t.Errorf("TotalPartitions = %d, want 2 lines * 8", s.TotalPartitions)
+	}
+}
+
+func TestSnapshotShowsInversionAfterConvergence(t *testing.T) {
+	// Read-hammer an all-zeros line: the predictor inverts it, so the
+	// logical histogram stays in the bottom bucket while the stored
+	// histogram moves to the top.
+	opts := DefaultOptions()
+	opts.FillPolicy = FillNeutral
+	c, _ := newCNT(t, opts)
+	for i := 0; i < 200; i++ {
+		c.Access(trace.Access{Op: trace.Read, Addr: 0, Size: 64})
+	}
+	c.DrainAll()
+	s := c.Snapshot()
+	if s.InvertedFraction() != 1.0 {
+		t.Errorf("inverted fraction = %.2f, want 1.0", s.InvertedFraction())
+	}
+	if s.LogicalDensityHist[0] != 1 {
+		t.Errorf("logical histogram = %v, want the line in bucket 0", s.LogicalDensityHist)
+	}
+	if s.StoredDensityHist[9] != 1 {
+		t.Errorf("stored histogram = %v, want the line in bucket 9", s.StoredDensityHist)
+	}
+	out := s.String()
+	for _, frag := range []string{"100.0%", "fifo backlog: 0"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSnapshotPendingUpdates(t *testing.T) {
+	opts := DefaultOptions()
+	opts.IdleSlots = 0
+	opts.FillPolicy = FillNeutral
+	c, _ := newCNT(t, opts)
+	for i := 0; i < 50; i++ {
+		c.Access(trace.Access{Op: trace.Read, Addr: 0, Size: 64})
+	}
+	if s := c.Snapshot(); s.PendingUpdates == 0 {
+		t.Error("expected a queued re-encode with drain disabled")
+	}
+}
+
+func TestDensityBucket(t *testing.T) {
+	cases := []struct{ ones, bits, want int }{
+		{0, 512, 0}, {51, 512, 0}, {52, 512, 1}, {256, 512, 5}, {511, 512, 9}, {512, 512, 9},
+	}
+	for _, tc := range cases {
+		if got := densityBucket(tc.ones, tc.bits); got != tc.want {
+			t.Errorf("densityBucket(%d,%d) = %d, want %d", tc.ones, tc.bits, got, tc.want)
+		}
+	}
+}

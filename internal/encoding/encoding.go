@@ -1,0 +1,191 @@
+// Package encoding implements the cache-line data encoders of CNT-Cache.
+//
+// A stored cache line is related to its logical contents by an inversion
+// mask: the line is split into K equal partitions and bit p of the mask
+// records whether partition p is stored inverted (the paper's per-partition
+// "encoding direction" bits; K=1 recovers whole-line encoding). In
+// hardware the codec is a row of inverters with 2:1 multiplexers steered
+// by the direction bits, so encode and decode are the same operation.
+//
+// The package is purely mechanical: it transforms data given a mask and
+// offers greedy mask-selection helpers used by the static and bus-invert
+// style baselines. The adaptive, history-driven mask selection — the
+// paper's contribution — lives in package predictor.
+package encoding
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// MaxPartitions bounds the partition count so a mask fits in a uint64.
+const MaxPartitions = 64
+
+// CheckPartitions validates a line length / partition count combination
+// for use with this package's mask representation.
+func CheckPartitions(lineBytes, k int) error {
+	if k > MaxPartitions {
+		return fmt.Errorf("encoding: %d partitions exceed the maximum %d", k, MaxPartitions)
+	}
+	return bitutil.CheckPartitions(lineBytes, k)
+}
+
+// Apply XORs the masked partitions of data in place. Because inversion is
+// an involution this both encodes logical->stored and decodes
+// stored->logical.
+func Apply(data []byte, k int, mask uint64) {
+	bitutil.ApplyMask(data, k, mask)
+}
+
+// Decoded returns a freshly allocated logical copy of the stored line.
+func Decoded(stored []byte, k int, mask uint64) []byte {
+	out := append([]byte(nil), stored...)
+	Apply(out, k, mask)
+	return out
+}
+
+// MaskMinOnes returns the per-partition inversion mask that minimizes the
+// number of '1' bits stored for the given logical data: a partition is
+// inverted when more than half of its bits are ones. Ties keep the
+// partition uninverted. This is the optimal static choice for a
+// write-preferring line (writing '0' is cheap on CNFET).
+func MaskMinOnes(logical []byte, k int) uint64 {
+	return maskByMajority(logical, k, true)
+}
+
+// MaskMaxOnes returns the mask that maximizes stored '1' bits: a partition
+// is inverted when fewer than half of its bits are ones. Ties keep the
+// partition uninverted. This is the optimal static choice for a
+// read-preferring line (reading '1' is cheap on CNFET).
+func MaskMaxOnes(logical []byte, k int) uint64 {
+	return maskByMajority(logical, k, false)
+}
+
+func maskByMajority(logical []byte, k int, minimize bool) uint64 {
+	if err := CheckPartitions(len(logical), k); err != nil {
+		panic(err)
+	}
+	sz := len(logical) / k
+	half := sz * 8 / 2
+	var mask uint64
+	for p := 0; p < k; p++ {
+		ones := bitutil.Ones(logical[p*sz : (p+1)*sz])
+		if minimize {
+			if ones > half {
+				mask |= 1 << uint(p)
+			}
+		} else if 2*ones < sz*8 {
+			mask |= 1 << uint(p)
+		}
+	}
+	return mask
+}
+
+// StoredOnes returns the number of '1' bits the line holds in storage if
+// the logical data (with the given per-partition ones counts) is encoded
+// under mask. partBits is the partition size in bits.
+func StoredOnes(logicalOnesPerPartition []int, partBits int, mask uint64) int {
+	total := 0
+	for p, n := range logicalOnesPerPartition {
+		if mask&(1<<uint(p)) != 0 {
+			total += partBits - n
+		} else {
+			total += n
+		}
+	}
+	return total
+}
+
+// Spec identifies an encoding policy for reports and configuration.
+type Spec struct {
+	// Kind selects the policy.
+	Kind Kind
+	// Partitions is the number of independently encoded partitions (K).
+	Partitions int
+}
+
+// Kind enumerates the encoding policies the simulator implements.
+type Kind int
+
+const (
+	// KindNone stores data verbatim: the baseline CNFET cache.
+	KindNone Kind = iota
+	// KindStaticWrite picks the mask once per fill to minimize stored
+	// ones (write-optimal, never revisited).
+	KindStaticWrite
+	// KindStaticRead picks the mask once per fill to maximize stored
+	// ones (read-optimal, never revisited).
+	KindStaticRead
+	// KindWriteGreedy re-picks the mask on every store to minimize the
+	// ones written — the bus-invert-style comparison baseline.
+	KindWriteGreedy
+	// KindAdaptive is CNT-Cache: masks follow the access-history
+	// predictor of Algorithm 1.
+	KindAdaptive
+	// KindOracleStatic fixes each line address's mask to the offline
+	// optimum computed from the full trace — an upper bound no online
+	// policy can beat with static per-line directions.
+	KindOracleStatic
+)
+
+// String returns the canonical name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "baseline"
+	case KindStaticWrite:
+		return "static-write"
+	case KindStaticRead:
+		return "static-read"
+	case KindWriteGreedy:
+		return "write-greedy"
+	case KindAdaptive:
+		return "cnt-cache"
+	case KindOracleStatic:
+		return "oracle-static"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a canonical name back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{KindNone, KindStaticWrite, KindStaticRead, KindWriteGreedy, KindAdaptive, KindOracleStatic} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("encoding: unknown kind %q", s)
+}
+
+// Validate checks the spec.
+func (s Spec) Validate(lineBytes int) error {
+	if s.Kind < KindNone || s.Kind > KindOracleStatic {
+		return fmt.Errorf("encoding: invalid kind %d", int(s.Kind))
+	}
+	if s.Kind == KindNone {
+		if s.Partitions > 1 {
+			return fmt.Errorf("encoding: baseline takes no partitions, got %d", s.Partitions)
+		}
+		return nil
+	}
+	return CheckPartitions(lineBytes, s.Partitions)
+}
+
+// DirectionBits returns the number of direction bits the spec stores per
+// line (zero for the baseline).
+func (s Spec) DirectionBits() int {
+	if s.Kind == KindNone {
+		return 0
+	}
+	return s.Partitions
+}
+
+// String renders the spec, e.g. "cnt-cache/K=8".
+func (s Spec) String() string {
+	if s.Kind == KindNone {
+		return s.Kind.String()
+	}
+	return fmt.Sprintf("%s/K=%d", s.Kind, s.Partitions)
+}

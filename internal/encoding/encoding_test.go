@@ -1,0 +1,210 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitutil"
+)
+
+func randLine(seed int64, n int) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func TestApplyIsInvolution(t *testing.T) {
+	f := func(seed int64, maskRaw uint8) bool {
+		data := randLine(seed, 64)
+		orig := append([]byte(nil), data...)
+		Apply(data, 8, uint64(maskRaw))
+		Apply(data, 8, uint64(maskRaw))
+		return bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodedRecoversLogical(t *testing.T) {
+	f := func(seed int64, maskRaw uint8) bool {
+		logical := randLine(seed, 64)
+		stored := append([]byte(nil), logical...)
+		mask := uint64(maskRaw)
+		Apply(stored, 8, mask) // encode
+		got := Decoded(stored, 8, mask)
+		return bytes.Equal(got, logical)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskMinOnesIsOptimal(t *testing.T) {
+	// Among all 2^k masks, MaskMinOnes must achieve the minimum stored
+	// ones count.
+	const k = 4
+	f := func(seed int64) bool {
+		logical := randLine(seed, 32)
+		best := 1 << 30
+		for m := uint64(0); m < 1<<k; m++ {
+			enc := append([]byte(nil), logical...)
+			Apply(enc, k, m)
+			if n := bitutil.Ones(enc); n < best {
+				best = n
+			}
+		}
+		enc := append([]byte(nil), logical...)
+		Apply(enc, k, MaskMinOnes(logical, k))
+		return bitutil.Ones(enc) == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskMaxOnesIsOptimal(t *testing.T) {
+	const k = 4
+	f := func(seed int64) bool {
+		logical := randLine(seed, 32)
+		best := -1
+		for m := uint64(0); m < 1<<k; m++ {
+			enc := append([]byte(nil), logical...)
+			Apply(enc, k, m)
+			if n := bitutil.Ones(enc); n > best {
+				best = n
+			}
+		}
+		enc := append([]byte(nil), logical...)
+		Apply(enc, k, MaskMaxOnes(logical, k))
+		return bitutil.Ones(enc) == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskTiesKeepUninverted(t *testing.T) {
+	// A partition with exactly half ones must not be inverted by either
+	// policy (inverting buys nothing but costs a direction-bit flip).
+	half := []byte{0xF0, 0xF0, 0xF0, 0xF0} // 16 ones of 32 bits
+	if m := MaskMinOnes(half, 1); m != 0 {
+		t.Errorf("MaskMinOnes on balanced partition = %#x, want 0", m)
+	}
+	if m := MaskMaxOnes(half, 1); m != 0 {
+		t.Errorf("MaskMaxOnes on balanced partition = %#x, want 0", m)
+	}
+}
+
+func TestMaskKnownPatterns(t *testing.T) {
+	// Two partitions: first all zeros, second all ones.
+	line := append(bytes.Repeat([]byte{0x00}, 8), bytes.Repeat([]byte{0xFF}, 8)...)
+	if m := MaskMinOnes(line, 2); m != 0b10 {
+		t.Errorf("MaskMinOnes = %#b, want 0b10 (invert the all-ones partition)", m)
+	}
+	if m := MaskMaxOnes(line, 2); m != 0b01 {
+		t.Errorf("MaskMaxOnes = %#b, want 0b01 (invert the all-zeros partition)", m)
+	}
+}
+
+func TestStoredOnes(t *testing.T) {
+	per := []int{0, 64, 10, 32} // partition size 64 bits
+	if got := StoredOnes(per, 64, 0); got != 106 {
+		t.Errorf("StoredOnes(no mask) = %d, want 106", got)
+	}
+	if got := StoredOnes(per, 64, 0b0011); got != 64+0+10+32 {
+		t.Errorf("StoredOnes(invert first two) = %d, want 106", got)
+	}
+	if got := StoredOnes(per, 64, 0b1111); got != 64+0+54+32 {
+		t.Errorf("StoredOnes(invert all) = %d, want 150", got)
+	}
+}
+
+func TestStoredOnesMatchesApply(t *testing.T) {
+	f := func(seed int64, maskRaw uint8) bool {
+		logical := randLine(seed, 64)
+		const k = 8
+		mask := uint64(maskRaw)
+		per := bitutil.OnesPerPartition(logical, k, nil)
+		enc := append([]byte(nil), logical...)
+		Apply(enc, k, mask)
+		return StoredOnes(per, 64, mask) == bitutil.Ones(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindNone, KindStaticWrite, KindStaticRead, KindWriteGreedy, KindAdaptive} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q) error: %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) should fail")
+	}
+	if s := Kind(99).String(); s != "Kind(99)" {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"baseline", Spec{Kind: KindNone}, true},
+		{"baseline with partitions", Spec{Kind: KindNone, Partitions: 8}, false},
+		{"adaptive k8", Spec{Kind: KindAdaptive, Partitions: 8}, true},
+		{"adaptive k0", Spec{Kind: KindAdaptive, Partitions: 0}, false},
+		{"adaptive k3 indivisible", Spec{Kind: KindAdaptive, Partitions: 3}, false},
+		{"adaptive k128 sub-byte", Spec{Kind: KindAdaptive, Partitions: 128}, false},
+		{"static k1", Spec{Kind: KindStaticWrite, Partitions: 1}, true},
+		{"greedy k64", Spec{Kind: KindWriteGreedy, Partitions: 64}, true},
+		{"invalid kind", Spec{Kind: Kind(99), Partitions: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate(64)
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate: err=%v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestSpecDirectionBits(t *testing.T) {
+	if got := (Spec{Kind: KindNone}).DirectionBits(); got != 0 {
+		t.Errorf("baseline direction bits = %d, want 0", got)
+	}
+	if got := (Spec{Kind: KindAdaptive, Partitions: 8}).DirectionBits(); got != 8 {
+		t.Errorf("adaptive/8 direction bits = %d, want 8", got)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := (Spec{Kind: KindNone}).String(); got != "baseline" {
+		t.Errorf("baseline String = %q", got)
+	}
+	if got := (Spec{Kind: KindAdaptive, Partitions: 8}).String(); got != "cnt-cache/K=8" {
+		t.Errorf("adaptive String = %q", got)
+	}
+}
+
+func TestCheckPartitionsBounds(t *testing.T) {
+	if err := CheckPartitions(64, 64); err != nil {
+		t.Errorf("64 partitions of a 64-byte line should be allowed: %v", err)
+	}
+	if err := CheckPartitions(128, 65); err == nil {
+		t.Error("more than 64 partitions must be rejected (mask width)")
+	}
+}

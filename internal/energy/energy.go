@@ -1,0 +1,89 @@
+// Package energy defines the dynamic-energy accounting used across the
+// simulator: a per-component breakdown in femtojoules and helpers to
+// aggregate and compare reports between cache variants.
+package energy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Breakdown splits a cache's dynamic energy by component. All values in
+// femtojoules.
+type Breakdown struct {
+	// DataRead and DataWrite are cell energies on the data bits for
+	// demand accesses (including fills and writeback read-outs).
+	DataRead, DataWrite float64
+	// MetaRead and MetaWrite are cell energies on the H&D metadata bits
+	// (history counters + encoding direction).
+	MetaRead, MetaWrite float64
+	// Encoder is the adaptive encoder's mux/inverter dynamic energy.
+	Encoder float64
+	// Switch is the energy of re-encode writes drained from the update
+	// FIFO (the paper's E_encode).
+	Switch float64
+	// Periphery is decoder + tag compare + column mux energy.
+	Periphery float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.DataRead + b.DataWrite + b.MetaRead + b.MetaWrite + b.Encoder + b.Switch + b.Periphery
+}
+
+// CellData returns just the data-array cell energy (the component the
+// encoding can actually optimize).
+func (b Breakdown) CellData() float64 { return b.DataRead + b.DataWrite }
+
+// Overhead returns the energy added by the CNT-Cache machinery itself:
+// metadata, encoder and switch writes.
+func (b Breakdown) Overhead() float64 {
+	return b.MetaRead + b.MetaWrite + b.Encoder + b.Switch
+}
+
+// Add returns the component-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		DataRead:  b.DataRead + o.DataRead,
+		DataWrite: b.DataWrite + o.DataWrite,
+		MetaRead:  b.MetaRead + o.MetaRead,
+		MetaWrite: b.MetaWrite + o.MetaWrite,
+		Encoder:   b.Encoder + o.Encoder,
+		Switch:    b.Switch + o.Switch,
+		Periphery: b.Periphery + o.Periphery,
+	}
+}
+
+// String renders the breakdown compactly in picojoules.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total=%.1fpJ data(r=%.1f w=%.1f) meta(r=%.1f w=%.1f) enc=%.1f switch=%.1f perif=%.1f",
+		b.Total()/1000, b.DataRead/1000, b.DataWrite/1000,
+		b.MetaRead/1000, b.MetaWrite/1000, b.Encoder/1000, b.Switch/1000, b.Periphery/1000)
+	return sb.String()
+}
+
+// Saving returns the fractional saving of got relative to baseline
+// ((baseline-got)/baseline), 0 when the baseline is zero.
+func Saving(baseline, got float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - got) / baseline
+}
+
+// Format renders an energy in femtojoules with an adaptive unit.
+func Format(fj float64) string {
+	switch {
+	case fj >= 1e12:
+		return fmt.Sprintf("%.3f mJ", fj/1e12)
+	case fj >= 1e9:
+		return fmt.Sprintf("%.3f uJ", fj/1e9)
+	case fj >= 1e6:
+		return fmt.Sprintf("%.3f nJ", fj/1e6)
+	case fj >= 1e3:
+		return fmt.Sprintf("%.3f pJ", fj/1e3)
+	default:
+		return fmt.Sprintf("%.3f fJ", fj)
+	}
+}

@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTotalSumsComponents(t *testing.T) {
+	b := Breakdown{DataRead: 1, DataWrite: 2, MetaRead: 3, MetaWrite: 4, Encoder: 5, Switch: 6, Periphery: 7}
+	if got := b.Total(); got != 28 {
+		t.Errorf("Total = %g, want 28", got)
+	}
+	if got := b.CellData(); got != 3 {
+		t.Errorf("CellData = %g, want 3", got)
+	}
+	if got := b.Overhead(); got != 18 {
+		t.Errorf("Overhead = %g, want 18", got)
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	// Energies are physical fJ quantities; bound the generated magnitudes
+	// so float addition stays exact enough to compare.
+	f := func(a, b [7]uint32) bool {
+		toB := func(v [7]uint32) Breakdown {
+			return Breakdown{
+				DataRead: float64(v[0]), DataWrite: float64(v[1]),
+				MetaRead: float64(v[2]), MetaWrite: float64(v[3]),
+				Encoder: float64(v[4]), Switch: float64(v[5]), Periphery: float64(v[6]),
+			}
+		}
+		x, y := toB(a), toB(b)
+		s1, s2 := x.Add(y), y.Add(x)
+		return s1 == s2 && math.Abs(s1.Total()-(x.Total()+y.Total())) < 1e-6*math.Max(1, s1.Total())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaving(t *testing.T) {
+	cases := []struct{ base, got, want float64 }{
+		{100, 80, 0.2},
+		{100, 100, 0},
+		{100, 120, -0.2},
+		{0, 50, 0},
+	}
+	for _, tc := range cases {
+		if got := Saving(tc.base, tc.got); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Saving(%g,%g) = %g, want %g", tc.base, tc.got, got, tc.want)
+		}
+	}
+}
+
+func TestFormatUnits(t *testing.T) {
+	cases := []struct {
+		fj   float64
+		want string
+	}{
+		{1, "1.000 fJ"},
+		{1500, "1.500 pJ"},
+		{2.5e6, "2.500 nJ"},
+		{3e9, "3.000 uJ"},
+		{4e12, "4.000 mJ"},
+	}
+	for _, tc := range cases {
+		if got := Format(tc.fj); got != tc.want {
+			t.Errorf("Format(%g) = %q, want %q", tc.fj, got, tc.want)
+		}
+	}
+}
+
+func TestStringMentionsComponents(t *testing.T) {
+	b := Breakdown{DataRead: 1000, Switch: 2000}
+	s := b.String()
+	for _, frag := range []string{"total=", "data(", "switch=", "perif="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chart renders one numeric column of a table as a horizontal ASCII bar
+// chart — the terminal rendition of the paper's figures. Cells are
+// parsed as floats with optional '+'/'%'/'x' decoration; negative values
+// bar to the left of the axis.
+func Chart(t *Table, valueColumn string, width int) (string, error) {
+	if width < 10 {
+		width = 40
+	}
+	col := -1
+	for i, c := range t.Columns {
+		if c == valueColumn {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return "", fmt.Errorf("experiments: %s has no column %q", t.ID, valueColumn)
+	}
+
+	type bar struct {
+		label, cell string
+		value       float64
+		ok          bool
+	}
+	bars := make([]bar, 0, len(t.Rows))
+	labelW := 0
+	var maxNeg, maxPos float64
+	for _, row := range t.Rows {
+		b := bar{label: row[0], cell: strings.TrimSpace(row[col])}
+		if v, err := parseNumericCell(row[col]); err == nil {
+			b.value, b.ok = v, true
+			if v < 0 && -v > maxNeg {
+				maxNeg = -v
+			}
+			if v > 0 && v > maxPos {
+				maxPos = v
+			}
+		}
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+		bars = append(bars, b)
+	}
+	if maxNeg == 0 && maxPos == 0 {
+		maxPos = 1
+	}
+
+	// Split the width between the negative and positive sides in
+	// proportion to what the data needs.
+	negW := 0
+	if maxNeg > 0 {
+		negW = int(float64(width) * maxNeg / (maxNeg + maxPos))
+		if negW < 1 {
+			negW = 1
+		}
+	}
+	posW := width - negW
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s): %s\n", t.ID, t.Kind, valueColumn)
+	for _, b := range bars {
+		if !b.ok {
+			fmt.Fprintf(&sb, "%-*s  %*s|%-*s %s\n", labelW, b.label, negW, "", posW, "", b.cell)
+			continue
+		}
+		neg, pos := "", ""
+		if b.value < 0 && maxNeg > 0 {
+			neg = strings.Repeat("#", int(-b.value/maxNeg*float64(negW)))
+		}
+		if b.value > 0 && maxPos > 0 {
+			pos = strings.Repeat("#", int(b.value/maxPos*float64(posW)))
+		}
+		fmt.Fprintf(&sb, "%-*s  %*s|%-*s %s\n", labelW, b.label, negW, neg, posW, pos, b.cell)
+	}
+	return sb.String(), nil
+}
+
+// parseNumericCell parses "+12.3%", "9.8x", "42" and friends.
+func parseNumericCell(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "+")
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	if s == "" {
+		return 0, fmt.Errorf("empty cell")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// DefaultChartColumn picks the column Chart should render for a table:
+// the first column whose header mentions a saving, else the first column
+// where at least half the rows parse as numbers. Returns "" when nothing
+// fits.
+func DefaultChartColumn(t *Table) string {
+	if len(t.Rows) == 0 || len(t.Columns) < 2 {
+		return ""
+	}
+	if t.ChartColumn != "" {
+		return t.ChartColumn
+	}
+	for _, c := range t.Columns[1:] {
+		if strings.Contains(c, "saving") {
+			return c
+		}
+	}
+	for i, c := range t.Columns {
+		if i == 0 {
+			continue
+		}
+		numeric := 0
+		for _, row := range t.Rows {
+			if _, err := parseNumericCell(row[i]); err == nil {
+				numeric++
+			}
+		}
+		if numeric*2 >= len(t.Rows) {
+			return c
+		}
+	}
+	return ""
+}

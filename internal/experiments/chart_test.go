@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartTable() *Table {
+	t := &Table{ID: "EX", Kind: "Fig. X", Tag: "[test]", Title: "t",
+		Columns: []string{"benchmark", "saving", "other"}}
+	t.AddRow("alpha", "+50.0%", "x")
+	t.AddRow("beta", "-25.0%", "y")
+	t.AddRow("gamma", "+10.0%", "z")
+	t.AddRow("average", "", "w")
+	return t
+}
+
+func TestChartRendersBars(t *testing.T) {
+	tab := chartTable()
+	out, err := Chart(tab, "saving", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	alpha := lines[1]
+	beta := lines[2]
+	gamma := lines[3]
+	if !strings.Contains(alpha, "#") || !strings.Contains(alpha, "+50.0%") {
+		t.Errorf("alpha row: %q", alpha)
+	}
+	// Alpha's bar must be longer than gamma's (50 vs 10).
+	if strings.Count(alpha, "#") <= strings.Count(gamma, "#") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+	// Beta is negative: its bars must sit before the axis.
+	axis := strings.Index(beta, "|")
+	if axis < 0 || !strings.Contains(beta[:axis], "#") {
+		t.Errorf("negative bar not left of axis: %q", beta)
+	}
+	if strings.Contains(beta[axis:], "#") {
+		t.Errorf("negative bar leaked right of axis: %q", beta)
+	}
+}
+
+func TestChartHandlesNonNumericRows(t *testing.T) {
+	tab := chartTable()
+	out, err := Chart(tab, "saving", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "average") {
+		t.Error("non-numeric row dropped")
+	}
+}
+
+func TestChartUnknownColumn(t *testing.T) {
+	if _, err := Chart(chartTable(), "zz", 40); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestChartAllZero(t *testing.T) {
+	tab := &Table{ID: "Z", Kind: "k", Tag: "t", Title: "z", Columns: []string{"a", "v"}}
+	tab.AddRow("x", "0")
+	if _, err := Chart(tab, "v", 40); err != nil {
+		t.Fatalf("all-zero chart should render: %v", err)
+	}
+}
+
+func TestDefaultChartColumn(t *testing.T) {
+	if got := DefaultChartColumn(chartTable()); got != "saving" {
+		t.Errorf("got %q, want saving", got)
+	}
+	// Without a saving column, pick the first mostly-numeric one.
+	tab := &Table{ID: "N", Kind: "k", Tag: "t", Title: "n",
+		Columns: []string{"name", "text", "count"}}
+	tab.AddRow("a", "hello", "3")
+	tab.AddRow("b", "world", "5")
+	if got := DefaultChartColumn(tab); got != "count" {
+		t.Errorf("got %q, want count", got)
+	}
+	empty := &Table{ID: "E", Columns: []string{"only"}}
+	if got := DefaultChartColumn(empty); got != "" {
+		t.Errorf("empty table column = %q", got)
+	}
+}
+
+func TestParseNumericCell(t *testing.T) {
+	cases := map[string]float64{
+		"+12.3%": 12.3,
+		"-4.5%":  -4.5,
+		"9.8x":   9.8,
+		"42":     42,
+		" 7 ":    7,
+	}
+	for in, want := range cases {
+		got, err := parseNumericCell(in)
+		if err != nil || got != want {
+			t.Errorf("parseNumericCell(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "abc", "n/a"} {
+		if _, err := parseNumericCell(bad); err == nil {
+			t.Errorf("parseNumericCell(%q) should fail", bad)
+		}
+	}
+}
+
+func TestChartOnRealExperiment(t *testing.T) {
+	tab, err := runE1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := DefaultChartColumn(tab)
+	if col == "" {
+		t.Fatal("E1 should have a chartable column")
+	}
+	out, err := Chart(tab, col, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cnfet-32") {
+		t.Error("chart missing device rows")
+	}
+}

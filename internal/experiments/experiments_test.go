@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 1, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("registry has %d experiments, want 13 (E1-E13)", len(ids))
+	}
+	for i, id := range ids {
+		want := "E" + strconv.Itoa(i+1)
+		if id != want {
+			t.Errorf("position %d: id %q, want %q", i, id, want)
+		}
+	}
+	for _, e := range Registry() {
+		if e.Title == "" || e.Kind == "" || e.Tag == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration %+v", e.ID, e)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E3")
+	if err != nil || e.ID != "E3" {
+		t.Fatalf("ByID(E3): %v %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table id %q != experiment id %q", tab.ID, e.ID)
+			}
+			if out := tab.Render(); !strings.Contains(out, e.ID) {
+				t.Error("render missing experiment id")
+			}
+			if csv := tab.CSV(); !strings.Contains(csv, tab.Columns[0]) {
+				t.Error("csv missing header")
+			}
+		})
+	}
+}
+
+func TestE1ShowsTenXAsymmetry(t *testing.T) {
+	tab, err := runE1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i, row := range tab.Rows {
+		if row[0] == "cnfet-32" {
+			found = true
+			cell, err := tab.Cell(i, "wr1/wr0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 9 || v > 11 {
+				t.Errorf("asymmetry %v, want ~10x", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("cnfet-32 row missing")
+	}
+}
+
+func TestE3HasAverageRow(t *testing.T) {
+	tab, err := runE3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "average" {
+		t.Fatalf("last row %v, want the average", last)
+	}
+	// The cnt-cache average on the quick subset (mm, hist, list) must be
+	// clearly positive.
+	cell, err := tab.Cell(len(tab.Rows)-1, "cnt-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	if v < 5 {
+		t.Errorf("quick-subset cnt-cache average %v%%, want clearly positive", v)
+	}
+}
+
+func TestTableCellLookup(t *testing.T) {
+	tab := &Table{ID: "X", Kind: "k", Tag: "t", Title: "x", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	if v, err := tab.Cell(0, "b"); err != nil || v != "2" {
+		t.Errorf("Cell = %q, %v", v, err)
+	}
+	if _, err := tab.Cell(0, "zz"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := tab.Cell(5, "a"); err == nil {
+		t.Error("out-of-range row should fail")
+	}
+}
+
+func TestTableValidateRectangular(t *testing.T) {
+	tab := &Table{ID: "X", Columns: []string{"a", "b"}}
+	tab.Rows = append(tab.Rows, []string{"only-one"})
+	if err := tab.Validate(); err == nil {
+		t.Error("ragged table should fail validation")
+	}
+	if err := (&Table{}).Validate(); err == nil {
+		t.Error("empty table should fail validation")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &Table{ID: "X", Kind: "k", Tag: "t", Title: "x", Columns: []string{"a"}}
+	tab.AddRow(`va"l,ue`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"va""l,ue"`) {
+		t.Errorf("csv quoting wrong: %q", csv)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	tabs, err := RunAll(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 13 {
+		t.Fatalf("RunAll produced %d tables", len(tabs))
+	}
+	for i, tab := range tabs {
+		if idOrder(tab.ID) != i+1 {
+			t.Errorf("tables out of order at %d: %s", i, tab.ID)
+		}
+	}
+}

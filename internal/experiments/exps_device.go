@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/sram"
+)
+
+// runE1 reproduces Table 1 (tab:rw-analysis): the per-bit access energies
+// of the CNFET SRAM cell, alongside the CMOS comparison cell. The two
+// relations the paper states — writing '1' ~10x writing '0', and the read
+// delta close to the write delta — must be visible in the CNFET row.
+func runE1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID: "E1", Kind: "Table 1", Tag: "[paper]",
+		Title:   "Per-bit SRAM cell access energy (fJ)",
+		Columns: []string{"device", "E_rd0", "E_rd1", "E_wr0", "E_wr1", "wr1/wr0", "rd_delta", "wr_delta"},
+	}
+	for _, name := range cnfet.PresetNames() {
+		dev, err := cnfet.PresetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := dev.Table()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", tab.ReadZero), fmt.Sprintf("%.2f", tab.ReadOne),
+			fmt.Sprintf("%.2f", tab.WriteZero), fmt.Sprintf("%.2f", tab.WriteOne),
+			fmt.Sprintf("%.1fx", tab.WriteAsymmetry()),
+			fmt.Sprintf("%.2f", tab.ReadDelta()), fmt.Sprintf("%.2f", tab.WriteDelta()))
+	}
+	t.Notes = append(t.Notes,
+		"cnfet-32 satisfies the paper's stated relations: E_wr1 ≈ 10x E_wr0 and E_rd0-E_rd1 ≈ E_wr1-E_wr0",
+		"values derive from the analytic device model (SPICE substitution; see DESIGN.md)")
+	return t, t.Validate()
+}
+
+// runE2 emits the simulated system configuration (Table 2).
+func runE2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID: "E2", Kind: "Table 2", Tag: "[reconstructed]",
+		Title:   "Simulated cache and CNT-Cache configuration",
+		Columns: []string{"parameter", "value"},
+	}
+	hier := cache.DefaultHierarchyConfig()
+	opts := core.DefaultOptions()
+	geomStr := func(g sram.Geometry) string {
+		return fmt.Sprintf("%d KiB, %d sets x %d ways, %dB lines",
+			g.CapacityBytes()/1024, g.Sets, g.Ways, g.LineBytes)
+	}
+	metaBits, err := sram.MetadataBits(opts.Window, opts.Spec.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("L1 D-cache", geomStr(hier.L1D.Geometry))
+	t.AddRow("L1 I-cache", geomStr(hier.L1I.Geometry))
+	t.AddRow("L2 cache", geomStr(hier.L2.Geometry))
+	t.AddRow("device", opts.Table.Name)
+	t.AddRow("encoding", opts.Spec.String())
+	t.AddRow("prediction window W", fmt.Sprintf("%d accesses", opts.Window))
+	t.AddRow("switch hysteresis dT", fmt.Sprintf("%.2f", opts.DeltaT))
+	t.AddRow("update FIFO depth", fmt.Sprintf("%d entries", opts.FIFODepth))
+	t.AddRow("idle drain rate", fmt.Sprintf("%d/access", opts.IdleSlots))
+	t.AddRow("H&D metadata", fmt.Sprintf("%d bits/line (%.1f%% of line)", metaBits,
+		100*float64(metaBits)/float64(hier.L1D.Geometry.LineBytes*8)))
+	t.AddRow("access energy granularity", opts.Granularity.String())
+	t.AddRow("switch cost model", opts.SwitchCost.String())
+	t.AddRow("fill policy", opts.FillPolicy.String())
+	return t, t.Validate()
+}
+
+// runE11 compares the CNFET devices against CMOS (Table 4): baseline
+// cache energy per benchmark on each device, and what adaptive encoding
+// can still extract from the nearly-symmetric CMOS cell.
+func runE11(cfg Config) (*Table, error) {
+	t := &Table{
+		ID: "E11", Kind: "Table 4", Tag: "[reconstructed]",
+		Title: "CNFET vs CMOS: baseline D-cache energy and adaptive-encoding headroom",
+		Columns: []string{"benchmark", "cmos base (nJ)", "cnfet base (nJ)", "cnfet/cmos",
+			"cnt-saving on cnfet", "cnt-saving on cmos"},
+	}
+	hier := cache.DefaultHierarchyConfig()
+	cnTab := defaultTable()
+	cmTab := cnfet.MustTable(cnfet.CMOS32())
+
+	mkOpts := func(tab cnfet.EnergyTable, adaptive bool) core.Options {
+		if !adaptive {
+			o := core.BaselineOptions()
+			o.Table = tab
+			return o
+		}
+		o := core.DefaultOptions()
+		o.Table = tab
+		return o
+	}
+
+	var sumRatio, sumCn, sumCm float64
+	n := 0
+	for _, b := range kernels(cfg) {
+		inst := b.Build(cfg.Seed)
+		cmBase, cmCnt, err := runPair(inst, hier, mkOpts(cmTab, false), mkOpts(cmTab, true))
+		if err != nil {
+			return nil, err
+		}
+		cnBase, cnCnt, err := runPair(inst, hier, mkOpts(cnTab, false), mkOpts(cnTab, true))
+		if err != nil {
+			return nil, err
+		}
+		ratio := cnBase.DEnergy.Total() / cmBase.DEnergy.Total()
+		sCn := energy.Saving(cnBase.DEnergy.Total(), cnCnt.DEnergy.Total())
+		sCm := energy.Saving(cmBase.DEnergy.Total(), cmCnt.DEnergy.Total())
+		t.AddRow(b.Name, nj(cmBase.DEnergy.Total()), nj(cnBase.DEnergy.Total()),
+			fmt.Sprintf("%.2f", ratio), pct(sCn), pct(sCm))
+		sumRatio += ratio
+		sumCn += sCn
+		sumCm += sCm
+		n++
+	}
+	t.AddRow("average", "", "", fmt.Sprintf("%.2f", sumRatio/float64(n)),
+		pct(sumCn/float64(n)), pct(sumCm/float64(n)))
+	t.Notes = append(t.Notes,
+		"the CNFET cell is cheaper per access AND asymmetric; adaptive encoding only pays on the asymmetric device")
+	return t, t.Validate()
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+)
+
+// runE3 is the headline reproduction (Fig. 3): D-cache dynamic energy per
+// benchmark under every encoding variant, normalized to the baseline
+// CNFET cache. The paper reports a 22.2% average reduction for the
+// optimized D-cache; the reproduced average should land in the same band.
+func runE3(cfg Config) (*Table, error) {
+	tab := defaultTable()
+	variants := core.Variants(tab, 8, 15)
+	t := &Table{
+		ID: "E3", Kind: "Fig. 3", Tag: "[paper headline]",
+		Title: "D-cache dynamic energy saving vs baseline CNFET cache",
+		Columns: append(append([]string{"benchmark", "baseline (nJ)"},
+			variantNames(variants)[1:]...), "oracle-static"),
+		ChartColumn: "cnt-cache",
+	}
+	hier := cache.DefaultHierarchyConfig()
+	sums := make([]float64, len(variants)) // [0..n-2] online variants, [n-1] oracle
+	ks := kernels(cfg)
+	for _, b := range ks {
+		inst := b.Build(cfg.Seed)
+		cmp, err := core.Compare(inst, hier, variants)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{b.Name, nj(cmp.BaselineTotal())}
+		for i, name := range cmp.Names[1:] {
+			s := cmp.SavingOf(name)
+			sums[i] += s
+			row = append(row, pct(s))
+		}
+		// Offline upper bound: best fixed per-line mask, full-trace
+		// knowledge.
+		oracleOpts, err := core.OracleVariant(inst, hier, tab, 8)
+		if err != nil {
+			return nil, err
+		}
+		oRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: oracleOpts, IOpts: oracleOpts})
+		if err != nil {
+			return nil, err
+		}
+		oS := energy.Saving(cmp.BaselineTotal(), oRep.DEnergy.Total())
+		sums[len(sums)-1] += oS
+		row = append(row, pct(oS))
+		t.AddRow(row...)
+	}
+	avgRow := []interface{}{"average", ""}
+	for _, s := range sums {
+		avgRow = append(avgRow, pct(s/float64(len(ks))))
+	}
+	t.AddRow(avgRow...)
+	t.Notes = append(t.Notes,
+		"paper claim: optimized CNFET D-cache reduces dynamic power by 22.2% on average",
+		"oracle-static pins each line's best fixed mask using full-trace knowledge: the static upper bound",
+		"expected shapes: cnt-cache > write-greedy and > static-write on average; partitioned (cnt-cache) >= whole-line (cnt-whole) on heterogeneous data (list)")
+	return t, t.Validate()
+}
+
+func variantNames(vs []core.Variant) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// runE4 sweeps the prediction window W (Fig. 4): small windows react fast
+// but thrash and spend more history bits per useful decision; large
+// windows adapt too slowly.
+func runE4(cfg Config) (*Table, error) {
+	windows := []int{3, 7, 15, 31, 63}
+	if cfg.Quick {
+		windows = []int{7, 15, 31}
+	}
+	t := &Table{
+		ID: "E4", Kind: "Fig. 4", Tag: "[reconstructed]",
+		Title:   "Average D-cache saving vs prediction window W",
+		Columns: []string{"W", "avg saving", "meta bits/line", "switches (suite)", "windows (suite)"},
+	}
+	for _, w := range windows {
+		opts := core.DefaultOptions()
+		opts.Window = w
+		avg, _, detail, err := suiteSaving(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		var sw, wins uint64
+		var metaBits int
+		for _, rep := range detail {
+			sw += rep.DSwitches
+			wins += rep.DWindows
+			metaBits = rep.DMetaBits
+		}
+		t.AddRow(fmt.Sprintf("%d", w), pct(avg), metaBits, sw, wins)
+	}
+	t.Notes = append(t.Notes, "W=15 is the paper's default checkpoint size")
+	return t, t.Validate()
+}
+
+// runE5 sweeps the partition count K (Fig. 5 / §III-B): more partitions
+// exploit heterogeneous lines but cost direction bits.
+func runE5(cfg Config) (*Table, error) {
+	parts := []int{1, 2, 4, 8, 16, 32, 64}
+	if cfg.Quick {
+		parts = []int{1, 8, 64}
+	}
+	t := &Table{
+		ID: "E5", Kind: "Fig. 5", Tag: "[paper §III-B]",
+		Title:   "Average D-cache saving vs partition count K",
+		Columns: []string{"K", "avg saving", "saving on list", "direction bits", "meta bits/line"},
+	}
+	for _, k := range parts {
+		opts := core.DefaultOptions()
+		opts.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: k}
+		avg, per, detail, err := suiteSaving(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		metaBits := 0
+		for _, rep := range detail {
+			metaBits = rep.DMetaBits
+		}
+		t.AddRow(fmt.Sprintf("%d", k), pct(avg), pct(per["list"]), k, metaBits)
+	}
+	t.Notes = append(t.Notes,
+		"the list kernel's heterogeneous node layout (sparse pointer + zero metadata + dense payload) is where partitioning beats whole-line inversion",
+		"expected shape: saving rises from K=1, plateaus, then decays as direction-bit overhead grows")
+	return t, t.Validate()
+}
+
+// runE7 sweeps the ΔT switch hysteresis (Fig. 7), the knob the paper's
+// recovered text says was tuned experimentally.
+func runE7(cfg Config) (*Table, error) {
+	deltas := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}
+	if cfg.Quick {
+		deltas = []float64{0, 0.1, 0.4}
+	}
+	t := &Table{
+		ID: "E7", Kind: "Fig. 7", Tag: "[paper ΔT]",
+		Title:   "Average D-cache saving vs switch hysteresis ΔT",
+		Columns: []string{"dT", "avg saving", "switches (suite)"},
+	}
+	for _, dt := range deltas {
+		opts := core.DefaultOptions()
+		opts.DeltaT = dt
+		avg, _, detail, err := suiteSaving(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		var sw uint64
+		for _, rep := range detail {
+			sw += rep.DSwitches
+		}
+		t.AddRow(fmt.Sprintf("%.2f", dt), pct(avg), sw)
+	}
+	t.Notes = append(t.Notes,
+		"switch count falls monotonically with dT; saving is flat up to ~0.1 then decays (the default)")
+	return t, t.Validate()
+}
+
+// runE8 accounts the CNT-Cache overheads (Table 3).
+func runE8(cfg Config) (*Table, error) {
+	t := &Table{
+		ID: "E8", Kind: "Table 3", Tag: "[reconstructed]",
+		Title: "CNT-Cache overhead accounting per benchmark",
+		Columns: []string{"benchmark", "meta energy share", "encoder share", "switch share",
+			"overhead total", "fifo drop rate", "switches/1k acc"},
+	}
+	opts := core.DefaultOptions()
+	_, _, detail, err := suiteSaving(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range kernels(cfg) {
+		rep := detail[b.Name]
+		tot := rep.DEnergy.Total()
+		meta := (rep.DEnergy.MetaRead + rep.DEnergy.MetaWrite) / tot
+		enc := rep.DEnergy.Encoder / tot
+		sw := rep.DEnergy.Switch / tot
+		perK := float64(rep.DSwitches) / float64(rep.DStats.Accesses) * 1000
+		t.AddRow(b.Name, pct(meta), pct(enc), pct(sw), pct(rep.DEnergy.Overhead()/tot),
+			fmt.Sprintf("%.3f", rep.DFIFO.DropRate()), fmt.Sprintf("%.2f", perK))
+	}
+	mb := 0
+	for _, rep := range detail {
+		mb = rep.DMetaBits
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("H&D area overhead: %d bits on a 512-bit line = %.1f%%", mb, 100*float64(mb)/512),
+		"the data path is never stalled: a full FIFO drops the re-encode instead (drop rate column)")
+	return t, t.Validate()
+}
+
+// runE10 runs the design-choice ablations (Fig. 9).
+func runE10(cfg Config) (*Table, error) {
+	t := &Table{
+		ID: "E10", Kind: "Fig. 9", Tag: "[ablation]",
+		Title:   "Design-choice ablations: average D-cache saving",
+		Columns: []string{"configuration", "avg saving", "delta vs default"},
+	}
+	type ab struct {
+		name   string
+		mutate func(*core.Options)
+	}
+	abls := []ab{
+		{"default (K=8 W=15 dT=0.1 flipped-only line-gran neutral-fill)", func(o *core.Options) {}},
+		{"fill=write-optimal", func(o *core.Options) { o.FillPolicy = core.FillWriteOptimal }},
+		{"switch=full-line", func(o *core.Options) { o.SwitchCost = core.SwitchFullLine }},
+		{"granularity=word", func(o *core.Options) { o.Granularity = core.GranularityWord }},
+		{"fifo depth=1", func(o *core.Options) { o.FIFODepth = 1 }},
+		{"no idle slots (drain only at end)", func(o *core.Options) { o.IdleSlots = 0 }},
+		{"dT=0 (pure Algorithm 1)", func(o *core.Options) { o.DeltaT = 0 }},
+	}
+	if cfg.Quick {
+		abls = abls[:3]
+	}
+	var def float64
+	for i, a := range abls {
+		opts := core.DefaultOptions()
+		a.mutate(&opts)
+		avg, _, _, err := suiteSaving(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			def = avg
+		}
+		t.AddRow(a.name, pct(avg), pct(avg-def))
+	}
+	t.Notes = append(t.Notes,
+		"each row is compared against a baseline sharing its granularity setting (DESIGN.md decision 4)")
+	return t, t.Validate()
+}

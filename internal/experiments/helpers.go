@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// kernels returns the benchmark set for the run configuration: the full
+// 10-kernel suite, or a 3-kernel subset covering the main regimes in quick
+// mode.
+func kernels(cfg Config) []workload.Builder {
+	suite := workload.Suite()
+	if !cfg.Quick {
+		return suite
+	}
+	var out []workload.Builder
+	for _, b := range suite {
+		switch b.Name {
+		case "mm", "hist", "list":
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// defaultTable is the reference CNFET energy model.
+func defaultTable() cnfet.EnergyTable { return cnfet.MustTable(cnfet.CNFET32()) }
+
+// runPair runs a workload under a baseline and a candidate D-cache
+// configuration and returns (baselineReport, candidateReport).
+func runPair(inst *workload.Instance, hier cache.HierarchyConfig, baseOpts, opts core.Options) (*core.Report, *core.Report, error) {
+	b, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: baseOpts, IOpts: baseOpts})
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, c, nil
+}
+
+// suiteSaving returns the average D-cache saving of opts over the
+// baseline across the benchmark set, plus per-kernel detail.
+func suiteSaving(cfg Config, opts core.Options) (avg float64, perKernel map[string]float64, detail map[string]*core.Report, err error) {
+	hier := cache.DefaultHierarchyConfig()
+	base := core.BaselineOptions()
+	base.Table = opts.Table
+	base.Granularity = opts.Granularity // compare like with like
+	perKernel = map[string]float64{}
+	detail = map[string]*core.Report{}
+	ks := kernels(cfg)
+	for _, b := range ks {
+		inst := b.Build(cfg.Seed)
+		bRep, cRep, e := runPair(inst, hier, base, opts)
+		if e != nil {
+			return 0, nil, nil, fmt.Errorf("%s: %w", b.Name, e)
+		}
+		s := energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total())
+		perKernel[b.Name] = s
+		detail[b.Name] = cRep
+		avg += s
+	}
+	avg /= float64(len(ks))
+	return avg, perKernel, detail, nil
+}
+
+// pct formats a fraction as a signed percentage cell.
+func pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }
+
+// nj formats femtojoules as nanojoules.
+func nj(fj float64) string { return fmt.Sprintf("%.1f", fj/1e6) }

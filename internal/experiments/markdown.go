@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders a table as a GitHub-flavored markdown section.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s %s\n\n%s\n\n", t.ID, t.Kind, t.Tag, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n> %s\n", n)
+	}
+	return sb.String()
+}
+
+// MarkdownReport assembles a full results document from a set of tables.
+func MarkdownReport(tabs []*Table, header string) string {
+	var sb strings.Builder
+	sb.WriteString("# CNT-Cache reproduction results\n\n")
+	if header != "" {
+		sb.WriteString(header + "\n\n")
+	}
+	for _, t := range tabs {
+		sb.WriteString(t.Markdown())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownTable(t *testing.T) {
+	tab := &Table{ID: "E0", Kind: "Fig. 0", Tag: "[test]", Title: "demo",
+		Columns: []string{"a", "b"}}
+	tab.AddRow("x|y", "2")
+	tab.Notes = append(tab.Notes, "a note")
+	md := tab.Markdown()
+	for _, frag := range []string{
+		"### E0 — Fig. 0 [test]",
+		"| a | b |",
+		"|---|---|",
+		`x\|y`, // pipes escaped
+		"> a note",
+	} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, md)
+		}
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	t1 := &Table{ID: "E1", Kind: "T", Tag: "[x]", Title: "one", Columns: []string{"c"}}
+	t1.AddRow("v")
+	t2 := &Table{ID: "E2", Kind: "T", Tag: "[x]", Title: "two", Columns: []string{"c"}}
+	t2.AddRow("w")
+	out := MarkdownReport([]*Table{t1, t2}, "hello header")
+	if !strings.HasPrefix(out, "# CNT-Cache reproduction results") {
+		t.Error("missing document title")
+	}
+	if !strings.Contains(out, "hello header") {
+		t.Error("missing header")
+	}
+	if strings.Index(out, "### E1") > strings.Index(out, "### E2") {
+		t.Error("tables out of order")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config steers an experiment run.
+type Config struct {
+	// Seed feeds every workload generator.
+	Seed int64
+	// Quick trims sweeps and the kernel set for fast smoke runs (used by
+	// the benchmarks' -short mode and tests).
+	Quick bool
+}
+
+// DefaultConfig is the full-fidelity run configuration.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// Experiment is one registered table/figure generator.
+type Experiment struct {
+	// ID is "E1".."E11".
+	ID string
+	// Kind is the artifact ("Table 1", "Fig. 3").
+	Kind string
+	// Title is the one-line description.
+	Title string
+	// Tag is the provenance marker.
+	Tag string
+	// Run regenerates the artifact.
+	Run func(cfg Config) (*Table, error)
+}
+
+// Registry returns every experiment in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{ID: "E1", Kind: "Table 1", Tag: "[paper]",
+			Title: "Per-bit CNFET SRAM read/write energy (tab:rw-analysis)", Run: runE1},
+		{ID: "E2", Kind: "Table 2", Tag: "[reconstructed]",
+			Title: "Simulated cache and CNT-Cache configuration", Run: runE2},
+		{ID: "E3", Kind: "Fig. 3", Tag: "[paper headline]",
+			Title: "D-cache dynamic energy per benchmark, all variants (22.2% claim)", Run: runE3},
+		{ID: "E4", Kind: "Fig. 4", Tag: "[reconstructed]",
+			Title: "Saving vs prediction window W", Run: runE4},
+		{ID: "E5", Kind: "Fig. 5", Tag: "[paper §III-B]",
+			Title: "Saving vs partition count K (partitioned encoding)", Run: runE5},
+		{ID: "E6", Kind: "Fig. 6", Tag: "[reconstructed]",
+			Title: "Saving vs read/write mix and data bit density", Run: runE6},
+		{ID: "E7", Kind: "Fig. 7", Tag: "[paper ΔT]",
+			Title: "Saving vs switch hysteresis ΔT", Run: runE7},
+		{ID: "E8", Kind: "Table 3", Tag: "[reconstructed]",
+			Title: "CNT-Cache overhead accounting (H&D bits, encoder, FIFO)", Run: runE8},
+		{ID: "E9", Kind: "Fig. 8", Tag: "[reconstructed]",
+			Title: "I-cache vs D-cache savings on ISA programs", Run: runE9},
+		{ID: "E10", Kind: "Fig. 9", Tag: "[ablation]",
+			Title: "Design-choice ablations (fill policy, switch cost, granularity, replacement)", Run: runE10},
+		{ID: "E11", Kind: "Table 4", Tag: "[reconstructed]",
+			Title: "CNFET vs CMOS device comparison", Run: runE11},
+		{ID: "E12", Kind: "Table 5", Tag: "[extension]",
+			Title: "Leakage-aware accounting (dynamic-only vs combined)", Run: runE12},
+		{ID: "E13", Kind: "Fig. 10", Tag: "[extension]",
+			Title: "Direction-prediction policy comparison (window/conf/ewma)", Run: runE13},
+	}
+	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
+	return exps
+}
+
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs returns the registered IDs in order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	return ids
+}

@@ -1,0 +1,146 @@
+// Package experiments defines the reproduction's evaluation suite: one
+// registered experiment per table/figure of DESIGN.md, each of which
+// regenerates its rows from scratch through the simulator. The cntbench
+// command and the root-level benchmarks are thin wrappers over this
+// registry.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result: a titled grid of cells.
+type Table struct {
+	// ID is the experiment identifier ("E3").
+	ID string
+	// Kind is the artifact it reproduces ("Fig. 3", "Table 1").
+	Kind string
+	// Title describes the content.
+	Title string
+	// Tag is the provenance marker from DESIGN.md ("[paper]",
+	// "[reconstructed]", "[ablation]").
+	Tag string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the body cells, each row len(Columns) long.
+	Rows [][]string
+	// Notes are free-form footnotes.
+	Notes []string
+	// ChartColumn optionally names the column the ASCII chart rendition
+	// should plot; empty lets DefaultChartColumn pick.
+	ChartColumn string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Validate checks the grid is rectangular.
+func (t *Table) Validate() error {
+	if t.ID == "" || len(t.Columns) == 0 {
+		return fmt.Errorf("experiments: table needs an ID and columns")
+	}
+	for i, r := range t.Rows {
+		if len(r) != len(t.Columns) {
+			return fmt.Errorf("experiments: %s row %d has %d cells, want %d", t.ID, i, len(r), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s) %s — %s\n", t.ID, t.Kind, t.Tag, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := len(t.Columns)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV returns the table as comma-separated values (RFC-4180 quoting for
+// cells containing commas or quotes).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Cell returns the cell at (row, column-name), for tests and summaries.
+func (t *Table) Cell(row int, column string) (string, error) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return "", fmt.Errorf("experiments: %s has no column %q", t.ID, column)
+	}
+	if row < 0 || row >= len(t.Rows) {
+		return "", fmt.Errorf("experiments: %s row %d out of range", t.ID, row)
+	}
+	return t.Rows[row][col], nil
+}

@@ -1,0 +1,143 @@
+// Package fifo implements the deferred-update queues of the CNT-Cache
+// architecture. When the predictor decides a line's encoding direction
+// must change, the re-encoded data is not written back immediately — that
+// would steal a slot on the cache write data path. Instead the new data
+// enters a data FIFO and the line's address enters a synchronized index
+// FIFO (Figure 1 of the paper); the pair is drained into the array when
+// the cache has an idle cycle.
+//
+// The simulator models the pair as one queue of Update records plus an
+// idle-slot drain policy: every cache access advances time by one busy
+// slot, and between accesses the cache is assumed idle for a configurable
+// number of slots, each of which can retire one queued update. A full
+// queue never stalls the data path; the incoming update is dropped (the
+// line simply keeps its old, sub-optimal encoding until the predictor
+// fires again) and the drop is counted.
+package fifo
+
+import (
+	"fmt"
+)
+
+// Update is one pending re-encode: the set/way coordinates of the line and
+// the fully re-encoded stored image plus its new direction mask.
+type Update struct {
+	// Set and Way locate the line in the cache array.
+	Set, Way int
+	// Data is the re-encoded stored line image.
+	Data []byte
+	// Mask is the new per-partition direction mask.
+	Mask uint64
+	// Ones caches the popcount of Data for energy accounting.
+	Ones int
+}
+
+// Queue is a bounded FIFO of pending updates with drop-on-full semantics
+// and drain accounting. The zero value is unusable; use New.
+type Queue struct {
+	buf        []Update
+	head, size int
+
+	enqueued uint64
+	drained  uint64
+	dropped  uint64
+	replaced uint64
+}
+
+// New creates a queue with the given capacity (the hardware FIFO depth).
+func New(capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("fifo: capacity must be positive, got %d", capacity)
+	}
+	return &Queue{buf: make([]Update, capacity)}, nil
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len returns the number of pending updates.
+func (q *Queue) Len() int { return q.size }
+
+// Push enqueues an update. If an update for the same set/way is already
+// pending it is replaced in place (the newer re-encode supersedes it,
+// exactly as the hardware index FIFO would coalesce). If the queue is
+// full the update is dropped and false is returned.
+func (q *Queue) Push(u Update) bool {
+	for i := 0; i < q.size; i++ {
+		p := &q.buf[(q.head+i)%len(q.buf)]
+		if p.Set == u.Set && p.Way == u.Way {
+			*p = u
+			q.replaced++
+			return true
+		}
+	}
+	if q.size == len(q.buf) {
+		q.dropped++
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = u
+	q.size++
+	q.enqueued++
+	return true
+}
+
+// Pop removes and returns the oldest pending update.
+func (q *Queue) Pop() (Update, bool) {
+	if q.size == 0 {
+		return Update{}, false
+	}
+	u := q.buf[q.head]
+	q.buf[q.head] = Update{} // release references
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.drained++
+	return u, true
+}
+
+// Invalidate removes any pending update for the given line, returning
+// whether one was dropped. Called when the cache evicts the line so a
+// stale re-encode cannot clobber a new resident.
+func (q *Queue) Invalidate(set, way int) bool {
+	for i := 0; i < q.size; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if q.buf[idx].Set == set && q.buf[idx].Way == way {
+			// Compact by shifting the tail down one slot.
+			for j := i; j < q.size-1; j++ {
+				from := (q.head + j + 1) % len(q.buf)
+				to := (q.head + j) % len(q.buf)
+				q.buf[to] = q.buf[from]
+			}
+			q.buf[(q.head+q.size-1)%len(q.buf)] = Update{}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Stats reports the queue's lifetime accounting.
+type Stats struct {
+	// Enqueued counts successfully queued new updates.
+	Enqueued uint64
+	// Drained counts updates retired into the array.
+	Drained uint64
+	// Dropped counts updates lost to a full queue.
+	Dropped uint64
+	// Replaced counts in-place coalesces of a same-line update.
+	Replaced uint64
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (q *Queue) Stats() Stats {
+	return Stats{Enqueued: q.enqueued, Drained: q.drained, Dropped: q.dropped, Replaced: q.replaced}
+}
+
+// DropRate returns dropped/(enqueued+dropped), the fraction of re-encodes
+// the FIFO could not absorb.
+func (s Stats) DropRate() float64 {
+	total := s.Enqueued + s.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(total)
+}

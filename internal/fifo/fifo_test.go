@@ -1,0 +1,212 @@
+package fifo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, n int) *Queue {
+	t.Helper()
+	q, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) should fail", n)
+		}
+	}
+}
+
+func TestPushPopFIFOOrder(t *testing.T) {
+	q := mustNew(t, 4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(Update{Set: i, Way: 0}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	for i := 0; i < 4; i++ {
+		u, ok := q.Pop()
+		if !ok || u.Set != i {
+			t.Fatalf("pop %d: got %+v ok=%v", i, u, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop of empty queue should fail")
+	}
+}
+
+func TestPushDropsWhenFull(t *testing.T) {
+	q := mustNew(t, 2)
+	q.Push(Update{Set: 0})
+	q.Push(Update{Set: 1})
+	if q.Push(Update{Set: 2}) {
+		t.Fatal("push into full queue should be dropped")
+	}
+	s := q.Stats()
+	if s.Dropped != 1 || s.Enqueued != 2 {
+		t.Fatalf("stats = %+v, want 2 enqueued 1 dropped", s)
+	}
+	if got := s.DropRate(); got != 1.0/3.0 {
+		t.Errorf("DropRate = %g, want 1/3", got)
+	}
+}
+
+func TestPushCoalescesSameLine(t *testing.T) {
+	q := mustNew(t, 2)
+	q.Push(Update{Set: 3, Way: 1, Mask: 0x1})
+	if !q.Push(Update{Set: 3, Way: 1, Mask: 0xFF}) {
+		t.Fatal("coalescing push should succeed even logically")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after coalesce", q.Len())
+	}
+	u, _ := q.Pop()
+	if u.Mask != 0xFF {
+		t.Errorf("coalesced mask = %#x, want the newer 0xFF", u.Mask)
+	}
+	if s := q.Stats(); s.Replaced != 1 || s.Enqueued != 1 {
+		t.Errorf("stats = %+v, want 1 enqueued 1 replaced", s)
+	}
+	// Same set different way must not coalesce.
+	q2 := mustNew(t, 4)
+	q2.Push(Update{Set: 3, Way: 0})
+	q2.Push(Update{Set: 3, Way: 1})
+	if q2.Len() != 2 {
+		t.Error("different ways must occupy distinct slots")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := mustNew(t, 3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Push(Update{Set: round*10 + i}) {
+				t.Fatalf("round %d push %d rejected", round, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			u, ok := q.Pop()
+			if !ok || u.Set != round*10+i {
+				t.Fatalf("round %d pop %d: %+v ok=%v", round, i, u, ok)
+			}
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	q := mustNew(t, 4)
+	q.Push(Update{Set: 0, Way: 0})
+	q.Push(Update{Set: 1, Way: 1})
+	q.Push(Update{Set: 2, Way: 2})
+	if !q.Invalidate(1, 1) {
+		t.Fatal("Invalidate of present line should report true")
+	}
+	if q.Invalidate(1, 1) {
+		t.Fatal("second Invalidate should report false")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	u1, _ := q.Pop()
+	u2, _ := q.Pop()
+	if u1.Set != 0 || u2.Set != 2 {
+		t.Errorf("remaining order = %d,%d, want 0,2", u1.Set, u2.Set)
+	}
+}
+
+func TestInvalidateHead(t *testing.T) {
+	q := mustNew(t, 4)
+	q.Push(Update{Set: 0})
+	q.Push(Update{Set: 1})
+	if !q.Invalidate(0, 0) {
+		t.Fatal("should invalidate head")
+	}
+	u, ok := q.Pop()
+	if !ok || u.Set != 1 {
+		t.Fatalf("after head invalidate, pop = %+v", u)
+	}
+}
+
+func TestInvalidateAcrossWrap(t *testing.T) {
+	q := mustNew(t, 3)
+	q.Push(Update{Set: 0})
+	q.Push(Update{Set: 1})
+	q.Pop() // head advances to index 1
+	q.Push(Update{Set: 2})
+	q.Push(Update{Set: 3}) // wraps into slot 0
+	if !q.Invalidate(2, 0) {
+		t.Fatal("should invalidate middle element across wrap")
+	}
+	u1, _ := q.Pop()
+	u2, _ := q.Pop()
+	if u1.Set != 1 || u2.Set != 3 {
+		t.Errorf("order after wrap invalidate = %d,%d, want 1,3", u1.Set, u2.Set)
+	}
+}
+
+func TestQueueNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q, err := New(4)
+		if err != nil {
+			return false
+		}
+		popped := uint64(0)
+		for i, op := range ops {
+			switch op % 3 {
+			case 0:
+				q.Push(Update{Set: i, Way: int(op)})
+			case 1:
+				if _, ok := q.Pop(); ok {
+					popped++
+				}
+			case 2:
+				q.Invalidate(i-1, int(op))
+			}
+			if q.Len() > q.Cap() || q.Len() < 0 {
+				return false
+			}
+		}
+		s := q.Stats()
+		return s.Drained == popped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// enqueued == drained + dropped-by-invalidate + still-pending.
+	q := mustNew(t, 8)
+	enq, inv, pop := 0, 0, 0
+	for i := 0; i < 100; i++ {
+		if q.Push(Update{Set: i}) {
+			enq++
+		}
+		if i%3 == 0 {
+			if _, ok := q.Pop(); ok {
+				pop++
+			}
+		}
+		if i%7 == 0 && q.Invalidate(i, 0) {
+			inv++
+		}
+	}
+	if enq != pop+inv+q.Len() {
+		t.Errorf("conservation violated: enq=%d pop=%d inv=%d pending=%d", enq, pop, inv, q.Len())
+	}
+}
+
+func TestDropRateZeroWhenEmpty(t *testing.T) {
+	var s Stats
+	if s.DropRate() != 0 {
+		t.Error("DropRate of zero stats should be 0")
+	}
+}

@@ -1,0 +1,324 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled binary: instruction/data words plus the resolved
+// symbol table.
+type Program struct {
+	// Base is the load address of the first word.
+	Base uint64
+	// Words are the assembled 32-bit words in address order.
+	Words []uint32
+	// Symbols maps labels to absolute addresses.
+	Symbols map[string]uint64
+}
+
+// Size returns the program's footprint in bytes.
+func (p *Program) Size() int { return len(p.Words) * 4 }
+
+// Assemble translates assembly text into a Program loaded at base.
+//
+// Syntax: one instruction, directive or label per line; ';' and '#' start
+// comments. Labels end with ':'. Registers are r0..r15. Immediates are
+// decimal or 0x-hex, or a label name (resolved to its absolute address for
+// non-branch immediates and to a relative offset for branches and jal).
+// Directives: ".word v[, v...]" emits literal words, ".space n" emits n/4
+// zero words.
+func Assemble(src string, base uint64) (*Program, error) {
+	if base%4 != 0 {
+		return nil, fmt.Errorf("asm: base %#x must be word aligned", base)
+	}
+	type item struct {
+		line   int
+		mnem   string
+		args   []string
+		isWord bool
+		vals   []string
+	}
+	var items []item
+	symbols := map[string]uint64{}
+	pc := base
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by code on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("asm: line %d: bad label %q", ln+1, label)
+			}
+			if _, dup := symbols[label]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", ln+1, label)
+			}
+			symbols[label] = pc
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " , "))
+		mnem := strings.ToLower(fields[0])
+		rest := strings.Join(fields[1:], " ")
+		args := splitArgs(rest)
+		switch mnem {
+		case ".word":
+			items = append(items, item{line: ln + 1, isWord: true, vals: args})
+			pc += uint64(4 * len(args))
+		case ".space":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("asm: line %d: .space wants one size", ln+1)
+			}
+			n, err := strconv.ParseUint(args[0], 0, 32)
+			if err != nil || n%4 != 0 {
+				return nil, fmt.Errorf("asm: line %d: bad .space size %q", ln+1, args[0])
+			}
+			zeros := make([]string, n/4)
+			for i := range zeros {
+				zeros[i] = "0"
+			}
+			items = append(items, item{line: ln + 1, isWord: true, vals: zeros})
+			pc += n
+		default:
+			items = append(items, item{line: ln + 1, mnem: mnem, args: args})
+			pc += 4
+		}
+	}
+
+	// Second pass: encode with symbols resolved.
+	prog := &Program{Base: base, Symbols: symbols}
+	pc = base
+	for _, it := range items {
+		if it.isWord {
+			for _, v := range it.vals {
+				w, err := resolveValue(v, symbols)
+				if err != nil {
+					return nil, fmt.Errorf("asm: line %d: %w", it.line, err)
+				}
+				prog.Words = append(prog.Words, uint32(w))
+				pc += 4
+			}
+			continue
+		}
+		inst, err := parseInstr(it.mnem, it.args, pc, symbols)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", it.line, err)
+		}
+		w, err := inst.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", it.line, err)
+		}
+		prog.Words = append(prog.Words, w)
+		pc += 4
+	}
+	return prog, nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 15 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func resolveValue(s string, symbols map[string]uint64) (int64, error) {
+	s = strings.TrimSpace(s)
+	if addr, ok := symbols[s]; ok {
+		return int64(addr), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "imm(rN)".
+func parseMemOperand(s string, symbols map[string]uint64) (imm int32, rs1 int, err error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	v, err := resolveValue(immStr, symbols)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(v), r, nil
+}
+
+func parseInstr(mnem string, args []string, pc uint64, symbols map[string]uint64) (Instr, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+	reg := parseReg
+	val := func(s string) (int64, error) { return resolveValue(s, symbols) }
+	// Branch targets are relative to the *next* instruction.
+	relative := func(s string) (int32, error) {
+		if addr, ok := symbols[s]; ok {
+			return int32(int64(addr) - int64(pc) - 4), nil
+		}
+		v, err := val(s)
+		return int32(v), err
+	}
+
+	switch mnem {
+	case "halt":
+		if err := need(0); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpHalt}, nil
+	case "add", "sub", "and", "or", "xor", "sll", "srl", "mul":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		rd, err1 := reg(args[0])
+		rs1, err2 := reg(args[1])
+		rs2, err3 := reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return Instr{}, err
+		}
+		ops := map[string]Opcode{"add": OpAdd, "sub": OpSub, "and": OpAnd, "or": OpOr,
+			"xor": OpXor, "sll": OpSll, "srl": OpSrl, "mul": OpMul}
+		return Instr{Op: ops[mnem], Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	case "addi", "andi", "ori", "xori", "slli", "srli":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		rd, err1 := reg(args[0])
+		rs1, err2 := reg(args[1])
+		v, err3 := val(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return Instr{}, err
+		}
+		ops := map[string]Opcode{"addi": OpAddi, "andi": OpAndi, "ori": OpOri,
+			"xori": OpXori, "slli": OpSlli, "srli": OpSrli}
+		return Instr{Op: ops[mnem], Rd: rd, Rs1: rs1, Imm: int32(v)}, nil
+	case "lui":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err1 := reg(args[0])
+		v, err2 := val(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpLui, Rd: rd, Imm: int32(v)}, nil
+	case "lw", "lbu":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err1 := reg(args[0])
+		imm, rs1, err2 := parseMemOperand(args[1], symbols)
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, err
+		}
+		op := OpLw
+		if mnem == "lbu" {
+			op = OpLbu
+		}
+		return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm}, nil
+	case "sw", "sb":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rs2, err1 := reg(args[0])
+		imm, rs1, err2 := parseMemOperand(args[1], symbols)
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, err
+		}
+		op := OpSw
+		if mnem == "sb" {
+			op = OpSb
+		}
+		return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}, nil
+	case "beq", "bne", "blt", "bge":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		rs1, err1 := reg(args[0])
+		rs2, err2 := reg(args[1])
+		off, err3 := relative(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return Instr{}, err
+		}
+		ops := map[string]Opcode{"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge}
+		return Instr{Op: ops[mnem], Rs1: rs1, Rs2: rs2, Imm: off}, nil
+	case "jal":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err1 := reg(args[0])
+		off, err2 := relative(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpJal, Rd: rd, Imm: off}, nil
+	case "jalr":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		rd, err1 := reg(args[0])
+		rs1, err2 := reg(args[1])
+		v, err3 := val(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpJalr, Rd: rd, Rs1: rs1, Imm: int32(v)}, nil
+	default:
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a program as an address-annotated listing. Words
+// that do not decode as instructions are shown as .word data, so mixed
+// code/data programs list cleanly.
+func Disassemble(p *Program) string {
+	// Invert the symbol table for label annotations.
+	labels := map[uint64][]string{}
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	var sb strings.Builder
+	for i, w := range p.Words {
+		addr := p.Base + uint64(4*i)
+		for _, l := range labels[addr] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		inst, err := Decode(w)
+		if err != nil {
+			fmt.Fprintf(&sb, "  %#08x:  %08x    .word %#x\n", addr, w, w)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %#08x:  %08x    %s\n", addr, w, inst)
+	}
+	return sb.String()
+}

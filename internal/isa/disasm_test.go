@@ -1,0 +1,51 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleListing(t *testing.T) {
+	prog, err := Assemble(`
+		start:  addi r1, r0, 5
+		loop:   bne r1, r0, loop
+		        halt
+		data:   .word 0xFF000000
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(prog)
+	for _, frag := range []string{
+		"start:", "loop:", "data:",
+		"addi r1, r0, 5",
+		"halt",
+		".word 0xff000000", // invalid opcode byte renders as data
+		"0x00001000",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("listing missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDisassembleRoundTripsThroughAssembler(t *testing.T) {
+	// Every bundled program must disassemble without losing instructions:
+	// the listing has one line per word plus label lines.
+	for name, src := range Programs() {
+		prog, err := Assemble(src, CodeBase)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := Disassemble(prog)
+		lines := 0
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, ":  ") { // address-annotated word line
+				lines++
+			}
+		}
+		if lines != len(prog.Words) {
+			t.Errorf("%s: %d listing lines for %d words", name, lines, len(prog.Words))
+		}
+	}
+}

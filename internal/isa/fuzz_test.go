@@ -1,0 +1,66 @@
+package isa
+
+import "testing"
+
+// FuzzAssemble checks the assembler never panics and that anything it
+// accepts disassembles and re-encodes losslessly.
+func FuzzAssemble(f *testing.F) {
+	f.Add("addi r1, r0, 5\nhalt")
+	f.Add("loop: bne r1, r2, loop")
+	f.Add(".word 1, 2, 3\n.space 8")
+	f.Add("a: b: c: halt")
+	f.Add("lw r1, -4(r2)")
+	f.Add("lui r1, 0xFFFFF")
+	f.Add(":")
+	f.Add("add r1 r2 r3")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src, 0x1000)
+		if err != nil {
+			return
+		}
+		// Every accepted word must either decode (and re-encode to the
+		// same bits) or be data.
+		for i, w := range prog.Words {
+			inst, err := Decode(w)
+			if err != nil {
+				continue // data word
+			}
+			back, err := inst.Encode()
+			if err != nil {
+				t.Fatalf("word %d: decoded %v does not re-encode: %v", i, inst, err)
+			}
+			if back != w {
+				t.Fatalf("word %d: %#x -> %v -> %#x", i, w, inst, back)
+			}
+		}
+		// The listing must render without panicking.
+		_ = Disassemble(prog)
+	})
+}
+
+// FuzzVMStep checks that executing arbitrary instruction words never
+// panics the VM (invalid opcodes must error out cleanly).
+func FuzzVMStep(f *testing.F) {
+	f.Add(uint32(0))          // halt
+	f.Add(uint32(0x01123000)) // add
+	f.Add(uint32(0xFF000000)) // invalid
+	f.Fuzz(func(t *testing.T, w uint32) {
+		src := ".word " + itoa(w)
+		_, _, err := RunProgram(src, 0, 4)
+		_ = err // errors are fine; panics are not
+	})
+}
+
+func itoa(w uint32) string {
+	if w == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for w > 0 {
+		i--
+		buf[i] = byte('0' + w%10)
+		w /= 10
+	}
+	return string(buf[i:])
+}

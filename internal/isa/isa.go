@@ -1,0 +1,148 @@
+// Package isa implements a small load/store instruction set with an
+// assembler and a functional VM. The CNT-Cache paper evaluates its cache
+// on benchmark programs; the VM substitutes for that program substrate by
+// generating genuine instruction-fetch and data-reference streams — with
+// live data values, which the adaptive encoder's behaviour depends on —
+// from little kernels written in assembly.
+//
+// The machine: 16 32-bit registers (r0 hardwired to zero), a flat
+// byte-addressed memory, fixed 4-byte instructions:
+//
+//	[31:24] opcode  [23:20] rd  [19:16] rs1  [15:12] rs2  [11:0] imm12
+//
+// imm12 is sign-extended; LUI instead uses [19:0] as imm20 loaded into the
+// upper 20 bits of rd. Loads/stores are 32-bit words or single bytes with
+// imm12(rs1) addressing. Branch offsets are in bytes relative to the next
+// instruction.
+package isa
+
+import "fmt"
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+// The instruction set.
+const (
+	OpHalt Opcode = iota
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpMul
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpLui
+	OpLw
+	OpSw
+	OpLbu
+	OpSb
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpJal
+	OpJalr
+	opEnd // sentinel
+)
+
+var opNames = map[Opcode]string{
+	OpHalt: "halt",
+	OpAdd:  "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpMul: "mul",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpLui: "lui",
+	OpLw: "lw", OpSw: "sw", OpLbu: "lbu", OpSb: "sb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJal: "jal", OpJalr: "jalr",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o Opcode) Valid() bool { _, ok := opNames[o]; return ok }
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op           Opcode
+	Rd, Rs1, Rs2 int
+	Imm          int32 // sign-extended imm12, or raw imm20 for LUI
+}
+
+// Encode packs the instruction into its 32-bit form.
+func (i Instr) Encode() (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", i.Op)
+	}
+	if i.Rd < 0 || i.Rd > 15 || i.Rs1 < 0 || i.Rs1 > 15 || i.Rs2 < 0 || i.Rs2 > 15 {
+		return 0, fmt.Errorf("isa: register out of range in %+v", i)
+	}
+	w := uint32(i.Op)<<24 | uint32(i.Rd)<<20
+	if i.Op == OpLui {
+		if i.Imm < 0 || i.Imm > 0xFFFFF {
+			return 0, fmt.Errorf("isa: lui imm20 %d out of range", i.Imm)
+		}
+		return w | uint32(i.Imm), nil
+	}
+	if i.Imm < -2048 || i.Imm > 2047 {
+		return 0, fmt.Errorf("isa: imm12 %d out of range for %s", i.Imm, i.Op)
+	}
+	return w | uint32(i.Rs1)<<16 | uint32(i.Rs2)<<12 | (uint32(i.Imm) & 0xFFF), nil
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Instr, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode byte %#x in %#x", uint8(op), w)
+	}
+	i := Instr{Op: op, Rd: int(w >> 20 & 0xF)}
+	if op == OpLui {
+		i.Imm = int32(w & 0xFFFFF)
+		return i, nil
+	}
+	i.Rs1 = int(w >> 16 & 0xF)
+	i.Rs2 = int(w >> 12 & 0xF)
+	imm := int32(w & 0xFFF)
+	if imm&0x800 != 0 {
+		imm -= 0x1000
+	}
+	i.Imm = imm
+	return i, nil
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpHalt:
+		return "halt"
+	case OpLui:
+		return fmt.Sprintf("lui r%d, %#x", i.Rd, i.Imm)
+	case OpLw, OpLbu:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case OpSw, OpSb:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case OpJal:
+		return fmt.Sprintf("jal r%d, %d", i.Rd, i.Imm)
+	case OpJalr:
+		return fmt.Sprintf("jalr r%d, r%d, %d", i.Rd, i.Rs1, i.Imm)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}

@@ -1,0 +1,470 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpHalt},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAddi, Rd: 15, Rs1: 0, Imm: -2048},
+		{Op: OpAddi, Rd: 1, Rs1: 1, Imm: 2047},
+		{Op: OpLui, Rd: 7, Imm: 0xFFFFF},
+		{Op: OpLw, Rd: 4, Rs1: 5, Imm: -4},
+		{Op: OpSw, Rs1: 5, Rs2: 6, Imm: 60},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -8},
+		{Op: OpJal, Rd: 0, Imm: 100},
+		{Op: OpJalr, Rd: 1, Rs1: 2, Imm: 0},
+	}
+	for _, in := range cases {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", w, err)
+		}
+		if out != in {
+			t.Errorf("round trip %+v -> %#x -> %+v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	cases := []Instr{
+		{Op: opEnd},
+		{Op: OpAdd, Rd: 16},
+		{Op: OpAdd, Rs1: -1},
+		{Op: OpAddi, Imm: 2048},
+		{Op: OpAddi, Imm: -2049},
+		{Op: OpLui, Imm: -1},
+		{Op: OpLui, Imm: 1 << 20},
+	}
+	for _, in := range cases {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("encode %+v should fail", in)
+		}
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(0xFF000000); err == nil {
+		t.Error("decode of invalid opcode should fail")
+	}
+}
+
+func TestImmSignExtension(t *testing.T) {
+	f := func(raw int16) bool {
+		imm := int32(raw % 2048)
+		in := Instr{Op: OpAddi, Rd: 1, Rs1: 2, Imm: imm}
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out.Imm == imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"halt":           {Op: OpHalt},
+		"add r1, r2, r3": {Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		"lw r4, -4(r5)":  {Op: OpLw, Rd: 4, Rs1: 5, Imm: -4},
+		"sw r6, 60(r5)":  {Op: OpSw, Rs1: 5, Rs2: 6, Imm: 60},
+		"beq r1, r2, -8": {Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -8},
+		"addi r1, r1, 5": {Op: OpAddi, Rd: 1, Rs1: 1, Imm: 5},
+		"lui r7, 0x10":   {Op: OpLui, Rd: 7, Imm: 0x10},
+		"jal r0, 16":     {Op: OpJal, Rd: 0, Imm: 16},
+		"jalr r1, r2, 0": {Op: OpJalr, Rd: 1, Rs1: 2, Imm: 0},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	prog, err := Assemble(`
+		; a comment
+		start:  addi r1, r0, 5   # trailing comment
+		        sw r1, 0(r2)
+		        halt
+		data:   .word 0xDEADBEEF, 7
+		        .space 8
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Words) != 3+2+2 {
+		t.Fatalf("words = %d, want 7", len(prog.Words))
+	}
+	if prog.Symbols["start"] != 0x1000 || prog.Symbols["data"] != 0x100C {
+		t.Errorf("symbols = %v", prog.Symbols)
+	}
+	if prog.Words[3] != 0xDEADBEEF || prog.Words[4] != 7 || prog.Words[5] != 0 {
+		t.Errorf("data words = %#x", prog.Words[3:])
+	}
+	if prog.Size() != 28 {
+		t.Errorf("Size = %d", prog.Size())
+	}
+}
+
+func TestAssembleBranchTargets(t *testing.T) {
+	prog, err := Assemble(`
+		loop:   addi r1, r1, 1
+		        bne r1, r2, loop
+		        jal r0, loop
+		        halt
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bne at pc=4, target 0: offset = 0 - 4 - 4 = -8
+	in, _ := Decode(prog.Words[1])
+	if in.Imm != -8 {
+		t.Errorf("bne offset = %d, want -8", in.Imm)
+	}
+	// jal at pc=8, target 0: offset = -12
+	in, _ = Decode(prog.Words[2])
+	if in.Imm != -12 {
+		t.Errorf("jal offset = %d, want -12", in.Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "frobnicate r1, r2, r3",
+		"bad register":     "add r1, r99, r3",
+		"missing operand":  "add r1, r2",
+		"bad label":        "my label: halt",
+		"duplicate label":  "a: halt\na: halt",
+		"undefined symbol": "jal r0, nowhere",
+		"bad mem operand":  "lw r1, r2",
+		"bad space":        ".space 7",
+		"imm overflow":     "addi r1, r0, 99999",
+		"bad word value":   ".word zork",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Assemble(src, 0); err == nil {
+				t.Errorf("Assemble(%q) should fail", src)
+			}
+		})
+	}
+	if _, err := Assemble("halt", 2); err == nil {
+		t.Error("unaligned base should fail")
+	}
+}
+
+func TestVMArithmetic(t *testing.T) {
+	v, _, err := RunProgram(`
+		addi r1, r0, 6
+		addi r2, r0, 7
+		mul  r3, r1, r2
+		sub  r4, r3, r1
+		xor  r5, r1, r2
+		slli r6, r1, 4
+		srli r7, r6, 2
+		halt
+	`, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint32{1: 6, 2: 7, 3: 42, 4: 36, 5: 1, 6: 96, 7: 24}
+	for r, w := range want {
+		if v.Regs[r] != w {
+			t.Errorf("r%d = %d, want %d", r, v.Regs[r], w)
+		}
+	}
+}
+
+func TestVMR0Immutable(t *testing.T) {
+	v, _, err := RunProgram("addi r0, r0, 99\nhalt", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regs[0] != 0 {
+		t.Error("r0 must stay zero")
+	}
+}
+
+func TestVMLoadStore(t *testing.T) {
+	v, accs, err := RunProgram(`
+		lui  r8, 0x10
+		addi r1, r0, 0x5A
+		sw   r1, 4(r8)
+		lw   r2, 4(r8)
+		sb   r1, 9(r8)
+		lbu  r3, 9(r8)
+		halt
+	`, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regs[2] != 0x5A || v.Regs[3] != 0x5A {
+		t.Errorf("r2=%#x r3=%#x, want 0x5A", v.Regs[2], v.Regs[3])
+	}
+	// Trace: 7 fetches + 2 writes + 2 reads.
+	var f, r, w int
+	for _, a := range accs {
+		switch a.Op {
+		case trace.Fetch:
+			f++
+		case trace.Read:
+			r++
+		case trace.Write:
+			w++
+		}
+	}
+	if f != 7 || r != 2 || w != 2 {
+		t.Errorf("trace mix f=%d r=%d w=%d, want 7/2/2", f, r, w)
+	}
+	// Write payloads carry the stored data.
+	for _, a := range accs {
+		if a.Op == trace.Write && a.Size == 4 && a.Data[0] != 0x5A {
+			t.Errorf("sw payload = %x", a.Data)
+		}
+	}
+}
+
+func TestVMBranches(t *testing.T) {
+	v, _, err := RunProgram(`
+		addi r1, r0, 0
+		addi r2, r0, 10
+	loop:	bge  r1, r2, done
+		addi r1, r1, 1
+		jal  r0, loop
+	done:	halt
+	`, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regs[1] != 10 {
+		t.Errorf("loop counter = %d, want 10", v.Regs[1])
+	}
+}
+
+func TestVMJalLinksReturn(t *testing.T) {
+	v, _, err := RunProgram(`
+		jal  r1, func
+		halt
+	func:	addi r2, r0, 42
+		jalr r0, r1, 0
+	`, 0x100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Regs[2] != 42 {
+		t.Error("function body did not run")
+	}
+	if v.Regs[1] != 0x104 {
+		t.Errorf("link register = %#x, want 0x104", v.Regs[1])
+	}
+}
+
+func TestVMRunawayGuard(t *testing.T) {
+	_, _, err := RunProgram("loop: jal r0, loop", 0, 100)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("runaway program error = %v", err)
+	}
+}
+
+func TestVMInvalidInstruction(t *testing.T) {
+	_, _, err := RunProgram(".word 0xFF000000", 0, 10)
+	if err == nil {
+		t.Error("executing garbage should fail")
+	}
+}
+
+func TestProgSumArrayResult(t *testing.T) {
+	v, _, err := RunProgram(ProgSumArray, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum of i^2 for i in [0,255] = 255*256*511/6
+	want := uint32(255 * 256 * 511 / 6)
+	if got := v.Mem.ReadUint32(0x11000); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestProgMemcpyResult(t *testing.T) {
+	v, _, err := RunProgram(ProgMemcpy, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i += 17 {
+		want := uint32(3*i + 1)
+		if got := v.Mem.ReadUint32(0x11000 + uint64(4*i)); got != want {
+			t.Errorf("dst[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestProgFibResult(t *testing.T) {
+	v, _, err := RunProgram(ProgFib, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := uint32(0), uint32(1)
+	for i := 0; i < 64; i++ {
+		if got := v.Mem.ReadUint32(0x10000 + uint64(4*i)); got != a {
+			t.Fatalf("fib[%d] = %d, want %d", i, got, a)
+		}
+		a, b = b, a+b
+	}
+}
+
+func TestProgMatmulResult(t *testing.T) {
+	v, _, err := RunProgram(ProgMatmul, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			var want uint32
+			for k := 0; k < 8; k++ {
+				want += uint32(i*8+k) * uint32(k*8+j)
+			}
+			got := v.Mem.ReadUint32(0x10200 + uint64(4*(i*8+j)))
+			if got != want {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestProgStrideResult(t *testing.T) {
+	v, _, err := RunProgram(ProgStride, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint32
+	for i := 0; i < 4096; i += 16 {
+		want += uint32(i & 255)
+	}
+	if got := v.Mem.ReadUint32(0x20000); got != want {
+		t.Errorf("stride sum = %d, want %d", got, want)
+	}
+}
+
+func TestProgPointerChaseResult(t *testing.T) {
+	v, _, err := RunProgram(ProgPointerChase, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the chase functionally.
+	idx := 0
+	var want uint32
+	for hop := 0; hop < 4096; hop++ {
+		want += uint32(idx)
+		idx = (idx * 17) & 127
+	}
+	if got := v.Mem.ReadUint32(0x20000); got != want {
+		t.Errorf("chase sum = %d, want %d", got, want)
+	}
+}
+
+func TestAllProgramsRunAndEmitAllOpKinds(t *testing.T) {
+	for name, src := range Programs() {
+		src := src
+		t.Run(name, func(t *testing.T) {
+			_, accs, err := RunProgram(src, CodeBase, DefaultMaxSteps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var f, r, w int
+			for _, a := range accs {
+				if err := a.Validate(); err != nil {
+					t.Fatalf("invalid access in trace: %v", err)
+				}
+				switch a.Op {
+				case trace.Fetch:
+					f++
+				case trace.Read:
+					r++
+				case trace.Write:
+					w++
+				}
+			}
+			if f == 0 || w == 0 {
+				t.Errorf("trace mix f=%d r=%d w=%d: every kernel fetches and writes", f, r, w)
+			}
+			if name != "fib" && r == 0 {
+				t.Errorf("kernel %s should read data", name)
+			}
+		})
+	}
+}
+
+func TestProgramNamesSorted(t *testing.T) {
+	names := ProgramNames()
+	if len(names) != len(Programs()) {
+		t.Fatal("name count mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestProgCRC32Result(t *testing.T) {
+	v, _, err := RunProgram(ProgCRC32, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate functionally with the stdlib-equivalent bitwise loop.
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = byte(i*i) ^ 0x55
+	}
+	crc := ^uint32(0)
+	for _, b := range buf {
+		crc ^= uint32(b)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	crc = ^crc
+	if got := v.Mem.ReadUint32(0x20000); got != crc {
+		t.Errorf("crc = %#x, want %#x", got, crc)
+	}
+}
+
+func TestProgBSearchResult(t *testing.T) {
+	v, _, err := RunProgram(ProgBSearch, CodeBase, DefaultMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate the LCG and searches functionally.
+	state := uint32(12345)
+	found := uint32(0)
+	for q := 0; q < 256; q++ {
+		state = state*0x1966000D + 63 // lui imm20<<12 | ori 0xD, as the asm builds it
+		key := state >> 8 & 0x7FF
+		// a[i] = 3*i for i in [0,1024): every key <= 2047 that is a
+		// multiple of 3 has key/3 <= 682 < 1024, so it is found.
+		if key%3 == 0 {
+			found++
+		}
+	}
+	if got := v.Mem.ReadUint32(0x20000); got != found {
+		t.Errorf("found = %d, want %d", got, found)
+	}
+}

@@ -1,0 +1,349 @@
+package isa
+
+import "sort"
+
+// CodeBase is where the bundled programs are linked.
+const CodeBase = 0x1000
+
+// DefaultMaxSteps bounds bundled-program execution.
+const DefaultMaxSteps = 2_000_000
+
+// The bundled benchmark kernels. Each initializes its own data (the init
+// stores are part of the workload, as they would be on a real core) and
+// leaves a checkable result in memory.
+
+// ProgSumArray fills a 256-word array with i*i and sums it; the sum lands
+// in the word at `result`.
+const ProgSumArray = `
+        lui  r8, 0x10           ; r8 = 0x10000, array base
+        addi r7, r0, 256        ; element count
+        addi r1, r0, 0          ; i = 0
+init:   bge  r1, r7, sum0
+        slli r5, r1, 2
+        add  r5, r5, r8
+        mul  r6, r1, r1         ; a[i] = i*i
+        sw   r6, 0(r5)
+        addi r1, r1, 1
+        jal  r0, init
+sum0:   addi r1, r0, 0
+        addi r4, r0, 0          ; acc = 0
+sum:    bge  r1, r7, done
+        slli r5, r1, 2
+        add  r5, r5, r8
+        lw   r6, 0(r5)
+        add  r4, r4, r6
+        addi r1, r1, 1
+        jal  r0, sum
+done:   lui  r9, 0x11           ; result slot at 0x11000
+        sw   r4, 0(r9)
+        halt
+`
+
+// ProgMemcpy fills a 256-word source with 3*i+1 and copies it to a
+// destination 4 KiB above.
+const ProgMemcpy = `
+        lui  r8, 0x10           ; src = 0x10000
+        lui  r9, 0x11           ; dst = 0x11000
+        addi r7, r0, 256
+        addi r1, r0, 0
+init:   bge  r1, r7, copy0
+        slli r5, r1, 2
+        add  r5, r5, r8
+        addi r6, r0, 3
+        mul  r6, r6, r1
+        addi r6, r6, 1          ; src[i] = 3*i+1
+        sw   r6, 0(r5)
+        addi r1, r1, 1
+        jal  r0, init
+copy0:  addi r1, r0, 0
+copy:   bge  r1, r7, done
+        slli r5, r1, 2
+        add  r6, r5, r8
+        lw   r2, 0(r6)
+        add  r6, r5, r9
+        sw   r2, 0(r6)
+        addi r1, r1, 1
+        jal  r0, copy
+done:   halt
+`
+
+// ProgFib writes the first 64 Fibonacci numbers (mod 2^32) to an array.
+const ProgFib = `
+        lui  r8, 0x10
+        addi r7, r0, 64
+        addi r1, r0, 0          ; i
+        addi r2, r0, 0          ; F(i)
+        addi r3, r0, 1          ; F(i+1)
+loop:   bge  r1, r7, done
+        slli r5, r1, 2
+        add  r5, r5, r8
+        sw   r2, 0(r5)
+        add  r4, r2, r3         ; next
+        add  r2, r3, r0
+        add  r3, r4, r0
+        addi r1, r1, 1
+        jal  r0, loop
+done:   halt
+`
+
+// ProgMatmul computes C = A x B for 8x8 matrices with A[i]=i, B[i]=i.
+// A at 0x10000, B at 0x10100, C at 0x10200.
+const ProgMatmul = `
+        lui  r8, 0x10           ; A base
+        addi r9, r8, 256        ; B base = A + 64*4
+        addi r10, r9, 256       ; C base
+        addi r7, r0, 64
+        addi r1, r0, 0
+init:   bge  r1, r7, mm
+        slli r5, r1, 2
+        add  r6, r5, r8
+        sw   r1, 0(r6)          ; A[i] = i
+        add  r6, r5, r9
+        sw   r1, 0(r6)          ; B[i] = i
+        addi r1, r1, 1
+        jal  r0, init
+mm:     addi r7, r0, 8
+        addi r1, r0, 0          ; i
+iloop:  bge  r1, r7, done
+        addi r2, r0, 0          ; j
+jloop:  bge  r2, r7, inext
+        addi r4, r0, 0          ; acc
+        addi r3, r0, 0          ; k
+kloop:  bge  r3, r7, store
+        slli r5, r1, 3
+        add  r5, r5, r3         ; i*8+k
+        slli r5, r5, 2
+        add  r5, r5, r8
+        lw   r11, 0(r5)         ; A[i][k]
+        slli r5, r3, 3
+        add  r5, r5, r2         ; k*8+j
+        slli r5, r5, 2
+        add  r5, r5, r9
+        lw   r12, 0(r5)         ; B[k][j]
+        mul  r11, r11, r12
+        add  r4, r4, r11
+        addi r3, r3, 1
+        jal  r0, kloop
+store:  slli r5, r1, 3
+        add  r5, r5, r2
+        slli r5, r5, 2
+        add  r5, r5, r10
+        sw   r4, 0(r5)          ; C[i][j]
+        addi r2, r2, 1
+        jal  r0, jloop
+inext:  addi r1, r1, 1
+        jal  r0, iloop
+done:   halt
+`
+
+// ProgStride reads every 16th word of a 4096-word region (after a dense
+// init), a classic low-locality streaming pattern.
+const ProgStride = `
+        lui  r8, 0x10
+        addi r7, r0, 2047       ; imm12 max; count = 2*2047+2 = 4096 via doubling
+        add  r7, r7, r7
+        addi r7, r7, 2          ; 4096 words
+        addi r1, r0, 0
+init:   bge  r1, r7, sweep0
+        slli r5, r1, 2
+        add  r5, r5, r8
+        andi r6, r1, 255
+        sw   r6, 0(r5)          ; a[i] = i & 0xFF
+        addi r1, r1, 1
+        jal  r0, init
+sweep0: addi r1, r0, 0
+        addi r4, r0, 0
+sweep:  bge  r1, r7, done
+        slli r5, r1, 2
+        add  r5, r5, r8
+        lw   r6, 0(r5)
+        add  r4, r4, r6
+        addi r1, r1, 16         ; stride 16 words = 64 bytes = 1 line
+        jal  r0, sweep
+done:   lui  r9, 0x20
+        sw   r4, 0(r9)
+        halt
+`
+
+// ProgPointerChase builds a 128-node linked list with one node per cache
+// line (stride 64 bytes, permuted by *17 mod 128) and chases it for 4096
+// hops, accumulating the node payloads.
+const ProgPointerChase = `
+        lui  r8, 0x10           ; node array base
+        addi r7, r0, 128        ; node count
+        addi r1, r0, 0
+init:   bge  r1, r7, chase0
+        addi r5, r0, 17
+        mul  r5, r5, r1
+        andi r5, r5, 127        ; next index = (i*17) & 127
+        slli r5, r5, 6          ; *64 bytes
+        add  r5, r5, r8         ; next pointer value
+        slli r6, r1, 6
+        add  r6, r6, r8         ; node i address
+        sw   r5, 0(r6)          ; node.next
+        sw   r1, 4(r6)          ; node.payload = i
+        addi r1, r1, 1
+        jal  r0, init
+chase0: addi r7, r0, 2047
+        add  r7, r7, r7
+        addi r7, r7, 2          ; 4096 hops
+        addi r1, r0, 0
+        add  r2, r8, r0         ; cursor = head
+        addi r4, r0, 0
+chase:  bge  r1, r7, done
+        lw   r3, 4(r2)          ; payload
+        add  r4, r4, r3
+        lw   r2, 0(r2)          ; follow next
+        addi r1, r1, 1
+        jal  r0, chase
+done:   lui  r9, 0x20
+        sw   r4, 0(r9)
+        halt
+`
+
+// ProgStack exercises call/return-like push/pop traffic: a hot 64-word
+// stack region written and re-read repeatedly.
+const ProgStack = `
+        lui  r8, 0x10
+        addi r8, r8, 1024       ; stack top at 0x10400
+        addi r7, r0, 512        ; outer iterations
+        addi r1, r0, 0
+outer:  bge  r1, r7, done
+        addi r2, r0, 0          ; depth
+        addi r6, r0, 16
+push:   bge  r2, r6, popstart
+        slli r5, r2, 2
+        add  r5, r5, r8
+        mul  r3, r1, r2
+        sw   r3, 0(r5)          ; push i*depth
+        addi r2, r2, 1
+        jal  r0, push
+popstart: addi r2, r0, 0
+pop:    bge  r2, r6, onext
+        slli r5, r2, 2
+        add  r5, r5, r8
+        lw   r3, 0(r5)
+        add  r4, r4, r3
+        addi r2, r2, 1
+        jal  r0, pop
+onext:  addi r1, r1, 1
+        jal  r0, outer
+done:   lui  r9, 0x20
+        sw   r4, 0(r9)
+        halt
+`
+
+// ProgCRC32 computes the reflected CRC-32 (polynomial 0xEDB88320) of a
+// 256-byte buffer bit-serially — a branch-heavy, byte-load kernel whose
+// instruction stream dominates its data traffic.
+const ProgCRC32 = `
+        lui  r8, 0x10           ; buffer base
+        addi r7, r0, 256        ; length
+        addi r1, r0, 0          ; i
+init:   bge  r1, r7, crc0
+        slli r5, r1, 0
+        add  r5, r5, r8
+        mul  r6, r1, r1
+        xori r6, r6, 0x55
+        sb   r6, 0(r5)          ; buf[i] = (i*i)^0x55 (low byte)
+        addi r1, r1, 1
+        jal  r0, init
+crc0:   lui  r9, 0xEDB88
+        ori  r9, r9, 0x320      ; r9 = 0xEDB88320
+        addi r2, r0, -1         ; crc = 0xFFFFFFFF
+        addi r1, r0, 0
+bytes:  bge  r1, r7, fin
+        add  r5, r1, r8
+        lbu  r3, 0(r5)
+        xor  r2, r2, r3
+        addi r4, r0, 8          ; bit counter
+bits:   beq  r4, r0, bnext
+        andi r5, r2, 1
+        srli r2, r2, 1
+        beq  r5, r0, noxor
+        xor  r2, r2, r9
+noxor:  addi r4, r4, -1
+        jal  r0, bits
+bnext:  addi r1, r1, 1
+        jal  r0, bytes
+fin:    xori r2, r2, -1         ; final complement
+        lui  r10, 0x20
+        sw   r2, 0(r10)
+        halt
+`
+
+// ProgBSearch binary-searches a sorted 1024-word array (a[i] = 3*i) for
+// 256 LCG-generated keys, counting hits — the classic log-depth
+// pointer-free search with unpredictable branches.
+const ProgBSearch = `
+        lui  r8, 0x10           ; array base
+        addi r7, r0, 1024
+        addi r1, r0, 0
+init:   bge  r1, r7, go
+        slli r5, r1, 2
+        add  r5, r5, r8
+        addi r6, r0, 3
+        mul  r6, r6, r1
+        sw   r6, 0(r5)          ; a[i] = 3*i
+        addi r1, r1, 1
+        jal  r0, init
+go:     lui  r9, 0x19660
+        ori  r9, r9, 0xD        ; r9 = 0x1966000D (LCG multiplier)
+        addi r10, r0, 0x3F      ; LCG increment 63
+        lui  r11, 3
+        ori  r11, r11, 0x39     ; seed 0x3039 = 12345
+        addi r12, r0, 0         ; found counter
+        addi r1, r0, 0          ; query index
+query:  addi r5, r0, 256
+        bge  r1, r5, done
+        mul  r11, r11, r9
+        add  r11, r11, r10      ; next LCG state
+        srli r2, r11, 8
+        andi r2, r2, 0x7FF      ; key in [0,2047]
+        addi r3, r0, 0          ; lo
+        add  r4, r7, r0         ; hi = 1024
+loop:   bge  r3, r4, miss
+        add  r5, r3, r4
+        srli r5, r5, 1          ; mid
+        slli r6, r5, 2
+        add  r6, r6, r8
+        lw   r6, 0(r6)          ; a[mid]
+        beq  r6, r2, hit
+        blt  r6, r2, right
+        add  r4, r5, r0         ; hi = mid
+        jal  r0, loop
+right:  addi r3, r5, 1          ; lo = mid+1
+        jal  r0, loop
+hit:    addi r12, r12, 1
+miss:   addi r1, r1, 1
+        jal  r0, query
+done:   lui  r13, 0x20
+        sw   r12, 0(r13)
+        halt
+`
+
+// Programs returns the bundled kernels keyed by name.
+func Programs() map[string]string {
+	return map[string]string{
+		"sumarray": ProgSumArray,
+		"memcpy":   ProgMemcpy,
+		"fib":      ProgFib,
+		"matmul":   ProgMatmul,
+		"stride":   ProgStride,
+		"pchase":   ProgPointerChase,
+		"stack":    ProgStack,
+		"crc32":    ProgCRC32,
+		"bsearch":  ProgBSearch,
+	}
+}
+
+// ProgramNames returns the sorted bundled program names.
+func ProgramNames() []string {
+	m := Programs()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

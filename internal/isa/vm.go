@@ -1,0 +1,186 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// VM executes a loaded program against a memory image, emitting every
+// instruction fetch and data reference to a trace sink.
+type VM struct {
+	Mem  *mem.Memory
+	Regs [16]uint32
+	PC   uint64
+
+	sink  trace.Sink
+	steps uint64
+}
+
+// NewVM builds a VM over the given memory, reporting accesses to sink
+// (nil discards them).
+func NewVM(m *mem.Memory, sink trace.Sink) *VM {
+	if sink == nil {
+		sink = trace.SinkFunc(func(trace.Access) error { return nil })
+	}
+	return &VM{Mem: m, sink: sink}
+}
+
+// Load copies a program into memory and points PC at its base.
+func (v *VM) Load(p *Program) {
+	for i, w := range p.Words {
+		v.Mem.WriteUint32(p.Base+uint64(4*i), w)
+	}
+	v.PC = p.Base
+}
+
+// Steps returns the number of instructions executed.
+func (v *VM) Steps() uint64 { return v.steps }
+
+// Run executes until HALT or maxSteps instructions, whichever first.
+// Exceeding maxSteps is an error (runaway program).
+func (v *VM) Run(maxSteps uint64) error {
+	for v.steps < maxSteps {
+		halted, err := v.Step()
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+	}
+	return fmt.Errorf("isa: program exceeded %d steps at pc=%#x", maxSteps, v.PC)
+}
+
+// Step executes one instruction, returning true on HALT.
+func (v *VM) Step() (bool, error) {
+	if err := v.sink.Access(trace.Access{Op: trace.Fetch, Addr: v.PC, Size: 4}); err != nil {
+		return false, err
+	}
+	w := v.Mem.ReadUint32(v.PC)
+	inst, err := Decode(w)
+	if err != nil {
+		return false, fmt.Errorf("isa: pc=%#x: %w", v.PC, err)
+	}
+	v.steps++
+	next := v.PC + 4
+
+	rs1 := v.Regs[inst.Rs1]
+	rs2 := v.Regs[inst.Rs2]
+	setRd := func(val uint32) {
+		if inst.Rd != 0 {
+			v.Regs[inst.Rd] = val
+		}
+	}
+
+	switch inst.Op {
+	case OpHalt:
+		return true, nil
+	case OpAdd:
+		setRd(rs1 + rs2)
+	case OpSub:
+		setRd(rs1 - rs2)
+	case OpAnd:
+		setRd(rs1 & rs2)
+	case OpOr:
+		setRd(rs1 | rs2)
+	case OpXor:
+		setRd(rs1 ^ rs2)
+	case OpSll:
+		setRd(rs1 << (rs2 & 31))
+	case OpSrl:
+		setRd(rs1 >> (rs2 & 31))
+	case OpMul:
+		setRd(rs1 * rs2)
+	case OpAddi:
+		setRd(rs1 + uint32(inst.Imm))
+	case OpAndi:
+		setRd(rs1 & uint32(inst.Imm))
+	case OpOri:
+		setRd(rs1 | uint32(inst.Imm))
+	case OpXori:
+		setRd(rs1 ^ uint32(inst.Imm))
+	case OpSlli:
+		setRd(rs1 << (uint32(inst.Imm) & 31))
+	case OpSrli:
+		setRd(rs1 >> (uint32(inst.Imm) & 31))
+	case OpLui:
+		setRd(uint32(inst.Imm) << 12)
+	case OpLw:
+		addr := uint64(rs1 + uint32(inst.Imm))
+		if err := v.sink.Access(trace.Access{Op: trace.Read, Addr: addr, Size: 4}); err != nil {
+			return false, err
+		}
+		setRd(v.Mem.ReadUint32(addr))
+	case OpLbu:
+		addr := uint64(rs1 + uint32(inst.Imm))
+		if err := v.sink.Access(trace.Access{Op: trace.Read, Addr: addr, Size: 1}); err != nil {
+			return false, err
+		}
+		var b [1]byte
+		v.Mem.Read(addr, b[:])
+		setRd(uint32(b[0]))
+	case OpSw:
+		addr := uint64(rs1 + uint32(inst.Imm))
+		data := []byte{byte(rs2), byte(rs2 >> 8), byte(rs2 >> 16), byte(rs2 >> 24)}
+		if err := v.sink.Access(trace.Access{Op: trace.Write, Addr: addr, Size: 4, Data: data}); err != nil {
+			return false, err
+		}
+		v.Mem.WriteUint32(addr, rs2)
+	case OpSb:
+		addr := uint64(rs1 + uint32(inst.Imm))
+		data := []byte{byte(rs2)}
+		if err := v.sink.Access(trace.Access{Op: trace.Write, Addr: addr, Size: 1, Data: data}); err != nil {
+			return false, err
+		}
+		v.Mem.Write(addr, data)
+	case OpBeq:
+		if rs1 == rs2 {
+			next = v.PC + 4 + uint64(int64(inst.Imm))
+		}
+	case OpBne:
+		if rs1 != rs2 {
+			next = v.PC + 4 + uint64(int64(inst.Imm))
+		}
+	case OpBlt:
+		if int32(rs1) < int32(rs2) {
+			next = v.PC + 4 + uint64(int64(inst.Imm))
+		}
+	case OpBge:
+		if int32(rs1) >= int32(rs2) {
+			next = v.PC + 4 + uint64(int64(inst.Imm))
+		}
+	case OpJal:
+		setRd(uint32(v.PC + 4))
+		next = v.PC + 4 + uint64(int64(inst.Imm))
+	case OpJalr:
+		setRd(uint32(v.PC + 4))
+		next = uint64(rs1 + uint32(inst.Imm))
+	default:
+		return false, fmt.Errorf("isa: pc=%#x: unimplemented %v", v.PC, inst.Op)
+	}
+	v.PC = next
+	return false, nil
+}
+
+// RunProgram assembles src at base, loads it into a fresh memory image,
+// runs it to completion and returns the VM (for register/memory
+// inspection) and the collected trace.
+func RunProgram(src string, base uint64, maxSteps uint64) (*VM, []trace.Access, error) {
+	prog, err := Assemble(src, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	var accs []trace.Access
+	m := mem.New()
+	v := NewVM(m, trace.SinkFunc(func(a trace.Access) error {
+		accs = append(accs, a)
+		return nil
+	}))
+	v.Load(prog)
+	if err := v.Run(maxSteps); err != nil {
+		return nil, nil, err
+	}
+	return v, accs, nil
+}

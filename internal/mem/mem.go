@@ -1,0 +1,125 @@
+// Package mem provides the sparse backing-store image behind the cache
+// hierarchy. Encoding energy depends on the actual bit content of cache
+// lines, so the simulator cannot work from address-only traces: every
+// fill must produce real bytes. Memory keeps a page-granular sparse image
+// that workload generators pre-load and stores write through to on
+// eviction.
+package mem
+
+import (
+	"fmt"
+)
+
+// PageBytes is the granularity of the sparse image. 4 KiB matches a
+// typical OS page and keeps the map small for clustered working sets.
+const PageBytes = 4096
+
+// Memory is a sparse byte-addressable image. Unwritten bytes read as
+// zero, matching freshly mapped memory. Memory is not safe for concurrent
+// mutation.
+type Memory struct {
+	pages map[uint64][]byte
+
+	reads  uint64
+	writes uint64
+}
+
+// New returns an empty memory image.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) ([]byte, uint64) {
+	pn := addr / PageBytes
+	p, ok := m.pages[pn]
+	if !ok && create {
+		p = make([]byte, PageBytes)
+		m.pages[pn] = p
+	}
+	return p, addr % PageBytes
+}
+
+// Read copies len(dst) bytes starting at addr into dst.
+func (m *Memory) Read(addr uint64, dst []byte) {
+	m.reads++
+	for len(dst) > 0 {
+		p, off := m.page(addr, false)
+		n := PageBytes - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p == nil {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst[:n], p[off:])
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies src into memory starting at addr.
+func (m *Memory) Write(addr uint64, src []byte) {
+	m.writes++
+	for len(src) > 0 {
+		p, off := m.page(addr, true)
+		n := copy(p[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadUint64 reads a little-endian 64-bit word at addr.
+func (m *Memory) ReadUint64(addr uint64) uint64 {
+	var buf [8]byte
+	m.Read(addr, buf[:])
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// WriteUint64 writes a little-endian 64-bit word at addr.
+func (m *Memory) WriteUint64(addr uint64, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	m.Write(addr, buf[:])
+}
+
+// ReadUint32 reads a little-endian 32-bit word at addr.
+func (m *Memory) ReadUint32(addr uint64) uint32 {
+	var buf [4]byte
+	m.Read(addr, buf[:])
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+}
+
+// WriteUint32 writes a little-endian 32-bit word at addr.
+func (m *Memory) WriteUint32(addr uint64, v uint32) {
+	m.Write(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// Pages returns the number of instantiated pages.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Footprint returns the instantiated size in bytes.
+func (m *Memory) Footprint() int { return len(m.pages) * PageBytes }
+
+// AccessCounts returns the number of Read and Write calls served.
+func (m *Memory) AccessCounts() (reads, writes uint64) { return m.reads, m.writes }
+
+// Reset drops all contents and counters.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64][]byte)
+	m.reads, m.writes = 0, 0
+}
+
+// String summarizes the image.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{pages=%d footprint=%dKiB reads=%d writes=%d}",
+		m.Pages(), m.Footprint()/1024, m.reads, m.writes)
+}

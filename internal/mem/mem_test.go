@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := New()
+	buf := []byte{0xFF, 0xFF, 0xFF}
+	m.Read(12345, buf)
+	if !bytes.Equal(buf, []byte{0, 0, 0}) {
+		t.Errorf("unwritten memory read %x, want zeros", buf)
+	}
+	if m.Pages() != 0 {
+		t.Error("reading must not instantiate pages")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(addrRaw uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		m := New()
+		addr := uint64(addrRaw)
+		m.Write(addr, data)
+		got := make([]byte, len(data))
+		m.Read(addr, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossPageBoundary(t *testing.T) {
+	m := New()
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	addr := uint64(PageBytes - 50) // straddles the first page boundary
+	m.Write(addr, data)
+	if m.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", m.Pages())
+	}
+	got := make([]byte, 100)
+	m.Read(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page round trip failed")
+	}
+}
+
+func TestPartialOverwrite(t *testing.T) {
+	m := New()
+	m.Write(0, []byte{1, 2, 3, 4})
+	m.Write(1, []byte{9, 9})
+	got := make([]byte, 4)
+	m.Read(0, got)
+	if !bytes.Equal(got, []byte{1, 9, 9, 4}) {
+		t.Errorf("overwrite result %v, want [1 9 9 4]", got)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(addrRaw uint16, v uint64) bool {
+		m := New()
+		addr := uint64(addrRaw)
+		m.WriteUint64(addr, v)
+		return m.ReadUint64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64LittleEndian(t *testing.T) {
+	m := New()
+	m.WriteUint64(8, 0x0102030405060708)
+	var buf [8]byte
+	m.Read(8, buf[:])
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(buf[:], want) {
+		t.Errorf("layout %v, want little-endian %v", buf, want)
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	f := func(addrRaw uint16, v uint32) bool {
+		m := New()
+		addr := uint64(addrRaw)
+		m.WriteUint32(addr, v)
+		return m.ReadUint32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64AcrossPageBoundary(t *testing.T) {
+	m := New()
+	addr := uint64(PageBytes - 4)
+	m.WriteUint64(addr, 0xDEADBEEFCAFEF00D)
+	if got := m.ReadUint64(addr); got != 0xDEADBEEFCAFEF00D {
+		t.Errorf("cross-page u64 = %#x", got)
+	}
+}
+
+func TestCountersAndReset(t *testing.T) {
+	m := New()
+	m.Write(0, []byte{1})
+	m.Read(0, make([]byte, 1))
+	m.Read(0, make([]byte, 1))
+	r, w := m.AccessCounts()
+	if r != 2 || w != 1 {
+		t.Errorf("counts = %d/%d, want 2 reads 1 write", r, w)
+	}
+	m.Reset()
+	r, w = m.AccessCounts()
+	if r != 0 || w != 0 || m.Pages() != 0 {
+		t.Error("Reset should clear everything")
+	}
+	buf := []byte{0xAB}
+	m.Read(0, buf)
+	if buf[0] != 0 {
+		t.Error("data should be gone after Reset")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	m.Write(0, []byte{1})
+	m.Write(10*PageBytes, []byte{1})
+	if got := m.Footprint(); got != 2*PageBytes {
+		t.Errorf("Footprint = %d, want %d", got, 2*PageBytes)
+	}
+}
+
+func TestStringMentionsPages(t *testing.T) {
+	m := New()
+	m.Write(0, []byte{1})
+	if s := m.String(); !strings.Contains(s, "pages=1") {
+		t.Errorf("String = %q", s)
+	}
+}

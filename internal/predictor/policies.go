@@ -1,0 +1,171 @@
+package predictor
+
+import "fmt"
+
+// Policy is a direction-prediction strategy. The paper's Algorithm 1
+// (the window Predictor) is the reference implementation; the
+// alternatives below are natural extensions that trade reaction speed
+// against oscillation robustness, and exist to quantify how much headroom
+// is left on the prediction side (experiment E13).
+//
+// All policies share the per-line H&D state (LineState): the two access
+// counters plus one spare byte (Aux) a policy may use for confidence or
+// smoothing state. StateBits reports how many extra metadata bits the
+// policy needs beyond the counters, so the energy model can charge them.
+type Policy interface {
+	// Name identifies the policy in configs and reports.
+	Name() string
+	// RecordAccess advances per-line history, returning true when a
+	// prediction is due.
+	RecordAccess(s *LineState, isWrite bool) bool
+	// Evaluate decides which partitions flip, given the stored
+	// per-partition ones counts. It may read and update policy state in
+	// s (WrNum, Aux).
+	Decide(s *LineState, onesPerPartition []int) Decision
+	// StateBits is the extra per-line metadata width beyond the two
+	// access counters.
+	StateBits() int
+	// Partitions returns K.
+	Partitions() int
+}
+
+// Name implements Policy for the reference window predictor.
+func (p *Predictor) Name() string { return "window" }
+
+// StateBits implements Policy: Algorithm 1 needs nothing beyond the
+// counters.
+func (p *Predictor) StateBits() int { return 0 }
+
+// Partitions implements Policy.
+func (p *Predictor) Partitions() int { return p.cfg.Partitions }
+
+// Evaluate implements Policy by delegating to the threshold table with
+// the line's recorded write count.
+func (p *Predictor) Decide(s *LineState, onesPerPartition []int) Decision {
+	return p.EvaluateOnes(onesPerPartition, int(s.WrNum))
+}
+
+var _ Policy = (*Predictor)(nil)
+
+// Confidence wraps a base policy with n-in-a-row agreement: a flip is
+// applied only after `Need` consecutive windows wanted to flip the same
+// partitions. It suppresses boundary oscillation at the cost of reacting
+// `Need` windows late. Uses Aux as the agreement counter (2 bits for
+// Need<=3).
+type Confidence struct {
+	Base *Predictor
+	Need uint8
+}
+
+// NewConfidence builds the wrapper.
+func NewConfidence(base *Predictor, need int) (*Confidence, error) {
+	if base == nil {
+		return nil, fmt.Errorf("predictor: confidence needs a base predictor")
+	}
+	if need < 2 || need > 3 {
+		return nil, fmt.Errorf("predictor: confidence Need must be 2 or 3, got %d", need)
+	}
+	return &Confidence{Base: base, Need: uint8(need)}, nil
+}
+
+// Name implements Policy.
+func (c *Confidence) Name() string { return fmt.Sprintf("conf%d", c.Need) }
+
+// StateBits implements Policy: a 2-bit agreement counter.
+func (c *Confidence) StateBits() int { return 2 }
+
+// Partitions implements Policy.
+func (c *Confidence) Partitions() int { return c.Base.Partitions() }
+
+// RecordAccess implements Policy.
+func (c *Confidence) RecordAccess(s *LineState, isWrite bool) bool {
+	return c.Base.RecordAccess(s, isWrite)
+}
+
+// Evaluate implements Policy: only a flip demanded Need windows in a row
+// goes through.
+func (c *Confidence) Decide(s *LineState, onesPerPartition []int) Decision {
+	d := c.Base.Decide(s, onesPerPartition)
+	if d.FlipMask == 0 {
+		s.Aux = 0
+		return d
+	}
+	if s.Aux+1 < c.Need {
+		s.Aux++
+		return Decision{Pattern: d.Pattern} // want to flip, not confident yet
+	}
+	s.Aux = 0
+	return d
+}
+
+var _ Policy = (*Confidence)(nil)
+
+// EWMA wraps the window predictor with an exponentially weighted moving
+// average of the per-window write count: the threshold lookup uses
+// smooth = (3*previous + WrNum) / 4 instead of the raw window count, so a
+// single unusual window cannot flip a line whose long-run mix is stable.
+// Uses Aux to store the smoothed write count (log2(W+1) bits).
+type EWMA struct {
+	Base *Predictor
+}
+
+// NewEWMA builds the wrapper.
+func NewEWMA(base *Predictor) (*EWMA, error) {
+	if base == nil {
+		return nil, fmt.Errorf("predictor: ewma needs a base predictor")
+	}
+	if base.cfg.Window > 255 {
+		return nil, fmt.Errorf("predictor: ewma Aux byte cannot hold W=%d", base.cfg.Window)
+	}
+	return &EWMA{Base: base}, nil
+}
+
+// Name implements Policy.
+func (e *EWMA) Name() string { return "ewma" }
+
+// StateBits implements Policy: the smoothed counter mirrors WrNum's
+// width.
+func (e *EWMA) StateBits() int {
+	bits := 0
+	for v := e.Base.cfg.Window; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// Partitions implements Policy.
+func (e *EWMA) Partitions() int { return e.Base.Partitions() }
+
+// RecordAccess implements Policy.
+func (e *EWMA) RecordAccess(s *LineState, isWrite bool) bool {
+	return e.Base.RecordAccess(s, isWrite)
+}
+
+// Evaluate implements Policy.
+func (e *EWMA) Decide(s *LineState, onesPerPartition []int) Decision {
+	smooth := (3*uint16(s.Aux) + s.WrNum) / 4
+	if smooth > uint16(e.Base.cfg.Window) {
+		smooth = uint16(e.Base.cfg.Window)
+	}
+	s.Aux = uint8(smooth)
+	return e.Base.EvaluateOnes(onesPerPartition, int(smooth))
+}
+
+var _ Policy = (*EWMA)(nil)
+
+// NewPolicy builds a named policy over a base window predictor:
+// "window" (Algorithm 1, default), "conf2", "conf3", or "ewma".
+func NewPolicy(name string, base *Predictor) (Policy, error) {
+	switch name {
+	case "", "window":
+		return base, nil
+	case "conf2":
+		return NewConfidence(base, 2)
+	case "conf3":
+		return NewConfidence(base, 3)
+	case "ewma":
+		return NewEWMA(base)
+	default:
+		return nil, fmt.Errorf("predictor: unknown policy %q (want window, conf2, conf3, ewma)", name)
+	}
+}

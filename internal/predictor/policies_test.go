@@ -1,0 +1,203 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func basePredictor(t *testing.T) *Predictor {
+	t.Helper()
+	return mustNew(t, defaultConfig())
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	base := basePredictor(t)
+	for _, name := range []string{"", "window", "conf2", "conf3", "ewma"} {
+		p, err := NewPolicy(name, base)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "window"
+		}
+		if p.Name() != want {
+			t.Errorf("policy name = %q, want %q", p.Name(), want)
+		}
+		if p.Partitions() != 8 {
+			t.Errorf("%s: partitions = %d", name, p.Partitions())
+		}
+	}
+	if _, err := NewPolicy("quantum", base); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestPolicyConstructorsValidate(t *testing.T) {
+	base := basePredictor(t)
+	if _, err := NewConfidence(nil, 2); err == nil {
+		t.Error("nil base should fail")
+	}
+	if _, err := NewConfidence(base, 1); err == nil {
+		t.Error("Need=1 should fail (that is the plain predictor)")
+	}
+	if _, err := NewConfidence(base, 4); err == nil {
+		t.Error("Need=4 exceeds the 2-bit counter")
+	}
+	if _, err := NewEWMA(nil); err == nil {
+		t.Error("nil base should fail")
+	}
+}
+
+func TestWindowPolicyMatchesPredictor(t *testing.T) {
+	base := basePredictor(t)
+	stored := make([]byte, 64)
+	rand.New(rand.NewSource(2)).Read(stored)
+	per := make([]int, 8)
+	for p := 0; p < 8; p++ {
+		for _, b := range stored[p*8 : (p+1)*8] {
+			for i := 0; i < 8; i++ {
+				if b&(1<<uint(i)) != 0 {
+					per[p]++
+				}
+			}
+		}
+	}
+	for wr := 0; wr <= 15; wr++ {
+		s := LineState{WrNum: uint16(wr)}
+		if base.Decide(&s, per).FlipMask != base.EvaluateOnes(per, wr).FlipMask {
+			t.Fatalf("wr=%d: Decide diverges from EvaluateOnes", wr)
+		}
+	}
+}
+
+func TestConfidenceDelaysFlip(t *testing.T) {
+	base := basePredictor(t)
+	conf, err := NewConfidence(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]int, 8) // all-zero partitions, read-intensive: base wants to flip
+	var s LineState         // WrNum = 0
+
+	d1 := conf.Decide(&s, zeros)
+	if d1.FlipMask != 0 {
+		t.Fatalf("first window flipped immediately: %#x", d1.FlipMask)
+	}
+	if s.Aux != 1 {
+		t.Fatalf("Aux = %d, want 1 after first agreement", s.Aux)
+	}
+	d2 := conf.Decide(&s, zeros)
+	if d2.FlipMask != 0xFF {
+		t.Fatalf("second consecutive window should flip, got %#x", d2.FlipMask)
+	}
+	if s.Aux != 0 {
+		t.Errorf("Aux = %d, want reset after flip", s.Aux)
+	}
+}
+
+func TestConfidenceResetsOnDisagreement(t *testing.T) {
+	base := basePredictor(t)
+	conf, err := NewConfidence(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]int, 8)
+	ones := []int{64, 64, 64, 64, 64, 64, 64, 64}
+	var s LineState
+	conf.Decide(&s, zeros) // wants flip, Aux=1
+	// Next window the line is already ones-heavy: base wants no flip.
+	if d := conf.Decide(&s, ones); d.FlipMask != 0 {
+		t.Fatalf("no-flip window still flipped: %#x", d.FlipMask)
+	}
+	if s.Aux != 0 {
+		t.Errorf("Aux = %d, want cleared on disagreement", s.Aux)
+	}
+	// A single wanting window after the reset must not flip.
+	if d := conf.Decide(&s, zeros); d.FlipMask != 0 {
+		t.Error("confidence did not restart after disagreement")
+	}
+}
+
+func TestEWMASmoothsClassification(t *testing.T) {
+	base := basePredictor(t)
+	ew, err := NewEWMA(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := []int{64, 64, 64, 64, 64, 64, 64, 64} // all-ones partitions
+
+	// A long run of write-heavy windows drives the smoothed count up.
+	s := LineState{WrNum: 15}
+	for i := 0; i < 12; i++ {
+		ew.Decide(&s, ones)
+		s.WrNum = 15
+	}
+	// Integer fixed point of s=(3s+15)/4 is 12.
+	if s.Aux < 12 {
+		t.Fatalf("smoothed write count = %d, want the fixed point 12 after a write-heavy run", s.Aux)
+	}
+	// One aberrant all-read window must not reclassify the line: the
+	// smoothed count stays write-side, so the ones-heavy line still flips
+	// (writes prefer zeros).
+	s.WrNum = 0
+	d := ew.Decide(&s, ones)
+	if d.FlipMask != 0xFF {
+		t.Errorf("one read window overturned a long write history: %#x", d.FlipMask)
+	}
+	// The raw predictor, by contrast, obeys the single window.
+	raw := LineState{WrNum: 0}
+	if d := base.Decide(&raw, ones); d.FlipMask != 0 {
+		t.Errorf("raw predictor should keep ones for a read window, got %#x", d.FlipMask)
+	}
+}
+
+func TestEWMAConvergesDown(t *testing.T) {
+	base := basePredictor(t)
+	ew, err := NewEWMA(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := LineState{Aux: 15}
+	per := make([]int, 8)
+	for i := 0; i < 12; i++ {
+		s.WrNum = 0
+		ew.Decide(&s, per)
+	}
+	if s.Aux != 0 {
+		t.Errorf("smoothed count = %d, want decayed to 0 after a read run", s.Aux)
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	base := basePredictor(t)
+	if got := base.StateBits(); got != 0 {
+		t.Errorf("window StateBits = %d", got)
+	}
+	conf, _ := NewConfidence(base, 2)
+	if got := conf.StateBits(); got != 2 {
+		t.Errorf("conf StateBits = %d", got)
+	}
+	ew, _ := NewEWMA(base)
+	if got := ew.StateBits(); got != 4 { // W=15 -> 4 bits
+		t.Errorf("ewma StateBits = %d", got)
+	}
+}
+
+func TestAuxSurvivesWindowReset(t *testing.T) {
+	s := LineState{ANum: 5, WrNum: 3, Aux: 2}
+	s.Reset()
+	if s.ANum != 0 || s.WrNum != 0 {
+		t.Error("Reset should clear counters")
+	}
+	if s.Aux != 2 {
+		t.Error("Reset must preserve policy state")
+	}
+}
+
+func TestLineStateBitsIncludesAux(t *testing.T) {
+	s := LineState{Aux: 0b101}
+	if got := s.Bits(); got != 2 {
+		t.Errorf("Bits = %d, want 2 from Aux", got)
+	}
+}

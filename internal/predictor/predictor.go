@@ -1,0 +1,290 @@
+// Package predictor implements the encoding direction predictor of
+// CNT-Cache (Algorithm 1 of the paper).
+//
+// Each cache line carries two saturating counters in its H&D metadata: the
+// access count A_num and the write count Wr_num over the current window of
+// W accesses. When a window completes the predictor runs two steps:
+//
+//  1. Access-pattern prediction: the line is classified write-intensive
+//     when Wr_num exceeds the read-intensive threshold Th_rd (Eq. 3),
+//     otherwise read-intensive.
+//  2. Encoding check: the ones count of the stored data is compared with a
+//     precomputed threshold Th_bit1num[Wr_num] (Eq. 6). If the stored bits
+//     do not suit the predicted pattern, the encoding direction flips and
+//     the line is re-encoded (costing one extra write, E_encode, which the
+//     threshold already accounts for).
+//
+// The thresholds derive from the energy balance of Eq. 4 (keep current
+// encoding) versus Eq. 5 + E_encode (flip it): both sides are linear in
+// the ones count N1, so the break-even N1 is exact and a table indexed by
+// Wr_num suffices at run time — exactly the hardware simplification the
+// paper describes. A brute-force oracle (EvaluateExact) retains the
+// original energy comparison; property tests assert table and oracle
+// always agree.
+//
+// Partitioned encoding reuses the same machinery per partition with
+// L_partition = L/K; the line-level counters are shared, matching the
+// architecture (one history region per line, K direction bits).
+//
+// The ΔT extension (recovered from the genuine paper's commented-out
+// text) adds switch hysteresis: a flip is taken only when it saves more
+// than ΔT of the current window energy, damping oscillation between
+// directions. ΔT=0 is pure Algorithm 1.
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+	"repro/internal/cnfet"
+)
+
+// Config parameterizes a predictor.
+type Config struct {
+	// Window is W, the number of accesses per prediction cycle.
+	Window int
+	// LineBytes is the cache line payload size.
+	LineBytes int
+	// Partitions is K, the number of independently encoded partitions.
+	Partitions int
+	// Table supplies the per-bit energies the thresholds derive from.
+	Table cnfet.EnergyTable
+	// DeltaT is the switch hysteresis in [0,1): flip only when the
+	// predicted saving exceeds DeltaT of the current-encoding energy.
+	DeltaT float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("predictor: window must be positive, got %d", c.Window)
+	}
+	if c.Window > 1<<14 {
+		return fmt.Errorf("predictor: window %d too large for 16-bit counters", c.Window)
+	}
+	if c.DeltaT < 0 || c.DeltaT >= 1 {
+		return fmt.Errorf("predictor: DeltaT must be in [0,1), got %g", c.DeltaT)
+	}
+	if c.Partitions > 64 {
+		return fmt.Errorf("predictor: partitions %d exceed mask width 64", c.Partitions)
+	}
+	if err := bitutil.CheckPartitions(c.LineBytes, c.Partitions); err != nil {
+		return err
+	}
+	return c.Table.Validate()
+}
+
+// LineState is the per-line H&D history region: the two access counters
+// plus one spare byte (Aux) that alternative policies use for confidence
+// or smoothing state. The encoding direction mask itself lives with the
+// cache line.
+type LineState struct {
+	// ANum counts all accesses in the current window (the paper's A_num).
+	ANum uint16
+	// WrNum counts writes in the current window (the paper's Wr_num).
+	WrNum uint16
+	// Aux is policy-private state (zero for Algorithm 1). It survives
+	// window resets; a line fill clears it along with everything else.
+	Aux uint8
+}
+
+// Reset clears the window counters, as Algorithm 1 does at the end of
+// each prediction cycle. Policy state in Aux deliberately survives: it
+// tracks behaviour across windows.
+func (s *LineState) Reset() { s.ANum, s.WrNum = 0, 0 }
+
+// Bits returns the counter values packed conceptually for metadata energy
+// accounting: the number of '1' bits across the counters and policy
+// state.
+func (s *LineState) Bits() int {
+	ones := 0
+	for v := s.ANum; v != 0; v &= v - 1 {
+		ones++
+	}
+	for v := s.WrNum; v != 0; v &= v - 1 {
+		ones++
+	}
+	for v := s.Aux; v != 0; v &= v - 1 {
+		ones++
+	}
+	return ones
+}
+
+// Pattern is the outcome of step 1 of Algorithm 1.
+type Pattern int
+
+const (
+	// ReadIntensive means the window had few enough writes that the line
+	// prefers storing '1' bits.
+	ReadIntensive Pattern = iota
+	// WriteIntensive means writes dominate and the line prefers '0' bits.
+	WriteIntensive
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	if p == WriteIntensive {
+		return "write-intensive"
+	}
+	return "read-intensive"
+}
+
+// Predictor holds the precomputed decision tables for one cache
+// configuration. It is immutable after construction and safe for
+// concurrent use.
+type Predictor struct {
+	cfg      Config
+	partBits int
+	thRd     int
+	rows     []thresholdRow // indexed by WrNum, 0..Window
+}
+
+// New builds a predictor, precomputing Th_rd and the Th_bit1num table.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		partBits: cfg.LineBytes * 8 / cfg.Partitions,
+		thRd:     readIntensiveThreshold(cfg.Window, cfg.Table),
+		rows:     make([]thresholdRow, cfg.Window+1),
+	}
+	for wr := 0; wr <= cfg.Window; wr++ {
+		p.rows[wr] = solveThreshold(cfg.Window, wr, p.partBits, cfg.Table, cfg.DeltaT)
+	}
+	return p, nil
+}
+
+// Config returns the configuration the predictor was built with.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// PartitionBits returns the paper's L for one partition.
+func (p *Predictor) PartitionBits() int { return p.partBits }
+
+// ThRd returns the read-intensive threshold of Eq. 3.
+func (p *Predictor) ThRd() int { return p.thRd }
+
+// Threshold returns the break-even ones count for the given write count,
+// along with the comparison direction: if greater is true the partition
+// flips when its ones count strictly exceeds the threshold, otherwise when
+// strictly below. This exposes the Th_bit1num[Wr_num] table of
+// Algorithm 1.
+func (p *Predictor) Threshold(wrNum int) (threshold float64, greater bool) {
+	row := p.row(wrNum)
+	return row.thr, row.greater
+}
+
+func (p *Predictor) row(wrNum int) thresholdRow {
+	if wrNum < 0 || wrNum >= len(p.rows) {
+		panic(fmt.Sprintf("predictor: WrNum %d out of range [0,%d]", wrNum, len(p.rows)-1))
+	}
+	return p.rows[wrNum]
+}
+
+// Classify runs step 1 of Algorithm 1: the access-pattern prediction.
+func (p *Predictor) Classify(wrNum int) Pattern {
+	if wrNum > p.thRd {
+		return WriteIntensive
+	}
+	return ReadIntensive
+}
+
+// RecordAccess advances the per-line history for one access, following
+// Algorithm 1's control flow: when A_num has reached the window size the
+// access triggers a prediction (return value true) and the caller must
+// invoke Evaluate and then Reset the state; otherwise the counters
+// advance.
+func (p *Predictor) RecordAccess(s *LineState, isWrite bool) (windowComplete bool) {
+	if int(s.ANum) >= p.cfg.Window {
+		return true
+	}
+	s.ANum++
+	if isWrite {
+		s.WrNum++
+	}
+	return false
+}
+
+// Decision describes the outcome of one window evaluation.
+type Decision struct {
+	// Pattern is the step-1 classification.
+	Pattern Pattern
+	// FlipMask has bit i set when partition i must invert its encoding
+	// direction (and the stored data re-encoded accordingly).
+	FlipMask uint64
+	// Flips is the popcount of FlipMask.
+	Flips int
+}
+
+// Evaluate runs step 2 of Algorithm 1 over the stored line: for each
+// partition it compares the stored ones count against
+// Th_bit1num[WrNum] and decides whether the encoding direction flips.
+// stored must be the encoded (as-resident) line image of LineBytes bytes.
+func (p *Predictor) Evaluate(stored []byte, wrNum int) Decision {
+	row := p.row(wrNum)
+	d := Decision{Pattern: p.Classify(wrNum)}
+	sz := p.cfg.LineBytes / p.cfg.Partitions
+	for part := 0; part < p.cfg.Partitions; part++ {
+		n1 := bitutil.Ones(stored[part*sz : (part+1)*sz])
+		if row.flip(n1) {
+			d.FlipMask |= 1 << uint(part)
+			d.Flips++
+		}
+	}
+	return d
+}
+
+// EvaluateOnes is Evaluate for callers that already hold per-partition
+// ones counts of the stored line.
+func (p *Predictor) EvaluateOnes(onesPerPartition []int, wrNum int) Decision {
+	if len(onesPerPartition) != p.cfg.Partitions {
+		panic(fmt.Sprintf("predictor: got %d partition counts, want %d",
+			len(onesPerPartition), p.cfg.Partitions))
+	}
+	row := p.row(wrNum)
+	d := Decision{Pattern: p.Classify(wrNum)}
+	for part, n1 := range onesPerPartition {
+		if n1 < 0 || n1 > p.partBits {
+			panic(fmt.Sprintf("predictor: ones count %d out of range [0,%d]", n1, p.partBits))
+		}
+		if row.flip(n1) {
+			d.FlipMask |= 1 << uint(part)
+			d.Flips++
+		}
+	}
+	return d
+}
+
+// EvaluateExact is the brute-force reference oracle: it evaluates the
+// original energy inequality (Eq. 4 vs Eq. 5 plus E_encode, with the ΔT
+// hysteresis) directly instead of using the precomputed thresholds.
+// Property tests assert it always agrees with Evaluate.
+func (p *Predictor) EvaluateExact(stored []byte, wrNum int) Decision {
+	d := Decision{Pattern: p.Classify(wrNum)}
+	sz := p.cfg.LineBytes / p.cfg.Partitions
+	for part := 0; part < p.cfg.Partitions; part++ {
+		n1 := bitutil.Ones(stored[part*sz : (part+1)*sz])
+		if p.flipBenefit(n1, wrNum) > 0 {
+			d.FlipMask |= 1 << uint(part)
+			d.Flips++
+		}
+	}
+	return d
+}
+
+// flipBenefit returns (1-ΔT)*E - Ebar - Eencode for one partition: positive
+// means flipping the direction pays off.
+func (p *Predictor) flipBenefit(n1, wrNum int) float64 {
+	t := p.cfg.Table
+	w := float64(p.cfg.Window)
+	wr := float64(wrNum)
+	rd := w - wr
+	l := float64(p.partBits)
+	x := float64(n1)
+
+	e := rd*(x*t.ReadOne+(l-x)*t.ReadZero) + wr*(x*t.WriteOne+(l-x)*t.WriteZero)
+	ebar := rd*(x*t.ReadZero+(l-x)*t.ReadOne) + wr*(x*t.WriteZero+(l-x)*t.WriteOne)
+	eenc := x*t.WriteZero + (l-x)*t.WriteOne
+	return (1-p.cfg.DeltaT)*e - ebar - eenc
+}

@@ -1,0 +1,452 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnfet"
+)
+
+func defaultConfig() Config {
+	return Config{
+		Window:     15,
+		LineBytes:  64,
+		Partitions: 8,
+		Table:      cnfet.MustTable(cnfet.CNFET32()),
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero window", func(c *Config) { c.Window = 0 }, false},
+		{"huge window", func(c *Config) { c.Window = 1 << 15 }, false},
+		{"negative deltaT", func(c *Config) { c.DeltaT = -0.1 }, false},
+		{"deltaT one", func(c *Config) { c.DeltaT = 1 }, false},
+		{"deltaT ok", func(c *Config) { c.DeltaT = 0.25 }, true},
+		{"partitions 65", func(c *Config) { c.Partitions = 65 }, false},
+		{"partitions 3", func(c *Config) { c.Partitions = 3 }, false},
+		{"whole line", func(c *Config) { c.Partitions = 1 }, true},
+		{"bad table", func(c *Config) { c.Table = cnfet.EnergyTable{} }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := defaultConfig()
+			tc.mutate(&cfg)
+			_, err := New(cfg)
+			if (err == nil) != tc.ok {
+				t.Errorf("New: err=%v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestThRdNearHalfWindow(t *testing.T) {
+	// The CNFET preset has ReadDelta == WriteDelta, so Eq. 3 gives exactly
+	// W/2 (floored), as the paper notes.
+	p := mustNew(t, defaultConfig())
+	if got := p.ThRd(); got != 7 {
+		t.Errorf("ThRd = %d, want 7 for W=15 with balanced deltas", got)
+	}
+}
+
+func TestThRdSkewedDeltas(t *testing.T) {
+	// If reads save much more than writes, Th_rd rises: the line stays
+	// "read intensive" even with many writes.
+	tab := cnfet.MustTable(cnfet.CNFET32())
+	tab.ReadZero = tab.ReadOne + 3*tab.WriteDelta() // ReadDelta = 3*WriteDelta
+	cfg := defaultConfig()
+	cfg.Table = tab
+	p := mustNew(t, cfg)
+	// Th_rd = 15/(1+3) = 3.75 -> 3
+	if got := p.ThRd(); got != 3 {
+		t.Errorf("ThRd = %d, want 3", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := mustNew(t, defaultConfig())
+	for wr := 0; wr <= 15; wr++ {
+		got := p.Classify(wr)
+		want := ReadIntensive
+		if wr > 7 {
+			want = WriteIntensive
+		}
+		if got != want {
+			t.Errorf("Classify(%d) = %v, want %v", wr, got, want)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if ReadIntensive.String() != "read-intensive" || WriteIntensive.String() != "write-intensive" {
+		t.Error("Pattern.String mismatch")
+	}
+}
+
+func TestRecordAccessWindowProtocol(t *testing.T) {
+	p := mustNew(t, defaultConfig())
+	var s LineState
+	// The first W accesses only advance the counters.
+	for i := 0; i < 15; i++ {
+		if done := p.RecordAccess(&s, i%3 == 0); done {
+			t.Fatalf("access %d completed the window early (ANum=%d)", i, s.ANum)
+		}
+	}
+	if s.ANum != 15 {
+		t.Fatalf("ANum = %d, want 15", s.ANum)
+	}
+	if s.WrNum != 5 {
+		t.Fatalf("WrNum = %d, want 5 (every third access wrote)", s.WrNum)
+	}
+	// The next access triggers the prediction without advancing counters.
+	if done := p.RecordAccess(&s, true); !done {
+		t.Fatal("access W+1 should complete the window")
+	}
+	if s.ANum != 15 || s.WrNum != 5 {
+		t.Fatalf("completing access must not advance counters, got %+v", s)
+	}
+	s.Reset()
+	if s.ANum != 0 || s.WrNum != 0 {
+		t.Fatal("Reset should clear both counters")
+	}
+	if done := p.RecordAccess(&s, true); done {
+		t.Fatal("fresh window should not complete immediately")
+	}
+	if s.ANum != 1 || s.WrNum != 1 {
+		t.Fatalf("counters after first access of new window: %+v", s)
+	}
+}
+
+func TestLineStateBits(t *testing.T) {
+	s := LineState{ANum: 0b1011, WrNum: 0b1}
+	if got := s.Bits(); got != 4 {
+		t.Errorf("Bits = %d, want 4", got)
+	}
+	s = LineState{}
+	if got := s.Bits(); got != 0 {
+		t.Errorf("Bits of zero state = %d, want 0", got)
+	}
+}
+
+func TestEvaluateAllZerosReadIntensive(t *testing.T) {
+	// An all-zeros line under a read-dominated window must flip every
+	// partition (store ones, reads become cheap).
+	p := mustNew(t, defaultConfig())
+	stored := make([]byte, 64)
+	d := p.Evaluate(stored, 0)
+	if d.Pattern != ReadIntensive {
+		t.Fatalf("pattern = %v, want read-intensive", d.Pattern)
+	}
+	if d.FlipMask != 0xFF || d.Flips != 8 {
+		t.Errorf("FlipMask = %#x (%d flips), want all 8 partitions flipped", d.FlipMask, d.Flips)
+	}
+}
+
+func TestEvaluateAllOnesWriteIntensive(t *testing.T) {
+	// An all-ones line under a write-dominated window must flip every
+	// partition (store zeros, writes become cheap).
+	p := mustNew(t, defaultConfig())
+	stored := make([]byte, 64)
+	for i := range stored {
+		stored[i] = 0xFF
+	}
+	d := p.Evaluate(stored, 15)
+	if d.Pattern != WriteIntensive {
+		t.Fatalf("pattern = %v, want write-intensive", d.Pattern)
+	}
+	if d.FlipMask != 0xFF || d.Flips != 8 {
+		t.Errorf("FlipMask = %#x (%d flips), want all 8 partitions flipped", d.FlipMask, d.Flips)
+	}
+}
+
+func TestEvaluateMatchedEncodingDoesNotFlip(t *testing.T) {
+	p := mustNew(t, defaultConfig())
+	// All-ones line, read-dominated: already optimal.
+	ones := make([]byte, 64)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	if d := p.Evaluate(ones, 0); d.FlipMask != 0 {
+		t.Errorf("read-intensive all-ones line flipped: %#x", d.FlipMask)
+	}
+	// All-zeros line, write-dominated: already optimal.
+	zeros := make([]byte, 64)
+	if d := p.Evaluate(zeros, 15); d.FlipMask != 0 {
+		t.Errorf("write-intensive all-zeros line flipped: %#x", d.FlipMask)
+	}
+}
+
+func TestEvaluateMixedPartitions(t *testing.T) {
+	// First half zeros, second half ones; read-dominated window should
+	// flip only the zero partitions.
+	p := mustNew(t, defaultConfig())
+	stored := make([]byte, 64)
+	for i := 32; i < 64; i++ {
+		stored[i] = 0xFF
+	}
+	d := p.Evaluate(stored, 0)
+	if d.FlipMask != 0x0F {
+		t.Errorf("FlipMask = %#x, want 0x0F (only the all-zero partitions)", d.FlipMask)
+	}
+}
+
+func TestEvaluateAgreesWithExactOracle(t *testing.T) {
+	cfgs := []Config{
+		defaultConfig(),
+		{Window: 15, LineBytes: 64, Partitions: 1, Table: cnfet.MustTable(cnfet.CNFET32())},
+		{Window: 31, LineBytes: 64, Partitions: 16, Table: cnfet.MustTable(cnfet.CNFET32())},
+		{Window: 7, LineBytes: 32, Partitions: 4, Table: cnfet.MustTable(cnfet.CNFET32()), DeltaT: 0.2},
+		{Window: 15, LineBytes: 64, Partitions: 8, Table: cnfet.MustTable(cnfet.CMOS32())},
+	}
+	for _, cfg := range cfgs {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		stored := make([]byte, cfg.LineBytes)
+		for trial := 0; trial < 200; trial++ {
+			rng.Read(stored)
+			// Also exercise skewed data.
+			if trial%3 == 0 {
+				for i := range stored {
+					stored[i] &= byte(rng.Intn(256)) & byte(rng.Intn(256))
+				}
+			}
+			for wr := 0; wr <= cfg.Window; wr++ {
+				got := p.Evaluate(stored, wr)
+				want := p.EvaluateExact(stored, wr)
+				if got.FlipMask != want.FlipMask {
+					// Tolerate exact break-even ties where float error
+					// could legitimately differ.
+					tie := false
+					sz := cfg.LineBytes / cfg.Partitions
+					for part := 0; part < cfg.Partitions; part++ {
+						n1 := 0
+						for _, b := range stored[part*sz : (part+1)*sz] {
+							for i := 0; i < 8; i++ {
+								if b&(1<<uint(i)) != 0 {
+									n1++
+								}
+							}
+						}
+						if math.Abs(p.flipBenefit(n1, wr)) < 1e-6 {
+							tie = true
+						}
+					}
+					if !tie {
+						t.Fatalf("cfg=%+v wr=%d: table mask %#x != oracle mask %#x",
+							cfg, wr, got.FlipMask, want.FlipMask)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdMatchesEq6(t *testing.T) {
+	// For ΔT=0 the linear solve must reproduce the paper's closed form.
+	p := mustNew(t, defaultConfig())
+	for wr := 0; wr <= 15; wr++ {
+		want, ok := Eq6Threshold(15, wr, p.PartitionBits(), p.Config().Table)
+		if !ok {
+			continue
+		}
+		got, _ := p.Threshold(wr)
+		if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Errorf("wr=%d: threshold %g != Eq.6 %g", wr, got, want)
+		}
+	}
+}
+
+func TestThresholdDirectionFollowsPattern(t *testing.T) {
+	// Algorithm 1 compares bit1num > Th when write-intensive and
+	// bit1num < Th when read-intensive. With balanced deltas the solved
+	// comparison direction must agree with the classification except at
+	// the boundary rows where the decision degenerates.
+	p := mustNew(t, defaultConfig())
+	for wr := 0; wr <= 15; wr++ {
+		row := p.rows[wr]
+		if row.always || row.never {
+			continue
+		}
+		wantGreater := p.Classify(wr) == WriteIntensive
+		if row.greater != wantGreater {
+			t.Errorf("wr=%d: comparison direction greater=%v, pattern %v",
+				wr, row.greater, p.Classify(wr))
+		}
+	}
+}
+
+func TestEvaluateOnesMatchesEvaluate(t *testing.T) {
+	p := mustNew(t, defaultConfig())
+	f := func(seed int64, wrRaw uint8) bool {
+		wr := int(wrRaw) % 16
+		stored := make([]byte, 64)
+		rand.New(rand.NewSource(seed)).Read(stored)
+		per := make([]int, 8)
+		for part := 0; part < 8; part++ {
+			for _, b := range stored[part*8 : (part+1)*8] {
+				for i := 0; i < 8; i++ {
+					if b&(1<<uint(i)) != 0 {
+						per[part]++
+					}
+				}
+			}
+		}
+		return p.EvaluateOnes(per, wr).FlipMask == p.Evaluate(stored, wr).FlipMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateOnesPanics(t *testing.T) {
+	p := mustNew(t, defaultConfig())
+	for _, tc := range []struct {
+		name string
+		per  []int
+	}{
+		{"wrong length", make([]int, 7)},
+		{"negative count", []int{-1, 0, 0, 0, 0, 0, 0, 0}},
+		{"overflow count", []int{65, 0, 0, 0, 0, 0, 0, 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("EvaluateOnes should panic")
+				}
+			}()
+			p.EvaluateOnes(tc.per, 0)
+		})
+	}
+}
+
+func TestThresholdPanicsOutOfRange(t *testing.T) {
+	p := mustNew(t, defaultConfig())
+	for _, wr := range []int{-1, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Threshold(%d) should panic", wr)
+				}
+			}()
+			p.Threshold(wr)
+		}()
+	}
+}
+
+func TestDeltaTDampsFlipping(t *testing.T) {
+	// Higher hysteresis must never flip more partitions than ΔT=0 on the
+	// same inputs.
+	base := mustNew(t, defaultConfig())
+	cfgH := defaultConfig()
+	cfgH.DeltaT = 0.4
+	hyst := mustNew(t, cfgH)
+
+	rng := rand.New(rand.NewSource(11))
+	stored := make([]byte, 64)
+	for trial := 0; trial < 300; trial++ {
+		rng.Read(stored)
+		wr := rng.Intn(16)
+		if h, b := hyst.Evaluate(stored, wr).Flips, base.Evaluate(stored, wr).Flips; h > b {
+			t.Fatalf("trial %d wr=%d: ΔT=0.4 flipped %d > ΔT=0 flipped %d", trial, wr, h, b)
+		}
+	}
+}
+
+func TestFlipDecisionActuallySavesEnergy(t *testing.T) {
+	// Whenever the predictor says flip, replaying the window's accesses on
+	// flipped bits (plus the re-encode write) must cost no more than the
+	// unflipped line; whenever it says keep, flipping must not be
+	// strictly cheaper. This ties Algorithm 1 to its stated purpose.
+	p := mustNew(t, defaultConfig())
+	tab := p.Config().Table
+	w := p.Config().Window
+	lp := p.PartitionBits()
+
+	cost := func(n1, wr int, flip bool) float64 {
+		ones := n1
+		extra := 0.0
+		if flip {
+			ones = lp - n1
+			extra = tab.WriteBits(ones, lp)
+		}
+		rd := float64(w - wr)
+		wrF := float64(wr)
+		return extra + rd*tab.ReadBits(ones, lp) + wrF*tab.WriteBits(ones, lp)
+	}
+
+	for wr := 0; wr <= w; wr++ {
+		for n1 := 0; n1 <= lp; n1++ {
+			row := p.rows[wr]
+			flip := row.flip(n1)
+			keep, flipped := cost(n1, wr, false), cost(n1, wr, true)
+			if flip && flipped > keep+1e-6 {
+				t.Fatalf("wr=%d n1=%d: predictor flips but flipping costs %.3f > keeping %.3f",
+					wr, n1, flipped, keep)
+			}
+			if !flip && flipped < keep-1e-6 {
+				t.Fatalf("wr=%d n1=%d: predictor keeps but flipping would save %.3f",
+					wr, n1, keep-flipped)
+			}
+		}
+	}
+}
+
+func TestPredictorDeterministic(t *testing.T) {
+	p1 := mustNew(t, defaultConfig())
+	p2 := mustNew(t, defaultConfig())
+	stored := make([]byte, 64)
+	rand.New(rand.NewSource(3)).Read(stored)
+	for wr := 0; wr <= 15; wr++ {
+		if p1.Evaluate(stored, wr).FlipMask != p2.Evaluate(stored, wr).FlipMask {
+			t.Fatal("two predictors with identical configs disagree")
+		}
+	}
+}
+
+func TestPredictorConcurrentEvaluate(t *testing.T) {
+	// The predictor is documented immutable-after-construction; hammer it
+	// from several goroutines to back the claim (run with -race in CI).
+	p := mustNew(t, defaultConfig())
+	stored := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(stored)
+	want := p.Evaluate(stored, 5).FlipMask
+
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			ok := true
+			for i := 0; i < 2000; i++ {
+				if p.Evaluate(stored, 5).FlipMask != want {
+					ok = false
+				}
+				p.Classify(i % 16)
+				p.Threshold(i % 16)
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent Evaluate diverged")
+		}
+	}
+}

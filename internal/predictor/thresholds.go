@@ -1,0 +1,111 @@
+package predictor
+
+import (
+	"math"
+
+	"repro/internal/cnfet"
+)
+
+// readIntensiveThreshold computes Th_rd of Eq. 3:
+//
+//	Th_rd = W / (1 + (E_rd0-E_rd1)/(E_wr1-E_wr0))
+//
+// which is the write count at which encoding for reads and encoding for
+// writes break even. Because E_rd0-E_rd1 is close to E_wr1-E_wr0 on the
+// CNFET cell, Th_rd lands at roughly W/2, as the paper notes. The result
+// is truncated to an integer counter comparison ("write intensive when
+// Wr_num > Th_rd").
+func readIntensiveThreshold(window int, t cnfet.EnergyTable) int {
+	ratio := t.ReadDelta() / t.WriteDelta()
+	th := float64(window) / (1 + ratio)
+	return int(math.Floor(th))
+}
+
+// thresholdRow is one precomputed entry of the Th_bit1num table: the
+// break-even stored-ones count for a given Wr_num, with the direction of
+// the comparison. always/never short-circuit degenerate rows where the
+// decision does not depend on N1.
+type thresholdRow struct {
+	thr     float64
+	greater bool // flip when n1 > thr; otherwise flip when n1 < thr
+	always  bool
+	never   bool
+}
+
+func (r thresholdRow) flip(n1 int) bool {
+	switch {
+	case r.always:
+		return true
+	case r.never:
+		return false
+	case r.greater:
+		return float64(n1) > r.thr
+	default:
+		return float64(n1) < r.thr
+	}
+}
+
+// solveThreshold derives the Th_bit1num entry for one write count by
+// solving the flip-benefit inequality exactly. With
+//
+//	E(N1)    = (W-Wr)(N1*E_rd1+(L-N1)*E_rd0) + Wr(N1*E_wr1+(L-N1)*E_wr0)
+//	Ebar(N1) = the same with the bit roles swapped (Eq. 5)
+//	Eenc(N1) = N1*E_wr0 + (L-N1)*E_wr1
+//
+// the flip condition (1-ΔT)·E - Ebar - Eenc > 0 is linear in N1:
+// f(N1) = a + b·N1, so the break-even point is -a/b and the comparison
+// direction follows the sign of b. For ΔT=0 the break-even reduces to the
+// paper's Eq. 6, N1 = L(E_save-E_wr1)/(2E_save-(E_wr1-E_wr0)) with
+// E_save = (W-Wr)(E_rd0-E_rd1) - Wr(E_wr1-E_wr0); tests check both forms
+// agree.
+func solveThreshold(window, wrNum, partBits int, t cnfet.EnergyTable, deltaT float64) thresholdRow {
+	w := float64(window)
+	wr := float64(wrNum)
+	rd := w - wr
+	l := float64(partBits)
+
+	// E(N1)    = cE0 + cE1*N1
+	cE1 := rd*(t.ReadOne-t.ReadZero) + wr*(t.WriteOne-t.WriteZero)
+	cE0 := l * (rd*t.ReadZero + wr*t.WriteZero)
+	// Ebar(N1) = cB0 + cB1*N1, with cB1 = -cE1 by symmetry.
+	cB1 := -cE1
+	cB0 := l * (rd*t.ReadOne + wr*t.WriteOne)
+	// Eenc(N1) = cN0 + cN1*N1
+	cN1 := t.WriteZero - t.WriteOne
+	cN0 := l * t.WriteOne
+
+	g := 1 - deltaT
+	a := g*cE0 - cB0 - cN0
+	b := g*cE1 - cB1 - cN1
+
+	const eps = 1e-12
+	if math.Abs(b) < eps {
+		// Decision independent of N1.
+		if a > 0 {
+			return thresholdRow{always: true}
+		}
+		return thresholdRow{never: true}
+	}
+	thr := -a / b
+	return thresholdRow{thr: thr, greater: b > 0}
+}
+
+// Eq6Threshold returns the paper's closed-form Eq. 6 threshold
+//
+//	N1 = L*(E_save - E_wr1) / (2*E_save - (E_wr1 - E_wr0))
+//
+// for the given window, write count and partition width. It is only
+// meaningful for ΔT=0 and a non-degenerate denominator; callers must
+// check ok. Kept as an independent derivation for cross-validation
+// against solveThreshold.
+func Eq6Threshold(window, wrNum, partBits int, t cnfet.EnergyTable) (n1 float64, ok bool) {
+	w := float64(window)
+	wr := float64(wrNum)
+	l := float64(partBits)
+	esave := (w-wr)*t.ReadDelta() - wr*t.WriteDelta()
+	den := 2*esave - t.WriteDelta()
+	if math.Abs(den) < 1e-12 {
+		return 0, false
+	}
+	return l * (esave - t.WriteOne) / den, true
+}

@@ -1,0 +1,193 @@
+// Package sram models the array-level structure of an SRAM cache macro:
+// data array geometry, tag array, the widened metadata (H&D) columns the
+// CNT-Cache architecture adds to every line, and the fixed per-access
+// peripheral energy (decoder, wordline, column mux) that is paid on top of
+// the per-bit cell energies from package cnfet.
+//
+// The peripheral energy matters for fidelity: adaptive encoding can only
+// save cell energy, so the fraction of access energy spent in periphery
+// bounds the achievable savings. The defaults keep periphery a realistic
+// minor fraction of a full-line access.
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cnfet"
+)
+
+// Geometry describes one cache data array.
+type Geometry struct {
+	// Sets and Ways define the logical organization; LineBytes is the data
+	// payload per line.
+	Sets, Ways, LineBytes int
+
+	// MetaBitsPerLine is the number of additional bits stored alongside
+	// each line (the paper's "H&D" region: access history counters plus
+	// encoding direction bits). Zero for a conventional cache.
+	MetaBitsPerLine int
+}
+
+// Validate checks the geometry for positive power-of-two organization.
+func (g *Geometry) Validate() error {
+	switch {
+	case g.Sets <= 0 || g.Ways <= 0 || g.LineBytes <= 0:
+		return fmt.Errorf("sram: sets/ways/line must be positive, got %d/%d/%d", g.Sets, g.Ways, g.LineBytes)
+	case g.Sets&(g.Sets-1) != 0:
+		return fmt.Errorf("sram: sets must be a power of two, got %d", g.Sets)
+	case g.LineBytes&(g.LineBytes-1) != 0:
+		return fmt.Errorf("sram: line bytes must be a power of two, got %d", g.LineBytes)
+	case g.MetaBitsPerLine < 0:
+		return fmt.Errorf("sram: metadata bits must be non-negative, got %d", g.MetaBitsPerLine)
+	}
+	return nil
+}
+
+// Lines returns the total number of lines in the array.
+func (g *Geometry) Lines() int { return g.Sets * g.Ways }
+
+// DataBitsPerLine returns the payload width in bits (the paper's L).
+func (g *Geometry) DataBitsPerLine() int { return g.LineBytes * 8 }
+
+// CapacityBytes returns the data capacity of the array.
+func (g *Geometry) CapacityBytes() int { return g.Lines() * g.LineBytes }
+
+// IndexBits returns log2(Sets).
+func (g *Geometry) IndexBits() int { return intLog2(g.Sets) }
+
+// OffsetBits returns log2(LineBytes).
+func (g *Geometry) OffsetBits() int { return intLog2(g.LineBytes) }
+
+// TagBits returns the tag width for the given physical address width.
+func (g *Geometry) TagBits(addrBits int) int {
+	t := addrBits - g.IndexBits() - g.OffsetBits()
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+func intLog2(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+// Periphery describes the fixed dynamic energy of the circuits surrounding
+// the cells, in femtojoules.
+type Periphery struct {
+	// DecodeEnergy is charged once per array access (row decoder +
+	// wordline driver).
+	DecodeEnergy float64
+
+	// TagCompareEnergy is charged per way probed on a lookup.
+	TagCompareEnergy float64
+
+	// ColumnEnergy is charged per accessed data byte (column mux, write
+	// drivers / output drivers).
+	ColumnEnergy float64
+}
+
+// Validate checks that the peripheral energies are non-negative.
+func (p *Periphery) Validate() error {
+	if p.DecodeEnergy < 0 || p.TagCompareEnergy < 0 || p.ColumnEnergy < 0 {
+		return fmt.Errorf("sram: peripheral energies must be non-negative: %+v", *p)
+	}
+	return nil
+}
+
+// DefaultPeriphery returns peripheral energies sized against the given
+// cell energy table so that periphery is a realistic minor fraction
+// (~10-15%) of a full 64-byte line access.
+func DefaultPeriphery(tab cnfet.EnergyTable) Periphery {
+	// Average per-bit read over a uniform value mix, as the scale anchor.
+	avgBit := (tab.ReadZero + tab.ReadOne) / 2
+	return Periphery{
+		DecodeEnergy:     40 * avgBit,
+		TagCompareEnergy: 6 * avgBit,
+		ColumnEnergy:     0.4 * avgBit,
+	}
+}
+
+// Array combines a geometry, a cell energy table and peripheral energies
+// into the energy model for one physical SRAM macro.
+type Array struct {
+	Geom  Geometry
+	Cells cnfet.EnergyTable
+	Perif Periphery
+}
+
+// NewArray validates and assembles an Array.
+func NewArray(g Geometry, cells cnfet.EnergyTable, p Periphery) (*Array, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cells.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{Geom: g, Cells: cells, Perif: p}, nil
+}
+
+// LookupEnergy returns the energy of one set lookup: decode plus a tag
+// compare in every way.
+func (a *Array) LookupEnergy() float64 {
+	return a.Perif.DecodeEnergy + float64(a.Geom.Ways)*a.Perif.TagCompareEnergy
+}
+
+// ReadEnergy returns the energy of reading nBytes of data of which ones
+// bits are '1', including column periphery but excluding the set lookup.
+func (a *Array) ReadEnergy(ones, nBytes int) float64 {
+	return a.Cells.ReadBits(ones, nBytes*8) + float64(nBytes)*a.Perif.ColumnEnergy
+}
+
+// WriteEnergy returns the energy of writing nBytes of data of which ones
+// bits are '1', including column periphery but excluding the set lookup.
+func (a *Array) WriteEnergy(ones, nBytes int) float64 {
+	return a.Cells.WriteBits(ones, nBytes*8) + float64(nBytes)*a.Perif.ColumnEnergy
+}
+
+// ReadMetaEnergy returns the energy of reading nBits metadata bits of
+// which ones are '1'. Metadata columns share the cell design but not the
+// byte-granular column periphery.
+func (a *Array) ReadMetaEnergy(ones, nBits int) float64 {
+	return a.Cells.ReadBits(ones, nBits)
+}
+
+// WriteMetaEnergy returns the energy of writing nBits metadata bits of
+// which ones are '1'.
+func (a *Array) WriteMetaEnergy(ones, nBits int) float64 {
+	return a.Cells.WriteBits(ones, nBits)
+}
+
+// PeripheryFraction estimates the fraction of a full-line read (uniform
+// data) spent in periphery. Used by tests to keep the model honest.
+func (a *Array) PeripheryFraction() float64 {
+	bits := a.Geom.DataBitsPerLine()
+	cell := a.Cells.ReadBits(bits/2, bits)
+	per := a.LookupEnergy() + float64(a.Geom.LineBytes)*a.Perif.ColumnEnergy
+	return per / (per + cell)
+}
+
+// MetadataBits computes the H&D width for a CNT-Cache line: two access
+// counters of ceil(log2(W+1)) bits each (A_num counts 0..W) plus one
+// direction bit per partition.
+func MetadataBits(window, partitions int) (int, error) {
+	if window <= 0 {
+		return 0, fmt.Errorf("sram: window must be positive, got %d", window)
+	}
+	if partitions <= 0 {
+		return 0, fmt.Errorf("sram: partitions must be positive, got %d", partitions)
+	}
+	counterBits := int(math.Ceil(math.Log2(float64(window + 1))))
+	if counterBits < 1 {
+		counterBits = 1
+	}
+	return 2*counterBits + partitions, nil
+}

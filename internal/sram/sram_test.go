@@ -1,0 +1,203 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnfet"
+)
+
+func testArray(t *testing.T, metaBits int) *Array {
+	t.Helper()
+	g := Geometry{Sets: 64, Ways: 8, LineBytes: 64, MetaBitsPerLine: metaBits}
+	tab := cnfet.MustTable(cnfet.CNFET32())
+	a, err := NewArray(g, tab, DefaultPeriphery(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := Geometry{Sets: 64, Ways: 8, LineBytes: 64}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Lines(); got != 512 {
+		t.Errorf("Lines = %d, want 512", got)
+	}
+	if got := g.CapacityBytes(); got != 32*1024 {
+		t.Errorf("Capacity = %d, want 32768", got)
+	}
+	if got := g.DataBitsPerLine(); got != 512 {
+		t.Errorf("DataBitsPerLine = %d, want 512", got)
+	}
+	if got := g.IndexBits(); got != 6 {
+		t.Errorf("IndexBits = %d, want 6", got)
+	}
+	if got := g.OffsetBits(); got != 6 {
+		t.Errorf("OffsetBits = %d, want 6", got)
+	}
+	if got := g.TagBits(32); got != 32-6-6 {
+		t.Errorf("TagBits(32) = %d, want 20", got)
+	}
+	if got := g.TagBits(4); got != 0 {
+		t.Errorf("TagBits(4) = %d, want clamped 0", got)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Geometry
+	}{
+		{"zero sets", Geometry{Sets: 0, Ways: 1, LineBytes: 64}},
+		{"zero ways", Geometry{Sets: 64, Ways: 0, LineBytes: 64}},
+		{"zero line", Geometry{Sets: 64, Ways: 1, LineBytes: 0}},
+		{"non-pow2 sets", Geometry{Sets: 48, Ways: 1, LineBytes: 64}},
+		{"non-pow2 line", Geometry{Sets: 64, Ways: 1, LineBytes: 48}},
+		{"negative meta", Geometry{Sets: 64, Ways: 1, LineBytes: 64, MetaBitsPerLine: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+	// Non-power-of-two ways are legal (victim caches etc).
+	ok := Geometry{Sets: 64, Ways: 6, LineBytes: 64}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("6-way geometry should validate: %v", err)
+	}
+}
+
+func TestNewArrayRejectsBadInputs(t *testing.T) {
+	tab := cnfet.MustTable(cnfet.CNFET32())
+	if _, err := NewArray(Geometry{}, tab, Periphery{}); err == nil {
+		t.Error("NewArray with invalid geometry should fail")
+	}
+	g := Geometry{Sets: 4, Ways: 1, LineBytes: 64}
+	if _, err := NewArray(g, cnfet.EnergyTable{}, Periphery{}); err == nil {
+		t.Error("NewArray with invalid table should fail")
+	}
+	if _, err := NewArray(g, tab, Periphery{DecodeEnergy: -1}); err == nil {
+		t.Error("NewArray with negative periphery should fail")
+	}
+}
+
+func TestLookupEnergyScalesWithWays(t *testing.T) {
+	tab := cnfet.MustTable(cnfet.CNFET32())
+	p := DefaultPeriphery(tab)
+	mk := func(ways int) *Array {
+		a, err := NewArray(Geometry{Sets: 64, Ways: ways, LineBytes: 64}, tab, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	e1, e8 := mk(1).LookupEnergy(), mk(8).LookupEnergy()
+	want := e1 + 7*p.TagCompareEnergy
+	if math.Abs(e8-want) > 1e-9 {
+		t.Errorf("8-way lookup = %g, want %g", e8, want)
+	}
+}
+
+func TestReadWriteEnergyMonotoneInOnes(t *testing.T) {
+	a := testArray(t, 0)
+	f := func(raw uint16) bool {
+		ones := int(raw % 512)
+		return a.ReadEnergy(ones+1, 64) < a.ReadEnergy(ones, 64) &&
+			a.WriteEnergy(ones+1, 64) > a.WriteEnergy(ones, 64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEnergyComposition(t *testing.T) {
+	a := testArray(t, 0)
+	ones, n := 100, 64
+	want := a.Cells.ReadBits(ones, n*8) + float64(n)*a.Perif.ColumnEnergy
+	if got := a.ReadEnergy(ones, n); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ReadEnergy = %g, want %g", got, want)
+	}
+	wantW := a.Cells.WriteBits(ones, n*8) + float64(n)*a.Perif.ColumnEnergy
+	if got := a.WriteEnergy(ones, n); math.Abs(got-wantW) > 1e-9 {
+		t.Errorf("WriteEnergy = %g, want %g", got, wantW)
+	}
+}
+
+func TestMetaEnergyExcludesColumnPeriphery(t *testing.T) {
+	a := testArray(t, 12)
+	if got, want := a.ReadMetaEnergy(3, 12), a.Cells.ReadBits(3, 12); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ReadMetaEnergy = %g, want pure cell energy %g", got, want)
+	}
+	if got, want := a.WriteMetaEnergy(3, 12), a.Cells.WriteBits(3, 12); math.Abs(got-want) > 1e-9 {
+		t.Errorf("WriteMetaEnergy = %g, want pure cell energy %g", got, want)
+	}
+}
+
+func TestPeripheryFractionIsMinor(t *testing.T) {
+	a := testArray(t, 0)
+	frac := a.PeripheryFraction()
+	if frac <= 0 || frac >= 0.3 {
+		t.Errorf("periphery fraction = %.3f, want a realistic minor share in (0, 0.3)", frac)
+	}
+}
+
+func TestDefaultPeripheryNonNegative(t *testing.T) {
+	for name, d := range map[string]cnfet.Device{"cnfet": cnfet.CNFET32(), "cmos": cnfet.CMOS32()} {
+		p := DefaultPeriphery(cnfet.MustTable(d))
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.DecodeEnergy <= 0 || p.TagCompareEnergy <= 0 || p.ColumnEnergy <= 0 {
+			t.Errorf("%s: default periphery should be strictly positive: %+v", name, p)
+		}
+	}
+}
+
+func TestMetadataBits(t *testing.T) {
+	cases := []struct {
+		window, partitions int
+		want               int
+	}{
+		{15, 1, 9},   // 2*ceil(log2(16)) + 1 = 8+1
+		{15, 8, 16},  // 8 + 8
+		{31, 8, 18},  // 2*5 + 8
+		{1, 1, 3},    // 2*1 + 1
+		{3, 4, 8},    // 2*2 + 4
+		{63, 16, 28}, // 2*6 + 16
+	}
+	for _, tc := range cases {
+		got, err := MetadataBits(tc.window, tc.partitions)
+		if err != nil {
+			t.Errorf("MetadataBits(%d,%d) error: %v", tc.window, tc.partitions, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("MetadataBits(%d,%d) = %d, want %d", tc.window, tc.partitions, got, tc.want)
+		}
+	}
+	if _, err := MetadataBits(0, 1); err == nil {
+		t.Error("MetadataBits(0,1) should fail")
+	}
+	if _, err := MetadataBits(15, 0); err == nil {
+		t.Error("MetadataBits(15,0) should fail")
+	}
+}
+
+func TestMetadataBitsMonotone(t *testing.T) {
+	f := func(wRaw, kRaw uint8) bool {
+		w := int(wRaw%62) + 1
+		k := int(kRaw%31) + 1
+		a, err1 := MetadataBits(w, k)
+		b, err2 := MetadataBits(w+1, k+1)
+		return err1 == nil && err2 == nil && b >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary format: an 8-byte magic header followed by records of
+//
+//	op   uint8
+//	size uint8
+//	addr uint64 (little endian)
+//	data [size]byte (writes only)
+//
+// The format is self-terminating on EOF at a record boundary.
+var binaryMagic = [8]byte{'C', 'N', 'T', 'T', 'R', 'C', '0', '1'}
+
+// BinaryWriter streams accesses in the binary format.
+type BinaryWriter struct {
+	w      *bufio.Writer
+	err    error
+	header bool
+}
+
+// NewBinaryWriter wraps w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriter(w)}
+}
+
+// Access implements Sink.
+func (b *BinaryWriter) Access(a Access) error {
+	if b.err != nil {
+		return b.err
+	}
+	if err := a.Validate(); err != nil {
+		b.err = err
+		return err
+	}
+	if !b.header {
+		if _, err := b.w.Write(binaryMagic[:]); err != nil {
+			b.err = err
+			return err
+		}
+		b.header = true
+	}
+	var rec [10]byte
+	rec[0] = byte(a.Op)
+	rec[1] = byte(a.Size)
+	binary.LittleEndian.PutUint64(rec[2:], a.Addr)
+	if _, err := b.w.Write(rec[:]); err != nil {
+		b.err = err
+		return err
+	}
+	if a.Op == Write {
+		if _, err := b.w.Write(a.Data); err != nil {
+			b.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains buffered output, emitting the header even for an empty
+// trace.
+func (b *BinaryWriter) Flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	if !b.header {
+		if _, err := b.w.Write(binaryMagic[:]); err != nil {
+			b.err = err
+			return err
+		}
+		b.header = true
+	}
+	b.err = b.w.Flush()
+	return b.err
+}
+
+// BinaryReader parses the binary format as a Source.
+type BinaryReader struct {
+	r      *bufio.Reader
+	err    error
+	header bool
+}
+
+// NewBinaryReader wraps r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReader(r)}
+}
+
+// Next implements Source.
+func (b *BinaryReader) Next() (Access, bool) {
+	if b.err != nil {
+		return Access{}, false
+	}
+	if !b.header {
+		var magic [8]byte
+		if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+			b.err = fmt.Errorf("trace: reading magic: %w", err)
+			return Access{}, false
+		}
+		if magic != binaryMagic {
+			b.err = fmt.Errorf("trace: bad magic %q", magic)
+			return Access{}, false
+		}
+		b.header = true
+	}
+	var rec [10]byte
+	if _, err := io.ReadFull(b.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Access{}, false // clean end at record boundary
+		}
+		b.err = fmt.Errorf("trace: truncated record: %w", err)
+		return Access{}, false
+	}
+	a := Access{
+		Op:   Op(rec[0]),
+		Size: int(rec[1]),
+		Addr: binary.LittleEndian.Uint64(rec[2:]),
+	}
+	if a.Op == Write {
+		if a.Size <= 0 || a.Size > 64 {
+			b.err = fmt.Errorf("trace: corrupt write size %d", a.Size)
+			return Access{}, false
+		}
+		a.Data = make([]byte, a.Size)
+		if _, err := io.ReadFull(b.r, a.Data); err != nil {
+			b.err = fmt.Errorf("trace: truncated write payload: %w", err)
+			return Access{}, false
+		}
+	}
+	if err := a.Validate(); err != nil {
+		b.err = err
+		return Access{}, false
+	}
+	return a, true
+}
+
+// Err implements Source.
+func (b *BinaryReader) Err() error { return b.err }

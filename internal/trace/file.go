@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// File-level helpers that pick the codec from the path: ".txt" selects
+// the text format, anything else the binary format, and a trailing ".gz"
+// layers gzip compression. Traces compress extremely well (addresses and
+// zero-heavy payloads), so archived suites should use .bin.gz.
+
+// FileWriter is a trace sink bound to a file.
+type FileWriter struct {
+	Sink
+	flush  func() error
+	gz     *gzip.Writer
+	file   *os.File
+	closed bool
+}
+
+// CreateFile opens path for writing, choosing text/binary and gzip from
+// the extension.
+func CreateFile(path string) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	fw := &FileWriter{file: f}
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		fw.gz = gzip.NewWriter(f)
+		w = fw.gz
+	}
+	if isTextPath(path) {
+		tw := NewTextWriter(w)
+		fw.Sink, fw.flush = tw, tw.Flush
+	} else {
+		bw := NewBinaryWriter(w)
+		fw.Sink, fw.flush = bw, bw.Flush
+	}
+	return fw, nil
+}
+
+// Close flushes every layer and closes the file.
+func (fw *FileWriter) Close() error {
+	if fw.closed {
+		return nil
+	}
+	fw.closed = true
+	if err := fw.flush(); err != nil {
+		fw.file.Close()
+		return err
+	}
+	if fw.gz != nil {
+		if err := fw.gz.Close(); err != nil {
+			fw.file.Close()
+			return err
+		}
+	}
+	return fw.file.Close()
+}
+
+// OpenFile opens a trace file for reading, choosing the codec from the
+// extension.
+func OpenFile(path string) (Source, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r io.Reader = f
+	closer := io.Closer(f)
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		r = gz
+		closer = multiCloser{gz, f}
+	}
+	if isTextPath(path) {
+		return NewTextReader(r), closer, nil
+	}
+	return NewBinaryReader(r), closer, nil
+}
+
+// ReadFile loads an entire trace file.
+func ReadFile(path string) ([]Access, error) {
+	src, closer, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	return Collect(src)
+}
+
+// WriteFile stores a full access slice at path.
+func WriteFile(path string, accs []Access) error {
+	fw, err := CreateFile(path)
+	if err != nil {
+		return err
+	}
+	for _, a := range accs {
+		if err := fw.Access(a); err != nil {
+			fw.Close()
+			return err
+		}
+	}
+	return fw.Close()
+}
+
+func isTextPath(path string) bool {
+	p := strings.TrimSuffix(path, ".gz")
+	return strings.HasSuffix(p, ".txt")
+}
+
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

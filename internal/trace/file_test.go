@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestFileRoundTripAllFormats(t *testing.T) {
+	accs := randomAccesses(5, 300)
+	dir := t.TempDir()
+	for _, name := range []string{"t.txt", "t.bin", "t.txt.gz", "t.bin.gz"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			if err := WriteFile(path, accs); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, accs) {
+				t.Fatalf("%s: round trip mismatch (%d vs %d records)", name, len(got), len(accs))
+			}
+		})
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	accs := randomAccesses(6, 5000)
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "t.bin")
+	packed := filepath.Join(dir, "t.bin.gz")
+	if err := WriteFile(plain, accs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(packed, accs); err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := os.Stat(plain)
+	gi, _ := os.Stat(packed)
+	if gi.Size() >= pi.Size() {
+		t.Errorf("gzip trace %d bytes >= plain %d bytes", gi.Size(), pi.Size())
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, _, err := OpenFile("/no/such/trace.bin"); err == nil {
+		t.Error("missing file should fail")
+	}
+	// A .gz that is not gzip data.
+	dir := t.TempDir()
+	bogus := filepath.Join(dir, "bogus.bin.gz")
+	if err := os.WriteFile(bogus, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(bogus); err == nil {
+		t.Error("corrupt gzip should fail at open")
+	}
+}
+
+func TestFileWriterDoubleCloseIsSafe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.bin")
+	fw, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Errorf("second Close should be a no-op, got %v", err)
+	}
+}
+
+func TestWriteFileEmptyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin.gz")
+	if err := WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace returned %d records", len(got))
+	}
+}
+
+func TestIsTextPath(t *testing.T) {
+	cases := map[string]bool{
+		"a.txt": true, "a.txt.gz": true,
+		"a.bin": false, "a.bin.gz": false, "a": false, "a.gz": false,
+	}
+	for p, want := range cases {
+		if got := isTextPath(p); got != want {
+			t.Errorf("isTextPath(%q) = %v, want %v", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTextReader checks that arbitrary text input never panics the parser
+// and that anything it accepts survives a serialize/re-parse round trip.
+func FuzzTextReader(f *testing.F) {
+	f.Add("R 0x10 8\nW 0x20 2 aabb\nF 0x400 4\n")
+	f.Add("# comment\n\nR 4096 64\n")
+	f.Add("W 0x0 1 zz\n")
+	f.Add("R")
+	f.Add("W 0x10 65 " + string(bytes.Repeat([]byte("ab"), 65)))
+	f.Fuzz(func(t *testing.T, input string) {
+		accs, err := Collect(NewTextReader(bytes.NewReader([]byte(input))))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		w := NewTextWriter(&buf)
+		for _, a := range accs {
+			if err := w.Access(a); err != nil {
+				t.Fatalf("accepted access failed to serialize: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Collect(NewTextReader(&buf))
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v", err)
+		}
+		if len(accs) > 0 && !reflect.DeepEqual(accs, again) {
+			t.Fatalf("round trip mismatch: %v vs %v", accs, again)
+		}
+	})
+}
+
+// FuzzBinaryReader checks the binary parser is panic-free on arbitrary
+// bytes and enforces its structural invariants on anything it accepts.
+func FuzzBinaryReader(f *testing.F) {
+	valid := func(accs []Access) []byte {
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		for _, a := range accs {
+			_ = w.Access(a)
+		}
+		_ = w.Flush()
+		return buf.Bytes()
+	}
+	f.Add(valid([]Access{{Op: Read, Addr: 16, Size: 8}}))
+	f.Add(valid([]Access{{Op: Write, Addr: 0, Size: 2, Data: []byte{1, 2}}}))
+	f.Add([]byte("CNTTRC01"))
+	f.Add([]byte("garbage"))
+	f.Add(valid(nil)[:4])
+	f.Fuzz(func(t *testing.T, input []byte) {
+		accs, err := Collect(NewBinaryReader(bytes.NewReader(input)))
+		if err != nil {
+			return
+		}
+		for _, a := range accs {
+			if err := a.Validate(); err != nil {
+				t.Fatalf("binary reader accepted invalid access: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TextWriter streams accesses in the line-oriented text format:
+//
+//	R 0x1000 8
+//	W 0x1008 8 0102030405060708
+//	F 0x400000 4
+//
+// Lines starting with '#' and blank lines are comments on read.
+type TextWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewTextWriter wraps w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// Access implements Sink.
+func (t *TextWriter) Access(a Access) error {
+	if t.err != nil {
+		return t.err
+	}
+	if err := a.Validate(); err != nil {
+		t.err = err
+		return err
+	}
+	if a.Op == Write {
+		_, t.err = fmt.Fprintf(t.w, "%s %#x %d %s\n", a.Op, a.Addr, a.Size, hex.EncodeToString(a.Data))
+	} else {
+		_, t.err = fmt.Fprintf(t.w, "%s %#x %d\n", a.Op, a.Addr, a.Size)
+	}
+	return t.err
+}
+
+// Flush drains buffered output.
+func (t *TextWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.w.Flush()
+	return t.err
+}
+
+// TextReader parses the text trace format as a Source.
+type TextReader struct {
+	sc   *bufio.Scanner
+	err  error
+	line int
+}
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Source.
+func (t *TextReader) Next() (Access, bool) {
+	if t.err != nil {
+		return Access{}, false
+	}
+	for t.sc.Scan() {
+		t.line++
+		raw := strings.TrimSpace(t.sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		a, err := parseTextLine(raw)
+		if err != nil {
+			t.err = fmt.Errorf("trace: line %d: %w", t.line, err)
+			return Access{}, false
+		}
+		return a, true
+	}
+	t.err = t.sc.Err()
+	return Access{}, false
+}
+
+// Err implements Source.
+func (t *TextReader) Err() error { return t.err }
+
+func parseTextLine(raw string) (Access, error) {
+	fields := strings.Fields(raw)
+	if len(fields) < 3 {
+		return Access{}, fmt.Errorf("want at least 3 fields, got %d", len(fields))
+	}
+	op, err := ParseOp(fields[0])
+	if err != nil {
+		return Access{}, err
+	}
+	addr, err := strconv.ParseUint(fields[1], 0, 64)
+	if err != nil {
+		return Access{}, fmt.Errorf("bad address %q: %w", fields[1], err)
+	}
+	size, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return Access{}, fmt.Errorf("bad size %q: %w", fields[2], err)
+	}
+	a := Access{Op: op, Addr: addr, Size: size}
+	if op == Write {
+		if len(fields) != 4 {
+			return Access{}, fmt.Errorf("write wants 4 fields, got %d", len(fields))
+		}
+		data, err := hex.DecodeString(fields[3])
+		if err != nil {
+			return Access{}, fmt.Errorf("bad data %q: %w", fields[3], err)
+		}
+		a.Data = data
+	} else if len(fields) != 3 {
+		return Access{}, fmt.Errorf("%v wants 3 fields, got %d", op, len(fields))
+	}
+	if err := a.Validate(); err != nil {
+		return Access{}, err
+	}
+	return a, nil
+}

@@ -1,0 +1,145 @@
+// Package trace defines the memory-reference record the simulator
+// consumes and two on-disk formats for it: a human-readable text format
+// and a compact binary format. Records carry data payloads for writes —
+// the adaptive encoder's behaviour depends on the actual bits — while
+// reads fetch their data from the simulated backing store.
+package trace
+
+import (
+	"fmt"
+)
+
+// Op is the access type.
+type Op uint8
+
+const (
+	// Read is a data load.
+	Read Op = iota
+	// Write is a data store (carries a payload).
+	Write
+	// Fetch is an instruction fetch (read-only, routed to the I-cache).
+	Fetch
+)
+
+// String names the op with its single-letter trace mnemonic.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case Fetch:
+		return "F"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// ParseOp maps a mnemonic back to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "R":
+		return Read, nil
+	case "W":
+		return Write, nil
+	case "F":
+		return Fetch, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown op %q", s)
+	}
+}
+
+// Access is one memory reference.
+type Access struct {
+	// Op is the access type.
+	Op Op
+	// Addr is the byte address.
+	Addr uint64
+	// Size is the access size in bytes (1..64).
+	Size int
+	// Data is the payload for writes (len == Size); nil for reads and
+	// fetches.
+	Data []byte
+}
+
+// Validate checks structural invariants.
+func (a Access) Validate() error {
+	if a.Op != Read && a.Op != Write && a.Op != Fetch {
+		return fmt.Errorf("trace: invalid op %d", a.Op)
+	}
+	if a.Size <= 0 || a.Size > 64 {
+		return fmt.Errorf("trace: size %d out of range [1,64]", a.Size)
+	}
+	if a.Op == Write {
+		if len(a.Data) != a.Size {
+			return fmt.Errorf("trace: write data length %d != size %d", len(a.Data), a.Size)
+		}
+	} else if a.Data != nil {
+		return fmt.Errorf("trace: %v access must not carry data", a.Op)
+	}
+	return nil
+}
+
+// IsWrite reports whether the access modifies memory.
+func (a Access) IsWrite() bool { return a.Op == Write }
+
+// String renders the access in the text trace format.
+func (a Access) String() string {
+	if a.Op == Write {
+		return fmt.Sprintf("%s %#x %d %x", a.Op, a.Addr, a.Size, a.Data)
+	}
+	return fmt.Sprintf("%s %#x %d", a.Op, a.Addr, a.Size)
+}
+
+// Sink consumes a stream of accesses.
+type Sink interface {
+	Access(a Access) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(a Access) error
+
+// Access implements Sink.
+func (f SinkFunc) Access(a Access) error { return f(a) }
+
+// Source produces a stream of accesses. Next returns false when the
+// stream is exhausted; Err reports any terminal error.
+type Source interface {
+	Next() (Access, bool)
+	Err() error
+}
+
+// SliceSource adapts a slice of accesses to the Source interface.
+type SliceSource struct {
+	accs []Access
+	pos  int
+}
+
+// NewSliceSource wraps accs.
+func NewSliceSource(accs []Access) *SliceSource { return &SliceSource{accs: accs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Access, bool) {
+	if s.pos >= len(s.accs) {
+		return Access{}, false
+	}
+	a := s.accs[s.pos]
+	s.pos++
+	return a, true
+}
+
+// Err implements Source; a slice never fails.
+func (s *SliceSource) Err() error { return nil }
+
+// Collect drains a source into a slice.
+func Collect(src Source) ([]Access, error) {
+	var out []Access
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out, src.Err()
+}

@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomAccesses(seed int64, n int) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]Access, n)
+	for i := range accs {
+		op := Op(rng.Intn(3))
+		size := []int{1, 2, 4, 8, 16, 32, 64}[rng.Intn(7)]
+		a := Access{Op: op, Addr: rng.Uint64() >> 8, Size: size}
+		if op == Write {
+			a.Data = make([]byte, size)
+			rng.Read(a.Data)
+		}
+		accs[i] = a
+	}
+	return accs
+}
+
+func TestAccessValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Access
+		ok   bool
+	}{
+		{"read", Access{Op: Read, Addr: 0x1000, Size: 8}, true},
+		{"fetch", Access{Op: Fetch, Addr: 0x400, Size: 4}, true},
+		{"write", Access{Op: Write, Addr: 0, Size: 2, Data: []byte{1, 2}}, true},
+		{"bad op", Access{Op: Op(9), Size: 8}, false},
+		{"zero size", Access{Op: Read, Size: 0}, false},
+		{"oversize", Access{Op: Read, Size: 65}, false},
+		{"write without data", Access{Op: Write, Size: 4}, false},
+		{"write short data", Access{Op: Write, Size: 4, Data: []byte{1}}, false},
+		{"read with data", Access{Op: Read, Size: 1, Data: []byte{1}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.a.Validate(); (err == nil) != tc.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestOpStringAndParse(t *testing.T) {
+	for _, op := range []Op{Read, Write, Fetch} {
+		got, err := ParseOp(op.String())
+		if err != nil || got != op {
+			t.Errorf("round trip of %v failed: %v %v", op, got, err)
+		}
+	}
+	if _, err := ParseOp("Z"); err == nil {
+		t.Error("ParseOp(Z) should fail")
+	}
+	if s := Op(9).String(); s != "Op(9)" {
+		t.Errorf("unknown op string = %q", s)
+	}
+}
+
+func TestIsWrite(t *testing.T) {
+	if !(Access{Op: Write}).IsWrite() || (Access{Op: Read}).IsWrite() || (Access{Op: Fetch}).IsWrite() {
+		t.Error("IsWrite misclassifies")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	accs := randomAccesses(1, 500)
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	for _, a := range accs {
+		if err := w.Access(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, accs) {
+		t.Fatalf("text round trip mismatch: %d vs %d records", len(got), len(accs))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	accs := randomAccesses(2, 500)
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, a := range accs {
+		if err := w.Access(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, accs) {
+		t.Fatalf("binary round trip mismatch: %d vs %d records", len(got), len(accs))
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		accs := randomAccesses(seed, int(nRaw%50))
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		for _, a := range accs {
+			if w.Access(a) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := Collect(NewBinaryReader(&buf))
+		if err != nil {
+			return false
+		}
+		if len(accs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, accs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextCommentsAndBlankLines(t *testing.T) {
+	in := "# a comment\n\nR 0x10 8\n  \n# another\nW 0x20 2 aabb\n"
+	got, err := Collect(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Access{
+		{Op: Read, Addr: 0x10, Size: 8},
+		{Op: Write, Addr: 0x20, Size: 2, Data: []byte{0xAA, 0xBB}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestTextDecimalAddresses(t *testing.T) {
+	got, err := Collect(NewTextReader(strings.NewReader("R 4096 8\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Addr != 4096 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad op", "Q 0x10 8\n"},
+		{"bad addr", "R zz 8\n"},
+		{"bad size", "R 0x10 eight\n"},
+		{"write missing data", "W 0x10 8\n"},
+		{"write bad hex", "W 0x10 2 zzzz\n"},
+		{"write length mismatch", "W 0x10 4 aabb\n"},
+		{"read trailing field", "R 0x10 8 aa\n"},
+		{"too few fields", "R 0x10\n"},
+		{"oversize", "R 0x10 100\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Collect(NewTextReader(strings.NewReader(tc.in)))
+			if err == nil {
+				t.Errorf("input %q should fail", tc.in)
+			}
+		})
+	}
+}
+
+func TestTextErrorsIncludeLineNumber(t *testing.T) {
+	_, err := Collect(NewTextReader(strings.NewReader("R 0x10 8\nQ 1 2\n")))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error = %v, want line number", err)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	_, err := Collect(NewBinaryReader(bytes.NewReader([]byte("NOTMAGIC-extra"))))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("error = %v, want bad magic", err)
+	}
+}
+
+func TestBinaryTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Access(Access{Op: Write, Addr: 1, Size: 8, Data: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop mid-payload.
+	_, err := Collect(NewBinaryReader(bytes.NewReader(full[:len(full)-3])))
+	if err == nil {
+		t.Error("truncated payload should fail")
+	}
+	// Chop mid-header.
+	_, err = Collect(NewBinaryReader(bytes.NewReader(full[:4])))
+	if err == nil {
+		t.Error("truncated magic should fail")
+	}
+}
+
+func TestBinaryEmptyTraceHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("empty trace length = %d, want 8 (magic only)", buf.Len())
+	}
+	got, err := Collect(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d records from empty trace", len(got))
+	}
+}
+
+func TestWriterRejectsInvalidAccess(t *testing.T) {
+	bad := Access{Op: Write, Size: 4} // missing data
+	if err := NewTextWriter(&bytes.Buffer{}).Access(bad); err == nil {
+		t.Error("text writer should reject invalid access")
+	}
+	if err := NewBinaryWriter(&bytes.Buffer{}).Access(bad); err == nil {
+		t.Error("binary writer should reject invalid access")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	accs := randomAccesses(3, 10)
+	src := NewSliceSource(accs)
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, accs) {
+		t.Fatal("slice source mismatch")
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("exhausted source should stay exhausted")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	n := 0
+	var s Sink = SinkFunc(func(a Access) error { n++; return nil })
+	if err := s.Access(Access{Op: Read, Size: 1}); err != nil || n != 1 {
+		t.Error("SinkFunc did not forward")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	r := Access{Op: Read, Addr: 0x10, Size: 8}
+	if got := r.String(); got != "R 0x10 8" {
+		t.Errorf("read String = %q", got)
+	}
+	w := Access{Op: Write, Addr: 0x20, Size: 2, Data: []byte{0xAB, 0xCD}}
+	if got := w.String(); got != "W 0x20 2 abcd" {
+		t.Errorf("write String = %q", got)
+	}
+}

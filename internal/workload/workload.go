@@ -1,0 +1,171 @@
+// Package workload generates the benchmark access streams the CNT-Cache
+// evaluation runs on. The original paper used "a set of benchmark
+// programs" on an architectural simulator; those binaries and traces are
+// not available, so this package substitutes kernels that reproduce the
+// two properties the adaptive encoder actually responds to:
+//
+//   - per-line read/write mix (read-intensive vs write-intensive phases),
+//     which drives the pattern predictor, and
+//   - data bit density (real integer/pointer data is strongly zero-heavy;
+//     floating-point and hashed data is denser), which drives the
+//     encoding decision.
+//
+// Every instance carries real data: an initial memory image plus an
+// access stream whose writes hold payloads. Generators are deterministic
+// in their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Region is a chunk of the initial memory image.
+type Region struct {
+	Addr uint64
+	Data []byte
+}
+
+// Instance is one materialized workload: image plus access stream.
+type Instance struct {
+	// Name identifies the workload.
+	Name string
+	// Init is the initial memory image (program data as loaded).
+	Init []Region
+	// Accesses is the reference stream.
+	Accesses []trace.Access
+}
+
+// Preload writes the initial image into a memory.
+func (in *Instance) Preload(m *mem.Memory) {
+	for _, r := range in.Init {
+		m.Write(r.Addr, r.Data)
+	}
+}
+
+// Counts summarizes the stream's op mix.
+func (in *Instance) Counts() (reads, writes, fetches int) {
+	for _, a := range in.Accesses {
+		switch a.Op {
+		case trace.Read:
+			reads++
+		case trace.Write:
+			writes++
+		case trace.Fetch:
+			fetches++
+		}
+	}
+	return
+}
+
+// Validate checks every access in the stream.
+func (in *Instance) Validate() error {
+	for i, a := range in.Accesses {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("workload %s: access %d: %w", in.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Builder constructs a workload instance from a seed.
+type Builder struct {
+	// Name identifies the workload.
+	Name string
+	// Description says what program behaviour it models.
+	Description string
+	// Build materializes the instance.
+	Build func(seed int64) *Instance
+}
+
+// Suite returns the 10-kernel benchmark suite used by the headline
+// experiment (E3) in DESIGN.md order.
+func Suite() []Builder {
+	return []Builder{
+		{Name: "mm", Description: "48x48 int32 matrix multiply: read-dominated, zero-heavy integer data", Build: MatMul},
+		{Name: "fir", Description: "64-tap FIR over an int16 sample stream: read-heavy with sliding window reuse", Build: FIR},
+		{Name: "bfs", Description: "BFS over a sparse graph: index-chasing reads, frontier writes, zero-heavy indices", Build: BFS},
+		{Name: "hashjoin", Description: "hash build + probe: dense hashed keys, balanced mix", Build: HashJoin},
+		{Name: "sort", Description: "in-place merge passes: balanced read/write on small ints", Build: Sort},
+		{Name: "stream", Description: "STREAM triad over float32 vectors: write-heavy, dense bit patterns", Build: Stream},
+		{Name: "stack", Description: "call-stack frames: interleaved spills, local reads and restores, small values", Build: Stack},
+		{Name: "list", Description: "linked-list traversal over heterogeneous 64B nodes: sparse pointer + zero metadata + dense payload", Build: List},
+		{Name: "spmv", Description: "CSR sparse matrix x dense vector: zero-heavy indices against dense FP values, read-dominated", Build: SpMV},
+		{Name: "hist", Description: "byte histogram: hot read-modify-write counters, extremely zero-heavy", Build: Histogram},
+	}
+}
+
+// ByName returns the named builder from the suite.
+func ByName(name string) (Builder, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Builder{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Names lists the suite in order.
+func Names() []string {
+	s := Suite()
+	names := make([]string, len(s))
+	for i, b := range s {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// --- data-value helpers -------------------------------------------------
+
+// smallInt32 returns a little-endian int32 drawn from a zero-heavy
+// distribution resembling program integers: mostly small magnitudes.
+func smallInt32(rng *rand.Rand) []byte {
+	var v int32
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3: // small counters
+		v = int32(rng.Intn(256))
+	case 4, 5, 6: // medium values
+		v = int32(rng.Intn(65536))
+	case 7, 8: // zero
+		v = 0
+	default: // occasional full-range
+		v = rng.Int31()
+	}
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+// float32Bits returns a little-endian float32-like pattern: sign +
+// populated exponent bits, as real FP data has (denser than integers).
+func float32Bits(rng *rand.Rand) []byte {
+	// Exponent near bias (values around 1.0), random mantissa.
+	exp := uint32(120 + rng.Intn(16))
+	bits := rng.Uint32()&0x007FFFFF | exp<<23 | uint32(rng.Intn(2))<<31
+	return []byte{byte(bits), byte(bits >> 8), byte(bits >> 16), byte(bits >> 24)}
+}
+
+// densityWord returns 8 bytes where each bit is set with probability p.
+func densityWord(rng *rand.Rand, p float64) []byte {
+	out := make([]byte, 8)
+	for i := range out {
+		var b byte
+		for bit := 0; bit < 8; bit++ {
+			if rng.Float64() < p {
+				b |= 1 << uint(bit)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// fillRegion builds a region of n 4-byte values produced by gen.
+func fillRegion(addr uint64, n int, gen func() []byte) Region {
+	data := make([]byte, 0, n*4)
+	for i := 0; i < n; i++ {
+		data = append(data, gen()...)
+	}
+	return Region{Addr: addr, Data: data}
+}
