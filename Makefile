@@ -1,0 +1,25 @@
+# Build/test entry points for the CNT-Cache reproduction.
+#
+#   make tier1   fast gate: build + full unit tests
+#   make tier2   deep gate: vet, race-enabled tests (covers the parallel
+#                determinism test), and a cntbench -quick end-to-end smoke
+#   make results regenerate results/ with the full (non-quick) sweeps
+
+GO ?= go
+
+.PHONY: tier1 tier2 results bench
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) run ./cmd/cntbench -quick -out $$(mktemp -d cntbench-smoke.XXXXXX -p $${TMPDIR:-/tmp}) >/dev/null
+
+results:
+	$(GO) run ./cmd/cntbench -out results
+
+bench:
+	$(GO) test -short -bench=. -benchmem ./...

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/cache"
@@ -44,7 +46,34 @@ func main() {
 	configPath := flag.String("config", "", "JSON run configuration (overrides variant/device/geometry flags)")
 	exampleConfig := flag.Bool("example-config", false, "print a sample configuration file and exit")
 	inspect := flag.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *exampleConfig {
 		if err := config.WriteExample(os.Stdout); err != nil {

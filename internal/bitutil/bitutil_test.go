@@ -333,3 +333,38 @@ func BenchmarkApplyMask64B(b *testing.B) {
 		ApplyMask(data, 8, 0xA5)
 	}
 }
+
+// TestHotHelpersAllocFree pins the per-access helpers to zero heap
+// allocations: Ones and OnesPerPartition (with a caller-owned scratch
+// slice) run on every simulated cache access.
+func TestHotHelpersAllocFree(t *testing.T) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if Ones(data) < 0 {
+			t.Fatal("negative count")
+		}
+	}); n != 0 {
+		t.Errorf("Ones allocates %.1f objects per op, want 0", n)
+	}
+	scratch := make([]int, 8)
+	if n := testing.AllocsPerRun(200, func() {
+		if len(OnesPerPartition(data, 8, scratch)) != 8 {
+			t.Fatal("wrong partition count")
+		}
+	}); n != 0 {
+		t.Errorf("OnesPerPartition with scratch allocates %.1f objects per op, want 0", n)
+	}
+}
+
+func BenchmarkOnesPerPartition64B(b *testing.B) {
+	data := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(data)
+	scratch := make([]int, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OnesPerPartition(data, 8, scratch)
+	}
+}

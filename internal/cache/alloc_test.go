@@ -1,0 +1,65 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSplitSingleLineAllocs pins the fast path: an access contained in
+// one line must not allocate, whether iterated via SplitEach or sliced
+// into a caller-owned buffer.
+func TestSplitSingleLineAllocs(t *testing.T) {
+	a := trace.Access{Op: trace.Read, Addr: 0x100, Size: 8}
+
+	t.Run("SplitEach", func(t *testing.T) {
+		sink := func(trace.Access) error { return nil }
+		if n := testing.AllocsPerRun(200, func() {
+			if err := SplitEach(a, 64, sink); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("SplitEach single-line allocates %.1f objects per op, want 0", n)
+		}
+	})
+
+	t.Run("SplitReusedBuf", func(t *testing.T) {
+		buf := make([]trace.Access, 0, 4)
+		if n := testing.AllocsPerRun(200, func() {
+			out := Split(a, 64, buf)
+			if len(out) != 1 {
+				t.Fatal("want one piece")
+			}
+		}); n != 0 {
+			t.Errorf("Split with reused buffer allocates %.1f objects per op, want 0", n)
+		}
+	})
+}
+
+// TestSplitCrossingReusedBuf checks a boundary-crossing access also stays
+// off the heap once the scratch buffer has grown to fit.
+func TestSplitCrossingReusedBuf(t *testing.T) {
+	w := trace.Access{Op: trace.Write, Addr: 60, Size: 8, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	buf := make([]trace.Access, 0, 4)
+	if n := testing.AllocsPerRun(200, func() {
+		out := Split(w, 64, buf)
+		if len(out) != 2 {
+			t.Fatal("want two pieces")
+		}
+	}); n != 0 {
+		t.Errorf("crossing Split with reused buffer allocates %.1f objects per op, want 0", n)
+	}
+}
+
+// BenchmarkSplitEachSingleLine measures the common case dispatch that
+// CNTCache.Access and Hierarchy.Access sit on.
+func BenchmarkSplitEachSingleLine(b *testing.B) {
+	a := trace.Access{Op: trace.Read, Addr: 0x100, Size: 8}
+	sink := func(trace.Access) error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := SplitEach(a, 64, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -321,15 +321,22 @@ func (c *Cache) WriteLine(addr uint64, src []byte) error {
 	return err
 }
 
-// Split breaks an access into line-aligned pieces for this cache's
-// geometry. Write payloads are sliced accordingly.
-func Split(a trace.Access, lineBytes int) []trace.Access {
-	first := a.Addr &^ uint64(lineBytes-1)
-	last := (a.Addr + uint64(a.Size) - 1) &^ uint64(lineBytes-1)
-	if first == last {
-		return []trace.Access{a}
+// SameLine reports whether the access fits entirely inside one line of
+// the given size, i.e. Split would yield the access unchanged.
+func SameLine(a trace.Access, lineBytes int) bool {
+	return a.Addr&^uint64(lineBytes-1) == (a.Addr+uint64(a.Size)-1)&^uint64(lineBytes-1)
+}
+
+// SplitEach breaks an access into line-aligned pieces and feeds them to
+// fn in address order, stopping at the first error. Write payloads are
+// sliced accordingly (aliasing a.Data). Unlike Split it allocates
+// nothing: the overwhelmingly common single-line access — every access
+// of the bundled workloads — is handed to fn as-is, which keeps it off
+// the simulate hot path's heap profile.
+func SplitEach(a trace.Access, lineBytes int, fn func(trace.Access) error) error {
+	if SameLine(a, lineBytes) {
+		return fn(a)
 	}
-	var out []trace.Access
 	remaining := a.Size
 	addr := a.Addr
 	consumed := 0
@@ -343,10 +350,26 @@ func Split(a trace.Access, lineBytes int) []trace.Access {
 		if a.Op == trace.Write {
 			piece.Data = a.Data[consumed : consumed+n]
 		}
-		out = append(out, piece)
+		if err := fn(piece); err != nil {
+			return err
+		}
 		addr += uint64(n)
 		consumed += n
 		remaining -= n
 	}
+	return nil
+}
+
+// Split breaks an access into line-aligned pieces for this cache's
+// geometry, appending them to buf (which may be nil) and returning the
+// result. Write payloads are sliced accordingly. Passing a scratch
+// buffer with capacity for the pieces makes Split allocation-free; hot
+// paths should prefer SplitEach, which needs no buffer at all.
+func Split(a trace.Access, lineBytes int, buf []trace.Access) []trace.Access {
+	out := buf[:0]
+	SplitEach(a, lineBytes, func(piece trace.Access) error {
+		out = append(out, piece)
+		return nil
+	})
 	return out
 }

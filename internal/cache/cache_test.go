@@ -265,12 +265,12 @@ func TestFlushAll(t *testing.T) {
 func TestSplit(t *testing.T) {
 	// Within one line: unchanged.
 	a := trace.Access{Op: trace.Read, Addr: 0x10, Size: 8}
-	if got := Split(a, 64); len(got) != 1 || got[0].Addr != a.Addr || got[0].Size != a.Size || got[0].Op != a.Op {
+	if got := Split(a, 64, nil); len(got) != 1 || got[0].Addr != a.Addr || got[0].Size != a.Size || got[0].Op != a.Op {
 		t.Errorf("Split aligned = %+v", got)
 	}
 	// Crossing one boundary.
 	w := trace.Access{Op: trace.Write, Addr: 60, Size: 8, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
-	got := Split(w, 64)
+	got := Split(w, 64, nil)
 	if len(got) != 2 {
 		t.Fatalf("Split crossing = %d pieces", len(got))
 	}
@@ -290,7 +290,7 @@ func TestSplit(t *testing.T) {
 
 func TestSplitManyLines(t *testing.T) {
 	a := trace.Access{Op: trace.Read, Addr: 5, Size: 64}
-	got := Split(a, 16)
+	got := Split(a, 16, nil)
 	total := 0
 	for i, p := range got {
 		total += p.Size

@@ -94,14 +94,17 @@ func (h *Hierarchy) Access(a trace.Access) ([]Result, error) {
 		return nil, err
 	}
 	target := h.Route(a.Op)
-	pieces := Split(a, target.LineBytes())
-	results := make([]Result, 0, len(pieces))
-	for _, p := range pieces {
+	var results []Result
+	err := SplitEach(a, target.LineBytes(), func(p trace.Access) error {
 		res, err := target.Access(p.Op == trace.Write, p.Addr, p.Size, p.Data)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		results = append(results, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// newHotCache builds a CNTCache over a preloaded memory image and warms
+// the line at hotAddr so subsequent accesses are steady-state hits.
+func newHotCache(tb testing.TB, opts Options) *CNTCache {
+	tb.Helper()
+	m := mem.New()
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i * 37)
+	}
+	m.Write(0x1000, buf)
+	cfg := cache.DefaultHierarchyConfig().L1D
+	c, err := New(cfg, cache.MemBackend{M: m}, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.Access(trace.Access{Op: trace.Read, Addr: hotAddr, Size: 8}); err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+const hotAddr = 0x1040
+
+// TestAccessHitAllocs pins the steady-state contract: a single-line hit
+// with no fill performs zero heap allocations. This is the per-access
+// fast path every sweep spends nearly all of its time in.
+func TestAccessHitAllocs(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, tc := range []struct {
+		name string
+		a    trace.Access
+	}{
+		{"read", trace.Access{Op: trace.Read, Addr: hotAddr, Size: 8}},
+		{"write", trace.Access{Op: trace.Write, Addr: hotAddr, Size: 8, Data: payload}},
+	} {
+		for _, variant := range []struct {
+			name string
+			opts Options
+		}{
+			{"baseline", BaselineOptions()},
+			{"adaptive", DefaultOptions()},
+		} {
+			t.Run(tc.name+"/"+variant.name, func(t *testing.T) {
+				c := newHotCache(t, variant.opts)
+				a := tc.a
+				if n := testing.AllocsPerRun(200, func() {
+					if err := c.Access(a); err != nil {
+						t.Fatal(err)
+					}
+				}); n != 0 {
+					t.Errorf("steady-state Access allocates %.1f objects per op, want 0", n)
+				}
+			})
+		}
+	}
+}
+
+// TestStoredOnesAllocs keeps the inner energy-accounting helper off the
+// heap: it runs under every read, write, eviction, and drained re-encode.
+func TestStoredOnesAllocs(t *testing.T) {
+	c := newHotCache(t, DefaultOptions())
+	line := make([]byte, c.lineBytes)
+	for i := range line {
+		line[i] = byte(i)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if c.storedOnes(line, 0b1010, 0, len(line)) < 0 {
+			t.Fatal("negative ones")
+		}
+	}); n != 0 {
+		t.Errorf("storedOnes allocates %.1f objects per op, want 0", n)
+	}
+}
+
+// BenchmarkAccessHit measures the steady-state hot path (single-line
+// read hit, no fill) of the adaptive cache. Run with -benchmem; the
+// allocs/op column must stay at 0.
+func BenchmarkAccessHit(b *testing.B) {
+	c := newHotCache(b, DefaultOptions())
+	a := trace.Access{Op: trace.Read, Addr: hotAddr, Size: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Access(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessWriteHit measures the write flavor of the same path,
+// which additionally re-counts stored ones over the written span.
+func BenchmarkAccessWriteHit(b *testing.B) {
+	c := newHotCache(b, DefaultOptions())
+	a := trace.Access{Op: trace.Write, Addr: hotAddr, Size: 8, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Access(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

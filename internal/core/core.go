@@ -391,14 +391,20 @@ func (c *CNTCache) metaOnes(st *lineState) int {
 }
 
 // Access runs one data access through the cache, charging energy.
+// Steady-state accesses (single-line, hit, no fill) perform no heap
+// allocations; alloc_test.go pins this with testing.AllocsPerRun.
 func (c *CNTCache) Access(a trace.Access) error {
 	if err := a.Validate(); err != nil {
 		return err
 	}
-	for _, piece := range cache.Split(a, c.lineBytes) {
-		if err := c.accessPiece(piece); err != nil {
+	if cache.SameLine(a, c.lineBytes) {
+		// The ~100% common case: the access touches one line. Dispatch
+		// directly instead of materializing a piece slice.
+		if err := c.accessPiece(a); err != nil {
 			return err
 		}
+	} else if err := cache.SplitEach(a, c.lineBytes, c.accessPiece); err != nil {
+		return err
 	}
 	// Idle interval after the access: drain queued re-encodes.
 	c.drain(c.opts.IdleSlots)

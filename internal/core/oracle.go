@@ -60,10 +60,10 @@ func OracleMasks(inst *workload.Instance, hier cache.HierarchyConfig, tab cnfet.
 			}
 			continue
 		}
-		for _, piece := range cache.Split(a, lineBytes) {
+		err := cache.SplitEach(a, lineBytes, func(piece trace.Access) error {
 			res, err := h.L1D.Access(piece.Op == trace.Write, piece.Addr, piece.Size, piece.Data)
 			if err != nil {
-				return nil, fmt.Errorf("core: oracle probe access %d: %w", i, err)
+				return err
 			}
 			logical, _, _, _ := h.L1D.Line(res.Set, res.Way)
 			per := bitutil.OnesPerPartition(logical, partitions, scratch)
@@ -81,6 +81,10 @@ func OracleMasks(inst *workload.Instance, hier cache.HierarchyConfig, tab cnfet.
 					tl[p].readOnes += int64(n)
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: oracle probe access %d: %w", i, err)
 		}
 	}
 

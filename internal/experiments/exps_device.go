@@ -100,28 +100,44 @@ func runE11(cfg Config) (*Table, error) {
 		return o
 	}
 
-	var sumRatio, sumCn, sumCm float64
-	n := 0
-	for _, b := range kernels(cfg) {
-		inst := b.Build(cfg.Seed)
+	ks := kernels(cfg)
+	type deviceResult struct {
+		cmBase, cnBase  float64
+		ratio, sCn, sCm float64
+	}
+	results := make([]deviceResult, len(ks))
+	err := parallelFor(cfg.jobs(), len(ks), func(i int) error {
+		inst := instanceFor(ks[i], cfg.Seed)
 		cmBase, cmCnt, err := runPair(inst, hier, mkOpts(cmTab, false), mkOpts(cmTab, true))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cnBase, cnCnt, err := runPair(inst, hier, mkOpts(cnTab, false), mkOpts(cnTab, true))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ratio := cnBase.DEnergy.Total() / cmBase.DEnergy.Total()
-		sCn := energy.Saving(cnBase.DEnergy.Total(), cnCnt.DEnergy.Total())
-		sCm := energy.Saving(cmBase.DEnergy.Total(), cmCnt.DEnergy.Total())
-		t.AddRow(b.Name, nj(cmBase.DEnergy.Total()), nj(cnBase.DEnergy.Total()),
-			fmt.Sprintf("%.2f", ratio), pct(sCn), pct(sCm))
-		sumRatio += ratio
-		sumCn += sCn
-		sumCm += sCm
-		n++
+		results[i] = deviceResult{
+			cmBase: cmBase.DEnergy.Total(),
+			cnBase: cnBase.DEnergy.Total(),
+			ratio:  cnBase.DEnergy.Total() / cmBase.DEnergy.Total(),
+			sCn:    energy.Saving(cnBase.DEnergy.Total(), cnCnt.DEnergy.Total()),
+			sCm:    energy.Saving(cmBase.DEnergy.Total(), cmCnt.DEnergy.Total()),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var sumRatio, sumCn, sumCm float64
+	for i, b := range ks {
+		r := results[i]
+		t.AddRow(b.Name, nj(r.cmBase), nj(r.cnBase),
+			fmt.Sprintf("%.2f", r.ratio), pct(r.sCn), pct(r.sCm))
+		sumRatio += r.ratio
+		sumCn += r.sCn
+		sumCm += r.sCm
+	}
+	n := len(ks)
 	t.AddRow("average", "", "", fmt.Sprintf("%.2f", sumRatio/float64(n)),
 		pct(sumCn/float64(n)), pct(sumCm/float64(n)))
 	t.Notes = append(t.Notes,

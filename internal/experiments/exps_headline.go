@@ -24,33 +24,48 @@ func runE3(cfg Config) (*Table, error) {
 		ChartColumn: "cnt-cache",
 	}
 	hier := cache.DefaultHierarchyConfig()
-	sums := make([]float64, len(variants)) // [0..n-2] online variants, [n-1] oracle
 	ks := kernels(cfg)
-	for _, b := range ks {
-		inst := b.Build(cfg.Seed)
+	// One unit per kernel: the variant comparison plus the offline oracle
+	// bound. savings[i] holds the online variants followed by the oracle.
+	type kernelResult struct {
+		baseline float64
+		savings  []float64
+	}
+	results := make([]kernelResult, len(ks))
+	err := parallelFor(cfg.jobs(), len(ks), func(i int) error {
+		inst := instanceFor(ks[i], cfg.Seed)
 		cmp, err := core.Compare(inst, hier, variants)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := []interface{}{b.Name, nj(cmp.BaselineTotal())}
-		for i, name := range cmp.Names[1:] {
-			s := cmp.SavingOf(name)
-			sums[i] += s
-			row = append(row, pct(s))
+		r := kernelResult{baseline: cmp.BaselineTotal()}
+		for _, name := range cmp.Names[1:] {
+			r.savings = append(r.savings, cmp.SavingOf(name))
 		}
 		// Offline upper bound: best fixed per-line mask, full-trace
 		// knowledge.
 		oracleOpts, err := core.OracleVariant(inst, hier, tab, 8)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		oRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: oracleOpts, IOpts: oracleOpts})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		oS := energy.Saving(cmp.BaselineTotal(), oRep.DEnergy.Total())
-		sums[len(sums)-1] += oS
-		row = append(row, pct(oS))
+		r.savings = append(r.savings, energy.Saving(cmp.BaselineTotal(), oRep.DEnergy.Total()))
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(variants)) // [0..n-2] online variants, [n-1] oracle
+	for i, b := range ks {
+		row := []interface{}{b.Name, nj(results[i].baseline)}
+		for j, s := range results[i].savings {
+			sums[j] += s
+			row = append(row, pct(s))
+		}
 		t.AddRow(row...)
 	}
 	avgRow := []interface{}{"average", ""}
@@ -73,6 +88,42 @@ func variantNames(vs []core.Variant) []string {
 	return out
 }
 
+// sweepResult is one sweep point's reduced suite outcome.
+type sweepResult struct {
+	avg      float64
+	per      map[string]float64
+	switches uint64
+	windows  uint64
+	metaBits int
+}
+
+// sweepSuite evaluates one suite comparison per sweep point, with the
+// points and the kernels inside each point fanned out on the worker
+// pool. mk derives the candidate options for point i. Each distinct
+// (device, granularity) baseline is simulated once per kernel for the
+// whole sweep — every point after the first hits the memo cache.
+func sweepSuite(cfg Config, n int, mk func(i int) core.Options) ([]sweepResult, error) {
+	results := make([]sweepResult, n)
+	err := parallelFor(cfg.jobs(), n, func(i int) error {
+		avg, per, detail, err := suiteSaving(cfg, mk(i))
+		if err != nil {
+			return err
+		}
+		r := sweepResult{avg: avg, per: per}
+		for _, rep := range detail {
+			r.switches += rep.DSwitches
+			r.windows += rep.DWindows
+			r.metaBits = rep.DMetaBits
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // runE4 sweeps the prediction window W (Fig. 4): small windows react fast
 // but thrash and spend more history bits per useful decision; large
 // windows adapt too slowly.
@@ -86,21 +137,17 @@ func runE4(cfg Config) (*Table, error) {
 		Title:   "Average D-cache saving vs prediction window W",
 		Columns: []string{"W", "avg saving", "meta bits/line", "switches (suite)", "windows (suite)"},
 	}
-	for _, w := range windows {
+	results, err := sweepSuite(cfg, len(windows), func(i int) core.Options {
 		opts := core.DefaultOptions()
-		opts.Window = w
-		avg, _, detail, err := suiteSaving(cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		var sw, wins uint64
-		var metaBits int
-		for _, rep := range detail {
-			sw += rep.DSwitches
-			wins += rep.DWindows
-			metaBits = rep.DMetaBits
-		}
-		t.AddRow(fmt.Sprintf("%d", w), pct(avg), metaBits, sw, wins)
+		opts.Window = windows[i]
+		return opts
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range windows {
+		r := results[i]
+		t.AddRow(fmt.Sprintf("%d", w), pct(r.avg), r.metaBits, r.switches, r.windows)
 	}
 	t.Notes = append(t.Notes, "W=15 is the paper's default checkpoint size")
 	return t, t.Validate()
@@ -118,18 +165,17 @@ func runE5(cfg Config) (*Table, error) {
 		Title:   "Average D-cache saving vs partition count K",
 		Columns: []string{"K", "avg saving", "saving on list", "direction bits", "meta bits/line"},
 	}
-	for _, k := range parts {
+	results, err := sweepSuite(cfg, len(parts), func(i int) core.Options {
 		opts := core.DefaultOptions()
-		opts.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: k}
-		avg, per, detail, err := suiteSaving(cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		metaBits := 0
-		for _, rep := range detail {
-			metaBits = rep.DMetaBits
-		}
-		t.AddRow(fmt.Sprintf("%d", k), pct(avg), pct(per["list"]), k, metaBits)
+		opts.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: parts[i]}
+		return opts
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range parts {
+		r := results[i]
+		t.AddRow(fmt.Sprintf("%d", k), pct(r.avg), pct(r.per["list"]), k, r.metaBits)
 	}
 	t.Notes = append(t.Notes,
 		"the list kernel's heterogeneous node layout (sparse pointer + zero metadata + dense payload) is where partitioning beats whole-line inversion",
@@ -149,18 +195,16 @@ func runE7(cfg Config) (*Table, error) {
 		Title:   "Average D-cache saving vs switch hysteresis ΔT",
 		Columns: []string{"dT", "avg saving", "switches (suite)"},
 	}
-	for _, dt := range deltas {
+	results, err := sweepSuite(cfg, len(deltas), func(i int) core.Options {
 		opts := core.DefaultOptions()
-		opts.DeltaT = dt
-		avg, _, detail, err := suiteSaving(cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		var sw uint64
-		for _, rep := range detail {
-			sw += rep.DSwitches
-		}
-		t.AddRow(fmt.Sprintf("%.2f", dt), pct(avg), sw)
+		opts.DeltaT = deltas[i]
+		return opts
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, dt := range deltas {
+		t.AddRow(fmt.Sprintf("%.2f", dt), pct(results[i].avg), results[i].switches)
 	}
 	t.Notes = append(t.Notes,
 		"switch count falls monotonically with dT; saving is flat up to ~0.1 then decays (the default)")
@@ -223,18 +267,17 @@ func runE10(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		abls = abls[:3]
 	}
-	var def float64
-	for i, a := range abls {
+	results, err := sweepSuite(cfg, len(abls), func(i int) core.Options {
 		opts := core.DefaultOptions()
-		a.mutate(&opts)
-		avg, _, _, err := suiteSaving(cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			def = avg
-		}
-		t.AddRow(a.name, pct(avg), pct(avg-def))
+		abls[i].mutate(&opts)
+		return opts
+	})
+	if err != nil {
+		return nil, err
+	}
+	def := results[0].avg
+	for i, a := range abls {
+		t.AddRow(a.name, pct(results[i].avg), pct(results[i].avg-def))
 	}
 	t.Notes = append(t.Notes,
 		"each row is compared against a baseline sharing its granularity setting (DESIGN.md decision 4)")

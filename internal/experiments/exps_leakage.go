@@ -25,25 +25,41 @@ func runE12(cfg Config) (*Table, error) {
 	base := core.BaselineOptions()
 	opts := core.DefaultOptions()
 
-	var sumDyn, sumComb float64
-	n := 0
-	for _, b := range kernels(cfg) {
-		inst := b.Build(cfg.Seed)
+	ks := kernels(cfg)
+	type leakResult struct {
+		dynS, combS, leakShare float64
+		leakBase, leakCnt      float64
+	}
+	results := make([]leakResult, len(ks))
+	err := parallelFor(cfg.jobs(), len(ks), func(i int) error {
+		inst := instanceFor(ks[i], cfg.Seed)
 		bRep, cRep, err := runPair(inst, hier, base, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dynS := energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total())
-		combS := energy.Saving(bRep.DEnergy.Total()+bRep.DLeakage,
-			cRep.DEnergy.Total()+cRep.DLeakage)
-		leakShare := bRep.DLeakage / (bRep.DEnergy.Total() + bRep.DLeakage)
-		t.AddRow(b.Name, pct(dynS), nj(bRep.DLeakage), nj(cRep.DLeakage),
-			pct(leakShare), pct(combS))
-		sumDyn += dynS
-		sumComb += combS
-		n++
+		results[i] = leakResult{
+			dynS: energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total()),
+			combS: energy.Saving(bRep.DEnergy.Total()+bRep.DLeakage,
+				cRep.DEnergy.Total()+cRep.DLeakage),
+			leakShare: bRep.DLeakage / (bRep.DEnergy.Total() + bRep.DLeakage),
+			leakBase:  bRep.DLeakage,
+			leakCnt:   cRep.DLeakage,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	t.AddRow("average", pct(sumDyn/float64(n)), "", "", "", pct(sumComb/float64(n)))
+	var sumDyn, sumComb float64
+	for i, b := range ks {
+		r := results[i]
+		t.AddRow(b.Name, pct(r.dynS), nj(r.leakBase), nj(r.leakCnt),
+			pct(r.leakShare), pct(r.combS))
+		sumDyn += r.dynS
+		sumComb += r.combS
+	}
+	n := float64(len(ks))
+	t.AddRow("average", pct(sumDyn/n), "", "", "", pct(sumComb/n))
 	t.Notes = append(t.Notes,
 		"leakage model: every cell (data + H&D metadata) leaks one cycle per access served; CNFET leakage preset is ~26x below CMOS",
 		"the H&D columns add 3.1% leaking cells, so combined savings sit slightly below dynamic-only savings")

@@ -19,21 +19,19 @@ func runE13(cfg Config) (*Table, error) {
 			"saving on mm", "switches (suite)", "extra state bits"},
 		ChartColumn: "avg saving",
 	}
-	for _, name := range policies {
+	results, err := sweepSuite(cfg, len(policies), func(i int) core.Options {
 		opts := core.DefaultOptions()
-		opts.PolicyName = name
-		avg, per, detail, err := suiteSaving(cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		var sw uint64
-		extraBits := 0
-		for _, rep := range detail {
-			sw += rep.DSwitches
-			extraBits = rep.DMetaBits - 16 // default window policy uses 16
-		}
-		t.AddRow(name, pct(avg), pct(per["stack"]), pct(per["stream"]), pct(per["mm"]),
-			sw, extraBits)
+		opts.PolicyName = policies[i]
+		return opts
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range policies {
+		r := results[i]
+		extraBits := r.metaBits - 16 // default window policy uses 16
+		t.AddRow(name, pct(r.avg), pct(r.per["stack"]), pct(r.per["stream"]), pct(r.per["mm"]),
+			r.switches, extraBits)
 	}
 	t.Notes = append(t.Notes,
 		"conf/ewma policies add per-line state bits (charged in the metadata energy) in exchange for fewer wrong-phase switches",

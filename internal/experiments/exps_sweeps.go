@@ -44,27 +44,43 @@ func runE6(cfg Config) (*Table, error) {
 		Spec:  encoding.Spec{Kind: encoding.KindStaticRead, Partitions: opts.Spec.Partitions},
 		Table: opts.Table,
 	}
-	for _, rf := range readFracs {
+	// One unit per grid cell (read fraction x density), three simulations
+	// each; rows are assembled from the cell results in grid order.
+	type cell struct{ cnt, sread float64 }
+	cells := make([]cell, len(readFracs)*len(densities))
+	err := parallelFor(cfg.jobs(), len(cells), func(i int) error {
+		rf := readFracs[i/len(densities)]
+		d := densities[i%len(densities)]
+		inst, err := workload.Mix(workload.MixConfig{
+			ReadFraction: rf, OneDensity: d, Accesses: accesses,
+			FootprintBytes: 48 * 1024, HotFraction: 0.8,
+		}, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		bRep, cRep, err := runPair(inst, hier, base, opts)
+		if err != nil {
+			return err
+		}
+		sRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: sread, IOpts: sread})
+		if err != nil {
+			return err
+		}
+		bt := bRep.DEnergy.Total()
+		cells[i] = cell{
+			cnt:   energy.Saving(bt, cRep.DEnergy.Total()),
+			sread: energy.Saving(bt, sRep.DEnergy.Total()),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rf := range readFracs {
 		row := []interface{}{fmt.Sprintf("%.2f", rf)}
-		for _, d := range densities {
-			inst, err := workload.Mix(workload.MixConfig{
-				ReadFraction: rf, OneDensity: d, Accesses: accesses,
-				FootprintBytes: 48 * 1024, HotFraction: 0.8,
-			}, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			bRep, cRep, err := runPair(inst, hier, base, opts)
-			if err != nil {
-				return nil, err
-			}
-			sRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: sread, IOpts: sread})
-			if err != nil {
-				return nil, err
-			}
-			bt := bRep.DEnergy.Total()
-			row = append(row, pct(energy.Saving(bt, cRep.DEnergy.Total())),
-				pct(energy.Saving(bt, sRep.DEnergy.Total())))
+		for di := range densities {
+			c := cells[ri*len(densities)+di]
+			row = append(row, pct(c.cnt), pct(c.sread))
 		}
 		t.AddRow(row...)
 	}
@@ -92,12 +108,18 @@ func runE9(cfg Config) (*Table, error) {
 	base := core.BaselineOptions()
 	opts := core.DefaultOptions()
 
-	var sumI, sumD float64
-	for _, name := range names {
+	type progResult struct {
+		steps  uint64
+		iS, dS float64
+		iB, dB float64
+	}
+	results := make([]progResult, len(names))
+	err := parallelFor(cfg.jobs(), len(names), func(i int) error {
+		name := names[i]
 		src := isa.Programs()[name]
 		prog, err := isa.Assemble(src, isa.CodeBase)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		run := func(o core.Options) (*core.Report, uint64, error) {
 			m := mem.New()
@@ -114,17 +136,30 @@ func runE9(cfg Config) (*Table, error) {
 		}
 		bRep, _, err := run(base)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		cRep, steps, err := run(opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		iS := energy.Saving(bRep.IEnergy.Total(), cRep.IEnergy.Total())
-		dS := energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total())
-		sumI += iS
-		sumD += dS
-		t.AddRow(name, steps, pct(iS), pct(dS), nj(bRep.IEnergy.Total()), nj(bRep.DEnergy.Total()))
+		results[i] = progResult{
+			steps: steps,
+			iS:    energy.Saving(bRep.IEnergy.Total(), cRep.IEnergy.Total()),
+			dS:    energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total()),
+			iB:    bRep.IEnergy.Total(),
+			dB:    bRep.DEnergy.Total(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumI, sumD float64
+	for i, name := range names {
+		r := results[i]
+		sumI += r.iS
+		sumD += r.dS
+		t.AddRow(name, r.steps, pct(r.iS), pct(r.dS), nj(r.iB), nj(r.dB))
 	}
 	n := float64(len(names))
 	t.AddRow("average", "", pct(sumI/n), pct(sumD/n), "", "")
@@ -134,6 +169,8 @@ func runE9(cfg Config) (*Table, error) {
 }
 
 // RunAll executes every experiment and returns the tables in ID order.
+// Each experiment parallelizes internally; the experiments themselves
+// run in sequence (cmd/cntbench overlaps them with -jobs).
 func RunAll(cfg Config) ([]*Table, error) {
 	var out []*Table
 	for _, e := range Registry() {

@@ -32,9 +32,11 @@ func kernels(cfg Config) []workload.Builder {
 func defaultTable() cnfet.EnergyTable { return cnfet.MustTable(cnfet.CNFET32()) }
 
 // runPair runs a workload under a baseline and a candidate D-cache
-// configuration and returns (baselineReport, candidateReport).
+// configuration and returns (baselineReport, candidateReport). The
+// baseline run is served from the memoization layer when possible; the
+// returned baseline report is shared and must not be mutated.
 func runPair(inst *workload.Instance, hier cache.HierarchyConfig, baseOpts, opts core.Options) (*core.Report, *core.Report, error) {
-	b, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: baseOpts, IOpts: baseOpts})
+	b, err := baselineReport(inst, hier, baseOpts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -45,26 +47,52 @@ func runPair(inst *workload.Instance, hier cache.HierarchyConfig, baseOpts, opts
 	return b, c, nil
 }
 
-// suiteSaving returns the average D-cache saving of opts over the
-// baseline across the benchmark set, plus per-kernel detail.
-func suiteSaving(cfg Config, opts core.Options) (avg float64, perKernel map[string]float64, detail map[string]*core.Report, err error) {
-	hier := cache.DefaultHierarchyConfig()
+// suiteBaseline derives the baseline options a candidate is compared
+// against: the unencoded cache on the candidate's device and granularity
+// (compare like with like).
+func suiteBaseline(opts core.Options) core.Options {
 	base := core.BaselineOptions()
 	base.Table = opts.Table
-	base.Granularity = opts.Granularity // compare like with like
-	perKernel = map[string]float64{}
-	detail = map[string]*core.Report{}
+	base.Granularity = opts.Granularity
+	return base
+}
+
+// suiteSaving returns the average D-cache saving of opts over the
+// baseline across the benchmark set, plus per-kernel detail. The kernels
+// are independent simulations and run concurrently (cfg.Jobs workers);
+// the average is reduced in suite order afterwards, so the result is
+// bit-identical to a serial run.
+func suiteSaving(cfg Config, opts core.Options) (avg float64, perKernel map[string]float64, detail map[string]*core.Report, err error) {
+	hier := cache.DefaultHierarchyConfig()
+	base := suiteBaseline(opts)
 	ks := kernels(cfg)
-	for _, b := range ks {
-		inst := b.Build(cfg.Seed)
+	type kernelResult struct {
+		saving float64
+		report *core.Report
+	}
+	results := make([]kernelResult, len(ks))
+	err = parallelFor(cfg.jobs(), len(ks), func(i int) error {
+		b := ks[i]
+		inst := instanceFor(b, cfg.Seed)
 		bRep, cRep, e := runPair(inst, hier, base, opts)
 		if e != nil {
-			return 0, nil, nil, fmt.Errorf("%s: %w", b.Name, e)
+			return fmt.Errorf("%s: %w", b.Name, e)
 		}
-		s := energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total())
-		perKernel[b.Name] = s
-		detail[b.Name] = cRep
-		avg += s
+		results[i] = kernelResult{
+			saving: energy.Saving(bRep.DEnergy.Total(), cRep.DEnergy.Total()),
+			report: cRep,
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	perKernel = map[string]float64{}
+	detail = map[string]*core.Report{}
+	for i, b := range ks {
+		perKernel[b.Name] = results[i].saving
+		detail[b.Name] = results[i].report
+		avg += results[i].saving
 	}
 	avg /= float64(len(ks))
 	return avg, perKernel, detail, nil

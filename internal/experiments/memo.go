@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/workload"
+)
+
+// Memoization layer of the experiment engine. Two kinds of work repeat
+// heavily across experiments and sweep points:
+//
+//   - workload instances: every sweep point of E4/E5/E7/E10/E13 (and the
+//     kernel loops of E3/E8/E11/E12) used to rebuild the same
+//     deterministic instance via Builder.Build(seed);
+//   - baseline simulations: a sweep's baseline options depend only on
+//     the candidate's energy table and granularity, so every point of a
+//     sweep re-simulated an identical baseline per kernel.
+//
+// Both are cached process-wide. Instances are keyed by (builder name,
+// seed); baseline reports are keyed by the shared *workload.Instance
+// pointer plus everything that feeds a baseline simulation (energy
+// table, granularity, hierarchy), which makes hits exact: identical
+// pointer means identical access stream and memory image. Cached values
+// are shared across goroutines, so both rest on the workload immutability
+// contract (see workload.Instance): instances are never mutated after
+// Build, and memoized baseline reports are read-only to callers.
+
+// memo is a concurrent build-once cache. The entry's sync.Once
+// guarantees each key's builder runs exactly once even under concurrent
+// first lookups — the "each baseline simulated once per run" acceptance
+// property.
+type memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// get returns the cached value for key, building it (once) on a miss.
+// The second result reports whether the value came from the cache.
+func (m *memo[K, V]) get(key K, build func() (V, error)) (V, error, bool) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[K]*memoEntry[V])
+	}
+	e, hit := m.entries[key]
+	if !hit {
+		e = &memoEntry[V]{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err, hit
+}
+
+// reset drops every entry.
+func (m *memo[K, V]) reset() {
+	m.mu.Lock()
+	m.entries = nil
+	m.mu.Unlock()
+}
+
+type instanceKey struct {
+	builder string
+	seed    int64
+}
+
+type baselineKey struct {
+	inst        *workload.Instance
+	table       cnfet.EnergyTable
+	granularity core.Granularity
+	hier        cache.HierarchyConfig
+}
+
+var (
+	instances memo[instanceKey, *workload.Instance]
+	baselines memo[baselineKey, *core.Report]
+
+	memoMu    sync.Mutex
+	memoStats MemoStats
+	// shared marks instances owned by the instance cache. Baseline
+	// reports are memoized only for these: a one-off instance (E6's
+	// synthetic mixes, trace files) can never repeat its baseline — its
+	// pointer is fresh — so caching it would only pin dead instances in
+	// memory.
+	shared = map[*workload.Instance]struct{}{}
+)
+
+// MemoStats counts the memoization layer's traffic. Sims/Builds count
+// work actually performed; Hits count lookups served from the cache.
+type MemoStats struct {
+	InstanceBuilds, InstanceHits uint64
+	BaselineSims, BaselineHits   uint64
+}
+
+// Stats returns a snapshot of the memoization counters.
+func Stats() MemoStats {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	return memoStats
+}
+
+// ResetMemo drops the instance and baseline caches and zeroes the
+// counters. Tests use it to measure one run in isolation; production
+// runs never need it (the caches are bounded by the suite size times the
+// distinct device/granularity/hierarchy combinations).
+func ResetMemo() {
+	instances.reset()
+	baselines.reset()
+	memoMu.Lock()
+	memoStats = MemoStats{}
+	shared = map[*workload.Instance]struct{}{}
+	memoMu.Unlock()
+}
+
+// instanceFor returns the shared, immutable instance of a suite kernel.
+// Concurrent callers for the same (builder, seed) receive the same
+// pointer; Build runs at most once.
+func instanceFor(b workload.Builder, seed int64) *workload.Instance {
+	inst, _, hit := instances.get(instanceKey{builder: b.Name, seed: seed},
+		func() (*workload.Instance, error) { return b.Build(seed), nil })
+	memoMu.Lock()
+	if hit {
+		memoStats.InstanceHits++
+	} else {
+		memoStats.InstanceBuilds++
+	}
+	shared[inst] = struct{}{}
+	memoMu.Unlock()
+	return inst
+}
+
+// baselineMemoizable reports whether opts is a plain baseline the cache
+// key fully captures: unencoded, default periphery, no pinned masks.
+// Everything else in Options (window, ΔT, FIFO, fill policy, switch
+// cost, predictor) is dead configuration for KindNone.
+func baselineMemoizable(opts core.Options) bool {
+	return opts.Spec.Kind == encoding.KindNone && opts.Periphery == nil && opts.FillMasks == nil
+}
+
+// baselineReport runs inst under baseline options, serving repeats from
+// the cache. The returned report is shared and must not be mutated.
+func baselineReport(inst *workload.Instance, hier cache.HierarchyConfig, base core.Options) (*core.Report, error) {
+	run := func() (*core.Report, error) {
+		return core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: base, IOpts: base})
+	}
+	memoMu.Lock()
+	_, isShared := shared[inst]
+	memoMu.Unlock()
+	if !isShared || !baselineMemoizable(base) {
+		return run()
+	}
+	key := baselineKey{inst: inst, table: base.Table, granularity: base.Granularity, hier: hier}
+	rep, err, hit := baselines.get(key, run)
+	memoMu.Lock()
+	if hit {
+		memoStats.BaselineHits++
+	} else {
+		memoStats.BaselineSims++
+	}
+	memoMu.Unlock()
+	return rep, err
+}

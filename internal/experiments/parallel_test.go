@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelDeterminism is the engine's core regression: the worker
+// pool must change only wall-clock behavior, never results. E5 (the
+// partition sweep, which exercises suiteSaving, the instance cache, and
+// baseline memoization) is rendered serially and with a 4-worker pool;
+// the tables must match byte for byte. Run under -race this also guards
+// the shared-instance immutability contract.
+func TestParallelDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		ResetMemo()
+		cfg := quickCfg()
+		cfg.Jobs = jobs
+		e, err := ByID("E5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.Render()
+	}
+	serial := render(1)
+	for _, jobs := range []int{2, 4} {
+		if got := render(jobs); got != serial {
+			t.Errorf("jobs=%d table differs from serial run:\n--- serial ---\n%s\n--- jobs=%d ---\n%s",
+				jobs, serial, jobs, got)
+		}
+	}
+}
+
+// TestBaselineSimulatedOncePerSweep pins the memoization acceptance
+// property: across a whole sweep, each (kernel, energy table,
+// granularity) baseline is simulated exactly once — every other sweep
+// point hits the cache. With one table and one granularity in play,
+// "once per kernel" means BaselineSims == InstanceBuilds.
+func TestBaselineSimulatedOncePerSweep(t *testing.T) {
+	ResetMemo()
+	defer ResetMemo()
+	cfg := quickCfg()
+	cfg.Jobs = 4
+	e, err := ByID("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := Stats()
+	if s.InstanceBuilds == 0 || s.BaselineSims == 0 {
+		t.Fatalf("memoization inactive: %+v", s)
+	}
+	if s.BaselineSims != s.InstanceBuilds {
+		t.Errorf("baseline simulated %d times for %d distinct kernels; want exactly once each",
+			s.BaselineSims, s.InstanceBuilds)
+	}
+	if s.BaselineHits == 0 {
+		t.Error("sweep produced no baseline cache hits; memoization is not being exercised")
+	}
+	if s.InstanceHits == 0 {
+		t.Error("sweep rebuilt instances at every point; instance cache is not being exercised")
+	}
+}
+
+// TestParallelForOrderAndErrors covers the pool primitive directly:
+// every index runs exactly once, and of several failures the
+// lowest-index error is the one reported (matching what a serial loop
+// would have surfaced first).
+func TestParallelForOrderAndErrors(t *testing.T) {
+	const n = 100
+	seen := make([]int, n)
+	if err := parallelFor(8, n, func(i int) error {
+		seen[i]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+
+	err := parallelFor(8, n, func(i int) error {
+		if i%10 == 7 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 7" {
+		t.Errorf("want lowest-index error boom 7, got %v", err)
+	}
+
+	// Serial fallback must behave identically.
+	if err := parallelFor(1, 3, func(i int) error { return fmt.Errorf("e%d", i) }); err == nil || err.Error() != "e0" {
+		t.Errorf("serial fallback: want e0, got %v", err)
+	}
+}

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Config steers an experiment run.
@@ -12,6 +15,11 @@ type Config struct {
 	// Quick trims sweeps and the kernel set for fast smoke runs (used by
 	// the benchmarks' -short mode and tests).
 	Quick bool
+	// Jobs bounds the worker pool the engine fans independent
+	// simulations (suite kernels, sweep points, grid cells) out on.
+	// Zero or negative means one worker per CPU; 1 forces a serial run.
+	// Results are deterministic and identical for every value.
+	Jobs int
 }
 
 // DefaultConfig is the full-fidelity run configuration.
@@ -19,7 +27,8 @@ func DefaultConfig() Config { return Config{Seed: 1} }
 
 // Experiment is one registered table/figure generator.
 type Experiment struct {
-	// ID is "E1".."E11".
+	// ID is the registry identifier, "E<n>" with n counting from 1
+	// (currently E1..E13).
 	ID string
 	// Kind is the artifact ("Table 1", "Fig. 3").
 	Kind string
@@ -65,9 +74,13 @@ func Registry() []Experiment {
 	return exps
 }
 
+// idOrder maps "E<n>" to its numeric rank. Malformed IDs sort after
+// every well-formed one instead of silently ranking as 0.
 func idOrder(id string) int {
-	var n int
-	fmt.Sscanf(id, "E%d", &n)
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "E"))
+	if err != nil || !strings.HasPrefix(id, "E") || n < 0 {
+		return math.MaxInt
+	}
 	return n
 }
 

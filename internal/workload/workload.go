@@ -30,6 +30,14 @@ type Region struct {
 }
 
 // Instance is one materialized workload: image plus access stream.
+//
+// Immutability contract: an Instance is frozen once Build returns.
+// Nothing in the simulator writes to Init or Accesses — Preload copies
+// region bytes into the memory image (mem.Write copies), and replay
+// reads the stream without touching it. This is load-bearing: the
+// experiment engine shares one Instance pointer across concurrent
+// simulations (see internal/experiments' instance cache), and the
+// parallel determinism test runs under -race to enforce it.
 type Instance struct {
 	// Name identifies the workload.
 	Name string
