@@ -3,11 +3,16 @@
 #   make tier1   fast gate: build + full unit tests
 #   make tier2   deep gate: vet, race-enabled tests (covers the parallel
 #                determinism test), and a cntbench -quick end-to-end smoke
+#   make check   the differential/metamorphic harness alone (internal/check):
+#                predictor grid vs oracle, encoding invariants, energy
+#                conservation, serial-vs-parallel determinism
+#   make fuzz    run every native fuzz target for FUZZTIME (default 30s)
 #   make results regenerate results/ with the full (non-quick) sweeps
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 results bench
+.PHONY: tier1 tier2 check fuzz results bench
 
 tier1:
 	$(GO) build ./...
@@ -17,6 +22,15 @@ tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) run ./cmd/cntbench -quick -out $$(mktemp -d cntbench-smoke.XXXXXX -p $${TMPDIR:-/tmp}) >/dev/null
+
+check:
+	$(GO) test -v -run 'Test' ./internal/check/
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceText$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceBinary$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzAsm$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzConfigJSON$$' -fuzztime $(FUZZTIME) ./internal/check/
 
 results:
 	$(GO) run ./cmd/cntbench -out results

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunErrors checks that a bad invocation fails before any experiment
+// runs or any output directory is created.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown experiment", []string{"-only", "E99"}, "E99"},
+		{"unknown among valid", []string{"-only", "E1,nope"}, "nope"},
+		{"unparseable flag", []string{"-jobs", "abc"}, "invalid value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "results")
+			var out, errBuf bytes.Buffer
+			err := run(append(c.args, "-out", dir), &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+			if _, statErr := os.Stat(dir); !os.IsNotExist(statErr) {
+				t.Fatalf("failed invocation still created the output directory %s", dir)
+			}
+		})
+	}
+}
+
+// TestRunSingleExperiment smoke-tests the success path on the cheapest
+// experiment (E1 is a static device table, no simulation) and checks the
+// artifact set lands on disk.
+func TestRunSingleExperiment(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-only", "E1", "-quick", "-out", dir}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	for _, f := range []string{"E1.txt", "E1.csv", "INDEX.txt", "RESULTS.md"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+	if !strings.Contains(out.String(), "E1") {
+		t.Errorf("stdout missing the rendered table:\n%s", out.String())
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,18 +27,41 @@ import (
 )
 
 func main() {
-	wl := flag.String("workload", "mm", "bundled kernel: "+strings.Join(workload.Names(), ","))
-	knob := flag.String("knob", "window", "knob to sweep: window, partitions, deltat, fifo, idle, predictor")
-	values := flag.String("values", "", "comma-separated values (required)")
-	seed := flag.Int64("seed", 1, "workload seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cntexplore:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command behind a testable seam: any invalid flag, knob or
+// sweep value comes back as an error instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cntexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "mm", "bundled kernel: "+strings.Join(workload.Names(), ","))
+	knob := fs.String("knob", "window", "knob to sweep: window, partitions, deltat, fifo, idle, predictor")
+	values := fs.String("values", "", "comma-separated values (required)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *values == "" {
-		fatal(fmt.Errorf("-values is required"))
+		return fmt.Errorf("-values is required")
+	}
+	// Vet the whole sweep before simulating anything, so a typo in the
+	// last value fails immediately instead of after minutes of work.
+	points := strings.Split(*values, ",")
+	for i := range points {
+		points[i] = strings.TrimSpace(points[i])
+		probe := core.DefaultOptions()
+		if err := applyKnob(&probe, *knob, points[i]); err != nil {
+			return err
+		}
 	}
 	b, err := workload.ByName(*wl)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	inst := b.Build(*seed)
 	hier := cache.DefaultHierarchyConfig()
@@ -45,27 +69,27 @@ func main() {
 	base := core.BaselineOptions()
 	baseRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: base, IOpts: base})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	baseTotal := baseRep.DEnergy.Total()
-	fmt.Printf("workload %s: baseline D-cache %s\n", inst.Name, energy.Format(baseTotal))
-	fmt.Printf("%-10s %12s %10s %10s %8s\n", *knob, "D energy", "saving", "switches", "drop")
+	fmt.Fprintf(stdout, "workload %s: baseline D-cache %s\n", inst.Name, energy.Format(baseTotal))
+	fmt.Fprintf(stdout, "%-10s %12s %10s %10s %8s\n", *knob, "D energy", "saving", "switches", "drop")
 
-	for _, raw := range strings.Split(*values, ",") {
-		raw = strings.TrimSpace(raw)
+	for _, raw := range points {
 		opts := core.DefaultOptions()
 		if err := applyKnob(&opts, *knob, raw); err != nil {
-			fatal(err)
+			return err
 		}
 		rep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("%s=%s: %w", *knob, raw, err)
 		}
 		tot := rep.DEnergy.Total()
-		fmt.Printf("%-10s %12s %+9.1f%% %10d %8.3f\n",
+		fmt.Fprintf(stdout, "%-10s %12s %+9.1f%% %10d %8.3f\n",
 			raw, energy.Format(tot), 100*energy.Saving(baseTotal, tot),
 			rep.DSwitches, rep.DFIFO.DropRate())
 	}
+	return nil
 }
 
 func applyKnob(o *core.Options, knob, raw string) error {
@@ -97,9 +121,4 @@ func applyKnob(o *core.Options, knob, raw string) error {
 		return fmt.Errorf("unknown knob %q (want window, partitions, deltat, fifo, idle, predictor)", knob)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cntexplore:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunErrors drives the sweep command through its error surface; a
+// bad sweep point must fail before any simulation runs (the probe pass),
+// so the error arrives in milliseconds, not after the sweep.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing values", []string{"-knob", "window"}, "-values is required"},
+		{"unknown knob", []string{"-knob", "nope", "-values", "1"}, "unknown knob"},
+		{"unknown workload", []string{"-workload", "nope", "-knob", "window", "-values", "15"}, "nope"},
+		{"bad int value", []string{"-knob", "window", "-values", "3,abc"}, "bad value"},
+		{"bad float value", []string{"-knob", "deltat", "-values", "0.1,x"}, "bad value"},
+		{"unparseable flag", []string{"-seed", "abc"}, "invalid value"},
+		{"out-of-range window", []string{"-knob", "window", "-values", "0"}, "window"},
+		{"out-of-range partitions", []string{"-knob", "partitions", "-values", "7"}, "partitions"},
+		{"unknown predictor", []string{"-knob", "predictor", "-values", "nope"}, "nope"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run(c.args, &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}

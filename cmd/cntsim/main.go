@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,31 +34,45 @@ import (
 )
 
 func main() {
-	wl := flag.String("workload", "", "bundled kernel: "+strings.Join(workload.Names(), ","))
-	prog := flag.String("program", "", "bundled ISA program: "+strings.Join(isa.ProgramNames(), ","))
-	traceFile := flag.String("trace", "", "trace file (.txt or binary)")
-	variant := flag.String("variant", "cnt-cache", "encoding variant: baseline,static-write,static-read,write-greedy,cnt-whole,cnt-cache")
-	compare := flag.Bool("compare", false, "run every variant and print a comparison")
-	window := flag.Int("window", 15, "prediction window W")
-	partitions := flag.Int("partitions", 8, "partition count K")
-	deltaT := flag.Float64("deltat", core.DefaultDeltaT, "switch hysteresis")
-	device := flag.String("device", "cnfet-32", "device preset: "+strings.Join(cnfet.PresetNames(), ","))
-	seed := flag.Int64("seed", 1, "workload seed")
-	configPath := flag.String("config", "", "JSON run configuration (overrides variant/device/geometry flags)")
-	exampleConfig := flag.Bool("example-config", false, "print a sample configuration file and exit")
-	inspect := flag.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cntsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flag parsing against
+// args, reports to stdout, diagnostics to stderr, every failure a
+// returned error (the only os.Exit lives in main).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cntsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "bundled kernel: "+strings.Join(workload.Names(), ","))
+	prog := fs.String("program", "", "bundled ISA program: "+strings.Join(isa.ProgramNames(), ","))
+	traceFile := fs.String("trace", "", "trace file (.txt or binary)")
+	variant := fs.String("variant", "cnt-cache", "encoding variant: baseline,static-write,static-read,write-greedy,cnt-whole,cnt-cache")
+	compare := fs.Bool("compare", false, "run every variant and print a comparison")
+	window := fs.Int("window", 15, "prediction window W")
+	partitions := fs.Int("partitions", 8, "partition count K")
+	deltaT := fs.Float64("deltat", core.DefaultDeltaT, "switch hysteresis")
+	device := fs.String("device", "cnfet-32", "device preset: "+strings.Join(cnfet.PresetNames(), ","))
+	seed := fs.Int64("seed", 1, "workload seed")
+	configPath := fs.String("config", "", "JSON run configuration (overrides variant/device/geometry flags)")
+	exampleConfig := fs.Bool("example-config", false, "print a sample configuration file and exit")
+	inspect := fs.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -65,89 +80,101 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "cntsim:", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "cntsim:", err)
 			}
 		}()
 	}
 
 	if *exampleConfig {
-		if err := config.WriteExample(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
+		return config.WriteExample(stdout)
 	}
+
+	hier := cache.DefaultHierarchyConfig()
 
 	if *configPath != "" {
 		doc, err := config.Load(*configPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		simCfg, cfgSeed, err := doc.Resolve()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		inst, err := loadInstance(*wl, *prog, *traceFile, cfgSeed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		rep, err := core.RunInstance(inst, simCfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		printReport(inst, rep)
-		return
+		printReport(stdout, inst, rep)
+		return nil
+	}
+
+	// Validate the knob flags eagerly, so a bad value fails with a
+	// one-line error before any simulation is built.
+	if *window < 1 {
+		return fmt.Errorf("-window must be at least 1, got %d", *window)
+	}
+	if *deltaT < 0 || *deltaT >= 1 {
+		return fmt.Errorf("-deltat must be in [0,1), got %g", *deltaT)
+	}
+	if err := encoding.CheckPartitions(hier.L1D.Geometry.LineBytes, *partitions); err != nil {
+		return fmt.Errorf("-partitions %d: %w", *partitions, err)
 	}
 
 	dev, err := cnfet.PresetByName(*device)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tab, err := dev.Table()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	inst, err := loadInstance(*wl, *prog, *traceFile, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	hier := cache.DefaultHierarchyConfig()
 	if *compare {
 		cmp, err := core.Compare(inst, hier, core.Variants(tab, *partitions, *window))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		base := cmp.BaselineTotal()
-		fmt.Printf("workload %s: %d accesses, baseline D-cache %s\n",
+		fmt.Fprintf(stdout, "workload %s: %d accesses, baseline D-cache %s\n",
 			inst.Name, len(inst.Accesses), energy.Format(base))
 		for i, name := range cmp.Names {
 			rep := cmp.Reports[i]
-			fmt.Printf("  %-13s D=%12s  saving=%+6.1f%%  switches=%d  drops=%.3f\n",
+			fmt.Fprintf(stdout, "  %-13s D=%12s  saving=%+6.1f%%  switches=%d  drops=%.3f\n",
 				name, energy.Format(rep.DEnergy.Total()), 100*cmp.SavingOf(name),
 				rep.DSwitches, rep.DFIFO.DropRate())
 		}
-		return
+		return nil
 	}
 
 	opts, err := optionsFor(*variant, tab, *partitions, *window, *deltaT)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rep, snap, err := runWithSnapshot(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	printReport(inst, rep)
+	printReport(stdout, inst, rep)
 	if *inspect {
-		fmt.Println("\nD-cache line-state snapshot:")
-		fmt.Print(snap.String())
+		fmt.Fprintln(stdout, "\nD-cache line-state snapshot:")
+		fmt.Fprint(stdout, snap.String())
 	}
+	return nil
 }
 
 // runWithSnapshot mirrors core.RunInstance but keeps the simulation alive
@@ -217,22 +244,17 @@ func optionsFor(variant string, tab cnfet.EnergyTable, k, w int, dt float64) (co
 	return core.Options{}, fmt.Errorf("unknown variant %q", variant)
 }
 
-func printReport(inst *workload.Instance, rep *core.Report) {
-	r, w, f := inst.Counts()
-	fmt.Printf("workload %s: %d accesses (R=%d W=%d F=%d)\n", inst.Name, len(inst.Accesses), r, w, f)
-	fmt.Printf("variant: %s  (H&D %d bits/line)\n", rep.Variant, rep.DMetaBits)
-	fmt.Printf("L1D: %s\n", rep.DStats)
-	fmt.Printf("     %s\n", rep.DEnergy.String())
-	fmt.Printf("     switches=%d windows=%d fifo: enq=%d drop=%.3f\n",
+func printReport(w io.Writer, inst *workload.Instance, rep *core.Report) {
+	r, wr, f := inst.Counts()
+	fmt.Fprintf(w, "workload %s: %d accesses (R=%d W=%d F=%d)\n", inst.Name, len(inst.Accesses), r, wr, f)
+	fmt.Fprintf(w, "variant: %s  (H&D %d bits/line)\n", rep.Variant, rep.DMetaBits)
+	fmt.Fprintf(w, "L1D: %s\n", rep.DStats)
+	fmt.Fprintf(w, "     %s\n", rep.DEnergy.String())
+	fmt.Fprintf(w, "     switches=%d windows=%d fifo: enq=%d drop=%.3f\n",
 		rep.DSwitches, rep.DWindows, rep.DFIFO.Enqueued, rep.DFIFO.DropRate())
 	if rep.IStats.Accesses > 0 {
-		fmt.Printf("L1I: %s\n", rep.IStats)
-		fmt.Printf("     %s\n", rep.IEnergy.String())
+		fmt.Fprintf(w, "L1I: %s\n", rep.IStats)
+		fmt.Fprintf(w, "     %s\n", rep.IEnergy.String())
 	}
-	fmt.Printf("total L1 dynamic energy: %s\n", energy.Format(rep.DEnergy.Total()+rep.IEnergy.Total()))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cntsim:", err)
-	os.Exit(1)
+	fmt.Fprintf(w, "total L1 dynamic energy: %s\n", energy.Format(rep.DEnergy.Total()+rep.IEnergy.Total()))
 }

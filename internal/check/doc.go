@@ -1,0 +1,32 @@
+// Package check is the differential and metamorphic validation harness
+// of the reproduction. It cross-examines the fast paths the simulator
+// actually runs against slow, obviously-correct oracles, and states the
+// algebraic invariants the encoding layer must satisfy:
+//
+//   - PredictorGrid proves the precomputed Th_bit1num threshold table
+//     (Eq. 6) agrees with the brute-force energy inequality (Eq. 4 vs
+//     Eq. 5 + E_encode) on the FULL decision grid — every window size,
+//     write count, ones count and hysteresis the experiments exercise —
+//     for both the CNFET and the CMOS energy tables. Exact break-even
+//     ties, where float rounding legitimately differs, are told apart
+//     from real disagreements via Predictor.FlipBenefit.
+//   - MaskOptimality and the involution checks pin the encoding layer:
+//     Apply is its own inverse, StoredOnes predicts exactly what a
+//     materialized encode stores, and the greedy mask helpers are
+//     optimal (proved exhaustively on small partitions, ties included).
+//   - AuditReport and DegenerateAdaptive audit energy conservation: a
+//     report's components must sum to its total, and an adaptive cache
+//     configured so no flip can ever pay (K=1, ΔT→1) must burn exactly
+//     the baseline's cell energy with zero direction switches.
+//   - SerialParallelTables re-runs an experiment at different worker
+//     counts and demands byte-identical artifacts, guarding the
+//     determinism contract of the parallel experiment engine.
+//
+// The *Invariant functions package the same properties for the native
+// fuzz targets (FuzzTraceText, FuzzTraceBinary, FuzzAsm,
+// FuzzConfigJSON) so CI can hammer the external input surfaces — trace
+// parsers, the assembler, config JSON — with the invariants already in
+// place. Every checker returns nil on success and a descriptive error
+// naming the first violated cell otherwise; the package has no
+// dependency on testing so commands could reuse it directly.
+package check

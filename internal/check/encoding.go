@@ -1,0 +1,113 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitutil"
+	"repro/internal/encoding"
+)
+
+// MaskOptimality exhaustively proves the greedy mask helpers optimal on
+// small partitions: it enumerates EVERY logical line of lineBytes bytes
+// split into k partitions, brute-forces all 2^k masks, and demands that
+// MaskMinOnes (MaskMaxOnes) achieves the global minimum (maximum) stored
+// ones count. It also pins the documented tie rule: a partition with
+// exactly half its bits set stays uninverted under both helpers.
+// lineBytes must be small (≤ 2) — the enumeration is 256^lineBytes lines.
+func MaskOptimality(lineBytes, k int) error {
+	if lineBytes > 2 {
+		return fmt.Errorf("check: exhaustive mask check wants ≤2 line bytes, got %d", lineBytes)
+	}
+	if err := encoding.CheckPartitions(lineBytes, k); err != nil {
+		return err
+	}
+	partBytes := lineBytes / k
+	partBits := partBytes * 8
+	line := make([]byte, lineBytes)
+	ones := make([]int, k)
+	total := 1 << uint(8*lineBytes)
+	for v := 0; v < total; v++ {
+		for i := range line {
+			line[i] = byte(v >> uint(8*i))
+		}
+		for p := 0; p < k; p++ {
+			ones[p] = bitutil.Ones(line[p*partBytes : (p+1)*partBytes])
+		}
+
+		// Brute force: stored ones under every possible mask.
+		minOnes, maxOnes := lineBytes*8+1, -1
+		for mask := uint64(0); mask < 1<<uint(k); mask++ {
+			s := encoding.StoredOnes(ones, partBits, mask)
+			if s < minOnes {
+				minOnes = s
+			}
+			if s > maxOnes {
+				maxOnes = s
+			}
+		}
+
+		minMask := encoding.MaskMinOnes(line, k)
+		maxMask := encoding.MaskMaxOnes(line, k)
+		if got := encoding.StoredOnes(ones, partBits, minMask); got != minOnes {
+			return fmt.Errorf("check: line %#x K=%d: MaskMinOnes stores %d ones, optimum is %d", v, k, got, minOnes)
+		}
+		if got := encoding.StoredOnes(ones, partBits, maxMask); got != maxOnes {
+			return fmt.Errorf("check: line %#x K=%d: MaskMaxOnes stores %d ones, optimum is %d", v, k, got, maxOnes)
+		}
+		for p := 0; p < k; p++ {
+			if ones[p]*2 != partBits {
+				continue // not a tie
+			}
+			if minMask&(1<<uint(p)) != 0 || maxMask&(1<<uint(p)) != 0 {
+				return fmt.Errorf("check: line %#x K=%d: partition %d is a half-ones tie but was inverted (min=%#x max=%#x)",
+					v, k, p, minMask, maxMask)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyInvolution checks, on deterministic pseudo-random lines, that the
+// codec is its own inverse (encode twice = identity) and that StoredOnes
+// predicts exactly the ones count of the materialized encoded line —
+// the fast path the simulator charges energy from never diverging from
+// what the array would physically hold.
+func ApplyInvolution(lineBytes, k, trials int, seed int64) error {
+	if err := encoding.CheckPartitions(lineBytes, k); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	partBytes := lineBytes / k
+	ones := make([]int, k)
+	for trial := 0; trial < trials; trial++ {
+		logical := make([]byte, lineBytes)
+		rng.Read(logical)
+		mask := rng.Uint64()
+		if k < 64 {
+			mask &= 1<<uint(k) - 1
+		}
+
+		stored := append([]byte(nil), logical...)
+		encoding.Apply(stored, k, mask)
+
+		for p := 0; p < k; p++ {
+			ones[p] = bitutil.Ones(logical[p*partBytes : (p+1)*partBytes])
+		}
+		if want, got := encoding.StoredOnes(ones, partBytes*8, mask), bitutil.Ones(stored); want != got {
+			return fmt.Errorf("check: trial %d K=%d mask=%#x: StoredOnes predicts %d, materialized line holds %d",
+				trial, k, mask, want, got)
+		}
+
+		encoding.Apply(stored, k, mask)
+		if !bytes.Equal(stored, logical) {
+			return fmt.Errorf("check: trial %d K=%d mask=%#x: Apply is not an involution", trial, k, mask)
+		}
+
+		if dec := encoding.Decoded(encoding.Decoded(logical, k, mask), k, mask); !bytes.Equal(dec, logical) {
+			return fmt.Errorf("check: trial %d K=%d mask=%#x: Decoded∘Decoded is not the identity", trial, k, mask)
+		}
+	}
+	return nil
+}

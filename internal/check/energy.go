@@ -1,0 +1,145 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/energy"
+	"repro/internal/predictor"
+	"repro/internal/workload"
+)
+
+// AuditBreakdown checks a breakdown's internal consistency: no component
+// is negative or non-finite, Total() covers every field (enumerated by
+// reflection, so a component added later cannot silently escape the
+// total), and the CellData/Overhead split tiles the dynamic energy
+// exactly (Periphery being the only component in neither bucket).
+func AuditBreakdown(name string, b energy.Breakdown) error {
+	v := reflect.ValueOf(b)
+	sum := 0.0
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i).Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return fmt.Errorf("check: %s: component %s is %g", name, v.Type().Field(i).Name, f)
+		}
+		sum += f
+	}
+	if t := b.Total(); !closeRel(sum, t) {
+		return fmt.Errorf("check: %s: components sum to %g but Total() is %g", name, sum, t)
+	}
+	if split := b.CellData() + b.Overhead() + b.Periphery; !closeRel(split, b.Total()) {
+		return fmt.Errorf("check: %s: CellData+Overhead+Periphery %g does not tile Total %g",
+			name, split, b.Total())
+	}
+	return nil
+}
+
+// closeRel compares with a relative tolerance sized for sums of fJ-scale
+// components accumulated in different orders.
+func closeRel(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// AuditReport audits energy conservation on one simulation report: both
+// L1 breakdowns are internally consistent and the leakage estimates are
+// finite and non-negative.
+func AuditReport(rep *core.Report) error {
+	tag := rep.Workload + "/" + rep.Variant
+	if err := AuditBreakdown(tag+" D", rep.DEnergy); err != nil {
+		return err
+	}
+	if err := AuditBreakdown(tag+" I", rep.IEnergy); err != nil {
+		return err
+	}
+	for _, l := range []struct {
+		name string
+		v    float64
+	}{{"DLeakage", rep.DLeakage}, {"ILeakage", rep.ILeakage}} {
+		if math.IsNaN(l.v) || math.IsInf(l.v, 0) || l.v < 0 {
+			return fmt.Errorf("check: %s: %s is %g", tag, l.name, l.v)
+		}
+	}
+	return nil
+}
+
+// DegenerateAdaptive checks that an adaptive cache configured so no flip
+// can ever pay — one whole-line partition with ΔT→1 hysteresis — burns
+// exactly the baseline's data-cell energy with zero direction switches.
+// It first proves from the threshold machinery itself that every grid
+// cell refuses to flip (so the equivalence is a consequence, not a
+// coincidence of the workload), then runs both variants over real
+// kernels and compares.
+func DegenerateAdaptive(tab cnfet.EnergyTable, seed int64) error {
+	const deltaT = 0.99
+	hier := cache.DefaultHierarchyConfig()
+
+	adaptive := core.DefaultOptions()
+	adaptive.Table = tab
+	adaptive.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: 1}
+	adaptive.DeltaT = deltaT
+
+	// Step 1: no (Wr_num, n1) cell may show a positive flip benefit.
+	p, err := predictor.New(predictor.Config{
+		Window:     adaptive.Window,
+		LineBytes:  hier.L1D.Geometry.LineBytes,
+		Partitions: 1,
+		Table:      tab,
+		DeltaT:     deltaT,
+	})
+	if err != nil {
+		return err
+	}
+	for wr := 0; wr <= adaptive.Window; wr++ {
+		for n1 := 0; n1 <= p.PartitionBits(); n1++ {
+			if b := p.FlipBenefit(n1, wr); b > 0 {
+				return fmt.Errorf("check: degenerate ΔT=%g still flips at Wr_num=%d n1=%d (benefit %g); equivalence assumption broken",
+					deltaT, wr, n1, b)
+			}
+		}
+	}
+
+	// Step 2: run both variants and compare what the encoding can touch.
+	baseline := core.BaselineOptions()
+	baseline.Table = tab
+	for _, build := range []func(int64) *workload.Instance{workload.Stream, workload.Stack, workload.Histogram} {
+		inst := build(seed)
+		baseRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: baseline, IOpts: baseline})
+		if err != nil {
+			return err
+		}
+		adapRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: adaptive, IOpts: adaptive})
+		if err != nil {
+			return err
+		}
+		if err := AuditReport(baseRep); err != nil {
+			return err
+		}
+		if err := AuditReport(adapRep); err != nil {
+			return err
+		}
+		if adapRep.DSwitches != 0 {
+			return fmt.Errorf("check: %s: degenerate adaptive recorded %d direction switches, want 0",
+				inst.Name, adapRep.DSwitches)
+		}
+		// With every mask pinned at zero the stored image is the logical
+		// image, so the data-cell energies must agree exactly — both
+		// variants charge the identical ones counts in identical order.
+		if b, a := baseRep.DEnergy.CellData(), adapRep.DEnergy.CellData(); b != a {
+			return fmt.Errorf("check: %s: degenerate adaptive D cell energy %g != baseline %g", inst.Name, a, b)
+		}
+		if b, a := baseRep.IEnergy.CellData(), adapRep.IEnergy.CellData(); b != a {
+			return fmt.Errorf("check: %s: degenerate adaptive I cell energy %g != baseline %g", inst.Name, a, b)
+		}
+		if adapRep.DEnergy.Switch != 0 {
+			return fmt.Errorf("check: %s: degenerate adaptive charged %g fJ of switch energy, want 0",
+				inst.Name, adapRep.DEnergy.Switch)
+		}
+	}
+	return nil
+}

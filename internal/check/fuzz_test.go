@@ -1,0 +1,58 @@
+package check
+
+import "testing"
+
+// The four fuzz targets CI runs (make fuzz): each delegates to the
+// exported invariant in fuzzers.go, so the property under fuzz is
+// exactly the property tier 1 checks on the seed corpus. Seed corpora
+// live in testdata/fuzz/<FuzzName>/ alongside the crashers that drove
+// the parser-hardening fixes.
+
+func FuzzTraceText(f *testing.F) {
+	f.Add([]byte("R 0x10 8\nW 0x20 2 aabb\nF 0x400 4\n"))
+	f.Add([]byte("# comment\n\nR 4096 64\n"))
+	f.Add([]byte("W 0x0 1 zz\n"))
+	f.Add([]byte("R"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := TraceTextInvariant(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzTraceBinary(f *testing.F) {
+	f.Add([]byte("CNTTRC01"))
+	f.Add(append([]byte("CNTTRC01"), 'R', 8, 0x10, 0, 0, 0, 0, 0, 0, 0))
+	f.Add(append([]byte("CNTTRC01"), 'W', 2, 0x20, 0, 0, 0, 0, 0, 0, 0, 0xAA, 0xBB))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := TraceBinaryInvariant(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzAsm(f *testing.F) {
+	f.Add("addi r1, r0, 5\nhalt")
+	f.Add("loop: bne r1, r2, loop")
+	f.Add(".word 1, 2, 3\n.space 8")
+	f.Add(".space 4294967292") // the allocation bomb the .space bound fixes
+	f.Add("lw r1, -4(r2)")
+	f.Fuzz(func(t *testing.T, src string) {
+		if err := AsmInvariant(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzConfigJSON(f *testing.F) {
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"seed": 7, "device": "cnfet-32", "dcache": {"variant": "cnt-cache", "partitions": 8}}`))
+	f.Add([]byte(`{"dcache": {"variant": "nonsense"}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := ConfigJSONInvariant(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

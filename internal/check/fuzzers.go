@@ -1,0 +1,143 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// The *Invariant functions are the properties behind the fuzz targets
+// (fuzz_test.go). Each takes raw external input, returns nil both for
+// cleanly rejected and for correctly handled input, and returns an error
+// only when an invariant breaks; panics escape to the fuzzer as crashes.
+
+// TraceTextInvariant feeds arbitrary bytes to the text trace parser.
+// Accepted traces must survive a serialize/re-parse round trip
+// unchanged, and every accepted access must validate.
+func TraceTextInvariant(data []byte) error {
+	accs, err := trace.Collect(trace.NewTextReader(bytes.NewReader(data)))
+	if err != nil {
+		return nil // rejected input is fine; panics are not
+	}
+	for i, a := range accs {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("text reader accepted invalid access %d: %w", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	w := trace.NewTextWriter(&buf)
+	for _, a := range accs {
+		if err := w.Access(a); err != nil {
+			return fmt.Errorf("accepted access failed to serialize: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	again, err := trace.Collect(trace.NewTextReader(&buf))
+	if err != nil {
+		return fmt.Errorf("round trip re-parse failed: %w", err)
+	}
+	if len(accs) > 0 && !reflect.DeepEqual(accs, again) {
+		return fmt.Errorf("round trip mismatch: %v vs %v", accs, again)
+	}
+	return nil
+}
+
+// TraceBinaryInvariant feeds arbitrary bytes to the binary trace parser:
+// accepted accesses validate and round-trip bit-exactly through the
+// binary writer, and a parse failure must carry position context.
+func TraceBinaryInvariant(data []byte) error {
+	r := trace.NewBinaryReader(bytes.NewReader(data))
+	accs, err := trace.Collect(r)
+	if err != nil {
+		if err.Error() == "" {
+			return fmt.Errorf("binary reader failed without a message")
+		}
+		return nil
+	}
+	for i, a := range accs {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("binary reader accepted invalid access %d: %w", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	w := trace.NewBinaryWriter(&buf)
+	for _, a := range accs {
+		if err := w.Access(a); err != nil {
+			return fmt.Errorf("accepted access failed to serialize: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	again, err := trace.Collect(trace.NewBinaryReader(&buf))
+	if err != nil {
+		return fmt.Errorf("round trip re-parse failed: %w", err)
+	}
+	if len(accs) > 0 && !reflect.DeepEqual(accs, again) {
+		return fmt.Errorf("round trip mismatch: %v vs %v", accs, again)
+	}
+	return nil
+}
+
+// AsmInvariant assembles arbitrary source. Accepted programs must have a
+// bounded footprint (the .space guard), every instruction word must
+// decode and re-encode losslessly, and the listing must render.
+func AsmInvariant(src string) error {
+	prog, err := isa.Assemble(src, 0x1000)
+	if err != nil {
+		return nil
+	}
+	// The per-line .space bound implies a per-line footprint bound; a
+	// program bigger than lines×max means the guard was bypassed.
+	lines := bytes.Count([]byte(src), []byte("\n")) + 1
+	if prog.Size() > lines*(isa.MaxSpaceBytes+4) {
+		return fmt.Errorf("assembled %d bytes from %d source lines, exceeding the .space bound", prog.Size(), lines)
+	}
+	for i, w := range prog.Words {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			continue // data word
+		}
+		back, err := inst.Encode()
+		if err != nil {
+			return fmt.Errorf("word %d: decoded %v does not re-encode: %w", i, inst, err)
+		}
+		if back != w {
+			return fmt.Errorf("word %d: %#x -> %v -> %#x", i, w, inst, back)
+		}
+	}
+	_ = isa.Disassemble(prog)
+	return nil
+}
+
+// ConfigJSONInvariant feeds arbitrary bytes to the config parser.
+// Anything Parse accepts must either Resolve into a validated simulation
+// configuration or fail with a descriptive error — never panic, and
+// never resolve into options a simulator constructor would reject.
+func ConfigJSONInvariant(data []byte) error {
+	f, err := config.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil
+	}
+	cfg, _, err := f.Resolve()
+	if err != nil {
+		if err.Error() == "" {
+			return fmt.Errorf("resolve failed without a message")
+		}
+		return nil
+	}
+	// A resolved config is a promise that the simulator accepts it.
+	if err := cfg.DOpts.Table.Validate(); err != nil {
+		return fmt.Errorf("resolved config carries an invalid D energy table: %w", err)
+	}
+	if err := cfg.IOpts.Table.Validate(); err != nil {
+		return fmt.Errorf("resolved config carries an invalid I energy table: %w", err)
+	}
+	return nil
+}

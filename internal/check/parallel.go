@@ -1,0 +1,36 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// SerialParallelTables re-runs each listed experiment serially (Jobs=1)
+// and with a worker pool (Jobs=jobs) and demands byte-identical rendered
+// artifacts — the determinism contract of the parallel experiment
+// engine: worker count must never show up in the results.
+func SerialParallelTables(ids []string, seed int64, jobs int) error {
+	for _, id := range ids {
+		exp, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		serial, err := exp.Run(experiments.Config{Seed: seed, Quick: true, Jobs: 1})
+		if err != nil {
+			return fmt.Errorf("check: %s serial: %w", id, err)
+		}
+		parallel, err := exp.Run(experiments.Config{Seed: seed, Quick: true, Jobs: jobs})
+		if err != nil {
+			return fmt.Errorf("check: %s parallel: %w", id, err)
+		}
+		if s, p := serial.Render(), parallel.Render(); s != p {
+			return fmt.Errorf("check: %s: Jobs=1 and Jobs=%d rendered different tables:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, jobs, s, p)
+		}
+		if s, p := serial.CSV(), parallel.CSV(); s != p {
+			return fmt.Errorf("check: %s: Jobs=1 and Jobs=%d produced different CSV", id, jobs)
+		}
+	}
+	return nil
+}

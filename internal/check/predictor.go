@@ -1,0 +1,148 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cnfet"
+	"repro/internal/predictor"
+)
+
+// Grid defaults: the windows and hysteresis values the experiments sweep
+// (E4 and E7), bracketing the W=15, ΔT=0.1 defaults.
+var (
+	// GridWindows are the window sizes W the full-grid check covers.
+	GridWindows = []int{3, 7, 15, 31, 63}
+	// GridDeltaTs are the hysteresis values ΔT the full-grid check covers.
+	GridDeltaTs = []float64{0, 0.05, 0.1, 0.3}
+)
+
+// tieEps bounds |FlipBenefit| under which a table/oracle disagreement is
+// an exact break-even tie: both answers cost the same energy and float
+// rounding may legitimately pick either side.
+const tieEps = 1e-6
+
+// PredictorGrid differentially checks Predictor.Evaluate and
+// Predictor.EvaluateOnes against the brute-force oracle EvaluateExact on
+// the full decision grid: for each window W and hysteresis ΔT it covers
+// every write count Wr_num ∈ [0,W] and every stored ones count
+// n1 ∈ [0,partBits] of a single 64-bit partition. The three entry points
+// must produce the same classification and the same flip mask, except at
+// exact break-even ties (|FlipBenefit| ≤ tieEps) where the table and the
+// oracle may round differently.
+func PredictorGrid(tab cnfet.EnergyTable, windows []int, deltaTs []float64) error {
+	const lineBytes = 8 // K=1 partition of 64 bits: n1 spans the full [0,64]
+	for _, w := range windows {
+		for _, dt := range deltaTs {
+			p, err := predictor.New(predictor.Config{
+				Window: w, LineBytes: lineBytes, Partitions: 1, Table: tab, DeltaT: dt,
+			})
+			if err != nil {
+				return fmt.Errorf("check: grid W=%d ΔT=%g: %w", w, dt, err)
+			}
+			if err := gridOne(p, w, dt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func gridOne(p *predictor.Predictor, w int, dt float64) error {
+	lineBytes := p.Config().LineBytes
+	for wr := 0; wr <= w; wr++ {
+		for n1 := 0; n1 <= p.PartitionBits(); n1++ {
+			line := lineWithOnes(lineBytes, n1)
+			ev := p.Evaluate(line, wr)
+			eo := p.EvaluateOnes([]int{n1}, wr)
+			ex := p.EvaluateExact(line, wr)
+
+			at := fmt.Sprintf("W=%d ΔT=%g Wr_num=%d n1=%d", w, dt, wr, n1)
+			if ev.Pattern != eo.Pattern || ev.FlipMask != eo.FlipMask || ev.Flips != eo.Flips {
+				return fmt.Errorf("check: %s: Evaluate %+v disagrees with EvaluateOnes %+v", at, ev, eo)
+			}
+			if ev.Pattern != ex.Pattern {
+				return fmt.Errorf("check: %s: table pattern %v vs oracle pattern %v", at, ev.Pattern, ex.Pattern)
+			}
+			if ev.FlipMask != ex.FlipMask {
+				if b := p.FlipBenefit(n1, wr); math.Abs(b) > tieEps {
+					return fmt.Errorf("check: %s: table flip=%d vs oracle flip=%d with benefit %g (not a tie)",
+						at, ev.FlipMask, ex.FlipMask, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PredictorPartitioned checks the partitioned fast paths against the
+// oracle on multi-partition lines: each partition carries a different
+// ones count, so a disagreement in any single partition's comparison or
+// in the mask assembly order shows up as a differing flip mask.
+func PredictorPartitioned(tab cnfet.EnergyTable, window, partitions int) error {
+	lineBytes := partitions // one byte per partition: each n1 spans [0,8]
+	p, err := predictor.New(predictor.Config{
+		Window: window, LineBytes: lineBytes, Partitions: partitions, Table: tab, DeltaT: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	line := make([]byte, lineBytes)
+	ones := make([]int, partitions)
+	for wr := 0; wr <= window; wr++ {
+		// Rotate a gradient of densities through the partitions so every
+		// partition index sees every one of the 9 possible byte ones
+		// counts.
+		for rot := 0; rot < 9; rot++ {
+			for i := range line {
+				n1 := (i + rot) % 9
+				line[i] = byteWithOnes(n1)
+				ones[i] = n1
+			}
+			ev := p.Evaluate(line, wr)
+			eo := p.EvaluateOnes(ones, wr)
+			ex := p.EvaluateExact(line, wr)
+			at := fmt.Sprintf("K=%d W=%d Wr_num=%d rot=%d", partitions, window, wr, rot)
+			if ev != eo {
+				return fmt.Errorf("check: %s: Evaluate %+v vs EvaluateOnes %+v", at, ev, eo)
+			}
+			if ev.FlipMask != ex.FlipMask {
+				// A tie in any differing partition excuses only that bit.
+				diff := ev.FlipMask ^ ex.FlipMask
+				for part := 0; part < partitions; part++ {
+					if diff&(1<<uint(part)) == 0 {
+						continue
+					}
+					if b := p.FlipBenefit(ones[part], wr); math.Abs(b) > tieEps {
+						return fmt.Errorf("check: %s: partition %d table/oracle flip mismatch with benefit %g",
+							at, part, b)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lineWithOnes builds a line of n bytes holding exactly n1 '1' bits,
+// packed from the low bytes up.
+func lineWithOnes(n, n1 int) []byte {
+	if n1 < 0 || n1 > n*8 {
+		panic(fmt.Sprintf("check: %d ones do not fit %d bytes", n1, n))
+	}
+	line := make([]byte, n)
+	i := 0
+	for ; n1 >= 8; n1 -= 8 {
+		line[i] = 0xFF
+		i++
+	}
+	if n1 > 0 {
+		line[i] = byteWithOnes(n1)
+	}
+	return line
+}
+
+// byteWithOnes returns a byte with exactly n1 low bits set.
+func byteWithOnes(n1 int) byte {
+	return byte(0xFF >> uint(8-n1))
+}

@@ -541,11 +541,12 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 		update := fifo.Update{Set: res.Set, Way: res.Way, Mask: st.mask ^ d.FlipMask, Ones: ones}
 		c.queue.Push(update)
 	}
-	// Algorithm 1 resets the counters after every prediction; the
-	// triggering access itself starts the new window. Both land in one
-	// physical rewrite of the history field.
+	// Algorithm 1 resets the counters after every prediction. The
+	// triggering access is already counted in the window just evaluated
+	// (RecordAccess counts it before reporting completion), so the next
+	// window starts empty; the reset is one physical rewrite of the
+	// history field.
 	st.hist.Reset()
-	c.pred.RecordAccess(&st.hist, write)
 	c.eb.MetaWrite += c.arr.WriteMetaEnergy(st.hist.Bits(), c.histBits)
 }
 

@@ -62,6 +62,15 @@ func MaskMaxOnes(logical []byte, k int) uint64 {
 	return maskByMajority(logical, k, false)
 }
 
+// maskByMajority inverts each partition whose ones count is on the wrong
+// side of half its bits. Both directions use the same comparison against
+// half = partitionBits/2 (partitionBits is always even — partitions are
+// byte-aligned — so half is exact and the two forms `ones > half` and
+// `2*ones > partitionBits` coincide). Tie behaviour: a partition with
+// exactly half its bits set is equally good either way, and both helpers
+// keep it uninverted so the choice is deterministic and the direction bit
+// stays cheap (storing '0'). check.MaskOptimality proves optimality
+// exhaustively on small partitions.
 func maskByMajority(logical []byte, k int, minimize bool) uint64 {
 	if err := CheckPartitions(len(logical), k); err != nil {
 		panic(err)
@@ -71,11 +80,11 @@ func maskByMajority(logical []byte, k int, minimize bool) uint64 {
 	var mask uint64
 	for p := 0; p < k; p++ {
 		ones := bitutil.Ones(logical[p*sz : (p+1)*sz])
-		if minimize {
-			if ones > half {
-				mask |= 1 << uint(p)
-			}
-		} else if 2*ones < sz*8 {
+		invert := ones > half // majority ones: inverting minimizes stored ones
+		if !minimize {
+			invert = ones < half // minority ones: inverting maximizes stored ones
+		}
+		if invert {
 			mask |= 1 << uint(p)
 		}
 	}

@@ -6,6 +6,12 @@ import (
 	"strings"
 )
 
+// MaxSpaceBytes bounds a single .space directive (and with it the
+// assembled image growth per source line), so malformed or hostile input
+// cannot demand multi-gigabyte allocations: the directive's 32-bit size
+// field otherwise admits ~4 GiB from seven characters of input.
+const MaxSpaceBytes = 1 << 20
+
 // Program is an assembled binary: instruction/data words plus the resolved
 // symbol table.
 type Program struct {
@@ -89,6 +95,12 @@ func Assemble(src string, base uint64) (*Program, error) {
 			n, err := strconv.ParseUint(args[0], 0, 32)
 			if err != nil || n%4 != 0 {
 				return nil, fmt.Errorf("asm: line %d: bad .space size %q", ln+1, args[0])
+			}
+			if n > MaxSpaceBytes {
+				// Bound found by FuzzAsm: an unchecked 32-bit size let a
+				// single ".space 4294967292" directive demand a ~16 GB
+				// allocation before any program could plausibly use it.
+				return nil, fmt.Errorf("asm: line %d: .space size %d exceeds the %d-byte limit", ln+1, n, MaxSpaceBytes)
 			}
 			zeros := make([]string, n/4)
 			for i := range zeros {

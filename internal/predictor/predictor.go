@@ -191,19 +191,24 @@ func (p *Predictor) Classify(wrNum int) Pattern {
 }
 
 // RecordAccess advances the per-line history for one access, following
-// Algorithm 1's control flow: when A_num has reached the window size the
-// access triggers a prediction (return value true) and the caller must
-// invoke Evaluate and then Reset the state; otherwise the counters
-// advance.
+// Algorithm 1's control flow: the access is counted into the window
+// (A_num, and Wr_num when it is a write), and when it is the W-th access
+// the prediction is due (return value true) — the caller must invoke the
+// evaluation and then Reset the state. The triggering access is part of
+// the evaluated window, so W consecutive accesses produce exactly one
+// evaluation whose counters cover all W of them, the W-th write included.
+//
+// If the caller fails to Reset, the counters saturate at the window size
+// and every subsequent access reports a due prediction, so a missed reset
+// cannot push WrNum past the threshold table's index range.
 func (p *Predictor) RecordAccess(s *LineState, isWrite bool) (windowComplete bool) {
-	if int(s.ANum) >= p.cfg.Window {
-		return true
+	if int(s.ANum) < p.cfg.Window {
+		s.ANum++
+		if isWrite {
+			s.WrNum++
+		}
 	}
-	s.ANum++
-	if isWrite {
-		s.WrNum++
-	}
-	return false
+	return int(s.ANum) >= p.cfg.Window
 }
 
 // Decision describes the outcome of one window evaluation.
@@ -265,7 +270,7 @@ func (p *Predictor) EvaluateExact(stored []byte, wrNum int) Decision {
 	sz := p.cfg.LineBytes / p.cfg.Partitions
 	for part := 0; part < p.cfg.Partitions; part++ {
 		n1 := bitutil.Ones(stored[part*sz : (part+1)*sz])
-		if p.flipBenefit(n1, wrNum) > 0 {
+		if p.FlipBenefit(n1, wrNum) > 0 {
 			d.FlipMask |= 1 << uint(part)
 			d.Flips++
 		}
@@ -273,9 +278,13 @@ func (p *Predictor) EvaluateExact(stored []byte, wrNum int) Decision {
 	return d
 }
 
-// flipBenefit returns (1-ΔT)*E - Ebar - Eencode for one partition: positive
-// means flipping the direction pays off.
-func (p *Predictor) flipBenefit(n1, wrNum int) float64 {
+// FlipBenefit returns (1-ΔT)*E - Ebar - Eencode for one partition holding
+// n1 stored ones after a window with wrNum writes: positive means flipping
+// the direction pays off. It is the raw Eq. 4/5 energy balance behind
+// EvaluateExact, exported so differential checks (internal/check) can
+// distinguish genuine table/oracle disagreements from exact break-even
+// ties where float rounding legitimately differs.
+func (p *Predictor) FlipBenefit(n1, wrNum int) float64 {
 	t := p.cfg.Table
 	w := float64(p.cfg.Window)
 	wr := float64(wrNum)

@@ -102,24 +102,32 @@ func TestPatternString(t *testing.T) {
 func TestRecordAccessWindowProtocol(t *testing.T) {
 	p := mustNew(t, defaultConfig())
 	var s LineState
-	// The first W accesses only advance the counters.
-	for i := 0; i < 15; i++ {
+	// The first W-1 accesses only advance the counters.
+	for i := 0; i < 14; i++ {
 		if done := p.RecordAccess(&s, i%3 == 0); done {
 			t.Fatalf("access %d completed the window early (ANum=%d)", i, s.ANum)
 		}
 	}
-	if s.ANum != 15 {
-		t.Fatalf("ANum = %d, want 15", s.ANum)
+	if s.ANum != 14 {
+		t.Fatalf("ANum = %d, want 14", s.ANum)
 	}
 	if s.WrNum != 5 {
 		t.Fatalf("WrNum = %d, want 5 (every third access wrote)", s.WrNum)
 	}
-	// The next access triggers the prediction without advancing counters.
+	// The W-th access completes the window and is itself counted: W
+	// consecutive accesses yield exactly one evaluation covering all W.
 	if done := p.RecordAccess(&s, true); !done {
-		t.Fatal("access W+1 should complete the window")
+		t.Fatal("access W should complete the window")
 	}
-	if s.ANum != 15 || s.WrNum != 5 {
-		t.Fatalf("completing access must not advance counters, got %+v", s)
+	if s.ANum != 15 || s.WrNum != 6 {
+		t.Fatalf("completing access must be counted into the window, got %+v", s)
+	}
+	// A missed Reset saturates instead of overflowing the counters.
+	if done := p.RecordAccess(&s, true); !done {
+		t.Fatal("un-reset window should keep reporting completion")
+	}
+	if s.ANum != 15 || s.WrNum != 6 {
+		t.Fatalf("saturated counters must not advance, got %+v", s)
 	}
 	s.Reset()
 	if s.ANum != 0 || s.WrNum != 0 {
@@ -130,6 +138,34 @@ func TestRecordAccessWindowProtocol(t *testing.T) {
 	}
 	if s.ANum != 1 || s.WrNum != 1 {
 		t.Fatalf("counters after first access of new window: %+v", s)
+	}
+}
+
+// TestRecordAccessBoundaryExactWindow pins the window-boundary contract
+// across window sizes: replaying exactly W accesses on a fresh line yields
+// exactly one due evaluation, at the W-th access, with every access — the
+// triggering write included — counted in WrNum/ANum.
+func TestRecordAccessBoundaryExactWindow(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 15, 31, 63} {
+		cfg := defaultConfig()
+		cfg.Window = w
+		p := mustNew(t, cfg)
+		var s LineState
+		completions := 0
+		for i := 0; i < w; i++ {
+			if p.RecordAccess(&s, true) { // all writes
+				completions++
+				if i != w-1 {
+					t.Errorf("W=%d: completion at access %d, want %d", w, i+1, w)
+				}
+			}
+		}
+		if completions != 1 {
+			t.Errorf("W=%d: %d completions over W accesses, want exactly 1", w, completions)
+		}
+		if int(s.ANum) != w || int(s.WrNum) != w {
+			t.Errorf("W=%d: counters %+v at evaluation, want ANum=WrNum=%d", w, s, w)
+		}
 	}
 }
 
@@ -246,7 +282,7 @@ func TestEvaluateAgreesWithExactOracle(t *testing.T) {
 								}
 							}
 						}
-						if math.Abs(p.flipBenefit(n1, wr)) < 1e-6 {
+						if math.Abs(p.FlipBenefit(n1, wr)) < 1e-6 {
 							tie = true
 						}
 					}

@@ -80,16 +80,26 @@ func (b *BinaryWriter) Flush() error {
 	return b.err
 }
 
-// BinaryReader parses the binary format as a Source.
+// BinaryReader parses the binary format as a Source. Parse errors carry
+// the failing record number and its byte offset in the stream.
 type BinaryReader struct {
 	r      *bufio.Reader
 	err    error
 	header bool
+	rec    int   // records returned so far
+	off    int64 // byte offset of the next unread record
 }
 
 // NewBinaryReader wraps r.
 func NewBinaryReader(r io.Reader) *BinaryReader {
 	return &BinaryReader{r: bufio.NewReader(r)}
+}
+
+// fail records a terminal parse error annotated with the position of the
+// record being parsed (1-based) and its starting byte offset.
+func (b *BinaryReader) fail(format string, args ...interface{}) (Access, bool) {
+	b.err = fmt.Errorf("trace: record %d at offset %d: %s", b.rec+1, b.off, fmt.Sprintf(format, args...))
+	return Access{}, false
 }
 
 // Next implements Source.
@@ -108,14 +118,14 @@ func (b *BinaryReader) Next() (Access, bool) {
 			return Access{}, false
 		}
 		b.header = true
+		b.off = int64(len(binaryMagic))
 	}
 	var rec [10]byte
-	if _, err := io.ReadFull(b.r, rec[:]); err != nil {
-		if errors.Is(err, io.EOF) {
+	if n, err := io.ReadFull(b.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) && n == 0 {
 			return Access{}, false // clean end at record boundary
 		}
-		b.err = fmt.Errorf("trace: truncated record: %w", err)
-		return Access{}, false
+		return b.fail("truncated record header (%d of %d bytes): %v", n, len(rec), err)
 	}
 	a := Access{
 		Op:   Op(rec[0]),
@@ -124,19 +134,18 @@ func (b *BinaryReader) Next() (Access, bool) {
 	}
 	if a.Op == Write {
 		if a.Size <= 0 || a.Size > 64 {
-			b.err = fmt.Errorf("trace: corrupt write size %d", a.Size)
-			return Access{}, false
+			return b.fail("corrupt write size %d", a.Size)
 		}
 		a.Data = make([]byte, a.Size)
-		if _, err := io.ReadFull(b.r, a.Data); err != nil {
-			b.err = fmt.Errorf("trace: truncated write payload: %w", err)
-			return Access{}, false
+		if n, err := io.ReadFull(b.r, a.Data); err != nil {
+			return b.fail("truncated write payload (%d of %d bytes): %v", n, a.Size, err)
 		}
 	}
 	if err := a.Validate(); err != nil {
-		b.err = err
-		return Access{}, false
+		return b.fail("%v", err)
 	}
+	b.rec++
+	b.off += int64(len(rec) + len(a.Data))
 	return a, true
 }
 
