@@ -7,12 +7,14 @@
 #                predictor grid vs oracle, encoding invariants, energy
 #                conservation, serial-vs-parallel determinism
 #   make fuzz    run every native fuzz target for FUZZTIME (default 30s)
+#   make obs-check  trace the E3 suite kernels with cntsim -trace-out and
+#                verify each trace reconciles through cntstat
 #   make results regenerate results/ with the full (non-quick) sweeps
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 check fuzz results bench
+.PHONY: tier1 tier2 check fuzz obs-check results bench
 
 tier1:
 	$(GO) build ./...
@@ -31,6 +33,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceBinary$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzAsm$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzConfigJSON$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzEventsJSONL$$' -fuzztime $(FUZZTIME) ./internal/check/
+
+# Trace every kernel the E3 suite runs and push each trace through
+# cntstat, whose reconciliation gate fails on any divergence between the
+# per-event energy deltas and the run's final breakdown.
+OBS_KERNELS = mm fir bfs hashjoin sort stream stack list spmv hist
+obs-check:
+	@dir=$$(mktemp -d cnt-obs.XXXXXX -p $${TMPDIR:-/tmp}); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	for k in $(OBS_KERNELS); do \
+		echo "obs-check: $$k"; \
+		$(GO) run ./cmd/cntsim -workload $$k -trace-out "$$dir/$$k.jsonl" >/dev/null || exit 1; \
+		$(GO) run ./cmd/cntstat "$$dir/$$k.jsonl" >/dev/null || exit 1; \
+	done
 
 results:
 	$(GO) run ./cmd/cntbench -out results

@@ -5,22 +5,34 @@
 // Usage:
 //
 //	cntbench [-out results] [-only E3,E5] [-seed 1] [-quick] [-jobs N]
+//	cntbench -progress 5s -metrics-addr :6060
 //
 // Independent experiments run concurrently on a bounded worker pool
 // (-jobs; 0 means one worker per CPU). Results are emitted strictly in
 // ID order regardless of completion order, so every table, INDEX.txt
 // entry, and RESULTS.md section is identical to a serial run.
+//
+// Long batches can be watched live: -progress prints a periodic status
+// line (experiments done/running, memo-cache hit rate) to stderr, and
+// -metrics-addr serves the same status as JSON at /metrics plus the
+// net/http/pprof surface under /debug/pprof/.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -45,6 +57,79 @@ func main() {
 	}
 }
 
+// runStatus is the live view of a batch: which experiments are running
+// and how many are done. Workers update it; the -progress ticker and the
+// -metrics-addr handler read it.
+type runStatus struct {
+	mu      sync.Mutex
+	total   int
+	done    int
+	running map[string]time.Time
+}
+
+func newRunStatus(total int) *runStatus {
+	return &runStatus{total: total, running: make(map[string]time.Time)}
+}
+
+func (s *runStatus) start(id string) {
+	s.mu.Lock()
+	s.running[id] = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *runStatus) finish(id string) {
+	s.mu.Lock()
+	delete(s.running, id)
+	s.done++
+	s.mu.Unlock()
+}
+
+// view is the status snapshot served at /metrics and rendered by the
+// progress ticker, alongside the memoization counters.
+type view struct {
+	Done    int                   `json:"done"`
+	Total   int                   `json:"total"`
+	Running []string              `json:"running"`
+	Memo    experiments.MemoStats `json:"memo"`
+}
+
+func (s *runStatus) snapshot() view {
+	s.mu.Lock()
+	v := view{Done: s.done, Total: s.total, Running: make([]string, 0, len(s.running))}
+	for id := range s.running {
+		v.Running = append(v.Running, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(v.Running)
+	v.Memo = experiments.Stats()
+	return v
+}
+
+func (v view) String() string {
+	m := v.Memo.Instances.Add(v.Memo.Baselines)
+	return fmt.Sprintf("progress: %d/%d done, running [%s], memo %d/%d hits (%.0f%%)",
+		v.Done, v.Total, strings.Join(v.Running, " "),
+		m.Hits, m.Lookups(), 100*m.HitRate())
+}
+
+// metricsHandler serves the live status as JSON at /metrics and the
+// standard pprof surface under /debug/pprof/.
+func metricsHandler(st *runStatus) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st.snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
 // run is the command behind a testable seam. An unknown experiment ID
 // fails before any work starts or any output directory is created.
 func run(args []string, stdout, stderr io.Writer) error {
@@ -55,6 +140,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload generator seed")
 	quick := fs.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 	jobs := fs.Int("jobs", 0, "concurrent experiments (0 = one per CPU, 1 = serial)")
+	progress := fs.Duration("progress", 0, "print a status line to stderr this often (e.g. 2s; 0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve live run status (JSON at /metrics) and pprof at this address (e.g. :6060)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -105,11 +192,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Jobs = 0
 	}
 
+	status := newRunStatus(len(work))
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "serving metrics at http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, metricsHandler(status))
+	}
+	if *progress > 0 {
+		ticker := time.NewTicker(*progress)
+		defer ticker.Stop()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Fprintln(stderr, status.snapshot())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	queue := make(chan *outcome)
 	for w := 0; w < workers; w++ {
 		go func() {
 			for o := range queue {
+				status.start(o.exp.ID)
 				o.run(cfg)
+				status.finish(o.exp.ID)
 			}
 		}()
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,5 +56,70 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "E1") {
 		t.Errorf("stdout missing the rendered table:\n%s", out.String())
+	}
+}
+
+// TestRunWithProgressAndMetricsAddr exercises the live-introspection
+// flags end to end on a cheap experiment: the run must succeed, report
+// the listening address, and the progress machinery must not disturb the
+// artifacts.
+func TestRunWithProgressAndMetricsAddr(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	var out, errBuf bytes.Buffer
+	args := []string{"-only", "E1", "-quick", "-out", dir,
+		"-progress", "1ms", "-metrics-addr", "127.0.0.1:0"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "serving metrics at http://127.0.0.1:") {
+		t.Errorf("stderr does not report the metrics address:\n%s", errBuf.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "E1.txt")); err != nil {
+		t.Errorf("missing artifact: %v", err)
+	}
+}
+
+// TestMetricsHandler drives the /metrics endpoint directly: valid JSON,
+// the batch counters, and sorted running IDs; unknown paths 404.
+func TestMetricsHandler(t *testing.T) {
+	st := newRunStatus(5)
+	st.start("E7")
+	st.start("E3")
+	st.finish("E3")
+	h := metricsHandler(st)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	var v view
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if v.Done != 1 || v.Total != 5 || len(v.Running) != 1 || v.Running[0] != "E7" {
+		t.Errorf("view = %+v, want 1/5 done with E7 running", v)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown path status = %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Errorf("pprof cmdline status = %d, want 200", rec.Code)
+	}
+}
+
+// TestViewString pins the progress line's shape.
+func TestViewString(t *testing.T) {
+	st := newRunStatus(3)
+	st.start("E2")
+	line := st.snapshot().String()
+	if !strings.Contains(line, "0/3 done") || !strings.Contains(line, "[E2]") {
+		t.Errorf("progress line %q missing counts or running IDs", line)
 	}
 }

@@ -10,6 +10,7 @@
 //	cntsim -trace t.bin                 # binary or text trace file
 //	cntsim -workload list -compare      # all variants side by side
 //	cntsim -workload mm -variant baseline -window 31 -partitions 16
+//	cntsim -workload mm -trace-out events.jsonl -metrics-out metrics.json
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -59,10 +61,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	configPath := fs.String("config", "", "JSON run configuration (overrides variant/device/geometry flags)")
 	exampleConfig := fs.Bool("example-config", false, "print a sample configuration file and exit")
 	inspect := fs.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
+	traceOut := fs.String("trace-out", "", "write a JSONL event trace of the run to this file (see cntstat)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metric snapshot of the run to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*traceOut != "" || *metricsOut != "") && *compare {
+		// Compare runs every variant concurrently; their events and
+		// counters would interleave into one stream no reader could
+		// attribute to a variant.
+		return fmt.Errorf("-trace-out/-metrics-out cannot be combined with -compare (the variants' telemetry would interleave)")
 	}
 
 	if *cpuprofile != "" {
@@ -95,6 +105,55 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return config.WriteExample(stdout)
 	}
 
+	// The optional telemetry consumers: a JSONL event sink and a metric
+	// registry, attached to both L1s of whatever simulation runs below
+	// and persisted after it succeeds.
+	var (
+		sink   *obs.JSONLSink
+		traceF *os.File
+		reg    *obs.Registry
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceF, sink = f, obs.NewJSONLSink(f)
+	}
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	attach := func(cfg *core.SimConfig) {
+		if sink != nil {
+			cfg.DOpts.Trace = sink
+			cfg.IOpts.Trace = sink
+		}
+		cfg.DOpts.Metrics = reg
+		cfg.IOpts.Metrics = reg
+	}
+	persist := func() error {
+		if sink != nil {
+			if err := sink.Flush(); err != nil {
+				return fmt.Errorf("writing %s: %w", *traceOut, err)
+			}
+			if err := traceF.Close(); err != nil {
+				return fmt.Errorf("writing %s: %w", *traceOut, err)
+			}
+		}
+		if reg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", *metricsOut, err)
+			}
+			return f.Close()
+		}
+		return nil
+	}
+
 	hier := cache.DefaultHierarchyConfig()
 
 	if *configPath != "" {
@@ -110,12 +169,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		attach(&simCfg)
 		rep, err := core.RunInstance(inst, simCfg)
 		if err != nil {
 			return err
 		}
 		printReport(stdout, inst, rep)
-		return nil
+		return persist()
 	}
 
 	// Validate the knob flags eagerly, so a bad value fails with a
@@ -165,7 +225,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, snap, err := runWithSnapshot(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+	simCfg := core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts}
+	attach(&simCfg)
+	rep, snap, err := runWithSnapshot(inst, simCfg)
 	if err != nil {
 		return err
 	}
@@ -174,7 +236,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "\nD-cache line-state snapshot:")
 		fmt.Fprint(stdout, snap.String())
 	}
-	return nil
+	return persist()
 }
 
 // runWithSnapshot mirrors core.RunInstance but keeps the simulation alive

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/check"
+	"repro/internal/obs"
 )
 
 // TestRunErrors drives the command through its error surface: every bad
@@ -44,6 +48,9 @@ func TestRunErrors(t *testing.T) {
 		{"missing config file", []string{"-config", filepath.Join(dir, "absent.json")}, "absent.json"},
 		{"invalid config JSON", []string{"-config", badJSON}, "config"},
 		{"unknown config field", []string{"-config", unknownField}, "not_a_field"},
+		{"trace-out with compare", []string{"-workload", "mm", "-compare", "-trace-out", filepath.Join(dir, "t.jsonl")}, "-trace-out"},
+		{"metrics-out with compare", []string{"-workload", "mm", "-compare", "-metrics-out", filepath.Join(dir, "m.json")}, "-metrics-out"},
+		{"trace-out unwritable", []string{"-workload", "mm", "-trace-out", filepath.Join(dir, "no-such-dir", "t.jsonl")}, "no-such-dir"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -56,6 +63,46 @@ func TestRunErrors(t *testing.T) {
 				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
 			}
 		})
+	}
+}
+
+// TestRunTraceAndMetricsOut runs one kernel with both telemetry outputs
+// and checks the artifacts: the event stream must decode and reconcile
+// internally, and the metric snapshot must be valid JSON carrying the
+// per-cache counters.
+func TestRunTraceAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	var out, errBuf bytes.Buffer
+	args := []string{"-workload", "list", "-trace-out", events, "-metrics-out", metrics}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ReconcileEvents(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["l1d_accesses_total"] == 0 {
+		t.Errorf("metrics snapshot has no l1d accesses: %v", snap.Counters)
 	}
 }
 

@@ -1,0 +1,161 @@
+// Command cntstat inspects a JSONL event trace written by
+// cntsim -trace-out: it verifies that the trace is internally consistent
+// (every per-event energy delta reconciles with the closing summary —
+// divergence is a non-zero exit), then renders a per-cache
+// energy-attribution summary, a binned activity timeline, and a
+// switch-rate-vs-time chart.
+//
+// Usage:
+//
+//	cntsim -workload mm -trace-out events.jsonl
+//	cntstat events.jsonl
+//	cntstat -cache L1D -bins 40 events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cntstat:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command behind a testable seam; every failure — including a
+// trace that does not reconcile — is a returned error.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cntstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bins := fs.Int("bins", 20, "timeline resolution (bins over the event stream)")
+	cacheName := fs.String("cache", "", "restrict the report to one cache (e.g. L1D)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cntstat [-bins N] [-cache L1D] events.jsonl")
+	}
+	if *bins < 1 {
+		return fmt.Errorf("-bins must be at least 1, got %d", *bins)
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+
+	// The gate: a trace whose deltas do not reconcile with its summaries
+	// is not worth rendering — something (a truncated file, a lossy sink,
+	// mixed runs in one file) broke the attribution contract.
+	if err := check.ReconcileEvents(events); err != nil {
+		return fmt.Errorf("trace does not reconcile: %w", err)
+	}
+
+	if *cacheName != "" {
+		filtered := events[:0:0]
+		for _, e := range events {
+			if e.CacheName() == *cacheName {
+				filtered = append(filtered, e)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("trace has no events for cache %q", *cacheName)
+		}
+		events = filtered
+	}
+
+	attr := obs.Attribute(events)
+	for _, name := range obs.Caches(attr) {
+		printAttribution(stdout, name, attr[name])
+	}
+
+	tl := timeline(events, *bins)
+	fmt.Fprintln(stdout, tl.Render())
+	chart, err := experiments.Chart(tl, "switches", 50)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, chart)
+	return nil
+}
+
+// printAttribution renders one cache's energy breakdown with per-
+// component shares. ReconcileEvents already proved the summed deltas
+// match the summary, so the exact summary breakdown is the one shown.
+func printAttribution(w io.Writer, name string, a *obs.Attribution) {
+	s := a.Summary
+	total := s.Energy.Total()
+	share := func(v float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * v / total
+	}
+	fmt.Fprintf(w, "%s: %d accesses (%d hits), %d windows, %d switches, %d drains (%d stale)\n",
+		name, a.Accesses, a.Hits, a.Windows, a.Switches, a.Drains, a.StaleDrains)
+	fmt.Fprintf(w, "%s: fifo enq=%d drop=%d\n", name, s.FIFOEnqueued, s.FIFODropped)
+	for _, c := range []struct {
+		label string
+		v     float64
+	}{
+		{"data read", s.Energy.DataRead},
+		{"data write", s.Energy.DataWrite},
+		{"meta read", s.Energy.MetaRead},
+		{"meta write", s.Energy.MetaWrite},
+		{"encoder", s.Energy.Encoder},
+		{"switch", s.Energy.Switch},
+		{"periphery", s.Energy.Periphery},
+	} {
+		fmt.Fprintf(w, "  %-10s %12s  %5.1f%%\n", c.label, energy.Format(c.v), share(c.v))
+	}
+	fmt.Fprintf(w, "  %-10s %12s\n\n", "total", energy.Format(total))
+}
+
+// timeline folds the event stream into fixed-width bins by event index —
+// the trace's own notion of time — counting each kind per bin.
+func timeline(events []obs.Event, bins int) *experiments.Table {
+	if bins > len(events) && len(events) > 0 {
+		bins = len(events)
+	}
+	type counts struct{ acc, win, sw, dr uint64 }
+	per := make([]counts, bins)
+	for i, e := range events {
+		b := i * bins / len(events)
+		switch e.(type) {
+		case *obs.AccessEvent:
+			per[b].acc++
+		case *obs.WindowEvent:
+			per[b].win++
+		case *obs.SwitchEvent:
+			per[b].sw++
+		case *obs.DrainEvent:
+			per[b].dr++
+		}
+	}
+	t := &experiments.Table{
+		ID:          "timeline",
+		Kind:        "trace",
+		Title:       "activity per event-index bin",
+		Tag:         "[trace]",
+		Columns:     []string{"bin", "accesses", "windows", "switches", "drains"},
+		ChartColumn: "switches",
+	}
+	for i, c := range per {
+		t.AddRow(fmt.Sprintf("%d", i), c.acc, c.win, c.sw, c.dr)
+	}
+	return t
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// writeTrace runs one kernel with a JSONL sink and returns the file.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	cfg := core.DefaultSimConfig()
+	cfg.DOpts.Trace = sink
+	cfg.IOpts.Trace = sink
+	if _, err := core.RunInstance(workload.Histogram(1), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRendersReport(t *testing.T) {
+	path := writeTrace(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{path}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"L1D:", "L1I:", // both caches attributed
+		"data write", "switch", "periphery", "total", // component rows
+		"timeline", "accesses", // the binned table
+		"timeline (trace): switches", // the chart header
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCacheFilterAndBins(t *testing.T) {
+	path := writeTrace(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-cache", "L1D", "-bins", "5", path}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if strings.Contains(s, "L1I:") {
+		t.Error("-cache L1D still reports L1I")
+	}
+	// 5 bins => rows 0..4 and no row 5.
+	if !strings.Contains(s, "\n4 ") || strings.Contains(s, "\n5 ") {
+		t.Errorf("-bins 5 not respected:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeTrace(t)
+
+	truncated := filepath.Join(dir, "truncated.jsonl")
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream before the closing summaries: it decodes fine but
+	// must fail reconciliation.
+	lines := bytes.Split(raw, []byte("\n"))
+	if err := os.WriteFile(truncated, bytes.Join(lines[:len(lines)/2], []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corrupt, []byte(`{"v":9,"t":"access","e":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no file", []string{}, "usage"},
+		{"two files", []string{good, good}, "usage"},
+		{"missing file", []string{filepath.Join(dir, "absent.jsonl")}, "absent.jsonl"},
+		{"bad bins", []string{"-bins", "0", good}, "-bins"},
+		{"unknown cache", []string{"-cache", "L9X", good}, "L9X"},
+		{"truncated trace", []string{truncated}, "reconcile"},
+		{"wrong version", []string{corrupt}, "version"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run(c.args, &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}

@@ -448,6 +448,25 @@ func TestStatsAddAndString(t *testing.T) {
 	}
 }
 
+// TestStatsStringGolden pins the exact rendering and column order of
+// Stats.String: acc, rd, wr, hit, miss, fills, evict, wb.
+func TestStatsStringGolden(t *testing.T) {
+	s := Stats{
+		Accesses: 10, Reads: 6, Writes: 4,
+		Hits: 7, Misses: 3,
+		ReadHits: 5, ReadMisses: 1, WriteHits: 2, WriteMisses: 2,
+		Fills: 3, Evictions: 2, WriteBacks: 1,
+	}
+	want := "acc=10 rd=6 wr=4 hit=70.0% miss=3 fills=3 evict=2 wb=1"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := (Stats{}).String(),
+		"acc=0 rd=0 wr=0 hit=0.0% miss=0 fills=0 evict=0 wb=0"; got != want {
+		t.Errorf("zero String() = %q, want %q", got, want)
+	}
+}
+
 func TestCacheAsBackend(t *testing.T) {
 	// L1 (64B lines) over L2 (64B lines): writeback from L1 should land
 	// in L2, not memory, until L2 evicts.

@@ -62,8 +62,11 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
-// String renders the headline counters.
+// String renders the headline counters, always in the same column
+// order: acc, rd, wr, hit, miss, fills, evict, wb. Golden tests pin the
+// exact layout (matching energy.Breakdown.String's stability contract);
+// tools that parse report lines may rely on the order being stable.
 func (s Stats) String() string {
-	return fmt.Sprintf("acc=%d rd=%d wr=%d hit=%.1f%% fills=%d evict=%d wb=%d",
-		s.Accesses, s.Reads, s.Writes, 100*s.HitRate(), s.Fills, s.Evictions, s.WriteBacks)
+	return fmt.Sprintf("acc=%d rd=%d wr=%d hit=%.1f%% miss=%d fills=%d evict=%d wb=%d",
+		s.Accesses, s.Reads, s.Writes, 100*s.HitRate(), s.Misses, s.Fills, s.Evictions, s.WriteBacks)
 }

@@ -2,7 +2,7 @@ package check
 
 import "testing"
 
-// The four fuzz targets CI runs (make fuzz): each delegates to the
+// The fuzz targets CI runs (make fuzz): each delegates to the
 // exported invariant in fuzzers.go, so the property under fuzz is
 // exactly the property tier 1 checks on the seed corpus. Seed corpora
 // live in testdata/fuzz/<FuzzName>/ alongside the crashers that drove
@@ -40,6 +40,21 @@ func FuzzAsm(f *testing.F) {
 	f.Add("lw r1, -4(r2)")
 	f.Fuzz(func(t *testing.T, src string) {
 		if err := AsmInvariant(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzEventsJSONL(f *testing.F) {
+	f.Add([]byte(`{"v":1,"t":"switch","e":{"cache":"L1D","set":1,"way":0,"oldmask":0,"newmask":5,"origin":"drain"}}` + "\n"))
+	f.Add([]byte(`{"v":1,"t":"access","e":{"cache":"L1D","op":"W","addr":4160,"size":8,"set":1,"way":0,"hit":true,"energy":{"DataRead":0,"DataWrite":12.5,"MetaRead":0,"MetaWrite":0,"Encoder":0,"Switch":0,"Periphery":1.25}}}` + "\n"))
+	f.Add([]byte(`{"v":1,"t":"summary","e":{"cache":"L1I","accesses":10,"hits":9,"windows":0,"switches":0,"fifo_enqueued":0,"fifo_dropped":0,"energy":{"DataRead":1,"DataWrite":0,"MetaRead":0,"MetaWrite":0,"Encoder":0,"Switch":0,"Periphery":0}}}` + "\n"))
+	f.Add([]byte(`{"v":2,"t":"switch","e":{}}` + "\n")) // future schema version
+	f.Add([]byte(`{"v":1,"t":"mystery","e":{}}`))       // unknown kind
+	f.Add([]byte(`{"v":1,"t":"access"`))                // truncated record
+	f.Add([]byte("\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := EventsJSONLInvariant(data); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -113,6 +114,37 @@ func AsmInvariant(src string) error {
 		}
 	}
 	_ = isa.Disassemble(prog)
+	return nil
+}
+
+// EventsJSONLInvariant feeds arbitrary bytes to the telemetry event
+// decoder. Malformed, truncated or wrong-version records must produce a
+// descriptive error — never a panic or a silent guess. Accepted streams
+// must round-trip bit-exactly through JSONLSink and decode again to the
+// same events (which pins both directions of the schema).
+func EventsJSONLInvariant(data []byte) error {
+	events, err := obs.ReadEvents(bytes.NewReader(data))
+	if err != nil {
+		if err.Error() == "" {
+			return fmt.Errorf("event decoder failed without a message")
+		}
+		return nil
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		return fmt.Errorf("accepted events failed to serialize: %w", err)
+	}
+	again, err := obs.ReadEvents(&buf)
+	if err != nil {
+		return fmt.Errorf("round trip re-parse failed: %w", err)
+	}
+	if len(events) > 0 && !reflect.DeepEqual(events, again) {
+		return fmt.Errorf("round trip mismatch: %v vs %v", events, again)
+	}
 	return nil
 }
 

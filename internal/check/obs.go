@@ -1,0 +1,111 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/obs"
+)
+
+// Telemetry reconciliation: an event trace is only trustworthy if its
+// per-event energy deltas and its closing summary agree with each other
+// and with the run's final report. Two layers of strictness apply:
+//
+//   - the SummaryEvent's breakdown must equal the report's breakdown
+//     EXACTLY (float equality, field for field). The summary is a copy
+//     of the simulator's accumulator, and the JSONL round trip preserves
+//     float64 bit-exactly, so any difference means the trace belongs to
+//     a different run;
+//   - the sum of the Access/Drain deltas must match the summary within
+//     closeRel. The deltas telescope over the accumulator
+//     ((a+b)-a + ((a+b)+c)-(a+b) + ...), and re-summing them in a
+//     different association order legitimately perturbs the last ulps.
+
+// ReconcileEvents audits one event stream's internal consistency. For
+// every cache in the stream that carries a SummaryEvent it checks that
+// the summed Access/Drain energy deltas reproduce the summary breakdown
+// (component-wise, within closeRel), that every delta is finite and
+// non-negative, and that the event counts agree with the summary
+// counters. Caches without a summary (truncated or sampled streams) are
+// an error — attribution over a lossy stream is meaningless.
+func ReconcileEvents(events []obs.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("check: empty event stream")
+	}
+	attr := obs.Attribute(events)
+	for _, name := range obs.Caches(attr) {
+		a := attr[name]
+		if err := AuditBreakdown(name+" summed deltas", a.Summed); err != nil {
+			return err
+		}
+		s := a.Summary
+		if s == nil {
+			return fmt.Errorf("check: %s: event stream has no summary record", name)
+		}
+		if err := AuditBreakdown(name+" summary", s.Energy); err != nil {
+			return err
+		}
+		for _, c := range []struct {
+			comp         string
+			summed, want float64
+		}{
+			{"DataRead", a.Summed.DataRead, s.Energy.DataRead},
+			{"DataWrite", a.Summed.DataWrite, s.Energy.DataWrite},
+			{"MetaRead", a.Summed.MetaRead, s.Energy.MetaRead},
+			{"MetaWrite", a.Summed.MetaWrite, s.Energy.MetaWrite},
+			{"Encoder", a.Summed.Encoder, s.Energy.Encoder},
+			{"Switch", a.Summed.Switch, s.Energy.Switch},
+			{"Periphery", a.Summed.Periphery, s.Energy.Periphery},
+		} {
+			if !closeRel(c.summed, c.want) {
+				return fmt.Errorf("check: %s: summed %s deltas %g do not reconcile with summary %g",
+					name, c.comp, c.summed, c.want)
+			}
+		}
+		if a.Accesses != s.Accesses {
+			return fmt.Errorf("check: %s: %d access events but summary counts %d accesses",
+				name, a.Accesses, s.Accesses)
+		}
+		if a.Hits != s.Hits {
+			return fmt.Errorf("check: %s: %d access-event hits but summary counts %d",
+				name, a.Hits, s.Hits)
+		}
+		if a.Windows != s.Windows {
+			return fmt.Errorf("check: %s: %d window events but summary counts %d windows",
+				name, a.Windows, s.Windows)
+		}
+		if a.Switches != s.Switches {
+			return fmt.Errorf("check: %s: %d switch events but summary counts %d switches",
+				name, a.Switches, s.Switches)
+		}
+	}
+	return nil
+}
+
+// ReconcileReport ties an event stream to the run report it claims to
+// describe: after ReconcileEvents passes, each cache's summary breakdown
+// must equal the report's breakdown for that cache exactly.
+func ReconcileReport(events []obs.Event, rep *core.Report) error {
+	if err := ReconcileEvents(events); err != nil {
+		return err
+	}
+	attr := obs.Attribute(events)
+	for _, name := range obs.Caches(attr) {
+		var exact energy.Breakdown
+		switch name {
+		case "L1D":
+			exact = rep.DEnergy
+		case "L1I":
+			exact = rep.IEnergy
+		default:
+			return fmt.Errorf("check: event stream names unknown cache %q", name)
+		}
+		got := attr[name].Summary.Energy
+		if got != exact {
+			return fmt.Errorf("check: %s: trace summary %s diverges from report %s",
+				name, got.String(), exact.String())
+		}
+	}
+	return nil
+}

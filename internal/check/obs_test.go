@@ -1,0 +1,136 @@
+package check
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// collectSink gathers every event in emission order.
+type collectSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *collectSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// tracedRun replays a kernel with a trace sink attached and returns the
+// events alongside the report.
+func tracedRun(t *testing.T, build func(int64) *workload.Instance, opts core.Options) ([]obs.Event, *core.Report) {
+	t.Helper()
+	sink := &collectSink{}
+	opts.Trace = sink
+	cfg := core.DefaultSimConfig()
+	cfg.DOpts, cfg.IOpts = opts, opts
+	rep, err := core.RunInstance(build(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sink.events, rep
+}
+
+// TestReconcileTracedRuns is the conservation property the tracing layer
+// promises: over real kernels, under both the baseline and the adaptive
+// variant, the per-event energy deltas and the closing summaries
+// reconcile with the run's final report — including after a full JSONL
+// serialize/decode round trip, which pins that the on-disk form loses
+// nothing (cntstat and CI rely on exactly this).
+func TestReconcileTracedRuns(t *testing.T) {
+	kernels := []struct {
+		name  string
+		build func(int64) *workload.Instance
+	}{
+		{"stream", workload.Stream},
+		{"stack", workload.Stack},
+		{"histogram", workload.Histogram},
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"baseline", core.BaselineOptions()},
+		{"cnt-cache", core.DefaultOptions()},
+	}
+	for _, k := range kernels {
+		for _, v := range variants {
+			t.Run(k.name+"/"+v.name, func(t *testing.T) {
+				events, rep := tracedRun(t, k.build, v.opts)
+				if err := ReconcileReport(events, rep); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				sink := obs.NewJSONLSink(&buf)
+				for _, e := range events {
+					sink.Emit(e)
+				}
+				if err := sink.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				decoded, err := obs.ReadEvents(&buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ReconcileReport(decoded, rep); err != nil {
+					t.Fatalf("after JSONL round trip: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestReconcileDetectsTampering pins that the checks actually bite.
+func TestReconcileDetectsTampering(t *testing.T) {
+	events, rep := tracedRun(t, workload.Stream, core.DefaultOptions())
+	if err := ReconcileReport(events, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ReconcileEvents(nil); err == nil {
+		t.Error("empty stream must not reconcile")
+	}
+
+	// Inflate one access delta: the summed deltas drift from the summary.
+	for _, e := range events {
+		if a, ok := e.(*obs.AccessEvent); ok {
+			saved := a.Energy
+			a.Energy.DataWrite += 1000
+			if err := ReconcileEvents(events); err == nil {
+				t.Error("tampered delta must not reconcile")
+			}
+			a.Energy = saved
+			break
+		}
+	}
+
+	// Perturb a summary: the trace no longer matches the report.
+	for _, e := range events {
+		if s, ok := e.(*obs.SummaryEvent); ok {
+			saved := s.Energy
+			s.Energy.Periphery += 1e-6
+			if err := ReconcileReport(events, rep); err == nil {
+				t.Error("tampered summary must not match the report")
+			}
+			s.Energy = saved
+			break
+		}
+	}
+
+	// Drop the summaries entirely: attribution is declared meaningless.
+	var headless []obs.Event
+	for _, e := range events {
+		if e.Kind() != obs.KindSummary {
+			headless = append(headless, e)
+		}
+	}
+	if err := ReconcileEvents(headless); err == nil {
+		t.Error("stream without summaries must not reconcile")
+	}
+}

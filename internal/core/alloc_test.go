@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -62,6 +63,27 @@ func TestAccessHitAllocs(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestAccessHitAllocsWithMetrics pins the enabled-metrics overhead
+// guarantee: with a live registry (and no event sink) the steady-state
+// hit path still performs zero heap allocations — metric updates are
+// atomic operations on handles pre-registered at construction.
+func TestAccessHitAllocsWithMetrics(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Metrics = obs.NewRegistry()
+	c := newHotCache(t, opts)
+	a := trace.Access{Op: trace.Read, Addr: hotAddr, Size: 8}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := c.Access(a); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("metrics-enabled Access allocates %.1f objects per op, want 0", n)
+	}
+	if got := opts.Metrics.Counter("l1d_accesses_total").Value(); got == 0 {
+		t.Error("registry saw no accesses; instrumentation not wired")
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/energy"
 	"repro/internal/fifo"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/sram"
 	"repro/internal/trace"
@@ -132,6 +133,19 @@ type Options struct {
 	// adaptive variant: "window" (Algorithm 1, default), "conf2",
 	// "conf3" or "ewma". See package predictor.
 	PolicyName string
+	// Metrics, when non-nil, receives hot-path telemetry counters,
+	// gauges and histograms, registered under the wrapped cache's
+	// lower-cased name ("l1d_accesses_total", ...). Nil — the default —
+	// disables metrics entirely; the access path then carries no
+	// telemetry state and stays allocation-free (see obs.go and
+	// alloc_test.go).
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured events (obs.AccessEvent,
+	// obs.WindowEvent, obs.SwitchEvent, obs.DrainEvent, and one closing
+	// obs.SummaryEvent per cache). The sink must be safe for concurrent
+	// Emit calls when the options are shared across simulations
+	// (core.Compare); obs.JSONLSink and obs.RingSink are.
+	Trace obs.Sink
 }
 
 // DefaultDeltaT is the default switch hysteresis. The paper selects ΔT
@@ -197,6 +211,10 @@ type CNTCache struct {
 	windows        uint64
 	staleDrops     uint64
 	perPartScratch []int
+
+	// Telemetry (see obs.go): both nil unless Options enabled them.
+	met  *coreMetrics
+	sink obs.Sink
 }
 
 // New builds a CNTCache over the given architectural cache configuration
@@ -301,6 +319,11 @@ func New(cfg cache.Config, next cache.Backend, opts Options) (*CNTCache, error) 
 		c.state[s] = make([]lineState, geom.Ways)
 	}
 	c.perPartScratch = make([]int, parts)
+
+	if opts.Metrics != nil {
+		c.met = newCoreMetrics(opts.Metrics, inner.Name())
+	}
+	c.sink = opts.Trace
 	return c, nil
 }
 
@@ -413,6 +436,11 @@ func (c *CNTCache) Access(a trace.Access) error {
 
 func (c *CNTCache) accessPiece(a trace.Access) error {
 	write := a.Op == trace.Write
+	var before energy.Breakdown
+	observing := c.observing()
+	if observing {
+		before = c.eb
+	}
 
 	// Writeback read-out happens before the fill overwrites the victim:
 	// peek at the victim's cost by observing the eviction in the result.
@@ -435,7 +463,7 @@ func (c *CNTCache) accessPiece(a trace.Access) error {
 
 	if write {
 		if c.opts.Spec.Kind == encoding.KindWriteGreedy {
-			c.greedyReencode(st, logical, off, size)
+			c.greedyReencode(res, st, logical, off, size)
 		}
 		ones := c.storedOnes(logical, st.mask, off, size)
 		c.eb.DataWrite += c.arr.WriteEnergy(ones, size)
@@ -453,6 +481,13 @@ func (c *CNTCache) accessPiece(a trace.Access) error {
 	if c.pred != nil {
 		c.recordHistory(res, st, logical, write)
 	}
+	if observing {
+		// The delta covers everything this piece charged — fill,
+		// writeback read-out, encoder pass and predictor bookkeeping
+		// included — so summed deltas reconcile with the final
+		// breakdown (internal/check.ReconcileReport).
+		c.observeAccess(a, res, c.eb.Sub(before))
+	}
 	return nil
 }
 
@@ -465,6 +500,11 @@ func (c *CNTCache) onFill(res cache.Result, st *lineState) {
 		if c.queue != nil {
 			if c.queue.Invalidate(res.Set, res.Way) {
 				c.staleDrops++
+				if c.met != nil {
+					// A pending re-encode died with its line: a
+					// cancelled switch decision.
+					c.met.switchCancelled.Inc()
+				}
 			}
 		}
 	}
@@ -497,7 +537,7 @@ func (c *CNTCache) onFill(res cache.Result, st *lineState) {
 // the masks of the partitions the write touches to minimize stored ones,
 // charging the direction-bit rewrite. Untouched partitions keep their
 // direction (they are not physically rewritten by the store).
-func (c *CNTCache) greedyReencode(st *lineState, logical []byte, off, size int) {
+func (c *CNTCache) greedyReencode(res cache.Result, st *lineState, logical []byte, off, size int) {
 	optimal := encoding.MaskMinOnes(logical, c.parts)
 	partBytes := c.lineBytes / c.parts
 	var touched uint64
@@ -506,9 +546,15 @@ func (c *CNTCache) greedyReencode(st *lineState, logical []byte, off, size int) 
 	}
 	newMask := st.mask&^touched | optimal&touched
 	if newMask != st.mask {
+		old := st.mask
 		st.mask = newMask
 		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
 		c.switches++
+		if c.observing() {
+			// The re-encode energy rides the enclosing AccessEvent; the
+			// switch itself is still worth a record of its own.
+			c.observeSwitch(res.Set, res.Way, old, newMask, "greedy")
+		}
 	}
 }
 
@@ -521,6 +567,7 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 		return
 	}
 	c.windows++
+	aNum, wrNum := int(st.hist.ANum), int(st.hist.WrNum)
 
 	per := bitutil.OnesPerPartition(logical, c.parts, c.perPartScratch)
 	for p := range per {
@@ -529,6 +576,7 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 		}
 	}
 	d := c.pred.Decide(&st.hist, per)
+	enqueued, dropped := false, false
 	if d.FlipMask != 0 {
 		ones := 0
 		for p := range per {
@@ -539,7 +587,11 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 			}
 		}
 		update := fifo.Update{Set: res.Set, Way: res.Way, Mask: st.mask ^ d.FlipMask, Ones: ones}
-		c.queue.Push(update)
+		enqueued = c.queue.Push(update)
+		dropped = !enqueued
+	}
+	if c.observing() {
+		c.observeWindow(res, aNum, wrNum, d, per, enqueued, dropped)
 	}
 	// Algorithm 1 resets the counters after every prediction. The
 	// triggering access is already counted in the window just evaluated
@@ -560,22 +612,37 @@ func (c *CNTCache) drain(n int) {
 		if !ok {
 			return
 		}
-		st := &c.state[u.Set][u.Way]
-		logical, _, valid, _ := c.cache.Line(u.Set, u.Way)
-		if !valid {
-			c.staleDrops++
-			continue
-		}
+		c.retire(u)
+	}
+}
+
+// retire applies one update popped from the FIFO: discarded when the
+// line has been evicted (stale) or the mask already matches (a no-op a
+// later coalesce made redundant), otherwise the re-encode write is
+// charged against the line as it is now — the data may have been
+// written between decision and drain.
+func (c *CNTCache) retire(u fifo.Update) {
+	var before energy.Breakdown
+	observing := c.observing()
+	if observing {
+		before = c.eb
+	}
+	applied, stale := false, false
+	st := &c.state[u.Set][u.Way]
+	logical, _, valid, _ := c.cache.Line(u.Set, u.Way)
+	switch {
+	case !valid:
+		c.staleDrops++
+		stale = true
+	case st.mask^u.Mask != 0:
 		flips := st.mask ^ u.Mask
-		if flips == 0 {
-			continue
-		}
+		oldMask := st.mask
 		st.mask = u.Mask
 		c.switches++
+		applied = true
 
 		// Switch energy: write of the re-encoded bits plus the direction
-		// bits. Ones are recomputed from the line as it is now — the data
-		// may have been written between decision and drain.
+		// bits.
 		partBytes := c.lineBytes / c.parts
 		bytes := 0
 		ones := 0
@@ -589,6 +656,12 @@ func (c *CNTCache) drain(n int) {
 		}
 		c.eb.Switch += c.arr.WriteEnergy(ones, bytes)
 		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
+		if observing {
+			c.observeSwitch(u.Set, u.Way, oldMask, u.Mask, "drain")
+		}
+	}
+	if observing {
+		c.observeDrain(u.Set, u.Way, u.Mask, applied, stale, c.eb.Sub(before))
 	}
 }
 

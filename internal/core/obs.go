@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/bits"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/obs"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Telemetry instrumentation of the CNTCache hot path. Everything here
+// is gated on a single pointer nil-check per site: a cache built with
+// Options.Metrics == nil and Options.Trace == nil carries no metric
+// handles and no sink, and its access path stays exactly the
+// allocation-free path alloc_test.go pins. With a live registry the
+// path is still allocation-free (metric updates are atomic ops on
+// handles pre-registered at construction); only event emission, which
+// boxes one event per access, allocates.
+
+// coreMetrics is the per-cache metric set, registered under the
+// wrapped cache's lower-cased name ("l1d_...", "l1i_...").
+type coreMetrics struct {
+	accesses, hits, fills, evictions *obs.Counter
+
+	windows         *obs.Counter
+	switchApplied   *obs.Counter
+	switchDeferred  *obs.Counter
+	switchCancelled *obs.Counter
+	switchDropped   *obs.Counter
+
+	fifoDepth *obs.Gauge
+
+	maskOnes *obs.Histogram
+	wrNum    *obs.Histogram
+	n1       *obs.Histogram
+
+	energy energyMetrics
+}
+
+// energyMetrics mirrors energy.Breakdown as float accumulators (fJ).
+type energyMetrics struct {
+	dataRead, dataWrite *obs.FloatCounter
+	metaRead, metaWrite *obs.FloatCounter
+	encoder, sw, perif  *obs.FloatCounter
+}
+
+func (em *energyMetrics) add(d energy.Breakdown) {
+	em.dataRead.Add(d.DataRead)
+	em.dataWrite.Add(d.DataWrite)
+	em.metaRead.Add(d.MetaRead)
+	em.metaWrite.Add(d.MetaWrite)
+	em.encoder.Add(d.Encoder)
+	em.sw.Add(d.Switch)
+	em.perif.Add(d.Periphery)
+}
+
+// smallIntBounds is the shared fixed bucket layout for small-integer
+// distributions (ones counts, write counts): exact low buckets, then
+// powers of two up to a partition's worth of bits.
+var smallIntBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// newCoreMetrics registers the metric set for one cache; reg must be
+// non-nil.
+func newCoreMetrics(reg *obs.Registry, cacheName string) *coreMetrics {
+	p := strings.ToLower(cacheName) + "_"
+	return &coreMetrics{
+		accesses:  reg.Counter(p + "accesses_total"),
+		hits:      reg.Counter(p + "hits_total"),
+		fills:     reg.Counter(p + "fills_total"),
+		evictions: reg.Counter(p + "evictions_total"),
+
+		windows:         reg.Counter(p + "windows_total"),
+		switchApplied:   reg.Counter(p + "switch_applied_total"),
+		switchDeferred:  reg.Counter(p + "switch_deferred_total"),
+		switchCancelled: reg.Counter(p + "switch_cancelled_total"),
+		switchDropped:   reg.Counter(p + "switch_dropped_total"),
+
+		fifoDepth: reg.Gauge(p + "fifo_depth"),
+
+		maskOnes: reg.MustHistogram(p+"mask_ones", smallIntBounds[:8]),
+		wrNum:    reg.MustHistogram(p+"predictor_wr_num", smallIntBounds),
+		n1:       reg.MustHistogram(p+"predictor_n1", smallIntBounds),
+
+		energy: energyMetrics{
+			dataRead:  reg.Float(p + "energy_data_read_fj"),
+			dataWrite: reg.Float(p + "energy_data_write_fj"),
+			metaRead:  reg.Float(p + "energy_meta_read_fj"),
+			metaWrite: reg.Float(p + "energy_meta_write_fj"),
+			encoder:   reg.Float(p + "energy_encoder_fj"),
+			sw:        reg.Float(p + "energy_switch_fj"),
+			perif:     reg.Float(p + "energy_periphery_fj"),
+		},
+	}
+}
+
+// observing reports whether any telemetry consumer is attached; callers
+// snapshot the energy accumulator around instrumented regions only when
+// it returns true.
+func (c *CNTCache) observing() bool { return c.met != nil || c.sink != nil }
+
+// observeAccess records one completed access piece: counters, the
+// per-component energy delta, and (when tracing) an AccessEvent.
+func (c *CNTCache) observeAccess(a trace.Access, res cache.Result, d energy.Breakdown) {
+	if m := c.met; m != nil {
+		m.accesses.Inc()
+		if res.Hit {
+			m.hits.Inc()
+		}
+		if res.Filled {
+			m.fills.Inc()
+		}
+		if res.Evicted {
+			m.evictions.Inc()
+		}
+		m.energy.add(d)
+	}
+	if c.sink != nil {
+		c.sink.Emit(&obs.AccessEvent{
+			Cache:     c.cache.Name(),
+			Op:        a.Op.String(),
+			Addr:      a.Addr,
+			Size:      a.Size,
+			Set:       res.Set,
+			Way:       res.Way,
+			Hit:       res.Hit,
+			Filled:    res.Filled,
+			Evicted:   res.Evicted,
+			WroteBack: res.WroteBack,
+			Energy:    d,
+		})
+	}
+}
+
+// observeWindow records one prediction-window rollover and the fate of
+// its decision. per holds the stored per-partition ones counts the
+// decision saw.
+func (c *CNTCache) observeWindow(res cache.Result, aNum, wrNum int, d predictor.Decision, per []int, enqueued, dropped bool) {
+	if m := c.met; m != nil {
+		m.windows.Inc()
+		m.wrNum.Observe(float64(wrNum))
+		for _, n1 := range per {
+			m.n1.Observe(float64(n1))
+		}
+		if enqueued {
+			m.switchDeferred.Inc()
+			m.fifoDepth.Observe(int64(c.queue.Len()))
+		}
+		if dropped {
+			m.switchDropped.Inc()
+		}
+	}
+	if c.sink != nil {
+		c.sink.Emit(&obs.WindowEvent{
+			Cache:    c.cache.Name(),
+			Set:      res.Set,
+			Way:      res.Way,
+			ANum:     aNum,
+			WrNum:    wrNum,
+			Pattern:  d.Pattern.String(),
+			FlipMask: d.FlipMask,
+			Enqueued: enqueued,
+			Dropped:  dropped,
+		})
+	}
+}
+
+// observeSwitch records an applied direction switch (mask change).
+func (c *CNTCache) observeSwitch(set, way int, oldMask, newMask uint64, origin string) {
+	if m := c.met; m != nil {
+		m.switchApplied.Inc()
+		m.maskOnes.Observe(float64(bits.OnesCount64(newMask)))
+	}
+	if c.sink != nil {
+		c.sink.Emit(&obs.SwitchEvent{
+			Cache:   c.cache.Name(),
+			Set:     set,
+			Way:     way,
+			OldMask: oldMask,
+			NewMask: newMask,
+			Origin:  origin,
+		})
+	}
+}
+
+// observeDrain records one update retired from the FIFO with the energy
+// its re-encode charged.
+func (c *CNTCache) observeDrain(set, way int, mask uint64, applied, stale bool, d energy.Breakdown) {
+	if m := c.met; m != nil {
+		if !applied {
+			m.switchCancelled.Inc()
+		}
+		m.energy.add(d)
+	}
+	if c.sink != nil {
+		c.sink.Emit(&obs.DrainEvent{
+			Cache:   c.cache.Name(),
+			Set:     set,
+			Way:     way,
+			Mask:    mask,
+			Applied: applied,
+			Stale:   stale,
+			Energy:  d,
+		})
+	}
+}
+
+// EmitSummary closes the cache's event stream with the final counters
+// and the exact cumulative energy breakdown. Sim.Finish calls it after
+// DrainAll; a no-op without a sink.
+func (c *CNTCache) EmitSummary() {
+	if c.sink == nil {
+		return
+	}
+	st := c.cache.Stats()
+	fs := c.FIFOStats()
+	c.sink.Emit(&obs.SummaryEvent{
+		Cache:        c.cache.Name(),
+		Accesses:     st.Accesses,
+		Hits:         st.Hits,
+		Windows:      c.windows,
+		Switches:     c.switches,
+		FIFOEnqueued: fs.Enqueued,
+		FIFODropped:  fs.Dropped,
+		Energy:       c.eb,
+	})
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+type collectSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *collectSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// runTraced replays a kernel with a registry and sink on both L1s.
+func runTraced(t *testing.T, opts Options) (*obs.Registry, []obs.Event, *Report) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	sink := &collectSink{}
+	opts.Metrics = reg
+	opts.Trace = sink
+	cfg := DefaultSimConfig()
+	cfg.DOpts, cfg.IOpts = opts, opts
+	rep, err := RunInstance(workload.Histogram(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, sink.events, rep
+}
+
+// TestTelemetryIsTransparent pins that attaching a registry and a sink
+// changes nothing observable about the simulation itself: the report is
+// identical to an uninstrumented run's, field for field.
+func TestTelemetryIsTransparent(t *testing.T) {
+	cfg := DefaultSimConfig()
+	plain, err := RunInstance(workload.Histogram(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, traced := runTraced(t, DefaultOptions())
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("telemetry perturbed the simulation:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+// TestMetricsMatchReport cross-checks the metric registry against the
+// run report: the counters are two views of the same simulation and must
+// agree exactly, including the per-component energy accumulators.
+func TestMetricsMatchReport(t *testing.T) {
+	reg, _, rep := runTraced(t, DefaultOptions())
+	counters := []struct {
+		name string
+		want uint64
+	}{
+		{"l1d_accesses_total", rep.DStats.Accesses},
+		{"l1d_hits_total", rep.DStats.Hits},
+		{"l1d_fills_total", rep.DStats.Fills},
+		{"l1d_evictions_total", rep.DStats.Evictions},
+		{"l1d_windows_total", rep.DWindows},
+		{"l1i_accesses_total", rep.IStats.Accesses},
+		{"l1i_hits_total", rep.IStats.Hits},
+	}
+	for _, c := range counters {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, report says %d", c.name, got, c.want)
+		}
+	}
+	floats := []struct {
+		name string
+		want float64
+	}{
+		{"l1d_energy_data_read_fj", rep.DEnergy.DataRead},
+		{"l1d_energy_data_write_fj", rep.DEnergy.DataWrite},
+		{"l1d_energy_meta_read_fj", rep.DEnergy.MetaRead},
+		{"l1d_energy_meta_write_fj", rep.DEnergy.MetaWrite},
+		{"l1d_energy_encoder_fj", rep.DEnergy.Encoder},
+		{"l1d_energy_switch_fj", rep.DEnergy.Switch},
+		{"l1d_energy_periphery_fj", rep.DEnergy.Periphery},
+	}
+	for _, f := range floats {
+		if got := reg.Float(f.name).Value(); got != f.want {
+			t.Errorf("%s = %g, report says %g", f.name, got, f.want)
+		}
+	}
+	// The deferred/dropped tallies mirror the FIFO accounting.
+	if got := reg.Counter("l1d_switch_deferred_total").Value(); got != rep.DFIFO.Enqueued+rep.DFIFO.Replaced {
+		t.Errorf("l1d_switch_deferred_total = %d, FIFO saw %d enqueues + %d replaces",
+			got, rep.DFIFO.Enqueued, rep.DFIFO.Replaced)
+	}
+	if got := reg.Counter("l1d_switch_dropped_total").Value(); got != rep.DFIFO.Dropped {
+		t.Errorf("l1d_switch_dropped_total = %d, FIFO dropped %d", got, rep.DFIFO.Dropped)
+	}
+	// Histograms observe once per window (wr_num) and once per window per
+	// partition (n1).
+	if got := reg.MustHistogram("l1d_predictor_wr_num", nil).Count(); got != rep.DWindows {
+		t.Errorf("wr_num histogram saw %d observations, want %d windows", got, rep.DWindows)
+	}
+}
+
+// TestEventStreamMatchesReport folds the event stream and checks it
+// against both the report and the metric registry: every switch the
+// simulator counted has a SwitchEvent, every window a WindowEvent, and
+// the summaries carry the exact final counters.
+func TestEventStreamMatchesReport(t *testing.T) {
+	reg, events, rep := runTraced(t, DefaultOptions())
+	if len(events) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	attr := obs.Attribute(events)
+	d := attr["L1D"]
+	if d == nil || d.Summary == nil {
+		t.Fatal("no L1D summary in event stream")
+	}
+	if d.Accesses != rep.DStats.Accesses || d.Hits != rep.DStats.Hits {
+		t.Errorf("event stream counts %d accesses %d hits, report %d/%d",
+			d.Accesses, d.Hits, rep.DStats.Accesses, rep.DStats.Hits)
+	}
+	if d.Windows != rep.DWindows {
+		t.Errorf("event stream has %d window events, report counts %d", d.Windows, rep.DWindows)
+	}
+	if d.Switches != rep.DSwitches {
+		t.Errorf("event stream has %d switch events, report counts %d", d.Switches, rep.DSwitches)
+	}
+	if got := reg.Counter("l1d_switch_applied_total").Value(); got != rep.DSwitches {
+		t.Errorf("l1d_switch_applied_total = %d, report counts %d", got, rep.DSwitches)
+	}
+	if d.Summary.Energy != rep.DEnergy {
+		t.Errorf("summary energy %s != report %s", d.Summary.Energy.String(), rep.DEnergy.String())
+	}
+	// The histogram workload defers updates through the FIFO; the stream
+	// must show drains for them.
+	if rep.DFIFO.Drained > 0 && d.Drains != rep.DFIFO.Drained {
+		t.Errorf("event stream has %d drain events, FIFO drained %d", d.Drains, rep.DFIFO.Drained)
+	}
+}

@@ -103,10 +103,14 @@ func (s *Sim) Access(a trace.Access) error {
 	return s.L1D.Access(a)
 }
 
-// Finish drains pending updates and reports.
+// Finish drains pending updates and reports. When a trace sink is
+// attached it also closes each cache's event stream with a
+// SummaryEvent carrying the exact final breakdown.
 func (s *Sim) Finish(workloadName, variant string) *Report {
 	s.L1D.DrainAll()
 	s.L1I.DrainAll()
+	s.L1D.EmitSummary()
+	s.L1I.EmitSummary()
 	return &Report{
 		Workload:  workloadName,
 		Variant:   variant,

@@ -54,7 +54,25 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 	}
 }
 
-// String renders the breakdown compactly in picojoules.
+// Sub returns the component-wise difference b-o. The telemetry layer
+// (package obs) uses it to attribute the energy charged between two
+// snapshots of a running accumulator to a single event.
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	return Breakdown{
+		DataRead:  b.DataRead - o.DataRead,
+		DataWrite: b.DataWrite - o.DataWrite,
+		MetaRead:  b.MetaRead - o.MetaRead,
+		MetaWrite: b.MetaWrite - o.MetaWrite,
+		Encoder:   b.Encoder - o.Encoder,
+		Switch:    b.Switch - o.Switch,
+		Periphery: b.Periphery - o.Periphery,
+	}
+}
+
+// String renders the breakdown compactly in picojoules, always in the
+// same column order: total, data(r w), meta(r w), enc, switch, perif.
+// Golden tests pin the exact layout; tools that parse it may rely on
+// the order being stable.
 func (b Breakdown) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "total=%.1fpJ data(r=%.1f w=%.1f) meta(r=%.1f w=%.1f) enc=%.1f switch=%.1f perif=%.1f",

@@ -81,3 +81,35 @@ func TestStringMentionsComponents(t *testing.T) {
 		}
 	}
 }
+
+// TestStringGolden pins the exact rendering and column order of
+// Breakdown.String: total first, then data(r w), meta(r w), enc,
+// switch, perif — all in pJ with one decimal. Tools that parse the
+// report line rely on this layout staying put.
+func TestStringGolden(t *testing.T) {
+	b := Breakdown{
+		DataRead: 1000, DataWrite: 2000,
+		MetaRead: 3000, MetaWrite: 4000,
+		Encoder: 5000, Switch: 6000, Periphery: 7000,
+	}
+	want := "total=28.0pJ data(r=1.0 w=2.0) meta(r=3.0 w=4.0) enc=5.0 switch=6.0 perif=7.0"
+	if got := b.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := (Breakdown{}).String(),
+		"total=0.0pJ data(r=0.0 w=0.0) meta(r=0.0 w=0.0) enc=0.0 switch=0.0 perif=0.0"; got != want {
+		t.Errorf("zero String() = %q, want %q", got, want)
+	}
+}
+
+// TestSub checks Sub is the exact inverse of Add, component-wise.
+func TestSub(t *testing.T) {
+	a := Breakdown{DataRead: 1, DataWrite: 2, MetaRead: 3, MetaWrite: 4, Encoder: 5, Switch: 6, Periphery: 7}
+	d := Breakdown{DataRead: 0.5, MetaWrite: 1.25, Periphery: 2}
+	if got := a.Add(d).Sub(a); got != d {
+		t.Errorf("Add then Sub = %+v, want %+v", got, d)
+	}
+	if got := a.Sub(Breakdown{}); got != a {
+		t.Errorf("Sub zero = %+v, want %+v", got, a)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cnfet"
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/memo"
 	"repro/internal/workload"
 )
 
@@ -20,53 +21,19 @@ import (
 //     the candidate's energy table and granularity, so every point of a
 //     sweep re-simulated an identical baseline per kernel.
 //
-// Both are cached process-wide. Instances are keyed by (builder name,
-// seed); baseline reports are keyed by the shared *workload.Instance
-// pointer plus everything that feeds a baseline simulation (energy
-// table, granularity, hierarchy), which makes hits exact: identical
-// pointer means identical access stream and memory image. Cached values
-// are shared across goroutines, so both rest on the workload immutability
+// Both are cached process-wide in memo.Cache instances, whose sync.Once
+// entries guarantee each key builds exactly once even under concurrent
+// first lookups — the "each baseline simulated once per run" acceptance
+// property — and whose built-in memo.Stats accounting is the single
+// surface tests and live introspection (cntbench -progress,
+// -metrics-addr) read. Instances are keyed by (builder name, seed);
+// baseline reports are keyed by the shared *workload.Instance pointer
+// plus everything that feeds a baseline simulation (energy table,
+// granularity, hierarchy), which makes hits exact: identical pointer
+// means identical access stream and memory image. Cached values are
+// shared across goroutines, so both rest on the workload immutability
 // contract (see workload.Instance): instances are never mutated after
 // Build, and memoized baseline reports are read-only to callers.
-
-// memo is a concurrent build-once cache. The entry's sync.Once
-// guarantees each key's builder runs exactly once even under concurrent
-// first lookups — the "each baseline simulated once per run" acceptance
-// property.
-type memo[K comparable, V any] struct {
-	mu      sync.Mutex
-	entries map[K]*memoEntry[V]
-}
-
-type memoEntry[V any] struct {
-	once sync.Once
-	val  V
-	err  error
-}
-
-// get returns the cached value for key, building it (once) on a miss.
-// The second result reports whether the value came from the cache.
-func (m *memo[K, V]) get(key K, build func() (V, error)) (V, error, bool) {
-	m.mu.Lock()
-	if m.entries == nil {
-		m.entries = make(map[K]*memoEntry[V])
-	}
-	e, hit := m.entries[key]
-	if !hit {
-		e = &memoEntry[V]{}
-		m.entries[key] = e
-	}
-	m.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = build() })
-	return e.val, e.err, hit
-}
-
-// reset drops every entry.
-func (m *memo[K, V]) reset() {
-	m.mu.Lock()
-	m.entries = nil
-	m.mu.Unlock()
-}
 
 type instanceKey struct {
 	builder string
@@ -81,31 +48,30 @@ type baselineKey struct {
 }
 
 var (
-	instances memo[instanceKey, *workload.Instance]
-	baselines memo[baselineKey, *core.Report]
+	instances memo.Cache[instanceKey, *workload.Instance]
+	baselines memo.Cache[baselineKey, *core.Report]
 
-	memoMu    sync.Mutex
-	memoStats MemoStats
 	// shared marks instances owned by the instance cache. Baseline
 	// reports are memoized only for these: a one-off instance (E6's
 	// synthetic mixes, trace files) can never repeat its baseline — its
 	// pointer is fresh — so caching it would only pin dead instances in
 	// memory.
-	shared = map[*workload.Instance]struct{}{}
+	sharedMu sync.Mutex
+	shared   = map[*workload.Instance]struct{}{}
 )
 
-// MemoStats counts the memoization layer's traffic. Sims/Builds count
-// work actually performed; Hits count lookups served from the cache.
+// MemoStats aggregates the memoization layer's accounting: one
+// memo.Stats per cache. Builds count work actually performed (instance
+// constructions, baseline simulations); Hits count lookups served from
+// the cache.
 type MemoStats struct {
-	InstanceBuilds, InstanceHits uint64
-	BaselineSims, BaselineHits   uint64
+	Instances memo.Stats
+	Baselines memo.Stats
 }
 
 // Stats returns a snapshot of the memoization counters.
 func Stats() MemoStats {
-	memoMu.Lock()
-	defer memoMu.Unlock()
-	return memoStats
+	return MemoStats{Instances: instances.Stats(), Baselines: baselines.Stats()}
 }
 
 // ResetMemo drops the instance and baseline caches and zeroes the
@@ -113,37 +79,34 @@ func Stats() MemoStats {
 // runs never need it (the caches are bounded by the suite size times the
 // distinct device/granularity/hierarchy combinations).
 func ResetMemo() {
-	instances.reset()
-	baselines.reset()
-	memoMu.Lock()
-	memoStats = MemoStats{}
+	instances.Reset()
+	baselines.Reset()
+	sharedMu.Lock()
 	shared = map[*workload.Instance]struct{}{}
-	memoMu.Unlock()
+	sharedMu.Unlock()
 }
 
 // instanceFor returns the shared, immutable instance of a suite kernel.
 // Concurrent callers for the same (builder, seed) receive the same
 // pointer; Build runs at most once.
 func instanceFor(b workload.Builder, seed int64) *workload.Instance {
-	inst, _, hit := instances.get(instanceKey{builder: b.Name, seed: seed},
+	inst, _ := instances.Get(instanceKey{builder: b.Name, seed: seed},
 		func() (*workload.Instance, error) { return b.Build(seed), nil })
-	memoMu.Lock()
-	if hit {
-		memoStats.InstanceHits++
-	} else {
-		memoStats.InstanceBuilds++
-	}
+	sharedMu.Lock()
 	shared[inst] = struct{}{}
-	memoMu.Unlock()
+	sharedMu.Unlock()
 	return inst
 }
 
 // baselineMemoizable reports whether opts is a plain baseline the cache
-// key fully captures: unencoded, default periphery, no pinned masks.
-// Everything else in Options (window, ΔT, FIFO, fill policy, switch
-// cost, predictor) is dead configuration for KindNone.
+// key fully captures: unencoded, default periphery, no pinned masks,
+// and no attached telemetry (a sink or registry must observe its own
+// run, never be starved by a cache hit). Everything else in Options
+// (window, ΔT, FIFO, fill policy, switch cost, predictor) is dead
+// configuration for KindNone.
 func baselineMemoizable(opts core.Options) bool {
-	return opts.Spec.Kind == encoding.KindNone && opts.Periphery == nil && opts.FillMasks == nil
+	return opts.Spec.Kind == encoding.KindNone && opts.Periphery == nil &&
+		opts.FillMasks == nil && opts.Metrics == nil && opts.Trace == nil
 }
 
 // baselineReport runs inst under baseline options, serving repeats from
@@ -152,20 +115,12 @@ func baselineReport(inst *workload.Instance, hier cache.HierarchyConfig, base co
 	run := func() (*core.Report, error) {
 		return core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: base, IOpts: base})
 	}
-	memoMu.Lock()
+	sharedMu.Lock()
 	_, isShared := shared[inst]
-	memoMu.Unlock()
+	sharedMu.Unlock()
 	if !isShared || !baselineMemoizable(base) {
 		return run()
 	}
 	key := baselineKey{inst: inst, table: base.Table, granularity: base.Granularity, hier: hier}
-	rep, err, hit := baselines.get(key, run)
-	memoMu.Lock()
-	if hit {
-		memoStats.BaselineHits++
-	} else {
-		memoStats.BaselineSims++
-	}
-	memoMu.Unlock()
-	return rep, err
+	return baselines.Get(key, run)
 }

@@ -39,7 +39,7 @@ func TestParallelDeterminism(t *testing.T) {
 // property: across a whole sweep, each (kernel, energy table,
 // granularity) baseline is simulated exactly once — every other sweep
 // point hits the cache. With one table and one granularity in play,
-// "once per kernel" means BaselineSims == InstanceBuilds.
+// "once per kernel" means Baselines.Builds == Instances.Builds.
 func TestBaselineSimulatedOncePerSweep(t *testing.T) {
 	ResetMemo()
 	defer ResetMemo()
@@ -53,17 +53,17 @@ func TestBaselineSimulatedOncePerSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := Stats()
-	if s.InstanceBuilds == 0 || s.BaselineSims == 0 {
+	if s.Instances.Builds == 0 || s.Baselines.Builds == 0 {
 		t.Fatalf("memoization inactive: %+v", s)
 	}
-	if s.BaselineSims != s.InstanceBuilds {
+	if s.Baselines.Builds != s.Instances.Builds {
 		t.Errorf("baseline simulated %d times for %d distinct kernels; want exactly once each",
-			s.BaselineSims, s.InstanceBuilds)
+			s.Baselines.Builds, s.Instances.Builds)
 	}
-	if s.BaselineHits == 0 {
+	if s.Baselines.Hits == 0 {
 		t.Error("sweep produced no baseline cache hits; memoization is not being exercised")
 	}
-	if s.InstanceHits == 0 {
+	if s.Instances.Hits == 0 {
 		t.Error("sweep rebuilt instances at every point; instance cache is not being exercised")
 	}
 }

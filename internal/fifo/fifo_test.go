@@ -84,6 +84,105 @@ func TestPushCoalescesSameLine(t *testing.T) {
 	}
 }
 
+// TestCoalescePreservesDrainOrder pins the hardware semantics of
+// back-to-back switches on the same line: the newer re-encode replaces
+// the pending one IN PLACE, so the line keeps its original drain slot —
+// it does not migrate to the tail behind updates that arrived later.
+func TestCoalescePreservesDrainOrder(t *testing.T) {
+	q := mustNew(t, 4)
+	q.Push(Update{Set: 1, Way: 0, Mask: 0x1})
+	q.Push(Update{Set: 2, Way: 0, Mask: 0x2})
+	q.Push(Update{Set: 3, Way: 0, Mask: 0x4})
+	// The predictor fires again on line (1,0): direction flips back.
+	if !q.Push(Update{Set: 1, Way: 0, Mask: 0x0}) {
+		t.Fatal("coalescing push rejected")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (coalesce must not grow the queue)", q.Len())
+	}
+	wantOrder := []struct {
+		set  int
+		mask uint64
+	}{{1, 0x0}, {2, 0x2}, {3, 0x4}}
+	for i, w := range wantOrder {
+		u, ok := q.Pop()
+		if !ok || u.Set != w.set || u.Mask != w.mask {
+			t.Fatalf("pop %d = %+v ok=%v, want set %d mask %#x", i, u, ok, w.set, w.mask)
+		}
+	}
+}
+
+// TestCoalesceIntoFullQueue pins that a same-line update still lands
+// when the queue is full: it replaces the pending entry rather than
+// being dropped, and the drop counter stays untouched.
+func TestCoalesceIntoFullQueue(t *testing.T) {
+	q := mustNew(t, 2)
+	q.Push(Update{Set: 0, Way: 0, Mask: 0x1})
+	q.Push(Update{Set: 1, Way: 0, Mask: 0x1})
+	if !q.Push(Update{Set: 0, Way: 0, Mask: 0xF}) {
+		t.Fatal("same-line push into full queue must coalesce, not drop")
+	}
+	s := q.Stats()
+	if s.Dropped != 0 || s.Replaced != 1 || s.Enqueued != 2 {
+		t.Fatalf("stats = %+v, want 2 enqueued 1 replaced 0 dropped", s)
+	}
+	u, _ := q.Pop()
+	if u.Set != 0 || u.Mask != 0xF {
+		t.Errorf("head after full-queue coalesce = %+v, want set 0 mask 0xF", u)
+	}
+}
+
+// TestRepeatedCoalesceKeepsLatest drives many switch decisions at one
+// line: only the last survives, still at the line's original position.
+func TestRepeatedCoalesceKeepsLatest(t *testing.T) {
+	q := mustNew(t, 4)
+	q.Push(Update{Set: 5, Way: 2, Mask: 0})
+	q.Push(Update{Set: 6, Way: 0, Mask: 0})
+	for m := uint64(1); m <= 8; m++ {
+		if !q.Push(Update{Set: 5, Way: 2, Mask: m, Ones: int(m)}) {
+			t.Fatalf("coalesce %d rejected", m)
+		}
+	}
+	if s := q.Stats(); s.Replaced != 8 || s.Enqueued != 2 {
+		t.Fatalf("stats = %+v, want 2 enqueued 8 replaced", s)
+	}
+	u, _ := q.Pop()
+	if u.Set != 5 || u.Mask != 8 || u.Ones != 8 {
+		t.Errorf("survivor = %+v, want the last coalesced update (mask 8)", u)
+	}
+	if u2, _ := q.Pop(); u2.Set != 6 {
+		t.Errorf("second pop = %+v, want set 6", u2)
+	}
+}
+
+// TestCoalesceAcrossWrap places the coalesce target in a slot that has
+// wrapped past the end of the ring, where a buggy linear scan (ignoring
+// head) would miss it.
+func TestCoalesceAcrossWrap(t *testing.T) {
+	q := mustNew(t, 3)
+	q.Push(Update{Set: 0})
+	q.Push(Update{Set: 1})
+	q.Pop() // head -> slot 1
+	q.Push(Update{Set: 2})
+	q.Push(Update{Set: 3, Mask: 0x1}) // physically in slot 0
+	if !q.Push(Update{Set: 3, Mask: 0x7}) {
+		t.Fatal("coalesce across wrap rejected")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	order := []struct {
+		set  int
+		mask uint64
+	}{{1, 0}, {2, 0}, {3, 0x7}}
+	for i, w := range order {
+		u, ok := q.Pop()
+		if !ok || u.Set != w.set || u.Mask != w.mask {
+			t.Fatalf("pop %d = %+v, want set %d mask %#x", i, u, w.set, w.mask)
+		}
+	}
+}
+
 func TestWrapAround(t *testing.T) {
 	q := mustNew(t, 3)
 	for round := 0; round < 10; round++ {

@@ -1,0 +1,96 @@
+// Package memo provides the build-once concurrent cache behind the
+// experiment engine's memoization layer, with exported hit/build
+// accounting (Stats) so live-run introspection (cntbench -progress,
+// -metrics-addr) and tests read the same surface the engine maintains.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts a cache's traffic: Builds are lookups that ran the
+// builder (misses), Hits are lookups served from an existing entry. A
+// lookup that arrives while another goroutine is still building the
+// same key counts as a hit — the entry existed, the work was not
+// repeated.
+type Stats struct {
+	Builds uint64
+	Hits   uint64
+}
+
+// Lookups returns the total number of Get calls counted.
+func (s Stats) Lookups() uint64 { return s.Builds + s.Hits }
+
+// HitRate returns Hits/Lookups, or 0 for an unused cache.
+func (s Stats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Add returns the field-wise sum.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Builds: s.Builds + o.Builds, Hits: s.Hits + o.Hits}
+}
+
+// Cache is a concurrent build-once map: the first Get for a key runs
+// the builder exactly once, even under concurrent first lookups, and
+// every later Get returns the same value. The zero value is ready to
+// use.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+
+	builds, hits atomic.Uint64
+}
+
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Get returns the cached value for key, building it (once) on a miss.
+// All callers for the same key share the builder's value and error.
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*entry[V])
+	}
+	e, hit := c.entries[key]
+	if !hit {
+		e = &entry[V]{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.builds.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{Builds: c.builds.Load(), Hits: c.hits.Load()}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+	c.builds.Store(0)
+	c.hits.Store(0)
+}

@@ -1,0 +1,112 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBuildOnce(t *testing.T) {
+	var c Cache[int, string]
+	builds := 0
+	build := func() (string, error) { builds++; return "v", nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Get(7, build)
+		if err != nil || v != "v" {
+			t.Fatalf("Get = %q, %v", v, err)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("builder ran %d times, want 1", builds)
+	}
+	if s := c.Stats(); s.Builds != 1 || s.Hits != 4 {
+		t.Errorf("Stats = %+v, want 1 build + 4 hits", s)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestErrorsAreCachedToo(t *testing.T) {
+	var c Cache[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Get("k", func() (int, error) { calls++; return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("Get err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failing builder ran %d times, want 1 (errors are cached)", calls)
+	}
+}
+
+func TestConcurrentFirstLookup(t *testing.T) {
+	var c Cache[int, int]
+	const goroutines = 32
+	var mu sync.Mutex
+	n := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Get(1, func() (int, error) {
+				mu.Lock()
+				n++
+				mu.Unlock()
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 1 {
+		t.Errorf("builder ran %d times under concurrency, want 1", n)
+	}
+	if s := c.Stats(); s.Lookups() != goroutines {
+		t.Errorf("Lookups = %d, want %d", s.Lookups(), goroutines)
+	}
+}
+
+func TestResetAndStatsMath(t *testing.T) {
+	var c Cache[int, int]
+	for i := 0; i < 4; i++ {
+		c.Get(i%2, func() (int, error) { return i, nil })
+	}
+	s := c.Stats()
+	if s.Builds != 2 || s.Hits != 2 {
+		t.Fatalf("Stats = %+v, want 2 builds + 2 hits", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %g, want 0.5", got)
+	}
+	if got := s.Add(Stats{Builds: 1, Hits: 3}); got != (Stats{Builds: 3, Hits: 5}) {
+		t.Errorf("Add = %+v", got)
+	}
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) || c.Len() != 0 {
+		t.Errorf("after Reset: stats %+v len %d", s, c.Len())
+	}
+	// The cache is usable again after Reset.
+	if v, err := c.Get(9, func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Errorf("post-Reset Get = %d, %v", v, err)
+	}
+}
+
+func TestZeroStatsHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty Stats.HitRate should be 0")
+	}
+}
+
+func ExampleCache() {
+	var c Cache[string, int]
+	v, _ := c.Get("answer", func() (int, error) { return 42, nil })
+	fmt.Println(v, c.Stats().Builds)
+	// Output: 42 1
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/energy"
+)
+
+// Attribution is the per-cache accounting recovered from an event
+// stream: the energy attributed by summing every AccessEvent and
+// DrainEvent delta, the event counts, and the closing SummaryEvent
+// when the stream carries one.
+type Attribution struct {
+	// Summed is the component-wise sum of the Access/Drain energy
+	// deltas, accumulated in stream order.
+	Summed energy.Breakdown
+	// Summary is the cache's closing record (nil for a truncated or
+	// lossy stream).
+	Summary *SummaryEvent
+
+	// Event counts by kind.
+	Accesses, Windows, Switches, Drains uint64
+	// Hits counts AccessEvents that hit; StaleDrains counts DrainEvents
+	// discarded against an evicted line.
+	Hits, StaleDrains uint64
+}
+
+// Attribute folds an event stream into per-cache attributions, keyed by
+// cache label.
+func Attribute(events []Event) map[string]*Attribution {
+	out := make(map[string]*Attribution)
+	get := func(cache string) *Attribution {
+		a := out[cache]
+		if a == nil {
+			a = &Attribution{}
+			out[cache] = a
+		}
+		return a
+	}
+	for _, e := range events {
+		a := get(e.CacheName())
+		switch ev := e.(type) {
+		case *AccessEvent:
+			a.Accesses++
+			if ev.Hit {
+				a.Hits++
+			}
+			a.Summed = a.Summed.Add(ev.Energy)
+		case *WindowEvent:
+			a.Windows++
+		case *SwitchEvent:
+			a.Switches++
+		case *DrainEvent:
+			a.Drains++
+			if ev.Stale {
+				a.StaleDrains++
+			}
+			a.Summed = a.Summed.Add(ev.Energy)
+		case *SummaryEvent:
+			a.Summary = ev
+		}
+	}
+	return out
+}
+
+// Caches returns the attribution keys in sorted order, for stable
+// rendering.
+func Caches(attr map[string]*Attribution) []string {
+	names := make([]string, 0, len(attr))
+	for n := range attr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

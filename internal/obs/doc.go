@@ -1,0 +1,33 @@
+// Package obs is the simulator's zero-dependency telemetry layer:
+// typed metrics (counters, float accumulators, gauges with high-water
+// marks, fixed-bucket histograms) and structured event tracing, both
+// designed so the instrumented hot paths cost nothing when telemetry is
+// disabled.
+//
+// The layer has three parts:
+//
+//   - Metrics. A Registry hands out named metric handles. Every handle
+//     method is safe on a nil receiver and every operation is a single
+//     atomic update on pre-allocated state, so a CNTCache built with a
+//     nil registry keeps its zero-allocation access path (pinned by
+//     AllocsPerRun tests in package core), and one built with a live
+//     registry still performs no heap allocations per access.
+//
+//   - Events. A Sink receives typed events (AccessEvent, WindowEvent,
+//     SwitchEvent, DrainEvent, SummaryEvent) describing mid-run
+//     behaviour: which lines flip, when prediction windows roll over,
+//     how the deferred-update FIFOs drain, and where every femtojoule
+//     of dynamic energy went. JSONLSink streams them to disk as
+//     versioned JSON lines (`cntsim -trace-out`); RingSink keeps a
+//     bounded, optionally sampled tail for long runs.
+//
+//   - Attribution. Attribute folds an event stream back into
+//     per-cache energy totals; internal/check's ReconcileReport proves
+//     those totals agree with the run's final energy.Breakdown, and
+//     cmd/cntstat renders timelines and attribution tables from the
+//     same stream.
+//
+// The event schema is versioned (Version); readers reject records from
+// any other version rather than guessing. See docs/OBSERVABILITY.md
+// for the full metric and event catalogue.
+package obs

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"repro/internal/energy"
+)
+
+// Version is the event schema version. Every serialized record carries
+// it; readers reject records from any other version rather than
+// guessing at field semantics (see Decoder).
+const Version = 1
+
+// Kind discriminates event types in serialized form.
+type Kind string
+
+// The event kinds of schema version 1.
+const (
+	KindAccess  Kind = "access"
+	KindWindow  Kind = "window"
+	KindSwitch  Kind = "switch"
+	KindDrain   Kind = "drain"
+	KindSummary Kind = "summary"
+)
+
+// Event is one structured telemetry record. The concrete types are
+// *AccessEvent, *WindowEvent, *SwitchEvent, *DrainEvent and
+// *SummaryEvent.
+type Event interface {
+	// Kind returns the serialized type tag.
+	Kind() Kind
+	// CacheName returns the emitting cache's label ("L1D", "L1I").
+	CacheName() string
+}
+
+// Sink consumes events. Implementations used from concurrent
+// simulations (core.Compare, parallel sweeps) must be safe for
+// concurrent Emit calls; JSONLSink and RingSink are.
+type Sink interface {
+	Emit(e Event)
+}
+
+// AccessEvent describes one cache access (one line-sized piece of a
+// demand reference), emitted after the access completed. Energy is the
+// per-component dynamic-energy delta this access charged, including any
+// fill, writeback read-out, encoder pass and predictor bookkeeping it
+// triggered; summing the Energy fields of every AccessEvent and
+// DrainEvent of a run reproduces the run's final breakdown (enforced by
+// internal/check.ReconcileReport).
+type AccessEvent struct {
+	Cache     string           `json:"cache"`
+	Op        string           `json:"op"`
+	Addr      uint64           `json:"addr"`
+	Size      int              `json:"size"`
+	Set       int              `json:"set"`
+	Way       int              `json:"way"`
+	Hit       bool             `json:"hit"`
+	Filled    bool             `json:"filled,omitempty"`
+	Evicted   bool             `json:"evicted,omitempty"`
+	WroteBack bool             `json:"wroteback,omitempty"`
+	Energy    energy.Breakdown `json:"energy"`
+}
+
+// Kind implements Event.
+func (*AccessEvent) Kind() Kind { return KindAccess }
+
+// CacheName implements Event.
+func (e *AccessEvent) CacheName() string { return e.Cache }
+
+// WindowEvent records one prediction-window rollover (Algorithm 1
+// firing on a line): the counters the decision saw, the step-1
+// classification, and what became of the decision. A WindowEvent is
+// emitted before the AccessEvent of the access that completed the
+// window; the bookkeeping energy rides that AccessEvent.
+type WindowEvent struct {
+	Cache string `json:"cache"`
+	Set   int    `json:"set"`
+	Way   int    `json:"way"`
+	// ANum and WrNum are the window counters at evaluation time.
+	ANum  int `json:"anum"`
+	WrNum int `json:"wrnum"`
+	// Pattern is the step-1 classification ("read-intensive" or
+	// "write-intensive").
+	Pattern string `json:"pattern"`
+	// FlipMask has bit i set when partition i's direction must flip;
+	// zero means the window kept its encoding.
+	FlipMask uint64 `json:"flipmask"`
+	// Enqueued reports that the re-encode was deferred into the FIFO;
+	// Dropped that the FIFO was full and the decision was lost.
+	Enqueued bool `json:"enqueued,omitempty"`
+	Dropped  bool `json:"dropped,omitempty"`
+}
+
+// Kind implements Event.
+func (*WindowEvent) Kind() Kind { return KindWindow }
+
+// CacheName implements Event.
+func (e *WindowEvent) CacheName() string { return e.Cache }
+
+// SwitchEvent records an applied encoding-direction change on a line:
+// either a drained deferred update ("drain") or a write-greedy
+// re-encode ("greedy").
+type SwitchEvent struct {
+	Cache   string `json:"cache"`
+	Set     int    `json:"set"`
+	Way     int    `json:"way"`
+	OldMask uint64 `json:"oldmask"`
+	NewMask uint64 `json:"newmask"`
+	Origin  string `json:"origin"`
+}
+
+// Kind implements Event.
+func (*SwitchEvent) Kind() Kind { return KindSwitch }
+
+// CacheName implements Event.
+func (e *SwitchEvent) CacheName() string { return e.Cache }
+
+// DrainEvent records one update retired from the deferred-update FIFO.
+// Applied reports that the line's mask actually changed (a SwitchEvent
+// precedes this event when it did); Stale that the line had been
+// evicted and the update was discarded. Energy is the re-encode's
+// dynamic-energy delta (zero for stale or no-op drains).
+type DrainEvent struct {
+	Cache   string           `json:"cache"`
+	Set     int              `json:"set"`
+	Way     int              `json:"way"`
+	Mask    uint64           `json:"mask"`
+	Applied bool             `json:"applied,omitempty"`
+	Stale   bool             `json:"stale,omitempty"`
+	Energy  energy.Breakdown `json:"energy"`
+}
+
+// Kind implements Event.
+func (*DrainEvent) Kind() Kind { return KindDrain }
+
+// CacheName implements Event.
+func (e *DrainEvent) CacheName() string { return e.Cache }
+
+// SummaryEvent closes a cache's event stream at end of simulation: the
+// final architectural counters and the exact cumulative energy
+// breakdown. Attribution checks compare the summed Access/Drain deltas
+// against Energy, and Energy itself must equal the run report's
+// breakdown bit for bit.
+type SummaryEvent struct {
+	Cache        string           `json:"cache"`
+	Accesses     uint64           `json:"accesses"`
+	Hits         uint64           `json:"hits"`
+	Windows      uint64           `json:"windows"`
+	Switches     uint64           `json:"switches"`
+	FIFOEnqueued uint64           `json:"fifo_enqueued"`
+	FIFODropped  uint64           `json:"fifo_dropped"`
+	Energy       energy.Breakdown `json:"energy"`
+}
+
+// Kind implements Event.
+func (*SummaryEvent) Kind() Kind { return KindSummary }
+
+// CacheName implements Event.
+func (e *SummaryEvent) CacheName() string { return e.Cache }

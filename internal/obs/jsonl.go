@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// envelope is the on-disk record: a version, a type tag, and the typed
+// payload. One envelope per line.
+type envelope struct {
+	V int             `json:"v"`
+	T Kind            `json:"t"`
+	E json.RawMessage `json:"e"`
+}
+
+// maxEventLine bounds one serialized event record. Real records are a
+// few hundred bytes; the bound keeps a corrupt or adversarial file from
+// turning into an unbounded allocation.
+const maxEventLine = 1 << 20
+
+// JSONLSink streams events to a writer as versioned JSON lines, one
+// event per line. Emit is safe for concurrent use; serialization
+// failures are latched and surfaced by Flush (Emit itself cannot return
+// an error through the Sink interface). The caller owns the underlying
+// writer and must call Flush before closing it.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink. The first error sticks and suppresses further
+// writes.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		s.err = fmt.Errorf("obs: marshal %s event: %w", e.Kind(), err)
+		return
+	}
+	rec, err := json.Marshal(envelope{V: Version, T: e.Kind(), E: payload})
+	if err != nil {
+		s.err = fmt.Errorf("obs: marshal %s envelope: %w", e.Kind(), err)
+		return
+	}
+	if _, err := s.w.Write(rec); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered by
+// any prior Emit or write.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Decoder reads an event stream produced by JSONLSink. It is strict:
+// an unsupported schema version, an unknown event kind, an unknown
+// field, a missing payload or a truncated record all produce an error
+// naming the line — never a guess and never a panic (FuzzEventsJSONL
+// pins this).
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxEventLine)
+	return &Decoder{sc: sc}
+}
+
+// Next returns the next event, io.EOF at end of stream, or a decoding
+// error with line context.
+func (d *Decoder) Next() (Event, error) {
+	for {
+		if !d.sc.Scan() {
+			if err := d.sc.Err(); err != nil {
+				return nil, fmt.Errorf("obs: events line %d: %w", d.line+1, err)
+			}
+			return nil, io.EOF
+		}
+		d.line++
+		raw := bytes.TrimSpace(d.sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		e, err := decodeRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", d.line, err)
+		}
+		return e, nil
+	}
+}
+
+// decodeRecord parses one envelope line into its typed event.
+func decodeRecord(raw []byte) (Event, error) {
+	var env envelope
+	if err := strictUnmarshal(raw, &env); err != nil {
+		return nil, err
+	}
+	if env.V != Version {
+		return nil, fmt.Errorf("unsupported event version %d (reader speaks %d)", env.V, Version)
+	}
+	if len(env.E) == 0 {
+		return nil, fmt.Errorf("%s record has no payload", env.T)
+	}
+	var e Event
+	switch env.T {
+	case KindAccess:
+		e = &AccessEvent{}
+	case KindWindow:
+		e = &WindowEvent{}
+	case KindSwitch:
+		e = &SwitchEvent{}
+	case KindDrain:
+		e = &DrainEvent{}
+	case KindSummary:
+		e = &SummaryEvent{}
+	default:
+		return nil, fmt.Errorf("unknown event kind %q", env.T)
+	}
+	if err := strictUnmarshal(env.E, e); err != nil {
+		return nil, fmt.Errorf("%s payload: %w", env.T, err)
+	}
+	return e, nil
+}
+
+// strictUnmarshal decodes exactly one JSON value, rejecting unknown
+// fields and trailing garbage.
+func strictUnmarshal(raw []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after record")
+	}
+	return nil
+}
+
+// ReadEvents decodes a whole event stream.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	d := NewDecoder(r)
+	var out []Event
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

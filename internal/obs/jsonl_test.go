@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// sampleEvents is one of each kind, with enough field coverage to catch
+// a dropped or misnamed JSON tag.
+func sampleEvents() []Event {
+	return []Event{
+		&AccessEvent{Cache: "L1D", Op: "W", Addr: 0x1040, Size: 8, Set: 2, Way: 1,
+			Hit: true, Filled: false, Evicted: false, WroteBack: false,
+			Energy: energy.Breakdown{DataWrite: 12.5, MetaRead: 0.5, Periphery: 1.25}},
+		&WindowEvent{Cache: "L1D", Set: 2, Way: 1, ANum: 20, WrNum: 13,
+			Pattern: "write-intensive", FlipMask: 0b101, Enqueued: true},
+		&SwitchEvent{Cache: "L1D", Set: 2, Way: 1, OldMask: 0, NewMask: 0b101, Origin: "drain"},
+		&DrainEvent{Cache: "L1D", Set: 2, Way: 1, Mask: 0b101, Applied: true,
+			Energy: energy.Breakdown{Switch: 3.5}},
+		&SummaryEvent{Cache: "L1D", Accesses: 100, Hits: 90, Windows: 4, Switches: 1,
+			FIFOEnqueued: 2, FIFODropped: 0,
+			Energy: energy.Breakdown{DataRead: 1, DataWrite: 2, Switch: 3.5}},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := sampleEvents()
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, e := range in {
+		s.Emit(e)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(in) {
+		t.Fatalf("wrote %d lines for %d events", n, len(in))
+	}
+	out, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed events:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+func TestDecoderSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(&SwitchEvent{Cache: "L1I", Origin: "greedy"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stream := "\n" + buf.String() + "\n\n"
+	out, err := ReadEvents(strings.NewReader(stream))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("ReadEvents = %d events, %v; want 1 event", len(out), err)
+	}
+}
+
+func TestDecoderRejections(t *testing.T) {
+	valid := func() string {
+		var buf bytes.Buffer
+		s := NewJSONLSink(&buf)
+		s.Emit(&SwitchEvent{Cache: "L1D"})
+		s.Flush()
+		return strings.TrimSpace(buf.String())
+	}()
+	cases := []struct {
+		name, line, wantErr string
+	}{
+		{"bad version", `{"v":2,"t":"switch","e":{}}`, "unsupported event version 2"},
+		{"zero version", `{"v":0,"t":"switch","e":{}}`, "unsupported event version 0"},
+		{"unknown kind", `{"v":1,"t":"mystery","e":{}}`, `unknown event kind "mystery"`},
+		{"missing payload", `{"v":1,"t":"access"}`, "no payload"},
+		{"unknown envelope field", `{"v":1,"t":"switch","e":{},"x":1}`, "unknown field"},
+		{"unknown payload field", `{"v":1,"t":"switch","e":{"cache":"L1D","bogus":1}}`, "unknown field"},
+		{"payload type mismatch", `{"v":1,"t":"access","e":{"addr":"not-a-number"}}`, "access payload"},
+		{"truncated record", valid[:len(valid)-4], ""},
+		{"trailing data", valid + ` {"x":1}`, "trailing data"},
+		{"not json", `garbage`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEvents(strings.NewReader(tc.line + "\n"))
+			if err == nil {
+				t.Fatalf("decoder accepted %q", tc.line)
+			}
+			if !strings.Contains(err.Error(), "line 1") {
+				t.Errorf("error %q does not name the line", err)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecoderOversizedLine(t *testing.T) {
+	line := `{"v":1,"t":"switch","e":{"cache":"` + strings.Repeat("x", maxEventLine) + `"}}`
+	_, err := ReadEvents(strings.NewReader(line))
+	if err == nil {
+		t.Fatal("decoder accepted an oversized record")
+	}
+}
+
+// TestDecoderErrorNamesLaterLine pins that the line counter advances
+// past good records.
+func TestDecoderErrorNamesLaterLine(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(&SwitchEvent{Cache: "L1D"})
+	s.Emit(&SwitchEvent{Cache: "L1D"})
+	s.Flush()
+	buf.WriteString(`{"v":9,"t":"switch","e":{}}` + "\n")
+	d := NewDecoder(&buf)
+	for i := 0; i < 2; i++ {
+		if _, err := d.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := d.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want a line 3 error", err)
+	}
+	if _, err := ReadEvents(bytes.NewReader(nil)); err != nil {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestSinkLatchesWriteError(t *testing.T) {
+	s := NewJSONLSink(failWriter{})
+	// The bufio layer absorbs small writes; emit until the buffer spills.
+	for i := 0; i < 20000 && s.Flush() == nil; i++ {
+		s.Emit(&SwitchEvent{Cache: "L1D"})
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush never surfaced the write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+func TestRingSinkKeepsTailAndSummaries(t *testing.T) {
+	s := NewRingSink(4, 1)
+	var want []Event
+	for i := 0; i < 10; i++ {
+		e := &SwitchEvent{Cache: "L1D", Set: i}
+		s.Emit(e)
+		want = append(want, e)
+	}
+	sum := &SummaryEvent{Cache: "L1D", Accesses: 10}
+	s.Emit(sum)
+	got := s.Events()
+	if len(got) != 5 {
+		t.Fatalf("retained %d events, want 4 + summary", len(got))
+	}
+	// The tail (events 6..9) in emission order, summary last.
+	if !reflect.DeepEqual(got[:4], want[6:]) {
+		t.Errorf("ring tail = %#v, want last 4 emitted", got[:4])
+	}
+	if got[4] != Event(sum) {
+		t.Error("summary not retained last")
+	}
+	if s.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", s.Dropped())
+	}
+}
+
+func TestRingSinkSampling(t *testing.T) {
+	s := NewRingSink(100, 3)
+	for i := 0; i < 9; i++ {
+		s.Emit(&SwitchEvent{Cache: "L1D", Set: i})
+	}
+	got := s.Events()
+	if len(got) != 3 {
+		t.Fatalf("kept %d of 9 at sample=3, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.(*SwitchEvent).Set != i*3 {
+			t.Errorf("kept event %d has Set=%d, want %d", i, e.(*SwitchEvent).Set, i*3)
+		}
+	}
+	if s.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", s.Dropped())
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	events := sampleEvents()
+	events = append(events, &AccessEvent{Cache: "L1I", Op: "F", Hit: false,
+		Energy: energy.Breakdown{DataRead: 7}})
+	attr := Attribute(events)
+	if got := Caches(attr); !reflect.DeepEqual(got, []string{"L1D", "L1I"}) {
+		t.Fatalf("Caches = %v", got)
+	}
+	d := attr["L1D"]
+	if d.Accesses != 1 || d.Hits != 1 || d.Windows != 1 || d.Switches != 1 || d.Drains != 1 {
+		t.Errorf("L1D counts wrong: %+v", d)
+	}
+	if d.Summary == nil || d.Summary.Accesses != 100 {
+		t.Error("L1D summary not captured")
+	}
+	wantSum := energy.Breakdown{DataWrite: 12.5, MetaRead: 0.5, Periphery: 1.25, Switch: 3.5}
+	if d.Summed != wantSum {
+		t.Errorf("L1D Summed = %+v, want %+v", d.Summed, wantSum)
+	}
+	i := attr["L1I"]
+	if i.Summary != nil || i.Accesses != 1 || i.Hits != 0 || i.Summed.DataRead != 7 {
+		t.Errorf("L1I attribution wrong: %+v", i)
+	}
+}

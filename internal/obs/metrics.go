@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe on a nil receiver (they no-op), so instrumented code can hold
+// possibly-nil handles without branching beyond the receiver check.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter accumulates a float64 sum with lock-free atomic adds.
+// The simulator uses it for per-component energy accumulation in
+// femtojoules.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v.
+func (f *FloatCounter) Add(v float64) {
+	if f == nil || v == 0 {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum (0 for a nil counter).
+func (f *FloatCounter) Value() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Gauge tracks an instantaneous integer value and its high-water mark.
+type Gauge struct {
+	val atomic.Int64
+	max atomic.Int64
+}
+
+// Observe records the current value and raises the high-water mark if v
+// exceeds it.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	g.val.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last observed value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.val.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram counts observations into a fixed bucket layout: bucket i
+// holds observations v <= bounds[i], with one implicit overflow bucket
+// above the last bound. The layout is fixed at registration so
+// observing is a scan over a small array plus one atomic increment —
+// no allocation, no locking.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Uint64
+	sum    FloatCounter
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// snapshot materializes the bucket counts for serialization.
+func (h *Histogram) snapshot() HistogramValue {
+	hv := HistogramValue{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
+	}
+	for i := range h.counts {
+		hv.Counts[i] = h.counts[i].Load()
+	}
+	return hv
+}
+
+// Registry is a named collection of metrics. Handles are created once
+// (the first registration of a name wins; repeats return the same
+// handle) and are safe for concurrent use; Snapshot and WriteJSON may
+// run while the simulation is still updating the metrics. A nil
+// *Registry is a valid "telemetry off" registry: every lookup returns
+// a nil handle, whose methods no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	floats     map[string]*FloatCounter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Float returns the named float accumulator, creating it on first use.
+func (r *Registry) Float(name string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.floats == nil {
+		r.floats = make(map[string]*FloatCounter)
+	}
+	f, ok := r.floats[name]
+	if !ok {
+		f = &FloatCounter{}
+		r.floats[name] = f
+	}
+	return f
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket upper bounds on first use. The first registration
+// fixes the layout; later calls return the existing histogram
+// regardless of the bounds they pass.
+func (r *Registry) Histogram(name string, bounds []float64) (*Histogram, error) {
+	if r == nil {
+		return nil, nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram %q bounds not strictly ascending at %d", name, i)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h, nil
+}
+
+// MustHistogram is Histogram panicking on an invalid bucket layout
+// (a programming error in the instrumented code, not a runtime input).
+func (r *Registry) MustHistogram(name string, bounds []float64) *Histogram {
+	h, err := r.Histogram(name, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// GaugeValue is a gauge's serialized form.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramValue is a histogram's serialized form. Counts has one entry
+// per bound plus the trailing overflow bucket.
+type HistogramValue struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+// encoding/json renders map keys sorted, so serialized snapshots have a
+// stable field order.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Floats     map[string]float64        `json:"floats,omitempty"`
+	Gauges     map[string]GaugeValue     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current metric values. Safe to call concurrently
+// with metric updates; each metric is read atomically (the snapshot as
+// a whole is not a single atomic cut, which mid-run introspection does
+// not need).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.floats) > 0 {
+		s.Floats = make(map[string]float64, len(r.floats))
+		for n, f := range r.floats {
+			s.Floats[n] = f.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeValue, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = GaugeValue{Value: g.Value(), Max: g.Max()}
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramValue, len(r.histograms))
+		for n, h := range r.histograms {
+			s.Histograms[n] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilHandlesNoOp pins the "telemetry off" contract: every handle a
+// nil registry hands out is nil, and every method on a nil handle is a
+// safe no-op returning zero.
+func TestNilHandlesNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	f := r.Float("f")
+	g := r.Gauge("g")
+	h := r.MustHistogram("h", []float64{1, 2})
+	if c != nil || f != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	f.Add(1.5)
+	g.Observe(7)
+	h.Observe(3)
+	if c.Value() != 0 || f.Value() != 0 || g.Value() != 0 || g.Max() != 0 ||
+		h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Floats)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterAndFloat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("acc")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Counter = %d, want 5", c.Value())
+	}
+	if r.Counter("acc") != c {
+		t.Error("re-registration must return the same handle")
+	}
+	f := r.Float("e")
+	f.Add(1.25)
+	f.Add(0) // fast path: zero adds are skipped
+	f.Add(2.5)
+	if f.Value() != 3.75 {
+		t.Errorf("FloatCounter = %g, want 3.75", f.Value())
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	for _, v := range []int64{3, 9, 2} {
+		g.Observe(v)
+	}
+	if g.Value() != 2 {
+		t.Errorf("Value = %d, want last observation 2", g.Value())
+	}
+	if g.Max() != 9 {
+		t.Errorf("Max = %d, want high-water 9", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("n1", []float64{0, 2, 4})
+	for _, v := range []float64{0, 1, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	hv := r.Snapshot().Histograms["n1"]
+	// v <= 0 | v <= 2 | v <= 4 | overflow
+	want := []uint64{1, 2, 2, 2}
+	if len(hv.Counts) != len(want) {
+		t.Fatalf("Counts = %v, want %v", hv.Counts, want)
+	}
+	for i := range want {
+		if hv.Counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, hv.Counts[i], want[i])
+		}
+	}
+	if hv.Count != 7 || hv.Sum != 115 {
+		t.Errorf("Count = %d Sum = %g, want 7 and 115", hv.Count, hv.Sum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Histogram("bad", []float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds must be rejected")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustHistogram must panic on bad bounds")
+			}
+		}()
+		r.MustHistogram("bad2", []float64{5, 3})
+	}()
+}
+
+// TestConcurrentUpdatesAndSnapshot exercises the lock-free update paths
+// under the race detector while a reader snapshots mid-flight.
+func TestConcurrentUpdatesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	f := r.Float("f")
+	g := r.Gauge("g")
+	h := r.MustHistogram("h", []float64{10, 100})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				f.Add(0.5)
+				g.Observe(int64(w*per + i))
+				h.Observe(float64(i % 128))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("Counter = %d, want %d", c.Value(), workers*per)
+	}
+	if f.Value() != workers*per*0.5 {
+		t.Errorf("FloatCounter = %g, want %g", f.Value(), float64(workers*per)*0.5)
+	}
+	if g.Max() != workers*per-1 {
+		t.Errorf("Gauge.Max = %d, want %d", g.Max(), workers*per-1)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("Histogram.Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestWriteJSONStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	r.Gauge("g").Observe(4)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a"] != 1 || s.Counters["b"] != 2 || s.Gauges["g"].Max != 4 {
+		t.Errorf("round-tripped snapshot wrong: %+v", s)
+	}
+	// encoding/json sorts map keys, so "a" must precede "b".
+	if ai, bi := strings.Index(buf.String(), `"a"`), strings.Index(buf.String(), `"b"`); ai > bi {
+		t.Error("snapshot keys not sorted")
+	}
+}

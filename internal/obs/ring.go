@@ -1,0 +1,77 @@
+package obs
+
+import "sync"
+
+// RingSink keeps a bounded tail of the event stream in memory, with
+// optional sampling, for long runs where a full JSONL trace would be
+// too large. SummaryEvents are always kept (they close the stream and
+// carry the exact final totals); other kinds pass the sampler and then
+// overwrite the oldest entry once the ring is full.
+//
+// A wrapped or sampled ring is a lossy record: energy attribution over
+// its contents will not reconcile with the run totals (use a JSONL
+// trace for that); Dropped reports how much was lost.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int
+	size    int
+	sample  int
+	seen    uint64
+	dropped uint64
+	summary []Event
+}
+
+// NewRingSink builds a ring holding up to capacity events, keeping one
+// in every sample events (sample <= 1 keeps all).
+func NewRingSink(capacity, sample int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &RingSink{buf: make([]Event, capacity), sample: sample}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Kind() == KindSummary {
+		s.summary = append(s.summary, e)
+		return
+	}
+	s.seen++
+	if s.sample > 1 && s.seen%uint64(s.sample) != 1 {
+		s.dropped++
+		return
+	}
+	if s.size == len(s.buf) {
+		s.buf[s.head] = e
+		s.head = (s.head + 1) % len(s.buf)
+		s.dropped++
+		return
+	}
+	s.buf[(s.head+s.size)%len(s.buf)] = e
+	s.size++
+}
+
+// Events returns the retained events in emission order, summaries last.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, s.size+len(s.summary))
+	for i := 0; i < s.size; i++ {
+		out = append(out, s.buf[(s.head+i)%len(s.buf)])
+	}
+	return append(out, s.summary...)
+}
+
+// Dropped returns how many non-summary events were sampled away or
+// overwritten.
+func (s *RingSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
