@@ -6,19 +6,30 @@
 #   make check   the differential/metamorphic harness alone (internal/check):
 #                predictor grid vs oracle, encoding invariants, energy
 #                conservation, serial-vs-parallel determinism
+#   make lint    formatting and static-analysis gate: gofmt -l must be
+#                empty and go vet must pass
 #   make fuzz    run every native fuzz target for FUZZTIME (default 30s)
 #   make obs-check  trace the E3 suite kernels with cntsim -trace-out and
 #                verify each trace reconciles through cntstat
 #   make results regenerate results/ with the full (non-quick) sweeps
+#   make bench-json  quick E3-suite batch emitting BENCH_E3.json, the
+#                machine-readable record CI archives per commit
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 check fuzz obs-check results bench
+.PHONY: tier1 tier2 lint check fuzz obs-check results bench bench-json
 
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
+
+lint:
+	@fmt=$$(gofmt -l .); \
+	if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 tier2:
 	$(GO) vet ./...
@@ -53,3 +64,8 @@ results:
 
 bench:
 	$(GO) test -short -bench=. -benchmem ./...
+
+bench-json:
+	$(GO) run ./cmd/cntbench -quick -only E3 -json BENCH_E3.json \
+		-out $$(mktemp -d cntbench-json.XXXXXX -p $${TMPDIR:-/tmp}) >/dev/null
+	@echo "wrote BENCH_E3.json"

@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/isa"
@@ -22,71 +24,91 @@ import (
 )
 
 func main() {
-	list := flag.String("list", "", "disassemble a bundled program: "+strings.Join(isa.ProgramNames(), ","))
-	run := flag.String("run", "", "run a bundled program")
-	asmPath := flag.String("asm", "", "assembly source file")
-	runFile := flag.Bool("run-file", false, "run the -asm file")
-	listFile := flag.Bool("list-file", false, "disassemble the -asm file")
-	base := flag.Uint64("base", isa.CodeBase, "load address")
-	maxSteps := flag.Uint64("max-steps", isa.DefaultMaxSteps, "instruction budget")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cntasm:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command behind a testable seam: flag parsing against args,
+// listings and dumps to stdout, every failure a returned error.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cntasm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.String("list", "", "disassemble a bundled program: "+strings.Join(isa.ProgramNames(), ","))
+	runName := fs.String("run", "", "run a bundled program")
+	asmPath := fs.String("asm", "", "assembly source file")
+	runFile := fs.Bool("run-file", false, "run the -asm file")
+	listFile := fs.Bool("list-file", false, "disassemble the -asm file")
+	base := fs.Uint64("base", isa.CodeBase, "load address")
+	maxSteps := fs.Uint64("max-steps", isa.DefaultMaxSteps, "instruction budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch {
 	case *list != "":
 		src, ok := isa.Programs()[*list]
 		if !ok {
-			fatal(fmt.Errorf("unknown program %q", *list))
+			return fmt.Errorf("unknown program %q (have %v)", *list, isa.ProgramNames())
 		}
-		listing(src, *base)
-	case *run != "":
-		src, ok := isa.Programs()[*run]
+		return listing(stdout, src, *base)
+	case *runName != "":
+		src, ok := isa.Programs()[*runName]
 		if !ok {
-			fatal(fmt.Errorf("unknown program %q", *run))
+			return fmt.Errorf("unknown program %q (have %v)", *runName, isa.ProgramNames())
 		}
-		execute(src, *base, *maxSteps)
+		return execute(stdout, src, *base, *maxSteps)
 	case *asmPath != "":
 		raw, err := os.ReadFile(*asmPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		switch {
 		case *runFile:
-			execute(string(raw), *base, *maxSteps)
+			return execute(stdout, string(raw), *base, *maxSteps)
 		case *listFile:
-			listing(string(raw), *base)
+			return listing(stdout, string(raw), *base)
 		default:
 			// Assemble-only: report size and symbols.
 			prog, err := isa.Assemble(string(raw), *base)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("assembled %d words (%d bytes) at %#x\n", len(prog.Words), prog.Size(), prog.Base)
-			for name, addr := range prog.Symbols {
-				fmt.Printf("  %-16s %#x\n", name, addr)
+			fmt.Fprintf(stdout, "assembled %d words (%d bytes) at %#x\n", len(prog.Words), prog.Size(), prog.Base)
+			syms := make([]string, 0, len(prog.Symbols))
+			for name := range prog.Symbols {
+				syms = append(syms, name)
 			}
+			sort.Strings(syms)
+			for _, name := range syms {
+				fmt.Fprintf(stdout, "  %-16s %#x\n", name, prog.Symbols[name])
+			}
+			return nil
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("one of -list, -run or -asm is required")
 	}
 }
 
-func listing(src string, base uint64) {
+func listing(w io.Writer, src string, base uint64) error {
 	prog, err := isa.Assemble(src, base)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(isa.Disassemble(prog))
+	fmt.Fprint(w, isa.Disassemble(prog))
+	return nil
 }
 
-func execute(src string, base, maxSteps uint64) {
+func execute(w io.Writer, src string, base, maxSteps uint64) error {
 	prog, err := isa.Assemble(src, base)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	vm, accs, err := isa.RunProgram(src, base, maxSteps)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var fetches, reads, writes int
 	for _, a := range accs {
@@ -99,16 +121,12 @@ func execute(src string, base, maxSteps uint64) {
 			writes++
 		}
 	}
-	fmt.Printf("program: %d words, %d instructions executed\n", len(prog.Words), vm.Steps())
-	fmt.Printf("trace:   F=%d R=%d W=%d\n", fetches, reads, writes)
-	fmt.Println("registers:")
+	fmt.Fprintf(w, "program: %d words, %d instructions executed\n", len(prog.Words), vm.Steps())
+	fmt.Fprintf(w, "trace:   F=%d R=%d W=%d\n", fetches, reads, writes)
+	fmt.Fprintln(w, "registers:")
 	for r := 0; r < 16; r += 4 {
-		fmt.Printf("  r%-2d=%-12d r%-2d=%-12d r%-2d=%-12d r%-2d=%-12d\n",
+		fmt.Fprintf(w, "  r%-2d=%-12d r%-2d=%-12d r%-2d=%-12d r%-2d=%-12d\n",
 			r, vm.Regs[r], r+1, vm.Regs[r+1], r+2, vm.Regs[r+2], r+3, vm.Regs[r+3])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cntasm:", err)
-	os.Exit(1)
+	return nil
 }

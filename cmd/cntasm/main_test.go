@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunErrors drives the toolchain through its error surface.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no mode", nil, "one of -list, -run or -asm is required"},
+		{"unknown list program", []string{"-list", "nope"}, "unknown program"},
+		{"unknown run program", []string{"-run", "nope"}, "unknown program"},
+		{"missing asm file", []string{"-asm", "/no/such/prog.s"}, "no/such"},
+		{"unparseable flag", []string{"-base", "abc"}, "invalid value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run(c.args, &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestRunBadSource checks that assembler diagnostics surface as errors
+// in every -asm mode instead of exiting.
+func TestRunBadSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(path, []byte("frobnicate r1, r2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range [][]string{
+		{"-asm", path},
+		{"-asm", path, "-run-file"},
+		{"-asm", path, "-list-file"},
+	} {
+		var out, errBuf bytes.Buffer
+		if err := run(mode, &out, &errBuf); err == nil {
+			t.Errorf("run(%v) accepted an unknown mnemonic", mode)
+		}
+	}
+}
+
+// TestListAndRunBundledProgram smoke-tests the two bundled-program modes.
+func TestListAndRunBundledProgram(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list", "matmul"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("-list produced no disassembly")
+	}
+
+	out.Reset()
+	if err := run([]string{"-run", "matmul"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"instructions executed", "trace:", "registers:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-run output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestAssembleOnlyReportsSymbols checks the assemble-only mode prints
+// the size line and the symbol table in sorted order.
+func TestAssembleOnlyReportsSymbols(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.s")
+	src := "start:\n  addi r1, r0, 7\nloop:\n  addi r1, r1, -1\n  bne r1, r0, loop\n  halt\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-asm", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "assembled") {
+		t.Errorf("missing size line:\n%s", out.String())
+	}
+	li, ls := strings.Index(out.String(), "loop"), strings.Index(out.String(), "start")
+	if li < 0 || ls < 0 || li > ls {
+		t.Errorf("symbols missing or unsorted:\n%s", out.String())
+	}
+}

@@ -140,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload generator seed")
 	quick := fs.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 	jobs := fs.Int("jobs", 0, "concurrent experiments (0 = one per CPU, 1 = serial)")
+	jsonOut := fs.String("json", "", "also write a machine-readable JSON summary of the batch to this file")
 	progress := fs.Duration("progress", 0, "print a status line to stderr this often (e.g. 2s; 0 disables)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live run status (JSON at /metrics) and pprof at this address (e.g. :6060)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -244,6 +245,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// stdout, INDEX.txt, and RESULTS.md match a serial run byte for byte.
 	var index strings.Builder
 	var tables []*experiments.Table
+	var records []jsonRecord
 	fmt.Fprintf(&index, "CNT-Cache reproduction results (seed=%d quick=%v)\n\n", *seed, *quick)
 	for _, o := range work {
 		fmt.Fprintf(stderr, "running %s (%s: %s)...\n", o.exp.ID, o.exp.Kind, o.exp.Title)
@@ -265,6 +267,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, o.text)
 		tables = append(tables, o.tab)
+		records = append(records, jsonRecord{
+			ID: o.tab.ID, Kind: o.tab.Kind, Title: o.tab.Title, Tag: o.tab.Tag,
+			Seconds: o.secs, Columns: o.tab.Columns, Rows: o.tab.Rows, Notes: o.tab.Notes,
+		})
 		// Timings go to stderr only, so INDEX.txt is byte-identical
 		// across runs and for every -jobs value.
 		fmt.Fprintf(&index, "%s: %s — %s\n", o.exp.ID, o.exp.Kind, o.exp.Title)
@@ -276,6 +282,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	md := experiments.MarkdownReport(tables, header)
 	if err := os.WriteFile(filepath.Join(*out, "RESULTS.md"), []byte(md), 0o644); err != nil {
 		return err
+	}
+	if *jsonOut != "" {
+		if err := writeJSONSummary(*jsonOut, *seed, *quick, records); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stderr, "results written to %s/\n", *out)
 
@@ -291,6 +302,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// jsonRecord is one experiment's machine-readable result: the full
+// table plus the wall-clock it took, so CI can archive a batch
+// (make bench-json) and diff numbers across commits.
+type jsonRecord struct {
+	ID      string     `json:"id"`
+	Kind    string     `json:"kind"`
+	Title   string     `json:"title"`
+	Tag     string     `json:"tag,omitempty"`
+	Seconds float64    `json:"seconds"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// jsonSummary is the top-level document -json writes.
+type jsonSummary struct {
+	Seed        int64        `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Experiments []jsonRecord `json:"experiments"`
+}
+
+func writeJSONSummary(path string, seed int64, quick bool, records []jsonRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jsonSummary{Seed: seed, Quick: quick, Experiments: records}); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // run executes one experiment and renders its artifacts; rendering

@@ -59,6 +59,36 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+// TestRunJSONSummary checks the -json machine-readable summary: one
+// record per experiment carrying the full table.
+func TestRunJSONSummary(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-only", "E1,E2", "-quick", "-out", dir, "-json", jsonPath}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, raw)
+	}
+	if sum.Seed != 1 || !sum.Quick {
+		t.Errorf("summary header = %+v", sum)
+	}
+	if len(sum.Experiments) != 2 || sum.Experiments[0].ID != "E1" || sum.Experiments[1].ID != "E2" {
+		t.Fatalf("experiments = %+v, want E1 then E2", sum.Experiments)
+	}
+	for _, r := range sum.Experiments {
+		if r.Title == "" || len(r.Columns) == 0 || len(r.Rows) == 0 || r.Seconds < 0 {
+			t.Errorf("%s record incomplete: %+v", r.ID, r)
+		}
+	}
+}
+
 // TestRunWithProgressAndMetricsAddr exercises the live-introspection
 // flags end to end on a cheap experiment: the run must succeed, report
 // the listening address, and the progress machinery must not disturb the

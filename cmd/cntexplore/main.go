@@ -1,14 +1,16 @@
 // Command cntexplore runs ad-hoc parameter sweeps over one workload: it
-// varies one knob (window, partitions, deltat, fifo, idle) across a list
-// of values and prints the saving of CNT-Cache over the baseline at each
-// point. It complements cntbench (which regenerates the fixed experiment
-// suite) for interactive design-space exploration.
+// varies one knob (window, partitions, deltat, fifo, idle, predictor)
+// across a list of values and prints the saving of CNT-Cache over the
+// baseline at each point. It complements cntbench (which regenerates the
+// fixed experiment suite) for interactive design-space exploration.
+// Every point executes through internal/run.Spec, the unified drive
+// path shared with cntsim and cntbench.
 //
 // Usage:
 //
 //	cntexplore -workload mm -knob window -values 3,7,15,31,63
 //	cntexplore -workload list -knob partitions -values 1,2,4,8,16,32,64
-//	cntexplore -workload stack -knob deltat -values 0,0.1,0.2,0.4
+//	cntexplore -program matmul -knob deltat -values 0,0.1,0.2,0.4
 package main
 
 import (
@@ -19,10 +21,10 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/encoding"
 	"repro/internal/energy"
+	"repro/internal/isa"
+	simrun "repro/internal/run"
 	"repro/internal/workload"
 )
 
@@ -38,7 +40,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("cntexplore", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	wl := fs.String("workload", "mm", "bundled kernel: "+strings.Join(workload.Names(), ","))
+	wl := fs.String("workload", "", "bundled kernel: "+strings.Join(workload.Names(), ","))
+	prog := fs.String("program", "", "bundled ISA program: "+strings.Join(isa.ProgramNames(), ","))
+	traceFile := fs.String("trace", "", "trace file (.txt or binary)")
 	knob := fs.String("knob", "window", "knob to sweep: window, partitions, deltat, fifo, idle, predictor")
 	values := fs.String("values", "", "comma-separated values (required)")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -49,25 +53,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *values == "" {
 		return fmt.Errorf("-values is required")
 	}
-	// Vet the whole sweep before simulating anything, so a typo in the
-	// last value fails immediately instead of after minutes of work.
+	// The source flags are mutually exclusive; with none given, the mm
+	// kernel keeps the command's historical default.
+	src := simrun.Source{Kernel: *wl, Program: *prog, TracePath: *traceFile}
+	if src == (simrun.Source{}) {
+		src.Kernel = "mm"
+	}
+	if err := src.Validate(); err != nil {
+		return err
+	}
+
+	// Vet the whole sweep before simulating anything, so a typo or an
+	// out-of-range value in the last point fails immediately instead of
+	// after minutes of work. Configure validates without loading the
+	// source, which is exactly the eager check a sweep wants.
 	points := strings.Split(*values, ",")
+	specs := make([]simrun.Spec, len(points))
 	for i := range points {
 		points[i] = strings.TrimSpace(points[i])
-		probe := core.DefaultOptions()
-		if err := applyKnob(&probe, *knob, points[i]); err != nil {
+		params := core.DefaultParams()
+		if err := applyKnob(&params, *knob, points[i]); err != nil {
 			return err
 		}
+		specs[i] = simrun.Spec{Variant: simrun.DefaultVariant, Params: &params}
+		if _, err := specs[i].Configure(); err != nil {
+			return fmt.Errorf("%s=%s: %w", *knob, points[i], err)
+		}
 	}
-	b, err := workload.ByName(*wl)
+
+	// Load the instance once; every point replays the same stream.
+	inst, err := src.Load(*seed)
 	if err != nil {
 		return err
 	}
-	inst := b.Build(*seed)
-	hier := cache.DefaultHierarchyConfig()
 
-	base := core.BaselineOptions()
-	baseRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: base, IOpts: base})
+	baseRep, err := simrun.Spec{Source: simrun.Source{Instance: inst}, Variant: "baseline"}.Run()
 	if err != nil {
 		return err
 	}
@@ -75,12 +95,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "workload %s: baseline D-cache %s\n", inst.Name, energy.Format(baseTotal))
 	fmt.Fprintf(stdout, "%-10s %12s %10s %10s %8s\n", *knob, "D energy", "saving", "switches", "drop")
 
-	for _, raw := range points {
-		opts := core.DefaultOptions()
-		if err := applyKnob(&opts, *knob, raw); err != nil {
-			return err
-		}
-		rep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+	for i, raw := range points {
+		spec := specs[i]
+		spec.Source = simrun.Source{Instance: inst}
+		rep, err := spec.Run()
 		if err != nil {
 			return fmt.Errorf("%s=%s: %w", *knob, raw, err)
 		}
@@ -92,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func applyKnob(o *core.Options, knob, raw string) error {
+func applyKnob(p *core.Params, knob, raw string) error {
 	switch knob {
 	case "window", "partitions", "fifo", "idle":
 		v, err := strconv.Atoi(raw)
@@ -101,22 +119,22 @@ func applyKnob(o *core.Options, knob, raw string) error {
 		}
 		switch knob {
 		case "window":
-			o.Window = v
+			p.Window = v
 		case "partitions":
-			o.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: v}
+			p.Partitions = v
 		case "fifo":
-			o.FIFODepth = v
+			p.FIFODepth = v
 		case "idle":
-			o.IdleSlots = v
+			p.IdleSlots = v
 		}
 	case "deltat":
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
 			return fmt.Errorf("knob deltat: bad value %q", raw)
 		}
-		o.DeltaT = v
+		p.DeltaT = v
 	case "predictor":
-		o.PolicyName = raw
+		p.PolicyName = raw
 	default:
 		return fmt.Errorf("unknown knob %q (want window, partitions, deltat, fifo, idle, predictor)", knob)
 	}

@@ -18,6 +18,10 @@ func TestRunErrors(t *testing.T) {
 		{"missing values", []string{"-knob", "window"}, "-values is required"},
 		{"unknown knob", []string{"-knob", "nope", "-values", "1"}, "unknown knob"},
 		{"unknown workload", []string{"-workload", "nope", "-knob", "window", "-values", "15"}, "nope"},
+		{"unknown program", []string{"-program", "nope", "-knob", "window", "-values", "15"}, "unknown program"},
+		{"two sources", []string{"-workload", "mm", "-program", "matmul", "-values", "15"}, "exactly one of"},
+		{"three sources", []string{"-workload", "mm", "-program", "matmul", "-trace", "t.bin", "-values", "15"}, "exactly one of"},
+		{"missing trace file", []string{"-trace", "/no/such/trace.txt", "-knob", "window", "-values", "15"}, "no/such"},
 		{"bad int value", []string{"-knob", "window", "-values", "3,abc"}, "bad value"},
 		{"bad float value", []string{"-knob", "deltat", "-values", "0.1,x"}, "bad value"},
 		{"unparseable flag", []string{"-seed", "abc"}, "invalid value"},
@@ -36,5 +40,21 @@ func TestRunErrors(t *testing.T) {
 				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
 			}
 		})
+	}
+}
+
+// TestRunSweep exercises the happy path: one row per sweep point plus
+// the two header lines.
+func TestRunSweep(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-workload", "hist", "-knob", "window", "-values", "7,15"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("output has %d lines, want 4:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "workload hist: baseline D-cache") {
+		t.Errorf("header = %q", lines[0])
 	}
 }

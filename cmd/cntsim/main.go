@@ -2,6 +2,8 @@
 // bundled ISA program, or a trace file — through the simulated cache
 // hierarchy and prints the architectural and energy report for a chosen
 // encoding variant (or a side-by-side comparison of all variants).
+// Every invocation executes through internal/run.Spec, the unified
+// drive path shared with cntbench, cntexplore and the examples.
 //
 // Usage:
 //
@@ -29,9 +31,8 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/energy"
 	"repro/internal/isa"
-	"repro/internal/mem"
 	"repro/internal/obs"
-	"repro/internal/trace"
+	simrun "repro/internal/run"
 	"repro/internal/workload"
 )
 
@@ -51,14 +52,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	wl := fs.String("workload", "", "bundled kernel: "+strings.Join(workload.Names(), ","))
 	prog := fs.String("program", "", "bundled ISA program: "+strings.Join(isa.ProgramNames(), ","))
 	traceFile := fs.String("trace", "", "trace file (.txt or binary)")
-	variant := fs.String("variant", "cnt-cache", "encoding variant: baseline,static-write,static-read,write-greedy,cnt-whole,cnt-cache")
+	variant := fs.String("variant", simrun.DefaultVariant, "encoding variant: "+strings.Join(core.VariantNames(), ","))
 	compare := fs.Bool("compare", false, "run every variant and print a comparison")
 	window := fs.Int("window", 15, "prediction window W")
 	partitions := fs.Int("partitions", 8, "partition count K")
 	deltaT := fs.Float64("deltat", core.DefaultDeltaT, "switch hysteresis")
-	device := fs.String("device", "cnfet-32", "device preset: "+strings.Join(cnfet.PresetNames(), ","))
+	device := fs.String("device", simrun.DefaultDevice, "device preset: "+strings.Join(cnfet.PresetNames(), ","))
 	seed := fs.Int64("seed", 1, "workload seed")
-	configPath := fs.String("config", "", "JSON run configuration (overrides variant/device/geometry flags)")
+	jobs := fs.Int("jobs", 0, "comparison worker count (0 = one per CPU)")
+	configPath := fs.String("config", "", "JSON run specification (overrides variant/device/geometry flags)")
 	exampleConfig := fs.Bool("example-config", false, "print a sample configuration file and exit")
 	inspect := fs.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace of the run to this file (see cntstat)")
@@ -123,14 +125,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
-	attach := func(cfg *core.SimConfig) {
-		if sink != nil {
-			cfg.DOpts.Trace = sink
-			cfg.IOpts.Trace = sink
-		}
-		cfg.DOpts.Metrics = reg
-		cfg.IOpts.Metrics = reg
-	}
 	persist := func() error {
 		if sink != nil {
 			if err := sink.Flush(); err != nil {
@@ -154,64 +148,68 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	hier := cache.DefaultHierarchyConfig()
-
+	// Build the run specification: from the config document when given
+	// (knob flags are ignored then; a CLI source overrides the file's),
+	// otherwise from the flags, with every knob vetted eagerly so a bad
+	// value fails with a one-line error before any simulation is built.
+	var spec simrun.Spec
 	if *configPath != "" {
 		doc, err := config.Load(*configPath)
 		if err != nil {
 			return err
 		}
-		simCfg, cfgSeed, err := doc.Resolve()
+		spec, err = doc.Spec()
 		if err != nil {
 			return err
 		}
-		inst, err := loadInstance(*wl, *prog, *traceFile, cfgSeed)
-		if err != nil {
-			return err
+		if *wl != "" || *prog != "" || *traceFile != "" {
+			spec.Source = simrun.Source{Kernel: *wl, Program: *prog, TracePath: *traceFile}
 		}
-		attach(&simCfg)
-		rep, err := core.RunInstance(inst, simCfg)
-		if err != nil {
-			return err
+	} else {
+		if *window < 1 {
+			return fmt.Errorf("-window must be at least 1, got %d", *window)
 		}
-		printReport(stdout, inst, rep)
-		return persist()
+		if *deltaT < 0 || *deltaT >= 1 {
+			return fmt.Errorf("-deltat must be in [0,1), got %g", *deltaT)
+		}
+		lineBytes := cache.DefaultHierarchyConfig().L1D.Geometry.LineBytes
+		if err := encoding.CheckPartitions(lineBytes, *partitions); err != nil {
+			return fmt.Errorf("-partitions %d: %w", *partitions, err)
+		}
+		params := core.DefaultParams()
+		params.Partitions = *partitions
+		params.Window = *window
+		params.DeltaT = *deltaT
+		params.Table = cnfet.EnergyTable{} // resolved from -device
+		spec = simrun.Spec{
+			Source:  simrun.Source{Kernel: *wl, Program: *prog, TracePath: *traceFile},
+			Seed:    *seed,
+			Device:  *device,
+			Variant: *variant,
+			Params:  &params,
+		}
+	}
+	spec.Jobs = *jobs
+	if sink != nil {
+		spec.Trace = sink
+	}
+	if reg != nil {
+		spec.Metrics = reg
 	}
 
-	// Validate the knob flags eagerly, so a bad value fails with a
-	// one-line error before any simulation is built.
-	if *window < 1 {
-		return fmt.Errorf("-window must be at least 1, got %d", *window)
-	}
-	if *deltaT < 0 || *deltaT >= 1 {
-		return fmt.Errorf("-deltat must be in [0,1), got %g", *deltaT)
-	}
-	if err := encoding.CheckPartitions(hier.L1D.Geometry.LineBytes, *partitions); err != nil {
-		return fmt.Errorf("-partitions %d: %w", *partitions, err)
-	}
-
-	dev, err := cnfet.PresetByName(*device)
-	if err != nil {
-		return err
-	}
-	tab, err := dev.Table()
-	if err != nil {
-		return err
-	}
-
-	inst, err := loadInstance(*wl, *prog, *traceFile, *seed)
+	sess, err := spec.Resolve()
 	if err != nil {
 		return err
 	}
 
 	if *compare {
-		cmp, err := core.Compare(inst, hier, core.Variants(tab, *partitions, *window))
+		cmp, err := sess.Compare()
 		if err != nil {
 			return err
 		}
 		base := cmp.BaselineTotal()
 		fmt.Fprintf(stdout, "workload %s: %d accesses, baseline D-cache %s\n",
-			inst.Name, len(inst.Accesses), energy.Format(base))
+			sess.Instance.Name, len(sess.Instance.Accesses), energy.Format(base))
 		for i, name := range cmp.Names {
 			rep := cmp.Reports[i]
 			fmt.Fprintf(stdout, "  %-13s D=%12s  saving=%+6.1f%%  switches=%d  drops=%.3f\n",
@@ -221,89 +219,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	opts, err := optionsFor(*variant, tab, *partitions, *window, *deltaT)
+	rep, err := sess.Run()
 	if err != nil {
 		return err
 	}
-	simCfg := core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts}
-	attach(&simCfg)
-	rep, snap, err := runWithSnapshot(inst, simCfg)
-	if err != nil {
-		return err
-	}
-	printReport(stdout, inst, rep)
+	printReport(stdout, sess.Instance, rep.Report)
 	if *inspect {
+		snap, err := sess.Snapshot()
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(stdout, "\nD-cache line-state snapshot:")
 		fmt.Fprint(stdout, snap.String())
 	}
 	return persist()
-}
-
-// runWithSnapshot mirrors core.RunInstance but keeps the simulation alive
-// long enough to take the end-of-run snapshot.
-func runWithSnapshot(inst *workload.Instance, cfg core.SimConfig) (*core.Report, core.Snapshot, error) {
-	m := mem.New()
-	inst.Preload(m)
-	sim, err := core.NewSim(cfg, m)
-	if err != nil {
-		return nil, core.Snapshot{}, err
-	}
-	for i, a := range inst.Accesses {
-		if err := sim.Access(a); err != nil {
-			return nil, core.Snapshot{}, fmt.Errorf("access %d: %w", i, err)
-		}
-	}
-	rep := sim.Finish(inst.Name, cfg.DOpts.Spec.String())
-	return rep, sim.L1D.Snapshot(), nil
-}
-
-func loadInstance(wl, prog, traceFile string, seed int64) (*workload.Instance, error) {
-	selected := 0
-	for _, s := range []string{wl, prog, traceFile} {
-		if s != "" {
-			selected++
-		}
-	}
-	if selected != 1 {
-		return nil, fmt.Errorf("exactly one of -workload, -program, -trace is required")
-	}
-	switch {
-	case wl != "":
-		b, err := workload.ByName(wl)
-		if err != nil {
-			return nil, err
-		}
-		return b.Build(seed), nil
-	case prog != "":
-		src, ok := isa.Programs()[prog]
-		if !ok {
-			return nil, fmt.Errorf("unknown program %q (have %v)", prog, isa.ProgramNames())
-		}
-		_, accs, err := isa.RunProgram(src, isa.CodeBase, isa.DefaultMaxSteps)
-		if err != nil {
-			return nil, err
-		}
-		return &workload.Instance{Name: prog, Accesses: accs}, nil
-	default:
-		accs, err := trace.ReadFile(traceFile)
-		if err != nil {
-			return nil, err
-		}
-		return &workload.Instance{Name: traceFile, Accesses: accs}, nil
-	}
-}
-
-func optionsFor(variant string, tab cnfet.EnergyTable, k, w int, dt float64) (core.Options, error) {
-	for _, v := range core.Variants(tab, k, w) {
-		if v.Name == variant {
-			o := v.Opts
-			if o.Spec.Kind == encoding.KindAdaptive {
-				o.DeltaT = dt
-			}
-			return o, nil
-		}
-	}
-	return core.Options{}, fmt.Errorf("unknown variant %q", variant)
 }
 
 func printReport(w io.Writer, inst *workload.Instance, rep *core.Report) {

@@ -1,6 +1,8 @@
 // Command tracegen materializes a bundled workload (kernel, ISA program
 // or synthetic mix) into a trace file in the text or binary format, so
 // traces can be archived, inspected, or replayed with cntsim -trace.
+// Kernel and program sources resolve through internal/run.Source, the
+// same loader every simulation driver uses.
 //
 // Usage:
 //
@@ -12,51 +14,66 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/isa"
+	simrun "repro/internal/run"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
-	wl := flag.String("workload", "", "bundled kernel: "+strings.Join(workload.Names(), ","))
-	prog := flag.String("program", "", "bundled ISA program: "+strings.Join(isa.ProgramNames(), ","))
-	mix := flag.Bool("mix", false, "synthetic mix generator")
-	readFrac := flag.Float64("readfrac", 0.7, "mix: read fraction")
-	density := flag.Float64("density", 0.2, "mix: data one-density")
-	accesses := flag.Int("accesses", 100000, "mix: stream length")
-	footprint := flag.Int("footprint", 64*1024, "mix: footprint bytes")
-	format := flag.String("format", "binary", "output format hint: the path extension decides (.txt/.txt.gz text, else binary; .gz compresses)")
-	out := flag.String("o", "", "output file (required); extension picks format")
-	seed := flag.Int64("seed", 1, "generator seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command behind a testable seam: flag parsing against args,
+// notes to stderr, every failure a returned error.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "bundled kernel: "+strings.Join(workload.Names(), ","))
+	prog := fs.String("program", "", "bundled ISA program: "+strings.Join(isa.ProgramNames(), ","))
+	mix := fs.Bool("mix", false, "synthetic mix generator")
+	readFrac := fs.Float64("readfrac", 0.7, "mix: read fraction")
+	density := fs.Float64("density", 0.2, "mix: data one-density")
+	accesses := fs.Int("accesses", 100000, "mix: stream length")
+	footprint := fs.Int("footprint", 64*1024, "mix: footprint bytes")
+	format := fs.String("format", "binary", "output format hint: the path extension decides (.txt/.txt.gz text, else binary; .gz compresses)")
+	out := fs.String("o", "", "output file (required); extension picks format")
+	seed := fs.Int64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *out == "" {
-		fatal(fmt.Errorf("-o output file is required"))
+		return fmt.Errorf("-o output file is required")
+	}
+	if *format == "text" && !strings.Contains(*out, ".txt") {
+		return fmt.Errorf("-format text requires a .txt or .txt.gz output path")
 	}
 
 	inst, err := build(*wl, *prog, *mix, *readFrac, *density, *accesses, *footprint, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	path := *out
-	if *format == "text" && !strings.Contains(path, ".txt") {
-		fatal(fmt.Errorf("-format text requires a .txt or .txt.gz output path"))
-	}
-	if err := trace.WriteFile(path, inst.Accesses); err != nil {
-		fatal(err)
+	if err := trace.WriteFile(*out, inst.Accesses); err != nil {
+		return err
 	}
 	if len(inst.Init) > 0 {
-		fmt.Fprintf(os.Stderr, "note: workload %s also has an initial memory image (%d regions); "+
+		fmt.Fprintf(stderr, "note: workload %s also has an initial memory image (%d regions); "+
 			"replaying the bare trace against empty memory changes read data contents\n",
 			inst.Name, len(inst.Init))
 	}
 	r, w, fc := inst.Counts()
-	fmt.Fprintf(os.Stderr, "wrote %d accesses (R=%d W=%d F=%d) to %s\n",
+	fmt.Fprintf(stderr, "wrote %d accesses (R=%d W=%d F=%d) to %s\n",
 		len(inst.Accesses), r, w, fc, *out)
+	return nil
 }
 
 func build(wl, prog string, mix bool, rf, d float64, accs, fp int, seed int64) (*workload.Instance, error) {
@@ -73,32 +90,11 @@ func build(wl, prog string, mix bool, rf, d float64, accs, fp int, seed int64) (
 	if selected != 1 {
 		return nil, fmt.Errorf("exactly one of -workload, -program, -mix is required")
 	}
-	switch {
-	case wl != "":
-		b, err := workload.ByName(wl)
-		if err != nil {
-			return nil, err
-		}
-		return b.Build(seed), nil
-	case prog != "":
-		src, ok := isa.Programs()[prog]
-		if !ok {
-			return nil, fmt.Errorf("unknown program %q (have %v)", prog, isa.ProgramNames())
-		}
-		_, accsOut, err := isa.RunProgram(src, isa.CodeBase, isa.DefaultMaxSteps)
-		if err != nil {
-			return nil, err
-		}
-		return &workload.Instance{Name: prog, Accesses: accsOut}, nil
-	default:
+	if mix {
 		return workload.Mix(workload.MixConfig{
 			ReadFraction: rf, OneDensity: d, Accesses: accs,
 			FootprintBytes: fp, HotFraction: 0.8,
 		}, seed)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return simrun.Source{Kernel: wl, Program: prog}.Load(seed)
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRunErrors drives the generator through its error surface; every
+// failure must arrive before any file is written.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing output", []string{"-workload", "mm"}, "-o output file is required"},
+		{"no source", []string{"-o", "t.bin"}, "exactly one of"},
+		{"two sources", []string{"-workload", "mm", "-program", "matmul", "-o", "t.bin"}, "exactly one of"},
+		{"mix plus kernel", []string{"-workload", "mm", "-mix", "-o", "t.bin"}, "exactly one of"},
+		{"unknown workload", []string{"-workload", "nope", "-o", "t.bin"}, "nope"},
+		{"unknown program", []string{"-program", "nope", "-o", "t.bin"}, "unknown program"},
+		{"text format non-txt path", []string{"-workload", "mm", "-format", "text", "-o", "t.bin"}, ".txt"},
+		{"unparseable flag", []string{"-accesses", "abc"}, "invalid value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run(c.args, &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestRunWritesReplayableTrace generates a kernel trace and reads it
+// back through the trace package, checking the round trip and the
+// stderr summary.
+func TestRunWritesReplayableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.bin")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-workload", "hist", "-o", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	accs, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("generated trace does not read back: %v", err)
+	}
+	if len(accs) == 0 {
+		t.Fatal("generated trace is empty")
+	}
+	if !strings.Contains(errBuf.String(), "wrote") || !strings.Contains(errBuf.String(), path) {
+		t.Errorf("summary line missing:\n%s", errBuf.String())
+	}
+}
+
+// TestRunMixTextFormat exercises the synthetic-mix path and the text
+// encoding.
+func TestRunMixTextFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mix.txt")
+	var out, errBuf bytes.Buffer
+	args := []string{"-mix", "-accesses", "500", "-format", "text", "-o", path}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	accs, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 500 {
+		t.Errorf("trace length = %d, want 500", len(accs))
+	}
+}

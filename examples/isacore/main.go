@@ -61,7 +61,7 @@ func run(opts core.Options) (*core.Report, uint32, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	vm := isa.NewVM(m, trace.SinkFunc(sim.Access))
+	vm := isa.NewVM(m, trace.SinkFunc(sim.Step))
 	vm.Load(prog)
 	if err := vm.Run(isa.DefaultMaxSteps); err != nil {
 		return nil, 0, err

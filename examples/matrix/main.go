@@ -1,7 +1,8 @@
 // Matrix: run the matrix-multiply benchmark kernel through every encoding
 // variant and print the per-component energy breakdown — the scenario the
 // paper's D-cache claim is built on (read-dominated, zero-heavy integer
-// data).
+// data). The whole comparison is three lines of internal/run: declare a
+// Spec, resolve it, compare.
 //
 //	go run ./examples/matrix
 package main
@@ -10,21 +11,21 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cache"
-	"repro/internal/cnfet"
-	"repro/internal/core"
 	"repro/internal/energy"
-	"repro/internal/workload"
+	"repro/internal/run"
 )
 
 func main() {
-	inst := workload.MatMul(1)
+	sess, err := run.Spec{Source: run.Source{Kernel: "mm"}}.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := sess.Instance
 	reads, writes, _ := inst.Counts()
 	fmt.Printf("mm: %d accesses (%.1f%% reads), 48x48 int32 matrices\n\n",
 		len(inst.Accesses), 100*float64(reads)/float64(reads+writes))
 
-	tab := cnfet.MustTable(cnfet.CNFET32())
-	cmp, err := core.Compare(inst, cache.DefaultHierarchyConfig(), core.Variants(tab, 8, 15))
+	cmp, err := sess.Compare()
 	if err != nil {
 		log.Fatal(err)
 	}

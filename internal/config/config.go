@@ -1,7 +1,9 @@
-// Package config loads simulation configurations from JSON, so cntsim and
-// scripted runs can describe a full experiment — hierarchy geometry,
-// device, encoding variant and all CNT-Cache knobs — in one reviewable
-// file instead of a flag soup.
+// Package config loads run specifications from JSON, so cntsim and
+// scripted runs can describe a full experiment — access source,
+// hierarchy geometry, device, encoding variant and all CNT-Cache knobs
+// — in one reviewable file instead of a flag soup. A File resolves into
+// an internal/run.Spec, the unified drive path every tool executes
+// through.
 package config
 
 import (
@@ -13,7 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cnfet"
 	"repro/internal/core"
-	"repro/internal/encoding"
+	"repro/internal/run"
 	"repro/internal/sram"
 )
 
@@ -25,10 +27,23 @@ type CacheJSON struct {
 	Policy    string `json:"policy,omitempty"` // lru (default), plru, fifo, random
 }
 
+// SourceJSON selects the access stream of the run. At most one field
+// may be set; a file without a source describes configuration only and
+// relies on the driver (e.g. cntsim's -workload flag) to supply one.
+type SourceJSON struct {
+	// Kernel names a bundled benchmark kernel.
+	Kernel string `json:"kernel,omitempty"`
+	// Program names a bundled ISA program.
+	Program string `json:"program,omitempty"`
+	// Trace is a trace file path (.txt or binary).
+	Trace string `json:"trace,omitempty"`
+}
+
 // OptionsJSON describes one L1 variant's encoding options.
 type OptionsJSON struct {
-	// Variant is the encoding policy: baseline, static-write,
-	// static-read, write-greedy, cnt-cache (default).
+	// Variant names a registered encoding variant (core.VariantNames):
+	// baseline, static-write, static-read, write-greedy, cnt-whole,
+	// cnt-cache (default).
 	Variant    string  `json:"variant,omitempty"`
 	Partitions int     `json:"partitions,omitempty"`
 	Window     int     `json:"window,omitempty"`
@@ -46,12 +61,16 @@ type OptionsJSON struct {
 	Predictor string `json:"predictor,omitempty"`
 }
 
-// File is the top-level configuration document.
+// File is the top-level run-specification document.
 type File struct {
+	// Source selects the access stream (optional; drivers may supply one).
+	Source *SourceJSON `json:"source,omitempty"`
 	// Device is a cnfet preset name ("cnfet-32", "cmos-32", ...).
 	Device string `json:"device,omitempty"`
 	// Seed feeds workload generators.
 	Seed int64 `json:"seed,omitempty"`
+	// Jobs bounds the worker pool of comparison runs; 0 means one per CPU.
+	Jobs int `json:"jobs,omitempty"`
 	// L1D, L1I and L2 geometry; zero-valued L2 omits the level.
 	L1D *CacheJSON `json:"l1d,omitempty"`
 	L1I *CacheJSON `json:"l1i,omitempty"`
@@ -82,51 +101,65 @@ func Parse(r io.Reader) (*File, error) {
 	return &out, nil
 }
 
-// Resolve materializes the document into a runnable simulation
-// configuration, filling defaults for everything omitted.
-func (f *File) Resolve() (core.SimConfig, int64, error) {
-	device := f.Device
-	if device == "" {
-		device = "cnfet-32"
-	}
-	dev, err := cnfet.PresetByName(device)
-	if err != nil {
-		return core.SimConfig{}, 0, err
-	}
-	tab, err := dev.Table()
-	if err != nil {
-		return core.SimConfig{}, 0, err
+// Spec materializes the document into a run specification, filling
+// defaults for everything omitted. Geometry and enum fields are
+// validated here; variant names and knob combinations are validated
+// when the spec resolves (run.Spec.Configure / Resolve).
+func (f *File) Spec() (run.Spec, error) {
+	spec := run.Spec{Device: f.Device, Seed: f.Seed, Jobs: f.Jobs}
+	if f.Source != nil {
+		spec.Source = run.Source{
+			Kernel:    f.Source.Kernel,
+			Program:   f.Source.Program,
+			TracePath: f.Source.Trace,
+		}
 	}
 
 	hier := cache.DefaultHierarchyConfig()
 	if err := applyCache(&hier.L1D, f.L1D, f.Seed); err != nil {
-		return core.SimConfig{}, 0, fmt.Errorf("config: l1d: %w", err)
+		return run.Spec{}, fmt.Errorf("config: l1d: %w", err)
 	}
 	if err := applyCache(&hier.L1I, f.L1I, f.Seed); err != nil {
-		return core.SimConfig{}, 0, fmt.Errorf("config: l1i: %w", err)
+		return run.Spec{}, fmt.Errorf("config: l1i: %w", err)
 	}
 	if f.L2 != nil {
 		if f.L2.Sets == 0 { // explicit {"sets":0} drops the level
 			hier.L2 = cache.Config{}
 		} else if err := applyCache(&hier.L2, f.L2, f.Seed); err != nil {
-			return core.SimConfig{}, 0, fmt.Errorf("config: l2: %w", err)
+			return run.Spec{}, fmt.Errorf("config: l2: %w", err)
 		}
 	}
+	spec.Hierarchy = hier
 
-	dOpts, err := resolveOptions(f.DCache, tab)
+	var err error
+	spec.Variant, spec.Params, err = sideSpec(f.DCache)
 	if err != nil {
-		return core.SimConfig{}, 0, fmt.Errorf("config: dcache: %w", err)
+		return run.Spec{}, fmt.Errorf("config: dcache: %w", err)
 	}
-	iOpts, err := resolveOptions(f.ICache, tab)
+	spec.IVariant, spec.IParams, err = sideSpec(f.ICache)
 	if err != nil {
-		return core.SimConfig{}, 0, fmt.Errorf("config: icache: %w", err)
+		return run.Spec{}, fmt.Errorf("config: icache: %w", err)
 	}
+	return spec, nil
+}
 
-	seed := f.Seed
+// Resolve materializes the document into a runnable simulation
+// configuration. It delegates to Spec plus the run layer's resolution,
+// so file-described runs can never drift from flag-described ones.
+func (f *File) Resolve() (core.SimConfig, int64, error) {
+	spec, err := f.Spec()
+	if err != nil {
+		return core.SimConfig{}, 0, err
+	}
+	cfg, err := spec.Configure()
+	if err != nil {
+		return core.SimConfig{}, 0, err
+	}
+	seed := spec.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	return core.SimConfig{Hierarchy: hier, DOpts: dOpts, IOpts: iOpts}, seed, nil
+	return cfg, seed, nil
 }
 
 func applyCache(dst *cache.Config, src *CacheJSON, seed int64) error {
@@ -146,76 +179,72 @@ func applyCache(dst *cache.Config, src *CacheJSON, seed int64) error {
 	return nil
 }
 
-func resolveOptions(src *OptionsJSON, tab cnfet.EnergyTable) (core.Options, error) {
-	opts := core.DefaultOptions()
-	opts.Table = tab
+// sideSpec translates one L1's JSON options into a (variant name,
+// parameter bundle) pair for the run layer. The bundle starts from
+// core.DefaultParams with the energy table cleared, so the spec's
+// device preset decides it; nonzero JSON fields override the defaults
+// (delta_t 0 therefore cannot be expressed from a file — it reads as
+// "use the default hysteresis").
+func sideSpec(src *OptionsJSON) (string, *core.Params, error) {
+	p := core.DefaultParams()
+	p.Table = cnfet.EnergyTable{} // zero value: filled from the spec's device
+	name := run.DefaultVariant
 	if src == nil {
-		return opts, nil
+		return name, &p, nil
 	}
 	if src.Variant != "" {
-		kind, err := encoding.ParseKind(src.Variant)
-		if err != nil {
-			return core.Options{}, err
-		}
-		if kind == encoding.KindOracleStatic {
-			return core.Options{}, fmt.Errorf("oracle-static needs offline masks and cannot be configured from a file")
-		}
-		opts.Spec.Kind = kind
-		if kind == encoding.KindNone {
-			opts.Spec.Partitions = 0
-			opts.Window = 0
-			opts.DeltaT = 0
-		}
+		name = src.Variant
 	}
 	if src.Partitions > 0 {
-		opts.Spec.Partitions = src.Partitions
+		p.Partitions = src.Partitions
 	}
 	if src.Window > 0 {
-		opts.Window = src.Window
+		p.Window = src.Window
 	}
 	if src.DeltaT != 0 {
-		opts.DeltaT = src.DeltaT
+		p.DeltaT = src.DeltaT
 	}
 	if src.FIFODepth > 0 {
-		opts.FIFODepth = src.FIFODepth
+		p.FIFODepth = src.FIFODepth
 	}
 	if src.IdleSlots != nil {
-		opts.IdleSlots = *src.IdleSlots
+		p.IdleSlots = *src.IdleSlots
 	}
 	switch src.Granularity {
 	case "", "line":
 	case "word":
-		opts.Granularity = core.GranularityWord
+		p.Granularity = core.GranularityWord
 	default:
-		return core.Options{}, fmt.Errorf("unknown granularity %q", src.Granularity)
+		return "", nil, fmt.Errorf("unknown granularity %q", src.Granularity)
 	}
 	switch src.SwitchCost {
 	case "", "flipped-only":
 	case "full-line":
-		opts.SwitchCost = core.SwitchFullLine
+		p.SwitchCost = core.SwitchFullLine
 	default:
-		return core.Options{}, fmt.Errorf("unknown switch_cost %q", src.SwitchCost)
+		return "", nil, fmt.Errorf("unknown switch_cost %q", src.SwitchCost)
 	}
 	switch src.FillPolicy {
 	case "", "neutral":
 	case "write-optimal":
-		opts.FillPolicy = core.FillWriteOptimal
+		p.FillPolicy = core.FillWriteOptimal
 	default:
-		return core.Options{}, fmt.Errorf("unknown fill_policy %q", src.FillPolicy)
+		return "", nil, fmt.Errorf("unknown fill_policy %q", src.FillPolicy)
 	}
 	switch src.Predictor {
 	case "", "window", "conf2", "conf3", "ewma":
-		opts.PolicyName = src.Predictor
+		p.PolicyName = src.Predictor
 	default:
-		return core.Options{}, fmt.Errorf("unknown predictor %q", src.Predictor)
+		return "", nil, fmt.Errorf("unknown predictor %q", src.Predictor)
 	}
-	return opts, nil
+	return name, &p, nil
 }
 
 // Example returns a fully populated sample document.
 func Example() *File {
 	idle := 1
 	return &File{
+		Source: &SourceJSON{Kernel: "mm"},
 		Device: "cnfet-32",
 		Seed:   1,
 		L1D:    &CacheJSON{Sets: 64, Ways: 8, LineBytes: 64, Policy: "lru"},

@@ -2,11 +2,13 @@ package config
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/run"
 )
 
 func TestParseEmptyGivesDefaults(t *testing.T) {
@@ -152,6 +154,171 @@ func TestBaselineVariantClearsAdaptiveKnobs(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load("/no/such/file.json"); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+// TestSpecRoundTripsJSON pins the run-spec schema's JSON round-trip:
+// a document carrying every top-level field re-encodes to the same
+// structure and materializes into the run.Spec it describes.
+func TestSpecRoundTripsJSON(t *testing.T) {
+	doc := `{
+		"source": {"kernel": "hist"},
+		"device": "cmos-32",
+		"seed": 9,
+		"jobs": 3,
+		"dcache": {"variant": "static-read"},
+		"icache": {"variant": "baseline"}
+	}`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Source.Kernel != "hist" || spec.Device != "cmos-32" ||
+		spec.Seed != 9 || spec.Jobs != 3 {
+		t.Errorf("spec top level = %+v", spec)
+	}
+	if spec.Variant != "static-read" || spec.IVariant != "baseline" {
+		t.Errorf("spec variants = %q / %q", spec.Variant, spec.IVariant)
+	}
+
+	// JSON round-trip: encode the parsed File and re-parse; both must
+	// produce the same spec.
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("re-encoded document does not parse: %v", err)
+	}
+	spec2, err := f2.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.Source != spec.Source || spec2.Variant != spec.Variant ||
+		spec2.IVariant != spec.IVariant || spec2.Seed != spec.Seed || spec2.Jobs != spec.Jobs {
+		t.Errorf("round-tripped spec differs:\n got %+v\nwant %+v", spec2, spec)
+	}
+}
+
+// TestSpecDefaultFilling pins what an empty document means: kernelless
+// source, seed 0 (normalized to 1 at resolve time), default variant and
+// hierarchy — exactly what the flag-free CLI path produces.
+func TestSpecDefaultFilling(t *testing.T) {
+	f, err := Parse(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Source != (run.Source{}) {
+		t.Errorf("empty document grew a source: %+v", spec.Source)
+	}
+	if spec.Variant != "cnt-cache" || spec.IVariant != "cnt-cache" {
+		t.Errorf("default variants = %q / %q", spec.Variant, spec.IVariant)
+	}
+	if spec.Params == nil || spec.Params.Partitions != 8 || spec.Params.Window != 15 {
+		t.Errorf("default params = %+v", spec.Params)
+	}
+	if spec.Params.Table.Name != "" {
+		t.Errorf("params table should be left to the device preset, got %q", spec.Params.Table.Name)
+	}
+	cfg, err := spec.Configure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DOpts.Table.Name != "cnfet-32" {
+		t.Errorf("default device = %q", cfg.DOpts.Table.Name)
+	}
+}
+
+// TestWriteExampleGolden pins config.WriteExample byte for byte. The
+// example is schema documentation printed by cntsim -example-config;
+// any schema change must show up here deliberately.
+func TestWriteExampleGolden(t *testing.T) {
+	const want = `{
+  "source": {
+    "kernel": "mm"
+  },
+  "device": "cnfet-32",
+  "seed": 1,
+  "l1d": {
+    "sets": 64,
+    "ways": 8,
+    "line_bytes": 64,
+    "policy": "lru"
+  },
+  "l1i": {
+    "sets": 128,
+    "ways": 4,
+    "line_bytes": 64,
+    "policy": "lru"
+  },
+  "l2": {
+    "sets": 512,
+    "ways": 8,
+    "line_bytes": 64,
+    "policy": "lru"
+  },
+  "dcache": {
+    "variant": "cnt-cache",
+    "partitions": 8,
+    "window": 15,
+    "delta_t": 0.1,
+    "fifo_depth": 16,
+    "idle_slots": 1,
+    "granularity": "line",
+    "switch_cost": "flipped-only",
+    "fill_policy": "neutral"
+  },
+  "icache": {
+    "variant": "cnt-cache",
+    "partitions": 8,
+    "window": 15
+  }
+}
+`
+	var buf bytes.Buffer
+	if err := WriteExample(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Errorf("WriteExample output drifted:\n%s", buf.String())
+	}
+}
+
+// TestVariantNameRoundTripsThroughRun is the acceptance path of the
+// registry: a variant named in config JSON resolves through the run
+// layer and comes back as the report's variant label.
+func TestVariantNameRoundTripsThroughRun(t *testing.T) {
+	doc := `{
+		"source": {"kernel": "hist"},
+		"dcache": {"variant": "static-read"},
+		"icache": {"variant": "static-read"}
+	}`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Variant != "static-read" {
+		t.Errorf("report variant = %q, want the registry name to round-trip", rep.Variant)
+	}
+	if rep.Workload != "hist" || rep.Instance == nil {
+		t.Errorf("report workload = %q", rep.Workload)
 	}
 }
 

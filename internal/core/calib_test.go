@@ -12,8 +12,9 @@ func TestCalibrationSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration smoke")
 	}
-	tab := cnfet.MustTable(cnfet.CNFET32())
-	vars := Variants(tab, 8, 15)
+	p := DefaultParams()
+	p.Table = cnfet.MustTable(cnfet.CNFET32())
+	vars := ComparisonVariants(p)
 	sum := 0.0
 	for _, b := range workload.Suite() {
 		inst := b.Build(1)

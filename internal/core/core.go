@@ -180,6 +180,60 @@ func BaselineOptions() Options {
 	}
 }
 
+// Validate reports whether the options can build a CNTCache over lines
+// of lineBytes bytes, without constructing any simulation state. New
+// performs the same structural checks while building; Validate is the
+// eager gate the declarative layers (internal/run, internal/config) use
+// to fail before a single access is simulated. It is strictly stronger
+// than New in one respect: an oracle-static spec without fill masks is
+// rejected here, because a declarative description has no offline pass
+// to supply them (see OracleVariant).
+func (o Options) Validate(lineBytes int) error {
+	if err := o.Spec.Validate(lineBytes); err != nil {
+		return err
+	}
+	if err := o.Table.Validate(); err != nil {
+		return err
+	}
+	if o.IdleSlots < 0 {
+		return fmt.Errorf("core: idle slots must be non-negative, got %d", o.IdleSlots)
+	}
+	switch o.Spec.Kind {
+	case encoding.KindOracleStatic:
+		if o.FillMasks == nil {
+			return fmt.Errorf("core: the oracle variant needs offline fill masks (see OracleVariant)")
+		}
+	case encoding.KindAdaptive:
+		if o.Window <= 0 {
+			return fmt.Errorf("core: adaptive encoding needs a positive window")
+		}
+		if _, err := sram.MetadataBits(o.Window, o.Spec.Partitions); err != nil {
+			return err
+		}
+		base, err := predictor.New(predictor.Config{
+			Window:     o.Window,
+			LineBytes:  lineBytes,
+			Partitions: o.Spec.Partitions,
+			Table:      o.Table,
+			DeltaT:     o.DeltaT,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := predictor.NewPolicy(o.PolicyName, base); err != nil {
+			return err
+		}
+		depth := o.FIFODepth
+		if depth <= 0 {
+			depth = 16
+		}
+		if _, err := fifo.New(depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // lineState is the per-line CNT-Cache state alongside the architectural
 // line: the direction mask and the H&D history counters.
 type lineState struct {

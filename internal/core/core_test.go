@@ -335,8 +335,7 @@ func TestRunInstanceDeterministic(t *testing.T) {
 
 func TestCompareVariantsOnKernel(t *testing.T) {
 	inst := workload.Histogram(1)
-	cmp, err := Compare(inst, cache.DefaultHierarchyConfig(),
-		Variants(cnfet.MustTable(cnfet.CNFET32()), 8, 15))
+	cmp, err := Compare(inst, cache.DefaultHierarchyConfig(), ComparisonVariants(DefaultParams()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,10 +364,10 @@ func TestFetchRoutesToICache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sim.Access(trace.Access{Op: trace.Fetch, Addr: 0x1000, Size: 4}); err != nil {
+	if err := sim.Step(trace.Access{Op: trace.Fetch, Addr: 0x1000, Size: 4}); err != nil {
 		t.Fatal(err)
 	}
-	if err := sim.Access(trace.Access{Op: trace.Read, Addr: 0x2000, Size: 4}); err != nil {
+	if err := sim.Step(trace.Access{Op: trace.Read, Addr: 0x2000, Size: 4}); err != nil {
 		t.Fatal(err)
 	}
 	rep := sim.Finish("x", "y")

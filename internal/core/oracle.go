@@ -113,15 +113,17 @@ func OracleMasks(inst *workload.Instance, hier cache.HierarchyConfig, tab cnfet.
 }
 
 // OracleVariant builds the options realizing the oracle-static policy for
-// one instance: masks are computed offline and pinned at fill time.
+// one instance: masks are computed offline and pinned at fill time. The
+// options come from the "oracle-static" registry entry, so the name used
+// in experiment tables resolves to exactly this construction.
 func OracleVariant(inst *workload.Instance, hier cache.HierarchyConfig, tab cnfet.EnergyTable, partitions int) (Options, error) {
 	masks, err := OracleMasks(inst, hier, tab, partitions)
 	if err != nil {
 		return Options{}, err
 	}
-	return Options{
-		Spec:      encoding.Spec{Kind: encoding.KindOracleStatic, Partitions: partitions},
-		Table:     tab,
-		FillMasks: masks,
-	}, nil
+	return BuildVariant("oracle-static", Params{
+		Partitions: partitions,
+		Table:      tab,
+		FillMasks:  masks,
+	})
 }

@@ -5,8 +5,6 @@ import (
 	"sync"
 
 	"repro/internal/cache"
-	"repro/internal/cnfet"
-	"repro/internal/encoding"
 	"repro/internal/energy"
 	"repro/internal/fifo"
 	"repro/internal/mem"
@@ -95,12 +93,31 @@ func NewSim(cfg SimConfig, m *mem.Memory) (*Sim, error) {
 	return s, nil
 }
 
-// Access routes one access to the right L1.
-func (s *Sim) Access(a trace.Access) error {
+// Step advances the simulation by one access, routing it to the right
+// L1. The engine stays inspectable between steps — Snapshot renders the
+// live D-cache state — which is what cmd/cntsim's -inspect mode and any
+// future interactive driver build on.
+func (s *Sim) Step(a trace.Access) error {
 	if a.Op == trace.Fetch {
 		return s.L1I.Access(a)
 	}
 	return s.L1D.Access(a)
+}
+
+// Snapshot captures the D-cache's current encoding state (per-line
+// masks, history counters, queue occupancy). Valid at any point between
+// steps.
+func (s *Sim) Snapshot() Snapshot { return s.L1D.Snapshot() }
+
+// Run replays a whole instance through the simulation and finishes it,
+// labeling the report with the D-cache variant's spec.
+func (s *Sim) Run(inst *workload.Instance) (*Report, error) {
+	for i, a := range inst.Accesses {
+		if err := s.Step(a); err != nil {
+			return nil, fmt.Errorf("core: %s access %d: %w", inst.Name, i, err)
+		}
+	}
+	return s.Finish(inst.Name, s.L1D.Options().Spec.String()), nil
 }
 
 // Finish drains pending updates and reports. When a trace sink is
@@ -135,46 +152,15 @@ func RunInstance(inst *workload.Instance, cfg SimConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, a := range inst.Accesses {
-		if err := sim.Access(a); err != nil {
-			return nil, fmt.Errorf("core: %s access %d: %w", inst.Name, i, err)
-		}
-	}
-	return sim.Finish(inst.Name, cfg.DOpts.Spec.String()), nil
+	return sim.Run(inst)
 }
 
-// Variant couples a display name with the options realizing it.
+// Variant couples a registry name with the options realizing it. See
+// RegisterVariant/BuildVariant (variants.go) for the name → builder
+// registry these are resolved through.
 type Variant struct {
 	Name string
 	Opts Options
-}
-
-// Variants returns the comparison set of the headline experiment, all on
-// the same energy table: the plain CNFET baseline, fill-time static
-// inversion (both orientations), the bus-invert-style write-greedy
-// encoder, whole-line CNT-Cache and partitioned CNT-Cache.
-func Variants(tab cnfet.EnergyTable, partitions, window int) []Variant {
-	adaptive := func(k int) Options {
-		o := DefaultOptions()
-		o.Table = tab
-		o.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: k}
-		o.Window = window
-		return o
-	}
-	static := func(kind encoding.Kind) Options {
-		return Options{
-			Spec:  encoding.Spec{Kind: kind, Partitions: partitions},
-			Table: tab,
-		}
-	}
-	return []Variant{
-		{Name: "baseline", Opts: Options{Spec: encoding.Spec{Kind: encoding.KindNone}, Table: tab}},
-		{Name: "static-write", Opts: static(encoding.KindStaticWrite)},
-		{Name: "static-read", Opts: static(encoding.KindStaticRead)},
-		{Name: "write-greedy", Opts: static(encoding.KindWriteGreedy)},
-		{Name: "cnt-whole", Opts: adaptive(1)},
-		{Name: "cnt-cache", Opts: adaptive(partitions)},
-	}
 }
 
 // Comparison is the result of running one workload across the variant set.

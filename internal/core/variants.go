@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cnfet"
+	"repro/internal/encoding"
+	"repro/internal/sram"
+)
+
+// Params bundles every knob a variant builder may consult. A builder
+// reads only the fields its policy uses — the baseline ignores the
+// window, the static encoders ignore the FIFO — so one Params value can
+// derive the whole comparison set consistently (same device, same
+// granularity, same partition count everywhere it applies).
+type Params struct {
+	// Partitions is the partition count K for every partitioned variant.
+	Partitions int
+	// Window is the predictor window W (adaptive variants).
+	Window int
+	// DeltaT is the switch hysteresis (adaptive variants).
+	DeltaT float64
+	// FIFODepth is the update-queue capacity (adaptive variants).
+	FIFODepth int
+	// IdleSlots is the per-access drain budget (adaptive variants).
+	IdleSlots int
+	// Table is the per-bit energy model every variant is charged on.
+	Table cnfet.EnergyTable
+	// Periphery overrides the array peripheral energies (nil derives
+	// defaults from Table).
+	Periphery *sram.Periphery
+	// Granularity is the energy access-granularity model.
+	Granularity Granularity
+	// SwitchCost is the re-encode charging model.
+	SwitchCost SwitchCost
+	// FillPolicy is the initial direction for filled lines.
+	FillPolicy FillPolicy
+	// PolicyName selects the direction-prediction policy (adaptive
+	// variants); "" is Algorithm 1.
+	PolicyName string
+	// FillMasks carries the offline per-line masks of the oracle-static
+	// variant; every other builder ignores it.
+	FillMasks map[uint64]uint64
+}
+
+// DefaultParams returns the headline-experiment parameters: K=8, W=15,
+// ΔT=0.1, a 16-entry FIFO draining one entry per idle interval, on the
+// reference CNFET device.
+func DefaultParams() Params {
+	return Params{
+		Partitions: 8,
+		Window:     15,
+		DeltaT:     DefaultDeltaT,
+		FIFODepth:  16,
+		IdleSlots:  1,
+		Table:      cnfet.MustTable(cnfet.CNFET32()),
+	}
+}
+
+// VariantBuilder materializes the options realizing one named variant
+// from a parameter bundle.
+type VariantBuilder func(Params) Options
+
+// The variant registry: every encoding policy the simulator can run,
+// addressable by name from configuration files, CLI flags and the
+// experiment tables, so variant naming can never drift between them.
+// Registration order is preserved for deterministic listings.
+var (
+	variantMu    sync.RWMutex
+	variantOrder []string
+	variantIndex = map[string]VariantBuilder{}
+)
+
+// RegisterVariant adds a named variant. It panics on an empty name, a
+// nil builder, or a duplicate registration — variant names are global
+// API, and a silent overwrite would let two call sites disagree about
+// what a name means.
+func RegisterVariant(name string, build VariantBuilder) {
+	if name == "" || build == nil {
+		panic("core: RegisterVariant needs a name and a builder")
+	}
+	variantMu.Lock()
+	defer variantMu.Unlock()
+	if _, dup := variantIndex[name]; dup {
+		panic(fmt.Sprintf("core: variant %q registered twice", name))
+	}
+	variantIndex[name] = build
+	variantOrder = append(variantOrder, name)
+}
+
+// VariantNames returns every registered variant name in registration
+// order (built-ins first).
+func VariantNames() []string {
+	variantMu.RLock()
+	defer variantMu.RUnlock()
+	return append([]string(nil), variantOrder...)
+}
+
+// BuildVariant resolves a registered variant name into runnable options.
+func BuildVariant(name string, p Params) (Options, error) {
+	variantMu.RLock()
+	build, ok := variantIndex[name]
+	variantMu.RUnlock()
+	if !ok {
+		known := VariantNames()
+		sort.Strings(known)
+		return Options{}, fmt.Errorf("core: unknown variant %q (have %s)", name, strings.Join(known, ", "))
+	}
+	return build(p), nil
+}
+
+// comparisonNames is the headline comparison set (experiment E3) in its
+// fixed rendering order. Oracle-static is excluded: its masks come from
+// an offline pass over a concrete trace (see OracleVariant), so it
+// cannot be built from parameters alone.
+var comparisonNames = []string{
+	"baseline", "static-write", "static-read", "write-greedy", "cnt-whole", "cnt-cache",
+}
+
+// ComparisonNames returns the headline comparison set's variant names in
+// rendering order.
+func ComparisonNames() []string { return append([]string(nil), comparisonNames...) }
+
+// ComparisonVariants builds the comparison set of the headline
+// experiment on one parameter bundle: the plain CNFET baseline, both
+// fill-time static inversions, the bus-invert-style write-greedy
+// encoder, whole-line CNT-Cache and partitioned CNT-Cache.
+func ComparisonVariants(p Params) []Variant {
+	out := make([]Variant, len(comparisonNames))
+	for i, name := range comparisonNames {
+		opts, err := BuildVariant(name, p)
+		if err != nil {
+			panic(err) // built-ins are registered by init; unreachable
+		}
+		out[i] = Variant{Name: name, Opts: opts}
+	}
+	return out
+}
+
+// staticVariant builds the options of a fill-time (or per-write greedy)
+// encoded variant: no predictor, no FIFO, just the codec on the chosen
+// device and charging models.
+func staticVariant(kind encoding.Kind) VariantBuilder {
+	return func(p Params) Options {
+		return Options{
+			Spec:        encoding.Spec{Kind: kind, Partitions: p.Partitions},
+			Table:       p.Table,
+			Periphery:   p.Periphery,
+			Granularity: p.Granularity,
+			SwitchCost:  p.SwitchCost,
+			FillPolicy:  p.FillPolicy,
+		}
+	}
+}
+
+// adaptiveVariant builds a CNT-Cache configuration with the partition
+// count derived from the parameters by parts.
+func adaptiveVariant(parts func(Params) int) VariantBuilder {
+	return func(p Params) Options {
+		return Options{
+			Spec:        encoding.Spec{Kind: encoding.KindAdaptive, Partitions: parts(p)},
+			Window:      p.Window,
+			DeltaT:      p.DeltaT,
+			FIFODepth:   p.FIFODepth,
+			IdleSlots:   p.IdleSlots,
+			Table:       p.Table,
+			Periphery:   p.Periphery,
+			Granularity: p.Granularity,
+			SwitchCost:  p.SwitchCost,
+			FillPolicy:  p.FillPolicy,
+			PolicyName:  p.PolicyName,
+		}
+	}
+}
+
+func init() {
+	RegisterVariant("baseline", func(p Params) Options {
+		return Options{
+			Spec:        encoding.Spec{Kind: encoding.KindNone},
+			Table:       p.Table,
+			Periphery:   p.Periphery,
+			Granularity: p.Granularity,
+			SwitchCost:  p.SwitchCost,
+			FillPolicy:  p.FillPolicy,
+		}
+	})
+	RegisterVariant("static-write", staticVariant(encoding.KindStaticWrite))
+	RegisterVariant("static-read", staticVariant(encoding.KindStaticRead))
+	RegisterVariant("write-greedy", staticVariant(encoding.KindWriteGreedy))
+	RegisterVariant("cnt-whole", adaptiveVariant(func(Params) int { return 1 }))
+	RegisterVariant("cnt-cache", adaptiveVariant(func(p Params) int { return p.Partitions }))
+	RegisterVariant("oracle-static", func(p Params) Options {
+		return Options{
+			Spec:        encoding.Spec{Kind: encoding.KindOracleStatic, Partitions: p.Partitions},
+			Table:       p.Table,
+			Periphery:   p.Periphery,
+			Granularity: p.Granularity,
+			SwitchCost:  p.SwitchCost,
+			FillPolicy:  p.FillPolicy,
+			FillMasks:   p.FillMasks,
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cnfet"
+	"repro/internal/encoding"
+)
+
+// TestComparisonVariantsMatchLegacyConstruction pins the registry's
+// comparison set to the exact Options the pre-registry core.Variants
+// helper produced. The experiment tables (E3 among them) are derived
+// from these structs, so any drift here is a silent results change.
+func TestComparisonVariantsMatchLegacyConstruction(t *testing.T) {
+	tab := cnfet.MustTable(cnfet.CMOS32())
+	p := DefaultParams()
+	p.Table = tab
+
+	adaptive := func(k int) Options {
+		o := DefaultOptions()
+		o.Table = tab
+		o.Spec = encoding.Spec{Kind: encoding.KindAdaptive, Partitions: k}
+		o.Window = 15
+		return o
+	}
+	static := func(kind encoding.Kind) Options {
+		return Options{Spec: encoding.Spec{Kind: kind, Partitions: 8}, Table: tab}
+	}
+	want := []Variant{
+		{Name: "baseline", Opts: Options{Spec: encoding.Spec{Kind: encoding.KindNone}, Table: tab}},
+		{Name: "static-write", Opts: static(encoding.KindStaticWrite)},
+		{Name: "static-read", Opts: static(encoding.KindStaticRead)},
+		{Name: "write-greedy", Opts: static(encoding.KindWriteGreedy)},
+		{Name: "cnt-whole", Opts: adaptive(1)},
+		{Name: "cnt-cache", Opts: adaptive(8)},
+	}
+
+	got := ComparisonVariants(p)
+	if len(got) != len(want) {
+		t.Fatalf("comparison set has %d variants, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Errorf("variant %d named %q, want %q", i, got[i].Name, want[i].Name)
+		}
+		if !reflect.DeepEqual(got[i].Opts, want[i].Opts) {
+			t.Errorf("variant %s options drifted:\n got %+v\nwant %+v", want[i].Name, got[i].Opts, want[i].Opts)
+		}
+	}
+}
+
+func TestVariantNamesIncludeBuiltins(t *testing.T) {
+	names := VariantNames()
+	idx := map[string]bool{}
+	for _, n := range names {
+		idx[n] = true
+	}
+	for _, n := range append(ComparisonNames(), "oracle-static") {
+		if !idx[n] {
+			t.Errorf("built-in variant %q not registered (have %v)", n, names)
+		}
+	}
+}
+
+func TestBuildVariantUnknownName(t *testing.T) {
+	_, err := BuildVariant("quantum", DefaultParams())
+	if err == nil || !strings.Contains(err.Error(), `unknown variant "quantum"`) {
+		t.Fatalf("err = %v, want unknown-variant error", err)
+	}
+}
+
+// TestRegisterVariantExtension exercises the open side of the registry:
+// a new policy registers under a fresh name, builds from the shared
+// parameter bundle, and duplicate registration panics.
+func TestRegisterVariantExtension(t *testing.T) {
+	RegisterVariant("test-ewma", func(p Params) Options {
+		o, err := BuildVariant("cnt-cache", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.PolicyName = "ewma"
+		return o
+	})
+	o, err := BuildVariant("test-ewma", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PolicyName != "ewma" || o.Spec.Kind != encoding.KindAdaptive {
+		t.Errorf("extension variant built %+v", o)
+	}
+	if err := o.Validate(64); err != nil {
+		t.Errorf("extension variant does not validate: %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterVariant("test-ewma", func(p Params) Options { return Options{} })
+}
+
+func TestOptionsValidate(t *testing.T) {
+	ok := DefaultOptions()
+	if err := ok.Validate(64); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"zero window", func(o *Options) { o.Window = 0 }, "window"},
+		{"bad partitions", func(o *Options) { o.Spec.Partitions = 7 }, "partition"},
+		{"negative idle", func(o *Options) { o.IdleSlots = -1 }, "idle"},
+		{"unknown policy", func(o *Options) { o.PolicyName = "psychic" }, "psychic"},
+		{"bad fifo", func(o *Options) { o.FIFODepth = -2 }, ""},
+		{"oracle without masks", func(o *Options) {
+			*o = Options{Spec: encoding.Spec{Kind: encoding.KindOracleStatic, Partitions: 8}, Table: o.Table}
+		}, "masks"},
+	}
+	for _, tc := range cases {
+		o := DefaultOptions()
+		tc.mut(&o)
+		err := o.Validate(64)
+		if tc.name == "bad fifo" {
+			// Depth <= 0 falls back to the default depth, matching New.
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

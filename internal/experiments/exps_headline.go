@@ -15,7 +15,9 @@ import (
 // optimized D-cache; the reproduced average should land in the same band.
 func runE3(cfg Config) (*Table, error) {
 	tab := defaultTable()
-	variants := core.Variants(tab, 8, 15)
+	params := core.DefaultParams()
+	params.Table = tab
+	variants := core.ComparisonVariants(params)
 	t := &Table{
 		ID: "E3", Kind: "Fig. 3", Tag: "[paper headline]",
 		Title: "D-cache dynamic energy saving vs baseline CNFET cache",
@@ -48,7 +50,7 @@ func runE3(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		oRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: oracleOpts, IOpts: oracleOpts})
+		oRep, err := runOne(inst, hier, oracleOpts)
 		if err != nil {
 			return err
 		}

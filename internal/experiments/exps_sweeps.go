@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/encoding"
 	"repro/internal/energy"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -40,15 +39,15 @@ func runE6(cfg Config) (*Table, error) {
 	hier := cache.DefaultHierarchyConfig()
 	base := core.BaselineOptions()
 	opts := core.DefaultOptions()
-	sread := core.Options{
-		Spec:  encoding.Spec{Kind: encoding.KindStaticRead, Partitions: opts.Spec.Partitions},
-		Table: opts.Table,
+	sread, err := core.BuildVariant("static-read", core.DefaultParams())
+	if err != nil {
+		return nil, err
 	}
 	// One unit per grid cell (read fraction x density), three simulations
 	// each; rows are assembled from the cell results in grid order.
 	type cell struct{ cnt, sread float64 }
 	cells := make([]cell, len(readFracs)*len(densities))
-	err := parallelFor(cfg.jobs(), len(cells), func(i int) error {
+	err = parallelFor(cfg.jobs(), len(cells), func(i int) error {
 		rf := readFracs[i/len(densities)]
 		d := densities[i%len(densities)]
 		inst, err := workload.Mix(workload.MixConfig{
@@ -62,7 +61,7 @@ func runE6(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		sRep, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: sread, IOpts: sread})
+		sRep, err := runOne(inst, hier, sread)
 		if err != nil {
 			return err
 		}
@@ -127,7 +126,7 @@ func runE9(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			vm := isa.NewVM(m, trace.SinkFunc(sim.Access))
+			vm := isa.NewVM(m, trace.SinkFunc(sim.Step))
 			vm.Load(prog)
 			if err := vm.Run(isa.DefaultMaxSteps); err != nil {
 				return nil, 0, err

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cnfet"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/run"
 	"repro/internal/workload"
 )
 
@@ -31,6 +32,20 @@ func kernels(cfg Config) []workload.Builder {
 // defaultTable is the reference CNFET energy model.
 func defaultTable() cnfet.EnergyTable { return cnfet.MustTable(cnfet.CNFET32()) }
 
+// runOne executes one simulation through the unified run layer: the
+// given options on both L1s over a fresh memory image.
+func runOne(inst *workload.Instance, hier cache.HierarchyConfig, opts core.Options) (*core.Report, error) {
+	rep, err := run.Spec{
+		Source:    run.Source{Instance: inst},
+		Hierarchy: hier,
+		DOptions:  &opts,
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	return rep.Report, nil
+}
+
 // runPair runs a workload under a baseline and a candidate D-cache
 // configuration and returns (baselineReport, candidateReport). The
 // baseline run is served from the memoization layer when possible; the
@@ -40,7 +55,7 @@ func runPair(inst *workload.Instance, hier cache.HierarchyConfig, baseOpts, opts
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: opts, IOpts: opts})
+	c, err := runOne(inst, hier, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,126 +1,35 @@
 package experiments
 
 import (
-	"sync"
-
 	"repro/internal/cache"
-	"repro/internal/cnfet"
 	"repro/internal/core"
-	"repro/internal/encoding"
-	"repro/internal/memo"
+	"repro/internal/run"
 	"repro/internal/workload"
 )
 
-// Memoization layer of the experiment engine. Two kinds of work repeat
-// heavily across experiments and sweep points:
-//
-//   - workload instances: every sweep point of E4/E5/E7/E10/E13 (and the
-//     kernel loops of E3/E8/E11/E12) used to rebuild the same
-//     deterministic instance via Builder.Build(seed);
-//   - baseline simulations: a sweep's baseline options depend only on
-//     the candidate's energy table and granularity, so every point of a
-//     sweep re-simulated an identical baseline per kernel.
-//
-// Both are cached process-wide in memo.Cache instances, whose sync.Once
-// entries guarantee each key builds exactly once even under concurrent
-// first lookups — the "each baseline simulated once per run" acceptance
-// property — and whose built-in memo.Stats accounting is the single
-// surface tests and live introspection (cntbench -progress,
-// -metrics-addr) read. Instances are keyed by (builder name, seed);
-// baseline reports are keyed by the shared *workload.Instance pointer
-// plus everything that feeds a baseline simulation (energy table,
-// granularity, hierarchy), which makes hits exact: identical pointer
-// means identical access stream and memory image. Cached values are
-// shared across goroutines, so both rest on the workload immutability
-// contract (see workload.Instance): instances are never mutated after
-// Build, and memoized baseline reports are read-only to callers.
-
-type instanceKey struct {
-	builder string
-	seed    int64
-}
-
-type baselineKey struct {
-	inst        *workload.Instance
-	table       cnfet.EnergyTable
-	granularity core.Granularity
-	hier        cache.HierarchyConfig
-}
-
-var (
-	instances memo.Cache[instanceKey, *workload.Instance]
-	baselines memo.Cache[baselineKey, *core.Report]
-
-	// shared marks instances owned by the instance cache. Baseline
-	// reports are memoized only for these: a one-off instance (E6's
-	// synthetic mixes, trace files) can never repeat its baseline — its
-	// pointer is fresh — so caching it would only pin dead instances in
-	// memory.
-	sharedMu sync.Mutex
-	shared   = map[*workload.Instance]struct{}{}
-)
+// The memoization layer lives in internal/run (the unified drive path);
+// these aliases keep the experiment engine and its callers (cntbench's
+// progress/metrics surfaces, the determinism tests) on their historical
+// names.
 
 // MemoStats aggregates the memoization layer's accounting: one
-// memo.Stats per cache. Builds count work actually performed (instance
-// constructions, baseline simulations); Hits count lookups served from
-// the cache.
-type MemoStats struct {
-	Instances memo.Stats
-	Baselines memo.Stats
-}
+// memo.Stats per cache. See run.MemoStats.
+type MemoStats = run.MemoStats
 
 // Stats returns a snapshot of the memoization counters.
-func Stats() MemoStats {
-	return MemoStats{Instances: instances.Stats(), Baselines: baselines.Stats()}
-}
+func Stats() MemoStats { return run.Stats() }
 
 // ResetMemo drops the instance and baseline caches and zeroes the
-// counters. Tests use it to measure one run in isolation; production
-// runs never need it (the caches are bounded by the suite size times the
-// distinct device/granularity/hierarchy combinations).
-func ResetMemo() {
-	instances.Reset()
-	baselines.Reset()
-	sharedMu.Lock()
-	shared = map[*workload.Instance]struct{}{}
-	sharedMu.Unlock()
-}
+// counters. Tests use it to measure one run in isolation.
+func ResetMemo() { run.ResetMemo() }
 
 // instanceFor returns the shared, immutable instance of a suite kernel.
-// Concurrent callers for the same (builder, seed) receive the same
-// pointer; Build runs at most once.
 func instanceFor(b workload.Builder, seed int64) *workload.Instance {
-	inst, _ := instances.Get(instanceKey{builder: b.Name, seed: seed},
-		func() (*workload.Instance, error) { return b.Build(seed), nil })
-	sharedMu.Lock()
-	shared[inst] = struct{}{}
-	sharedMu.Unlock()
-	return inst
-}
-
-// baselineMemoizable reports whether opts is a plain baseline the cache
-// key fully captures: unencoded, default periphery, no pinned masks,
-// and no attached telemetry (a sink or registry must observe its own
-// run, never be starved by a cache hit). Everything else in Options
-// (window, ΔT, FIFO, fill policy, switch cost, predictor) is dead
-// configuration for KindNone.
-func baselineMemoizable(opts core.Options) bool {
-	return opts.Spec.Kind == encoding.KindNone && opts.Periphery == nil &&
-		opts.FillMasks == nil && opts.Metrics == nil && opts.Trace == nil
+	return run.InstanceFor(b, seed)
 }
 
 // baselineReport runs inst under baseline options, serving repeats from
 // the cache. The returned report is shared and must not be mutated.
 func baselineReport(inst *workload.Instance, hier cache.HierarchyConfig, base core.Options) (*core.Report, error) {
-	run := func() (*core.Report, error) {
-		return core.RunInstance(inst, core.SimConfig{Hierarchy: hier, DOpts: base, IOpts: base})
-	}
-	sharedMu.Lock()
-	_, isShared := shared[inst]
-	sharedMu.Unlock()
-	if !isShared || !baselineMemoizable(base) {
-		return run()
-	}
-	key := baselineKey{inst: inst, table: base.Table, granularity: base.Granularity, hier: hier}
-	return baselines.Get(key, run)
+	return run.BaselineReport(inst, hier, base)
 }

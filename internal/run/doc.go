@@ -1,0 +1,20 @@
+// Package run is the unified drive path of the reproduction.
+//
+// A declarative Spec describes one simulation end to end — the access
+// source (bundled kernel, bundled ISA program, trace file, or an
+// in-memory instance), the cache hierarchy, the encoding variant by
+// registry name plus its parameter bundle, the device energy table, and
+// the telemetry sinks. Resolve validates the whole description eagerly
+// (before a single access is simulated) and returns a Session that
+// executes to a Report, stays inspectable (Snapshot), and can fan the
+// instance out across the registered comparison set (Compare).
+//
+// Every entry point — cmd/cntsim, cmd/cntbench, cmd/cntexplore,
+// examples/matrix — and the experiment engine drive simulations through
+// this seam, so the wiring that used to be copied per main (instance
+// loading, variant/Options resolution, telemetry attachment) exists
+// once. The process-wide memoization layer (instance and baseline
+// caches, see memo.go) and the bounded-parallelism primitive
+// (ParallelFor) live here for the same reason: they are properties of
+// how runs execute, not of any one experiment or tool.
+package run

@@ -1,0 +1,71 @@
+package run
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The bounded-parallelism primitive of the run path. Every experiment
+// decomposes into independent simulation units — the kernels of a suite
+// comparison, the points of a parameter sweep, the cells of a grid —
+// whose results are pure functions of (workload instance, options).
+// ParallelFor fans those units out over a bounded worker pool and the
+// caller assembles the table rows afterwards in index order, so rendered
+// output is byte-identical to a serial run: parallelism changes only
+// when work executes, never what is computed or in which order it is
+// reduced.
+
+// Jobs resolves a configured worker count: non-positive means one
+// worker per CPU.
+func Jobs(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ParallelFor runs fn(0..n-1) across at most jobs workers and waits for
+// all of them. Results must be written by index into caller-owned slices;
+// fn must not touch shared mutable state. The returned error is the
+// lowest-index failure, matching what a serial loop would have reported
+// first (later units still run to completion — they are already in
+// flight and side-effect free).
+func ParallelFor(jobs, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Source selects where a run's access stream comes from. Exactly one
+// field must be set.
+type Source struct {
+	// Kernel names a bundled benchmark kernel (workload.ByName). Kernel
+	// instances are served from the process-wide instance cache, so
+	// concurrent runs of the same (kernel, seed) share one immutable
+	// instance.
+	Kernel string
+	// Program names a bundled ISA program; its I+D access stream is
+	// produced by one architectural VM execution.
+	Program string
+	// TracePath is a trace file on disk (.txt or binary).
+	TracePath string
+	// Instance supplies a prebuilt in-memory instance directly — the
+	// escape hatch the experiment engine uses for synthetic workloads.
+	Instance *workload.Instance
+}
+
+// Validate checks that exactly one source is selected.
+func (s Source) Validate() error {
+	n := 0
+	if s.Instance != nil {
+		n++
+	}
+	for _, v := range []string{s.Kernel, s.Program, s.TracePath} {
+		if v != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("run: exactly one of a kernel, program, trace or instance source is required, got %d", n)
+	}
+	return nil
+}
+
+// Load materializes the access stream. The seed parameterizes kernel
+// builds; programs and trace files ignore it.
+//
+// Program sources replay the VM's recorded access stream against an
+// empty memory image (the instance carries no Init), exactly as
+// cmd/cntsim always has. A driver that needs the live VM semantics —
+// stores becoming visible to later loads through the simulated
+// hierarchy — should run the VM against the simulation directly (see
+// experiment E9).
+func (s Source) Load(seed int64) (*workload.Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case s.Instance != nil:
+		return s.Instance, nil
+	case s.Kernel != "":
+		b, err := workload.ByName(s.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		return InstanceFor(b, seed), nil
+	case s.Program != "":
+		src, ok := isa.Programs()[s.Program]
+		if !ok {
+			return nil, fmt.Errorf("run: unknown program %q (have %v)", s.Program, isa.ProgramNames())
+		}
+		_, accs, err := isa.RunProgram(src, isa.CodeBase, isa.DefaultMaxSteps)
+		if err != nil {
+			return nil, err
+		}
+		return &workload.Instance{Name: s.Program, Accesses: accs}, nil
+	default:
+		accs, err := trace.ReadFile(s.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		return &workload.Instance{Name: s.TracePath, Accesses: accs}, nil
+	}
+}

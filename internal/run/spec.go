@@ -1,0 +1,298 @@
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cnfet"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// DefaultVariant is the variant a Spec runs when none is named: the
+// paper's partitioned CNT-Cache.
+const DefaultVariant = "cnt-cache"
+
+// DefaultDevice is the device preset used when none is named.
+const DefaultDevice = "cnfet-32"
+
+// Spec declares one simulation. The zero value of every field means
+// "the default": seed 1, the default hierarchy, the cnfet-32 device,
+// the cnt-cache variant with core.DefaultParams, no telemetry. Only the
+// Source must be set.
+type Spec struct {
+	// Source selects the access stream.
+	Source Source
+	// Seed parameterizes kernel builds; 0 means 1.
+	Seed int64
+	// Hierarchy is the cache organization; the zero value means
+	// cache.DefaultHierarchyConfig.
+	Hierarchy cache.HierarchyConfig
+	// Device names the energy-table preset (cnfet.PresetByName) used
+	// whenever a parameter bundle carries no explicit table.
+	Device string
+
+	// Variant names the D-cache encoding variant in the core registry;
+	// "" means DefaultVariant. Params, when non-nil, overrides
+	// core.DefaultParams as the builder input.
+	Variant string
+	Params  *core.Params
+	// IVariant/IParams override the I-cache side. When all four of
+	// IVariant, IParams and the two escape hatches below are unset, the
+	// I-cache runs the same options as the D-cache.
+	IVariant string
+	IParams  *core.Params
+
+	// DOptions/IOptions are the fully-resolved escape hatch for engine
+	// callers that already hold core.Options; each is mutually exclusive
+	// with the corresponding Variant/Params pair.
+	DOptions *core.Options
+	IOptions *core.Options
+
+	// Metrics and Trace, when non-nil, attach to both L1s of the run.
+	Metrics *obs.Registry
+	Trace   obs.Sink
+
+	// Jobs bounds the worker pool of Compare; <=0 means one per CPU.
+	Jobs int
+}
+
+// Report is a run's outcome: the engine report plus the instance that
+// produced it. When the variant was resolved by registry name, the
+// report's Variant field carries that name, so a name written in a
+// config file round-trips into the output unchanged.
+type Report struct {
+	*core.Report
+	// Instance is the access stream the run replayed.
+	Instance *workload.Instance
+}
+
+// Session is a resolved, validated Spec, ready to execute.
+type Session struct {
+	// Instance is the loaded access stream.
+	Instance *workload.Instance
+	// SimConfig is the fully-resolved engine configuration.
+	SimConfig core.SimConfig
+
+	seed     int64
+	jobs     int
+	name     string // D-variant registry name; "" when DOptions was used
+	params   core.Params
+	paramsOK bool
+	sim      *core.Sim
+}
+
+// deviceTable resolves a device preset name to its energy table.
+func deviceTable(name string) (cnfet.EnergyTable, error) {
+	dev, err := cnfet.PresetByName(name)
+	if err != nil {
+		return cnfet.EnergyTable{}, err
+	}
+	return dev.Table()
+}
+
+// resolveSide builds one L1's options from a (variant, params) pair,
+// filling defaults: empty name means DefaultVariant, nil params means
+// core.DefaultParams, a zero-valued table means the spec's device.
+func resolveSide(variant string, params *core.Params, device string) (string, core.Params, core.Options, error) {
+	name := variant
+	if name == "" {
+		name = DefaultVariant
+	}
+	p := core.DefaultParams()
+	if params != nil {
+		p = *params
+	} else {
+		// A nil bundle carries no explicit table: the spec's device decides.
+		p.Table = cnfet.EnergyTable{}
+	}
+	if p.Table.Name == "" {
+		tab, err := deviceTable(device)
+		if err != nil {
+			return "", p, core.Options{}, err
+		}
+		p.Table = tab
+	}
+	opts, err := core.BuildVariant(name, p)
+	return name, p, opts, err
+}
+
+// configure resolves everything but the source.
+func (s Spec) configure() (*Session, error) {
+	sess := &Session{seed: s.Seed, jobs: s.Jobs}
+	if sess.seed == 0 {
+		sess.seed = 1
+	}
+
+	hier := s.Hierarchy
+	if hier.L1D.Geometry.Sets == 0 {
+		hier = cache.DefaultHierarchyConfig()
+	}
+	sess.SimConfig.Hierarchy = hier
+
+	device := s.Device
+	if device == "" {
+		device = DefaultDevice
+	}
+
+	// D side.
+	if s.DOptions != nil {
+		if s.Variant != "" || s.Params != nil {
+			return nil, fmt.Errorf("run: DOptions and Variant/Params are mutually exclusive")
+		}
+		sess.SimConfig.DOpts = *s.DOptions
+	} else {
+		name, p, opts, err := resolveSide(s.Variant, s.Params, device)
+		if err != nil {
+			return nil, err
+		}
+		sess.SimConfig.DOpts = opts
+		sess.name, sess.params, sess.paramsOK = name, p, true
+	}
+
+	// I side: explicit options, an explicit (variant, params) pair, or —
+	// when nothing is said about it — the same options as the D side.
+	switch {
+	case s.IOptions != nil:
+		if s.IVariant != "" || s.IParams != nil {
+			return nil, fmt.Errorf("run: IOptions and IVariant/IParams are mutually exclusive")
+		}
+		sess.SimConfig.IOpts = *s.IOptions
+	case s.IVariant != "" || s.IParams != nil:
+		_, _, opts, err := resolveSide(s.IVariant, s.IParams, device)
+		if err != nil {
+			return nil, err
+		}
+		sess.SimConfig.IOpts = opts
+	default:
+		sess.SimConfig.IOpts = sess.SimConfig.DOpts
+	}
+
+	// Telemetry attaches to both L1s, exactly like the pre-run drivers
+	// did. Explicitly-provided options keep their own sinks unless the
+	// spec names new ones.
+	if s.Metrics != nil {
+		sess.SimConfig.DOpts.Metrics = s.Metrics
+		sess.SimConfig.IOpts.Metrics = s.Metrics
+	}
+	if s.Trace != nil {
+		sess.SimConfig.DOpts.Trace = s.Trace
+		sess.SimConfig.IOpts.Trace = s.Trace
+	}
+
+	// Eager validation: every structural error a simulation build could
+	// hit surfaces here, before any source is loaded or access replayed.
+	if err := sess.SimConfig.DOpts.Validate(hier.L1D.Geometry.LineBytes); err != nil {
+		return nil, err
+	}
+	if err := sess.SimConfig.IOpts.Validate(hier.L1I.Geometry.LineBytes); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Configure resolves and validates the spec without touching its
+// source, returning the engine configuration it describes. This is the
+// seam config.File.Resolve and eager CLI vetting use: a Spec can be
+// checked completely before any workload is built.
+func (s Spec) Configure() (core.SimConfig, error) {
+	sess, err := s.configure()
+	if err != nil {
+		return core.SimConfig{}, err
+	}
+	return sess.SimConfig, nil
+}
+
+// Resolve validates the whole spec — source included — and loads the
+// access stream, returning a Session ready to Run.
+func (s Spec) Resolve() (*Session, error) {
+	if err := s.Source.Validate(); err != nil {
+		return nil, err
+	}
+	sess, err := s.configure()
+	if err != nil {
+		return nil, err
+	}
+	inst, err := s.Source.Load(sess.seed)
+	if err != nil {
+		return nil, err
+	}
+	sess.Instance = inst
+	return sess, nil
+}
+
+// Run resolves the spec and executes it — the one-call path.
+func (s Spec) Run() (*Report, error) {
+	sess, err := s.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run()
+}
+
+// Run executes the session: fresh memory image, one simulation, one
+// report. A session can be Run more than once; each run is independent.
+func (sess *Session) Run() (*Report, error) {
+	m := mem.New()
+	sess.Instance.Preload(m)
+	sim, err := core.NewSim(sess.SimConfig, m)
+	if err != nil {
+		return nil, err
+	}
+	sess.sim = sim
+	rep, err := sim.Run(sess.Instance)
+	if err != nil {
+		return nil, err
+	}
+	if sess.name != "" {
+		rep.Variant = sess.name
+	}
+	return &Report{Report: rep, Instance: sess.Instance}, nil
+}
+
+// Snapshot captures the D-cache encoding state of the most recent Run.
+func (sess *Session) Snapshot() (core.Snapshot, error) {
+	if sess.sim == nil {
+		return core.Snapshot{}, fmt.Errorf("run: no simulation has run yet")
+	}
+	return sess.sim.Snapshot(), nil
+}
+
+// Compare runs the session's instance under the registered comparison
+// set (core.ComparisonVariants on this session's parameter bundle),
+// fanning the variants out across the spec's worker budget. The
+// comparison runs without telemetry — the variants' event streams would
+// interleave into one unattributable trace. Results come back in
+// variant order regardless of scheduling, so rendered output is
+// byte-identical for any Jobs value.
+func (sess *Session) Compare() (*core.Comparison, error) {
+	if !sess.paramsOK {
+		return nil, fmt.Errorf("run: Compare needs a variant resolved by name and params, not explicit options")
+	}
+	variants := core.ComparisonVariants(sess.params)
+	cmp := &core.Comparison{
+		Workload: sess.Instance.Name,
+		Reports:  make([]*core.Report, len(variants)),
+		Names:    make([]string, len(variants)),
+	}
+	for i, v := range variants {
+		cmp.Names[i] = v.Name
+	}
+	err := ParallelFor(Jobs(sess.jobs), len(variants), func(i int) error {
+		v := variants[i]
+		cfg := core.SimConfig{Hierarchy: sess.SimConfig.Hierarchy, DOpts: v.Opts, IOpts: v.Opts}
+		rep, err := core.RunInstance(sess.Instance, cfg)
+		if err != nil {
+			return fmt.Errorf("run: variant %s: %w", v.Name, err)
+		}
+		rep.Variant = v.Name
+		cmp.Reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cmp, nil
+}
