@@ -9,6 +9,9 @@
 #   make lint    formatting and static-analysis gate: gofmt -l must be
 #                empty and go vet must pass
 #   make fuzz    run every native fuzz target for FUZZTIME (default 30s)
+#   make fault   race-enabled fault-injection/resilience suite (device
+#                faults, session salvage, crash-safe artifacts) plus a
+#                quick E14 graceful-degradation batch
 #   make obs-check  trace the E3 suite kernels with cntsim -trace-out and
 #                verify each trace reconciles through cntstat
 #   make results regenerate results/ with the full (non-quick) sweeps
@@ -18,7 +21,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 lint check fuzz obs-check results bench bench-json
+.PHONY: tier1 tier2 lint check fuzz fault obs-check results bench bench-json
 
 tier1:
 	$(GO) build ./...
@@ -45,6 +48,19 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzAsm$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzConfigJSON$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzEventsJSONL$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultConfig$$' -fuzztime $(FUZZTIME) ./internal/check/
+
+# The resilience gate: the fault and atomicio packages in full, the
+# fault/salvage/interrupt tests across the run engine and CLIs, and a
+# quick E14 batch proving the graceful-degradation sweep stays
+# deterministic end to end. Everything race-enabled.
+fault:
+	$(GO) test -race ./internal/fault/ ./internal/atomicio/
+	$(GO) test -race -run 'Fault|Salvage|Retry|Partial|Cancel|Interrupt|Transient|Panic|Atomic' \
+		./internal/core/ ./internal/run/ ./internal/experiments/ \
+		./internal/check/ ./internal/config/ ./cmd/cntsim/ ./cmd/cntbench/
+	$(GO) run ./cmd/cntbench -quick -only E14 \
+		-out $$(mktemp -d cntbench-fault.XXXXXX -p $${TMPDIR:-/tmp}) >/dev/null
 
 # Trace every kernel the E3 suite runs and push each trace through
 # cntstat, whose reconciliation gate fails on any divergence between the

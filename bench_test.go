@@ -208,3 +208,10 @@ func TestBenchmarksSmoke(t *testing.T) {
 func BenchmarkExpE13Policies(b *testing.B) {
 	runExperiment(b, "E13", lastRowPct("avg saving"))
 }
+
+// BenchmarkExpE14Faults regenerates the graceful-degradation fault
+// sweep; the headline metric is the surviving saving at the highest
+// injected fault rate.
+func BenchmarkExpE14Faults(b *testing.B) {
+	runExperiment(b, "E14", lastRowPct("cnt saving"))
+}

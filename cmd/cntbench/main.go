@@ -16,9 +16,15 @@
 // line (experiments done/running, memo-cache hit rate) to stderr, and
 // -metrics-addr serves the same status as JSON at /metrics plus the
 // net/http/pprof surface under /debug/pprof/.
+//
+// SIGINT/SIGTERM interrupt the batch gracefully: in-flight simulation
+// units stop dispatching, artifacts completed so far are flushed (all
+// writes are atomic temp-file + rename), INDEX.txt and RESULTS.md gain
+// a PARTIAL marker, and the process exits nonzero.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,14 +33,17 @@ import (
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/experiments"
 )
 
@@ -130,9 +139,18 @@ func metricsHandler(st *runStatus) http.Handler {
 	return mux
 }
 
-// run is the command behind a testable seam. An unknown experiment ID
-// fails before any work starts or any output directory is created.
+// run wires SIGINT/SIGTERM into a cancellation context: an interrupted
+// batch stops dispatching simulation units, flushes the completed
+// INDEX/RESULTS rows with a partial marker, and exits nonzero.
 func run(args []string, stdout, stderr io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, args, stdout, stderr)
+}
+
+// runCtx is the command behind a testable seam. An unknown experiment
+// ID fails before any work starts or any output directory is created.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("cntbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "results", "output directory")
@@ -188,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// With a concurrent outer pool each experiment runs its own sweeps
 	// serially, keeping total parallelism near the CPU count; a serial
 	// outer loop lets each experiment fan out internally instead.
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Jobs: 1}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Jobs: 1, Ctx: ctx}
 	if workers <= 1 {
 		cfg.Jobs = 0
 	}
@@ -243,25 +261,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	// Writer loop: consume outcomes strictly in submission order so files,
 	// stdout, INDEX.txt, and RESULTS.md match a serial run byte for byte.
+	// All artifacts go through atomicio, so an interrupt or crash cannot
+	// leave a truncated file behind.
 	var index strings.Builder
 	var tables []*experiments.Table
 	var records []jsonRecord
+	interrupted := false
 	fmt.Fprintf(&index, "CNT-Cache reproduction results (seed=%d quick=%v)\n\n", *seed, *quick)
-	for _, o := range work {
+	for wi, o := range work {
 		fmt.Fprintf(stderr, "running %s (%s: %s)...\n", o.exp.ID, o.exp.Kind, o.exp.Title)
 		<-o.done
 		if o.err != nil {
+			if ctx.Err() != nil {
+				// Interrupted: drain the remaining outcomes (their workers
+				// abort fast on the cancelled context), then flush what
+				// completed.
+				interrupted = true
+				for _, rest := range work[wi+1:] {
+					<-rest.done
+				}
+				break
+			}
 			return fmt.Errorf("%s: %w", o.exp.ID, o.err)
 		}
 		fmt.Fprintf(stderr, "%s done in %.1fs\n", o.exp.ID, o.secs)
-		if err := os.WriteFile(filepath.Join(*out, o.exp.ID+".txt"), []byte(o.tab.Render()), 0o644); err != nil {
+		if err := atomicio.WriteFile(filepath.Join(*out, o.exp.ID+".txt"), []byte(o.tab.Render())); err != nil {
 			return err
 		}
-		if err := os.WriteFile(filepath.Join(*out, o.exp.ID+".csv"), []byte(o.tab.CSV()), 0o644); err != nil {
+		if err := atomicio.WriteFile(filepath.Join(*out, o.exp.ID+".csv"), []byte(o.tab.CSV())); err != nil {
 			return err
 		}
 		if o.chart != "" {
-			if err := os.WriteFile(filepath.Join(*out, o.exp.ID+".chart.txt"), []byte(o.chart), 0o644); err != nil {
+			if err := atomicio.WriteFile(filepath.Join(*out, o.exp.ID+".chart.txt"), []byte(o.chart)); err != nil {
 				return err
 			}
 		}
@@ -275,18 +306,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// across runs and for every -jobs value.
 		fmt.Fprintf(&index, "%s: %s — %s\n", o.exp.ID, o.exp.Kind, o.exp.Title)
 	}
-	if err := os.WriteFile(filepath.Join(*out, "INDEX.txt"), []byte(index.String()), 0o644); err != nil {
+	if interrupted {
+		fmt.Fprintf(&index, "\nPARTIAL: interrupted after %d of %d experiments; remaining artifacts not written\n",
+			len(tables), len(work))
+	}
+	if err := atomicio.WriteFile(filepath.Join(*out, "INDEX.txt"), []byte(index.String())); err != nil {
 		return err
 	}
 	header := fmt.Sprintf("Generated by `cntbench` (seed=%d, quick=%v). See DESIGN.md for the experiment index and EXPERIMENTS.md for the paper-vs-measured discussion.", *seed, *quick)
+	if interrupted {
+		header += fmt.Sprintf("\n\n**PARTIAL RESULTS**: the batch was interrupted after %d of %d experiments.", len(tables), len(work))
+	}
 	md := experiments.MarkdownReport(tables, header)
-	if err := os.WriteFile(filepath.Join(*out, "RESULTS.md"), []byte(md), 0o644); err != nil {
+	if err := atomicio.WriteFile(filepath.Join(*out, "RESULTS.md"), []byte(md)); err != nil {
 		return err
 	}
-	if *jsonOut != "" {
+	if *jsonOut != "" && !interrupted {
 		if err := writeJSONSummary(*jsonOut, *seed, *quick, records); err != nil {
 			return err
 		}
+	}
+	if interrupted {
+		return fmt.Errorf("interrupted: partial results in %s/ (%d of %d experiments): %w",
+			*out, len(tables), len(work), ctx.Err())
 	}
 	fmt.Fprintf(stderr, "results written to %s/\n", *out)
 
@@ -326,23 +368,28 @@ type jsonSummary struct {
 }
 
 func writeJSONSummary(path string, seed int64, quick bool, records []jsonRecord) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(jsonSummary{Seed: seed, Quick: quick, Experiments: records}); err != nil {
-		f.Close()
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	return f.Close()
+	return atomicio.WriteTo(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonSummary{Seed: seed, Quick: quick, Experiments: records}); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return nil
+	})
 }
 
 // run executes one experiment and renders its artifacts; rendering
 // happens here, off the writer loop, so slow tables overlap too.
 func (o *outcome) run(cfg experiments.Config) {
 	defer close(o.done)
+	// Experiments check the context between simulation units, but cheap
+	// static tables have none — refuse to start anything after interrupt.
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			o.err = err
+			return
+		}
+	}
 	start := time.Now()
 	tab, err := o.exp.Run(cfg)
 	o.secs = time.Since(start).Seconds()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"os"
@@ -86,6 +87,42 @@ func TestRunJSONSummary(t *testing.T) {
 		if r.Title == "" || len(r.Columns) == 0 || len(r.Rows) == 0 || r.Seconds < 0 {
 			t.Errorf("%s record incomplete: %+v", r.ID, r)
 		}
+	}
+}
+
+// TestRunInterrupted drives the SIGINT/SIGTERM path through the
+// testable seam: a cancelled context must stop the batch, flush
+// INDEX.txt and RESULTS.md with PARTIAL markers, skip the -json
+// summary, and surface a nonzero "partial" error.
+func TestRunInterrupted(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	err := runCtx(ctx, []string{"-only", "E1,E2", "-quick", "-out", dir, "-json", jsonPath}, &out, &errBuf)
+	if err == nil {
+		t.Fatal("interrupted batch returned nil error")
+	}
+	if !strings.Contains(err.Error(), "partial") {
+		t.Errorf("error %q does not mark the results as partial", err)
+	}
+	index, readErr := os.ReadFile(filepath.Join(dir, "INDEX.txt"))
+	if readErr != nil {
+		t.Fatalf("interrupted batch wrote no INDEX.txt: %v", readErr)
+	}
+	if !strings.Contains(string(index), "PARTIAL") {
+		t.Errorf("INDEX.txt missing the PARTIAL marker:\n%s", index)
+	}
+	md, readErr := os.ReadFile(filepath.Join(dir, "RESULTS.md"))
+	if readErr != nil {
+		t.Fatalf("interrupted batch wrote no RESULTS.md: %v", readErr)
+	}
+	if !strings.Contains(string(md), "PARTIAL RESULTS") {
+		t.Errorf("RESULTS.md missing the PARTIAL marker:\n%s", md)
+	}
+	if _, statErr := os.Stat(jsonPath); !os.IsNotExist(statErr) {
+		t.Error("interrupted batch still wrote the -json summary")
 	}
 }
 

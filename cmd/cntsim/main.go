@@ -24,12 +24,14 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/atomicio"
 	"repro/internal/cache"
 	"repro/internal/cnfet"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	simrun "repro/internal/run"
@@ -65,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	inspect := fs.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace of the run to this file (see cntstat)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metric snapshot of the run to this file")
+	faultRate := fs.Float64("fault-rate", 0, "composite CNT fault rate: stuck cells, transient flips and predictor upsets at this per-cell/per-access probability (0 disables; see internal/fault)")
+	faultSpread := fs.Float64("fault-spread", 0, "per-line energy-scale half-width modeling CNT-count variation, in [0,1)")
+	faultSeed := fs.Int64("fault-seed", 1, "fault-injection seed (independent of -seed)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -109,18 +114,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	// The optional telemetry consumers: a JSONL event sink and a metric
 	// registry, attached to both L1s of whatever simulation runs below
-	// and persisted after it succeeds.
+	// and persisted after it succeeds. Both artifacts are written
+	// atomically — the event stream accumulates in a temp file that is
+	// only renamed into place on success, so an aborted run never leaves
+	// a truncated trace where a complete one is expected.
 	var (
 		sink   *obs.JSONLSink
-		traceF *os.File
+		traceF *atomicio.File
 		reg    *obs.Registry
 	)
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		f, err := atomicio.Create(*traceOut)
 		if err != nil {
 			return err
 		}
 		traceF, sink = f, obs.NewJSONLSink(f)
+		defer traceF.Abort() // no-op once persist has committed
 	}
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
@@ -130,20 +139,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err := sink.Flush(); err != nil {
 				return fmt.Errorf("writing %s: %w", *traceOut, err)
 			}
-			if err := traceF.Close(); err != nil {
+			if err := traceF.Commit(); err != nil {
 				return fmt.Errorf("writing %s: %w", *traceOut, err)
 			}
 		}
 		if reg != nil {
-			f, err := os.Create(*metricsOut)
-			if err != nil {
-				return err
-			}
-			if err := reg.WriteJSON(f); err != nil {
-				f.Close()
+			if err := atomicio.WriteTo(*metricsOut, reg.WriteJSON); err != nil {
 				return fmt.Errorf("writing %s: %w", *metricsOut, err)
 			}
-			return f.Close()
 		}
 		return nil
 	}
@@ -196,6 +199,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if reg != nil {
 		spec.Metrics = reg
 	}
+	// Fault flags layer on top of either path (and override a config
+	// file's fault block); validation happens eagerly in Resolve.
+	if *faultRate != 0 || *faultSpread != 0 {
+		fc := fault.AtRate(*faultRate, *faultSeed)
+		fc.EnergySpread = *faultSpread
+		spec.Fault = &fc
+	}
 
 	sess, err := spec.Resolve()
 	if err != nil {
@@ -243,9 +253,19 @@ func printReport(w io.Writer, inst *workload.Instance, rep *core.Report) {
 	fmt.Fprintf(w, "     %s\n", rep.DEnergy.String())
 	fmt.Fprintf(w, "     switches=%d windows=%d fifo: enq=%d drop=%.3f\n",
 		rep.DSwitches, rep.DWindows, rep.DFIFO.Enqueued, rep.DFIFO.DropRate())
+	if rep.DFaults != (fault.Stats{}) {
+		fmt.Fprintf(w, "     faults: stuck=%d flips=%d upsets=%d corrupted-bits=%d\n",
+			rep.DFaults.StuckCells, rep.DFaults.ReadFlips+rep.DFaults.WriteFlips,
+			rep.DFaults.Upsets, rep.DFaults.CorruptedBits)
+	}
 	if rep.IStats.Accesses > 0 {
 		fmt.Fprintf(w, "L1I: %s\n", rep.IStats)
 		fmt.Fprintf(w, "     %s\n", rep.IEnergy.String())
+		if rep.IFaults != (fault.Stats{}) {
+			fmt.Fprintf(w, "     faults: stuck=%d flips=%d upsets=%d corrupted-bits=%d\n",
+				rep.IFaults.StuckCells, rep.IFaults.ReadFlips+rep.IFaults.WriteFlips,
+				rep.IFaults.Upsets, rep.IFaults.CorruptedBits)
+		}
 	}
 	fmt.Fprintf(w, "total L1 dynamic energy: %s\n", energy.Format(rep.DEnergy.Total()+rep.IEnergy.Total()))
 }

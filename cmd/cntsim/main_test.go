@@ -106,6 +106,64 @@ func TestRunTraceAndMetricsOut(t *testing.T) {
 	}
 }
 
+// TestRunFaultFlags drives the fault-injection flags end to end: a
+// nonzero -fault-rate must surface device damage in the report, the
+// output must be a pure function of the seed, and an out-of-range knob
+// must fail before any simulation runs.
+func TestRunFaultFlags(t *testing.T) {
+	render := func() string {
+		var out, errBuf bytes.Buffer
+		args := []string{"-workload", "list", "-fault-rate", "0.01", "-fault-seed", "7"}
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first := render()
+	if !strings.Contains(first, "faults: stuck=") {
+		t.Fatalf("faulted run prints no fault summary:\n%s", first)
+	}
+	if first != render() {
+		t.Error("same fault seed produced different reports across runs")
+	}
+
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-workload", "list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "faults:") {
+		t.Errorf("healthy run prints a fault summary:\n%s", out.String())
+	}
+
+	err := run([]string{"-workload", "list", "-fault-spread", "1.5"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "energy_spread") {
+		t.Errorf("out-of-range -fault-spread returned %v, want an energy_spread validation error", err)
+	}
+}
+
+// TestTraceOutAtomicOnFailure pins the crash-safety contract of
+// -trace-out: when the run fails after the sink was opened, the target
+// path must not spring into existence and no temp file may be left in
+// the directory.
+func TestTraceOutAtomicOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-workload", "nope", "-trace-out", events}, &out, &errBuf); err == nil {
+		t.Fatal("run with an unknown workload succeeded")
+	}
+	if _, err := os.Stat(events); !os.IsNotExist(err) {
+		t.Errorf("failed run left a trace file at %s", events)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("failed run left stray files in the output directory: %v", entries)
+	}
+}
+
 // TestRunExampleConfig checks the one cheap success path: the sample
 // configuration must print to stdout and round-trip through the parser
 // (which TestRunErrors already proves rejects malformed files).

@@ -1,0 +1,120 @@
+// Package atomicio writes files atomically: content lands in a hidden
+// temp file in the destination directory and is renamed over the target
+// only once fully written. A crash, cancellation, or write error
+// mid-stream never leaves a truncated or half-written artifact where a
+// reader (or a later run diffing results/) could mistake it for a
+// complete one — the target either keeps its previous content or gets
+// the new content whole.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is a streaming atomic writer. Write calls land in a temp file;
+// Commit atomically renames it over the target path, Abort discards it.
+// Exactly one of Commit or Abort must be called; calling either after
+// the file is resolved is a harmless no-op, so `defer f.Abort()` is the
+// idiomatic crash guard around a body that ends with Commit.
+type File struct {
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// Create opens a streaming atomic writer for path. The temp file is
+// created next to the target (same directory, hidden name), so the
+// final rename never crosses a filesystem boundary.
+func Create(path string) (*File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{f: tmp, path: path}, nil
+}
+
+// Name returns the destination path the file will commit to.
+func (f *File) Name() string { return f.path }
+
+// Write appends to the pending temp file.
+func (f *File) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("atomicio: write to resolved file %s", f.path)
+	}
+	return f.f.Write(p)
+}
+
+// Commit syncs the temp file and renames it over the target. On any
+// failure the temp file is removed and the target is left untouched.
+func (f *File) Commit() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	name := f.f.Name()
+	// Sync before rename: the rename must never publish a file whose
+	// bytes are still only in the page cache when a crash follows.
+	if err := f.f.Sync(); err != nil {
+		f.f.Close()
+		os.Remove(name)
+		return fmt.Errorf("atomicio: syncing %s: %w", f.path, err)
+	}
+	if err := f.f.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: closing %s: %w", f.path, err)
+	}
+	// CreateTemp's 0600 would leak into the published artifact; match
+	// what a plain os.WriteFile(path, data, 0o644) produces.
+	if err := os.Chmod(name, 0o644); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := os.Rename(name, f.path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: publishing %s: %w", f.path, err)
+	}
+	return nil
+}
+
+// Abort discards the pending temp file, leaving the target untouched.
+func (f *File) Abort() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	name := f.f.Name()
+	f.f.Close()
+	os.Remove(name)
+}
+
+// WriteFile is the atomic replacement for os.WriteFile(path, data,
+// 0o644): all-or-nothing, never a truncated target.
+func WriteFile(path string, data []byte) error {
+	return WriteTo(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteTo streams fn's output into path atomically: fn writes into a
+// temp file, and only a nil return publishes it. When fn fails
+// mid-write, the temp file is discarded and any previous target content
+// survives untouched.
+func WriteTo(path string, fn func(w io.Writer) error) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	if err := fn(f); err != nil {
+		return err
+	}
+	return f.Commit()
+}

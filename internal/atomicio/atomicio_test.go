@@ -1,0 +1,169 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tmpLeft lists stray temp files next to path — there must never be
+// any after a writer resolves, however it resolved.
+func tmpLeft(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stray []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			stray = append(stray, e.Name())
+		}
+	}
+	return stray
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("perm = %v, want 0644", fi.Mode().Perm())
+	}
+	// Overwrite replaces wholesale.
+	if err := WriteFile(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Errorf("overwrite read back %q", got)
+	}
+	if stray := tmpLeft(t, dir); len(stray) != 0 {
+		t.Errorf("stray temp files: %v", stray)
+	}
+}
+
+// TestMidWriteFailureLeavesTargetIntact is the satellite acceptance
+// case: a writer failing partway through must neither truncate nor
+// replace the previous artifact, and must clean up its temp file.
+func TestMidWriteFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.csv")
+	if err := WriteFile(path, []byte("good,complete,row\n")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	err := WriteTo(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "half a ro"); err != nil {
+			return err
+		}
+		return boom // simulated mid-write failure
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the mid-write failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "good,complete,row\n" {
+		t.Errorf("target corrupted by failed write: %q, %v", got, err)
+	}
+	if stray := tmpLeft(t, dir); len(stray) != 0 {
+		t.Errorf("stray temp files after failure: %v", stray)
+	}
+
+	// Same failure against a target that never existed: it must not
+	// spring into existence half-written.
+	fresh := filepath.Join(dir, "new.txt")
+	err = WriteTo(fresh, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(fresh); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("failed write published a file: %v", err)
+	}
+}
+
+func TestStreamingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != path {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if _, err := io.WriteString(f, "line 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Not visible at the target until Commit.
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("uncommitted file already visible: %v", err)
+	}
+	if _, err := io.WriteString(f, "line 2\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "line 1\nline 2\n" {
+		t.Errorf("read back %q", got)
+	}
+	// Commit is idempotent, and writing after resolution fails loudly.
+	if err := f.Commit(); err != nil {
+		t.Errorf("second Commit = %v, want nil", err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Error("write after Commit should fail")
+	}
+	if stray := tmpLeft(t, dir); len(stray) != 0 {
+		t.Errorf("stray temp files: %v", stray)
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kept.txt")
+	if err := WriteFile(path, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "doomed")
+	f.Abort()
+	f.Abort() // idempotent
+	if got, _ := os.ReadFile(path); string(got) != "original" {
+		t.Errorf("abort damaged the target: %q", got)
+	}
+	if err := f.Commit(); err != nil {
+		t.Errorf("Commit after Abort = %v, want no-op nil", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "original" {
+		t.Errorf("Commit after Abort replaced the target: %q", got)
+	}
+	if stray := tmpLeft(t, dir); len(stray) != 0 {
+		t.Errorf("stray temp files: %v", stray)
+	}
+}
+
+func TestCreateInMissingDirFails(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "f.txt")); err == nil {
+		t.Error("Create in a missing directory should fail")
+	}
+}

@@ -96,6 +96,7 @@ func TestInvariantsAcceptValidInput(t *testing.T) {
 		}...))},
 		{"asm", AsmInvariant("start: addi r1, r0, 5\n.word 7\n.space 8\nhalt")},
 		{"config", ConfigJSONInvariant([]byte("{}"))},
+		{"fault", FaultConfigInvariant([]byte(`{"seed": 3, "stuck_at_zero": 0.001, "transient_read": 0.01}`))},
 	}
 	for _, c := range cases {
 		if c.err != nil {
@@ -116,6 +117,8 @@ func TestInvariantsRejectHostileInput(t *testing.T) {
 		{"trace-binary-bad-magic", TraceBinaryInvariant([]byte("garbage!"))},
 		{"trace-text-bad-hex", TraceTextInvariant([]byte("W 0x0 1 zz\n"))},
 		{"config-unknown-field", ConfigJSONInvariant([]byte(`{"bogus": 1}`))},
+		{"fault-out-of-range", FaultConfigInvariant([]byte(`{"transient_read": 2}`))},
+		{"fault-trailing-data", FaultConfigInvariant([]byte(`{"seed": 1} trailing`))},
 	}
 	for _, c := range hostile {
 		if c.err != nil {

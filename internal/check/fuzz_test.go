@@ -60,6 +60,21 @@ func FuzzEventsJSONL(f *testing.F) {
 	})
 }
 
+func FuzzFaultConfig(f *testing.F) {
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"seed": 3, "stuck_at_zero": 0.001, "stuck_at_one": 0.001}`))
+	f.Add([]byte(`{"energy_spread": 0.1, "transient_read": 0.01, "transient_write": 0.01, "predictor_upset": 0.05}`))
+	f.Add([]byte(`{"stuck_at_zero": 0.7, "stuck_at_one": 0.7}`)) // polarities sum past 1
+	f.Add([]byte(`{"transient_read": -1}`))
+	f.Add([]byte(`{"energy_spread": 1}`)) // boundary: spread must stay below 1
+	f.Add([]byte(`{"seed": 1} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := FaultConfigInvariant(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 func FuzzConfigJSON(f *testing.F) {
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"seed": 7, "device": "cnfet-32", "dcache": {"variant": "cnt-cache", "partitions": 8}}`))

@@ -2,12 +2,15 @@ package check
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"reflect"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/sram"
 	"repro/internal/trace"
 )
 
@@ -144,6 +147,54 @@ func EventsJSONLInvariant(data []byte) error {
 	}
 	if len(events) > 0 && !reflect.DeepEqual(events, again) {
 		return fmt.Errorf("round trip mismatch: %v vs %v", events, again)
+	}
+	return nil
+}
+
+// FaultConfigInvariant feeds arbitrary bytes to the fault-spec parser.
+// Anything ParseConfig accepts must validate, re-encode and re-parse to
+// the same config, and build a deterministic injector whose draw
+// methods never panic; a rejection must carry a message.
+func FaultConfigInvariant(data []byte) error {
+	c, err := fault.ParseConfig(data)
+	if err != nil {
+		if err.Error() == "" {
+			return fmt.Errorf("fault config parse failed without a message")
+		}
+		return nil
+	}
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("ParseConfig accepted a config Validate rejects: %w", err)
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("accepted config failed to serialize: %w", err)
+	}
+	again, err := fault.ParseConfig(raw)
+	if err != nil {
+		return fmt.Errorf("round trip re-parse failed: %w", err)
+	}
+	if again != c {
+		return fmt.Errorf("round trip mismatch: %+v vs %+v", c, again)
+	}
+	// Any accepted config must build an injector, rebuild it to identical
+	// fault sites (the seeding contract), and survive draw calls at every
+	// boundary width a simulation can present.
+	geom := sram.Geometry{Sets: 4, Ways: 2, LineBytes: 32}
+	a, err := fault.New(c, geom, "L1D")
+	if err != nil {
+		return fmt.Errorf("validated config rejected by New: %w", err)
+	}
+	b, err := fault.New(c, geom, "L1D")
+	if err != nil {
+		return fmt.Errorf("second build rejected: %w", err)
+	}
+	if a.Stats() != b.Stats() {
+		return fmt.Errorf("same config sampled different fault sites: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	for i := 0; i < 8; i++ {
+		a.TransientBit(i%2 == 0, 8<<uint(i%4))
+		a.UpsetCounter(i)
 	}
 	return nil
 }

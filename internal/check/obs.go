@@ -79,6 +79,10 @@ func ReconcileEvents(events []obs.Event) error {
 			return fmt.Errorf("check: %s: %d switch events but summary counts %d switches",
 				name, a.Switches, s.Switches)
 		}
+		if a.Faults != s.Faults {
+			return fmt.Errorf("check: %s: %d fault events but summary counts %d faults",
+				name, a.Faults, s.Faults)
+		}
 	}
 	return nil
 }
@@ -93,11 +97,12 @@ func ReconcileReport(events []obs.Event, rep *core.Report) error {
 	attr := obs.Attribute(events)
 	for _, name := range obs.Caches(attr) {
 		var exact energy.Breakdown
+		var faults uint64
 		switch name {
 		case "L1D":
-			exact = rep.DEnergy
+			exact, faults = rep.DEnergy, rep.DFaults.Total()
 		case "L1I":
-			exact = rep.IEnergy
+			exact, faults = rep.IEnergy, rep.IFaults.Total()
 		default:
 			return fmt.Errorf("check: event stream names unknown cache %q", name)
 		}
@@ -105,6 +110,10 @@ func ReconcileReport(events []obs.Event, rep *core.Report) error {
 		if got != exact {
 			return fmt.Errorf("check: %s: trace summary %s diverges from report %s",
 				name, got.String(), exact.String())
+		}
+		if attr[name].Summary.Faults != faults {
+			return fmt.Errorf("check: %s: trace summary counts %d faults but report counts %d",
+				name, attr[name].Summary.Faults, faults)
 		}
 	}
 	return nil

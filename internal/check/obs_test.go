@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -83,6 +84,58 @@ func TestReconcileTracedRuns(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestReconcileFaultedRuns extends the conservation property to fault
+// injection: a faulted run's trace must still reconcile — summed deltas
+// against summary, summary against report — and the fault-event count
+// must tie out to both the summary record and the report's injector
+// stats, surviving a JSONL round trip.
+func TestReconcileFaultedRuns(t *testing.T) {
+	fc := fault.AtRate(1e-2, 5)
+	fc.EnergySpread = 0.1
+	opts := core.DefaultOptions()
+	opts.Fault = &fc
+	events, rep := tracedRun(t, workload.Histogram, opts)
+	if rep.DFaults.Total() == 0 {
+		t.Fatal("expected injected faults at 1% per-access rates")
+	}
+	if err := ReconcileReport(events, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReconcileReport(decoded, rep); err != nil {
+		t.Fatalf("after JSONL round trip: %v", err)
+	}
+
+	// Dropping a single fault event must break count reconciliation.
+	var tampered []obs.Event
+	dropped := false
+	for _, e := range decoded {
+		if !dropped && e.Kind() == obs.KindFault {
+			dropped = true
+			continue
+		}
+		tampered = append(tampered, e)
+	}
+	if !dropped {
+		t.Fatal("faulted trace carries no fault events")
+	}
+	if err := ReconcileEvents(tampered); err == nil {
+		t.Error("trace with a dropped fault event must not reconcile")
 	}
 }
 

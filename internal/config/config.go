@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cnfet"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/run"
 	"repro/internal/sram"
 )
@@ -78,6 +79,9 @@ type File struct {
 	// DCache and ICache select the per-side encoding options.
 	DCache *OptionsJSON `json:"dcache,omitempty"`
 	ICache *OptionsJSON `json:"icache,omitempty"`
+	// Fault attaches a CNT device fault model to both L1s (see
+	// internal/fault); omitted or all-zero means a perfect array.
+	Fault *fault.Config `json:"fault,omitempty"`
 }
 
 // Load parses a configuration file from disk.
@@ -139,6 +143,12 @@ func (f *File) Spec() (run.Spec, error) {
 	spec.IVariant, spec.IParams, err = sideSpec(f.ICache)
 	if err != nil {
 		return run.Spec{}, fmt.Errorf("config: icache: %w", err)
+	}
+	if f.Fault != nil {
+		if err := f.Fault.Validate(); err != nil {
+			return run.Spec{}, fmt.Errorf("config: %w", err)
+		}
+		spec.Fault = f.Fault
 	}
 	return spec, nil
 }
@@ -256,6 +266,11 @@ func Example() *File {
 			Granularity: "line", SwitchCost: "flipped-only", FillPolicy: "neutral",
 		},
 		ICache: &OptionsJSON{Variant: "cnt-cache", Partitions: 8, Window: 15},
+		Fault: &fault.Config{
+			Seed: 1, StuckAtZero: 0.0001, StuckAtOne: 0.0001,
+			EnergySpread: 0.05, TransientRead: 0.001, TransientWrite: 0.001,
+			PredictorUpset: 0.001,
+		},
 	}
 }
 

@@ -105,6 +105,7 @@ func TestResolveErrors(t *testing.T) {
 		"bad granularity": `{"dcache": {"granularity": "nibble"}}`,
 		"bad switch":      `{"dcache": {"switch_cost": "half"}}`,
 		"bad fill":        `{"dcache": {"fill_policy": "maybe"}}`,
+		"bad fault":       `{"fault": {"transient_read": 2}}`,
 	}
 	for name, doc := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -281,6 +282,15 @@ func TestWriteExampleGolden(t *testing.T) {
     "variant": "cnt-cache",
     "partitions": 8,
     "window": 15
+  },
+  "fault": {
+    "seed": 1,
+    "stuck_at_zero": 0.0001,
+    "stuck_at_one": 0.0001,
+    "energy_spread": 0.05,
+    "transient_read": 0.001,
+    "transient_write": 0.001,
+    "predictor_upset": 0.001
   }
 }
 `
@@ -319,6 +329,46 @@ func TestVariantNameRoundTripsThroughRun(t *testing.T) {
 	}
 	if rep.Workload != "hist" || rep.Instance == nil {
 		t.Errorf("report workload = %q", rep.Workload)
+	}
+}
+
+// TestFaultConfig pins the fault block: it materializes onto the run
+// spec (attaching to both L1s at resolve time), rejects out-of-range
+// knobs eagerly, and rejects unknown nested fields.
+func TestFaultConfig(t *testing.T) {
+	doc := `{
+		"source": {"kernel": "hist"},
+		"fault": {"seed": 3, "stuck_at_one": 0.001, "transient_write": 0.01}
+	}`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Fault == nil || spec.Fault.Seed != 3 || spec.Fault.StuckAtOne != 0.001 ||
+		spec.Fault.TransientWrite != 0.01 {
+		t.Fatalf("spec fault = %+v", spec.Fault)
+	}
+	cfg, err := spec.Configure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DOpts.Fault != spec.Fault || cfg.IOpts.Fault != spec.Fault {
+		t.Error("fault config did not attach to both L1 options")
+	}
+
+	if _, err := Parse(strings.NewReader(`{"fault": {"stuck_at_7": 0.5}}`)); err == nil {
+		t.Error("unknown fault field should fail to parse")
+	}
+	f, err = Parse(strings.NewReader(`{"fault": {"energy_spread": 1.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Spec(); err == nil {
+		t.Error("out-of-range fault knob should fail Spec eagerly")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cnfet"
 	"repro/internal/encoding"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/fifo"
 	"repro/internal/obs"
 	"repro/internal/predictor"
@@ -141,11 +142,19 @@ type Options struct {
 	// alloc_test.go).
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives structured events (obs.AccessEvent,
-	// obs.WindowEvent, obs.SwitchEvent, obs.DrainEvent, and one closing
-	// obs.SummaryEvent per cache). The sink must be safe for concurrent
-	// Emit calls when the options are shared across simulations
-	// (core.Compare); obs.JSONLSink and obs.RingSink are.
+	// obs.WindowEvent, obs.SwitchEvent, obs.DrainEvent, obs.FaultEvent,
+	// and one closing obs.SummaryEvent per cache). The sink must be safe
+	// for concurrent Emit calls when the options are shared across
+	// simulations (core.Compare); obs.JSONLSink and obs.RingSink are.
 	Trace obs.Sink
+	// Fault, when non-nil and enabled, injects CNT device defects into
+	// the simulated array: stuck cells, per-line energy spread, transient
+	// access flips and predictor counter upsets (see internal/fault).
+	// Each cache derives its injector seed from Fault.Seed mixed with its
+	// own label, so both L1s of a run see independent fault streams. Nil
+	// or a disabled config keeps the cache on the exact zero-fault path
+	// (byte-identical results, 0 allocs/op on the hot path).
+	Fault *fault.Config
 }
 
 // DefaultDeltaT is the default switch hysteresis. The paper selects ΔT
@@ -197,6 +206,11 @@ func (o Options) Validate(lineBytes int) error {
 	}
 	if o.IdleSlots < 0 {
 		return fmt.Errorf("core: idle slots must be non-negative, got %d", o.IdleSlots)
+	}
+	if o.Fault != nil {
+		if err := o.Fault.Validate(); err != nil {
+			return err
+		}
 	}
 	switch o.Spec.Kind {
 	case encoding.KindOracleStatic:
@@ -252,14 +266,19 @@ type CNTCache struct {
 
 	state [][]lineState
 
-	lineBytes int
-	lineBits  int
-	parts     int
-	partBits  int
-	metaBits  int
-	histBits  int
+	lineBytes   int
+	lineBits    int
+	parts       int
+	partBits    int
+	metaBits    int
+	histBits    int
+	counterBits int
 
 	eb energy.Breakdown
+
+	// inj is the device fault injector; nil (the default) keeps every
+	// fault hook compiled out of the executed path via one nil-check.
+	inj *fault.Injector
 
 	switches       uint64
 	windows        uint64
@@ -290,6 +309,18 @@ func New(cfg cache.Config, next cache.Backend, opts Options) (*CNTCache, error) 
 		lineBits:  cfg.Geometry.LineBytes * 8,
 	}
 
+	if opts.Fault != nil && opts.Fault.Enabled() {
+		inj, err := fault.New(*opts.Fault, cfg.Geometry, cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		c.inj = inj
+	} else if opts.Fault != nil {
+		if err := opts.Fault.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
 	parts := opts.Spec.Partitions
 	if opts.Spec.Kind == encoding.KindNone {
 		parts = 1
@@ -310,6 +341,9 @@ func New(cfg cache.Config, next cache.Backend, opts Options) (*CNTCache, error) 
 		if err != nil {
 			return nil, err
 		}
+		// MetadataBits is 2*counterBits + parts; recover the per-counter
+		// width the upset model flips bits within.
+		c.counterBits = (mb - parts) / 2
 		base, err := predictor.New(predictor.Config{
 			Window:     opts.Window,
 			LineBytes:  cfg.Geometry.LineBytes,
@@ -365,7 +399,10 @@ func New(cfg cache.Config, next cache.Backend, opts Options) (*CNTCache, error) 
 		}
 		st := &c.state[set][way]
 		ones := c.storedOnes(data, st.mask, 0, c.lineBytes)
-		c.eb.DataRead += c.arr.ReadEnergy(ones, c.lineBytes)
+		if c.inj != nil {
+			ones = c.faultedOnes(ones, data, st.mask, 0, c.lineBytes, set, way)
+		}
+		c.eb.DataRead += c.scaled(c.arr.ReadEnergy(ones, c.lineBytes), set, way)
 	})
 
 	c.state = make([][]lineState, geom.Sets)
@@ -403,6 +440,15 @@ func (c *CNTCache) FIFOStats() fifo.Stats {
 
 // Switches returns the number of direction switches applied.
 func (c *CNTCache) Switches() uint64 { return c.switches }
+
+// FaultStats returns the fault injector's accounting; zero without
+// fault injection.
+func (c *CNTCache) FaultStats() fault.Stats {
+	if c.inj == nil {
+		return fault.Stats{}
+	}
+	return c.inj.Stats()
+}
 
 // Windows returns the number of completed prediction windows.
 func (c *CNTCache) Windows() uint64 { return c.windows }
@@ -446,6 +492,89 @@ func (c *CNTCache) storedOnes(logical []byte, mask uint64, off, size int) int {
 			n = (hi-lo)*8 - n
 		}
 		ones += n
+	}
+	return ones
+}
+
+// scaled applies the line's CNT-count energy-spread multiplier to a
+// data-array energy charge; identity without an injector.
+func (c *CNTCache) scaled(e float64, set, way int) float64 {
+	if c.inj == nil {
+		return e
+	}
+	return e * c.inj.Scale(set, way)
+}
+
+// storedBit returns the stored (encoded) value of line bit b: the
+// logical bit inverted when its partition's direction bit is set.
+func (c *CNTCache) storedBit(logical []byte, mask uint64, b int) bool {
+	v := logical[b/8]>>(uint(b)&7)&1 == 1
+	partBytes := c.lineBytes / c.parts
+	if mask&(1<<uint((b/8)/partBytes)) != 0 {
+		v = !v
+	}
+	return v
+}
+
+// faultedOnes corrects a stored-ones count for the line's stuck cells
+// within [off, off+size): a cell shorted to the opposite of the value
+// the encoding wants contributes the stuck value to the array instead,
+// shifting the bitline energy and counting as a corrupted bit. Only
+// called with an injector attached.
+func (c *CNTCache) faultedOnes(ones int, logical []byte, mask uint64, off, size, set, way int) int {
+	loBit, hiBit := off*8, (off+size)*8
+	corrupted := 0
+	for _, sc := range c.inj.Stuck(set, way) {
+		if sc.Bit < loBit {
+			continue
+		}
+		if sc.Bit >= hiBit {
+			break // stuck cells are listed in bit order
+		}
+		if c.storedBit(logical, mask, sc.Bit) == sc.One {
+			continue
+		}
+		corrupted++
+		if sc.One {
+			ones++
+		} else {
+			ones--
+		}
+	}
+	if corrupted != 0 {
+		c.inj.ObserveCorrupted(corrupted)
+	}
+	return ones
+}
+
+// injectAccessFaults applies the device fault model to one demand access
+// span: the line's stuck cells correct the stored-ones count, and the
+// per-access transient draw may flip one in-flight bit (adjusting the
+// sensed/driven ones and emitting a FaultEvent). Only called with an
+// injector attached; fills, writebacks and drains see stuck cells but
+// never transients — those model bitline/sense-amp upsets on the demand
+// port.
+func (c *CNTCache) injectAccessFaults(ones int, logical []byte, st *lineState, res cache.Result, off, size int, write bool) int {
+	ones = c.faultedOnes(ones, logical, st.mask, off, size, res.Set, res.Way)
+	if idx, ok := c.inj.TransientBit(write, size*8); ok {
+		if c.storedBit(logical, st.mask, off*8+idx) {
+			ones--
+		} else {
+			ones++
+		}
+		// Stuck corrections and the flip each move the count by one; a
+		// collision on the same bit could in principle step outside the
+		// physical range, so clamp to what the array can hold.
+		if ones < 0 {
+			ones = 0
+		} else if ones > size*8 {
+			ones = size * 8
+		}
+		kind := "read-flip"
+		if write {
+			kind = "write-flip"
+		}
+		c.observeFault(kind, res.Set, res.Way, idx)
 	}
 	return ones
 }
@@ -520,10 +649,16 @@ func (c *CNTCache) accessPiece(a trace.Access) error {
 			c.greedyReencode(res, st, logical, off, size)
 		}
 		ones := c.storedOnes(logical, st.mask, off, size)
-		c.eb.DataWrite += c.arr.WriteEnergy(ones, size)
+		if c.inj != nil {
+			ones = c.injectAccessFaults(ones, logical, st, res, off, size, true)
+		}
+		c.eb.DataWrite += c.scaled(c.arr.WriteEnergy(ones, size), res.Set, res.Way)
 	} else {
 		ones := c.storedOnes(logical, st.mask, off, size)
-		c.eb.DataRead += c.arr.ReadEnergy(ones, size)
+		if c.inj != nil {
+			ones = c.injectAccessFaults(ones, logical, st, res, off, size, false)
+		}
+		c.eb.DataRead += c.scaled(c.arr.ReadEnergy(ones, size), res.Set, res.Way)
 	}
 	// Every access passes the encoder stage (mux+inverter per bit).
 	if c.opts.Spec.Kind != encoding.KindNone {
@@ -581,7 +716,10 @@ func (c *CNTCache) onFill(res cache.Result, st *lineState) {
 	}
 
 	ones := c.storedOnes(logical, st.mask, 0, c.lineBytes)
-	c.eb.DataWrite += c.arr.WriteEnergy(ones, c.lineBytes)
+	if c.inj != nil {
+		ones = c.faultedOnes(ones, logical, st.mask, 0, c.lineBytes, res.Set, res.Way)
+	}
+	c.eb.DataWrite += c.scaled(c.arr.WriteEnergy(ones, c.lineBytes), res.Set, res.Way)
 	if c.metaBits > 0 {
 		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
 	}
@@ -621,6 +759,28 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 		return
 	}
 	c.windows++
+	if c.inj != nil {
+		if idx, ok := c.inj.UpsetCounter(c.counterBits); ok {
+			// Flip one H&D counter bit, then clamp back into the
+			// 0 ≤ Wr_num ≤ A_num ≤ W invariant the threshold table is
+			// indexed by — the physical field is exactly this wide, so
+			// hardware cannot represent anything beyond it either. The
+			// corrupted counters feed the decision below: that is the
+			// observable damage (wrong pattern class, wrong thresholds).
+			if idx < c.counterBits {
+				st.hist.ANum ^= 1 << uint(idx)
+			} else {
+				st.hist.WrNum ^= 1 << uint(idx-c.counterBits)
+			}
+			if int(st.hist.ANum) > c.opts.Window {
+				st.hist.ANum = uint16(c.opts.Window)
+			}
+			if st.hist.WrNum > st.hist.ANum {
+				st.hist.WrNum = st.hist.ANum
+			}
+			c.observeFault("upset", res.Set, res.Way, idx)
+		}
+	}
 	aNum, wrNum := int(st.hist.ANum), int(st.hist.WrNum)
 
 	per := bitutil.OnesPerPartition(logical, c.parts, c.perPartScratch)
@@ -706,9 +866,13 @@ func (c *CNTCache) retire(u fifo.Update) {
 				continue
 			}
 			bytes += partBytes
-			ones += c.storedOnes(logical, st.mask, p*partBytes, partBytes)
+			po := c.storedOnes(logical, st.mask, p*partBytes, partBytes)
+			if c.inj != nil {
+				po = c.faultedOnes(po, logical, st.mask, p*partBytes, partBytes, u.Set, u.Way)
+			}
+			ones += po
 		}
-		c.eb.Switch += c.arr.WriteEnergy(ones, bytes)
+		c.eb.Switch += c.scaled(c.arr.WriteEnergy(ones, bytes), u.Set, u.Way)
 		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
 		if observing {
 			c.observeSwitch(u.Set, u.Way, oldMask, u.Mask, "drain")

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// faultedSimConfig returns the default adaptive configuration with the
+// given fault model attached to both L1s.
+func faultedSimConfig(cfg *fault.Config) SimConfig {
+	sc := DefaultSimConfig()
+	sc.DOpts.Fault = cfg
+	sc.IOpts.Fault = cfg
+	return sc
+}
+
+// TestFaultDisabledIsByteIdentical pins the zero-fault contract: a nil
+// Fault, a zero (disabled) config, and a seed-only config must all
+// produce exactly the report of the fault-free path — not approximately,
+// byte for byte.
+func TestFaultDisabledIsByteIdentical(t *testing.T) {
+	inst := workload.Histogram(7)
+	ref, err := RunInstance(inst, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]*fault.Config{
+		"zero-config": {},
+		"seed-only":   {Seed: 42},
+	} {
+		rep, err := RunInstance(inst, faultedSimConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, rep) {
+			t.Errorf("%s: disabled fault config perturbed the report", name)
+		}
+	}
+}
+
+// TestFaultRunDeterministic pins the seeding contract at the simulation
+// level: identical (config, seed) reproduces the faulted report exactly.
+func TestFaultRunDeterministic(t *testing.T) {
+	inst := workload.Histogram(7)
+	cfg := fault.AtRate(1e-3, 42)
+	cfg.EnergySpread = 0.1
+	r1, err := RunInstance(inst, faultedSimConfig(&cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunInstance(inst, faultedSimConfig(&cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("identical faulted runs diverged")
+	}
+	if r1.DFaults == (fault.Stats{}) {
+		t.Fatal("faulted run reported zero fault stats")
+	}
+	if !reflect.DeepEqual(r1.DFaults, r2.DFaults) {
+		t.Fatalf("fault stats diverged: %+v vs %+v", r1.DFaults, r2.DFaults)
+	}
+}
+
+// TestFaultSeedChangesOutcome: a different fault seed must draw
+// different fault sites (and so, at these rates, different energy).
+func TestFaultSeedChangesOutcome(t *testing.T) {
+	inst := workload.Histogram(7)
+	a := fault.AtRate(1e-2, 1)
+	b := fault.AtRate(1e-2, 2)
+	ra, err := RunInstance(inst, faultedSimConfig(&a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunInstance(inst, faultedSimConfig(&b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.DEnergy == rb.DEnergy && reflect.DeepEqual(ra.DFaults, rb.DFaults) {
+		t.Fatal("different fault seeds produced identical faulted outcomes")
+	}
+}
+
+// TestFaultsPerturbEnergyOnly: fault injection models device energy and
+// state corruption, never architectural behaviour — hits, misses and
+// evictions must match the fault-free run exactly.
+func TestFaultsPerturbEnergyOnly(t *testing.T) {
+	inst := workload.Histogram(7)
+	ref, err := RunInstance(inst, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fault.AtRate(1e-2, 7)
+	cfg.EnergySpread = 0.2
+	rep, err := RunInstance(inst, faultedSimConfig(&cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DStats != ref.DStats || rep.IStats != ref.IStats {
+		t.Error("fault injection changed architectural stats")
+	}
+	if rep.DEnergy == ref.DEnergy {
+		t.Error("1% fault rate left the energy breakdown untouched")
+	}
+	if rep.DFaults.StuckCells == 0 {
+		t.Error("no stuck cells sampled at 0.5%+0.5% per-cell rates")
+	}
+	if rep.DFaults.Total() == 0 {
+		t.Error("no transient faults injected at 1% per-access rates")
+	}
+}
+
+// TestPredictorUpsetNeverPanics drives every window width the H&D field
+// supports with certain (p=1) counter upsets: the clamped corruption
+// must never push the counters outside the predictor's table bounds.
+func TestPredictorUpsetNeverPanics(t *testing.T) {
+	inst := workload.Histogram(3)
+	for w := 1; w <= 63; w++ {
+		cfg := DefaultSimConfig()
+		cfg.DOpts.Window = w
+		cfg.IOpts.Window = w
+		fc := &fault.Config{Seed: int64(w), PredictorUpset: 1}
+		cfg.DOpts.Fault = fc
+		cfg.IOpts.Fault = fc
+		rep, err := RunInstance(inst, cfg)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if rep.DWindows > 0 && rep.DFaults.Upsets == 0 {
+			t.Fatalf("W=%d: windows completed but no upsets at p=1", w)
+		}
+	}
+}
+
+// TestUpsetCanChangeDecisions: corrupting the window counters must be
+// able to alter predictor behaviour (that is the point of the model).
+// Compared against the clean run, a p=1 upset stream on a kernel with
+// adaptive traffic should shift switches or windows-driven energy.
+func TestUpsetCanChangeDecisions(t *testing.T) {
+	inst := workload.Histogram(3)
+	ref, err := RunInstance(inst, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fault.Config{Seed: 9, PredictorUpset: 1}
+	rep, err := RunInstance(inst, faultedSimConfig(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DSwitches == ref.DSwitches && rep.DEnergy == ref.DEnergy {
+		t.Error("certain counter upsets changed neither switches nor energy")
+	}
+}
+
+// TestStuckCellsShiftOnesAccounting: an array saturated with stuck-at-1
+// cells must charge more write energy for zero-heavy data than the
+// clean array (every stored 0 on a stuck-1 cell reads/writes as 1).
+func TestStuckCellsShiftOnesAccounting(t *testing.T) {
+	opts := BaselineOptions()
+	clean := newHotCache(t, opts)
+	opts.Fault = &fault.Config{Seed: 4, StuckAtOne: 0.5}
+	stuck := newHotCache(t, opts)
+
+	zeros := make([]byte, 8)
+	a := trace.Access{Op: trace.Write, Addr: hotAddr, Size: 8, Data: zeros}
+	for i := 0; i < 32; i++ {
+		if err := clean.Access(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := stuck.Access(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stuck.Energy().DataWrite <= clean.Energy().DataWrite {
+		t.Errorf("stuck-at-1 array wrote zeros cheaper than clean: %g <= %g",
+			stuck.Energy().DataWrite, clean.Energy().DataWrite)
+	}
+	if stuck.FaultStats().CorruptedBits == 0 {
+		t.Error("no corrupted bits observed on a half-stuck array")
+	}
+}
+
+// TestEnergySpreadBoundsTotals: with only energy spread enabled the
+// faulted total must stay within the spread band of the clean total and
+// the architectural results identical.
+func TestEnergySpreadBoundsTotals(t *testing.T) {
+	inst := workload.Histogram(5)
+	ref, err := RunInstance(inst, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := 0.3
+	fc := &fault.Config{Seed: 6, EnergySpread: spread}
+	rep, err := RunInstance(inst, faultedSimConfig(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DStats != ref.DStats {
+		t.Fatal("energy spread changed architectural stats")
+	}
+	// Only data-cell charges scale; meta/encoder/periphery are shared.
+	// The scaled components must stay within ±spread of their clean
+	// values.
+	scalable := [][2]float64{
+		{rep.DEnergy.DataRead, ref.DEnergy.DataRead},
+		{rep.DEnergy.DataWrite, ref.DEnergy.DataWrite},
+		{rep.DEnergy.Switch, ref.DEnergy.Switch},
+	}
+	for i, pair := range scalable {
+		got, want := pair[0], pair[1]
+		if want == 0 {
+			continue
+		}
+		if got < want*(1-spread) || got > want*(1+spread) {
+			t.Errorf("component %d: %g outside ±%.0f%% of %g", i, got, spread*100, want)
+		}
+	}
+	if rep.DEnergy.MetaRead != ref.DEnergy.MetaRead ||
+		rep.DEnergy.Encoder != ref.DEnergy.Encoder ||
+		rep.DEnergy.Periphery != ref.DEnergy.Periphery {
+		t.Error("energy spread leaked into non-data components")
+	}
+}
+
+// TestAccessHitAllocsWithFault extends the steady-state 0 allocs/op
+// contract to the fault layer: a disabled config must not re-enable
+// allocation (it builds no injector), and even a live injector's hot
+// path — stuck-list scan, transient draw, energy scale — is
+// allocation-free when no event sink is attached.
+func TestAccessHitAllocsWithFault(t *testing.T) {
+	for name, cfg := range map[string]*fault.Config{
+		"disabled": {Seed: 42},
+		"enabled":  {Seed: 42, StuckAtZero: 0.01, TransientRead: 0.5, TransientWrite: 0.5, EnergySpread: 0.1, PredictorUpset: 0.5},
+	} {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Fault = cfg
+			c := newHotCache(t, opts)
+			a := trace.Access{Op: trace.Read, Addr: hotAddr, Size: 8}
+			if n := testing.AllocsPerRun(200, func() {
+				if err := c.Access(a); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Errorf("allocs/op = %v, want 0", n)
+			}
+		})
+	}
+}
+
+// TestFaultOptionsValidate: Options.Validate and New must both reject an
+// out-of-range fault config eagerly.
+func TestFaultOptionsValidate(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Fault = &fault.Config{TransientRead: 2}
+	if err := opts.Validate(64); err == nil {
+		t.Error("Validate accepted an out-of-range fault config")
+	}
+	cfg := DefaultSimConfig()
+	cfg.DOpts.Fault = &fault.Config{EnergySpread: -1}
+	if _, err := RunInstance(workload.Histogram(1), cfg); err == nil {
+		t.Error("New accepted an out-of-range fault config")
+	}
+}

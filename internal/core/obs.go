@@ -30,6 +30,7 @@ type coreMetrics struct {
 	switchDeferred  *obs.Counter
 	switchCancelled *obs.Counter
 	switchDropped   *obs.Counter
+	faultsInjected  *obs.Counter
 
 	fifoDepth *obs.Gauge
 
@@ -77,6 +78,7 @@ func newCoreMetrics(reg *obs.Registry, cacheName string) *coreMetrics {
 		switchDeferred:  reg.Counter(p + "switch_deferred_total"),
 		switchCancelled: reg.Counter(p + "switch_cancelled_total"),
 		switchDropped:   reg.Counter(p + "switch_dropped_total"),
+		faultsInjected:  reg.Counter(p + "faults_injected_total"),
 
 		fifoDepth: reg.Gauge(p + "fifo_depth"),
 
@@ -207,6 +209,24 @@ func (c *CNTCache) observeDrain(set, way int, mask uint64, applied, stale bool, 
 	}
 }
 
+// observeFault records one discrete injected device fault (a transient
+// access flip or a predictor counter upset). Static fault sites are
+// construction-time state and are reported via FaultStats, not events.
+func (c *CNTCache) observeFault(kind string, set, way, bit int) {
+	if m := c.met; m != nil {
+		m.faultsInjected.Inc()
+	}
+	if c.sink != nil {
+		c.sink.Emit(&obs.FaultEvent{
+			Cache: c.cache.Name(),
+			Type:  kind,
+			Set:   set,
+			Way:   way,
+			Bit:   bit,
+		})
+	}
+}
+
 // EmitSummary closes the cache's event stream with the final counters
 // and the exact cumulative energy breakdown. Sim.Finish calls it after
 // DrainAll; a no-op without a sink.
@@ -224,6 +244,7 @@ func (c *CNTCache) EmitSummary() {
 		Switches:     c.switches,
 		FIFOEnqueued: fs.Enqueued,
 		FIFODropped:  fs.Dropped,
+		Faults:       c.FaultStats().Total(),
 		Energy:       c.eb,
 	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/fifo"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -56,6 +57,9 @@ type Report struct {
 	// DLeakage and ILeakage are the standby-leakage estimates (fJ),
 	// reported separately from the dynamic breakdowns.
 	DLeakage, ILeakage float64
+	// DFaults and IFaults are the fault-injection accounting per L1
+	// (all-zero when the run was fault-free).
+	DFaults, IFaults fault.Stats
 }
 
 // Sim is a ready-to-run simulation over one memory image.
@@ -141,6 +145,8 @@ func (s *Sim) Finish(workloadName, variant string) *Report {
 		DMetaBits: s.L1D.MetaBitsPerLine(),
 		DLeakage:  s.L1D.Leakage(),
 		ILeakage:  s.L1I.Leakage(),
+		DFaults:   s.L1D.FaultStats(),
+		IFaults:   s.L1I.FaultStats(),
 	}
 }
 

@@ -106,7 +106,7 @@ func runE11(cfg Config) (*Table, error) {
 		ratio, sCn, sCm float64
 	}
 	results := make([]deviceResult, len(ks))
-	err := parallelFor(cfg.jobs(), len(ks), func(i int) error {
+	err := parallelFor(cfg, len(ks), func(i int) error {
 		inst := instanceFor(ks[i], cfg.Seed)
 		cmBase, cmCnt, err := runPair(inst, hier, mkOpts(cmTab, false), mkOpts(cmTab, true))
 		if err != nil {

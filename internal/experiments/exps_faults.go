@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/fault"
+)
+
+// runE14 sweeps a composite CNT fault rate (fault.AtRate: stuck cells,
+// transient flips, predictor upsets) across the benchmark suite and
+// reports how the adaptive-encoding win degrades as the array gets
+// worse. The baseline, static-read and CNT-Cache runs of one cell all
+// share the same fault config — each cache rebuilds identical fault
+// sites from (config, geometry, label) — so savings stay a
+// like-with-like comparison on the same defective array. Static-read
+// inversion is the control: it carries no predictor state, so the gap
+// between its decay and CNT-Cache's isolates the upset-driven predictor
+// damage from the plain energy noise both suffer.
+func runE14(cfg Config) (*Table, error) {
+	rates := []float64{0, 1e-5, 1e-4, 1e-3, 1e-2}
+	if cfg.Quick {
+		rates = []float64{0, 1e-3, 1e-2}
+	}
+	t := &Table{
+		ID: "E14", Kind: "Table 6", Tag: "[extension]",
+		Title:   "Graceful degradation: suite-average D-cache saving vs composite CNT fault rate",
+		Columns: []string{"fault rate", "cnt saving", "sread saving", "switch/window", "stuck cells", "transients", "upsets", "corrupted bits"},
+	}
+	hier := cache.DefaultHierarchyConfig()
+	ks := kernels(cfg)
+	sread, err := core.BuildVariant("static-read", core.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	// One unit per (rate, kernel) cell, three simulations each; the rate
+	// rows are reduced from the cells in grid order afterwards, so the
+	// table is bit-identical for any jobs value.
+	type cell struct {
+		cnt, sread        float64
+		switches, windows uint64
+		stats             fault.Stats
+	}
+	cells := make([]cell, len(rates)*len(ks))
+	err = parallelFor(cfg, len(cells), func(i int) error {
+		rate := rates[i/len(ks)]
+		b := ks[i%len(ks)]
+		inst := instanceFor(b, cfg.Seed)
+		base := core.BaselineOptions()
+		opts := core.DefaultOptions()
+		sr := sread
+		if rate > 0 {
+			fc := fault.AtRate(rate, cfg.Seed)
+			base.Fault, opts.Fault, sr.Fault = &fc, &fc, &fc
+		}
+		bRep, cRep, err := runPair(inst, hier, base, opts)
+		if err != nil {
+			return fmt.Errorf("%s@%g: %w", b.Name, rate, err)
+		}
+		sRep, err := runOne(inst, hier, sr)
+		if err != nil {
+			return fmt.Errorf("%s@%g: %w", b.Name, rate, err)
+		}
+		bt := bRep.DEnergy.Total()
+		cells[i] = cell{
+			cnt:      energy.Saving(bt, cRep.DEnergy.Total()),
+			sread:    energy.Saving(bt, sRep.DEnergy.Total()),
+			switches: cRep.DSwitches,
+			windows:  cRep.DWindows,
+			stats: fault.Stats{
+				StuckCells:    cRep.DFaults.StuckCells,
+				ReadFlips:     cRep.DFaults.ReadFlips,
+				WriteFlips:    cRep.DFaults.WriteFlips,
+				Upsets:        cRep.DFaults.Upsets,
+				CorruptedBits: cRep.DFaults.CorruptedBits,
+			},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rate := range rates {
+		var avgCnt, avgSread, switchRate float64
+		var agg cell
+		for ki := range ks {
+			c := cells[ri*len(ks)+ki]
+			avgCnt += c.cnt
+			avgSread += c.sread
+			agg.switches += c.switches
+			agg.windows += c.windows
+			agg.stats.StuckCells += c.stats.StuckCells
+			agg.stats.ReadFlips += c.stats.ReadFlips
+			agg.stats.WriteFlips += c.stats.WriteFlips
+			agg.stats.Upsets += c.stats.Upsets
+			agg.stats.CorruptedBits += c.stats.CorruptedBits
+		}
+		n := float64(len(ks))
+		if agg.windows > 0 {
+			switchRate = float64(agg.switches) / float64(agg.windows)
+		}
+		t.AddRow(fmt.Sprintf("%.0e", rate), pct(avgCnt/n), pct(avgSread/n),
+			fmt.Sprintf("%.4f", switchRate),
+			agg.stats.StuckCells,
+			agg.stats.ReadFlips+agg.stats.WriteFlips,
+			agg.stats.Upsets,
+			agg.stats.CorruptedBits)
+	}
+	t.Notes = append(t.Notes,
+		"every variant of one cell shares the fault config, so stuck sites and energy noise are identical across the comparison — only the predictor's exposure differs",
+		"upsets corrupt only CNT-Cache's H&D counters: widening gap to static-read at high rates is predictor damage, shared shrinkage is array damage")
+	return t, t.Validate()
+}

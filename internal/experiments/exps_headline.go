@@ -34,7 +34,7 @@ func runE3(cfg Config) (*Table, error) {
 		savings  []float64
 	}
 	results := make([]kernelResult, len(ks))
-	err := parallelFor(cfg.jobs(), len(ks), func(i int) error {
+	err := parallelFor(cfg, len(ks), func(i int) error {
 		inst := instanceFor(ks[i], cfg.Seed)
 		cmp, err := core.Compare(inst, hier, variants)
 		if err != nil {
@@ -106,7 +106,7 @@ type sweepResult struct {
 // whole sweep — every point after the first hits the memo cache.
 func sweepSuite(cfg Config, n int, mk func(i int) core.Options) ([]sweepResult, error) {
 	results := make([]sweepResult, n)
-	err := parallelFor(cfg.jobs(), n, func(i int) error {
+	err := parallelFor(cfg, n, func(i int) error {
 		avg, per, detail, err := suiteSaving(cfg, mk(i))
 		if err != nil {
 			return err

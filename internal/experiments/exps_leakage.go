@@ -31,7 +31,7 @@ func runE12(cfg Config) (*Table, error) {
 		leakBase, leakCnt      float64
 	}
 	results := make([]leakResult, len(ks))
-	err := parallelFor(cfg.jobs(), len(ks), func(i int) error {
+	err := parallelFor(cfg, len(ks), func(i int) error {
 		inst := instanceFor(ks[i], cfg.Seed)
 		bRep, cRep, err := runPair(inst, hier, base, opts)
 		if err != nil {

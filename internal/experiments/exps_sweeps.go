@@ -47,7 +47,7 @@ func runE6(cfg Config) (*Table, error) {
 	// each; rows are assembled from the cell results in grid order.
 	type cell struct{ cnt, sread float64 }
 	cells := make([]cell, len(readFracs)*len(densities))
-	err = parallelFor(cfg.jobs(), len(cells), func(i int) error {
+	err = parallelFor(cfg, len(cells), func(i int) error {
 		rf := readFracs[i/len(densities)]
 		d := densities[i%len(densities)]
 		inst, err := workload.Mix(workload.MixConfig{
@@ -113,7 +113,7 @@ func runE9(cfg Config) (*Table, error) {
 		iB, dB float64
 	}
 	results := make([]progResult, len(names))
-	err := parallelFor(cfg.jobs(), len(names), func(i int) error {
+	err := parallelFor(cfg, len(names), func(i int) error {
 		name := names[i]
 		src := isa.Programs()[name]
 		prog, err := isa.Assemble(src, isa.CodeBase)
@@ -173,6 +173,9 @@ func runE9(cfg Config) (*Table, error) {
 func RunAll(cfg Config) ([]*Table, error) {
 	var out []*Table
 	for _, e := range Registry() {
+		if err := cfg.context().Err(); err != nil {
+			return nil, fmt.Errorf("%s: not started: %w", e.ID, err)
+		}
 		tab, err := e.Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.ID, err)

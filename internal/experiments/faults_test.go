@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE14DeterministicAcrossJobs is the fault-sweep acceptance
+// property: the same seed renders byte-identical tables for every
+// worker-pool size — fault sites and draws are owned by each
+// simulation, so parallelism cannot reorder them.
+func TestE14DeterministicAcrossJobs(t *testing.T) {
+	render := func(jobs int) string {
+		ResetMemo()
+		cfg := quickCfg()
+		cfg.Jobs = jobs
+		tab, err := runE14(cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.Render()
+	}
+	serial := render(1)
+	for _, jobs := range []int{4, 8} {
+		if got := render(jobs); got != serial {
+			t.Errorf("jobs=%d table differs from serial run:\n--- serial ---\n%s\n--- jobs=%d ---\n%s",
+				jobs, serial, jobs, got)
+		}
+	}
+}
+
+// TestE14DegradationShape checks the sweep's physics rather than exact
+// numbers: the fault-free row injects nothing and keeps the healthy
+// win; the worst row actually injects every fault class.
+func TestE14DegradationShape(t *testing.T) {
+	tab, err := runE14(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(row int, col string) string {
+		v, err := tab.Cell(row, col)
+		if err != nil {
+			t.Fatalf("row %d col %s: %v", row, col, err)
+		}
+		return v
+	}
+	num := func(row int, col string) float64 {
+		v, err := strconv.ParseFloat(cell(row, col), 64)
+		if err != nil {
+			t.Fatalf("row %d col %s = %q: %v", row, col, cell(row, col), err)
+		}
+		return v
+	}
+	last := len(tab.Rows) - 1
+
+	// Fault-free row: zero injected faults, clearly positive saving.
+	for _, col := range []string{"stuck cells", "transients", "upsets", "corrupted bits"} {
+		if got := num(0, col); got != 0 {
+			t.Errorf("fault-free row has %s = %v, want 0", col, got)
+		}
+	}
+	healthy, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(cell(0, "cnt saving"), "+"), "%"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy < 5 {
+		t.Errorf("fault-free cnt saving %v%%, want clearly positive", healthy)
+	}
+
+	// Worst row: every fault class fired.
+	for _, col := range []string{"stuck cells", "transients", "upsets", "corrupted bits"} {
+		if got := num(last, col); got <= 0 {
+			t.Errorf("worst row has %s = %v, want > 0", col, got)
+		}
+	}
+}

@@ -86,7 +86,7 @@ func suiteSaving(cfg Config, opts core.Options) (avg float64, perKernel map[stri
 		report *core.Report
 	}
 	results := make([]kernelResult, len(ks))
-	err = parallelFor(cfg.jobs(), len(ks), func(i int) error {
+	err = parallelFor(cfg, len(ks), func(i int) error {
 		b := ks[i]
 		inst := instanceFor(b, cfg.Seed)
 		bRep, cRep, e := runPair(inst, hier, base, opts)

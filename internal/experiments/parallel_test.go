@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -75,7 +77,7 @@ func TestBaselineSimulatedOncePerSweep(t *testing.T) {
 func TestParallelForOrderAndErrors(t *testing.T) {
 	const n = 100
 	seen := make([]int, n)
-	if err := parallelFor(8, n, func(i int) error {
+	if err := parallelFor(Config{Jobs: 8}, n, func(i int) error {
 		seen[i]++
 		return nil
 	}); err != nil {
@@ -87,7 +89,7 @@ func TestParallelForOrderAndErrors(t *testing.T) {
 		}
 	}
 
-	err := parallelFor(8, n, func(i int) error {
+	err := parallelFor(Config{Jobs: 8}, n, func(i int) error {
 		if i%10 == 7 {
 			return fmt.Errorf("boom %d", i)
 		}
@@ -98,7 +100,23 @@ func TestParallelForOrderAndErrors(t *testing.T) {
 	}
 
 	// Serial fallback must behave identically.
-	if err := parallelFor(1, 3, func(i int) error { return fmt.Errorf("e%d", i) }); err == nil || err.Error() != "e0" {
+	if err := parallelFor(Config{Jobs: 1}, 3, func(i int) error { return fmt.Errorf("e%d", i) }); err == nil || err.Error() != "e0" {
 		t.Errorf("serial fallback: want e0, got %v", err)
+	}
+}
+
+// TestExperimentCancellation: a cancelled config context aborts an
+// experiment (and RunAll) with the context's error instead of running
+// the remaining simulation units.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := quickCfg()
+	cfg.Ctx = ctx
+	if _, err := runE14(cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled experiment returned %v, want context.Canceled", err)
+	}
+	if _, err := RunAll(cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunAll returned %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -20,6 +21,19 @@ type Config struct {
 	// Zero or negative means one worker per CPU; 1 forces a serial run.
 	// Results are deterministic and identical for every value.
 	Jobs int
+	// Ctx, when non-nil, cancels the run: simulation units not yet
+	// dispatched when it is done are skipped and the experiment returns
+	// the context's error (drivers like cntbench wire SIGINT here). Nil
+	// means run to completion.
+	Ctx context.Context
+}
+
+// context resolves the optional cancellation context.
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig is the full-fidelity run configuration.
@@ -28,7 +42,7 @@ func DefaultConfig() Config { return Config{Seed: 1} }
 // Experiment is one registered table/figure generator.
 type Experiment struct {
 	// ID is the registry identifier, "E<n>" with n counting from 1
-	// (currently E1..E13).
+	// (currently E1..E14).
 	ID string
 	// Kind is the artifact ("Table 1", "Fig. 3").
 	Kind string
@@ -69,6 +83,8 @@ func Registry() []Experiment {
 			Title: "Leakage-aware accounting (dynamic-only vs combined)", Run: runE12},
 		{ID: "E13", Kind: "Fig. 10", Tag: "[extension]",
 			Title: "Direction-prediction policy comparison (window/conf/ewma)", Run: runE13},
+		{ID: "E14", Kind: "Table 6", Tag: "[extension]",
+			Title: "Graceful degradation under CNT fault injection (stuck cells, transients, upsets)", Run: runE14},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -2,7 +2,7 @@ package experiments
 
 import "repro/internal/run"
 
-// The parallel experiment engine rests on run.ParallelFor: every
+// The parallel experiment engine rests on run.ParallelResults: every
 // experiment decomposes into independent simulation units — the kernels
 // of a suite comparison, the points of a parameter sweep, the cells of
 // a grid — fanned out over a bounded worker pool with index-ordered
@@ -12,8 +12,10 @@ import "repro/internal/run"
 // worker per CPU.
 func (c Config) jobs() int { return run.Jobs(c.Jobs) }
 
-// parallelFor runs fn(0..n-1) across at most jobs workers and waits for
-// all of them; see run.ParallelFor for the full contract.
-func parallelFor(jobs, n int, fn func(i int) error) error {
-	return run.ParallelFor(jobs, n, fn)
+// parallelFor runs fn(0..n-1) across the config's worker budget under
+// its cancellation context and waits for every dispatched unit,
+// returning the lowest-index failure (ctx.Err() once cancelled); see
+// run.ParallelResults for the full contract.
+func parallelFor(cfg Config, n int, fn func(i int) error) error {
+	return run.FirstError(run.ParallelResults(cfg.context(), cfg.jobs(), n, fn))
 }

@@ -1,0 +1,291 @@
+// Package fault models CNT device defects and injects them into a
+// simulated cache deterministically. Real carbon-nanotube arrays do not
+// ship perfect: metallic CNTs short cells into stuck-at-0/stuck-at-1
+// behaviour, CNT-count variation spreads the per-cell switching energy,
+// cosmic-ray class transients flip bits on individual accesses, and the
+// widened H&D metadata of CNT-Cache adds new state (the per-line access
+// counters) that upsets can corrupt. This package gives each of those a
+// seeded, reproducible model so experiments can quantify how far the
+// adaptive-encoding win degrades as the array gets worse.
+//
+// Seeding contract: an Injector is a pure function of (Config, geometry,
+// label). The label keys the per-cache RNG stream ("L1D" and "L1I" see
+// independent faults from the same Config), and every random draw is
+// ordered by the cache's serial access stream, so a faulted simulation
+// is bit-reproducible for any worker-pool size — parallelism in this
+// codebase is across independent simulations, never within one.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/sram"
+)
+
+// Config declares a fault model. The zero value injects nothing and is
+// what every existing run implicitly uses; Enabled reports whether any
+// knob is live. Fields are JSON-serializable so run-spec documents
+// (internal/config) and fuzzers (check.FaultConfigInvariant) share one
+// schema.
+type Config struct {
+	// Seed keys the fault-site sampling and the transient draw stream;
+	// 0 means 1. Each cache mixes its label into the seed, so both L1s
+	// of one run see independent faults.
+	Seed int64 `json:"seed,omitempty"`
+	// StuckAtZero and StuckAtOne are per-cell probabilities that a data
+	// cell is shorted to the respective value (metallic-CNT defects).
+	// Stuck cells are sampled once at array construction and persist for
+	// the whole run.
+	StuckAtZero float64 `json:"stuck_at_zero,omitempty"`
+	StuckAtOne  float64 `json:"stuck_at_one,omitempty"`
+	// EnergySpread is the half-width of the per-line energy-scale
+	// variation modeling CNT-count spread: each line's data-cell
+	// energies are multiplied by a factor drawn uniformly from
+	// [1-EnergySpread, 1+EnergySpread]. Must be in [0,1).
+	EnergySpread float64 `json:"energy_spread,omitempty"`
+	// TransientRead and TransientWrite are per-access probabilities that
+	// one bit of the accessed span flips in flight (a transient upset on
+	// the bitline or sense amp).
+	TransientRead  float64 `json:"transient_read,omitempty"`
+	TransientWrite float64 `json:"transient_write,omitempty"`
+	// PredictorUpset is the per-checkpoint probability that one bit of
+	// the line's H&D history counters flips just before the window
+	// decision is evaluated.
+	PredictorUpset float64 `json:"predictor_upset,omitempty"`
+}
+
+// Enabled reports whether the configuration injects anything at all. A
+// disabled config builds no injector, so the simulation keeps its
+// byte-identical zero-fault path.
+func (c Config) Enabled() bool {
+	return c.StuckAtZero > 0 || c.StuckAtOne > 0 || c.EnergySpread > 0 ||
+		c.TransientRead > 0 || c.TransientWrite > 0 || c.PredictorUpset > 0
+}
+
+// Validate checks every knob's range.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"stuck_at_zero", c.StuckAtZero},
+		{"stuck_at_one", c.StuckAtOne},
+		{"transient_read", c.TransientRead},
+		{"transient_write", c.TransientWrite},
+		{"predictor_upset", c.PredictorUpset},
+	} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("fault: %s must be a probability in [0,1], got %g", p.name, p.v)
+		}
+	}
+	if c.StuckAtZero+c.StuckAtOne > 1 {
+		return fmt.Errorf("fault: stuck_at_zero+stuck_at_one must not exceed 1, got %g",
+			c.StuckAtZero+c.StuckAtOne)
+	}
+	if c.EnergySpread < 0 || c.EnergySpread >= 1 || c.EnergySpread != c.EnergySpread {
+		return fmt.Errorf("fault: energy_spread must be in [0,1), got %g", c.EnergySpread)
+	}
+	return nil
+}
+
+// AtRate derives a single-knob degradation config from one composite
+// fault rate r: stuck cells at r (split evenly between the two polarities),
+// transient flips at r per access, counter upsets at r per checkpoint.
+// The energy spread stays 0 — it shifts energies without corrupting
+// state, so the sweep experiment exercises it separately.
+func AtRate(r float64, seed int64) Config {
+	return Config{
+		Seed:           seed,
+		StuckAtZero:    r / 2,
+		StuckAtOne:     r / 2,
+		TransientRead:  r,
+		TransientWrite: r,
+		PredictorUpset: r,
+	}
+}
+
+// ParseConfig decodes a fault-spec JSON document strictly (unknown
+// fields and trailing garbage rejected) and validates it. This is the
+// surface FuzzFaultConfig drives.
+func ParseConfig(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("fault: %w", err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("fault: trailing data after config document")
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// StuckCell is one shorted data cell of a line.
+type StuckCell struct {
+	// Bit is the cell's bit index within the line payload
+	// (0 .. lineBits-1, bit b of byte b/8 counted LSB-first).
+	Bit int
+	// One is the value the cell is stuck at.
+	One bool
+}
+
+// Stats counts what an injector has done. Sampling counters (StuckCells)
+// are fixed at construction; the rest accumulate as the simulation runs.
+type Stats struct {
+	// StuckCells is the number of shorted data cells sampled into the
+	// array at construction.
+	StuckCells uint64 `json:"stuck_cells"`
+	// ReadFlips and WriteFlips count transient in-flight bit flips
+	// injected on demand accesses.
+	ReadFlips  uint64 `json:"read_flips"`
+	WriteFlips uint64 `json:"write_flips"`
+	// Upsets counts H&D counter-bit corruptions injected at window
+	// checkpoints.
+	Upsets uint64 `json:"upsets"`
+	// CorruptedBits counts stored bits whose stuck cell disagreed with
+	// the value the access wanted, summed over every access that touched
+	// them (a line sitting on a hostile stuck cell is counted each time).
+	CorruptedBits uint64 `json:"corrupted_bits"`
+}
+
+// Total returns the number of discrete fault events injected while
+// running (transient flips plus counter upsets) — the count the obs
+// layer's fault events and the summary record must agree on.
+func (s Stats) Total() uint64 { return s.ReadFlips + s.WriteFlips + s.Upsets }
+
+// Injector holds the sampled fault sites of one cache array plus the
+// transient draw stream. It is built once per simulated cache and used
+// only from that cache's (serial) access path; it is not safe for
+// concurrent use.
+type Injector struct {
+	cfg      Config
+	rng      *rand.Rand
+	lineBits int
+	ways     int
+
+	// stuck[set*ways+way] lists the line's shorted cells in bit order;
+	// scale[set*ways+way] is the line's energy multiplier.
+	stuck [][]StuckCell
+	scale []float64
+
+	stats Stats
+}
+
+// mixSeed folds the cache label into the config seed so distinct caches
+// of one run draw independent fault streams.
+func mixSeed(seed int64, label string) int64 {
+	if seed == 0 {
+		seed = 1
+	}
+	h := fnv.New64a()
+	fmt.Fprint(h, label)
+	return seed ^ int64(h.Sum64())
+}
+
+// New samples the static fault sites for one cache array. The label
+// keys the RNG stream (use the cache's name); geometry supplies the
+// cell population. Returns an error on an invalid config.
+func New(cfg Config, geom sram.Geometry, label string) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(mixSeed(cfg.Seed, label))),
+		lineBits: geom.LineBytes * 8,
+		ways:     geom.Ways,
+		stuck:    make([][]StuckCell, geom.Lines()),
+		scale:    make([]float64, geom.Lines()),
+	}
+	pStuck := cfg.StuckAtZero + cfg.StuckAtOne
+	for li := range inj.stuck {
+		inj.scale[li] = 1
+		if cfg.EnergySpread > 0 {
+			inj.scale[li] = 1 + cfg.EnergySpread*(2*inj.rng.Float64()-1)
+		}
+		if pStuck <= 0 {
+			continue
+		}
+		for bit := 0; bit < inj.lineBits; bit++ {
+			u := inj.rng.Float64()
+			if u >= pStuck {
+				continue
+			}
+			inj.stuck[li] = append(inj.stuck[li], StuckCell{Bit: bit, One: u < cfg.StuckAtOne})
+			inj.stats.StuckCells++
+		}
+	}
+	return inj, nil
+}
+
+// Config returns the configuration the injector was built from.
+func (inj *Injector) Config() Config { return inj.cfg }
+
+// Stats returns a snapshot of the fault accounting.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// line maps (set, way) to the flat line index.
+func (inj *Injector) line(set, way int) int { return set*inj.ways + way }
+
+// Scale returns the line's energy multiplier (CNT-count spread).
+func (inj *Injector) Scale(set, way int) float64 { return inj.scale[inj.line(set, way)] }
+
+// Stuck returns the line's shorted cells in bit order. The slice aliases
+// injector state and must not be mutated.
+func (inj *Injector) Stuck(set, way int) []StuckCell { return inj.stuck[inj.line(set, way)] }
+
+// ObserveCorrupted accounts stored bits whose stuck cell fought the
+// access (the caller, which knows the encoding, counts them).
+func (inj *Injector) ObserveCorrupted(n int) {
+	inj.stats.CorruptedBits += uint64(n)
+}
+
+// TransientBit draws the transient-flip decision for one access of size
+// bits over the given span. It returns the flipped bit index within the
+// span and true when a flip fires; exactly one uniform is drawn per
+// access (plus one for the position when it fires), keeping the stream
+// deterministic and cheap. write selects which probability applies.
+func (inj *Injector) TransientBit(write bool, spanBits int) (int, bool) {
+	p := inj.cfg.TransientRead
+	if write {
+		p = inj.cfg.TransientWrite
+	}
+	if p <= 0 || spanBits <= 0 {
+		return 0, false
+	}
+	if inj.rng.Float64() >= p {
+		return 0, false
+	}
+	if write {
+		inj.stats.WriteFlips++
+	} else {
+		inj.stats.ReadFlips++
+	}
+	return inj.rng.Intn(spanBits), true
+}
+
+// UpsetCounter draws the checkpoint-upset decision for one completed
+// prediction window over counters of the given bit width. It returns
+// which counter bit flips (0..2*counterBits-1: low half ANum, high half
+// WrNum) and true when the upset fires.
+func (inj *Injector) UpsetCounter(counterBits int) (int, bool) {
+	p := inj.cfg.PredictorUpset
+	if p <= 0 || counterBits <= 0 {
+		return 0, false
+	}
+	if inj.rng.Float64() >= p {
+		return 0, false
+	}
+	inj.stats.Upsets++
+	return inj.rng.Intn(2 * counterBits), true
+}

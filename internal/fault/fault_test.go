@@ -1,0 +1,289 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sram"
+)
+
+func testGeom() sram.Geometry {
+	return sram.Geometry{Sets: 64, Ways: 4, LineBytes: 64}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if (Config{Seed: 42}).Enabled() {
+		t.Fatal("seed alone must not enable injection")
+	}
+	for name, c := range map[string]Config{
+		"stuck0": {StuckAtZero: 0.1},
+		"stuck1": {StuckAtOne: 0.1},
+		"spread": {EnergySpread: 0.1},
+		"tread":  {TransientRead: 0.1},
+		"twrite": {TransientWrite: 0.1},
+		"upset":  {PredictorUpset: 0.1},
+	} {
+		if !c.Enabled() {
+			t.Errorf("%s: want enabled", name)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Config
+		want string // substring of the error, "" for valid
+	}{
+		{"zero", Config{}, ""},
+		{"full", Config{Seed: 7, StuckAtZero: 0.2, StuckAtOne: 0.3, EnergySpread: 0.5,
+			TransientRead: 1, TransientWrite: 0.5, PredictorUpset: 0.01}, ""},
+		{"negative-prob", Config{TransientRead: -0.1}, "transient_read"},
+		{"prob-above-one", Config{PredictorUpset: 1.5}, "predictor_upset"},
+		{"nan-prob", Config{StuckAtZero: math.NaN()}, "stuck_at_zero"},
+		{"stuck-sum", Config{StuckAtZero: 0.6, StuckAtOne: 0.6}, "exceed 1"},
+		{"spread-one", Config{EnergySpread: 1}, "energy_spread"},
+		{"spread-negative", Config{EnergySpread: -0.2}, "energy_spread"},
+		{"spread-nan", Config{EnergySpread: math.NaN()}, "energy_spread"},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestAtRate(t *testing.T) {
+	c := AtRate(1e-3, 99)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Enabled() {
+		t.Fatal("AtRate(1e-3) must enable injection")
+	}
+	if c.StuckAtZero+c.StuckAtOne != 1e-3 {
+		t.Errorf("stuck total = %g, want 1e-3", c.StuckAtZero+c.StuckAtOne)
+	}
+	if c.EnergySpread != 0 {
+		t.Errorf("AtRate must leave energy spread 0, got %g", c.EnergySpread)
+	}
+	if z := AtRate(0, 99); z.Enabled() {
+		t.Error("AtRate(0) must be disabled")
+	}
+}
+
+func TestParseConfigStrict(t *testing.T) {
+	c, err := ParseConfig([]byte(`{"seed": 5, "transient_read": 0.25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 5 || c.TransientRead != 0.25 {
+		t.Fatalf("parsed %+v", c)
+	}
+	for name, doc := range map[string]string{
+		"unknown-field": `{"transient_read": 0.25, "bogus": 1}`,
+		"trailing":      `{"seed": 1} {"seed": 2}`,
+		"invalid-range": `{"transient_read": 2}`,
+		"not-json":      `seed=1`,
+		"wrong-type":    `{"seed": "five"}`,
+	} {
+		if _, err := ParseConfig([]byte(doc)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, StuckAtZero: 0.002, StuckAtOne: 0.001,
+		EnergySpread: 0.2, TransientRead: 0.3, TransientWrite: 0.1, PredictorUpset: 0.05}
+	build := func() *Injector {
+		inj, err := New(cfg, testGeom(), "L1D")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.stuck, b.stuck) {
+		t.Fatal("stuck-cell sites differ across identical builds")
+	}
+	if !reflect.DeepEqual(a.scale, b.scale) {
+		t.Fatal("energy scales differ across identical builds")
+	}
+	// The transient draw streams must replay identically too.
+	for i := 0; i < 2000; i++ {
+		ba, oka := a.TransientBit(i%3 == 0, 512)
+		bb, okb := b.TransientBit(i%3 == 0, 512)
+		if ba != bb || oka != okb {
+			t.Fatalf("transient draw %d diverged: (%d,%v) vs (%d,%v)", i, ba, oka, bb, okb)
+		}
+		ua, oka2 := a.UpsetCounter(4)
+		ub, okb2 := b.UpsetCounter(4)
+		if ua != ub || oka2 != okb2 {
+			t.Fatalf("upset draw %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestInjectorLabelIndependence(t *testing.T) {
+	cfg := Config{Seed: 42, StuckAtZero: 0.01, StuckAtOne: 0.01}
+	d, err := New(cfg, testGeom(), "L1D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := New(cfg, testGeom(), "L1I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(d.stuck, i.stuck) {
+		t.Fatal("L1D and L1I drew identical fault sites; labels not mixed into seed")
+	}
+}
+
+func TestInjectorZeroSeedMeansOne(t *testing.T) {
+	cfg := Config{StuckAtZero: 0.01}
+	z, err := New(cfg, testGeom(), "L1D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 1
+	o, err := New(cfg, testGeom(), "L1D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(z.stuck, o.stuck) {
+		t.Fatal("seed 0 must alias seed 1")
+	}
+}
+
+func TestInjectorStuckSampling(t *testing.T) {
+	cfg := Config{Seed: 7, StuckAtZero: 0.004, StuckAtOne: 0.002}
+	inj, err := New(cfg, testGeom(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := testGeom()
+	cells := geom.Lines() * geom.LineBytes * 8
+	var counted uint64
+	ones := 0
+	for set := 0; set < geom.Sets; set++ {
+		for way := 0; way < geom.Ways; way++ {
+			prev := -1
+			for _, sc := range inj.Stuck(set, way) {
+				if sc.Bit <= prev || sc.Bit >= geom.LineBytes*8 {
+					t.Fatalf("stuck bit out of order or range: %d after %d", sc.Bit, prev)
+				}
+				prev = sc.Bit
+				counted++
+				if sc.One {
+					ones++
+				}
+			}
+		}
+	}
+	if counted != inj.Stats().StuckCells {
+		t.Fatalf("Stats().StuckCells = %d, counted %d", inj.Stats().StuckCells, counted)
+	}
+	// 0.6% of ~131k cells: expect hundreds, split ~2:1 zero:one.
+	want := float64(cells) * 0.006
+	if got := float64(counted); got < want/2 || got > want*2 {
+		t.Fatalf("stuck count %v wildly off expectation %v", got, want)
+	}
+	if ones == 0 || int(counted)-ones == 0 {
+		t.Fatalf("expected both polarities, got %d ones of %d", ones, counted)
+	}
+}
+
+func TestInjectorScaleRange(t *testing.T) {
+	spread := 0.25
+	inj, err := New(Config{Seed: 3, EnergySpread: spread}, testGeom(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := testGeom()
+	varied := false
+	for set := 0; set < geom.Sets; set++ {
+		for way := 0; way < geom.Ways; way++ {
+			s := inj.Scale(set, way)
+			if s < 1-spread || s > 1+spread {
+				t.Fatalf("scale %v outside [%v,%v]", s, 1-spread, 1+spread)
+			}
+			if s != 1 {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("expected at least one non-unit scale")
+	}
+	noSpread, err := New(Config{Seed: 3, TransientRead: 0.5}, testGeom(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := noSpread.Scale(5, 1); s != 1 {
+		t.Fatalf("no-spread scale = %v, want exactly 1", s)
+	}
+}
+
+func TestTransientAndUpsetAccounting(t *testing.T) {
+	inj, err := New(Config{Seed: 11, TransientRead: 1, TransientWrite: 1, PredictorUpset: 1},
+		testGeom(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bit, ok := inj.TransientBit(false, 64); !ok || bit < 0 || bit >= 64 {
+		t.Fatalf("p=1 read flip: got (%d,%v)", bit, ok)
+	}
+	if bit, ok := inj.TransientBit(true, 8); !ok || bit < 0 || bit >= 8 {
+		t.Fatalf("p=1 write flip: got (%d,%v)", bit, ok)
+	}
+	if bit, ok := inj.UpsetCounter(4); !ok || bit < 0 || bit >= 8 {
+		t.Fatalf("p=1 upset: got (%d,%v)", bit, ok)
+	}
+	st := inj.Stats()
+	if st.ReadFlips != 1 || st.WriteFlips != 1 || st.Upsets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Total() != 3 {
+		t.Fatalf("Total() = %d, want 3", st.Total())
+	}
+	inj.ObserveCorrupted(5)
+	if inj.Stats().CorruptedBits != 5 {
+		t.Fatalf("CorruptedBits = %d", inj.Stats().CorruptedBits)
+	}
+
+	off, err := New(Config{Seed: 11, EnergySpread: 0.1}, testGeom(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := off.TransientBit(false, 64); ok {
+		t.Fatal("p=0 must never flip")
+	}
+	if _, ok := off.UpsetCounter(4); ok {
+		t.Fatal("p=0 must never upset")
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{TransientRead: 2}, testGeom(), "x"); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := New(Config{}, sram.Geometry{Sets: 3, Ways: 1, LineBytes: 64}, "x"); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}

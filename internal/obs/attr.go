@@ -19,7 +19,7 @@ type Attribution struct {
 	Summary *SummaryEvent
 
 	// Event counts by kind.
-	Accesses, Windows, Switches, Drains uint64
+	Accesses, Windows, Switches, Drains, Faults uint64
 	// Hits counts AccessEvents that hit; StaleDrains counts DrainEvents
 	// discarded against an evicted line.
 	Hits, StaleDrains uint64
@@ -56,6 +56,8 @@ func Attribute(events []Event) map[string]*Attribution {
 				a.StaleDrains++
 			}
 			a.Summed = a.Summed.Add(ev.Energy)
+		case *FaultEvent:
+			a.Faults++
 		case *SummaryEvent:
 			a.Summary = ev
 		}

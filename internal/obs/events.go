@@ -18,12 +18,13 @@ const (
 	KindWindow  Kind = "window"
 	KindSwitch  Kind = "switch"
 	KindDrain   Kind = "drain"
+	KindFault   Kind = "fault"
 	KindSummary Kind = "summary"
 )
 
 // Event is one structured telemetry record. The concrete types are
-// *AccessEvent, *WindowEvent, *SwitchEvent, *DrainEvent and
-// *SummaryEvent.
+// *AccessEvent, *WindowEvent, *SwitchEvent, *DrainEvent, *FaultEvent
+// and *SummaryEvent.
 type Event interface {
 	// Kind returns the serialized type tag.
 	Kind() Kind
@@ -134,20 +135,51 @@ func (*DrainEvent) Kind() Kind { return KindDrain }
 // CacheName implements Event.
 func (e *DrainEvent) CacheName() string { return e.Cache }
 
+// FaultEvent records one discrete injected device fault (internal/fault):
+// a transient bit flip on a demand access ("read-flip"/"write-flip") or a
+// predictor counter-bit upset at a window checkpoint ("upset"). Static
+// fault sites (stuck cells, energy spread) are sampled at construction
+// and carried by the run report, not the event stream; a faulted access's
+// energy effect rides the enclosing AccessEvent's delta, so fault events
+// carry no energy of their own and the stream still reconciles. The
+// closing SummaryEvent's Faults field must equal the number of
+// FaultEvents in the stream (internal/check.ReconcileEvents).
+type FaultEvent struct {
+	Cache string `json:"cache"`
+	// Type is "read-flip", "write-flip" or "upset".
+	Type string `json:"type"`
+	Set  int    `json:"set"`
+	Way  int    `json:"way"`
+	// Bit locates the fault: the flipped bit's index within the accessed
+	// span for transients, or the flipped counter bit (low half A_num,
+	// high half Wr_num) for upsets.
+	Bit int `json:"bit"`
+}
+
+// Kind implements Event.
+func (*FaultEvent) Kind() Kind { return KindFault }
+
+// CacheName implements Event.
+func (e *FaultEvent) CacheName() string { return e.Cache }
+
 // SummaryEvent closes a cache's event stream at end of simulation: the
 // final architectural counters and the exact cumulative energy
 // breakdown. Attribution checks compare the summed Access/Drain deltas
 // against Energy, and Energy itself must equal the run report's
 // breakdown bit for bit.
 type SummaryEvent struct {
-	Cache        string           `json:"cache"`
-	Accesses     uint64           `json:"accesses"`
-	Hits         uint64           `json:"hits"`
-	Windows      uint64           `json:"windows"`
-	Switches     uint64           `json:"switches"`
-	FIFOEnqueued uint64           `json:"fifo_enqueued"`
-	FIFODropped  uint64           `json:"fifo_dropped"`
-	Energy       energy.Breakdown `json:"energy"`
+	Cache        string `json:"cache"`
+	Accesses     uint64 `json:"accesses"`
+	Hits         uint64 `json:"hits"`
+	Windows      uint64 `json:"windows"`
+	Switches     uint64 `json:"switches"`
+	FIFOEnqueued uint64 `json:"fifo_enqueued"`
+	FIFODropped  uint64 `json:"fifo_dropped"`
+	// Faults counts the discrete injected fault events of the stream
+	// (omitted when zero, keeping zero-fault traces byte-identical to
+	// schema-v1 streams written before fault injection existed).
+	Faults uint64           `json:"faults,omitempty"`
+	Energy energy.Breakdown `json:"energy"`
 }
 
 // Kind implements Event.

@@ -138,6 +138,8 @@ func decodeRecord(raw []byte) (Event, error) {
 		e = &SwitchEvent{}
 	case KindDrain:
 		e = &DrainEvent{}
+	case KindFault:
+		e = &FaultEvent{}
 	case KindSummary:
 		e = &SummaryEvent{}
 	default:

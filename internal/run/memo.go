@@ -100,13 +100,16 @@ func InstanceFor(b workload.Builder, seed int64) *workload.Instance {
 
 // baselineMemoizable reports whether opts is a plain baseline the cache
 // key fully captures: unencoded, default periphery, no pinned masks,
-// and no attached telemetry (a sink or registry must observe its own
-// run, never be starved by a cache hit). Everything else in Options
-// (window, ΔT, FIFO, fill policy, switch cost, predictor) is dead
-// configuration for KindNone.
+// no attached telemetry (a sink or registry must observe its own run,
+// never be starved by a cache hit), and no fault injection (a faulted
+// baseline depends on the fault config and seed, which the key does not
+// carry — and fault sweeps deliberately re-fault the baseline per
+// rate). Everything else in Options (window, ΔT, FIFO, fill policy,
+// switch cost, predictor) is dead configuration for KindNone.
 func baselineMemoizable(opts core.Options) bool {
 	return opts.Spec.Kind == encoding.KindNone && opts.Periphery == nil &&
-		opts.FillMasks == nil && opts.Metrics == nil && opts.Trace == nil
+		opts.FillMasks == nil && opts.Metrics == nil && opts.Trace == nil &&
+		opts.Fault == nil
 }
 
 // BaselineReport runs inst under baseline options, serving repeats from

@@ -1,7 +1,9 @@
 package run
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -9,11 +11,11 @@ import (
 // decomposes into independent simulation units — the kernels of a suite
 // comparison, the points of a parameter sweep, the cells of a grid —
 // whose results are pure functions of (workload instance, options).
-// ParallelFor fans those units out over a bounded worker pool and the
-// caller assembles the table rows afterwards in index order, so rendered
-// output is byte-identical to a serial run: parallelism changes only
-// when work executes, never what is computed or in which order it is
-// reduced.
+// ParallelResults fans those units out over a bounded worker pool and
+// the caller assembles the table rows afterwards in index order, so
+// rendered output is byte-identical to a serial run: parallelism changes
+// only when work executes, never what is computed or in which order it
+// is reduced.
 
 // Jobs resolves a configured worker count: non-positive means one
 // worker per CPU.
@@ -24,28 +26,51 @@ func Jobs(n int) int {
 	return runtime.NumCPU()
 }
 
-// ParallelFor runs fn(0..n-1) across at most jobs workers and waits for
-// all of them. Results must be written by index into caller-owned slices;
-// fn must not touch shared mutable state. The returned error is the
-// lowest-index failure, matching what a serial loop would have reported
-// first (later units still run to completion — they are already in
-// flight and side-effect free).
-func ParallelFor(jobs, n int, fn func(i int) error) error {
+// ParallelResults runs fn(0..n-1) across at most jobs workers and waits
+// for every dispatched unit before returning — workers are always
+// drained, never leaked, whatever fails. The returned slice has one
+// entry per unit:
+//
+//   - nil for a unit that completed;
+//   - the unit's own error;
+//   - a *PanicError when the unit panicked (the panic is recovered in
+//     the worker, so siblings run to completion and their results
+//     survive);
+//   - ctx.Err() for units never dispatched because ctx was cancelled
+//     first (in-flight units still finish — simulations are
+//     side-effect-free, so the completed work is kept, and a unit is
+//     never half-observed).
+//
+// One unit's failure does not cancel its siblings: which units run
+// must not depend on scheduling, or partial results would not be
+// byte-identical across -jobs values. Results must be written by index
+// into caller-owned slices; fn must not touch shared mutable state.
+func ParallelResults(ctx context.Context, jobs, n int, fn func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
+	errs := make([]error, n)
 	if jobs > n {
 		jobs = n
 	}
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		errs[i] = fn(i)
+	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
 			}
+			run(i)
 		}
-		return nil
+		return errs
 	}
-	errs := make([]error, n)
 	next := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(jobs)
@@ -53,19 +78,47 @@ func ParallelFor(jobs, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = fn(i)
+				run(i)
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			// Mark this and every remaining unit as cancelled; workers
+			// still drain whatever was already dispatched.
+			for ; i < n; i++ {
+				errs[i] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return errs
+}
+
+// FirstError returns the lowest-index non-nil error of a
+// ParallelResults slice — what a serial loop would have reported first.
+func FirstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ParallelFor runs fn(0..n-1) across at most jobs workers and waits for
+// all of them, returning the lowest-index failure (nil when every unit
+// completed). Units run to completion even when a sibling fails — they
+// are side-effect free — and a panicking unit surfaces as a *PanicError
+// instead of crashing the process. See ParallelResults for the full
+// contract; callers that need per-unit errors or cancellation use it
+// directly.
+func ParallelFor(jobs, n int, fn func(i int) error) error {
+	return FirstError(ParallelResults(context.Background(), jobs, n, fn))
 }

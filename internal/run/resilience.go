@@ -1,0 +1,141 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Resilience primitives of the run path: typed worker failures, the
+// transient-error marker with bounded retry, and the partial-result
+// error Compare surfaces when some — but not all — cells of a fan-out
+// complete. Long sweeps are built from hundreds of independent
+// simulations; one corrupt trace file, one panicking variant build or
+// one cancelled deadline must cost exactly its own cells, never the
+// whole batch.
+
+// PanicError is a worker panic converted into an error: the fan-out
+// index that panicked, the recovered value, and the goroutine stack at
+// recovery time. ParallelResults produces these so one bad cell cannot
+// crash the process or strand its sibling workers.
+type PanicError struct {
+	// Index is the fan-out index whose unit panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("run: unit %d panicked: %v", p.Index, p.Value)
+}
+
+// CellError names one failed cell of a partial fan-out.
+type CellError struct {
+	// Name labels the cell (variant name for Compare).
+	Name string
+	// Err is what the cell failed with: the unit's own error, a
+	// *PanicError, or the context's cancellation error for cells that
+	// never ran.
+	Err error
+}
+
+// PartialError reports a fan-out that completed some cells and lost
+// others. The successful cells' results are still delivered alongside
+// it (Compare returns the comparison with nil entries for the failed
+// cells); Cells lists every failure by name.
+type PartialError struct {
+	Cells []CellError
+}
+
+// Error implements error.
+func (p *PartialError) Error() string {
+	names := make([]string, len(p.Cells))
+	for i, c := range p.Cells {
+		names[i] = c.Name
+	}
+	return fmt.Sprintf("run: %d cell(s) failed: %s (first: %v)",
+		len(p.Cells), strings.Join(names, ", "), p.Cells[0].Err)
+}
+
+// Unwrap exposes the first cell's error so errors.Is sees context
+// cancellation through a PartialError.
+func (p *PartialError) Unwrap() error { return p.Cells[0].Err }
+
+// ErrorMap returns the failures keyed by cell name.
+func (p *PartialError) ErrorMap() map[string]error {
+	m := make(map[string]error, len(p.Cells))
+	for _, c := range p.Cells {
+		m[c.Name] = c.Err
+	}
+	return m
+}
+
+// transientError marks an error as transient: worth retrying with the
+// same inputs (I/O hiccups, contended resources) — as opposed to the
+// deterministic failures a simulation produces, which retrying can only
+// repeat.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string   { return t.err.Error() }
+func (t *transientError) Unwrap() error   { return t.err }
+func (t *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err as retryable. Nil stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) declares
+// itself retryable via a `Transient() bool` method.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// Retry runs fn up to attempts times, sleeping backoff, 2*backoff,
+// 4*backoff, ... between tries. Only transient errors (IsTransient) are
+// retried: a deterministic failure returns immediately, and the final
+// attempt's error is returned unwrapped of the retry loop. A cancelled
+// ctx aborts the wait and returns ctx.Err(); attempts < 1 is treated
+// as 1 and a non-positive backoff retries immediately.
+func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if backoff > 0 {
+				t := time.NewTimer(backoff << uint(a-1))
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
+			} else if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,566 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most want, failing after a deadline. Worker goroutines end strictly
+// before ParallelResults returns, but the runtime needs a beat to
+// account for them.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, want <= %d", runtime.NumGoroutine(), want)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelResultsErrorPathDrain is the worker-pool drain guarantee:
+// when units fail, every other unit still runs exactly once, all
+// workers are awaited, and no goroutine or channel leaks (run under
+// -race in tier2).
+func TestParallelResultsErrorPathDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var ran int32
+	boom := errors.New("boom")
+	errs := ParallelResults(context.Background(), 4, 32, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i%5 == 0 {
+			return fmt.Errorf("unit %d: %w", i, boom)
+		}
+		return nil
+	})
+	if got := atomic.LoadInt32(&ran); got != 32 {
+		t.Fatalf("ran %d units, want 32 (failures must not cancel siblings)", got)
+	}
+	for i, err := range errs {
+		if i%5 == 0 {
+			if !errors.Is(err, boom) {
+				t.Errorf("unit %d: err = %v, want boom", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("unit %d: unexpected error %v", i, err)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestParallelResultsPanicRecovery: a panicking unit becomes a typed
+// *PanicError carrying the index, value and stack; siblings complete
+// and the pool drains.
+func TestParallelResultsPanicRecovery(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var ran int32
+	errs := ParallelResults(context.Background(), 4, 16, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 7 {
+			panic("kaboom 7")
+		}
+		return nil
+	})
+	if got := atomic.LoadInt32(&ran); got != 16 {
+		t.Fatalf("ran %d units, want 16", got)
+	}
+	var pe *PanicError
+	if !errors.As(errs[7], &pe) {
+		t.Fatalf("errs[7] = %v, want *PanicError", errs[7])
+	}
+	if pe.Index != 7 || pe.Value != "kaboom 7" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {Index:%d Value:%v stack:%dB}", pe.Index, pe.Value, len(pe.Stack))
+	}
+	if !strings.Contains(pe.Error(), "unit 7 panicked") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+	for i, err := range errs {
+		if i != 7 && err != nil {
+			t.Errorf("unit %d: unexpected error %v", i, err)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestParallelResultsSerialPanicRecovery: the jobs<=1 path recovers
+// panics too, and keeps running the remaining units.
+func TestParallelResultsSerialPanicRecovery(t *testing.T) {
+	var ran int32
+	errs := ParallelResults(context.Background(), 1, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 1 {
+			panic(i)
+		}
+		return nil
+	})
+	if ran != 4 {
+		t.Fatalf("ran %d units, want 4", ran)
+	}
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) || pe.Value != 1 {
+		t.Fatalf("errs[1] = %v, want *PanicError{Value:1}", errs[1])
+	}
+}
+
+// TestParallelResultsCancellation: once the context is cancelled,
+// undispatched units are marked with ctx.Err() without running, while
+// already-dispatched units finish and keep their results.
+func TestParallelResultsCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	release := make(chan struct{})
+	errs := ParallelResults(ctx, 2, 16, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			cancel()
+			close(release)
+		} else {
+			<-release // make sure nobody outruns the cancel
+		}
+		return nil
+	})
+	ranN := atomic.LoadInt32(&ran)
+	if ranN >= 16 {
+		t.Fatal("cancellation dispatched every unit")
+	}
+	var completed, cancelled int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, context.Canceled):
+			cancelled++
+		default:
+			t.Errorf("unit %d: unexpected error %v", i, err)
+		}
+	}
+	if completed != int(ranN) {
+		t.Errorf("%d units ran but %d completed", ranN, completed)
+	}
+	if completed+cancelled != 16 {
+		t.Errorf("completed %d + cancelled %d != 16", completed, cancelled)
+	}
+	if cancelled == 0 {
+		t.Error("no unit observed the cancellation")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestParallelResultsSerialCancellation covers the jobs=1 path: units
+// after the cancel point never run.
+func TestParallelResultsSerialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	errs := ParallelResults(ctx, 1, 8, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if ran != 3 {
+		t.Fatalf("ran %d units, want 3 (0,1,2)", ran)
+	}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Errorf("unit %d: unexpected error %v", i, errs[i])
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("unit %d: err = %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
+// TestParallelForConvertsPanics: the legacy all-or-nothing wrapper must
+// survive a unit panic and return it as the lowest-index error.
+func TestParallelForConvertsPanics(t *testing.T) {
+	err := ParallelFor(4, 8, func(i int) error {
+		if i == 3 {
+			panic("x")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("err = %v, want *PanicError{Index:3}", err)
+	}
+}
+
+// TestFirstError returns the lowest-index failure, like a serial loop.
+func TestFirstError(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if err := FirstError([]error{nil, e2, e1}); err != e2 {
+		t.Errorf("FirstError = %v, want %v", err, e2)
+	}
+	if err := FirstError([]error{nil, nil}); err != nil {
+		t.Errorf("FirstError = %v, want nil", err)
+	}
+}
+
+func TestTransientMarker(t *testing.T) {
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) must stay nil")
+	}
+	base := errors.New("disk hiccup")
+	te := MarkTransient(base)
+	if !IsTransient(te) {
+		t.Error("marked error must be transient")
+	}
+	if IsTransient(base) {
+		t.Error("unmarked error must not be transient")
+	}
+	if !errors.Is(te, base) {
+		t.Error("marker must unwrap to the base error")
+	}
+	// The marker survives further wrapping.
+	if !IsTransient(fmt.Errorf("loading trace: %w", te)) {
+		t.Error("transience must be visible through wrapping")
+	}
+}
+
+func TestRetry(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("deterministic-failure-no-retry", func(t *testing.T) {
+		calls := 0
+		err := Retry(ctx, 5, 0, func() error { calls++; return errors.New("always") })
+		if calls != 1 {
+			t.Errorf("calls = %d, want 1 (non-transient must not retry)", calls)
+		}
+		if err == nil {
+			t.Error("want error")
+		}
+	})
+
+	t.Run("transient-eventually-succeeds", func(t *testing.T) {
+		calls := 0
+		err := Retry(ctx, 5, time.Microsecond, func() error {
+			calls++
+			if calls < 3 {
+				return MarkTransient(errors.New("flaky"))
+			}
+			return nil
+		})
+		if err != nil || calls != 3 {
+			t.Errorf("err = %v, calls = %d; want nil after 3", err, calls)
+		}
+	})
+
+	t.Run("budget-exhausted", func(t *testing.T) {
+		calls := 0
+		flaky := MarkTransient(errors.New("flaky"))
+		err := Retry(ctx, 3, 0, func() error { calls++; return flaky })
+		if calls != 3 {
+			t.Errorf("calls = %d, want 3", calls)
+		}
+		if !errors.Is(err, flaky) {
+			t.Errorf("err = %v, want the final transient failure", err)
+		}
+	})
+
+	t.Run("cancelled-context-aborts", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		calls := 0
+		err := Retry(cctx, 3, time.Hour, func() error { calls++; return MarkTransient(errors.New("x")) })
+		if calls != 0 {
+			t.Errorf("calls = %d, want 0 on pre-cancelled context", calls)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("cancel-during-backoff", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		calls := 0
+		err := Retry(cctx, 3, time.Hour, func() error {
+			calls++
+			cancel()
+			return MarkTransient(errors.New("x"))
+		})
+		if calls != 1 {
+			t.Errorf("calls = %d, want 1", calls)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+func TestPartialErrorShape(t *testing.T) {
+	base := context.Canceled
+	pe := &PartialError{Cells: []CellError{
+		{Name: "static-read", Err: fmt.Errorf("wrapped: %w", base)},
+		{Name: "cnt-cache", Err: errors.New("other")},
+	}}
+	if !errors.Is(pe, base) {
+		t.Error("PartialError must unwrap to its first cell error")
+	}
+	m := pe.ErrorMap()
+	if len(m) != 2 || m["cnt-cache"] == nil || m["static-read"] == nil {
+		t.Errorf("ErrorMap = %v", m)
+	}
+	msg := pe.Error()
+	if !strings.Contains(msg, "static-read") || !strings.Contains(msg, "cnt-cache") {
+		t.Errorf("Error() = %q, must name failed cells", msg)
+	}
+}
+
+// compareSession builds a resolved session over a quick kernel for the
+// salvage tests.
+func compareSession(t *testing.T, jobs int) *Session {
+	t.Helper()
+	sess, err := Spec{Source: Source{Kernel: "hist"}, Jobs: jobs}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestCompareContextSalvage is the acceptance property: cancelling a
+// session mid-Compare returns the completed cells plus typed errors for
+// the lost ones, with no goroutine leaks (-race covers the pool).
+func TestCompareContextSalvage(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sess := compareSession(t, 1) // serial: deterministic cancel point
+	ctx, cancel := context.WithCancel(context.Background())
+	sess.compareHook = func(i int) error {
+		if i == 2 {
+			cancel()
+			return ctx.Err()
+		}
+		return nil
+	}
+	cmp, err := sess.CompareContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled Compare returned no error")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PartialError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("PartialError must expose the cancellation cause")
+	}
+	if cmp == nil {
+		t.Fatal("cancelled Compare must still return the comparison")
+	}
+	// Cells 0 and 1 completed before the hook fired at 2; cell 2 failed
+	// with the cancellation it triggered, and later cells were never
+	// dispatched (the serial pool checks the context per unit).
+	for i, rep := range cmp.Reports {
+		if i < 2 {
+			if rep == nil {
+				t.Errorf("cell %d (%s): completed cell lost", i, cmp.Names[i])
+			}
+		} else if rep != nil {
+			t.Errorf("cell %d (%s): report present after cancellation", i, cmp.Names[i])
+		}
+	}
+	em := pe.ErrorMap()
+	if len(em) != len(cmp.Names)-2 {
+		t.Errorf("ErrorMap has %d entries, want %d", len(em), len(cmp.Names)-2)
+	}
+	for name, cellErr := range em {
+		if !errors.Is(cellErr, context.Canceled) {
+			t.Errorf("cell %s: err = %v, want context.Canceled", name, cellErr)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestCompareContextPanicSalvage: one cell panicking (via the hook)
+// loses only that cell; siblings' reports survive alongside a typed
+// *PanicError.
+func TestCompareContextPanicSalvage(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sess := compareSession(t, 4)
+	sess.compareHook = func(i int) error {
+		if i == 3 {
+			panic("injected cell panic")
+		}
+		return nil
+	}
+	cmp, err := sess.CompareContext(context.Background())
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PartialError", err, err)
+	}
+	if len(pe.Cells) != 1 || pe.Cells[0].Name != cmp.Names[3] {
+		t.Fatalf("PartialError cells = %+v, want exactly cell 3", pe.Cells)
+	}
+	var panicErr *PanicError
+	if !errors.As(pe.Cells[0].Err, &panicErr) {
+		t.Fatalf("cell err = %v, want *PanicError", pe.Cells[0].Err)
+	}
+	for i, rep := range cmp.Reports {
+		if i == 3 {
+			if rep != nil {
+				t.Error("panicked cell has a report")
+			}
+		} else if rep == nil {
+			t.Errorf("cell %d (%s): sibling result lost to the panic", i, cmp.Names[i])
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestCompareRetriesTransientCells: a cell that fails transiently on
+// its first attempts completes within the spec's retry budget, while a
+// session without a retry budget loses that cell with the transient
+// error attached.
+func TestCompareRetriesTransientCells(t *testing.T) {
+	flaky := func(attempts *int32) func(i int) error {
+		return func(i int) error {
+			if i == 1 && atomic.AddInt32(attempts, 1) < 3 {
+				return MarkTransient(errors.New("simulated transient cell failure"))
+			}
+			return nil
+		}
+	}
+
+	sess := compareSession(t, 2)
+	sess.retries = 3
+	var attempts int32
+	sess.compareHook = flaky(&attempts)
+	cmp, err := sess.CompareContext(context.Background())
+	if err != nil {
+		t.Fatalf("retried compare failed: %v", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 3 {
+		t.Errorf("cell 1 attempted %d times, want 3", got)
+	}
+	for i, rep := range cmp.Reports {
+		if rep == nil {
+			t.Errorf("cell %d (%s): no report", i, cmp.Names[i])
+		}
+	}
+
+	// No retry budget: the first transient failure is final.
+	sess = compareSession(t, 2)
+	attempts = 0
+	sess.compareHook = flaky(&attempts)
+	cmp, err = sess.CompareContext(context.Background())
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PartialError", err, err)
+	}
+	if len(pe.Cells) != 1 || pe.Cells[0].Name != cmp.Names[1] || !IsTransient(pe.Cells[0].Err) {
+		t.Errorf("PartialError cells = %+v, want cell 1's transient error", pe.Cells)
+	}
+	if cmp.Reports[1] != nil {
+		t.Error("failed cell has a report")
+	}
+}
+
+// TestRunContextCancellation: a cancelled context stops a Session.Run
+// mid-replay with a wrapped ctx error.
+func TestRunContextCancellation(t *testing.T) {
+	sess, err := Spec{Source: Source{Kernel: "mm"}}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// And an un-cancelled run still completes.
+	if _, err := sess.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecFaultAttachesToBothSides mirrors the telemetry attachment
+// contract: a spec-level fault config reaches both L1s, and the faulted
+// run actually injects.
+func TestSpecFaultAttachesToBothSides(t *testing.T) {
+	fc := fault.AtRate(1e-2, 7)
+	sess, err := Spec{Source: Source{Kernel: "hist"}, Fault: &fc}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.SimConfig.DOpts.Fault != &fc || sess.SimConfig.IOpts.Fault != &fc {
+		t.Fatal("spec fault config did not reach both L1 options")
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DFaults.StuckCells == 0 || rep.IFaults.StuckCells == 0 {
+		t.Errorf("faulted run injected nothing: D %+v, I %+v", rep.DFaults, rep.IFaults)
+	}
+}
+
+// TestFaultRunsDeterministicAcrossJobs: a batch of faulted runs fanned
+// out over any worker count reproduces the serial batch exactly — each
+// simulation owns its injector, so parallelism cannot reorder fault
+// draws.
+func TestFaultRunsDeterministicAcrossJobs(t *testing.T) {
+	kernels := []string{"hist", "mm", "hist", "mm", "hist", "mm"}
+	batch := func(jobs int) []core.Report {
+		reps := make([]core.Report, len(kernels))
+		err := ParallelFor(jobs, len(kernels), func(i int) error {
+			fc := fault.AtRate(1e-3, 11)
+			fc.EnergySpread = 0.05
+			rep, err := Spec{Source: Source{Kernel: kernels[i]}, Fault: &fc}.Run()
+			if err != nil {
+				return err
+			}
+			reps[i] = *rep.Report
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reps
+	}
+	ref := batch(1)
+	for _, jobs := range []int{4, 8} {
+		got := batch(jobs)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("jobs=%d: faulted run %d (%s) diverged from serial", jobs, i, kernels[i])
+			}
+		}
+	}
+}
+
+// TestCompareContextMatchesCompare: on the happy path the context
+// variant returns exactly what Compare does, for any jobs value.
+func TestCompareContextMatchesCompare(t *testing.T) {
+	ref, err := compareSession(t, 1).Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 4, 8} {
+		cmp, err := compareSession(t, jobs).CompareContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Reports {
+			if *cmp.Reports[i] != *ref.Reports[i] {
+				t.Errorf("jobs=%d: report %s diverged", jobs, cmp.Names[i])
+			}
+		}
+	}
+}

@@ -1,11 +1,14 @@
 package run
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cnfet"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -55,8 +58,19 @@ type Spec struct {
 	Metrics *obs.Registry
 	Trace   obs.Sink
 
+	// Fault, when non-nil, attaches the device fault model to both L1s
+	// (internal/fault); each cache mixes its own label into Fault.Seed,
+	// so the two sides draw independent fault streams. Explicitly-
+	// provided options keep their own Fault unless the spec names one.
+	Fault *fault.Config
+
 	// Jobs bounds the worker pool of Compare; <=0 means one per CPU.
 	Jobs int
+
+	// Retries bounds how many times a Compare cell is attempted when it
+	// fails with a transient error (IsTransient); <=1 means no retry.
+	// Deterministic failures are never retried.
+	Retries int
 }
 
 // Report is a run's outcome: the engine report plus the instance that
@@ -78,10 +92,18 @@ type Session struct {
 
 	seed     int64
 	jobs     int
+	retries  int
 	name     string // D-variant registry name; "" when DOptions was used
 	params   core.Params
 	paramsOK bool
 	sim      *core.Sim
+
+	// compareHook, when set, observes each Compare cell attempt as it
+	// starts (called with the variant index on the worker goroutine,
+	// inside the retry loop); a non-nil return fails that attempt. Test
+	// seam for deterministic mid-Compare cancellation, panics and
+	// transient failures; never set in production.
+	compareHook func(i int) error
 }
 
 // deviceTable resolves a device preset name to its energy table.
@@ -121,7 +143,7 @@ func resolveSide(variant string, params *core.Params, device string) (string, co
 
 // configure resolves everything but the source.
 func (s Spec) configure() (*Session, error) {
-	sess := &Session{seed: s.Seed, jobs: s.Jobs}
+	sess := &Session{seed: s.Seed, jobs: s.Jobs, retries: s.Retries}
 	if sess.seed == 0 {
 		sess.seed = 1
 	}
@@ -181,6 +203,10 @@ func (s Spec) configure() (*Session, error) {
 		sess.SimConfig.DOpts.Trace = s.Trace
 		sess.SimConfig.IOpts.Trace = s.Trace
 	}
+	if s.Fault != nil {
+		sess.SimConfig.DOpts.Fault = s.Fault
+		sess.SimConfig.IOpts.Fault = s.Fault
+	}
 
 	// Eager validation: every structural error a simulation build could
 	// hit surfaces here, before any source is loaded or access replayed.
@@ -235,6 +261,21 @@ func (s Spec) Run() (*Report, error) {
 // Run executes the session: fresh memory image, one simulation, one
 // report. A session can be Run more than once; each run is independent.
 func (sess *Session) Run() (*Report, error) {
+	return sess.RunContext(context.Background())
+}
+
+// cancelCheckInterval is how many accesses RunContext replays between
+// context checks. Power of two so the check is one mask; coarse enough
+// that the check never shows up on the hot path, fine enough that a
+// cancellation lands within microseconds.
+const cancelCheckInterval = 4096
+
+// RunContext is Run under a context: replay aborts at the next check
+// interval once ctx is cancelled or its deadline passes, returning
+// ctx.Err() (wrapped with replay position). A cancelled run produces no
+// report — single simulations are all-or-nothing; partial salvage is a
+// Compare-level concept, where the units are independent.
+func (sess *Session) RunContext(ctx context.Context) (*Report, error) {
 	m := mem.New()
 	sess.Instance.Preload(m)
 	sim, err := core.NewSim(sess.SimConfig, m)
@@ -242,10 +283,18 @@ func (sess *Session) Run() (*Report, error) {
 		return nil, err
 	}
 	sess.sim = sim
-	rep, err := sim.Run(sess.Instance)
-	if err != nil {
-		return nil, err
+	for i, a := range sess.Instance.Accesses {
+		if i&(cancelCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("run: %s cancelled at access %d of %d: %w",
+					sess.Instance.Name, i, len(sess.Instance.Accesses), err)
+			}
+		}
+		if err := sim.Step(a); err != nil {
+			return nil, fmt.Errorf("run: %s access %d: %w", sess.Instance.Name, i, err)
+		}
 	}
+	rep := sim.Finish(sess.Instance.Name, sess.SimConfig.DOpts.Spec.String())
 	if sess.name != "" {
 		rep.Variant = sess.name
 	}
@@ -261,13 +310,31 @@ func (sess *Session) Snapshot() (core.Snapshot, error) {
 }
 
 // Compare runs the session's instance under the registered comparison
-// set (core.ComparisonVariants on this session's parameter bundle),
-// fanning the variants out across the spec's worker budget. The
-// comparison runs without telemetry — the variants' event streams would
-// interleave into one unattributable trace. Results come back in
+// set on a background context; see CompareContext.
+func (sess *Session) Compare() (*core.Comparison, error) {
+	return sess.CompareContext(context.Background())
+}
+
+// compareRetryBackoff is the base backoff between transient-failure
+// retries of a Compare cell (doubles per attempt).
+const compareRetryBackoff = 10 * time.Millisecond
+
+// CompareContext runs the session's instance under the registered
+// comparison set (core.ComparisonVariants on this session's parameter
+// bundle), fanning the variants out across the spec's worker budget.
+// The comparison runs without telemetry — the variants' event streams
+// would interleave into one unattributable trace. Results come back in
 // variant order regardless of scheduling, so rendered output is
 // byte-identical for any Jobs value.
-func (sess *Session) Compare() (*core.Comparison, error) {
+//
+// Failure is partial, not all-or-nothing: when some cells fail — their
+// own error, a recovered panic (*PanicError), or cancellation before
+// dispatch — the comparison is still returned with the completed
+// reports in place, nil entries for the lost cells, and a *PartialError
+// naming each failure. Cells that fail with a transient error
+// (IsTransient) are retried up to the spec's Retries budget with
+// exponential backoff before counting as lost.
+func (sess *Session) CompareContext(ctx context.Context) (*core.Comparison, error) {
 	if !sess.paramsOK {
 		return nil, fmt.Errorf("run: Compare needs a variant resolved by name and params, not explicit options")
 	}
@@ -280,19 +347,40 @@ func (sess *Session) Compare() (*core.Comparison, error) {
 	for i, v := range variants {
 		cmp.Names[i] = v.Name
 	}
-	err := ParallelFor(Jobs(sess.jobs), len(variants), func(i int) error {
+	errs := ParallelResults(ctx, Jobs(sess.jobs), len(variants), func(i int) error {
 		v := variants[i]
-		cfg := core.SimConfig{Hierarchy: sess.SimConfig.Hierarchy, DOpts: v.Opts, IOpts: v.Opts}
-		rep, err := core.RunInstance(sess.Instance, cfg)
-		if err != nil {
-			return fmt.Errorf("run: variant %s: %w", v.Name, err)
-		}
-		rep.Variant = v.Name
-		cmp.Reports[i] = rep
-		return nil
+		// Every cell inherits the session's fault model (nil for a healthy
+		// run): the variants compete on the same defective array, exactly
+		// like the graceful-degradation sweep.
+		opts := v.Opts
+		opts.Fault = sess.SimConfig.DOpts.Fault
+		cfg := core.SimConfig{Hierarchy: sess.SimConfig.Hierarchy, DOpts: opts, IOpts: opts}
+		return Retry(ctx, sess.retries, compareRetryBackoff, func() error {
+			if h := sess.compareHook; h != nil {
+				if err := h(i); err != nil {
+					return err
+				}
+			}
+			rep, err := core.RunInstance(sess.Instance, cfg)
+			if err != nil {
+				return fmt.Errorf("run: variant %s: %w", v.Name, err)
+			}
+			rep.Variant = v.Name
+			cmp.Reports[i] = rep
+			return nil
+		})
 	})
-	if err != nil {
-		return nil, err
+	var perr *PartialError
+	for i, err := range errs {
+		if err != nil {
+			if perr == nil {
+				perr = &PartialError{}
+			}
+			perr.Cells = append(perr.Cells, CellError{Name: cmp.Names[i], Err: err})
+		}
+	}
+	if perr != nil {
+		return cmp, perr
 	}
 	return cmp, nil
 }
