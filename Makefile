@@ -15,13 +15,19 @@
 #   make obs-check  trace the E3 suite kernels with cntsim -trace-out and
 #                verify each trace reconciles through cntstat
 #   make results regenerate results/ with the full (non-quick) sweeps
-#   make bench-json  quick E3-suite batch emitting BENCH_E3.json, the
-#                machine-readable record CI archives per commit
+#   make bench-json  quick E3-suite batch emitting BENCH_E3.json plus a
+#                fresh replay-throughput record BENCH_REPLAY.json — the
+#                machine-readable records CI archives per commit. Run it
+#                (on quiet hardware) and commit BENCH_REPLAY.json to
+#                refresh the throughput reference.
+#   make bench-replay-check  measure replay throughput and fail if it
+#                regressed more than 20% vs the committed
+#                BENCH_REPLAY.json (the CI bench job's gate)
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 lint check fuzz fault obs-check results bench bench-json
+.PHONY: tier1 tier2 lint check fuzz fault obs-check results bench bench-json bench-replay-check
 
 tier1:
 	$(GO) build ./...
@@ -84,4 +90,8 @@ bench:
 bench-json:
 	$(GO) run ./cmd/cntbench -quick -only E3 -json BENCH_E3.json \
 		-out $$(mktemp -d cntbench-json.XXXXXX -p $${TMPDIR:-/tmp}) >/dev/null
-	@echo "wrote BENCH_E3.json"
+	$(GO) run ./cmd/cntbench -replay -quick -replay-json BENCH_REPLAY.json >/dev/null
+	@echo "wrote BENCH_E3.json BENCH_REPLAY.json"
+
+bench-replay-check:
+	$(GO) run ./cmd/cntbench -replay -quick -replay-baseline BENCH_REPLAY.json

@@ -215,3 +215,40 @@ func BenchmarkExpE13Policies(b *testing.B) {
 func BenchmarkExpE14Faults(b *testing.B) {
 	runExperiment(b, "E14", lastRowPct("cnt saving"))
 }
+
+// BenchmarkReplayThroughput is the repo's headline performance metric:
+// raw accesses/second replaying the full 10-kernel suite through the
+// batched path, for the baseline array and the full CNT-Cache pipeline.
+// make bench-json snapshots it into BENCH_REPLAY.json and CI gates on
+// regressions; docs/PERFORMANCE.md explains how to read and refresh it.
+func BenchmarkReplayThroughput(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"baseline", core.BaselineOptions()},
+		{"cnt-cache", core.DefaultOptions()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var instances []*workload.Instance
+			for _, builder := range workload.Suite() {
+				instances = append(instances, builder.Build(1))
+			}
+			cfg := core.SimConfig{Hierarchy: cache.DefaultHierarchyConfig(), DOpts: tc.opts, IOpts: tc.opts}
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				for _, inst := range instances {
+					rep, err := core.RunInstance(inst, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					done += int(rep.DStats.Accesses + rep.IStats.Accesses)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds()/1e6, "Maccess/s")
+		})
+	}
+}

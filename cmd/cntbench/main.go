@@ -50,13 +50,23 @@ import (
 // outcome is everything one experiment produces; workers fill these and
 // the writer loop consumes them in submission order.
 type outcome struct {
-	exp   experiments.Experiment
-	tab   *experiments.Table
-	text  string // rendered table (plus chart for figure kinds)
-	chart string
-	secs  float64
-	err   error
-	done  chan struct{}
+	exp      experiments.Experiment
+	tab      *experiments.Table
+	text     string // rendered table (plus chart for figure kinds)
+	chart    string
+	secs     float64
+	counters experiments.RunCounters // replay volume the experiment simulated
+	err      error
+	done     chan struct{}
+}
+
+// accessesPerSec is the experiment's simulated replay throughput; zero
+// when it simulated nothing (static tables) or finished instantly.
+func (o *outcome) accessesPerSec() float64 {
+	if o.secs <= 0 {
+		return 0
+	}
+	return float64(o.counters.Accesses()) / o.secs
 }
 
 func main() {
@@ -159,6 +169,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	quick := fs.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 	jobs := fs.Int("jobs", 0, "concurrent experiments (0 = one per CPU, 1 = serial)")
 	jsonOut := fs.String("json", "", "also write a machine-readable JSON summary of the batch to this file")
+	replay := fs.Bool("replay", false, "measure raw replay throughput (accesses/second per variant over the suite) instead of running the experiment batch")
+	replayJSON := fs.String("replay-json", "", "with -replay: write the throughput record (BENCH_REPLAY.json) to this file")
+	replayBaseline := fs.String("replay-baseline", "", "with -replay: committed record to gate against; a throughput drop beyond -replay-tolerance is an error (checked before -replay-json overwrites the file)")
+	replayTolerance := fs.Float64("replay-tolerance", 0.20, "allowed fractional throughput drop vs -replay-baseline")
+	replayPasses := fs.Int("replay-passes", 3, "with -replay: passes per variant; the best pass is recorded")
 	progress := fs.Duration("progress", 0, "print a status line to stderr this often (e.g. 2s; 0 disables)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live run status (JSON at /metrics) and pprof at this address (e.g. :6060)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -177,6 +192,14 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *replay {
+		return runReplayBench(experiments.Config{Seed: *seed, Quick: *quick, Ctx: ctx},
+			*replayJSON, *replayBaseline, *replayTolerance, *replayPasses, stdout, stderr)
+	}
+	if *replayJSON != "" || *replayBaseline != "" {
+		return fmt.Errorf("-replay-json/-replay-baseline need -replay")
 	}
 
 	var ids []string
@@ -284,7 +307,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			}
 			return fmt.Errorf("%s: %w", o.exp.ID, o.err)
 		}
-		fmt.Fprintf(stderr, "%s done in %.1fs\n", o.exp.ID, o.secs)
+		if aps := o.accessesPerSec(); aps > 0 {
+			fmt.Fprintf(stderr, "%s done in %.1fs (%d sims, %.2f Maccess/s)\n",
+				o.exp.ID, o.secs, o.counters.Sims(), aps/1e6)
+		} else {
+			fmt.Fprintf(stderr, "%s done in %.1fs\n", o.exp.ID, o.secs)
+		}
 		if err := atomicio.WriteFile(filepath.Join(*out, o.exp.ID+".txt"), []byte(o.tab.Render())); err != nil {
 			return err
 		}
@@ -300,7 +328,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		tables = append(tables, o.tab)
 		records = append(records, jsonRecord{
 			ID: o.tab.ID, Kind: o.tab.Kind, Title: o.tab.Title, Tag: o.tab.Tag,
-			Seconds: o.secs, Columns: o.tab.Columns, Rows: o.tab.Rows, Notes: o.tab.Notes,
+			Seconds: o.secs, Sims: o.counters.Sims(), Accesses: o.counters.Accesses(),
+			AccessesPerSec: o.accessesPerSec(),
+			Columns:        o.tab.Columns, Rows: o.tab.Rows, Notes: o.tab.Notes,
 		})
 		// Timings go to stderr only, so INDEX.txt is byte-identical
 		// across runs and for every -jobs value.
@@ -347,17 +377,22 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 }
 
 // jsonRecord is one experiment's machine-readable result: the full
-// table plus the wall-clock it took, so CI can archive a batch
-// (make bench-json) and diff numbers across commits.
+// table plus the wall-clock it took and the replay volume it simulated
+// (sims, accesses, accesses/second), so CI can archive a batch
+// (make bench-json) and diff both numbers and throughput across
+// commits. Static tables that simulate nothing report zero volume.
 type jsonRecord struct {
-	ID      string     `json:"id"`
-	Kind    string     `json:"kind"`
-	Title   string     `json:"title"`
-	Tag     string     `json:"tag,omitempty"`
-	Seconds float64    `json:"seconds"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
+	ID             string     `json:"id"`
+	Kind           string     `json:"kind"`
+	Title          string     `json:"title"`
+	Tag            string     `json:"tag,omitempty"`
+	Seconds        float64    `json:"seconds"`
+	Sims           uint64     `json:"sims,omitempty"`
+	Accesses       uint64     `json:"accesses,omitempty"`
+	AccessesPerSec float64    `json:"accesses_per_sec,omitempty"`
+	Columns        []string   `json:"columns"`
+	Rows           [][]string `json:"rows"`
+	Notes          []string   `json:"notes,omitempty"`
 }
 
 // jsonSummary is the top-level document -json writes.
@@ -365,6 +400,60 @@ type jsonSummary struct {
 	Seed        int64        `json:"seed"`
 	Quick       bool         `json:"quick"`
 	Experiments []jsonRecord `json:"experiments"`
+}
+
+// runReplayBench is the -replay mode: measure the raw replay
+// throughput of the batched path over the suite, gate it against a
+// committed record when one is named (BEFORE any overwrite, so a
+// regressing run fails without clobbering the reference), and persist
+// the fresh record. This is the measurement behind make bench-json's
+// BENCH_REPLAY.json and the CI bench job's regression gate.
+func runReplayBench(cfg experiments.Config, jsonPath, baselinePath string, tolerance float64, passes int, stdout, stderr io.Writer) error {
+	bench, err := experiments.MeasureReplay(cfg, passes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replay throughput (seed=%d quick=%v, best of %d passes):\n",
+		bench.Seed, bench.Quick, bench.Passes)
+	for _, m := range bench.Variants {
+		fmt.Fprintf(stdout, "  %-12s %9d accesses  %8.3fs  %8.2f Maccess/s\n",
+			m.Variant, m.Accesses, m.Seconds, m.AccessesPerSec/1e6)
+	}
+	if baselinePath != "" {
+		committed, err := readReplayBench(baselinePath)
+		if err != nil {
+			return err
+		}
+		if err := bench.CheckAgainst(committed, tolerance); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "within %.0f%% of the committed record (%s)\n", 100*tolerance, baselinePath)
+	}
+	if jsonPath != "" {
+		if err := atomicio.WriteTo(jsonPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(bench)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// readReplayBench loads a committed replay-throughput record.
+func readReplayBench(path string) (*experiments.ReplayBench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var bench experiments.ReplayBench
+	if err := json.NewDecoder(f).Decode(&bench); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return &bench, nil
 }
 
 func writeJSONSummary(path string, seed int64, quick bool, records []jsonRecord) error {
@@ -390,6 +479,7 @@ func (o *outcome) run(cfg experiments.Config) {
 			return
 		}
 	}
+	cfg.Counters = &o.counters
 	start := time.Now()
 	tab, err := o.exp.Run(cfg)
 	o.secs = time.Since(start).Seconds()

@@ -190,3 +190,78 @@ func TestViewString(t *testing.T) {
 		t.Errorf("progress line %q missing counts or running IDs", line)
 	}
 }
+
+// TestRunReplayFlagValidation pins that the record/gate flags are
+// meaningless without -replay and fail eagerly.
+func TestRunReplayFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-replay-json", "x.json"},
+		{"-replay-baseline", "x.json"},
+	} {
+		var out, errBuf bytes.Buffer
+		err := run(args, &out, &errBuf)
+		if err == nil || !strings.Contains(err.Error(), "-replay") {
+			t.Errorf("run(%v) = %v, want an error demanding -replay", args, err)
+		}
+	}
+}
+
+// TestRunReplayRoundTrip measures quick-suite replay throughput with
+// -replay, writes the record, re-reads it as the committed baseline and
+// checks the gate passes against itself (the same machine moments
+// later cannot regress 20%).
+func TestRunReplayRoundTrip(t *testing.T) {
+	record := filepath.Join(t.TempDir(), "replay.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-replay", "-quick", "-replay-passes", "1", "-replay-json", record}, &out, &errBuf); err != nil {
+		t.Fatalf("run(-replay): %v (stderr: %s)", err, errBuf.String())
+	}
+	for _, want := range []string{"replay throughput", "baseline", "cnt-cache", "Maccess/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	bench, err := readReplayBench(record)
+	if err != nil {
+		t.Fatalf("record not readable: %v", err)
+	}
+	if len(bench.Variants) != 2 || bench.Passes != 1 || !bench.Quick {
+		t.Fatalf("record = %+v, want 2 variants from one quick pass", bench)
+	}
+	for _, v := range bench.Variants {
+		if v.Accesses == 0 || v.AccessesPerSec <= 0 {
+			t.Errorf("variant %s measured nothing: %+v", v.Variant, v)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-replay", "-quick", "-replay-passes", "1", "-replay-baseline", record}, &out, &errBuf); err != nil {
+		t.Fatalf("gate against own record failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "within") {
+		t.Errorf("gate pass not reported:\n%s", out.String())
+	}
+
+	// An unreachable committed figure must fail the gate and leave the
+	// inflated record untouched (gate-before-overwrite).
+	bench.Variants[0].AccessesPerSec *= 1e6
+	raw, err := json.Marshal(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(record, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-replay", "-quick", "-replay-passes", "1",
+		"-replay-baseline", record, "-replay-json", record}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate against inflated record = %v, want a regression error", err)
+	}
+	after, err := readReplayBench(record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Variants[0].AccessesPerSec != bench.Variants[0].AccessesPerSec {
+		t.Error("failed gate still overwrote the -replay-json record")
+	}
+}

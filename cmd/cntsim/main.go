@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/atomicio"
 	"repro/internal/cache"
@@ -229,9 +230,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	start := time.Now()
 	rep, err := sess.Run()
 	if err != nil {
 		return err
+	}
+	// Throughput goes to stderr: stdout's report stays byte-stable for
+	// tests and diffing, while interactive runs still see how fast the
+	// batched replay path chewed through the trace.
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		n := rep.DStats.Accesses + rep.IStats.Accesses
+		fmt.Fprintf(stderr, "replayed %d accesses in %.3fs (%.2f Maccess/s)\n",
+			n, secs, float64(n)/secs/1e6)
 	}
 	printReport(stdout, sess.Instance, rep.Report)
 	if *inspect {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,11 +39,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	bins := fs.Int("bins", 20, "timeline resolution (bins over the event stream)")
 	cacheName := fs.String("cache", "", "restrict the report to one cache (e.g. L1D)")
+	bench := fs.String("bench", "", "render throughput lines from a cntbench JSON file (a -json batch summary or a BENCH_REPLAY.json record) instead of reading an event trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *bench != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-bench takes no trace argument")
+		}
+		return printBench(stdout, *bench)
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: cntstat [-bins N] [-cache L1D] events.jsonl")
+		return fmt.Errorf("usage: cntstat [-bins N] [-cache L1D] events.jsonl | cntstat -bench BENCH.json")
 	}
 	if *bins < 1 {
 		return fmt.Errorf("-bins must be at least 1, got %d", *bins)
@@ -90,6 +98,74 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprint(stdout, chart)
+	return nil
+}
+
+// benchDoc covers both machine-readable documents cntbench writes: the
+// -json batch summary (experiments with per-experiment replay volume)
+// and the -replay record (variants with suite throughput). Exactly one
+// of the two lists is populated per file.
+type benchDoc struct {
+	Seed        int64 `json:"seed"`
+	Quick       bool  `json:"quick"`
+	Experiments []struct {
+		ID             string  `json:"id"`
+		Seconds        float64 `json:"seconds"`
+		Sims           uint64  `json:"sims"`
+		Accesses       uint64  `json:"accesses"`
+		AccessesPerSec float64 `json:"accesses_per_sec"`
+	} `json:"experiments"`
+	Passes   int `json:"passes"`
+	Variants []struct {
+		Variant        string  `json:"variant"`
+		Accesses       uint64  `json:"accesses"`
+		Seconds        float64 `json:"seconds"`
+		AccessesPerSec float64 `json:"accesses_per_sec"`
+	} `json:"variants"`
+}
+
+// printBench renders the throughput view of a cntbench JSON file: one
+// line per experiment (batch summary) or per variant (replay record),
+// with wall time, replay volume and accesses/second.
+func printBench(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var doc benchDoc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	switch {
+	case len(doc.Variants) > 0:
+		fmt.Fprintf(w, "replay throughput (seed=%d quick=%v, best of %d passes):\n",
+			doc.Seed, doc.Quick, doc.Passes)
+		for _, v := range doc.Variants {
+			fmt.Fprintf(w, "  %-14s %10d accesses  %8.3fs  %8.2f Maccess/s\n",
+				v.Variant, v.Accesses, v.Seconds, v.AccessesPerSec/1e6)
+		}
+	case len(doc.Experiments) > 0:
+		fmt.Fprintf(w, "batch throughput (seed=%d quick=%v):\n", doc.Seed, doc.Quick)
+		var accesses uint64
+		var secs float64
+		for _, e := range doc.Experiments {
+			if e.Sims == 0 {
+				fmt.Fprintf(w, "  %-14s %8.1fs  (no simulations)\n", e.ID, e.Seconds)
+				continue
+			}
+			fmt.Fprintf(w, "  %-14s %8.1fs  %4d sims  %10d accesses  %8.2f Maccess/s\n",
+				e.ID, e.Seconds, e.Sims, e.Accesses, e.AccessesPerSec/1e6)
+			accesses += e.Accesses
+			secs += e.Seconds
+		}
+		if secs > 0 {
+			fmt.Fprintf(w, "  %-14s %8.1fs  %21d accesses  %8.2f Maccess/s\n",
+				"overall", secs, accesses, float64(accesses)/secs/1e6)
+		}
+	default:
+		return fmt.Errorf("%s: neither a batch summary nor a replay record", path)
+	}
 	return nil
 }
 

@@ -118,3 +118,83 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestRunBench covers the -bench view over both document shapes cntbench
+// writes: a replay-throughput record and a -json batch summary.
+func TestRunBench(t *testing.T) {
+	dir := t.TempDir()
+	replay := filepath.Join(dir, "replay.json")
+	if err := os.WriteFile(replay, []byte(`{
+		"seed": 1, "quick": true, "passes": 3,
+		"variants": [
+			{"variant": "baseline", "accesses": 330373, "seconds": 0.009, "accesses_per_sec": 38.5e6},
+			{"variant": "cnt-cache", "accesses": 330373, "seconds": 0.012, "accesses_per_sec": 28.4e6}
+		]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	batch := filepath.Join(dir, "batch.json")
+	if err := os.WriteFile(batch, []byte(`{
+		"seed": 1, "quick": true,
+		"experiments": [
+			{"id": "E3", "seconds": 0.5, "sims": 21, "accesses": 1000000, "accesses_per_sec": 2e6},
+			{"id": "E1", "seconds": 0.1}
+		]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-bench", replay}, &out, &errBuf); err != nil {
+		t.Fatalf("run(-bench replay): %v", err)
+	}
+	for _, want := range []string{"replay throughput", "best of 3 passes", "baseline", "cnt-cache", "38.50 Maccess/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("replay rendering missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-bench", batch}, &out, &errBuf); err != nil {
+		t.Fatalf("run(-bench batch): %v", err)
+	}
+	for _, want := range []string{"batch throughput", "E3", "21 sims", "(no simulations)", "overall"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("batch rendering missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunBenchErrors pins the -bench failure modes: a stray positional
+// argument, a missing file, and a JSON document that is neither shape.
+func TestRunBenchErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"seed": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"trace arg alongside -bench", []string{"-bench", empty, "extra.jsonl"}, "no trace argument"},
+		{"missing file", []string{"-bench", filepath.Join(dir, "absent.json")}, "absent.json"},
+		{"wrong shape", []string{"-bench", empty}, "neither"},
+		{"not json", []string{"-bench", garbage}, "reading"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			err := run(c.args, &out, &errBuf)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}

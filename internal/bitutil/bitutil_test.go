@@ -368,3 +368,175 @@ func BenchmarkOnesPerPartition64B(b *testing.B) {
 		OnesPerPartition(data, 8, scratch)
 	}
 }
+
+// --- word-path equivalence against byte-loop references --------------------
+//
+// The hot helpers run word-at-a-time; these references are the plain
+// byte loops they replaced. Every partition shape the encoder supports
+// (partition sizes that are and are not word multiples, odd tails) must
+// agree bit-for-bit.
+
+func refOnes(data []byte) int {
+	n := 0
+	for _, b := range data {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}
+
+func refDiffBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+func refInvert(data []byte) {
+	for i := range data {
+		data[i] = ^data[i]
+	}
+}
+
+func refApplyMask(data []byte, k int, mask uint64) {
+	sz := len(data) / k
+	for p := 0; p < k; p++ {
+		if mask&(1<<uint(p)) != 0 {
+			refInvert(data[p*sz : (p+1)*sz])
+		}
+	}
+}
+
+func refOnesPerPartition(data []byte, k int) []int {
+	sz := len(data) / k
+	out := make([]int, k)
+	for p := 0; p < k; p++ {
+		out[p] = refOnes(data[p*sz : (p+1)*sz])
+	}
+	return out
+}
+
+// testLengths covers sub-word, word-aligned, and word-plus-tail slices.
+var testLengths = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 48, 63, 64, 65, 127, 128, 256}
+
+func randomBytes(t *testing.T, rng *rand.Rand, n int) []byte {
+	t.Helper()
+	data := make([]byte, n)
+	rng.Read(data)
+	return data
+}
+
+func TestOnesWordPathMatchesByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range testLengths {
+		for trial := 0; trial < 20; trial++ {
+			data := randomBytes(t, rng, n)
+			if got, want := Ones(data), refOnes(data); got != want {
+				t.Fatalf("Ones(len=%d) = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestDiffBitsWordPathMatchesByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range testLengths {
+		for trial := 0; trial < 20; trial++ {
+			a, b := randomBytes(t, rng, n), randomBytes(t, rng, n)
+			if got, want := DiffBits(a, b), refDiffBits(a, b); got != want {
+				t.Fatalf("DiffBits(len=%d) = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestInvertWordPathMatchesByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range testLengths {
+		data := randomBytes(t, rng, n)
+		want := append([]byte(nil), data...)
+		refInvert(want)
+		got := append([]byte(nil), data...)
+		Invert(got)
+		if !Equal(got, want) {
+			t.Fatalf("Invert(len=%d) diverged from byte loop", n)
+		}
+	}
+}
+
+func TestEqualWordPathMatchesByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range testLengths {
+		a := randomBytes(t, rng, n)
+		b := append([]byte(nil), a...)
+		if !Equal(a, b) {
+			t.Fatalf("Equal(len=%d) = false on identical data", n)
+		}
+		if n == 0 {
+			continue
+		}
+		// Flip one bit at every position; Equal must see each.
+		for i := 0; i < n; i++ {
+			b[i] ^= 1 << uint(i&7)
+			if Equal(a, b) {
+				t.Fatalf("Equal(len=%d) missed a flipped bit at byte %d", n, i)
+			}
+			b[i] = a[i]
+		}
+	}
+}
+
+// TestWordPathsAcrossPartitionShapes sweeps every (lineBytes, k) shape
+// the encoder accepts for 64-byte-class lines and checks the partitioned
+// helpers against the byte-loop references.
+func TestWordPathsAcrossPartitionShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, lineBytes := range []int{8, 16, 32, 64, 128} {
+		for k := 1; k <= lineBytes; k++ {
+			if lineBytes%k != 0 {
+				continue
+			}
+			data := randomBytes(t, rng, lineBytes)
+			per := OnesPerPartition(data, k, nil)
+			ref := refOnesPerPartition(data, k)
+			for p := range per {
+				if per[p] != ref[p] {
+					t.Fatalf("OnesPerPartition(%dB,k=%d)[%d] = %d, want %d", lineBytes, k, p, per[p], ref[p])
+				}
+			}
+			var mask uint64
+			if k < 64 {
+				mask = rng.Uint64() & ((1 << uint(k)) - 1)
+			} else {
+				mask = rng.Uint64()
+			}
+			got := append([]byte(nil), data...)
+			ApplyMask(got, k, mask)
+			want := append([]byte(nil), data...)
+			refApplyMask(want, k, mask)
+			if !Equal(got, want) {
+				t.Fatalf("ApplyMask(%dB,k=%d,mask=%#x) diverged from byte loop", lineBytes, k, mask)
+			}
+		}
+	}
+}
+
+func BenchmarkDiffBits64B(b *testing.B) {
+	x := make([]byte, 64)
+	y := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(x)
+	rand.New(rand.NewSource(2)).Read(y)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DiffBits(x, y)
+	}
+}
+
+func BenchmarkInvert64B(b *testing.B) {
+	data := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Invert(data)
+	}
+}

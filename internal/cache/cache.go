@@ -36,12 +36,15 @@ type Config struct {
 	Policy Policy
 }
 
-// line is one resident cache line.
+// line is one resident cache line's control state. The payload lives in
+// the cache's single data backing (see Cache.lineData): keeping the
+// struct pointer-free makes the way scan compact — a set's lines share a
+// cache line or two — and leaves the garbage collector nothing to trace
+// inside the array.
 type line struct {
 	valid bool
 	dirty bool
 	tag   uint64
-	data  []byte
 }
 
 // EvictHook observes a victim line at the moment it is displaced, before
@@ -56,7 +59,9 @@ type Cache struct {
 	geom      sram.Geometry
 	policy    Policy
 	next      Backend
-	sets      [][]line
+	lines     []line // lines[set*ways+way]
+	data      []byte // data[(set*ways+way)*lineBytes : +lineBytes]
+	ways      int
 	stats     Stats
 	offMask   uint64
 	idxMask   uint64
@@ -64,6 +69,12 @@ type Cache struct {
 	idxShift  uint
 	lineBytes int
 	onEvict   EvictHook
+
+	// hint[set] is the way that last served set — a way predictor for
+	// findWay. Tags are unique within a set, so confirming the hinted
+	// way's tag is exact: the hint changes which way is examined first,
+	// never which way matches.
+	hint []int32
 }
 
 // SetEvictHook installs the eviction observer (nil clears it).
@@ -95,15 +106,21 @@ func New(cfg Config, next Backend) (*Cache, error) {
 	c.idxShift = uint(cfg.Geometry.IndexBits())
 	c.offMask = uint64(c.lineBytes - 1)
 	c.idxMask = uint64(cfg.Geometry.Sets - 1)
-	c.sets = make([][]line, cfg.Geometry.Sets)
-	for s := range c.sets {
-		ways := make([]line, cfg.Geometry.Ways)
-		for w := range ways {
-			ways[w].data = make([]byte, c.lineBytes)
-		}
-		c.sets[s] = ways
-	}
+	// One flat allocation each for control state and payload:
+	// construction is two large allocations instead of sets*(ways+1)
+	// small ones, which matters when short-lived simulations are built
+	// per workload (core.Compare, benchmarks).
+	c.ways = cfg.Geometry.Ways
+	c.lines = make([]line, cfg.Geometry.Sets*cfg.Geometry.Ways)
+	c.data = make([]byte, len(c.lines)*c.lineBytes)
+	c.hint = make([]int32, cfg.Geometry.Sets)
 	return c, nil
+}
+
+// lineData returns the payload slice of one line within the flat backing.
+func (c *Cache) lineData(set, way int) []byte {
+	base := (set*c.ways + way) * c.lineBytes
+	return c.data[base : base+c.lineBytes : base+c.lineBytes]
 }
 
 // Name returns the cache's label.
@@ -208,21 +225,80 @@ func (c *Cache) Access(write bool, addr uint64, size int, data []byte) (Result, 
 	}
 	res.Way = way
 
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.ways+way]
+	ld := c.lineData(set, way)
 	if write {
-		copy(ln.data[off:off+size], data)
+		copy(ld[off:off+size], data)
 		ln.dirty = true
 	} else if data != nil {
-		copy(data, ln.data[off:off+size])
+		copy(data, ld[off:off+size])
 	}
+	c.hint[set] = int32(way)
 	c.policy.OnAccess(set, way)
 	return res, nil
 }
 
-// findWay returns the way holding tag in set, or -1.
+// AccessHot is the hit-only fast path of Access for batched replay: the
+// same validation, stats, data movement and policy touch as Access when
+// the access hits in the array, with the Result bookkeeping stripped to
+// the coordinates the energy layer consumes. When the access misses,
+// fails validation or crosses a line it returns ok=false having mutated
+// nothing; the caller then takes the full Access path, which repeats the
+// checks and counts the access exactly once.
+func (c *Cache) AccessHot(write bool, addr uint64, size int, data []byte) (set, way, off int, lineData []byte, ok bool) {
+	if size <= 0 || size > c.lineBytes {
+		return 0, 0, 0, nil, false
+	}
+	off = int(addr & c.offMask)
+	if off+size > c.lineBytes {
+		return 0, 0, 0, nil, false
+	}
+	if data != nil && len(data) != size {
+		return 0, 0, 0, nil, false
+	}
+	if write && data == nil {
+		return 0, 0, 0, nil, false
+	}
+	set = c.setIndex(addr)
+	tag := c.tagOf(addr)
+	way = c.findWay(set, tag)
+	if way < 0 {
+		return 0, 0, 0, nil, false
+	}
+	c.stats.Accesses++
+	c.stats.Hits++
+	ln := &c.lines[set*c.ways+way]
+	ld := c.lineData(set, way)
+	if write {
+		c.stats.Writes++
+		c.stats.WriteHits++
+		copy(ld[off:off+size], data)
+		ln.dirty = true
+	} else {
+		c.stats.Reads++
+		c.stats.ReadHits++
+		if data != nil {
+			copy(data, ld[off:off+size])
+		}
+	}
+	c.hint[set] = int32(way)
+	c.policy.OnAccess(set, way)
+	return set, way, off, ld, true
+}
+
+// findWay returns the way holding tag in set, or -1. The hinted way —
+// whichever way last served this set — is confirmed first, so runs of
+// accesses to a hot line skip the scan.
 func (c *Cache) findWay(set int, tag uint64) int {
-	for w := range c.sets[set] {
-		if ln := &c.sets[set][w]; ln.valid && ln.tag == tag {
+	base := set * c.ways
+	ways := c.lines[base : base+c.ways]
+	if h := int(c.hint[set]); h < len(ways) {
+		if ln := &ways[h]; ln.valid && ln.tag == tag {
+			return h
+		}
+	}
+	for w := range ways {
+		if ln := &ways[w]; ln.valid && ln.tag == tag {
 			return w
 		}
 	}
@@ -233,8 +309,8 @@ func (c *Cache) findWay(set int, tag uint64) int {
 // if necessary, and annotates res.
 func (c *Cache) fill(set int, tag uint64, res *Result) (int, error) {
 	way := -1
-	for w := range c.sets[set] {
-		if !c.sets[set][w].valid {
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[set*c.ways+w].valid {
 			way = w
 			break
 		}
@@ -244,24 +320,25 @@ func (c *Cache) fill(set int, tag uint64, res *Result) (int, error) {
 		if way < 0 || way >= c.geom.Ways {
 			return 0, fmt.Errorf("cache %s: policy %s returned invalid victim %d", c.name, c.policy.Name(), way)
 		}
-		victim := &c.sets[set][way]
+		victim := &c.lines[set*c.ways+way]
+		victimData := c.lineData(set, way)
 		res.Evicted = true
 		res.EvictedAddr = c.addrOf(set, victim.tag)
 		c.stats.Evictions++
 		if c.onEvict != nil {
-			c.onEvict(set, way, victim.data, victim.dirty)
+			c.onEvict(set, way, victimData, victim.dirty)
 		}
 		if victim.dirty {
-			if err := c.next.WriteLine(res.EvictedAddr, victim.data); err != nil {
+			if err := c.next.WriteLine(res.EvictedAddr, victimData); err != nil {
 				return 0, fmt.Errorf("cache %s: writeback %#x: %w", c.name, res.EvictedAddr, err)
 			}
 			res.WroteBack = true
 			c.stats.WriteBacks++
 		}
 	}
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.ways+way]
 	lineAddr := c.addrOf(set, tag)
-	if err := c.next.ReadLine(lineAddr, ln.data); err != nil {
+	if err := c.next.ReadLine(lineAddr, c.lineData(set, way)); err != nil {
 		return 0, fmt.Errorf("cache %s: fill %#x: %w", c.name, lineAddr, err)
 	}
 	ln.valid = true
@@ -276,21 +353,21 @@ func (c *Cache) fill(set int, tag uint64, res *Result) (int, error) {
 // Line exposes a resident line for the encoding layer: its logical data
 // (aliasing the array; callers must not mutate), base address and state.
 func (c *Cache) Line(set, way int) (data []byte, addr uint64, valid, dirty bool) {
-	if set < 0 || set >= len(c.sets) || way < 0 || way >= c.geom.Ways {
+	if set < 0 || set >= c.geom.Sets || way < 0 || way >= c.geom.Ways {
 		panic(fmt.Sprintf("cache %s: Line(%d,%d) out of range", c.name, set, way))
 	}
-	ln := &c.sets[set][way]
-	return ln.data, c.addrOf(set, ln.tag), ln.valid, ln.dirty
+	ln := &c.lines[set*c.ways+way]
+	return c.lineData(set, way), c.addrOf(set, ln.tag), ln.valid, ln.dirty
 }
 
 // FlushAll writes every dirty line back to the backend and invalidates
 // the array. Used at end of simulation so memory holds the final image.
 func (c *Cache) FlushAll() error {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			ln := &c.sets[s][w]
+	for s := 0; s < c.geom.Sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			ln := &c.lines[s*c.ways+w]
 			if ln.valid && ln.dirty {
-				if err := c.next.WriteLine(c.addrOf(s, ln.tag), ln.data); err != nil {
+				if err := c.next.WriteLine(c.addrOf(s, ln.tag), c.lineData(s, w)); err != nil {
 					return err
 				}
 				c.stats.WriteBacks++

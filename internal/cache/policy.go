@@ -54,6 +54,9 @@ func (l *lru) Reset(sets, ways int) error {
 
 func (l *lru) touch(set, way int) {
 	ord := l.order[set]
+	if ord[0] == way {
+		return // already MRU: repeated hits to a hot line stay free
+	}
 	for i, w := range ord {
 		if w == way {
 			copy(ord[1:i+1], ord[:i])

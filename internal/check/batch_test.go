@@ -1,0 +1,81 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBatchSerialEquivalence runs the batch-vs-serial differential
+// matrix — random streams and a real-kernel prefix, baseline and
+// adaptive variants, batch sizes including 1 and non-multiple tails,
+// with and without faults and telemetry — at several worker counts.
+// Running the same matrix at jobs ∈ {1,4,8} (under -race in tier2/obs)
+// is the concurrency half of the contract: instances are shared
+// read-only across concurrent simulations and the worker count must
+// never change the outcome.
+func TestBatchSerialEquivalence(t *testing.T) {
+	accesses := 1000
+	if testing.Short() {
+		accesses = 300
+	}
+	cases := BatchEquivalenceCases(1, accesses)
+	for _, jobs := range []int{1, 4, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			if err := BatchEquivalenceSuite(cases, jobs); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestBatchEquivalenceCatchesDivergence sanity-checks the harness
+// itself: the matrix must be non-trivial, and a deliberately perturbed
+// comparison must fail. A differential check that cannot fail proves
+// nothing.
+func TestBatchEquivalenceCatchesDivergence(t *testing.T) {
+	cases := BatchEquivalenceCases(1, 100)
+	if len(cases) < 40 {
+		t.Fatalf("suspiciously small matrix: %d cases", len(cases))
+	}
+	// Different seeds produce different instances; replaying one serially
+	// and the other batched through the shared helper must diverge.
+	a, b := RandomInstance(1, 200), RandomInstance(2, 200)
+	cfg := core.DefaultSimConfig()
+	repA, _, err := batchReplay(a, cfg, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, _, err := batchReplay(b, cfg, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.DEnergy == repB.DEnergy {
+		t.Fatal("distinct instances produced identical D-cache energy; harness is not sensitive")
+	}
+}
+
+// TestRandomInstanceShape pins that the generated stream actually
+// exercises the shapes the differential claims to cover: all three ops
+// and at least one line-crossing access (the fused path's fallback).
+func TestRandomInstanceShape(t *testing.T) {
+	inst := RandomInstance(3, 2000)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reads, writes, fetches := inst.Counts()
+	if reads == 0 || writes == 0 || fetches == 0 {
+		t.Fatalf("op mix incomplete: R=%d W=%d F=%d", reads, writes, fetches)
+	}
+	crossing := 0
+	for _, a := range inst.Accesses {
+		if a.Addr%64+uint64(a.Size) > 64 {
+			crossing++
+		}
+	}
+	if crossing == 0 {
+		t.Fatal("no line-crossing accesses: fused-path fallback untested")
+	}
+}

@@ -104,6 +104,83 @@ func TestStoredOnesAllocs(t *testing.T) {
 	}
 }
 
+// batchBlock builds a steady-state block of single-line hits against the
+// warmed line: a read/write mix for the D-cache plus fetches when
+// withFetches is set (Sim.StepBatch routes those to the I-cache).
+func batchBlock(n int, withFetches bool) []trace.Access {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	accs := make([]trace.Access, n)
+	for i := range accs {
+		switch {
+		case withFetches && i%3 == 2:
+			accs[i] = trace.Access{Op: trace.Fetch, Addr: hotAddr + 8, Size: 8}
+		case i%3 == 1:
+			accs[i] = trace.Access{Op: trace.Write, Addr: hotAddr, Size: 8, Data: payload}
+		default:
+			accs[i] = trace.Access{Op: trace.Read, Addr: hotAddr, Size: 8}
+		}
+	}
+	return accs
+}
+
+// TestAccessBatchAllocs pins the batched replay path at zero
+// steady-state heap allocations: one AccessBatch call over a block of
+// single-line hits — the shape every sweep's inner loop now has — must
+// not touch the heap, for the baseline and the adaptive variant alike
+// (the latter exercises window rolls, FIFO pushes and drains inside the
+// block).
+func TestAccessBatchAllocs(t *testing.T) {
+	for _, variant := range []struct {
+		name string
+		opts Options
+	}{
+		{"baseline", BaselineOptions()},
+		{"adaptive", DefaultOptions()},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			c := newHotCache(t, variant.opts)
+			accs := batchBlock(64, false)
+			if _, err := c.AccessBatch(accs); err != nil {
+				t.Fatal(err) // warm the block once
+			}
+			if n := testing.AllocsPerRun(100, func() {
+				if _, err := c.AccessBatch(accs); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Errorf("steady-state AccessBatch allocates %.2f objects per call, want 0", n)
+			}
+		})
+	}
+}
+
+// TestStepBatchAllocs extends the zero-alloc pin one layer up: the
+// simulation's batch router, including fetch traffic bound for the
+// I-cache, stays off the heap in steady state.
+func TestStepBatchAllocs(t *testing.T) {
+	m := mem.New()
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i * 37)
+	}
+	m.Write(0x1000, buf)
+	sim, err := NewSim(DefaultSimConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := batchBlock(64, true)
+	if _, err := sim.StepBatch(accs); err != nil {
+		t.Fatal(err) // warm both L1s
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := sim.StepBatch(accs); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state StepBatch allocates %.2f objects per call, want 0", n)
+	}
+}
+
 // BenchmarkAccessHit measures the steady-state hot path (single-line
 // read hit, no fill) of the adaptive cache. Run with -benchmem; the
 // allocs/op column must stay at 0.

@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitutil"
 	"repro/internal/cache"
@@ -253,6 +254,13 @@ func (o Options) Validate(lineBytes int) error {
 type lineState struct {
 	mask uint64
 	hist predictor.LineState
+	// storedOnes caches encoding.StoredOnes(pc, partBits, mask) for the
+	// line's current counts and mask: the full-line stored ones count
+	// the energy model charges on every access. Updated wherever the
+	// counts (fill, store) or the mask (fill, greedy re-encode, drain)
+	// change, so reads charge from one load instead of a per-partition
+	// reduction.
+	storedOnes int
 }
 
 // CNTCache wraps one cache level with encoding, prediction and energy
@@ -262,7 +270,12 @@ type CNTCache struct {
 	cache *cache.Cache
 	arr   *sram.Array
 	pred  predictor.Policy
-	queue *fifo.Queue
+	// predBase is the concrete window predictor underneath pred. Every
+	// policy delegates RecordAccess to it unchanged (only Decide and
+	// StateBits differ), so the hot path calls it directly — same
+	// method, minus the per-access interface dispatch.
+	predBase *predictor.Predictor
+	queue    *fifo.Queue
 
 	state [][]lineState
 
@@ -273,6 +286,30 @@ type CNTCache struct {
 	metaBits    int
 	histBits    int
 	counterBits int
+	ways        int
+
+	// partOnes caches the logical (unencoded) per-partition ones count
+	// of every resident line, indexed (set*ways+way)*parts + p. The
+	// counts are refreshed at fill time and recounted for the touched
+	// partitions on every store, so they are valid whenever the
+	// architectural line is — replacing the full-line popcounts that
+	// dominated the replay hot path. Stored (encoded) counts derive via
+	// encoding.StoredOnes, which is the same integer arithmetic the
+	// byte-walking storedOnes performs, so energies stay bit-identical.
+	partOnes []int
+
+	// Energy lookup tables, indexed by ones count. Each entry is the
+	// exact output of the corresponding sram.Array call at construction
+	// time — same floats, just precomputed — covering the spans the
+	// replay loop charges constantly: full data lines and the metadata /
+	// history fields. Off-table spans fall through to the direct call.
+	lutLineRead  []float64
+	lutLineWrite []float64
+	lutMetaRead  []float64
+	lutMetaWrite []float64
+	lutHistWrite []float64
+	lookupE      float64
+	encoderLineE float64
 
 	eb energy.Breakdown
 
@@ -284,6 +321,13 @@ type CNTCache struct {
 	windows        uint64
 	staleDrops     uint64
 	perPartScratch []int
+
+	// hot is true when the configuration has no per-access observers or
+	// modifiers — no fault injector, no metrics, no event sink, line
+	// granularity — so AccessBatch may run its fused fast path. The fast
+	// path performs the exact operations of accessPiece in the same
+	// order; it only skips the gates that this flag proves are closed.
+	hot bool
 
 	// Telemetry (see obs.go): both nil unless Options enabled them.
 	met  *coreMetrics
@@ -359,6 +403,7 @@ func New(cfg cache.Config, next cache.Backend, opts Options) (*CNTCache, error) 
 			return nil, err
 		}
 		c.pred = pol
+		c.predBase = base
 		c.metaBits = mb + pol.StateBits()
 		c.histBits = mb - parts + pol.StateBits()
 		depth := opts.FIFODepth
@@ -398,23 +443,53 @@ func New(cfg cache.Config, next cache.Backend, opts Options) (*CNTCache, error) 
 			return
 		}
 		st := &c.state[set][way]
-		ones := c.storedOnes(data, st.mask, 0, c.lineBytes)
+		// The victim's cached count is still current: the hook fires
+		// before the fill replaces the data.
+		ones := st.storedOnes
 		if c.inj != nil {
 			ones = c.faultedOnes(ones, data, st.mask, 0, c.lineBytes, set, way)
 		}
-		c.eb.DataRead += c.scaled(c.arr.ReadEnergy(ones, c.lineBytes), set, way)
+		c.eb.DataRead += c.scaled(c.readEnergy(ones, c.lineBytes), set, way)
 	})
 
+	stateBacking := make([]lineState, geom.Sets*geom.Ways)
 	c.state = make([][]lineState, geom.Sets)
 	for s := range c.state {
-		c.state[s] = make([]lineState, geom.Ways)
+		c.state[s] = stateBacking[s*geom.Ways : (s+1)*geom.Ways : (s+1)*geom.Ways]
 	}
 	c.perPartScratch = make([]int, parts)
+	c.ways = geom.Ways
+	c.partOnes = make([]int, geom.Sets*geom.Ways*parts)
+
+	c.lookupE = arr.LookupEnergy()
+	c.encoderLineE = float64(c.lineBits) * opts.Table.EncoderBit
+	c.lutLineRead = make([]float64, c.lineBits+1)
+	c.lutLineWrite = make([]float64, c.lineBits+1)
+	for n := range c.lutLineRead {
+		c.lutLineRead[n] = arr.ReadEnergy(n, c.lineBytes)
+		c.lutLineWrite[n] = arr.WriteEnergy(n, c.lineBytes)
+	}
+	if c.metaBits > 0 {
+		c.lutMetaRead = make([]float64, c.metaBits+1)
+		c.lutMetaWrite = make([]float64, c.metaBits+1)
+		for n := range c.lutMetaRead {
+			c.lutMetaRead[n] = arr.ReadMetaEnergy(n, c.metaBits)
+			c.lutMetaWrite[n] = arr.WriteMetaEnergy(n, c.metaBits)
+		}
+	}
+	if c.histBits > 0 {
+		c.lutHistWrite = make([]float64, c.histBits+1)
+		for n := range c.lutHistWrite {
+			c.lutHistWrite[n] = arr.WriteMetaEnergy(n, c.histBits)
+		}
+	}
 
 	if opts.Metrics != nil {
 		c.met = newCoreMetrics(opts.Metrics, inner.Name())
 	}
 	c.sink = opts.Trace
+	c.hot = c.inj == nil && c.met == nil && c.sink == nil &&
+		opts.Granularity == GranularityLine
 	return c, nil
 }
 
@@ -494,6 +569,98 @@ func (c *CNTCache) storedOnes(logical []byte, mask uint64, off, size int) int {
 		ones += n
 	}
 	return ones
+}
+
+// lineCounts returns the cached logical per-partition ones counts of
+// one line (see the partOnes field invariants).
+func (c *CNTCache) lineCounts(set, way int) []int {
+	i := (set*c.ways + way) * c.parts
+	return c.partOnes[i : i+c.parts : i+c.parts]
+}
+
+// refreshCounts recounts every partition of a line from its bytes
+// (fill time: the whole payload was just replaced).
+func (c *CNTCache) refreshCounts(pc []int, logical []byte) {
+	partBytes := c.lineBytes / c.parts
+	for p := range pc {
+		pc[p] = bitutil.Ones(logical[p*partBytes : (p+1)*partBytes])
+	}
+}
+
+// recountSpan recounts just the partitions a store touched (data has
+// already been copied into the line by the architectural cache) and
+// folds the change into the line's cached stored-ones count: an
+// uninverted partition contributes its new count in place of its old
+// one, an inverted partition the complements — the same arithmetic a
+// full encoding.StoredOnes reduction would redo.
+func (c *CNTCache) recountSpan(st *lineState, pc []int, logical []byte, off, size int) {
+	partBytes := c.lineBytes / c.parts
+	stored := st.storedOnes
+	for p := off / partBytes; p*partBytes < off+size; p++ {
+		old := pc[p]
+		n := bitutil.Ones(logical[p*partBytes : (p+1)*partBytes])
+		pc[p] = n
+		if st.mask&(1<<uint(p)) != 0 {
+			stored += old - n
+		} else {
+			stored += n - old
+		}
+	}
+	st.storedOnes = stored
+}
+
+// spanOnes returns the stored ones count of a charged span: the line's
+// cached count when the span is the whole line (the GranularityLine
+// path, i.e. every headline configuration), from the bytes otherwise
+// (word-granularity spans may cut partitions).
+func (c *CNTCache) spanOnes(st *lineState, logical []byte, off, size int) int {
+	if off == 0 && size == c.lineBytes {
+		return st.storedOnes
+	}
+	return c.storedOnes(logical, st.mask, off, size)
+}
+
+// readEnergy and writeEnergy serve full-line data-array charges from
+// the construction-time lookup tables; off-table spans (word
+// granularity) fall through to the identical direct computation.
+func (c *CNTCache) readEnergy(ones, nBytes int) float64 {
+	if nBytes == c.lineBytes && uint(ones) < uint(len(c.lutLineRead)) {
+		return c.lutLineRead[ones]
+	}
+	return c.arr.ReadEnergy(ones, nBytes)
+}
+
+func (c *CNTCache) writeEnergy(ones, nBytes int) float64 {
+	if nBytes == c.lineBytes && uint(ones) < uint(len(c.lutLineWrite)) {
+		return c.lutLineWrite[ones]
+	}
+	return c.arr.WriteEnergy(ones, nBytes)
+}
+
+// metaReadEnergy, metaWriteEnergy and histWriteEnergy are the metadata
+// equivalents over the full H&D field and the history subfield. A ones
+// count beyond the field width (possible when policy Aux state carries
+// more set bits than its accounted StateBits) falls through, preserving
+// the direct call's range checking.
+func (c *CNTCache) metaReadEnergy(ones int) float64 {
+	if uint(ones) < uint(len(c.lutMetaRead)) {
+		return c.lutMetaRead[ones]
+	}
+	return c.arr.ReadMetaEnergy(ones, c.metaBits)
+}
+
+func (c *CNTCache) metaWriteEnergy(ones int) float64 {
+	if uint(ones) < uint(len(c.lutMetaWrite)) {
+		return c.lutMetaWrite[ones]
+	}
+	return c.arr.WriteMetaEnergy(ones, c.metaBits)
+}
+
+func (c *CNTCache) histWriteEnergy(ones int) float64 {
+	if uint(ones) < uint(len(c.lutHistWrite)) {
+		return c.lutHistWrite[ones]
+	}
+	return c.arr.WriteMetaEnergy(ones, c.histBits)
 }
 
 // scaled applies the line's CNT-count energy-spread multiplier to a
@@ -589,11 +756,7 @@ func (c *CNTCache) accessSpan(res cache.Result) (off, size int) {
 
 // metaOnes approximates the ones stored in a line's metadata field.
 func (c *CNTCache) metaOnes(st *lineState) int {
-	ones := st.hist.Bits()
-	for m := st.mask; m != 0; m &= m - 1 {
-		ones++
-	}
-	return ones
+	return st.hist.Bits() + bits.OnesCount64(st.mask)
 }
 
 // Access runs one data access through the cache, charging energy.
@@ -617,6 +780,119 @@ func (c *CNTCache) Access(a trace.Access) error {
 	return nil
 }
 
+// AccessBatch replays a block of accesses in order, exactly as calling
+// Access on each would: same cache state transitions, same energy
+// accumulation order, same observable event stream (internal/check
+// holds the two paths to identical reports and events). The batch form
+// amortizes per-call overhead for the replay loops in internal/run and
+// core.Sim. It returns the number of accesses fully applied; on error,
+// accs[n] is the access that failed.
+func (c *CNTCache) AccessBatch(accs []trace.Access) (int, error) {
+	if c.hot {
+		return c.accessBatchHot(accs)
+	}
+	idle := c.opts.IdleSlots
+	for i := range accs {
+		a := accs[i]
+		if err := a.Validate(); err != nil {
+			return i, err
+		}
+		if cache.SameLine(a, c.lineBytes) {
+			if err := c.accessPiece(a); err != nil {
+				return i, err
+			}
+		} else if err := cache.SplitEach(a, c.lineBytes, c.accessPiece); err != nil {
+			return i, err
+		}
+		c.drain(idle)
+	}
+	return len(accs), nil
+}
+
+// accessBatchHot is AccessBatch's fused loop for the no-observer, no-
+// fault, line-granularity configuration (the headline experiments).
+func (c *CNTCache) accessBatchHot(accs []trace.Access) (int, error) {
+	for i := range accs {
+		if err := c.accessHotOne(&accs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(accs), nil
+}
+
+// accessHotOne runs one access through the fused fast path: the hit case
+// of accessPiece is inlined around cache.AccessHot so a replay access
+// pays one call into the architectural array instead of a stack of gated
+// helpers. Misses, line-crossers and invalid accesses fall back to the
+// exact generic path. Only valid when c.hot; every energy charge below
+// mirrors an accessPiece line, in accessPiece's order, reading the same
+// LUT entries — internal/check's batch/serial differential holds the two
+// paths to identical reports.
+func (c *CNTCache) accessHotOne(a *trace.Access) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	write := a.Op == trace.Write
+	set, way, off, logical, ok := c.cache.AccessHot(write, a.Addr, a.Size, a.Data)
+	if !ok {
+		// Miss, cross-line or invalid: the generic piece path redoes
+		// validation and counts the access exactly once.
+		if cache.SameLine(*a, c.lineBytes) {
+			if err := c.accessPiece(*a); err != nil {
+				return err
+			}
+		} else if err := cache.SplitEach(*a, c.lineBytes, c.accessPiece); err != nil {
+			return err
+		}
+		if c.queue != nil && c.queue.Len() > 0 {
+			c.drain(c.opts.IdleSlots)
+		}
+		return nil
+	}
+
+	c.eb.Periphery += c.lookupE
+	st := &c.state[set][way]
+	pc := c.lineCounts(set, way)
+
+	kind := c.opts.Spec.Kind
+	if write {
+		c.recountSpan(st, pc, logical, off, a.Size)
+		if kind == encoding.KindWriteGreedy {
+			c.greedyReencode(set, way, st, pc, 0, c.lineBytes)
+		}
+		c.eb.DataWrite += c.lutLineWrite[st.storedOnes]
+	} else {
+		c.eb.DataRead += c.lutLineRead[st.storedOnes]
+	}
+	if kind != encoding.KindNone {
+		c.eb.Encoder += c.encoderLineE
+		mo := c.metaOnes(st)
+		if uint(mo) < uint(len(c.lutMetaRead)) {
+			c.eb.MetaRead += c.lutMetaRead[mo]
+		} else {
+			c.eb.MetaRead += c.arr.ReadMetaEnergy(mo, c.metaBits)
+		}
+	}
+	if c.predBase != nil {
+		// recordHistory's common case, open-coded so the per-access
+		// counter tick inlines: RecordAccess plus one history rewrite.
+		if !c.predBase.RecordAccess(&st.hist, write) {
+			ones := st.hist.Bits()
+			if uint(ones) < uint(len(c.lutHistWrite)) {
+				c.eb.MetaWrite += c.lutHistWrite[ones]
+			} else {
+				c.eb.MetaWrite += c.arr.WriteMetaEnergy(ones, c.histBits)
+			}
+		} else {
+			c.windowRoll(set, way, st, pc)
+		}
+	}
+	if c.queue != nil && c.queue.Len() > 0 {
+		c.drain(c.opts.IdleSlots)
+	}
+	return nil
+}
+
 func (c *CNTCache) accessPiece(a trace.Access) error {
 	write := a.Op == trace.Write
 	var before energy.Breakdown
@@ -634,41 +910,53 @@ func (c *CNTCache) accessPiece(a trace.Access) error {
 		return err
 	}
 
-	c.eb.Periphery += c.arr.LookupEnergy()
+	c.eb.Periphery += c.lookupE
 	st := &c.state[res.Set][res.Way]
-
-	if res.Filled {
-		c.onFill(res, st)
-	}
+	pc := c.lineCounts(res.Set, res.Way)
 
 	logical, _, _, _ := c.cache.Line(res.Set, res.Way)
+
+	if res.Filled {
+		// The fill (and, for a write miss, the store riding it) replaced
+		// the payload; onFill refreshes the cached counts from it.
+		c.onFill(res, st, pc, logical)
+	} else if write {
+		// The store's bytes already landed in the line (cache.Access
+		// copies before returning); recount the partitions it touched.
+		c.recountSpan(st, pc, logical, res.Offset, res.Size)
+	}
+
 	off, size := c.accessSpan(res)
 
 	if write {
 		if c.opts.Spec.Kind == encoding.KindWriteGreedy {
-			c.greedyReencode(res, st, logical, off, size)
+			c.greedyReencode(res.Set, res.Way, st, pc, off, size)
 		}
-		ones := c.storedOnes(logical, st.mask, off, size)
+		ones := c.spanOnes(st, logical, off, size)
 		if c.inj != nil {
 			ones = c.injectAccessFaults(ones, logical, st, res, off, size, true)
 		}
-		c.eb.DataWrite += c.scaled(c.arr.WriteEnergy(ones, size), res.Set, res.Way)
+		c.eb.DataWrite += c.scaled(c.writeEnergy(ones, size), res.Set, res.Way)
 	} else {
-		ones := c.storedOnes(logical, st.mask, off, size)
+		ones := c.spanOnes(st, logical, off, size)
 		if c.inj != nil {
 			ones = c.injectAccessFaults(ones, logical, st, res, off, size, false)
 		}
-		c.eb.DataRead += c.scaled(c.arr.ReadEnergy(ones, size), res.Set, res.Way)
+		c.eb.DataRead += c.scaled(c.readEnergy(ones, size), res.Set, res.Way)
 	}
 	// Every access passes the encoder stage (mux+inverter per bit).
 	if c.opts.Spec.Kind != encoding.KindNone {
-		c.eb.Encoder += float64(size*8) * c.opts.Table.EncoderBit
+		if size == c.lineBytes {
+			c.eb.Encoder += c.encoderLineE
+		} else {
+			c.eb.Encoder += float64(size*8) * c.opts.Table.EncoderBit
+		}
 		// The H&D field is read alongside the line.
-		c.eb.MetaRead += c.arr.ReadMetaEnergy(c.metaOnes(st), c.metaBits)
+		c.eb.MetaRead += c.metaReadEnergy(c.metaOnes(st))
 	}
 
 	if c.pred != nil {
-		c.recordHistory(res, st, logical, write)
+		c.recordHistory(res.Set, res.Way, st, pc, write)
 	}
 	if observing {
 		// The delta covers everything this piece charged — fill,
@@ -682,7 +970,7 @@ func (c *CNTCache) accessPiece(a trace.Access) error {
 
 // onFill initializes the state of a freshly filled line and charges the
 // fill write (plus the displaced victim's writeback read-out).
-func (c *CNTCache) onFill(res cache.Result, st *lineState) {
+func (c *CNTCache) onFill(res cache.Result, st *lineState, pc []int, logical []byte) {
 	if res.Evicted {
 		// The dirty-victim read-out energy was charged by the evict hook,
 		// which saw the exact stored bits before the fill replaced them.
@@ -700,28 +988,29 @@ func (c *CNTCache) onFill(res cache.Result, st *lineState) {
 	st.hist = predictor.LineState{} // fresh resident: clear policy state too
 	st.mask = 0
 
-	logical, _, _, _ := c.cache.Line(res.Set, res.Way)
+	c.refreshCounts(pc, logical)
 	switch c.opts.Spec.Kind {
 	case encoding.KindNone:
 	case encoding.KindStaticWrite, encoding.KindWriteGreedy:
-		st.mask = encoding.MaskMinOnes(logical, c.parts)
+		st.mask = encoding.MaskMinOnesCounts(pc, c.partBits)
 	case encoding.KindStaticRead:
-		st.mask = encoding.MaskMaxOnes(logical, c.parts)
+		st.mask = encoding.MaskMaxOnesCounts(pc, c.partBits)
 	case encoding.KindAdaptive:
 		if c.opts.FillPolicy == FillWriteOptimal {
-			st.mask = encoding.MaskMinOnes(logical, c.parts)
+			st.mask = encoding.MaskMinOnesCounts(pc, c.partBits)
 		}
 	case encoding.KindOracleStatic:
 		st.mask = c.opts.FillMasks[res.LineAddr]
 	}
 
-	ones := c.storedOnes(logical, st.mask, 0, c.lineBytes)
+	st.storedOnes = encoding.StoredOnes(pc, c.partBits, st.mask)
+	ones := st.storedOnes
 	if c.inj != nil {
 		ones = c.faultedOnes(ones, logical, st.mask, 0, c.lineBytes, res.Set, res.Way)
 	}
-	c.eb.DataWrite += c.scaled(c.arr.WriteEnergy(ones, c.lineBytes), res.Set, res.Way)
+	c.eb.DataWrite += c.scaled(c.writeEnergy(ones, c.lineBytes), res.Set, res.Way)
 	if c.metaBits > 0 {
-		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
+		c.eb.MetaWrite += c.metaWriteEnergy(c.metaOnes(st))
 	}
 }
 
@@ -729,8 +1018,8 @@ func (c *CNTCache) onFill(res cache.Result, st *lineState) {
 // the masks of the partitions the write touches to minimize stored ones,
 // charging the direction-bit rewrite. Untouched partitions keep their
 // direction (they are not physically rewritten by the store).
-func (c *CNTCache) greedyReencode(res cache.Result, st *lineState, logical []byte, off, size int) {
-	optimal := encoding.MaskMinOnes(logical, c.parts)
+func (c *CNTCache) greedyReencode(set, way int, st *lineState, pc []int, off, size int) {
+	optimal := encoding.MaskMinOnesCounts(pc, c.partBits)
 	partBytes := c.lineBytes / c.parts
 	var touched uint64
 	for p := off / partBytes; p*partBytes < off+size; p++ {
@@ -740,24 +1029,38 @@ func (c *CNTCache) greedyReencode(res cache.Result, st *lineState, logical []byt
 	if newMask != st.mask {
 		old := st.mask
 		st.mask = newMask
-		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
+		st.storedOnes = encoding.StoredOnes(pc, c.partBits, newMask)
+		c.eb.MetaWrite += c.metaWriteEnergy(c.metaOnes(st))
 		c.switches++
 		if c.observing() {
 			// The re-encode energy rides the enclosing AccessEvent; the
 			// switch itself is still worth a record of its own.
-			c.observeSwitch(res.Set, res.Way, old, newMask, "greedy")
+			c.observeSwitch(set, way, old, newMask, "greedy")
 		}
 	}
 }
 
-// recordHistory advances Algorithm 1 for the accessed line.
-func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte, write bool) {
-	complete := c.pred.RecordAccess(&st.hist, write)
-	if !complete {
+// recordHistory advances Algorithm 1 for the accessed line. The common
+// case — a counter tick inside an open window — stays small enough to
+// inline into the replay loops; a completed window falls through to
+// windowRoll.
+func (c *CNTCache) recordHistory(set, way int, st *lineState, pc []int, write bool) {
+	if !c.predBase.RecordAccess(&st.hist, write) {
 		// Counter update: rewrite the history bits.
-		c.eb.MetaWrite += c.arr.WriteMetaEnergy(st.hist.Bits(), c.histBits)
+		ones := st.hist.Bits()
+		if uint(ones) < uint(len(c.lutHistWrite)) {
+			c.eb.MetaWrite += c.lutHistWrite[ones]
+		} else {
+			c.eb.MetaWrite += c.arr.WriteMetaEnergy(ones, c.histBits)
+		}
 		return
 	}
+	c.windowRoll(set, way, st, pc)
+}
+
+// windowRoll evaluates a completed prediction window: the decision,
+// its queueing, and the counter reset of Algorithm 1.
+func (c *CNTCache) windowRoll(set, way int, st *lineState, pc []int) {
 	c.windows++
 	if c.inj != nil {
 		if idx, ok := c.inj.UpsetCounter(c.counterBits); ok {
@@ -778,12 +1081,15 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 			if st.hist.WrNum > st.hist.ANum {
 				st.hist.WrNum = st.hist.ANum
 			}
-			c.observeFault("upset", res.Set, res.Way, idx)
+			c.observeFault("upset", set, way, idx)
 		}
 	}
 	aNum, wrNum := int(st.hist.ANum), int(st.hist.WrNum)
 
-	per := bitutil.OnesPerPartition(logical, c.parts, c.perPartScratch)
+	// Stored per-partition ones from the cached logical counts; the
+	// scratch copy keeps the cache itself untouched.
+	per := c.perPartScratch
+	copy(per, pc)
 	for p := range per {
 		if st.mask&(1<<uint(p)) != 0 {
 			per[p] = c.partBits - per[p]
@@ -800,12 +1106,12 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 				ones += per[p]
 			}
 		}
-		update := fifo.Update{Set: res.Set, Way: res.Way, Mask: st.mask ^ d.FlipMask, Ones: ones}
+		update := fifo.Update{Set: set, Way: way, Mask: st.mask ^ d.FlipMask, Ones: ones}
 		enqueued = c.queue.Push(update)
 		dropped = !enqueued
 	}
 	if c.observing() {
-		c.observeWindow(res, aNum, wrNum, d, per, enqueued, dropped)
+		c.observeWindow(set, way, aNum, wrNum, d, per, enqueued, dropped)
 	}
 	// Algorithm 1 resets the counters after every prediction. The
 	// triggering access is already counted in the window just evaluated
@@ -813,7 +1119,7 @@ func (c *CNTCache) recordHistory(res cache.Result, st *lineState, logical []byte
 	// window starts empty; the reset is one physical rewrite of the
 	// history field.
 	st.hist.Reset()
-	c.eb.MetaWrite += c.arr.WriteMetaEnergy(st.hist.Bits(), c.histBits)
+	c.eb.MetaWrite += c.histWriteEnergy(st.hist.Bits())
 }
 
 // drain retires up to n queued re-encodes into the array.
@@ -858,22 +1164,27 @@ func (c *CNTCache) retire(u fifo.Update) {
 		// Switch energy: write of the re-encoded bits plus the direction
 		// bits.
 		partBytes := c.lineBytes / c.parts
-		bytes := 0
+		pc := c.lineCounts(u.Set, u.Way)
+		st.storedOnes = encoding.StoredOnes(pc, c.partBits, u.Mask)
+		nbytes := 0
 		ones := 0
 		for p := 0; p < c.parts; p++ {
 			inFlip := flips&(1<<uint(p)) != 0
 			if !inFlip && c.opts.SwitchCost != SwitchFullLine {
 				continue
 			}
-			bytes += partBytes
-			po := c.storedOnes(logical, st.mask, p*partBytes, partBytes)
+			nbytes += partBytes
+			po := pc[p]
+			if st.mask&(1<<uint(p)) != 0 {
+				po = c.partBits - po
+			}
 			if c.inj != nil {
 				po = c.faultedOnes(po, logical, st.mask, p*partBytes, partBytes, u.Set, u.Way)
 			}
 			ones += po
 		}
-		c.eb.Switch += c.scaled(c.arr.WriteEnergy(ones, bytes), u.Set, u.Way)
-		c.eb.MetaWrite += c.arr.WriteMetaEnergy(c.metaOnes(st), c.metaBits)
+		c.eb.Switch += c.scaled(c.writeEnergy(ones, nbytes), u.Set, u.Way)
+		c.eb.MetaWrite += c.metaWriteEnergy(c.metaOnes(st))
 		if observing {
 			c.observeSwitch(u.Set, u.Way, oldMask, u.Mask, "drain")
 		}

@@ -139,7 +139,7 @@ func (c *CNTCache) observeAccess(a trace.Access, res cache.Result, d energy.Brea
 // observeWindow records one prediction-window rollover and the fate of
 // its decision. per holds the stored per-partition ones counts the
 // decision saw.
-func (c *CNTCache) observeWindow(res cache.Result, aNum, wrNum int, d predictor.Decision, per []int, enqueued, dropped bool) {
+func (c *CNTCache) observeWindow(set, way int, aNum, wrNum int, d predictor.Decision, per []int, enqueued, dropped bool) {
 	if m := c.met; m != nil {
 		m.windows.Inc()
 		m.wrNum.Observe(float64(wrNum))
@@ -157,8 +157,8 @@ func (c *CNTCache) observeWindow(res cache.Result, aNum, wrNum int, d predictor.
 	if c.sink != nil {
 		c.sink.Emit(&obs.WindowEvent{
 			Cache:    c.cache.Name(),
-			Set:      res.Set,
-			Way:      res.Way,
+			Set:      set,
+			Way:      way,
 			ANum:     aNum,
 			WrNum:    wrNum,
 			Pattern:  d.Pattern.String(),

@@ -113,13 +113,65 @@ func (s *Sim) Step(a trace.Access) error {
 // steps.
 func (s *Sim) Snapshot() Snapshot { return s.L1D.Snapshot() }
 
+// StepBatch advances the simulation by a block of accesses — the batch
+// equivalent of calling Step on each in order. Consecutive accesses
+// bound for the same L1 are handed to that cache's AccessBatch in one
+// run, so the per-access routing branch is paid once per run instead of
+// once per access. It returns the number of accesses fully applied; on
+// error, accs[n] is the access that failed.
+func (s *Sim) StepBatch(accs []trace.Access) (int, error) {
+	if s.L1D.hot && s.L1I.hot {
+		// Both L1s on the fused fast path: route per access directly.
+		// Instruction and data references interleave tightly in real
+		// traces, so grouping into runs would pay the per-run dispatch
+		// almost per access anyway.
+		for i := range accs {
+			c := s.L1D
+			if accs[i].Op == trace.Fetch {
+				c = s.L1I
+			}
+			if err := c.accessHotOne(&accs[i]); err != nil {
+				return i, err
+			}
+		}
+		return len(accs), nil
+	}
+	done := 0
+	for done < len(accs) {
+		isFetch := accs[done].Op == trace.Fetch
+		end := done + 1
+		for end < len(accs) && (accs[end].Op == trace.Fetch) == isFetch {
+			end++
+		}
+		tgt := s.L1D
+		if isFetch {
+			tgt = s.L1I
+		}
+		n, err := tgt.AccessBatch(accs[done:end])
+		done += n
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// RunBatch replays one pre-decoded block through the live simulation,
+// wrapping any failure with the workload name and the global access
+// index (base is the index of accs[0] in the whole trace). Replay
+// loops call it per block and Finish once at the end.
+func (s *Sim) RunBatch(name string, base int, accs []trace.Access) error {
+	if n, err := s.StepBatch(accs); err != nil {
+		return fmt.Errorf("core: %s access %d: %w", name, base+n, err)
+	}
+	return nil
+}
+
 // Run replays a whole instance through the simulation and finishes it,
 // labeling the report with the D-cache variant's spec.
 func (s *Sim) Run(inst *workload.Instance) (*Report, error) {
-	for i, a := range inst.Accesses {
-		if err := s.Step(a); err != nil {
-			return nil, fmt.Errorf("core: %s access %d: %w", inst.Name, i, err)
-		}
+	if err := s.RunBatch(inst.Name, 0, inst.Accesses); err != nil {
+		return nil, err
 	}
 	return s.Finish(inst.Name, s.L1D.Options().Spec.String()), nil
 }

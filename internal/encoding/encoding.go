@@ -91,17 +91,46 @@ func maskByMajority(logical []byte, k int, minimize bool) uint64 {
 	return mask
 }
 
+// MaskMinOnesCounts is MaskMinOnes for callers that already hold the
+// logical per-partition ones counts (the hot path caches them per line).
+// partBits is the partition size in bits.
+func MaskMinOnesCounts(onesPerPartition []int, partBits int) uint64 {
+	return maskByMajorityCounts(onesPerPartition, partBits, true)
+}
+
+// MaskMaxOnesCounts is MaskMaxOnes over cached per-partition ones counts.
+func MaskMaxOnesCounts(onesPerPartition []int, partBits int) uint64 {
+	return maskByMajorityCounts(onesPerPartition, partBits, false)
+}
+
+// maskByMajorityCounts mirrors maskByMajority's comparison — including
+// the keep-uninverted tie rule — over precomputed counts, so the two
+// forms pick identical masks.
+func maskByMajorityCounts(per []int, partBits int, minimize bool) uint64 {
+	half := partBits / 2
+	var mask uint64
+	for p, ones := range per {
+		invert := ones > half
+		if !minimize {
+			invert = ones < half
+		}
+		if invert {
+			mask |= 1 << uint(p)
+		}
+	}
+	return mask
+}
+
 // StoredOnes returns the number of '1' bits the line holds in storage if
 // the logical data (with the given per-partition ones counts) is encoded
 // under mask. partBits is the partition size in bits.
 func StoredOnes(logicalOnesPerPartition []int, partBits int, mask uint64) int {
 	total := 0
 	for p, n := range logicalOnesPerPartition {
-		if mask&(1<<uint(p)) != 0 {
-			total += partBits - n
-		} else {
-			total += n
-		}
+		// Branchless select: n when partition p stays direct, partBits-n
+		// when the direction bit inverts it.
+		inv := int(mask >> uint(p) & 1)
+		total += n + inv*(partBits-2*n)
 	}
 	return total
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// RunCounters accumulates the replay volume an experiment actually
+// simulates: completed simulations and the accesses they replayed
+// (D- plus I-cache, as the reports count them). Drivers attach one per
+// experiment via Config.Counters and divide by wall time to get the
+// accesses-per-second figure cntbench surfaces — the repo's headline
+// throughput metric (see docs/PERFORMANCE.md). Memoized baseline
+// reports served from cache contribute nothing: the metric credits
+// simulated work only.
+//
+// Counters are added to atomically, so the experiment engine's worker
+// pool can report from every goroutine; reads taken mid-run are
+// consistent snapshots of each counter individually.
+type RunCounters struct {
+	sims     atomic.Uint64
+	accesses atomic.Uint64
+}
+
+// Sims returns the number of completed simulations.
+func (rc *RunCounters) Sims() uint64 { return rc.sims.Load() }
+
+// Accesses returns the total accesses replayed across them.
+func (rc *RunCounters) Accesses() uint64 { return rc.accesses.Load() }
+
+// add credits one completed simulation's replay volume. Nil-safe on
+// both sides so call sites stay unconditional.
+func (rc *RunCounters) add(rep *core.Report) {
+	if rc == nil || rep == nil {
+		return
+	}
+	rc.sims.Add(1)
+	rc.accesses.Add(rep.DStats.Accesses + rep.IStats.Accesses)
+}

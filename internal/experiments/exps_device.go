@@ -108,11 +108,11 @@ func runE11(cfg Config) (*Table, error) {
 	results := make([]deviceResult, len(ks))
 	err := parallelFor(cfg, len(ks), func(i int) error {
 		inst := instanceFor(ks[i], cfg.Seed)
-		cmBase, cmCnt, err := runPair(inst, hier, mkOpts(cmTab, false), mkOpts(cmTab, true))
+		cmBase, cmCnt, err := runPair(cfg, inst, hier, mkOpts(cmTab, false), mkOpts(cmTab, true))
 		if err != nil {
 			return err
 		}
-		cnBase, cnCnt, err := runPair(inst, hier, mkOpts(cnTab, false), mkOpts(cnTab, true))
+		cnBase, cnCnt, err := runPair(cfg, inst, hier, mkOpts(cnTab, false), mkOpts(cnTab, true))
 		if err != nil {
 			return err
 		}

@@ -55,11 +55,11 @@ func runE14(cfg Config) (*Table, error) {
 			fc := fault.AtRate(rate, cfg.Seed)
 			base.Fault, opts.Fault, sr.Fault = &fc, &fc, &fc
 		}
-		bRep, cRep, err := runPair(inst, hier, base, opts)
+		bRep, cRep, err := runPair(cfg, inst, hier, base, opts)
 		if err != nil {
 			return fmt.Errorf("%s@%g: %w", b.Name, rate, err)
 		}
-		sRep, err := runOne(inst, hier, sr)
+		sRep, err := runOne(cfg, inst, hier, sr)
 		if err != nil {
 			return fmt.Errorf("%s@%g: %w", b.Name, rate, err)
 		}

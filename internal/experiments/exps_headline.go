@@ -40,6 +40,9 @@ func runE3(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		for _, rep := range cmp.Reports {
+			cfg.Counters.add(rep)
+		}
 		r := kernelResult{baseline: cmp.BaselineTotal()}
 		for _, name := range cmp.Names[1:] {
 			r.savings = append(r.savings, cmp.SavingOf(name))
@@ -50,7 +53,7 @@ func runE3(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		oRep, err := runOne(inst, hier, oracleOpts)
+		oRep, err := runOne(cfg, inst, hier, oracleOpts)
 		if err != nil {
 			return err
 		}

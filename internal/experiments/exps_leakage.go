@@ -33,7 +33,7 @@ func runE12(cfg Config) (*Table, error) {
 	results := make([]leakResult, len(ks))
 	err := parallelFor(cfg, len(ks), func(i int) error {
 		inst := instanceFor(ks[i], cfg.Seed)
-		bRep, cRep, err := runPair(inst, hier, base, opts)
+		bRep, cRep, err := runPair(cfg, inst, hier, base, opts)
 		if err != nil {
 			return err
 		}

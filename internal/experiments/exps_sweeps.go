@@ -57,11 +57,11 @@ func runE6(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		bRep, cRep, err := runPair(inst, hier, base, opts)
+		bRep, cRep, err := runPair(cfg, inst, hier, base, opts)
 		if err != nil {
 			return err
 		}
-		sRep, err := runOne(inst, hier, sread)
+		sRep, err := runOne(cfg, inst, hier, sread)
 		if err != nil {
 			return err
 		}

@@ -33,8 +33,9 @@ func kernels(cfg Config) []workload.Builder {
 func defaultTable() cnfet.EnergyTable { return cnfet.MustTable(cnfet.CNFET32()) }
 
 // runOne executes one simulation through the unified run layer: the
-// given options on both L1s over a fresh memory image.
-func runOne(inst *workload.Instance, hier cache.HierarchyConfig, opts core.Options) (*core.Report, error) {
+// given options on both L1s over a fresh memory image. Completed runs
+// are credited to cfg.Counters.
+func runOne(cfg Config, inst *workload.Instance, hier cache.HierarchyConfig, opts core.Options) (*core.Report, error) {
 	rep, err := run.Spec{
 		Source:    run.Source{Instance: inst},
 		Hierarchy: hier,
@@ -43,19 +44,24 @@ func runOne(inst *workload.Instance, hier cache.HierarchyConfig, opts core.Optio
 	if err != nil {
 		return nil, err
 	}
+	cfg.Counters.add(rep.Report)
 	return rep.Report, nil
 }
 
 // runPair runs a workload under a baseline and a candidate D-cache
 // configuration and returns (baselineReport, candidateReport). The
 // baseline run is served from the memoization layer when possible; the
-// returned baseline report is shared and must not be mutated.
-func runPair(inst *workload.Instance, hier cache.HierarchyConfig, baseOpts, opts core.Options) (*core.Report, *core.Report, error) {
-	b, err := baselineReport(inst, hier, baseOpts)
+// returned baseline report is shared and must not be mutated (and a
+// memo hit is not credited to cfg.Counters — no replay happened).
+func runPair(cfg Config, inst *workload.Instance, hier cache.HierarchyConfig, baseOpts, opts core.Options) (*core.Report, *core.Report, error) {
+	b, simulated, err := run.BaselineReportCounted(inst, hier, baseOpts)
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := runOne(inst, hier, opts)
+	if simulated {
+		cfg.Counters.add(b)
+	}
+	c, err := runOne(cfg, inst, hier, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -89,7 +95,7 @@ func suiteSaving(cfg Config, opts core.Options) (avg float64, perKernel map[stri
 	err = parallelFor(cfg, len(ks), func(i int) error {
 		b := ks[i]
 		inst := instanceFor(b, cfg.Seed)
-		bRep, cRep, e := runPair(inst, hier, base, opts)
+		bRep, cRep, e := runPair(cfg, inst, hier, base, opts)
 		if e != nil {
 			return fmt.Errorf("%s: %w", b.Name, e)
 		}

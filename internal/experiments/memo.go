@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/run"
 	"repro/internal/workload"
 )
@@ -26,10 +24,4 @@ func ResetMemo() { run.ResetMemo() }
 // instanceFor returns the shared, immutable instance of a suite kernel.
 func instanceFor(b workload.Builder, seed int64) *workload.Instance {
 	return run.InstanceFor(b, seed)
-}
-
-// baselineReport runs inst under baseline options, serving repeats from
-// the cache. The returned report is shared and must not be mutated.
-func baselineReport(inst *workload.Instance, hier cache.HierarchyConfig, base core.Options) (*core.Report, error) {
-	return run.BaselineReport(inst, hier, base)
 }

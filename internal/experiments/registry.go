@@ -26,6 +26,11 @@ type Config struct {
 	// the context's error (drivers like cntbench wire SIGINT here). Nil
 	// means run to completion.
 	Ctx context.Context
+	// Counters, when non-nil, accumulates the replay volume the
+	// experiment simulates (completed sims and their accesses), the raw
+	// material of the accesses-per-second figure drivers report. Nil
+	// disables the accounting.
+	Counters *RunCounters
 }
 
 // context resolves the optional cancellation context.

@@ -1,0 +1,137 @@
+// Raw replay throughput: the repo's headline performance metric.
+// MeasureReplay times the batched replay path (core.Sim.RunBatch via
+// core.RunInstance) over the benchmark suite and reports accesses per
+// second per variant; cntbench's -replay mode writes the record as
+// BENCH_REPLAY.json and CI gates regressions against the committed
+// copy. BenchmarkReplayThroughput (bench_test.go) is the same
+// measurement behind `go test -bench`.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/workload"
+)
+
+// ReplayMeasurement is one variant's measured raw replay throughput
+// over the suite.
+type ReplayMeasurement struct {
+	// Variant names the encoding variant replayed.
+	Variant string `json:"variant"`
+	// Accesses is the number of accesses one suite pass replays
+	// (deterministic in the seed and kernel set).
+	Accesses uint64 `json:"accesses"`
+	// Seconds is the wall time of the best pass.
+	Seconds float64 `json:"seconds"`
+	// AccessesPerSec is Accesses/Seconds for the best pass.
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+}
+
+// ReplayBench is the machine-readable replay-throughput record
+// (BENCH_REPLAY.json): where the measurement ran and what it measured.
+type ReplayBench struct {
+	Seed     int64               `json:"seed"`
+	Quick    bool                `json:"quick"`
+	Passes   int                 `json:"passes"`
+	Variants []ReplayMeasurement `json:"variants"`
+}
+
+// replayVariants is the pair the throughput record tracks: the plain
+// CNFET cache (upper bound for the architectural machinery) and the
+// full adaptive CNT-Cache (the configuration every sweep actually
+// replays).
+func replayVariants() []core.Variant {
+	return []core.Variant{
+		{Name: "baseline", Opts: core.BaselineOptions()},
+		{Name: "cnt-cache", Opts: core.DefaultOptions()},
+	}
+}
+
+// MeasureReplay times passes full replays of the benchmark suite for
+// each tracked variant and keeps each variant's best pass — wall-clock
+// noise only ever slows a pass down, so best-of is the stable
+// estimator. The suite instances are materialized once, outside the
+// timed region; each pass replays every kernel through a fresh
+// simulation on the batched path, exactly like a sweep does.
+func MeasureReplay(cfg Config, passes int) (*ReplayBench, error) {
+	if passes < 1 {
+		return nil, fmt.Errorf("experiments: replay passes must be positive, got %d", passes)
+	}
+	ks := kernels(cfg)
+	insts := make([]*workload.Instance, len(ks))
+	for i, b := range ks {
+		insts[i] = run.InstanceFor(b, cfg.Seed)
+	}
+	bench := &ReplayBench{Seed: cfg.Seed, Quick: cfg.Quick, Passes: passes}
+	for _, v := range replayVariants() {
+		simCfg := core.SimConfig{
+			Hierarchy: core.DefaultSimConfig().Hierarchy,
+			DOpts:     v.Opts,
+			IOpts:     v.Opts,
+		}
+		best := ReplayMeasurement{Variant: v.Name}
+		for pass := 0; pass < passes; pass++ {
+			var accesses uint64
+			start := time.Now()
+			for _, inst := range insts {
+				rep, err := core.RunInstance(inst, simCfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: replay bench %s/%s: %w", v.Name, inst.Name, err)
+				}
+				accesses += rep.DStats.Accesses + rep.IStats.Accesses
+			}
+			secs := time.Since(start).Seconds()
+			if aps := float64(accesses) / secs; aps > best.AccessesPerSec {
+				best = ReplayMeasurement{
+					Variant: v.Name, Accesses: accesses,
+					Seconds: secs, AccessesPerSec: aps,
+				}
+			}
+		}
+		bench.Variants = append(bench.Variants, best)
+	}
+	return bench, nil
+}
+
+// Variant returns the named measurement, or nil.
+func (b *ReplayBench) Variant(name string) *ReplayMeasurement {
+	for i := range b.Variants {
+		if b.Variants[i].Variant == name {
+			return &b.Variants[i]
+		}
+	}
+	return nil
+}
+
+// CheckAgainst compares this fresh measurement with a committed record
+// and returns an error naming the first variant whose throughput fell
+// more than tolerance (a fraction, e.g. 0.2) below the committed
+// figure. Variants present only on one side are ignored — the gate
+// compares like with like — but an empty intersection is an error, not
+// a pass.
+func (b *ReplayBench) CheckAgainst(committed *ReplayBench, tolerance float64) error {
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("experiments: replay tolerance must be in [0,1), got %g", tolerance)
+	}
+	compared := 0
+	for _, want := range committed.Variants {
+		got := b.Variant(want.Variant)
+		if got == nil {
+			continue
+		}
+		compared++
+		floor := want.AccessesPerSec * (1 - tolerance)
+		if got.AccessesPerSec < floor {
+			return fmt.Errorf("experiments: replay throughput regression: %s measured %.3g accesses/s, committed %.3g (floor at -%.0f%%: %.3g)",
+				want.Variant, got.AccessesPerSec, want.AccessesPerSec, 100*tolerance, floor)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("experiments: replay records share no variants; nothing compared")
+	}
+	return nil
+}

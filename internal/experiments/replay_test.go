@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureReplayCountsSuite runs one quick-suite pass per variant and
+// checks the record's invariants: both tracked variants present, the
+// replay volume identical across variants (same suite, same seed), and
+// every measurement internally consistent.
+func TestMeasureReplayCountsSuite(t *testing.T) {
+	bench, err := MeasureReplay(Config{Seed: 1, Quick: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Seed != 1 || !bench.Quick || bench.Passes != 1 {
+		t.Errorf("record header = %+v, want seed=1 quick=true passes=1", bench)
+	}
+	if len(bench.Variants) != 2 {
+		t.Fatalf("variants = %+v, want exactly baseline and cnt-cache", bench.Variants)
+	}
+	base := bench.Variant("baseline")
+	cnt := bench.Variant("cnt-cache")
+	if base == nil || cnt == nil {
+		t.Fatalf("variants = %+v, missing baseline or cnt-cache", bench.Variants)
+	}
+	if base.Accesses == 0 || base.Accesses != cnt.Accesses {
+		t.Errorf("replay volume differs across variants: baseline=%d cnt-cache=%d",
+			base.Accesses, cnt.Accesses)
+	}
+	for _, v := range bench.Variants {
+		if v.Seconds <= 0 || v.AccessesPerSec <= 0 {
+			t.Errorf("%s measurement not positive: %+v", v.Variant, v)
+		}
+	}
+	if bench.Variant("nope") != nil {
+		t.Error("Variant(nope) returned a measurement")
+	}
+}
+
+// TestMeasureReplayRejectsBadPasses pins the eager validation: a
+// non-positive pass count fails before any simulation is built.
+func TestMeasureReplayRejectsBadPasses(t *testing.T) {
+	for _, passes := range []int{0, -3} {
+		if _, err := MeasureReplay(Config{Seed: 1, Quick: true}, passes); err == nil {
+			t.Errorf("MeasureReplay(passes=%d) succeeded, want error", passes)
+		}
+	}
+}
+
+// TestReplayCheckAgainst exercises the regression gate: within
+// tolerance passes, beyond it fails naming the variant, one-sided
+// variants are ignored, and an empty intersection is an error.
+func TestReplayCheckAgainst(t *testing.T) {
+	committed := &ReplayBench{Variants: []ReplayMeasurement{
+		{Variant: "baseline", AccessesPerSec: 40e6},
+		{Variant: "cnt-cache", AccessesPerSec: 30e6},
+	}}
+	cases := []struct {
+		name      string
+		measured  []ReplayMeasurement
+		tolerance float64
+		wantErr   string
+	}{
+		{"identical", committed.Variants, 0.20, ""},
+		{"within tolerance", []ReplayMeasurement{
+			{Variant: "baseline", AccessesPerSec: 33e6},
+			{Variant: "cnt-cache", AccessesPerSec: 25e6},
+		}, 0.20, ""},
+		{"faster than committed", []ReplayMeasurement{
+			{Variant: "baseline", AccessesPerSec: 80e6},
+			{Variant: "cnt-cache", AccessesPerSec: 60e6},
+		}, 0.0, ""},
+		{"one variant regressed", []ReplayMeasurement{
+			{Variant: "baseline", AccessesPerSec: 39e6},
+			{Variant: "cnt-cache", AccessesPerSec: 20e6},
+		}, 0.20, "cnt-cache"},
+		{"regression at zero tolerance", []ReplayMeasurement{
+			{Variant: "baseline", AccessesPerSec: 39.9e6},
+			{Variant: "cnt-cache", AccessesPerSec: 30e6},
+		}, 0.0, "baseline"},
+		{"extra measured variant ignored", []ReplayMeasurement{
+			{Variant: "baseline", AccessesPerSec: 40e6},
+			{Variant: "cnt-cache", AccessesPerSec: 30e6},
+			{Variant: "experimental", AccessesPerSec: 1},
+		}, 0.20, ""},
+		{"missing variant ignored when one still compares", []ReplayMeasurement{
+			{Variant: "baseline", AccessesPerSec: 40e6},
+		}, 0.20, ""},
+		{"disjoint records", []ReplayMeasurement{
+			{Variant: "experimental", AccessesPerSec: 99e6},
+		}, 0.20, "share no variants"},
+		{"negative tolerance", committed.Variants, -0.1, "tolerance"},
+		{"tolerance of one", committed.Variants, 1.0, "tolerance"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			measured := &ReplayBench{Variants: c.measured}
+			err := measured.CheckAgainst(committed, c.tolerance)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("CheckAgainst: %v, want pass", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("CheckAgainst passed, want error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("CheckAgainst error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -34,6 +34,7 @@ package predictor
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitutil"
 	"repro/internal/cnfet"
@@ -97,17 +98,7 @@ func (s *LineState) Reset() { s.ANum, s.WrNum = 0, 0 }
 // accounting: the number of '1' bits across the counters and policy
 // state.
 func (s *LineState) Bits() int {
-	ones := 0
-	for v := s.ANum; v != 0; v &= v - 1 {
-		ones++
-	}
-	for v := s.WrNum; v != 0; v &= v - 1 {
-		ones++
-	}
-	for v := s.Aux; v != 0; v &= v - 1 {
-		ones++
-	}
-	return ones
+	return bits.OnesCount16(s.ANum) + bits.OnesCount16(s.WrNum) + bits.OnesCount8(s.Aux)
 }
 
 // Pattern is the outcome of step 1 of Algorithm 1.

@@ -115,7 +115,19 @@ func baselineMemoizable(opts core.Options) bool {
 // BaselineReport runs inst under baseline options, serving repeats from
 // the cache. The returned report is shared and must not be mutated.
 func BaselineReport(inst *workload.Instance, hier cache.HierarchyConfig, base core.Options) (*core.Report, error) {
+	rep, _, err := BaselineReportCounted(inst, hier, base)
+	return rep, err
+}
+
+// BaselineReportCounted is BaselineReport, additionally reporting
+// whether the call actually replayed a simulation (false when the memo
+// served a cached report). Throughput accounting hangs off this bit:
+// a memo hit contributes zero simulated accesses to a run's
+// accesses-per-second, so the metric never credits cached work.
+func BaselineReportCounted(inst *workload.Instance, hier cache.HierarchyConfig, base core.Options) (*core.Report, bool, error) {
+	simulated := false
 	sim := func() (*core.Report, error) {
+		simulated = true
 		rep, err := Spec{
 			Source:    Source{Instance: inst},
 			Hierarchy: hier,
@@ -130,8 +142,10 @@ func BaselineReport(inst *workload.Instance, hier cache.HierarchyConfig, base co
 	_, isShared := shared[inst]
 	sharedMu.Unlock()
 	if !isShared || !baselineMemoizable(base) {
-		return sim()
+		rep, err := sim()
+		return rep, simulated, err
 	}
 	key := baselineKey{inst: inst, table: base.Table, granularity: base.Granularity, hier: hier}
-	return baselines.Get(key, sim)
+	rep, err := baselines.Get(key, sim)
+	return rep, simulated, err
 }

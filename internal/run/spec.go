@@ -283,15 +283,21 @@ func (sess *Session) RunContext(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 	sess.sim = sim
-	for i, a := range sess.Instance.Accesses {
-		if i&(cancelCheckInterval-1) == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("run: %s cancelled at access %d of %d: %w",
-					sess.Instance.Name, i, len(sess.Instance.Accesses), err)
-			}
+	// Replay in blocks of the cancel-check interval: the context check
+	// lands on exactly the same access indices the per-access loop
+	// checked at, and the block in between runs on the batched path.
+	accs := sess.Instance.Accesses
+	for base := 0; base < len(accs); base += cancelCheckInterval {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("run: %s cancelled at access %d of %d: %w",
+				sess.Instance.Name, base, len(accs), err)
 		}
-		if err := sim.Step(a); err != nil {
-			return nil, fmt.Errorf("run: %s access %d: %w", sess.Instance.Name, i, err)
+		end := base + cancelCheckInterval
+		if end > len(accs) {
+			end = len(accs)
+		}
+		if n, err := sim.StepBatch(accs[base:end]); err != nil {
+			return nil, fmt.Errorf("run: %s access %d: %w", sess.Instance.Name, base+n, err)
 		}
 	}
 	rep := sim.Finish(sess.Instance.Name, sess.SimConfig.DOpts.Spec.String())

@@ -90,9 +90,13 @@ type BinaryReader struct {
 	off    int64 // byte offset of the next unread record
 }
 
+// binaryReadBufSize is the chunk size both file readers pull from the
+// underlying stream; one syscall covers thousands of records.
+const binaryReadBufSize = 64 * 1024
+
 // NewBinaryReader wraps r.
 func NewBinaryReader(r io.Reader) *BinaryReader {
-	return &BinaryReader{r: bufio.NewReader(r)}
+	return &BinaryReader{r: bufio.NewReaderSize(r, binaryReadBufSize)}
 }
 
 // fail records a terminal parse error annotated with the position of the
@@ -102,23 +106,30 @@ func (b *BinaryReader) fail(format string, args ...interface{}) (Access, bool) {
 	return Access{}, false
 }
 
-// Next implements Source.
-func (b *BinaryReader) Next() (Access, bool) {
+// readHeader consumes and checks the magic on the first record read.
+func (b *BinaryReader) readHeader() bool {
+	var magic [8]byte
+	if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+		b.err = fmt.Errorf("trace: reading magic: %w", err)
+		return false
+	}
+	if magic != binaryMagic {
+		b.err = fmt.Errorf("trace: bad magic %q", magic)
+		return false
+	}
+	b.header = true
+	b.off = int64(len(binaryMagic))
+	return true
+}
+
+// next parses one record. Write payloads are allocated through alloc so
+// batch decoding can pool them into one arena per block.
+func (b *BinaryReader) next(alloc func(int) []byte) (Access, bool) {
 	if b.err != nil {
 		return Access{}, false
 	}
-	if !b.header {
-		var magic [8]byte
-		if _, err := io.ReadFull(b.r, magic[:]); err != nil {
-			b.err = fmt.Errorf("trace: reading magic: %w", err)
-			return Access{}, false
-		}
-		if magic != binaryMagic {
-			b.err = fmt.Errorf("trace: bad magic %q", magic)
-			return Access{}, false
-		}
-		b.header = true
-		b.off = int64(len(binaryMagic))
+	if !b.header && !b.readHeader() {
+		return Access{}, false
 	}
 	var rec [10]byte
 	if n, err := io.ReadFull(b.r, rec[:]); err != nil {
@@ -136,7 +147,7 @@ func (b *BinaryReader) Next() (Access, bool) {
 		if a.Size <= 0 || a.Size > 64 {
 			return b.fail("corrupt write size %d", a.Size)
 		}
-		a.Data = make([]byte, a.Size)
+		a.Data = alloc(a.Size)
 		if n, err := io.ReadFull(b.r, a.Data); err != nil {
 			return b.fail("truncated write payload (%d of %d bytes): %v", n, a.Size, err)
 		}
@@ -147,6 +158,53 @@ func (b *BinaryReader) Next() (Access, bool) {
 	b.rec++
 	b.off += int64(len(rec) + len(a.Data))
 	return a, true
+}
+
+// Next implements Source.
+func (b *BinaryReader) Next() (Access, bool) {
+	return b.next(func(n int) []byte { return make([]byte, n) })
+}
+
+// NextBatch implements BatchSource. Write payloads in one batch share a
+// pooled arena, so decoding costs one allocation per block of writes
+// instead of one per record.
+func (b *BinaryReader) NextBatch(dst []Access) int {
+	var arena []byte
+	alloc := func(n int) []byte {
+		if cap(arena)-len(arena) < n {
+			// A fresh arena strands at most a few records' slack; the
+			// subslices already handed out keep their old backing array.
+			arena = make([]byte, 0, arenaSize(len(dst)))
+		}
+		off := len(arena)
+		arena = arena[:off+n]
+		return arena[off:]
+	}
+	n := 0
+	for n < len(dst) {
+		a, ok := b.next(alloc)
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
+// arenaSize picks the payload arena capacity for a batch of up to n
+// records: enough for n max-size writes, bounded to keep small batches
+// cheap and huge ones from over-reserving.
+func arenaSize(n int) int {
+	const maxArena = 1 << 20
+	sz := n * 64
+	if sz < 1024 {
+		sz = 1024
+	}
+	if sz > maxArena {
+		sz = maxArena
+	}
+	return sz
 }
 
 // Err implements Source.

@@ -88,14 +88,62 @@ func OpenFile(path string) (Source, io.Closer, error) {
 	return NewBinaryReader(r), closer, nil
 }
 
-// ReadFile loads an entire trace file.
+// readFileBatch is the block size ReadFile decodes per NextBatch call.
+const readFileBatch = 4096
+
+// ReadFile loads an entire trace file. The result slice is preallocated
+// from the file size (a record is at least 10 bytes in the binary
+// format) and filled in blocks, so loading a long trace does not churn
+// through geometric reallocation.
 func ReadFile(path string) ([]Access, error) {
 	src, closer, err := OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
 	defer closer.Close()
-	return Collect(src)
+	out := make([]Access, 0, recordCountHint(path))
+	for {
+		if cap(out)-len(out) < readFileBatch {
+			grown := make([]Access, len(out), 2*cap(out)+readFileBatch)
+			copy(grown, out)
+			out = grown
+		}
+		n := NextBatch(src, out[len(out):len(out)+readFileBatch])
+		if n == 0 {
+			break
+		}
+		out = out[:len(out)+n]
+	}
+	return out, src.Err()
+}
+
+// recordCountHint estimates the record count of a trace file from its
+// on-disk size: an upper bound for uncompressed binary (min 10 bytes
+// per record past the 8-byte magic), a density guess for text and
+// gzip. The hint is capped so a corrupt size cannot demand gigabytes.
+func recordCountHint(path string) int {
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() <= 0 {
+		return 0
+	}
+	size := fi.Size()
+	var hint int64
+	switch {
+	case strings.HasSuffix(path, ".gz"):
+		hint = size * 4 / 10 // assume ~4x compression over binary records
+	case isTextPath(path):
+		hint = size / 8 // "R 0x0 1\n" is the shortest line
+	default:
+		hint = (size - int64(len(binaryMagic))) / 10
+	}
+	const maxHint = 1 << 22
+	if hint > maxHint {
+		hint = maxHint
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	return int(hint)
 }
 
 // WriteFile stores a full access slice at path.

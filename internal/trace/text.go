@@ -88,6 +88,22 @@ func (t *TextReader) Next() (Access, bool) {
 	return Access{}, false
 }
 
+// NextBatch implements BatchSource. Text parsing dominates the cost per
+// record, so the batch form exists for interface uniformity: it fills
+// dst with a plain Next loop.
+func (t *TextReader) NextBatch(dst []Access) int {
+	n := 0
+	for n < len(dst) {
+		a, ok := t.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
 // Err implements Source.
 func (t *TextReader) Err() error { return t.err }
 

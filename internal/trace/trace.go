@@ -64,6 +64,22 @@ type Access struct {
 
 // Validate checks structural invariants.
 func (a Access) Validate() error {
+	// The valid cases return without calling out, keeping Validate
+	// inlineable into the replay loops that run it per access.
+	if a.Op <= Fetch && a.Size > 0 && a.Size <= 64 {
+		if a.Op == Write {
+			if len(a.Data) == a.Size {
+				return nil
+			}
+		} else if a.Data == nil {
+			return nil
+		}
+	}
+	return a.validateErr()
+}
+
+// validateErr builds the error for an access Validate rejected.
+func (a Access) validateErr() error {
 	if a.Op != Read && a.Op != Write && a.Op != Fetch {
 		return fmt.Errorf("trace: invalid op %d", a.Op)
 	}
@@ -71,13 +87,9 @@ func (a Access) Validate() error {
 		return fmt.Errorf("trace: size %d out of range [1,64]", a.Size)
 	}
 	if a.Op == Write {
-		if len(a.Data) != a.Size {
-			return fmt.Errorf("trace: write data length %d != size %d", len(a.Data), a.Size)
-		}
-	} else if a.Data != nil {
-		return fmt.Errorf("trace: %v access must not carry data", a.Op)
+		return fmt.Errorf("trace: write data length %d != size %d", len(a.Data), a.Size)
 	}
-	return nil
+	return fmt.Errorf("trace: %v access must not carry data", a.Op)
 }
 
 // IsWrite reports whether the access modifies memory.
@@ -109,6 +121,35 @@ type Source interface {
 	Err() error
 }
 
+// BatchSource is a Source that can fill a caller-owned block of
+// accesses in one call, amortizing per-record dispatch. NextBatch
+// returns the number of records written to dst; 0 means the stream is
+// exhausted or failed (consult Err). Records remain valid until the
+// next NextBatch call on the same source at the earliest — batch
+// replay loops must finish a block before fetching the next.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Access) int
+}
+
+// NextBatch fills dst from src, using the source's native batch decode
+// when it has one and falling back to a Next loop otherwise.
+func NextBatch(src Source, dst []Access) int {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
 // SliceSource adapts a slice of accesses to the Source interface.
 type SliceSource struct {
 	accs []Access
@@ -126,6 +167,13 @@ func (s *SliceSource) Next() (Access, bool) {
 	a := s.accs[s.pos]
 	s.pos++
 	return a, true
+}
+
+// NextBatch implements BatchSource with a single copy.
+func (s *SliceSource) NextBatch(dst []Access) int {
+	n := copy(dst, s.accs[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Err implements Source; a slice never fails.

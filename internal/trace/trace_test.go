@@ -284,3 +284,163 @@ func TestAccessString(t *testing.T) {
 		t.Errorf("write String = %q", got)
 	}
 }
+
+// encodeBinary renders accs in the binary format for reader tests.
+func encodeBinary(t *testing.T, accs []Access) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, a := range accs {
+		if err := w.Access(a); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestNextBatchMatchesSerialDecode(t *testing.T) {
+	want := randomAccesses(41, 257) // deliberately not a batch multiple
+	raw := encodeBinary(t, want)
+	for _, batch := range []int{1, 2, 3, 7, 64, 256, 257, 1000} {
+		r := NewBinaryReader(bytes.NewReader(raw))
+		var got []Access
+		dst := make([]Access, batch)
+		for {
+			n := r.NextBatch(dst)
+			if n == 0 {
+				break
+			}
+			// Copy out: payloads alias the reader's batch arena and a
+			// replay loop consumes them before the next block, but this
+			// test accumulates across blocks.
+			for _, a := range dst[:n] {
+				if a.Data != nil {
+					a.Data = append([]byte(nil), a.Data...)
+				}
+				got = append(got, a)
+			}
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("batch=%d: err = %v", batch, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch=%d: decoded stream differs from serial", batch)
+		}
+	}
+}
+
+func TestNextBatchArenaDoesNotAliasWithinBatch(t *testing.T) {
+	// All payloads inside one batch must be distinct subslices: writing
+	// through one must not disturb another.
+	accs := make([]Access, 64)
+	for i := range accs {
+		accs[i] = Access{Op: Write, Addr: uint64(i * 64), Size: 8, Data: []byte{byte(i), 1, 2, 3, 4, 5, 6, 7}}
+	}
+	raw := encodeBinary(t, accs)
+	r := NewBinaryReader(bytes.NewReader(raw))
+	dst := make([]Access, len(accs))
+	if n := r.NextBatch(dst); n != len(accs) {
+		t.Fatalf("NextBatch = %d, want %d (err %v)", n, len(accs), r.Err())
+	}
+	for i := range dst {
+		dst[i].Data[0] ^= 0xFF
+	}
+	for i, a := range dst {
+		want := []byte{byte(i) ^ 0xFF, 1, 2, 3, 4, 5, 6, 7}
+		if !bytes.Equal(a.Data, want) {
+			t.Fatalf("payload %d corrupted after neighbour writes: %x", i, a.Data)
+		}
+	}
+}
+
+func TestNextBatchTextMatchesSerial(t *testing.T) {
+	want := randomAccesses(42, 100)
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	for _, a := range want {
+		if err := w.Access(a); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	r := NewTextReader(bytes.NewReader(buf.Bytes()))
+	got := make([]Access, 0, len(want))
+	dst := make([]Access, 33)
+	for {
+		n := r.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		got = append(got, dst[:n]...)
+		dst = make([]Access, 33)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("text batch decode differs from serial")
+	}
+}
+
+func TestNextBatchGenericFallback(t *testing.T) {
+	// A Source without native batch support goes through the Next loop.
+	want := randomAccesses(43, 10)
+	src := Source(&nextOnlySource{accs: want})
+	dst := make([]Access, 4)
+	var got []Access
+	for {
+		n := NextBatch(src, dst)
+		if n == 0 {
+			break
+		}
+		got = append(got, dst[:n]...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback batch decode differs from serial")
+	}
+}
+
+type nextOnlySource struct {
+	accs []Access
+	pos  int
+}
+
+func (s *nextOnlySource) Next() (Access, bool) {
+	if s.pos >= len(s.accs) {
+		return Access{}, false
+	}
+	a := s.accs[s.pos]
+	s.pos++
+	return a, true
+}
+
+func (s *nextOnlySource) Err() error { return nil }
+
+func TestNextBatchErrorKeepsRecordPosition(t *testing.T) {
+	// A payload truncated mid-batch must surface the same positioned
+	// error the serial path reports.
+	accs := randomAccesses(44, 20)
+	raw := encodeBinary(t, accs)
+	raw = raw[:len(raw)-1]
+	serial := NewBinaryReader(bytes.NewReader(raw))
+	for {
+		if _, ok := serial.Next(); !ok {
+			break
+		}
+	}
+	batched := NewBinaryReader(bytes.NewReader(raw))
+	dst := make([]Access, 7)
+	for batched.NextBatch(dst) != 0 {
+	}
+	if serial.Err() == nil || batched.Err() == nil {
+		t.Fatalf("truncated trace must fail: serial=%v batched=%v", serial.Err(), batched.Err())
+	}
+	if serial.Err().Error() != batched.Err().Error() {
+		t.Fatalf("error mismatch:\n serial:  %v\n batched: %v", serial.Err(), batched.Err())
+	}
+}
