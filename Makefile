@@ -23,11 +23,16 @@
 #   make bench-replay-check  measure replay throughput and fail if it
 #                regressed more than 20% vs the committed
 #                BENCH_REPLAY.json (the CI bench job's gate)
+#   make serve-check  serving gate: race-enabled internal/server +
+#                cmd/cntd + cmd/cntbench suites, then the live
+#                scripts/serve_check.sh end-to-end (boot cntd on a
+#                random port, submit a compare over HTTP, diff the
+#                report against cntsim's stdout, SIGTERM → exit 0)
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 lint check fuzz fault obs-check results bench bench-json bench-replay-check
+.PHONY: tier1 tier2 lint check fuzz fault obs-check results bench bench-json bench-replay-check serve-check
 
 tier1:
 	$(GO) build ./...
@@ -95,3 +100,9 @@ bench-json:
 
 bench-replay-check:
 	$(GO) run ./cmd/cntbench -replay -quick -replay-baseline BENCH_REPLAY.json
+
+# The serving gate: every HTTP seam under -race, then a live daemon
+# driven over real sockets and drained with a real SIGTERM.
+serve-check:
+	$(GO) test -race ./internal/server/ ./cmd/cntd/ ./cmd/cntbench/
+	./scripts/serve_check.sh

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/experiments"
+	"repro/internal/server"
 )
 
 // outcome is everything one experiment produces; workers fill these and
@@ -74,6 +75,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cntbench:", err)
 		os.Exit(1)
 	}
+}
+
+// syncWriter makes a writer safe for concurrent use: the -progress
+// ticker goroutine, the metrics server and the main goroutine all share
+// one stderr.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // runStatus is the live view of a batch: which experiments are running
@@ -132,14 +147,21 @@ func (v view) String() string {
 }
 
 // metricsHandler serves the live status as JSON at /metrics and the
-// standard pprof surface under /debug/pprof/.
-func metricsHandler(st *runStatus) http.Handler {
+// standard pprof surface under /debug/pprof/. The snapshot is encoded
+// before any byte reaches the client, so a marshal failure becomes a
+// logged 500 — never a 200 with a truncated body — with the error on
+// errw (stderr).
+func metricsHandler(st *runStatus, errw io.Writer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := json.MarshalIndent(st.snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(errw, "cntbench: encoding /metrics:", err)
+			http.Error(w, "encoding metrics failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(st.snapshot())
+		w.Write(append(buf, '\n'))
 	})
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -161,6 +183,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 // runCtx is the command behind a testable seam. An unknown experiment
 // ID fails before any work starts or any output directory is created.
 func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	// The progress ticker and the metrics server write to stderr from
+	// their own goroutines; serialize every write onto one lock so they
+	// never interleave with (or race against) the main goroutine.
+	stderr = &syncWriter{w: stderr}
 	fs := flag.NewFlagSet("cntbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "results", "output directory")
@@ -240,9 +266,18 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		if err != nil {
 			return fmt.Errorf("-metrics-addr: %w", err)
 		}
-		defer ln.Close()
+		// The shared serving path (internal/server, also under cntd): a
+		// real http.Server with graceful Shutdown, so exiting drains any
+		// in-flight /metrics request instead of snapping the listener,
+		// and a serve-loop death after a successful bind is surfaced on
+		// stderr rather than silently swallowed.
+		hs := server.StartHTTP(ln, metricsHandler(status, stderr))
+		defer func() {
+			if err := hs.Shutdown(2 * time.Second); err != nil {
+				fmt.Fprintln(stderr, "cntbench: metrics server:", err)
+			}
+		}()
 		fmt.Fprintf(stderr, "serving metrics at http://%s/metrics\n", ln.Addr())
-		go http.Serve(ln, metricsHandler(status))
 	}
 	if *progress > 0 {
 		ticker := time.NewTicker(*progress)

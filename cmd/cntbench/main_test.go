@@ -153,7 +153,8 @@ func TestMetricsHandler(t *testing.T) {
 	st.start("E7")
 	st.start("E3")
 	st.finish("E3")
-	h := metricsHandler(st)
+	var handlerErr bytes.Buffer
+	h := metricsHandler(st, &handlerErr)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))

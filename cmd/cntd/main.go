@@ -1,0 +1,118 @@
+// Command cntd is the simulation-as-a-service daemon: a long-lived,
+// multi-tenant HTTP server that accepts run/compare specifications —
+// the same JSON documents cntsim -config reads — schedules them on a
+// bounded worker pool with per-tenant admission control, and serves
+// status documents, text reports byte-identical to cntsim's, streamed
+// obs events, live metrics, health and pprof.
+//
+// Usage:
+//
+//	cntd [-addr :7090] [-workers N] [-queue 64] [-tenant-inflight 8]
+//	     [-drain 10s] [-state-dir DIR]
+//
+// Submit a job:
+//
+//	curl -X POST http://localhost:7090/v1/runs \
+//	  -d '{"mode":"compare","tenant":"alice","spec":{"source":{"kernel":"mm"}}}'
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight HTTP
+// requests and running jobs get the -drain grace period to complete
+// (queued jobs are cancelled), finished-job artifacts are flushed
+// through atomicio, and the process exits 0. See docs/SERVER.md for
+// the API reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cntd:", err)
+		os.Exit(1)
+	}
+}
+
+// runCtx is the daemon behind a testable seam: flags parsed from args,
+// the listen address announced on stderr, and ctx cancellation playing
+// the role of SIGINT/SIGTERM. A clean drain returns nil.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cntd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":7090", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "concurrently-running jobs (0 = one per CPU)")
+	queue := fs.Int("queue", server.DefaultQueueDepth, "max queued jobs across all tenants (beyond it submissions get 429)")
+	tenantInflight := fs.Int("tenant-inflight", server.DefaultTenantInFlight, "max queued+running jobs per tenant (beyond it submissions get 429)")
+	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests and running jobs on shutdown")
+	stateDir := fs.String("state-dir", "", "write each finished job's status document here as <id>.json (atomic writes; empty disables)")
+	quiet := fs.Bool("quiet", false, "suppress per-job lifecycle log lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "cntd: "+format+"\n", a...)
+	}
+	reg := obs.NewRegistry()
+	sched := server.NewScheduler(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		TenantInFlight: *tenantInflight,
+		StateDir:       *stateDir,
+		Metrics:        reg,
+		Logf: func(format string, a ...any) {
+			if !*quiet {
+				logf(format, a...)
+			}
+		},
+	})
+	hs := server.StartHTTP(ln, server.NewHandler(sched, reg))
+	logf("listening at http://%s (workers=%d queue=%d tenant-inflight=%d)",
+		ln.Addr(), sched.Workers(), *queue, *tenantInflight)
+
+	select {
+	case <-ctx.Done():
+	case <-hs.Done():
+		// The serve loop died on its own — bubble the failure up so the
+		// process exits nonzero instead of lingering with no listener.
+		sched.Drain(0)
+		return fmt.Errorf("http server: %w", hs.Err())
+	}
+
+	// Graceful drain: stop the listener, let in-flight requests and
+	// running jobs finish inside the grace period, flush artifacts.
+	logf("draining (grace %s)", *drain)
+	shutErr := hs.Shutdown(*drain)
+	sched.Drain(*drain)
+	if shutErr != nil {
+		logf("shutdown: %v", shutErr)
+	}
+	logf("drained, exiting")
+	return nil
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/run"
+)
+
+// lockedBuffer is a Writer safe to share between the daemon goroutine
+// and the test's polling loop.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening at http://(\S+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL, the cancel that plays SIGTERM, and the exit channel.
+func startDaemon(t *testing.T, extraArgs ...string) (base string, stop context.CancelFunc, exited <-chan error, stderr *lockedBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	buf := &lockedBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extraArgs...)
+	go func() {
+		errs <- runCtx(ctx, args, io.Discard, buf)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(buf.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address; stderr: %s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Cleanup(cancel)
+	return base, cancel, errs, buf
+}
+
+func waitState(t *testing.T, base, id string, terminal ...string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		state, _ := doc["state"].(string)
+		for _, want := range terminal {
+			if state == want {
+				return doc
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon, submits the same mm compare
+// `cntsim -workload mm -compare` runs, and asserts the HTTP report is
+// byte-identical to a direct run.Session rendering. Then it delivers
+// the SIGTERM equivalent and requires a clean (exit 0) drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, stop, exited, _ := startDaemon(t)
+
+	body := `{"mode": "compare", "tenant": "e2e", "spec": {"source": {"kernel": "mm"}}}`
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body %s (%v)", data, err)
+	}
+
+	doc := waitState(t, base, sub.ID, "done", "partial", "failed")
+	if doc["state"] != "done" {
+		t.Fatalf("job finished as %v (error %v)", doc["state"], doc["error"])
+	}
+
+	resp, err = http.Get(base + "/v1/runs/" + sub.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report = %d; body: %s", resp.StatusCode, gotText)
+	}
+
+	// Reference: the identical spec through run.Session directly.
+	file, err := config.ParseBytes([]byte(`{"source": {"kernel": "mm"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := file.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := sess.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	run.WriteComparisonText(&want, sess.Instance, cmp)
+	if !bytes.Equal(gotText, want.Bytes()) {
+		t.Errorf("daemon report differs from direct run.Session output\n got: %q\nwant: %q", gotText, want.Bytes())
+	}
+
+	// SIGTERM equivalent: cancel the context, expect a clean drain.
+	stop()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+}
+
+// TestDaemonStateDirArtifacts: finished jobs leave parseable JSON
+// artifacts in -state-dir after the drain.
+func TestDaemonStateDirArtifacts(t *testing.T) {
+	stateDir := t.TempDir()
+	base, stop, exited, _ := startDaemon(t, "-state-dir", stateDir)
+
+	body := `{"spec": {"source": {"kernel": "fir"}}}`
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, base, sub.ID, "done")
+
+	stop()
+	if err := <-exited; err != nil {
+		t.Fatalf("daemon exited with error: %v", err)
+	}
+
+	path := filepath.Join(stateDir, sub.ID+".json")
+	artifact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ID     string          `json:"id"`
+		State  string          `json:"state"`
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal(artifact, &doc); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if doc.ID != sub.ID || doc.State != "done" || len(doc.Report) == 0 {
+		t.Fatalf("artifact = id %q state %q report %d bytes", doc.ID, doc.State, len(doc.Report))
+	}
+}
+
+// TestDaemonFlagErrors: bad invocations fail fast instead of serving.
+func TestDaemonFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"positional"},
+		{"-addr", "999.999.999.999:1"},
+	}
+	for _, args := range cases {
+		t.Run(fmt.Sprint(args), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := runCtx(ctx, args, io.Discard, io.Discard); err == nil {
+				t.Errorf("runCtx(%v) = nil, want error", args)
+			}
+		})
+	}
+}

@@ -31,7 +31,6 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/encoding"
-	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/obs"
@@ -218,15 +217,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		base := cmp.BaselineTotal()
-		fmt.Fprintf(stdout, "workload %s: %d accesses, baseline D-cache %s\n",
-			sess.Instance.Name, len(sess.Instance.Accesses), energy.Format(base))
-		for i, name := range cmp.Names {
-			rep := cmp.Reports[i]
-			fmt.Fprintf(stdout, "  %-13s D=%12s  saving=%+6.1f%%  switches=%d  drops=%.3f\n",
-				name, energy.Format(rep.DEnergy.Total()), 100*cmp.SavingOf(name),
-				rep.DSwitches, rep.DFIFO.DropRate())
-		}
+		simrun.WriteComparisonText(stdout, sess.Instance, cmp)
 		return nil
 	}
 
@@ -243,7 +234,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "replayed %d accesses in %.3fs (%.2f Maccess/s)\n",
 			n, secs, float64(n)/secs/1e6)
 	}
-	printReport(stdout, sess.Instance, rep.Report)
+	rep.WriteText(stdout)
 	if *inspect {
 		snap, err := sess.Snapshot()
 		if err != nil {
@@ -253,29 +244,4 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, snap.String())
 	}
 	return persist()
-}
-
-func printReport(w io.Writer, inst *workload.Instance, rep *core.Report) {
-	r, wr, f := inst.Counts()
-	fmt.Fprintf(w, "workload %s: %d accesses (R=%d W=%d F=%d)\n", inst.Name, len(inst.Accesses), r, wr, f)
-	fmt.Fprintf(w, "variant: %s  (H&D %d bits/line)\n", rep.Variant, rep.DMetaBits)
-	fmt.Fprintf(w, "L1D: %s\n", rep.DStats)
-	fmt.Fprintf(w, "     %s\n", rep.DEnergy.String())
-	fmt.Fprintf(w, "     switches=%d windows=%d fifo: enq=%d drop=%.3f\n",
-		rep.DSwitches, rep.DWindows, rep.DFIFO.Enqueued, rep.DFIFO.DropRate())
-	if rep.DFaults != (fault.Stats{}) {
-		fmt.Fprintf(w, "     faults: stuck=%d flips=%d upsets=%d corrupted-bits=%d\n",
-			rep.DFaults.StuckCells, rep.DFaults.ReadFlips+rep.DFaults.WriteFlips,
-			rep.DFaults.Upsets, rep.DFaults.CorruptedBits)
-	}
-	if rep.IStats.Accesses > 0 {
-		fmt.Fprintf(w, "L1I: %s\n", rep.IStats)
-		fmt.Fprintf(w, "     %s\n", rep.IEnergy.String())
-		if rep.IFaults != (fault.Stats{}) {
-			fmt.Fprintf(w, "     faults: stuck=%d flips=%d upsets=%d corrupted-bits=%d\n",
-				rep.IFaults.StuckCells, rep.IFaults.ReadFlips+rep.IFaults.WriteFlips,
-				rep.IFaults.Upsets, rep.IFaults.CorruptedBits)
-		}
-	}
-	fmt.Fprintf(w, "total L1 dynamic energy: %s\n", energy.Format(rep.DEnergy.Total()+rep.IEnergy.Total()))
 }

@@ -4,9 +4,15 @@
 // — in one reviewable file instead of a flag soup. A File resolves into
 // an internal/run.Spec, the unified drive path every tool executes
 // through.
+//
+// The same document doubles as the daemon's wire format: the "spec"
+// field of a POST /v1/runs body to cntd is exactly a File, so any
+// config file that drives cntsim locally can be submitted to a server
+// unchanged (see internal/server and docs/SERVER.md).
 package config
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -103,6 +109,12 @@ func Parse(r io.Reader) (*File, error) {
 		return nil, fmt.Errorf("config: %w", err)
 	}
 	return &out, nil
+}
+
+// ParseBytes parses a configuration document held in memory — the form
+// specs arrive in over cntd's HTTP API. Same strictness as Parse.
+func ParseBytes(data []byte) (*File, error) {
+	return Parse(bytes.NewReader(data))
 }
 
 // Spec materializes the document into a run specification, filling

@@ -38,6 +38,22 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{w: bufio.NewWriter(w)}
 }
 
+// MarshalEvent serializes one event as a versioned envelope record —
+// exactly the line JSONLSink writes, without the trailing newline. It
+// is the building block for sinks that deliver records somewhere other
+// than an io.Writer (e.g. cntd's per-job streaming event log).
+func MarshalEvent(e Event) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal %s event: %w", e.Kind(), err)
+	}
+	rec, err := json.Marshal(envelope{V: Version, T: e.Kind(), E: payload})
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal %s envelope: %w", e.Kind(), err)
+	}
+	return rec, nil
+}
+
 // Emit implements Sink. The first error sticks and suppresses further
 // writes.
 func (s *JSONLSink) Emit(e Event) {
@@ -46,14 +62,9 @@ func (s *JSONLSink) Emit(e Event) {
 	if s.err != nil {
 		return
 	}
-	payload, err := json.Marshal(e)
+	rec, err := MarshalEvent(e)
 	if err != nil {
-		s.err = fmt.Errorf("obs: marshal %s event: %w", e.Kind(), err)
-		return
-	}
-	rec, err := json.Marshal(envelope{V: Version, T: e.Kind(), E: payload})
-	if err != nil {
-		s.err = fmt.Errorf("obs: marshal %s envelope: %w", e.Kind(), err)
+		s.err = err
 		return
 	}
 	if _, err := s.w.Write(rec); err != nil {

@@ -1,0 +1,68 @@
+package run
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// Text rendering of run outcomes. This is THE human-readable report
+// format: cntsim prints it for CLI runs and cntd serves the same bytes
+// at /v1/runs/{id}/report, so a spec driven over HTTP and the same spec
+// driven locally are diffable byte for byte (make serve-check pins
+// this).
+
+// WriteText renders the single-run report exactly as cntsim prints it.
+func (r *Report) WriteText(w io.Writer) {
+	writeReportText(w, r.Instance, r.Report)
+}
+
+func writeReportText(w io.Writer, inst *workload.Instance, rep *core.Report) {
+	rd, wr, f := inst.Counts()
+	fmt.Fprintf(w, "workload %s: %d accesses (R=%d W=%d F=%d)\n", inst.Name, len(inst.Accesses), rd, wr, f)
+	fmt.Fprintf(w, "variant: %s  (H&D %d bits/line)\n", rep.Variant, rep.DMetaBits)
+	fmt.Fprintf(w, "L1D: %s\n", rep.DStats)
+	fmt.Fprintf(w, "     %s\n", rep.DEnergy.String())
+	fmt.Fprintf(w, "     switches=%d windows=%d fifo: enq=%d drop=%.3f\n",
+		rep.DSwitches, rep.DWindows, rep.DFIFO.Enqueued, rep.DFIFO.DropRate())
+	if rep.DFaults != (fault.Stats{}) {
+		fmt.Fprintf(w, "     faults: stuck=%d flips=%d upsets=%d corrupted-bits=%d\n",
+			rep.DFaults.StuckCells, rep.DFaults.ReadFlips+rep.DFaults.WriteFlips,
+			rep.DFaults.Upsets, rep.DFaults.CorruptedBits)
+	}
+	if rep.IStats.Accesses > 0 {
+		fmt.Fprintf(w, "L1I: %s\n", rep.IStats)
+		fmt.Fprintf(w, "     %s\n", rep.IEnergy.String())
+		if rep.IFaults != (fault.Stats{}) {
+			fmt.Fprintf(w, "     faults: stuck=%d flips=%d upsets=%d corrupted-bits=%d\n",
+				rep.IFaults.StuckCells, rep.IFaults.ReadFlips+rep.IFaults.WriteFlips,
+				rep.IFaults.Upsets, rep.IFaults.CorruptedBits)
+		}
+	}
+	fmt.Fprintf(w, "total L1 dynamic energy: %s\n", energy.Format(rep.DEnergy.Total()+rep.IEnergy.Total()))
+}
+
+// WriteComparisonText renders a variant comparison exactly as
+// cntsim -compare prints it. A nil report (a cell lost to a partial
+// failure, see PartialError) renders as a one-line placeholder instead
+// of its metrics row, so salvaged comparisons still produce a complete
+// table.
+func WriteComparisonText(w io.Writer, inst *workload.Instance, cmp *core.Comparison) {
+	base := cmp.BaselineTotal()
+	fmt.Fprintf(w, "workload %s: %d accesses, baseline D-cache %s\n",
+		inst.Name, len(inst.Accesses), energy.Format(base))
+	for i, name := range cmp.Names {
+		rep := cmp.Reports[i]
+		if rep == nil {
+			fmt.Fprintf(w, "  %-13s (no result)\n", name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-13s D=%12s  saving=%+6.1f%%  switches=%d  drops=%.3f\n",
+			name, energy.Format(rep.DEnergy.Total()), 100*cmp.SavingOf(name),
+			rep.DSwitches, rep.DFIFO.DropRate())
+	}
+}

@@ -105,12 +105,41 @@ func IsTransient(err error) bool {
 	return false
 }
 
+// maxRetryBackoff caps the exponential backoff between retry attempts.
+// Doubling must saturate here rather than keep shifting: an unbounded
+// `backoff << attempts` overflows time.Duration negative once the shift
+// passes ~63 bits, and a negative timer fires immediately — silently
+// turning exponential backoff into a hot retry loop.
+const maxRetryBackoff = 30 * time.Second
+
+// backoffFor returns the wait before retry attempt `attempt` (1-based):
+// base << (attempt-1), saturating at maxRetryBackoff. A base already at
+// or above the cap is returned unchanged — the cap bounds growth, it
+// never shortens what the caller asked for.
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if base >= maxRetryBackoff {
+		return base
+	}
+	shift := uint(attempt - 1)
+	// base > maxRetryBackoff>>shift is the overflow-free form of
+	// base<<shift > maxRetryBackoff; the >>shift side underflows to 0 for
+	// huge shifts, so the comparison saturates instead of wrapping.
+	if shift >= 63 || base > maxRetryBackoff>>shift {
+		return maxRetryBackoff
+	}
+	return base << shift
+}
+
 // Retry runs fn up to attempts times, sleeping backoff, 2*backoff,
-// 4*backoff, ... between tries. Only transient errors (IsTransient) are
-// retried: a deterministic failure returns immediately, and the final
-// attempt's error is returned unwrapped of the retry loop. A cancelled
-// ctx aborts the wait and returns ctx.Err(); attempts < 1 is treated
-// as 1 and a non-positive backoff retries immediately.
+// 4*backoff, ... between tries, saturating at maxRetryBackoff. Only
+// transient errors (IsTransient) are retried: a deterministic failure
+// returns immediately, and the final attempt's error is returned
+// unwrapped of the retry loop. A cancelled ctx aborts the wait and
+// returns ctx.Err(); attempts < 1 is treated as 1 and a non-positive
+// backoff retries immediately.
 func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
 	if attempts < 1 {
 		attempts = 1
@@ -122,7 +151,7 @@ func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func() e
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			if backoff > 0 {
-				t := time.NewTimer(backoff << uint(a-1))
+				t := time.NewTimer(backoffFor(backoff, a))
 				select {
 				case <-ctx.Done():
 					t.Stop()

@@ -306,6 +306,71 @@ func TestRetry(t *testing.T) {
 	})
 }
 
+// TestBackoffForNeverOverflows is the regression test for the shift
+// overflow: backoff << (attempt-1) with a large attempt count wrapped
+// time.Duration negative, so the retry timer fired immediately and
+// exponential backoff silently became a hot retry loop. The shifted
+// value must stay positive, monotonically non-decreasing, and saturate
+// at maxRetryBackoff for every attempt count.
+func TestBackoffForNeverOverflows(t *testing.T) {
+	base := 10 * time.Millisecond
+	prev := time.Duration(0)
+	for _, attempt := range []int{1, 2, 3, 10, 31, 32, 33, 62, 63, 64, 65, 100, 1 << 20, 1 << 30} {
+		d := backoffFor(base, attempt)
+		if d <= 0 {
+			t.Fatalf("backoffFor(%v, %d) = %v, overflowed non-positive", base, attempt, d)
+		}
+		if d > maxRetryBackoff {
+			t.Fatalf("backoffFor(%v, %d) = %v, exceeds cap %v", base, attempt, d, maxRetryBackoff)
+		}
+		if d < prev {
+			t.Fatalf("backoffFor(%v, %d) = %v, shrank below previous %v", base, attempt, d, prev)
+		}
+		prev = d
+	}
+	// Early attempts keep the exact doubling schedule.
+	for attempt, want := range map[int]time.Duration{1: base, 2: 2 * base, 3: 4 * base} {
+		if got := backoffFor(base, attempt); got != want {
+			t.Errorf("backoffFor(%v, %d) = %v, want %v", base, attempt, got, want)
+		}
+	}
+	// Saturation: once the schedule reaches the cap it stays there.
+	if got := backoffFor(base, 63); got != maxRetryBackoff {
+		t.Errorf("backoffFor(%v, 63) = %v, want cap %v", base, 63, maxRetryBackoff)
+	}
+	// A base above the cap is honored, never shortened.
+	big := 2 * maxRetryBackoff
+	if got := backoffFor(big, 5); got != big {
+		t.Errorf("backoffFor(%v, 5) = %v, want %v unchanged", big, got, big)
+	}
+	if got := backoffFor(0, 5); got != 0 {
+		t.Errorf("backoffFor(0, 5) = %v, want 0", got)
+	}
+}
+
+// TestRetryLargeAttemptCountStaysBounded drives Retry itself through a
+// large attempt budget with a context deadline: before the overflow
+// fix, attempt ~64 produced a negative timer and the loop went hot;
+// with the cap every wait is positive, so the deadline fires during a
+// backoff rather than after thousands of immediate retries.
+func TestRetryLargeAttemptCountStaysBounded(t *testing.T) {
+	cctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := Retry(cctx, 1<<20, 10*time.Millisecond, func() error {
+		calls++
+		return MarkTransient(errors.New("flaky"))
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// 50ms of budget over >=10ms waits bounds the attempts to a handful;
+	// a hot loop would have burned thousands.
+	if calls > 10 {
+		t.Fatalf("calls = %d, want a handful (backoff must actually wait)", calls)
+	}
+}
+
 func TestPartialErrorShape(t *testing.T) {
 	base := context.Canceled
 	pe := &PartialError{Cells: []CellError{

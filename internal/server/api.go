@@ -1,0 +1,375 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	httppprof "net/http/pprof"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/run"
+)
+
+// maxSubmitBytes bounds a POST /v1/runs body. Real submit documents
+// are a few hundred bytes; the cap keeps an abusive client from
+// turning the decoder into an unbounded allocation.
+const maxSubmitBytes = 1 << 20
+
+// SubmitDoc is the POST /v1/runs wire document. Spec is exactly an
+// internal/config.File — the same JSON that drives `cntsim -config`,
+// so any local run specification can be submitted to a daemon
+// unchanged. Unknown fields are rejected.
+type SubmitDoc struct {
+	// Tenant names the submitting tenant for admission control; ""
+	// is the anonymous tenant (still subject to the per-tenant cap).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders dispatch: higher values run first, FIFO within a
+	// level.
+	Priority int `json:"priority,omitempty"`
+	// Mode is "run" (default) or "compare".
+	Mode string `json:"mode,omitempty"`
+	// Events records the run's obs event stream for
+	// GET /v1/runs/{id}/events. Only valid for mode "run": a
+	// comparison's variants would interleave into one unattributable
+	// stream (the same reason cntsim refuses -trace-out with -compare).
+	Events bool `json:"events,omitempty"`
+	// Retries is the per-cell transient-retry budget of a compare job
+	// (run.Spec.Retries).
+	Retries int `json:"retries,omitempty"`
+	// Spec is the run specification.
+	Spec *config.File `json:"spec"`
+}
+
+// JobDoc is a job's status document: what GET /v1/runs/{id} serves and
+// what lands in the state directory as <id>.json. Results appear once
+// the job finishes — Report for mode "run", Comparison (plus
+// CellErrors for salvaged cells) for mode "compare".
+type JobDoc struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
+	Mode     string `json:"mode"`
+	Priority int    `json:"priority,omitempty"`
+	State    string `json:"state"`
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// Error is the job-level failure (state "failed" or "cancelled"),
+	// or the partial-failure summary (state "partial").
+	Error string `json:"error,omitempty"`
+	// CellErrors names each comparison cell lost to a partial failure.
+	CellErrors map[string]string `json:"cell_errors,omitempty"`
+	Report     *core.Report      `json:"report,omitempty"`
+	Comparison *core.Comparison  `json:"comparison,omitempty"`
+	// EventsURL is set when the job records an event stream.
+	EventsURL string `json:"events_url,omitempty"`
+}
+
+// encode writes the document as one JSON object. Compact on purpose:
+// the nested report bytes are exactly json.Marshal(*core.Report), so a
+// client can diff them against a local run's marshalled report.
+func (d *JobDoc) encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(d)
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(time.RFC3339Nano)
+}
+
+// docLocked builds a job's full status document. Callers hold s.mu.
+func (s *Scheduler) docLocked(j *Job) *JobDoc {
+	doc := &JobDoc{
+		ID:       j.ID,
+		Tenant:   j.Tenant,
+		Mode:     j.Mode,
+		Priority: j.Priority,
+		State:    j.state,
+		Created:  stamp(j.created),
+		Started:  stamp(j.started),
+		Finished: stamp(j.finished),
+	}
+	if j.err != nil {
+		doc.Error = j.err.Error()
+	}
+	if len(j.cellErrs) > 0 {
+		doc.CellErrors = j.cellErrs
+	}
+	if j.report != nil {
+		doc.Report = j.report.Report
+	}
+	doc.Comparison = j.cmp
+	if j.events != nil {
+		doc.EventsURL = "/v1/runs/" + j.ID + "/events"
+	}
+	return doc
+}
+
+// Doc returns a job's status document: full includes results, brief
+// (full=false) is the listing shape with results elided.
+func (s *Scheduler) Doc(j *Job, full bool) *JobDoc {
+	s.mu.Lock()
+	doc := s.docLocked(j)
+	s.mu.Unlock()
+	if !full {
+		doc.Report = nil
+		doc.Comparison = nil
+		doc.CellErrors = nil
+	}
+	return doc
+}
+
+// NewHandler returns the daemon's HTTP surface over a scheduler:
+//
+//	POST   /v1/runs             submit a job (SubmitDoc) → 202 JobDoc
+//	GET    /v1/runs[?tenant=t]  list jobs (brief docs)
+//	GET    /v1/runs/{id}        status document
+//	GET    /v1/runs/{id}/report text report, byte-identical to cntsim's
+//	GET    /v1/runs/{id}/events stream the recorded obs JSONL events
+//	DELETE /v1/runs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness + job-state counts
+//	GET    /metrics             obs registry snapshot (JSON)
+//	GET    /debug/pprof/        standard pprof surface
+//
+// reg may be nil (metrics serves an empty registry snapshot then).
+func NewHandler(s *Scheduler, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs(r.URL.Query().Get("tenant"))
+		docs := make([]*JobDoc, len(jobs))
+		for i, j := range jobs {
+			docs[i] = s.Doc(j, false)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Doc(j, true))
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		handleReport(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(s, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, cancelled := s.Cancel(r.PathValue("id"))
+		if j == nil {
+			httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		if !cancelled {
+			httpError(w, http.StatusConflict, "job %s already %s", j.ID, s.Doc(j, false).State)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, s.Doc(j, false))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": s.Counts()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		registry := reg
+		if registry == nil {
+			registry = obs.NewRegistry()
+		}
+		// Buffer the snapshot so an encode failure becomes a clean 500
+		// instead of a 200 with a truncated body.
+		var buf bytes.Buffer
+		if err := registry.WriteJSON(&buf); err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding metrics: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// handleSubmit validates a submission eagerly — every structural error
+// a spec could hit surfaces as a 400 here, before the job is admitted
+// — then runs it through admission control.
+func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	var doc SubmitDoc
+	if err := strictDecode(body, &doc); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing submit document: %v", err)
+		return
+	}
+	mode := doc.Mode
+	if mode == "" {
+		mode = ModeRun
+	}
+	if mode != ModeRun && mode != ModeCompare {
+		httpError(w, http.StatusBadRequest, "unknown mode %q (want %q or %q)", doc.Mode, ModeRun, ModeCompare)
+		return
+	}
+	if doc.Events && mode == ModeCompare {
+		httpError(w, http.StatusBadRequest, "events cannot be recorded for a compare job (the variants' streams would interleave)")
+		return
+	}
+	if doc.Spec == nil {
+		httpError(w, http.StatusBadRequest, "submit document needs a spec")
+		return
+	}
+	spec, err := doc.Spec.Spec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec.Retries = doc.Retries
+	if err := spec.Source.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := spec.Configure(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.Submit(JobRequest{
+		Tenant:   doc.Tenant,
+		Priority: doc.Priority,
+		Mode:     mode,
+		Events:   doc.Events,
+		Spec:     spec,
+	})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, s.Doc(j, false))
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantBusy):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleReport renders a finished job's text report — the same bytes
+// cntsim prints for the same spec (internal/run's shared renderers).
+func handleReport(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	rep := j.report
+	cmp := j.cmp
+	inst := j.inst
+	s.mu.Unlock()
+	if state != StateDone && state != StatePartial {
+		httpError(w, http.StatusConflict, "job %s is %s, report not available", j.ID, state)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case rep != nil:
+		rep.WriteText(w)
+	case cmp != nil && inst != nil:
+		run.WriteComparisonText(w, inst, cmp)
+	default:
+		httpError(w, http.StatusInternalServerError, "job %s finished without a result", j.ID)
+	}
+}
+
+// handleEvents streams a job's recorded obs events as JSONL, following
+// live appends until the job finishes or the client disconnects.
+func handleEvents(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.events == nil {
+		httpError(w, http.StatusNotFound, "job %s recorded no events (submit with \"events\": true)", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		lines, closed, wake := j.events.next(sent)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+		}
+		sent += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if closed && len(lines) == 0 {
+			return
+		}
+		if len(lines) == 0 {
+			select {
+			case <-wake:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// strictDecode unmarshals exactly one JSON value, rejecting unknown
+// fields and trailing garbage — the same strictness as config.Parse.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after document")
+	}
+	return nil
+}
+
+// writeJSON marshals v fully before touching the response, so an
+// encode failure becomes a clean 500 rather than a truncated 200.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+	io.WriteString(w, "\n")
+}
+
+// httpError emits a JSON error document with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// eventLog is a per-job, append-only buffer of serialized obs events —
+// the server-side replacement for cntsim's -trace-out file. The job's
+// simulation Emits into it (it implements obs.Sink) while any number
+// of HTTP clients stream the accumulated JSONL lines concurrently,
+// each following live appends until the log closes with the job.
+//
+// Records are exactly what obs.JSONLSink would have written
+// (obs.MarshalEvent), so a streamed trace decodes with obs.Decoder and
+// reconciles through cntstat like a file-written one.
+type eventLog struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	err    error
+	// wake is closed and replaced whenever lines grows or the log
+	// closes, waking every follower blocked in next.
+	wake chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// Emit implements obs.Sink. The first marshal failure latches, like
+// JSONLSink's sticky error, and is surfaced by err() after close.
+func (l *eventLog) Emit(e obs.Event) {
+	rec, err := obs.MarshalEvent(e)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		return
+	}
+	l.lines = append(l.lines, rec)
+	l.broadcast()
+}
+
+// close marks the stream complete; followers drain what exists and
+// stop waiting. Idempotent.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.broadcast()
+}
+
+// broadcast wakes all followers. Callers hold l.mu.
+func (l *eventLog) broadcast() {
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// next returns the lines appended since offset from, whether the log
+// is complete, and a channel that closes on the next append or close —
+// the follow loop of the events handler: stream what's new, and when
+// there is nothing new and the log is still open, wait on the channel.
+func (l *eventLog) next(from int) (lines [][]byte, closed bool, wake <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.lines) {
+		lines = l.lines[from:]
+	}
+	return lines, l.closed, l.wake
+}
+
+// error returns the latched marshal failure, if any.
+func (l *eventLog) error() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

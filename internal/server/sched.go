@@ -1,0 +1,522 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/run"
+	"repro/internal/workload"
+)
+
+// Job modes.
+const (
+	// ModeRun executes the spec once and reports a single run.Report.
+	ModeRun = "run"
+	// ModeCompare runs the spec's instance under the full registered
+	// variant set (run.Session.Compare) with per-cell retry/salvage.
+	ModeCompare = "compare"
+)
+
+// Job states. A job moves queued → running → one of the terminal
+// states; cancelled can also be reached straight from queued.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StatePartial   = "partial" // compare finished but lost cells (run.PartialError)
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Admission-control rejections. The API layer maps these to HTTP 429
+// (full queue, busy tenant) and 503 (draining).
+var (
+	// ErrQueueFull rejects a submission when the shared queue is at
+	// Config.QueueDepth — global backpressure.
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrTenantBusy rejects a submission when the tenant already has
+	// Config.TenantInFlight jobs queued or running — one tenant cannot
+	// starve the rest.
+	ErrTenantBusy = errors.New("server: tenant at max in-flight jobs")
+	// ErrDraining rejects every submission once Drain has begun.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Default admission limits.
+const (
+	DefaultQueueDepth     = 64
+	DefaultTenantInFlight = 8
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Workers bounds concurrently-running jobs; <= 0 means one per CPU.
+	// Each job may additionally fan out internally per its spec's Jobs
+	// field (comparison cells), so total simulation parallelism is
+	// Workers × Spec.Jobs.
+	Workers int
+	// QueueDepth bounds jobs waiting to run across all tenants; a
+	// submission beyond it is rejected with ErrQueueFull. <= 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// TenantInFlight bounds one tenant's queued+running jobs; beyond it
+	// submissions are rejected with ErrTenantBusy. <= 0 means
+	// DefaultTenantInFlight.
+	TenantInFlight int
+	// StateDir, when non-empty, receives every finished job's status
+	// document as <id>.json, written through atomicio so a crash or
+	// shutdown never publishes a truncated artifact.
+	StateDir string
+	// Metrics, when non-nil, receives the scheduler's counters and
+	// gauges (server.jobs.*).
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives one line per job lifecycle edge.
+	Logf func(format string, args ...any)
+}
+
+// JobRequest is a validated submission: the API layer has already
+// turned the wire document into a resolvable run.Spec.
+type JobRequest struct {
+	Tenant   string
+	Priority int
+	Mode     string
+	Events   bool
+	Spec     run.Spec
+}
+
+// Job is one scheduled simulation. All mutable fields are guarded by
+// the owning Scheduler's mutex; handlers read them only through
+// snapshot methods.
+type Job struct {
+	ID       string
+	Tenant   string
+	Priority int
+	Mode     string
+	Spec     run.Spec
+
+	seq       int
+	state     string
+	err       error
+	cellErrs  map[string]string
+	report    *run.Report
+	cmp       *core.Comparison
+	inst      *workload.Instance
+	events    *eventLog
+	cancelRun context.CancelFunc
+	// runBegun is the per-job context, created when a worker claims the
+	// job; cancelRun cancels it.
+	runBegun context.Context
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Scheduler admits, queues and executes jobs on a bounded worker pool.
+type Scheduler struct {
+	cfg     Config
+	workers int
+
+	// runCtx cancels every running job at once — the hard stop behind
+	// Drain's deadline.
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Job
+	jobs     map[string]*Job
+	order    []*Job // submission order, for listing
+	inflight map[string]int
+	queuedN  int
+	runningN int
+	draining bool
+	seq      int
+
+	mSubmitted, mRejected      *obs.Counter
+	mDone, mFailed, mCancelled *obs.Counter
+	gQueued, gRunning          *obs.Gauge
+
+	// runHook, when set, runs in the worker before a claimed job
+	// resolves; a non-nil return fails the job with that error. Test
+	// seam for holding workers busy and forcing failures; never set in
+	// production.
+	runHook func(ctx context.Context, j *Job) error
+}
+
+// NewScheduler starts the worker pool and returns the scheduler. It
+// must be stopped with Drain.
+func NewScheduler(cfg Config) *Scheduler {
+	s := &Scheduler{
+		cfg:      cfg,
+		workers:  run.Jobs(cfg.Workers),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]int),
+	}
+	if s.cfg.QueueDepth <= 0 {
+		s.cfg.QueueDepth = DefaultQueueDepth
+	}
+	if s.cfg.TenantInFlight <= 0 {
+		s.cfg.TenantInFlight = DefaultTenantInFlight
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	if reg := cfg.Metrics; reg != nil {
+		s.mSubmitted = reg.Counter("server.jobs.submitted")
+		s.mRejected = reg.Counter("server.jobs.rejected")
+		s.mDone = reg.Counter("server.jobs.done")
+		s.mFailed = reg.Counter("server.jobs.failed")
+		s.mCancelled = reg.Counter("server.jobs.cancelled")
+		s.gQueued = reg.Gauge("server.jobs.queued")
+		s.gRunning = reg.Gauge("server.jobs.running")
+	}
+	s.wg.Add(s.workers)
+	for w := 0; w < s.workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Workers reports the size of the worker pool.
+func (s *Scheduler) Workers() int { return s.workers }
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit admits a job or rejects it with one of the admission errors.
+// Admission is the only backpressure seam: once admitted, a job will
+// reach a terminal state. FIFO order is kept within each priority
+// level; higher Priority values dispatch first.
+func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.count(s.mRejected)
+		return nil, ErrDraining
+	}
+	if s.queuedN >= s.cfg.QueueDepth {
+		s.count(s.mRejected)
+		return nil, ErrQueueFull
+	}
+	if s.inflight[req.Tenant] >= s.cfg.TenantInFlight {
+		s.count(s.mRejected)
+		return nil, ErrTenantBusy
+	}
+	s.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%06d", s.seq),
+		Tenant:   req.Tenant,
+		Priority: req.Priority,
+		Mode:     req.Mode,
+		Spec:     req.Spec,
+		seq:      s.seq,
+		state:    StateQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	if req.Events {
+		j.events = newEventLog()
+		j.Spec.Trace = j.events
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.queue = append(s.queue, j)
+	s.queuedN++
+	s.inflight[req.Tenant]++
+	s.count(s.mSubmitted)
+	s.gauge()
+	s.cond.Signal()
+	s.logf("job %s queued (tenant=%q mode=%s priority=%d)", j.ID, j.Tenant, j.Mode, j.Priority)
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order, optionally
+// filtered by tenant.
+func (s *Scheduler) Jobs(tenant string) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, j := range s.order {
+		if tenant == "" || j.Tenant == tenant {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job never runs, a running job's
+// context is cancelled and its replay aborts at the next check
+// interval. Cancelling a finished job is a no-op returning false.
+func (s *Scheduler) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	switch j.state {
+	case StateQueued:
+		s.dequeue(j)
+		s.finishLocked(j, nil, nil, context.Canceled)
+		s.mu.Unlock()
+		return j, true
+	case StateRunning:
+		cancel := j.cancelRun
+		s.mu.Unlock()
+		cancel()
+		return j, true
+	default:
+		s.mu.Unlock()
+		return j, false
+	}
+}
+
+// dequeue removes a job from the pending queue. Callers hold s.mu.
+func (s *Scheduler) dequeue(victim *Job) {
+	for i, j := range s.queue {
+		if j == victim {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.queuedN--
+			return
+		}
+	}
+}
+
+// pop blocks until a job is dispatchable and claims it, or returns nil
+// when the scheduler is draining and the queue is empty. Dispatch
+// order: highest priority first, FIFO (submission order) within a
+// priority level.
+func (s *Scheduler) pop() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.queue) > 0 {
+			best := 0
+			for i, j := range s.queue {
+				if j.Priority > s.queue[best].Priority {
+					best = i
+				}
+			}
+			j := s.queue[best]
+			s.queue = append(s.queue[:best], s.queue[best+1:]...)
+			s.queuedN--
+			j.state = StateRunning
+			j.started = time.Now()
+			s.runningN++
+			ctx, cancel := context.WithCancel(s.runCtx)
+			j.cancelRun = cancel
+			j.runBegun = ctx
+			s.gauge()
+			return j
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// worker executes jobs until the scheduler drains.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.pop()
+		if j == nil {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute resolves and runs one claimed job, then records its outcome.
+func (s *Scheduler) execute(j *Job) {
+	ctx := j.runBegun
+	defer j.cancelRun()
+	s.logf("job %s running", j.ID)
+	if hook := s.runHook; hook != nil {
+		if err := hook(ctx, j); err != nil {
+			s.finish(j, nil, nil, err)
+			return
+		}
+	}
+	sess, err := j.Spec.Resolve()
+	if err != nil {
+		s.finish(j, nil, nil, err)
+		return
+	}
+	s.mu.Lock()
+	j.inst = sess.Instance
+	s.mu.Unlock()
+	switch j.Mode {
+	case ModeCompare:
+		cmp, err := sess.CompareContext(ctx)
+		s.finish(j, nil, cmp, err)
+	default:
+		rep, err := sess.RunContext(ctx)
+		s.finish(j, rep, nil, err)
+	}
+}
+
+// finish records a job's terminal state and flushes its artifact.
+func (s *Scheduler) finish(j *Job, rep *run.Report, cmp *core.Comparison, err error) {
+	s.mu.Lock()
+	s.runningN--
+	s.finishLocked(j, rep, cmp, err)
+	doc := s.docLocked(j)
+	s.mu.Unlock()
+	s.flushArtifact(doc)
+}
+
+// finishLocked classifies the outcome and closes the job. Callers hold
+// s.mu; queue/running accounting is the caller's (finish decrements
+// runningN, Cancel has already dequeued).
+func (s *Scheduler) finishLocked(j *Job, rep *run.Report, cmp *core.Comparison, err error) {
+	j.report = rep
+	j.cmp = cmp
+	j.finished = time.Now()
+	var perr *run.PartialError
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.count(s.mDone)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.err = err
+		s.count(s.mCancelled)
+	case errors.As(err, &perr):
+		// A salvaged comparison: completed cells are kept, lost cells are
+		// named in the status document — the job reports partial results
+		// instead of dying (run.Session's retry budget already spent).
+		j.state = StatePartial
+		j.err = err
+		j.cellErrs = make(map[string]string, len(perr.Cells))
+		for name, cellErr := range perr.ErrorMap() {
+			j.cellErrs[name] = cellErr.Error()
+		}
+		s.count(s.mDone)
+	default:
+		j.state = StateFailed
+		j.err = err
+		s.count(s.mFailed)
+	}
+	if j.events != nil {
+		j.events.close()
+	}
+	s.inflight[j.Tenant]--
+	if s.inflight[j.Tenant] <= 0 {
+		delete(s.inflight, j.Tenant)
+	}
+	s.gauge()
+	close(j.done)
+	if j.err != nil {
+		s.logf("job %s %s: %v", j.ID, j.state, j.err)
+	} else {
+		s.logf("job %s %s", j.ID, j.state)
+	}
+}
+
+// flushArtifact persists a finished job's status document to StateDir.
+func (s *Scheduler) flushArtifact(doc *JobDoc) {
+	if s.cfg.StateDir == "" || doc == nil {
+		return
+	}
+	path := filepath.Join(s.cfg.StateDir, doc.ID+".json")
+	if err := atomicio.WriteTo(path, doc.encode); err != nil {
+		s.logf("job %s: writing artifact %s: %v", doc.ID, path, err)
+	}
+}
+
+// Drain stops the scheduler: no new submissions, queued jobs are
+// cancelled, and running jobs get until the timeout to complete before
+// their contexts are cancelled (timeout <= 0 cancels immediately). It
+// returns once every worker has exited; finished-job state remains
+// queryable afterwards.
+func (s *Scheduler) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		queued := s.queue
+		s.queue = nil
+		s.queuedN = 0
+		for _, j := range queued {
+			s.finishLocked(j, nil, nil, context.Canceled)
+		}
+		docs := make([]*JobDoc, 0, len(queued))
+		for _, j := range queued {
+			docs = append(docs, s.docLocked(j))
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		for _, doc := range docs {
+			s.flushArtifact(doc)
+		}
+	} else {
+		s.mu.Unlock()
+	}
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	if timeout > 0 {
+		select {
+		case <-workersDone:
+			return
+		case <-time.After(timeout):
+		}
+	}
+	// Deadline passed (or no grace requested): hard-cancel running jobs
+	// and wait for the workers to record their cancelled outcomes.
+	s.cancelRun()
+	<-workersDone
+}
+
+// Counts reports how many jobs sit in each state — the health
+// endpoint's payload.
+func (s *Scheduler) Counts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for _, j := range s.order {
+		out[j.state]++
+	}
+	return out
+}
+
+func (s *Scheduler) count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (s *Scheduler) gauge() {
+	if s.gQueued != nil {
+		s.gQueued.Observe(int64(s.queuedN))
+	}
+	if s.gRunning != nil {
+		s.gRunning.Observe(int64(s.runningN))
+	}
+}

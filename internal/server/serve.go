@@ -1,0 +1,88 @@
+// Package server is the HTTP serving layer of the reproduction: the
+// one place a listener is turned into a running, gracefully-stoppable
+// http.Server (StartHTTP/Shutdown — shared by cntd and cntbench
+// -metrics-addr), plus the simulation-as-a-service daemon behind
+// cmd/cntd — a Scheduler that admits run/compare jobs per tenant,
+// executes them on a bounded worker pool through internal/run, and an
+// API handler (NewHandler) that exposes submission, status, report
+// rendering, JSONL event streaming, cancellation, metrics and health.
+//
+// See docs/SERVER.md for the API reference and admission-control
+// semantics.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTP is a server started on a live listener, owning the serve
+// goroutine and its error. It exists so every command serves HTTP the
+// same way: through http.Server with a graceful Shutdown, a serve
+// error that is surfaced instead of discarded, and in-flight requests
+// drained — never a bare `go http.Serve(ln, h)` whose failure after a
+// successful bind is silent and whose shutdown aborts live requests.
+type HTTP struct {
+	srv  *http.Server
+	done chan struct{}
+	err  error
+}
+
+// StartHTTP serves h on ln in a background goroutine. The returned
+// handle must be resolved with Shutdown (or observed via Done/Err):
+// dropping it leaks the serve goroutine until the listener dies.
+func StartHTTP(ln net.Listener, h http.Handler) *HTTP {
+	hs := &HTTP{
+		srv:  &http.Server{Handler: h},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(hs.done)
+		if err := hs.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			hs.err = err
+		}
+	}()
+	return hs
+}
+
+// Done is closed once the serve loop has exited (clean shutdown or
+// serve failure). After Done, Err reports the failure, if any.
+func (h *HTTP) Done() <-chan struct{} { return h.done }
+
+// Err returns the serve loop's failure: nil while still serving, nil
+// after a clean shutdown, and the underlying error when Serve died on
+// anything but ErrServerClosed (e.g. the listener was torn down under
+// it).
+func (h *HTTP) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// Shutdown gracefully drains the server: the listener closes
+// immediately, in-flight requests get until the timeout to complete
+// (no limit when timeout <= 0), then the serve goroutine is awaited.
+// It returns the serve loop's own failure first — a server that died
+// before shutdown reports why it died, not the shutdown's view — and
+// the drain error (context.DeadlineExceeded) when requests outlived
+// the timeout. Safe to call more than once.
+func (h *HTTP) Shutdown(timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	shutErr := h.srv.Shutdown(ctx)
+	<-h.done
+	if h.err != nil {
+		return h.err
+	}
+	return shutErr
+}

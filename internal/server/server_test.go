@@ -1,0 +1,654 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/run"
+)
+
+// newTestServer wires a scheduler and its API onto an httptest server.
+func newTestServer(t *testing.T, cfg Config) (*Scheduler, *httptest.Server) {
+	t.Helper()
+	s := NewScheduler(cfg)
+	ts := httptest.NewServer(NewHandler(s, cfg.Metrics))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(0)
+	})
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/runs: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, data
+}
+
+func submitOK(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, data := post(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202; body: %s", resp.StatusCode, data)
+	}
+	var doc JobDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if doc.ID == "" || doc.State != StateQueued {
+		t.Fatalf("submit doc = %+v, want an id and state %q", doc, StateQueued)
+	}
+	return doc.ID
+}
+
+// waitJob blocks until the job reaches a terminal state.
+func waitJob(t *testing.T, s *Scheduler, id string) *Job {
+	t.Helper()
+	j, ok := s.Get(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s never finished", id)
+	}
+	return j
+}
+
+// TestSubmitValidation drives the eager-validation seam: every broken
+// submit document must be rejected with a 400 before admission, with a
+// JSON error body.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not-json", "not json at all"},
+		{"unknown-field", `{"bogus": 1, "spec": {"source": {"kernel": "mm"}}}`},
+		{"trailing-garbage", `{"spec": {"source": {"kernel": "mm"}}} trailing`},
+		{"missing-spec", `{"mode": "run"}`},
+		{"no-source", `{"spec": {"device": "cnfet-32"}}`},
+		{"two-sources", `{"spec": {"source": {"kernel": "mm", "program": "matmul"}}}`},
+		{"bad-mode", `{"mode": "sweep", "spec": {"source": {"kernel": "mm"}}}`},
+		{"bad-variant", `{"spec": {"source": {"kernel": "mm"}, "dcache": {"variant": "no-such-variant"}}}`},
+		{"bad-device", `{"spec": {"source": {"kernel": "mm"}, "device": "no-such-device"}}`},
+		{"bad-geometry", `{"spec": {"source": {"kernel": "mm"}, "l1d": {"sets": -1, "ways": 2, "line_bytes": 64}}}`},
+		{"bad-predictor", `{"spec": {"source": {"kernel": "mm"}, "dcache": {"predictor": "oracle"}}}`},
+		{"events-with-compare", `{"mode": "compare", "events": true, "spec": {"source": {"kernel": "mm"}}}`},
+		{"unknown-spec-field", `{"spec": {"source": {"kernel": "mm"}, "nope": true}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body: %s", resp.StatusCode, data)
+			}
+			var errDoc struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(data, &errDoc); err != nil || errDoc.Error == "" {
+				t.Fatalf("error body = %q, want a JSON {error: ...} document (%v)", data, err)
+			}
+		})
+	}
+}
+
+// TestUnknownJob404 covers every per-job route with a bogus id.
+func TestUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	paths := []string{"/v1/runs/job-999999", "/v1/runs/job-999999/report", "/v1/runs/job-999999/events"}
+	for _, p := range paths {
+		resp, data := get(t, ts, p)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s status = %d, want 404; body: %s", p, resp.StatusCode, data)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/job-999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// blockWorkers installs a runHook that parks every worker on a channel
+// and returns the release function.
+func blockWorkers(s *Scheduler) (release func(), started <-chan string) {
+	gate := make(chan struct{})
+	begun := make(chan string, 64)
+	var once sync.Once
+	s.runHook = func(ctx context.Context, j *Job) error {
+		begun <- j.ID
+		select {
+		case <-gate:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return func() { once.Do(func() { close(gate) }) }, begun
+}
+
+// TestAdmissionControl exercises the backpressure seams over HTTP: a
+// full queue and a busy tenant both answer 429 with Retry-After, and
+// capacity freed by a finishing job re-admits.
+func TestAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, TenantInFlight: 2})
+	release, begun := blockWorkers(s)
+	defer release()
+
+	spec := `{"tenant": "alice", "spec": {"source": {"kernel": "mm"}}}`
+	id1 := submitOK(t, ts, spec) // claimed by the (blocked) worker
+	<-begun                      // now running, queue empty
+	id2 := submitOK(t, ts, spec) // sits in the queue (depth 1)
+
+	// Queue full: a second tenant is rejected with 429 even though its
+	// own in-flight count is zero.
+	resp, data := post(t, ts, `{"tenant": "bob", "spec": {"source": {"kernel": "mm"}}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full status = %d, want 429; body: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+
+	// Tenant cap: alice already has 2 in flight (1 running + 1 queued);
+	// even with queue room she is rejected.
+	s2, ts2 := newTestServer(t, Config{Workers: 1, QueueDepth: 10, TenantInFlight: 2})
+	release2, begun2 := blockWorkers(s2)
+	defer release2()
+	submitOK(t, ts2, spec)
+	<-begun2
+	submitOK(t, ts2, spec)
+	resp, data = post(t, ts2, spec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tenant-cap status = %d, want 429; body: %s", resp.StatusCode, data)
+	}
+	// A different tenant still gets in: the cap is per tenant.
+	submitOK(t, ts2, `{"tenant": "bob", "spec": {"source": {"kernel": "mm"}}}`)
+
+	// Freeing capacity re-admits.
+	release()
+	waitJob(t, s, id1)
+	waitJob(t, s, id2)
+	submitOK(t, ts, spec)
+}
+
+// TestPriorityDispatchOrder proves dispatch is highest-priority-first
+// and FIFO within a level.
+func TestPriorityDispatchOrder(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1, QueueDepth: 16})
+	defer s.Drain(0)
+	release, begun := blockWorkers(s)
+	defer release()
+
+	spec := run.Spec{Source: run.Source{Kernel: "mm"}}
+	first, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begun // worker busy with first; the rest queue up
+
+	var ids []string
+	for _, pri := range []int{0, 5, 1, 5, 9} {
+		j, err := s.Submit(JobRequest{Mode: ModeRun, Priority: pri, Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	release()
+	<-waitJob(t, s, first.ID).Done()
+	var order []string
+	for range ids {
+		order = append(order, <-begun)
+	}
+	// Expected: priority 9 first, then the two 5s in submission order,
+	// then 1, then 0.
+	want := []string{ids[4], ids[1], ids[3], ids[2], ids[0]}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+	for _, id := range ids {
+		waitJob(t, s, id)
+	}
+}
+
+// directReport runs a config.File-shaped spec through run.Session
+// directly — the reference the HTTP path must match byte for byte.
+func directReport(t *testing.T, specJSON string) *run.Report {
+	t.Helper()
+	file, err := config.ParseBytes([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := file.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestEndToEndByteIdentical is the acceptance gate: specs submitted
+// over HTTP — several tenants concurrently — produce reports
+// byte-identical to the same specs driven through run.Session
+// directly, in both the JSON status document and the text rendering.
+// Run under -race by make serve-check.
+func TestEndToEndByteIdentical(t *testing.T) {
+	kernels := []string{"mm", "fir", "list", "stream"}
+	type submitted struct {
+		kernel string
+		id     string
+	}
+	subs := make([]submitted, 0, len(kernels))
+	sched, tsrv := newTestServer(t, Config{Workers: 4, QueueDepth: 32})
+	for _, k := range kernels {
+		body := fmt.Sprintf(`{"tenant": %q, "spec": {"source": {"kernel": %q}}}`, "t-"+k, k)
+		subs = append(subs, submitted{kernel: k, id: submitOK(t, tsrv, body)})
+	}
+	for _, sub := range subs {
+		j := waitJob(t, sched, sub.id)
+		if doc := sched.Doc(j, true); doc.State != StateDone {
+			t.Fatalf("%s: state = %s (error %q), want done", sub.kernel, doc.State, doc.Error)
+		}
+
+		specJSON := fmt.Sprintf(`{"source": {"kernel": %q}}`, sub.kernel)
+		want := directReport(t, specJSON)
+
+		// JSON report bytes inside the status document.
+		_, data := get(t, tsrv, "/v1/runs/"+sub.id)
+		var raw struct {
+			Report json.RawMessage `json:"report"`
+		}
+		if err := json.Unmarshal(data, &raw); err != nil {
+			t.Fatalf("%s: decoding status: %v", sub.kernel, err)
+		}
+		wantJSON, err := json.Marshal(want.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(raw.Report), bytes.TrimSpace(wantJSON)) {
+			t.Errorf("%s: HTTP report JSON differs from direct run.Session report\n http: %s\n want: %s",
+				sub.kernel, raw.Report, wantJSON)
+		}
+
+		// Text rendering.
+		resp, text := get(t, tsrv, "/v1/runs/"+sub.id+"/report")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: report status = %d; body: %s", sub.kernel, resp.StatusCode, text)
+		}
+		var wantText bytes.Buffer
+		want.WriteText(&wantText)
+		if !bytes.Equal(text, wantText.Bytes()) {
+			t.Errorf("%s: HTTP text report differs from run.Report.WriteText\n http: %q\n want: %q",
+				sub.kernel, text, wantText.Bytes())
+		}
+	}
+}
+
+// TestCompareEndToEnd submits a compare job and checks the text
+// rendering matches a direct Session.Compare + WriteComparisonText —
+// the same bytes `cntsim -workload mm -compare` prints.
+func TestCompareEndToEnd(t *testing.T) {
+	sched, ts := newTestServer(t, Config{Workers: 2})
+	id := submitOK(t, ts, `{"mode": "compare", "spec": {"source": {"kernel": "mm"}}}`)
+	j := waitJob(t, sched, id)
+	if doc := sched.Doc(j, true); doc.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", doc.State, doc.Error)
+	}
+
+	file, err := config.ParseBytes([]byte(`{"source": {"kernel": "mm"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := file.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := sess.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	run.WriteComparisonText(&want, sess.Instance, cmp)
+
+	resp, text := get(t, ts, "/v1/runs/"+id+"/report")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d; body: %s", resp.StatusCode, text)
+	}
+	if !bytes.Equal(text, want.Bytes()) {
+		t.Errorf("HTTP comparison differs from direct Compare\n http: %q\n want: %q", text, want.Bytes())
+	}
+
+	// The status document carries the comparison with every cell.
+	doc := sched.Doc(j, true)
+	if doc.Comparison == nil || len(doc.Comparison.Reports) == 0 {
+		t.Fatal("status document has no comparison")
+	}
+	for i, rep := range doc.Comparison.Reports {
+		if rep == nil {
+			t.Errorf("comparison cell %s is nil", doc.Comparison.Names[i])
+		}
+	}
+}
+
+// TestEventsStreamMatchesJSONL submits a run with events recorded and
+// checks the streamed JSONL equals what a direct run writes through
+// obs.JSONLSink — byte for byte, decodable by obs.ReadEvents.
+func TestEventsStreamMatchesJSONL(t *testing.T) {
+	sched, ts := newTestServer(t, Config{Workers: 1})
+	id := submitOK(t, ts, `{"events": true, "spec": {"source": {"kernel": "list"}}}`)
+	waitJob(t, sched, id)
+
+	resp, streamed := get(t, ts, "/v1/runs/"+id+"/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d; body: %s", resp.StatusCode, streamed)
+	}
+
+	// Reference: the same spec run locally with a JSONL sink attached.
+	file, err := config.ParseBytes([]byte(`{"source": {"kernel": "list"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := file.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	spec.Trace = sink
+	if _, err := spec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, buf.Bytes()) {
+		t.Errorf("streamed events differ from JSONLSink output (%d vs %d bytes)", len(streamed), buf.Len())
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(streamed))
+	if err != nil {
+		t.Fatalf("streamed events do not decode: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+}
+
+// TestCancelQueuedAndRunning cancels one job still in the queue and
+// one mid-run; both must land in state cancelled, and a second DELETE
+// answers 409.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	sched, ts := newTestServer(t, Config{Workers: 1})
+	release, begun := blockWorkers(sched)
+	defer release()
+
+	spec := `{"spec": {"source": {"kernel": "mm"}}}`
+	running := submitOK(t, ts, spec)
+	<-begun
+	queued := submitOK(t, ts, spec)
+
+	for _, id := range []string{queued, running} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("DELETE %s status = %d, want 202", id, resp.StatusCode)
+		}
+		j := waitJob(t, sched, id)
+		if doc := sched.Doc(j, false); doc.State != StateCancelled {
+			t.Fatalf("job %s state = %s, want cancelled", id, doc.State)
+		}
+	}
+
+	// Cancelling a finished job conflicts.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+queued, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE status = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrains is the drain contract: running jobs
+// complete inside the grace period, queued jobs are cancelled, new
+// submissions get 503, and every terminal job's artifact lands in the
+// state directory as complete, parseable JSON (atomicio writes).
+func TestGracefulShutdownDrains(t *testing.T) {
+	stateDir := t.TempDir()
+	sched, ts := newTestServer(t, Config{Workers: 1, StateDir: stateDir})
+	release, begun := blockWorkers(sched)
+	defer release()
+
+	spec := `{"spec": {"source": {"kernel": "mm"}}}`
+	running := submitOK(t, ts, spec)
+	<-begun
+	queuedA := submitOK(t, ts, spec)
+	queuedB := submitOK(t, ts, spec)
+
+	// Release the worker as the drain begins: the running job must be
+	// given room to complete, not cancelled.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		release()
+	}()
+	sched.Drain(30 * time.Second)
+
+	if doc := sched.Doc(mustGet(t, sched, running), false); doc.State != StateDone {
+		t.Errorf("running job drained to %s (error %q), want done", doc.State, doc.Error)
+	}
+	for _, id := range []string{queuedA, queuedB} {
+		if doc := sched.Doc(mustGet(t, sched, id), false); doc.State != StateCancelled {
+			t.Errorf("queued job %s drained to %s, want cancelled", id, doc.State)
+		}
+	}
+
+	// Draining scheduler rejects new work with 503.
+	resp, data := post(t, ts, spec)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit status = %d, want 503; body: %s", resp.StatusCode, data)
+	}
+
+	// Artifacts: one complete JSON document per terminal job.
+	for _, id := range []string{running, queuedA, queuedB} {
+		path := filepath.Join(stateDir, id+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("artifact %s: %v", path, err)
+			continue
+		}
+		var doc JobDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Errorf("artifact %s does not parse: %v", path, err)
+			continue
+		}
+		if doc.ID != id {
+			t.Errorf("artifact %s carries id %q", path, doc.ID)
+		}
+		want := sched.Doc(mustGet(t, sched, id), false).State
+		if doc.State != want {
+			t.Errorf("artifact %s state = %s, want %s", path, doc.State, want)
+		}
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Errorf("stray temp file %s in state dir", e.Name())
+		}
+	}
+}
+
+func mustGet(t *testing.T, s *Scheduler, id string) *Job {
+	t.Helper()
+	j, ok := s.Get(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	return j
+}
+
+// TestDrainDeadlineCancelsRunning: when a running job outlives the
+// grace period, the drain hard-cancels it rather than hanging.
+func TestDrainDeadlineCancelsRunning(t *testing.T) {
+	sched := NewScheduler(Config{Workers: 1})
+	_, begun := blockWorkers(sched) // never released: job runs until cancelled
+	spec := run.Spec{Source: run.Source{Kernel: "mm"}}
+	j, err := sched.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begun
+	done := make(chan struct{})
+	go func() {
+		sched.Drain(50 * time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain hung past its deadline")
+	}
+	if doc := sched.Doc(j, false); doc.State != StateCancelled {
+		t.Errorf("job state = %s, want cancelled after deadline", doc.State)
+	}
+}
+
+// TestFailedJobReportsError: a spec that resolves but fails at run
+// time (unknown kernel passes eager validation only if named — use a
+// trace path that does not exist) lands in state failed with the error
+// in its status document, and its report answers 409.
+func TestFailedJobReportsError(t *testing.T) {
+	sched, ts := newTestServer(t, Config{Workers: 1})
+	id := submitOK(t, ts, `{"spec": {"source": {"trace": "/nonexistent/trace.bin"}}}`)
+	j := waitJob(t, sched, id)
+	doc := sched.Doc(j, true)
+	if doc.State != StateFailed {
+		t.Fatalf("state = %s, want failed", doc.State)
+	}
+	if doc.Error == "" {
+		t.Error("failed job carries no error")
+	}
+	resp, _ := get(t, ts, "/v1/runs/"+id+"/report")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("report of failed job = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHealthAndMetrics: the observability endpoints answer with JSON.
+func TestHealthAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	sched, ts := newTestServer(t, Config{Workers: 1, Metrics: reg})
+	id := submitOK(t, ts, `{"spec": {"source": {"kernel": "mm"}}}`)
+	waitJob(t, sched, id)
+
+	resp, data := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var health struct {
+		OK   bool           `json:"ok"`
+		Jobs map[string]int `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &health); err != nil || !health.OK {
+		t.Fatalf("healthz body = %s (%v)", data, err)
+	}
+	if health.Jobs[StateDone] != 1 {
+		t.Errorf("healthz done count = %d, want 1", health.Jobs[StateDone])
+	}
+
+	resp, data = get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics body does not parse: %v", err)
+	}
+
+	// The listing endpoint includes the job, briefly.
+	resp, data = get(t, ts, "/v1/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list = %d", resp.StatusCode)
+	}
+	var list struct {
+		Jobs []JobDoc `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Jobs) != 1 {
+		t.Fatalf("list body = %s (%v)", data, err)
+	}
+	if list.Jobs[0].Report != nil {
+		t.Error("listing must not inline full reports")
+	}
+}
+
+// TestEventsNotRecorded404: streaming events for a job submitted
+// without events answers 404 with a hint.
+func TestEventsNotRecorded404(t *testing.T) {
+	sched, ts := newTestServer(t, Config{Workers: 1})
+	id := submitOK(t, ts, `{"spec": {"source": {"kernel": "mm"}}}`)
+	waitJob(t, sched, id)
+	resp, data := get(t, ts, "/v1/runs/"+id+"/events")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events = %d, want 404; body: %s", resp.StatusCode, data)
+	}
+}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# serve_check.sh — end-to-end gate for the cntd daemon (make serve-check).
+#
+# Boots cntd on a random port, submits the same compare `cntsim
+# -workload mm -compare` runs over HTTP, and diffs the daemon's
+# /report rendering against the CLI's stdout: the two must be
+# byte-identical. Then delivers SIGTERM and requires a graceful exit 0
+# with the job's artifact flushed to the state directory.
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d cntd-serve.XXXXXX -p "${TMPDIR:-/tmp}")
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+echo "serve-check: building cntd + cntsim"
+$GO build -o "$dir/cntd" ./cmd/cntd
+$GO build -o "$dir/cntsim" ./cmd/cntsim
+
+"$dir/cntd" -addr 127.0.0.1:0 -state-dir "$dir/state" 2>"$dir/cntd.log" &
+daemon_pid=$!
+
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's/.*listening at \(http:\/\/[^ ]*\).*/\1/p' "$dir/cntd.log" | head -n 1)
+    [ -n "$base" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "serve-check: cntd died at startup:"; cat "$dir/cntd.log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    echo "serve-check: cntd never announced its address:"; cat "$dir/cntd.log"; exit 1
+fi
+echo "serve-check: daemon at $base"
+
+curl -sSf -o "$dir/submit.json" -X POST "$base/v1/runs" \
+    -d '{"mode":"compare","tenant":"serve-check","spec":{"source":{"kernel":"mm"}}}'
+id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$dir/submit.json")
+if [ -z "$id" ]; then
+    echo "serve-check: submit answered without a job id:"; cat "$dir/submit.json"; exit 1
+fi
+echo "serve-check: submitted $id"
+
+state=""
+i=0
+while [ $i -lt 600 ]; do
+    curl -sSf -o "$dir/status.json" "$base/v1/runs/$id"
+    state=$(sed -n 's/.*"state":"\([^"]*\)".*/\1/p' "$dir/status.json")
+    case "$state" in
+        done) break ;;
+        partial|failed|cancelled)
+            echo "serve-check: job finished as $state:"; cat "$dir/status.json"; exit 1 ;;
+    esac
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ "$state" != "done" ]; then
+    echo "serve-check: job stuck in state '$state'"; exit 1
+fi
+
+curl -sSf -o "$dir/http-report.txt" "$base/v1/runs/$id/report"
+"$dir/cntsim" -workload mm -compare >"$dir/cli-report.txt"
+if ! cmp -s "$dir/http-report.txt" "$dir/cli-report.txt"; then
+    echo "serve-check: HTTP report differs from cntsim output:"
+    diff "$dir/cli-report.txt" "$dir/http-report.txt" || true
+    exit 1
+fi
+echo "serve-check: HTTP report byte-identical to cntsim -workload mm -compare"
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "serve-check: cntd exited $rc on SIGTERM:"; cat "$dir/cntd.log"; exit 1
+fi
+if [ ! -s "$dir/state/$id.json" ]; then
+    echo "serve-check: missing state artifact $id.json"; ls -la "$dir/state" || true; exit 1
+fi
+echo "serve-check: graceful SIGTERM drain, exit 0, artifact flushed"
