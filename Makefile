@@ -12,8 +12,10 @@
 #   make fault   race-enabled fault-injection/resilience suite (device
 #                faults, session salvage, crash-safe artifacts) plus a
 #                quick E14 graceful-degradation batch
-#   make obs-check  trace the E3 suite kernels with cntsim -trace-out and
-#                verify each trace reconciles through cntstat
+#   make obs-check  trace the E3 suite kernels with cntsim -trace-out
+#                and -span-out, verify each event trace reconciles
+#                through cntstat and each span trace through
+#                cntstat -spans
 #   make results regenerate results/ with the full (non-quick) sweeps
 #   make bench-json  quick E3-suite batch emitting BENCH_E3.json plus a
 #                fresh replay-throughput record BENCH_REPLAY.json — the
@@ -26,8 +28,11 @@
 #   make serve-check  serving gate: race-enabled internal/server +
 #                cmd/cntd + cmd/cntbench suites, then the live
 #                scripts/serve_check.sh end-to-end (boot cntd on a
-#                random port, submit a compare over HTTP, diff the
-#                report against cntsim's stdout, SIGTERM → exit 0)
+#                random port with tracing and the access log on,
+#                submit a compare over HTTP, diff the report against
+#                cntsim's stdout, scrape /metrics in Prometheus mode,
+#                SIGTERM → exit 0, then render the committed span
+#                trace with cntstat -spans)
 
 GO ?= go
 FUZZTIME ?= 30s
@@ -60,6 +65,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzConfigJSON$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzEventsJSONL$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultConfig$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime $(FUZZTIME) ./internal/check/
 
 # The resilience gate: the fault and atomicio packages in full, the
 # fault/salvage/interrupt tests across the run engine and CLIs, and a
@@ -75,15 +81,18 @@ fault:
 
 # Trace every kernel the E3 suite runs and push each trace through
 # cntstat, whose reconciliation gate fails on any divergence between the
-# per-event energy deltas and the run's final breakdown.
+# per-event energy deltas and the run's final breakdown. Each run also
+# records a span trace, audited by cntstat -spans (the span-nesting
+# reconciliation of internal/check.ReconcileSpans).
 OBS_KERNELS = mm fir bfs hashjoin sort stream stack list spmv hist
 obs-check:
 	@dir=$$(mktemp -d cnt-obs.XXXXXX -p $${TMPDIR:-/tmp}); \
 	trap 'rm -rf "$$dir"' EXIT; \
 	for k in $(OBS_KERNELS); do \
 		echo "obs-check: $$k"; \
-		$(GO) run ./cmd/cntsim -workload $$k -trace-out "$$dir/$$k.jsonl" >/dev/null || exit 1; \
+		$(GO) run ./cmd/cntsim -workload $$k -trace-out "$$dir/$$k.jsonl" -span-out "$$dir/$$k.spans.jsonl" >/dev/null || exit 1; \
 		$(GO) run ./cmd/cntstat "$$dir/$$k.jsonl" >/dev/null || exit 1; \
+		$(GO) run ./cmd/cntstat -spans "$$dir/$$k.spans.jsonl" >/dev/null || exit 1; \
 	done
 
 results:

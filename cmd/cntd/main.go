@@ -8,7 +8,17 @@
 // Usage:
 //
 //	cntd [-addr :7090] [-workers N] [-queue 64] [-tenant-inflight 8]
-//	     [-drain 10s] [-state-dir DIR]
+//	     [-drain 10s] [-state-dir DIR] [-span-out FILE]
+//	     [-access-log FILE|-] [-log-json]
+//
+// The HTTP surface is always instrumented with per-route/status
+// latency histograms (scrape /metrics, JSON or Prometheus text by
+// content negotiation). -span-out additionally traces every request
+// and every job lifecycle — admission, queue wait, dispatch, retries,
+// per-cell simulation, render, artifact flush — into a span JSONL file
+// committed atomically at shutdown (inspect with cntstat -spans).
+// -access-log writes one structured line per request ("-" = stderr);
+// -log-json switches those lines to JSON objects.
 //
 // Submit a job:
 //
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -58,6 +69,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	tenantInflight := fs.Int("tenant-inflight", server.DefaultTenantInFlight, "max queued+running jobs per tenant (beyond it submissions get 429)")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests and running jobs on shutdown")
 	stateDir := fs.String("state-dir", "", "write each finished job's status document here as <id>.json (atomic writes; empty disables)")
+	spanOut := fs.String("span-out", "", "trace HTTP requests and job lifecycles as spans, committed to this JSONL file at shutdown (see cntstat -spans)")
+	accessLog := fs.String("access-log", "", `write one structured line per HTTP request to this file ("-" = stderr; empty disables)`)
+	logJSON := fs.Bool("log-json", false, "access-log lines as JSON objects instead of text")
 	quiet := fs.Bool("quiet", false, "suppress per-job lifecycle log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,14 +85,49 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		}
 	}
 
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "cntd: "+format+"\n", a...)
+	}
+
+	// Tracing: one tracer shared by the HTTP seam (request spans) and
+	// the scheduler (job lifecycle spans), draining into a span JSONL
+	// file that commits atomically at shutdown — a crash never leaves a
+	// truncated trace where a complete one is expected.
+	var (
+		tracer   *obs.Tracer
+		spanSink *obs.JSONLSink
+		spanF    *atomicio.File
+	)
+	if *spanOut != "" {
+		f, err := atomicio.Create(*spanOut)
+		if err != nil {
+			return err
+		}
+		spanF = f
+		spanSink = obs.NewJSONLSink(f)
+		defer spanF.Abort() // no-op once committed
+		tracer = obs.NewTracer(spanSink)
+	}
+
+	var access *server.AccessLogger
+	if *accessLog != "" {
+		w := io.Writer(stderr)
+		if *accessLog != "-" {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		access = server.NewAccessLogger(w, *logJSON)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("-addr: %w", err)
 	}
 
-	logf := func(format string, a ...any) {
-		fmt.Fprintf(stderr, "cntd: "+format+"\n", a...)
-	}
 	reg := obs.NewRegistry()
 	sched := server.NewScheduler(server.Config{
 		Workers:        *workers,
@@ -86,13 +135,19 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		TenantInFlight: *tenantInflight,
 		StateDir:       *stateDir,
 		Metrics:        reg,
+		Tracer:         tracer,
 		Logf: func(format string, a ...any) {
 			if !*quiet {
 				logf(format, a...)
 			}
 		},
 	})
-	hs := server.StartHTTP(ln, server.NewHandler(sched, reg))
+	handler := server.Instrument(server.NewHandler(sched, reg), server.InstrumentOptions{
+		Tracer:  tracer,
+		Metrics: reg,
+		Access:  access,
+	})
+	hs := server.StartHTTP(ln, handler)
 	logf("listening at http://%s (workers=%d queue=%d tenant-inflight=%d)",
 		ln.Addr(), sched.Workers(), *queue, *tenantInflight)
 
@@ -112,6 +167,18 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	sched.Drain(*drain)
 	if shutErr != nil {
 		logf("shutdown: %v", shutErr)
+	}
+	// Every job and request span has ended by now; commit the span
+	// trace. A write failure is a real error — the artifact was asked
+	// for — and exits nonzero.
+	if spanSink != nil {
+		if err := spanSink.Flush(); err != nil {
+			return fmt.Errorf("writing %s: %w", *spanOut, err)
+		}
+		if err := spanF.Commit(); err != nil {
+			return fmt.Errorf("writing %s: %w", *spanOut, err)
+		}
+		logf("span trace committed to %s", *spanOut)
 	}
 	logf("drained, exiting")
 	return nil

@@ -15,7 +15,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/run"
 )
 
@@ -230,5 +232,162 @@ func TestDaemonFlagErrors(t *testing.T) {
 				t.Errorf("runCtx(%v) = nil, want error", args)
 			}
 		})
+	}
+}
+
+// TestDaemonTracedLifecycle boots the daemon with -span-out and a JSON
+// access log, submits a traced compare (client traceparent on the
+// request), and after the drain audits the committed span artifact:
+// the job's root span must cover admission through flush with queue
+// wait and per-cell simulation spans nested inside — the acceptance
+// scenario of the tracing layer — and `cntstat -spans` consumes the
+// same file via check.ReconcileSpans.
+func TestDaemonTracedLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	spanPath := filepath.Join(dir, "spans.jsonl")
+	accessPath := filepath.Join(dir, "access.log")
+	base, stop, exited, _ := startDaemon(t,
+		"-span-out", spanPath, "-access-log", accessPath, "-log-json")
+
+	const clientTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	body := `{"mode": "compare", "tenant": "traced", "spec": {"source": {"kernel": "fir"}}}`
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/runs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Traceparent", clientTP)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body: %s", resp.StatusCode, data)
+	}
+	// The request span joined the client's trace and was injected back.
+	if tp := resp.Header.Get("Traceparent"); !strings.HasPrefix(tp, "00-4bf92f3577b34da6a3ce929d0e0e4736-") {
+		t.Errorf("response traceparent %q does not continue the client trace", tp)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		Trace string `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body %s (%v)", data, err)
+	}
+	if sub.Trace == "" || strings.HasPrefix(sub.Trace, "4bf92f35") {
+		t.Fatalf("job trace = %q, want its own non-empty trace ID", sub.Trace)
+	}
+
+	doc := waitState(t, base, sub.ID, "done", "partial", "failed")
+	if doc["state"] != "done" {
+		t.Fatalf("job finished as %v (error %v)", doc["state"], doc["error"])
+	}
+	// Scheduler timestamps surface as queue/run latencies.
+	if q, ok := doc["queue_ms"].(float64); !ok || q <= 0 {
+		t.Errorf("status queue_ms = %v, want > 0", doc["queue_ms"])
+	}
+	if r, ok := doc["run_ms"].(float64); !ok || r <= 0 {
+		t.Errorf("status run_ms = %v, want > 0", doc["run_ms"])
+	}
+
+	// Prometheus exposition next to the JSON snapshot.
+	resp, err = http.Get(base + "/v1/runs/" + sub.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE server_job_queue_seconds histogram",
+		`server_http_seconds_bucket{route="submit",status="202",le="+Inf"} 1`,
+		`server_jobs_tenant_submitted{tenant="traced"} 1`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, prom)
+		}
+	}
+
+	stop()
+	if err := <-exited; err != nil {
+		t.Fatalf("daemon exited with error: %v", err)
+	}
+
+	// The committed span artifact reconciles and carries the full job
+	// lifecycle.
+	f, err := os.Open(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ReconcileSpans(events); err != nil {
+		t.Fatalf("span artifact does not reconcile: %v", err)
+	}
+	counts := map[string]int{}
+	var root *obs.SpanEvent
+	for _, e := range events {
+		s, ok := e.(*obs.SpanEvent)
+		if !ok || s.Trace != sub.Trace {
+			continue
+		}
+		counts[s.Name]++
+		if s.Name == "job" {
+			root = s
+		}
+	}
+	for _, stage := range []string{"job", "admission", "queue", "load", "compare", "flush"} {
+		if counts[stage] != 1 {
+			t.Errorf("job trace has %d %q spans, want 1 (%v)", counts[stage], stage, counts)
+		}
+	}
+	if counts["cell"] < 2 {
+		t.Errorf("job trace has %d cell spans, want one per variant", counts["cell"])
+	}
+	if root == nil || root.Attrs["state"] != "done" || root.Attrs["tenant"] != "traced" {
+		t.Errorf("job root = %+v", root)
+	}
+
+	// JSON access log: one parseable object per request, tenant and
+	// trace attached to the submit line.
+	raw, err := os.ReadFile(accessPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("access log has %d lines:\n%s", len(lines), raw)
+	}
+	sawSubmit := false
+	for _, line := range lines {
+		var entry struct {
+			Route  string  `json:"route"`
+			Status int     `json:"status"`
+			DurMS  float64 `json:"dur_ms"`
+			Trace  string  `json:"trace"`
+			Tenant string  `json:"tenant"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("access line %q: %v", line, err)
+		}
+		if entry.Route == "submit" {
+			sawSubmit = true
+			if entry.Status != 202 || entry.Tenant != "traced" || entry.Trace != "4bf92f3577b34da6a3ce929d0e0e4736" {
+				t.Errorf("submit access entry = %+v", entry)
+			}
+		}
+	}
+	if !sawSubmit {
+		t.Error("no submit line in the access log")
 	}
 }

@@ -13,6 +13,7 @@
 //	cntsim -workload list -compare      # all variants side by side
 //	cntsim -workload mm -variant baseline -window 31 -partitions 16
 //	cntsim -workload mm -trace-out events.jsonl -metrics-out metrics.json
+//	cntsim -workload mm -compare -span-out spans.jsonl   # lifecycle spans (cntstat -spans)
 package main
 
 import (
@@ -67,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	inspect := fs.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace of the run to this file (see cntstat)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metric snapshot of the run to this file")
+	spanOut := fs.String("span-out", "", "write a JSONL span trace of the run's lifecycle to this file (see cntstat -spans; works with -compare: cell spans carry variant attributes)")
 	faultRate := fs.Float64("fault-rate", 0, "composite CNT fault rate: stuck cells, transient flips and predictor upsets at this per-cell/per-access probability (0 disables; see internal/fault)")
 	faultSpread := fs.Float64("fault-spread", 0, "per-line energy-scale half-width modeling CNT-count variation, in [0,1)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault-injection seed (independent of -seed)")
@@ -134,21 +136,66 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
+
+	// The span trace is a separate artifact on the same atomic-commit
+	// terms: a root "job" span covers the whole invocation, the run
+	// layer nests load/run/compare/cell spans under it through
+	// Spec.Tracer, and render/flush children close the lifecycle. The
+	// file commits only after the root has ended, so a committed span
+	// trace always reconciles (cntstat -spans re-audits it anyway).
+	var (
+		spanSink *obs.JSONLSink
+		spanF    *atomicio.File
+		tracer   *obs.Tracer
+		root     *obs.Span
+	)
+	if *spanOut != "" {
+		f, err := atomicio.Create(*spanOut)
+		if err != nil {
+			return err
+		}
+		spanF = f
+		spanSink = obs.NewJSONLSink(f)
+		defer spanF.Abort() // no-op once committed
+		mode := "run"
+		if *compare {
+			mode = "compare"
+		}
+		tracer = obs.NewTracer(spanSink)
+		root = tracer.StartSpan("job", obs.SpanContext{}).
+			Annotate("cmd", "cntsim").
+			Annotate("mode", mode)
+	}
+
 	persist := func() error {
+		// The artifact flush is itself a traced stage; it must end before
+		// the root does, and the root before the span file commits, or
+		// the committed stream would miss its own closing records.
+		fspan := root.Child("flush")
+		var err error
 		if sink != nil {
-			if err := sink.Flush(); err != nil {
-				return fmt.Errorf("writing %s: %w", *traceOut, err)
+			if err = sink.Flush(); err == nil {
+				err = traceF.Commit()
 			}
-			if err := traceF.Commit(); err != nil {
-				return fmt.Errorf("writing %s: %w", *traceOut, err)
-			}
-		}
-		if reg != nil {
-			if err := atomicio.WriteTo(*metricsOut, reg.WriteJSON); err != nil {
-				return fmt.Errorf("writing %s: %w", *metricsOut, err)
+			if err != nil {
+				err = fmt.Errorf("writing %s: %w", *traceOut, err)
 			}
 		}
-		return nil
+		if err == nil && reg != nil {
+			if werr := atomicio.WriteTo(*metricsOut, reg.WriteJSON); werr != nil {
+				err = fmt.Errorf("writing %s: %w", *metricsOut, werr)
+			}
+		}
+		fspan.EndErr(err)
+		root.End()
+		if err == nil && spanSink != nil {
+			if serr := spanSink.Flush(); serr != nil {
+				err = fmt.Errorf("writing %s: %w", *spanOut, serr)
+			} else if serr := spanF.Commit(); serr != nil {
+				err = fmt.Errorf("writing %s: %w", *spanOut, serr)
+			}
+		}
+		return err
 	}
 
 	// Build the run specification: from the config document when given
@@ -199,6 +246,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if reg != nil {
 		spec.Metrics = reg
 	}
+	if tracer != nil {
+		spec.Tracer = tracer
+		spec.SpanParent = root.Context()
+	}
 	// Fault flags layer on top of either path (and override a config
 	// file's fault block); validation happens eagerly in Resolve.
 	if *faultRate != 0 || *faultSpread != 0 {
@@ -217,8 +268,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		rspan := root.Child("render")
 		simrun.WriteComparisonText(stdout, sess.Instance, cmp)
-		return nil
+		rspan.End()
+		return persist()
 	}
 
 	start := time.Now()
@@ -234,6 +287,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "replayed %d accesses in %.3fs (%.2f Maccess/s)\n",
 			n, secs, float64(n)/secs/1e6)
 	}
+	rspan := root.Child("render")
 	rep.WriteText(stdout)
 	if *inspect {
 		snap, err := sess.Snapshot()
@@ -243,5 +297,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "\nD-cache line-state snapshot:")
 		fmt.Fprint(stdout, snap.String())
 	}
+	rspan.End()
 	return persist()
 }

@@ -176,3 +176,100 @@ func TestRunExampleConfig(t *testing.T) {
 		t.Fatalf("example config missing the default variant:\n%s", out.String())
 	}
 }
+
+// readSpans loads a span JSONL artifact and audits it before handing
+// the spans back.
+func readSpans(t *testing.T, path string) []*obs.SpanEvent {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ReconcileSpans(events); err != nil {
+		t.Fatalf("span artifact does not reconcile: %v", err)
+	}
+	var spans []*obs.SpanEvent
+	for _, e := range events {
+		if s, ok := e.(*obs.SpanEvent); ok {
+			spans = append(spans, s)
+		}
+	}
+	return spans
+}
+
+// TestSpanOutRun pins the -span-out artifact of a plain run: one trace
+// rooted at "job" with load/run/render/flush children nested inside,
+// and a report byte-identical to an untraced run.
+func TestSpanOutRun(t *testing.T) {
+	dir := t.TempDir()
+	spanPath := filepath.Join(dir, "spans.jsonl")
+	var traced, errBuf bytes.Buffer
+	if err := run([]string{"-workload", "mm", "-span-out", spanPath}, &traced, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := run([]string{"-workload", "mm"}, &plain, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traced.Bytes(), plain.Bytes()) {
+		t.Error("-span-out changed the report bytes")
+	}
+
+	spans := readSpans(t, spanPath)
+	byName := map[string]*obs.SpanEvent{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root := byName["job"]
+	if root == nil || root.Parent != "" {
+		t.Fatalf("no parentless job root in %v", spans)
+	}
+	for _, stage := range []string{"load", "run", "render", "flush"} {
+		s := byName[stage]
+		if s == nil {
+			t.Fatalf("span artifact missing stage %q", stage)
+		}
+		if s.Trace != root.Trace {
+			t.Errorf("%s span in trace %s, want the job trace %s", stage, s.Trace, root.Trace)
+		}
+		if s.Start < root.Start || s.EndNS() > root.EndNS() {
+			t.Errorf("%s span escapes the job root interval", stage)
+		}
+	}
+	if got := root.Attrs["mode"]; got != "run" {
+		t.Errorf("job root mode = %q, want run", got)
+	}
+}
+
+// TestSpanOutCompare: unlike -trace-out, -span-out composes with
+// -compare — each cell span names its variant, so the stream stays
+// attributable.
+func TestSpanOutCompare(t *testing.T) {
+	spanPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-workload", "mm", "-compare", "-span-out", spanPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	spans := readSpans(t, spanPath)
+	variants := map[string]bool{}
+	var compareSpan *obs.SpanEvent
+	for _, s := range spans {
+		switch s.Name {
+		case "cell":
+			variants[s.Attrs["variant"]] = true
+		case "compare":
+			compareSpan = s
+		}
+	}
+	if compareSpan == nil {
+		t.Fatal("no compare span")
+	}
+	if len(variants) < 2 {
+		t.Errorf("cell spans name %d variants, want one per comparison column", len(variants))
+	}
+}

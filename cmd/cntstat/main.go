@@ -10,6 +10,14 @@
 //	cntsim -workload mm -trace-out events.jsonl
 //	cntstat events.jsonl
 //	cntstat -cache L1D -bins 40 events.jsonl
+//
+// With -spans it instead reads a span JSONL trace (written by
+// cntd -span-out or cntsim -span-out), audits it with
+// check.ReconcileSpans, and renders per-trace span trees — durations
+// per stage, critical path marked with '*' — plus an aggregate
+// stage-latency table (count/p50/p95/max):
+//
+//	cntstat -spans spans.jsonl
 package main
 
 import (
@@ -40,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	bins := fs.Int("bins", 20, "timeline resolution (bins over the event stream)")
 	cacheName := fs.String("cache", "", "restrict the report to one cache (e.g. L1D)")
 	bench := fs.String("bench", "", "render throughput lines from a cntbench JSON file (a -json batch summary or a BENCH_REPLAY.json record) instead of reading an event trace")
+	spans := fs.Bool("spans", false, "render per-trace span trees and the stage-latency table from a span JSONL trace (cntd/cntsim -span-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,7 +56,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("-bench takes no trace argument")
 		}
+		if *spans {
+			return fmt.Errorf("-bench and -spans are mutually exclusive")
+		}
 		return printBench(stdout, *bench)
+	}
+	if *spans {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: cntstat -spans spans.jsonl")
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err := obs.ReadEvents(f)
+		if err != nil {
+			return err
+		}
+		return printSpans(stdout, events)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: cntstat [-bins N] [-cache L1D] events.jsonl | cntstat -bench BENCH.json")

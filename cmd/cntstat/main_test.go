@@ -198,3 +198,103 @@ func TestRunBenchErrors(t *testing.T) {
 		})
 	}
 }
+
+// writeSpanTrace emits a small two-trace span file through a seeded
+// tracer: a job lifecycle with two concurrent cells, plus a separate
+// request trace.
+func writeSpanTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	tr := obs.NewTracerSeeded(sink, 5)
+
+	root := tr.StartSpan("job", obs.SpanContext{}).Annotate("job", "job-000001")
+	adm := root.Child("admission")
+	adm.End()
+	queue := root.Child("queue")
+	queue.End()
+	cmp := root.Child("compare")
+	for _, v := range []string{"baseline", "cnt-cache"} {
+		c := cmp.Child("cell").Annotate("variant", v)
+		c.End()
+	}
+	cmp.End()
+	root.Child("flush").End()
+	root.Annotate("state", "done").End()
+
+	req := tr.StartSpan("http.request", obs.SpanContext{}).Annotate("route", "submit")
+	req.End()
+
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSpansRendersTreesAndTable drives cntstat -spans over a known
+// trace: per-trace trees with durations and a critical-path marker,
+// then the aggregate stage-latency table.
+func TestSpansRendersTreesAndTable(t *testing.T) {
+	path := writeSpanTrace(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-spans", path}, &out, &errBuf); err != nil {
+		t.Fatalf("run -spans: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"trace ",                             // one header per trace
+		"job",                                // the root line
+		"variant=baseline",                   // cell detail
+		"variant=cnt-cache",                  //
+		"job=job-000001",                     // root detail
+		"http.request",                       // the second trace renders too
+		"stage latency (2 traces, 8 spans):", // the aggregate table
+		"p50", "p95", "max",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-spans output missing %q:\n%s", want, s)
+		}
+	}
+	// The root of every trace is on its own critical path.
+	if !strings.Contains(s, "* job") {
+		t.Errorf("-spans output has no critical-path marker on the job root:\n%s", s)
+	}
+}
+
+// TestSpansRejectsBrokenTrace: the nesting audit gates rendering, the
+// same way ReconcileEvents gates the energy view.
+func TestSpansRejectsBrokenTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.jsonl")
+	// Two roots in one trace: the child claims a parent that is present
+	// but the stream has a second parentless span.
+	lines := `{"v":1,"t":"span","e":{"trace":"11111111111111111111111111111111","span":"1111111111111111","name":"job","start_ns":0,"dur_ns":100}}
+{"v":1,"t":"span","e":{"trace":"11111111111111111111111111111111","span":"2222222222222222","name":"ghost","start_ns":10,"dur_ns":10}}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-spans", path}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "reconcile") {
+		t.Fatalf("run -spans on a two-root trace = %v, want a reconcile error", err)
+	}
+}
+
+// TestSpansFlagErrors: -spans needs exactly one file and excludes
+// -bench.
+func TestSpansFlagErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-spans"}, &out, &errBuf); err == nil {
+		t.Error("-spans with no file succeeded")
+	}
+	if err := run([]string{"-spans", "-bench", "x.json"}, &out, &errBuf); err == nil {
+		t.Error("-spans with -bench succeeded")
+	}
+}

@@ -1,0 +1,201 @@
+// The -spans view: per-trace span trees with durations and
+// critical-path highlighting, plus an aggregate stage-latency table —
+// rendered from a span JSONL trace written by cntd -span-out or
+// cntsim -span-out. The same reconciliation-before-rendering contract
+// as the energy view applies: a stream that fails the span-nesting
+// audit (internal/check.ReconcileSpans) is a non-zero exit, not a
+// pretty tree over broken data.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/obs"
+)
+
+// printSpans renders every trace in the stream as an indented tree in
+// start-time order, then the aggregate per-stage latency table.
+func printSpans(w io.Writer, events []obs.Event) error {
+	if err := check.ReconcileSpans(events); err != nil {
+		return fmt.Errorf("span trace does not reconcile: %w", err)
+	}
+	var spans []*obs.SpanEvent
+	for _, e := range events {
+		if s, ok := e.(*obs.SpanEvent); ok {
+			spans = append(spans, s)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace has no span records")
+	}
+
+	byTrace := make(map[string][]*obs.SpanEvent)
+	for _, s := range spans {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	traces := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		traces = append(traces, id)
+	}
+	// Trace order: earliest root start first; the IDs tie-break so the
+	// rendering is deterministic for identical timestamps.
+	sort.Slice(traces, func(i, j int) bool {
+		a, b := earliestStart(byTrace[traces[i]]), earliestStart(byTrace[traces[j]])
+		if a != b {
+			return a < b
+		}
+		return traces[i] < traces[j]
+	})
+
+	for _, id := range traces {
+		printTraceTree(w, id, byTrace[id])
+	}
+	printStageTable(w, spans, len(traces))
+	return nil
+}
+
+func earliestStart(spans []*obs.SpanEvent) int64 {
+	min := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start < min {
+			min = s.Start
+		}
+	}
+	return min
+}
+
+// printTraceTree renders one trace as an indented tree. The chain of
+// spans that determines when the root ends — at each level the child
+// whose end is latest — is the critical path, marked with '*': the
+// stages worth shaving to make the whole job faster.
+func printTraceTree(w io.Writer, id string, spans []*obs.SpanEvent) {
+	children := make(map[string][]*obs.SpanEvent, len(spans))
+	byID := make(map[string]*obs.SpanEvent, len(spans))
+	for _, s := range spans {
+		byID[s.Span] = s
+	}
+	var root *obs.SpanEvent
+	for _, s := range spans {
+		if _, ok := byID[s.Parent]; s.Parent != "" && ok {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			root = s // ReconcileSpans guarantees exactly one
+		}
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Start != kids[j].Start {
+				return kids[i].Start < kids[j].Start
+			}
+			return kids[i].Span < kids[j].Span
+		})
+	}
+
+	// The critical path: from the root, repeatedly descend into the
+	// child that ends last.
+	critical := map[string]bool{root.Span: true}
+	for cur := root; ; {
+		kids := children[cur.Span]
+		if len(kids) == 0 {
+			break
+		}
+		last := kids[0]
+		for _, k := range kids[1:] {
+			if k.EndNS() > last.EndNS() {
+				last = k
+			}
+		}
+		critical[last.Span] = true
+		cur = last
+	}
+
+	fmt.Fprintf(w, "trace %s (%d spans):\n", id, len(spans))
+	var walk func(s *obs.SpanEvent, depth int)
+	walk = func(s *obs.SpanEvent, depth int) {
+		mark := " "
+		if critical[s.Span] {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%s %*s%-*s %12s%s\n",
+			mark, 2*depth, "", 24-2*depth, s.Name, fmtDur(s.Dur), spanDetail(s))
+		for _, k := range children[s.Span] {
+			walk(k, depth+1)
+		}
+	}
+	walk(root, 0)
+	fmt.Fprintln(w)
+}
+
+// spanDetail picks the attributes worth a tree line: identity and
+// outcome, not the full bag.
+func spanDetail(s *obs.SpanEvent) string {
+	out := ""
+	for _, key := range []string{"job", "route", "variant", "memo", "state", "status", "error"} {
+		if v, ok := s.Attrs[key]; ok {
+			out += fmt.Sprintf("  %s=%s", key, v)
+		}
+	}
+	return out
+}
+
+// printStageTable aggregates every span by name into a latency table:
+// count, p50, p95 and max duration per stage, ordered by total time
+// spent so the dominant stages lead.
+func printStageTable(w io.Writer, spans []*obs.SpanEvent, traces int) {
+	byName := make(map[string][]int64)
+	total := make(map[string]int64)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s.Dur)
+		total[s.Name] += s.Dur
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if total[names[i]] != total[names[j]] {
+			return total[names[i]] > total[names[j]]
+		}
+		return names[i] < names[j]
+	})
+
+	fmt.Fprintf(w, "stage latency (%d traces, %d spans):\n", traces, len(spans))
+	fmt.Fprintf(w, "  %-16s %6s %12s %12s %12s\n", "stage", "count", "p50", "p95", "max")
+	for _, name := range names {
+		durs := byName[name]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		fmt.Fprintf(w, "  %-16s %6d %12s %12s %12s\n",
+			name, len(durs), fmtDur(quantile(durs, 0.50)), fmtDur(quantile(durs, 0.95)), fmtDur(durs[len(durs)-1]))
+	}
+}
+
+// quantile returns the q-quantile of sorted durations via the
+// nearest-rank method (q in (0,1]).
+func quantile(sorted []int64, q float64) int64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// fmtDur renders a nanosecond duration compactly (µs under 1ms, ms
+// under 1s, seconds above), stable enough to grep in CI.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -60,6 +60,23 @@ func FuzzEventsJSONL(f *testing.F) {
 	})
 }
 
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future-data")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01") // zero trace ID
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01") // zero parent ID
+	f.Add("00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01") // uppercase hex
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01") // forbidden version
+	f.Add("not a traceparent")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, h string) {
+		if err := TraceparentInvariant(h); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 func FuzzFaultConfig(f *testing.F) {
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"seed": 3, "stuck_at_zero": 0.001, "stuck_at_one": 0.001}`))

@@ -151,6 +151,39 @@ func EventsJSONLInvariant(data []byte) error {
 	return nil
 }
 
+// TraceparentInvariant feeds an arbitrary string to the W3C traceparent
+// parser. A rejection must carry a message; an accepted header must
+// yield non-zero IDs that re-format into a canonical version-00 header
+// which parses back to the identical context — never a panic, never a
+// zero context without an error.
+func TraceparentInvariant(h string) error {
+	ctx, err := obs.ParseTraceparent(h)
+	if err != nil {
+		if err.Error() == "" {
+			return fmt.Errorf("traceparent parse failed without a message")
+		}
+		return nil
+	}
+	if ctx.Trace.IsZero() {
+		return fmt.Errorf("accepted header %q with zero trace ID", h)
+	}
+	if ctx.Span.IsZero() {
+		return fmt.Errorf("accepted header %q with zero parent ID", h)
+	}
+	out := obs.FormatTraceparent(ctx)
+	if len(out) != 55 {
+		return fmt.Errorf("formatted header %q is not 55 bytes", out)
+	}
+	again, err := obs.ParseTraceparent(out)
+	if err != nil {
+		return fmt.Errorf("formatted header %q does not parse back: %w", out, err)
+	}
+	if again != ctx {
+		return fmt.Errorf("round trip mismatch: %v vs %v", ctx, again)
+	}
+	return nil
+}
+
 // FaultConfigInvariant feeds arbitrary bytes to the fault-spec parser.
 // Anything ParseConfig accepts must validate, re-encode and re-parse to
 // the same config, and build a deterministic injector whose draw

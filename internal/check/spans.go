@@ -1,0 +1,129 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// ReconcileSpans audits the span records of an event stream the way
+// ReconcileEvents audits energy: every structural invariant the tracer
+// promises must actually hold in the serialized stream, or the file is
+// lying about where time went.
+//
+// Per trace, the invariants are:
+//
+//   - IDs are well formed: 32 lowercase hex digits of trace ID and 16
+//     of span ID, neither all zero, parents 16 hex digits when present.
+//   - Span IDs are unique and no span is its own parent.
+//   - Parent links are acyclic.
+//   - A child whose parent is recorded in the trace nests inside it:
+//     child.Start >= parent.Start and child end <= parent end, on the
+//     tracer's shared monotonic clock. (A parent that is absent — e.g.
+//     a client span propagated over traceparent but recorded by the
+//     client's own collector — leaves nothing to check against.)
+//   - Exactly one root: one span whose parent is empty or absent. A
+//     job's trace has the "job" span as that root; a request trace has
+//     the server-side request span.
+//
+// Durations must be non-negative everywhere. A stream with no spans
+// reconciles trivially.
+func ReconcileSpans(events []obs.Event) error {
+	byTrace := make(map[string][]*obs.SpanEvent)
+	for i, e := range events {
+		s, ok := e.(*obs.SpanEvent)
+		if !ok {
+			continue
+		}
+		if !isLowerHex(s.Trace, 32) || allZeroHex(s.Trace) {
+			return fmt.Errorf("check: span record %d: malformed trace ID %q", i, s.Trace)
+		}
+		if !isLowerHex(s.Span, 16) || allZeroHex(s.Span) {
+			return fmt.Errorf("check: span record %d: malformed span ID %q", i, s.Span)
+		}
+		if s.Parent != "" && (!isLowerHex(s.Parent, 16) || allZeroHex(s.Parent)) {
+			return fmt.Errorf("check: span record %d: malformed parent ID %q", i, s.Parent)
+		}
+		if s.Parent == s.Span {
+			return fmt.Errorf("check: trace %s: span %s (%q) is its own parent", s.Trace, s.Span, s.Name)
+		}
+		if s.Dur < 0 {
+			return fmt.Errorf("check: trace %s: span %s (%q) has negative duration %d", s.Trace, s.Span, s.Name, s.Dur)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+
+	traces := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		traces = append(traces, id)
+	}
+	sort.Strings(traces)
+
+	for _, id := range traces {
+		spans := byTrace[id]
+		byID := make(map[string]*obs.SpanEvent, len(spans))
+		for _, s := range spans {
+			if prev, dup := byID[s.Span]; dup {
+				return fmt.Errorf("check: trace %s: span ID %s used by both %q and %q", id, s.Span, prev.Name, s.Name)
+			}
+			byID[s.Span] = s
+		}
+		roots := 0
+		for _, s := range spans {
+			parent, present := byID[s.Parent]
+			if s.Parent == "" || !present {
+				roots++
+				continue
+			}
+			if s.Start < parent.Start || s.EndNS() > parent.EndNS() {
+				return fmt.Errorf("check: trace %s: span %q [%d ns, %d ns] escapes parent %q [%d ns, %d ns]",
+					id, s.Name, s.Start, s.EndNS(), parent.Name, parent.Start, parent.EndNS())
+			}
+		}
+		if roots != 1 {
+			return fmt.Errorf("check: trace %s: %d root spans, want exactly 1", id, roots)
+		}
+		// Acyclic: from every span, the parent chain must reach the root
+		// in at most len(spans) hops. (Self-parenting and duplicate IDs
+		// are already rejected; this catches longer cycles.)
+		for _, s := range spans {
+			cur, hops := s, 0
+			for cur.Parent != "" {
+				next, ok := byID[cur.Parent]
+				if !ok {
+					break // externally-parented top span
+				}
+				cur = next
+				if hops++; hops > len(spans) {
+					return fmt.Errorf("check: trace %s: parent cycle through span %s (%q)", id, s.Span, s.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isLowerHex reports s being exactly n lowercase hex digits.
+func isLowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZeroHex reports a string of only '0' digits (the invalid ID).
+func allZeroHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

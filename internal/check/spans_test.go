@@ -1,0 +1,199 @@
+package check
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sp builds a well-formed span event for ReconcileSpans tests. IDs are
+// short mnemonic strings padded to the required widths.
+func sp(trace, id, parent, name string, start, dur int64) *obs.SpanEvent {
+	pad := func(s string, n int) string {
+		return strings.Repeat("0", n-len(s)-1) + "1" + s // never all-zero
+	}
+	e := &obs.SpanEvent{
+		Trace: pad(trace, 32),
+		Span:  pad(id, 16),
+		Name:  name,
+		Start: start,
+		Dur:   dur,
+	}
+	if parent != "" {
+		e.Parent = pad(parent, 16)
+	}
+	return e
+}
+
+func asEvents(spans ...*obs.SpanEvent) []obs.Event {
+	out := make([]obs.Event, len(spans))
+	for i, s := range spans {
+		out[i] = s
+	}
+	return out
+}
+
+func TestReconcileSpansAcceptsNestedTree(t *testing.T) {
+	events := asEvents(
+		sp("a", "ce11", "c3", "cell", 110, 30),
+		sp("a", "c3", "ab", "compare", 100, 80),
+		sp("a", "ab", "", "job", 0, 1000),
+		sp("a", "f1", "ab", "flush", 900, 50),
+		// A second trace in the same stream, externally parented: its
+		// top span's parent is a client span we never recorded.
+		sp("b", "beef", "e0", "http.request", 10, 20),
+		sp("b", "de", "beef", "render", 12, 10),
+	)
+	if err := ReconcileSpans(events); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	// Non-span events interleave freely and are ignored.
+	mixed := append([]obs.Event{&obs.SummaryEvent{Cache: "L1D"}}, events...)
+	if err := ReconcileSpans(mixed); err != nil {
+		t.Fatalf("mixed stream rejected: %v", err)
+	}
+	if err := ReconcileSpans(nil); err != nil {
+		t.Fatalf("empty stream rejected: %v", err)
+	}
+}
+
+func TestReconcileSpansRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []obs.Event
+		want   string
+	}{
+		{
+			"child escapes parent end",
+			asEvents(
+				sp("a", "ab", "", "job", 0, 100),
+				sp("a", "ce11", "ab", "cell", 50, 100),
+			),
+			"escapes parent",
+		},
+		{
+			"child starts before parent",
+			asEvents(
+				sp("a", "ab", "", "job", 100, 100),
+				sp("a", "ce11", "ab", "cell", 50, 10),
+			),
+			"escapes parent",
+		},
+		{
+			"two roots in one trace",
+			asEvents(
+				sp("a", "ab", "", "job", 0, 100),
+				sp("a", "ab2", "", "job", 0, 100),
+			),
+			"2 root spans",
+		},
+		{
+			"no roots (cycle only)",
+			asEvents(
+				sp("a", "aa", "bb", "x", 0, 100),
+				sp("a", "bb", "aa", "y", 0, 100),
+			),
+			"0 root spans",
+		},
+		{
+			"cycle beside a legit root",
+			asEvents(
+				sp("a", "ab", "", "job", 0, 100),
+				sp("a", "aa", "bb", "x", 0, 100),
+				sp("a", "bb", "aa", "y", 0, 100),
+			),
+			"",
+		},
+		{
+			"duplicate span IDs",
+			asEvents(
+				sp("a", "ab", "", "job", 0, 100),
+				sp("a", "ab", "", "job", 0, 100),
+			),
+			"used by both",
+		},
+		{
+			"self parent",
+			asEvents(sp("a", "aa", "aa", "x", 0, 100)),
+			"its own parent",
+		},
+		{
+			"negative duration",
+			asEvents(sp("a", "ab", "", "job", 0, -5)),
+			"negative duration",
+		},
+		{
+			"malformed trace ID",
+			asEvents(&obs.SpanEvent{Trace: "XYZ", Span: strings.Repeat("1", 16), Name: "x"}),
+			"malformed trace ID",
+		},
+		{
+			"zero span ID",
+			asEvents(&obs.SpanEvent{Trace: strings.Repeat("1", 32), Span: strings.Repeat("0", 16), Name: "x"}),
+			"malformed span ID",
+		},
+		{
+			"uppercase parent ID",
+			asEvents(&obs.SpanEvent{Trace: strings.Repeat("1", 32), Span: strings.Repeat("1", 16), Parent: strings.Repeat("A", 16), Name: "x"}),
+			"malformed parent ID",
+		},
+	}
+	for _, tc := range cases {
+		err := ReconcileSpans(tc.events)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReconcileSpansRealTracer runs a real tracer through a realistic
+// job shape — concurrent cell children under one compare span — and
+// requires the serialized stream to reconcile.
+func TestReconcileSpansRealTracer(t *testing.T) {
+	sink := &spanCollector{}
+	tr := obs.NewTracerSeeded(sink, 42)
+	job := tr.StartSpan("job", obs.SpanContext{})
+	adm := job.Child("admission")
+	adm.End()
+	queue := job.Child("queue")
+	queue.End()
+	run := job.Child("run")
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			c := run.Child("cell").AnnotateInt("worker", int64(i))
+			c.End()
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	run.End()
+	job.Child("flush").End()
+	job.End()
+
+	if err := ReconcileSpans(sink.events); err != nil {
+		t.Fatalf("real tracer stream does not reconcile: %v", err)
+	}
+	if n := len(sink.events); n != 9 {
+		t.Errorf("got %d spans, want 9", n)
+	}
+}
+
+type spanCollector struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *spanCollector) Emit(e obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}

@@ -55,6 +55,17 @@ type entry[V any] struct {
 // Get returns the cached value for key, building it (once) on a miss.
 // All callers for the same key share the builder's value and error.
 func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	v, _, err := c.GetCounted(key, build)
+	return v, err
+}
+
+// GetCounted is Get, additionally reporting whether the lookup was
+// served from an existing entry (true) or created it (false). The bit
+// matches the Stats accounting: a lookup arriving while another
+// goroutine is still building the key reports a hit. Span annotations
+// and throughput accounting hang off this — cached work must never be
+// credited as fresh.
+func (c *Cache[K, V]) GetCounted(key K, build func() (V, error)) (V, bool, error) {
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = make(map[K]*entry[V])
@@ -71,7 +82,7 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 		c.builds.Add(1)
 	}
 	e.once.Do(func() { e.val, e.err = build() })
-	return e.val, e.err
+	return e.val, hit, e.err
 }
 
 // Len returns the number of cached entries.

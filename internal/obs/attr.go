@@ -38,6 +38,12 @@ func Attribute(events []Event) map[string]*Attribution {
 		return a
 	}
 	for _, e := range events {
+		if _, ok := e.(*SpanEvent); ok {
+			// Spans trace the serving path, not a cache; folding their
+			// empty CacheName in would fabricate a "" attribution that
+			// could never reconcile (no cache emits a "" summary).
+			continue
+		}
 		a := get(e.CacheName())
 		switch ev := e.(type) {
 		case *AccessEvent:

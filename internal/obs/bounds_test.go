@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(0.01, 10, 4)
+	want := []float64{0.01, 0.1, 1, 10}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*want[i] {
+			t.Errorf("bound %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ExpBounds not strictly ascending at %d: %v", i, got)
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBounds(0, 2, 3) },
+		func() { ExpBounds(1, 1, 3) },
+		func() { ExpBounds(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("ExpBounds must panic on invalid layout")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestLatencyBoundsLayout(t *testing.T) {
+	if len(LatencyBounds) != 20 {
+		t.Fatalf("LatencyBounds has %d buckets, want 20", len(LatencyBounds))
+	}
+	if LatencyBounds[0] != 100e-6 {
+		t.Errorf("first bound = %g, want 100µs", LatencyBounds[0])
+	}
+	// The layout must accept LatencyBounds via the registry's strict
+	// ascending check (MustHistogram panics otherwise).
+	NewRegistry().MustHistogram("lat", LatencyBounds)
+	// Top bound covers ~52s so minutes-long jobs overflow, hours don't fit.
+	if top := LatencyBounds[len(LatencyBounds)-1]; top < 50 || top > 60 {
+		t.Errorf("top bound = %gs, want ~52s", top)
+	}
+}
+
+// TestHistogramBoundaryEdges pins the bucket rule v <= bound on exact
+// boundary values of the shared latency layout: an observation equal to
+// a bound lands in that bound's bucket, the next representable float
+// above lands in the following one, and anything above the top bound
+// lands in the overflow bucket.
+func TestHistogramBoundaryEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("edge", LatencyBounds)
+	b0, b7 := LatencyBounds[0], LatencyBounds[7]
+	top := LatencyBounds[len(LatencyBounds)-1]
+	h.Observe(b0)                         // exactly the first bound -> bucket 0
+	h.Observe(math.Nextafter(b0, 1))      // just above -> bucket 1
+	h.Observe(b7)                         // exactly bound 7 -> bucket 7
+	h.Observe(top)                        // exactly the top bound -> last real bucket
+	h.Observe(math.Nextafter(top, 1e300)) // just above the top -> overflow
+	h.Observe(0)                          // below every bound -> bucket 0
+	h.Observe(-1)                         // negative still lands in bucket 0
+
+	hv := r.Snapshot().Histograms["edge"]
+	wantAt := map[int]uint64{0: 3, 1: 1, 7: 1, 19: 1, 20: 1}
+	for i, c := range hv.Counts {
+		if c != wantAt[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantAt[i])
+		}
+	}
+	if hv.Count != 7 {
+		t.Errorf("Count = %d, want 7", hv.Count)
+	}
+	if got := len(hv.Counts); got != len(LatencyBounds)+1 {
+		t.Errorf("Counts carries %d buckets, want %d (+overflow)", got, len(LatencyBounds)+1)
+	}
+}
+
+// TestHistogramSnapshotJSONStable renders the same histogram twice and
+// requires byte-identical JSON — sorted keys, stable float formatting.
+func TestHistogramSnapshotJSONStable(t *testing.T) {
+	render := func() []byte {
+		r := NewRegistry()
+		r.MustHistogram("b.second", LatencyBounds).Observe(0.003)
+		r.MustHistogram("a.first", []float64{1, 2}).Observe(1.5)
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("histogram snapshots not byte-stable:\n%s\nvs\n%s", a, b)
+	}
+	if i, j := bytes.Index(a, []byte(`"a.first"`)), bytes.Index(a, []byte(`"b.second"`)); i < 0 || j < 0 || i > j {
+		t.Errorf("histogram keys not sorted in snapshot:\n%s", a)
+	}
+}

@@ -12,7 +12,9 @@ const Version = 1
 // Kind discriminates event types in serialized form.
 type Kind string
 
-// The event kinds of schema version 1.
+// The event kinds of schema version 1. KindSpan was added after the
+// others; the addition is backward compatible (old files never contain
+// the tag, new readers still read old files), so Version stays 1.
 const (
 	KindAccess  Kind = "access"
 	KindWindow  Kind = "window"
@@ -20,11 +22,12 @@ const (
 	KindDrain   Kind = "drain"
 	KindFault   Kind = "fault"
 	KindSummary Kind = "summary"
+	KindSpan    Kind = "span"
 )
 
 // Event is one structured telemetry record. The concrete types are
-// *AccessEvent, *WindowEvent, *SwitchEvent, *DrainEvent, *FaultEvent
-// and *SummaryEvent.
+// *AccessEvent, *WindowEvent, *SwitchEvent, *DrainEvent, *FaultEvent,
+// *SummaryEvent and *SpanEvent.
 type Event interface {
 	// Kind returns the serialized type tag.
 	Kind() Kind

@@ -153,6 +153,8 @@ func decodeRecord(raw []byte) (Event, error) {
 		e = &FaultEvent{}
 	case KindSummary:
 		e = &SummaryEvent{}
+	case KindSpan:
+		e = &SpanEvent{}
 	default:
 		return nil, fmt.Errorf("unknown event kind %q", env.T)
 	}

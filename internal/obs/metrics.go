@@ -270,6 +270,30 @@ func (r *Registry) MustHistogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// ExpBounds returns n exponentially spaced bucket upper bounds starting
+// at start and growing by factor: start, start*factor, ... — the layout
+// for latency-style metrics whose interesting range spans orders of
+// magnitude. Panics on a non-positive start, a factor <= 1 or n < 1
+// (programming errors, as with MustHistogram).
+func ExpBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBounds(%v, %v, %d): need start > 0, factor > 1, n >= 1", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBounds is the shared bucket layout for latency histograms, in
+// seconds: 20 power-of-two buckets from 100µs to ~52s, plus the
+// implicit overflow bucket. Wide enough for a sub-millisecond HTTP
+// handler and a minutes-long compare job in the same registry.
+var LatencyBounds = ExpBounds(100e-6, 2, 20)
+
 // GaugeValue is a gauge's serialized form.
 type GaugeValue struct {
 	Value int64 `json:"value"`

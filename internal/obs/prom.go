@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) rendered from a Snapshot,
+// with zero dependencies. Registry names map to metric families by a
+// small convention: a name may embed labels Prometheus-style —
+//
+//	server.http.requests{route="submit",code="202"}
+//
+// — in which case the part before '{' becomes the family name (dots
+// and other invalid characters rewritten to underscores) and the label
+// block is carried through verbatim. Series of one family are grouped
+// under a single # TYPE line and emitted sorted, so scrapes are
+// deterministic and diffable.
+//
+// Counters and FloatCounters render as counter families, Gauges as a
+// gauge family plus a companion <name>_max gauge for the high-water
+// mark, and Histograms in the standard cumulative form: one
+// <name>_bucket series per upper bound with an le label, the +Inf
+// bucket, and <name>_sum / <name>_count.
+
+// promSeries is one sample line: the family it belongs to, its label
+// block ("" or `{k="v",...}`), and the rendered value.
+type promSeries struct {
+	labels string
+	value  string
+}
+
+// promFamily collects the series of one family name.
+type promFamily struct {
+	typ    string // "counter", "gauge", "histogram"
+	series []promSeries
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	fams := make(map[string]*promFamily)
+	add := func(name, typ, labels, value string) {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{typ: typ}
+			fams[name] = f
+		}
+		f.series = append(f.series, promSeries{labels: labels, value: value})
+	}
+
+	for key, v := range s.Counters {
+		name, labels := splitPromKey(key)
+		add(name, "counter", labels, strconv.FormatUint(v, 10))
+	}
+	for key, v := range s.Floats {
+		name, labels := splitPromKey(key)
+		add(name, "counter", labels, formatPromFloat(v))
+	}
+	for key, v := range s.Gauges {
+		name, labels := splitPromKey(key)
+		add(name, "gauge", labels, strconv.FormatInt(v.Value, 10))
+		add(name+"_max", "gauge", labels, strconv.FormatInt(v.Max, 10))
+	}
+	for key, v := range s.Histograms {
+		name, labels := splitPromKey(key)
+		cum := uint64(0)
+		for i, bound := range v.Bounds {
+			cum += v.Counts[i]
+			add(name+"_bucket", "histogram:series", withLabel(labels, "le", formatPromFloat(bound)), strconv.FormatUint(cum, 10))
+		}
+		// The snapshot's trailing count is the overflow bucket; the +Inf
+		// cumulative bucket must equal the total observation count.
+		add(name+"_bucket", "histogram:series", withLabel(labels, "le", "+Inf"), strconv.FormatUint(v.Count, 10))
+		add(name+"_sum", "histogram:series", labels, formatPromFloat(v.Sum))
+		add(name+"_count", "histogram:series", labels, strconv.FormatUint(v.Count, 10))
+		// The TYPE line hangs off the base name.
+		if f := fams[name]; f == nil {
+			fams[name] = &promFamily{typ: "histogram"}
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if f.typ != "histogram:series" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, strings.TrimSuffix(f.typ, ":series")); err != nil {
+				return err
+			}
+		}
+		sort.Slice(f.series, func(i, j int) bool {
+			return promLess(f.series[i].labels, f.series[j].labels)
+		})
+		for _, sr := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", n, sr.labels, sr.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders a point-in-time snapshot of the registry in
+// the Prometheus text exposition format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// promLess orders series within a family: lexically by the label block
+// with the le label stripped (grouping one series' buckets together),
+// then by the numeric le bound, so 0.0016 precedes 0.0128 precedes
+// +Inf instead of sorting as strings.
+func promLess(a, b string) bool {
+	restA, leA, okA := splitLE(a)
+	restB, leB, okB := splitLE(b)
+	if restA != restB {
+		return restA < restB
+	}
+	if okA && okB && leA != leB {
+		return leA < leB
+	}
+	return a < b
+}
+
+// splitLE removes the le="..." pair from a label block and parses its
+// bound (+Inf included, via ParseFloat).
+func splitLE(labels string) (rest string, bound float64, ok bool) {
+	const marker = `le="`
+	i := strings.Index(labels, marker)
+	if i < 0 {
+		return labels, 0, false
+	}
+	j := strings.IndexByte(labels[i+len(marker):], '"')
+	if j < 0 {
+		return labels, 0, false
+	}
+	end := i + len(marker) + j + 1
+	v, err := strconv.ParseFloat(labels[i+len(marker):end-1], 64)
+	return labels[:i] + labels[end:], v, err == nil
+}
+
+// splitPromKey splits a registry key into a sanitized family name and
+// its verbatim label block ("" when the key carries none).
+func splitPromKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return sanitizePromName(key[:i]), key[i:]
+	}
+	return sanitizePromName(key), ""
+}
+
+// withLabel appends k="v" to a label block, opening one if absent.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + v + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// sanitizePromName rewrites a registry name into the Prometheus metric
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; dots (the registry's natural
+// separator) and any other invalid byte become underscores.
+func sanitizePromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil {
+			b = append([]byte(nil), name[:i]...)
+		}
+		b = append(b, '_')
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+// formatPromFloat renders a float the way Prometheus expects: shortest
+// round-trip representation. strconv already spells infinities and NaN
+// as +Inf/-Inf/NaN, which is the exposition-format spelling.
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

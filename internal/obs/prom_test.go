@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`server.http.requests{route="submit",code="202"}`).Add(3)
+	r.Counter(`server.http.requests{route="status",code="200"}`).Add(9)
+	r.Counter("server.jobs.submitted").Add(12)
+	r.Float("sim.energy.fj").Add(1.5)
+	r.Gauge("server.jobs.queued").Observe(2)
+	h := r.MustHistogram("server.queue.seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // first bucket
+	h.Observe(0.05)  // second
+	h.Observe(5)     // overflow
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE server_http_requests counter",
+		`server_http_requests{route="status",code="200"} 9`,
+		`server_http_requests{route="submit",code="202"} 3`,
+		"# TYPE server_jobs_queued gauge",
+		"server_jobs_queued 2",
+		"# TYPE server_jobs_queued_max gauge",
+		"server_jobs_queued_max 2",
+		"# TYPE server_jobs_submitted counter",
+		"server_jobs_submitted 12",
+		"# TYPE server_queue_seconds histogram",
+		`server_queue_seconds_bucket{le="0.01"} 1`,
+		`server_queue_seconds_bucket{le="0.1"} 2`,
+		`server_queue_seconds_bucket{le="1"} 2`,
+		`server_queue_seconds_bucket{le="+Inf"} 3`,
+		"server_queue_seconds_count 3",
+		"server_queue_seconds_sum 5.055",
+		"# TYPE sim_energy_fj counter",
+		"sim_energy_fj 1.5",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("Prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("z.last").Inc()
+		r.Counter("a.first").Inc()
+		r.Counter(`lbl{b="2"}`).Inc()
+		r.Counter(`lbl{a="1"}`).Inc()
+		r.MustHistogram("h", LatencyBounds).Observe(0.02)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Errorf("two identical registries rendered differently:\n%s\nvs\n%s", a, b)
+	}
+	// Bucket lines must be in ascending bound order, not string order.
+	i128 := strings.Index(a, `le="0.0128"`)
+	i0016 := strings.Index(a, `le="0.0016"`)
+	iInf := strings.Index(a, `le="+Inf"`)
+	if !(i0016 >= 0 && i128 >= 0 && iInf >= 0 && i0016 < i128 && i128 < iInf) {
+		t.Errorf("bucket ordering wrong (0.0016@%d, 0.0128@%d, +Inf@%d):\n%s", i0016, i128, iInf, a)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestSanitizePromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"server.http.requests", "server_http_requests"},
+		{"already_fine:total", "already_fine:total"},
+		{"9leading", "_leading"},
+		{"sp ace-dash", "sp_ace_dash"},
+		{"", "_"},
+	} {
+		if got := sanitizePromName(tc.in); got != tc.want {
+			t.Errorf("sanitizePromName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	mrand "math/rand"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span tracing. A Tracer hands out hierarchical spans — trace ID, span
+// ID, parent link, name, attributes, a wall-clock start and a monotonic
+// duration — and emits each one as a SpanEvent through the same
+// versioned JSONL envelope every other obs event uses, so span streams
+// decode with obs.Decoder and travel through any Sink (a file via
+// JSONLSink, cntd's per-job event log, a ring buffer).
+//
+// The disabled path is free: a nil *Tracer returns nil *Spans, and
+// every Span method no-ops on a nil receiver without allocating
+// (TestDisabledTracerAllocs) — instrumented code holds possibly-nil
+// handles and never branches beyond the receiver check.
+//
+// All timestamps derive from one wall+monotonic anchor captured at
+// tracer construction, so the start/end instants of every span from one
+// tracer are mutually consistent even across wall-clock steps: child
+// spans provably nest inside their parents (check.ReconcileSpans).
+
+// TraceID identifies one trace: 16 bytes, rendered as 32 lowercase hex
+// digits (the W3C trace-id format).
+type TraceID [16]byte
+
+// IsZero reports the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace: 8 bytes, rendered as 16
+// lowercase hex digits (the W3C parent-id format).
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagatable half of a span: enough to parent a
+// child span onto it, locally or across a process boundary via the
+// traceparent header. The zero value means "no parent" — starting a
+// span from it opens a new trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsZero reports an absent context.
+func (c SpanContext) IsZero() bool { return c.Trace.IsZero() }
+
+// Tracer mints spans and emits them into a sink when they end. Safe for
+// concurrent use; a nil *Tracer is the valid "tracing off" tracer.
+type Tracer struct {
+	sink Sink
+	// base is the single wall+monotonic anchor every span timestamp is
+	// derived from (base + monotonic elapsed), keeping all instants of
+	// one tracer mutually ordered even if the wall clock steps.
+	base time.Time
+
+	mu  sync.Mutex
+	rng *mrand.Rand // nil: IDs come from crypto/rand
+}
+
+// NewTracer returns a tracer emitting ended spans into sink (which must
+// be safe for concurrent Emit, as JSONLSink is). IDs are drawn from
+// crypto/rand, so traces from separate processes never collide.
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, base: time.Now()}
+}
+
+// NewTracerSeeded is NewTracer with deterministic IDs from a seeded
+// PRNG — golden tests want stable trace trees, production never does.
+func NewTracerSeeded(sink Sink, seed int64) *Tracer {
+	return &Tracer{sink: sink, base: time.Now(), rng: mrand.New(mrand.NewSource(seed))}
+}
+
+// now returns the current instant derived from the tracer's anchor: a
+// wall reading for serialization that still carries the monotonic
+// clock, because time.Time.Add preserves the monotonic reading.
+func (t *Tracer) now() time.Time { return t.base.Add(time.Since(t.base)) }
+
+// fill writes random ID bytes, never all zero.
+func (t *Tracer) fill(b []byte) {
+	for {
+		if t.rng != nil {
+			t.mu.Lock()
+			for i := 0; i < len(b); i += 8 {
+				var w [8]byte
+				binary.LittleEndian.PutUint64(w[:], t.rng.Uint64())
+				copy(b[i:], w[:])
+			}
+			t.mu.Unlock()
+		} else {
+			// crypto/rand.Read on the platform reader cannot fail in
+			// practice; if it ever does, fall back to the time anchor so a
+			// span is still minted rather than panicking mid-simulation.
+			if _, err := crand.Read(b); err != nil {
+				binary.LittleEndian.PutUint64(b, uint64(time.Since(t.base)))
+			}
+		}
+		for _, v := range b {
+			if v != 0 {
+				return
+			}
+		}
+	}
+}
+
+// StartSpan starts a span. A zero parent opens a new trace with this
+// span as its root; a non-zero parent — another span's Context, or one
+// extracted from a traceparent header — makes this span its child
+// within the existing trace. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, name: name, start: t.now()}
+	if parent.IsZero() {
+		t.fill(s.ctx.Trace[:])
+	} else {
+		s.ctx.Trace = parent.Trace
+		s.parent = parent.Span
+	}
+	t.fill(s.ctx.Span[:])
+	return s
+}
+
+// Span is one in-flight operation. Annotate and End must be called from
+// the goroutine that owns the span (or otherwise serialized); Context
+// and Child are safe from any goroutine — they read only immutable
+// identity, which is how a fan-out parents concurrent cell spans onto
+// one compare span.
+type Span struct {
+	t      *Tracer
+	ctx    SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  map[string]string
+	ended  bool
+}
+
+// Context returns the span's propagatable identity (zero for a nil
+// span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// Child starts a new span parented on s. Nil-safe and usable from any
+// goroutine.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartSpan(name, s.ctx)
+}
+
+// Annotate attaches a string attribute, returning the span for
+// chaining. Later values overwrite earlier ones for the same key.
+func (s *Span) Annotate(key, value string) *Span {
+	if s == nil || s.ended {
+		return s
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	return s
+}
+
+// AnnotateInt attaches an integer attribute.
+func (s *Span) AnnotateInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Annotate(key, strconv.FormatInt(v, 10))
+}
+
+// End closes the span and emits its SpanEvent. Idempotent: the second
+// End is a no-op, so shared cleanup paths can End defensively.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	e := &SpanEvent{
+		Trace: s.ctx.Trace.String(),
+		Span:  s.ctx.Span.String(),
+		Name:  s.name,
+		Start: s.start.UnixNano(),
+		Dur:   int64(time.Since(s.start)),
+		Attrs: s.attrs,
+	}
+	if !s.parent.IsZero() {
+		e.Parent = s.parent.String()
+	}
+	s.t.sink.Emit(e)
+}
+
+// EndErr annotates the span with err (when non-nil) and ends it.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.Annotate("error", err.Error())
+	}
+	s.End()
+}
+
+// SpanEvent is a completed span's serialized form: identity, parent
+// link, wall start in Unix nanoseconds, monotonic duration in
+// nanoseconds, and the attribute map (rendered with sorted keys by
+// encoding/json, so span streams diff cleanly).
+type SpanEvent struct {
+	Trace  string            `json:"trace"`
+	Span   string            `json:"span"`
+	Parent string            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  int64             `json:"start_ns"`
+	Dur    int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Kind implements Event.
+func (*SpanEvent) Kind() Kind { return KindSpan }
+
+// CacheName implements Event. Spans belong to the serving/run path, not
+// to a cache; Attribute skips them.
+func (e *SpanEvent) CacheName() string { return "" }
+
+// EndNS returns the span's end instant in Unix nanoseconds.
+func (e *SpanEvent) EndNS() int64 { return e.Start + e.Dur }

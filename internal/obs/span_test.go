@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collectSink buffers emitted events in memory for assertions.
+type collectSink struct {
+	events []Event
+}
+
+func (s *collectSink) Emit(e Event) { s.events = append(s.events, e) }
+
+func (s *collectSink) spans() []*SpanEvent {
+	var out []*SpanEvent
+	for _, e := range s.events {
+		out = append(out, e.(*SpanEvent))
+	}
+	return out
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracerSeeded(sink, 1)
+
+	root := tr.StartSpan("job", SpanContext{})
+	root.Annotate("tenant", "acme").AnnotateInt("cells", 14)
+	child := root.Child("compare")
+	grand := child.Child("cell")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := sink.spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Emitted innermost-first.
+	cell, compare, job := spans[0], spans[1], spans[2]
+	if cell.Name != "cell" || compare.Name != "compare" || job.Name != "job" {
+		t.Fatalf("span order/names wrong: %q %q %q", cell.Name, compare.Name, job.Name)
+	}
+	if job.Trace == "" || len(job.Trace) != 32 || len(job.Span) != 16 {
+		t.Errorf("job ids malformed: trace=%q span=%q", job.Trace, job.Span)
+	}
+	if cell.Trace != job.Trace || compare.Trace != job.Trace {
+		t.Error("children did not inherit the trace ID")
+	}
+	if job.Parent != "" {
+		t.Errorf("root has parent %q", job.Parent)
+	}
+	if compare.Parent != job.Span || cell.Parent != compare.Span {
+		t.Errorf("parent links wrong: compare.Parent=%q job.Span=%q cell.Parent=%q compare.Span=%q",
+			compare.Parent, job.Span, cell.Parent, compare.Span)
+	}
+	if job.Attrs["tenant"] != "acme" || job.Attrs["cells"] != "14" {
+		t.Errorf("attrs wrong: %v", job.Attrs)
+	}
+	// Children nest within parents on the shared clock.
+	for _, pair := range [][2]*SpanEvent{{job, compare}, {compare, cell}} {
+		p, c := pair[0], pair[1]
+		if c.Start < p.Start || c.EndNS() > p.EndNS() {
+			t.Errorf("span %q [%d,%d] not inside parent %q [%d,%d]",
+				c.Name, c.Start, c.EndNS(), p.Name, p.Start, p.EndNS())
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracerSeeded(sink, 2)
+	s := tr.StartSpan("once", SpanContext{})
+	s.End()
+	s.End()
+	s.EndErr(nil)
+	if len(sink.events) != 1 {
+		t.Fatalf("double End emitted %d events, want 1", len(sink.events))
+	}
+	// Annotate after End is dropped, not raced into the emitted event.
+	s.Annotate("late", "x")
+	if sink.spans()[0].Attrs["late"] != "" {
+		t.Error("Annotate after End mutated the emitted span")
+	}
+}
+
+func TestSpanEndErr(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracerSeeded(sink, 3)
+	tr.StartSpan("fail", SpanContext{}).EndErr(errors.New("cell 3: boom"))
+	got := sink.spans()[0]
+	if got.Attrs["error"] != "cell 3: boom" {
+		t.Errorf("EndErr attrs = %v, want error annotation", got.Attrs)
+	}
+}
+
+func TestSpanExplicitParent(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracerSeeded(sink, 4)
+	remote := SpanContext{}
+	copy(remote.Trace[:], bytes.Repeat([]byte{0xab}, 16))
+	copy(remote.Span[:], bytes.Repeat([]byte{0xcd}, 8))
+	s := tr.StartSpan("handler", remote)
+	s.End()
+	got := sink.spans()[0]
+	if got.Trace != strings.Repeat("ab", 16) {
+		t.Errorf("trace = %q, want inherited remote trace", got.Trace)
+	}
+	if got.Parent != strings.Repeat("cd", 8) {
+		t.Errorf("parent = %q, want remote span", got.Parent)
+	}
+}
+
+func TestTracerSeededDeterministicIDs(t *testing.T) {
+	ids := func() [2]string {
+		sink := &collectSink{}
+		tr := NewTracerSeeded(sink, 99)
+		tr.StartSpan("a", SpanContext{}).End()
+		tr.StartSpan("b", SpanContext{}).End()
+		sp := sink.spans()
+		return [2]string{sp[0].Trace + "/" + sp[0].Span, sp[1].Trace + "/" + sp[1].Span}
+	}
+	if a, b := ids(), ids(); a != b {
+		t.Errorf("seeded tracers diverged: %v vs %v", a, b)
+	}
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	tr.StartSpan("a", SpanContext{}).End()
+	sp := sink.spans()[0]
+	if sp.Trace == strings.Repeat("0", 32) || sp.Span == strings.Repeat("0", 16) {
+		t.Error("crypto tracer minted a zero ID")
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracerSeeded(sink, 7)
+	root := tr.StartSpan("job", SpanContext{})
+	root.Child("queue").Annotate("tenant", "t0").End()
+	root.End()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode span stream: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	q, ok := events[0].(*SpanEvent)
+	if !ok || q.Name != "queue" || q.Attrs["tenant"] != "t0" {
+		t.Fatalf("first event wrong: %#v", events[0])
+	}
+	if q.Kind() != KindSpan || q.CacheName() != "" {
+		t.Error("SpanEvent Kind/CacheName contract broken")
+	}
+	// Spans must not perturb cache attribution.
+	attr := Attribute(events)
+	if len(attr) != 0 {
+		t.Errorf("Attribute invented cache entries from spans: %v", attr)
+	}
+}
+
+// TestDisabledTracerAllocs pins the tracing-off path at zero
+// allocations: every operation on a nil tracer / nil span must be free.
+func TestDisabledTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		s := tr.StartSpan("job", SpanContext{})
+		s.Annotate("k", "v")
+		s.AnnotateInt("n", 42)
+		c := s.Child("inner")
+		c.EndErr(nil)
+		_ = s.Context()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTracerMonotonicAnchor(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracerSeeded(sink, 5)
+	s := tr.StartSpan("tick", SpanContext{})
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	got := sink.spans()[0]
+	if got.Dur < int64(time.Millisecond) {
+		t.Errorf("duration %dns did not capture the sleep", got.Dur)
+	}
+	if got.Start <= 0 {
+		t.Errorf("start %d is not a plausible wall instant", got.Start)
+	}
+}

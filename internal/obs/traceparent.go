@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// W3C Trace Context `traceparent` header support (version 00):
+//
+//	00-<32 lowerhex trace-id>-<16 lowerhex parent-id>-<2 lowerhex flags>
+//
+// ParseTraceparent is strict about what version 00 defines — lowercase
+// hex only, exact field widths, non-zero IDs — and forward compatible
+// the way the spec requires: a higher version is accepted as long as
+// its prefix parses as a valid 00 header and any extra content is
+// separated by a dash. Invalid headers return an error; callers treat
+// that as "no parent" and start a fresh trace (FuzzTraceparent pins
+// that the parser never panics and never returns a zero context
+// without an error).
+
+// traceparentV00Len is the exact length of a version-00 header:
+// 2 + 1 + 32 + 1 + 16 + 1 + 2.
+const traceparentV00Len = 55
+
+// ParseTraceparent parses a traceparent header into the span context to
+// parent onto. The returned context is never zero when err is nil.
+func ParseTraceparent(h string) (SpanContext, error) {
+	if len(h) < traceparentV00Len {
+		return SpanContext{}, fmt.Errorf("obs: traceparent too short (%d bytes)", len(h))
+	}
+	ver, ok := hexByte(h[0], h[1])
+	if !ok {
+		return SpanContext{}, fmt.Errorf("obs: traceparent version %q is not lowercase hex", h[:2])
+	}
+	switch {
+	case ver == 0xff:
+		return SpanContext{}, fmt.Errorf("obs: traceparent version ff is forbidden")
+	case ver == 0 && len(h) != traceparentV00Len:
+		return SpanContext{}, fmt.Errorf("obs: version-00 traceparent must be exactly %d bytes, got %d", traceparentV00Len, len(h))
+	case ver > 0 && len(h) > traceparentV00Len && h[traceparentV00Len] != '-':
+		return SpanContext{}, fmt.Errorf("obs: traceparent version %02x extra data must follow a dash", ver)
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, fmt.Errorf("obs: traceparent field separators misplaced")
+	}
+	var ctx SpanContext
+	if !decodeLowerHex(ctx.Trace[:], h[3:35]) {
+		return SpanContext{}, fmt.Errorf("obs: traceparent trace-id %q is not lowercase hex", h[3:35])
+	}
+	if !decodeLowerHex(ctx.Span[:], h[36:52]) {
+		return SpanContext{}, fmt.Errorf("obs: traceparent parent-id %q is not lowercase hex", h[36:52])
+	}
+	if _, ok := hexByte(h[53], h[54]); !ok {
+		return SpanContext{}, fmt.Errorf("obs: traceparent flags %q are not lowercase hex", h[53:55])
+	}
+	if ctx.Trace.IsZero() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent trace-id is all zero")
+	}
+	if ctx.Span.IsZero() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent parent-id is all zero")
+	}
+	return ctx, nil
+}
+
+// FormatTraceparent renders ctx as a version-00 traceparent header with
+// the sampled flag set (every span we mint is recorded). Returns ""
+// for a zero context — there is nothing valid to propagate.
+func FormatTraceparent(ctx SpanContext) string {
+	if ctx.IsZero() || ctx.Span.IsZero() {
+		return ""
+	}
+	return "00-" + hex.EncodeToString(ctx.Trace[:]) + "-" + hex.EncodeToString(ctx.Span[:]) + "-01"
+}
+
+// decodeLowerHex fills dst from exactly len(dst)*2 lowercase hex
+// digits, reporting false on any other input.
+func decodeLowerHex(dst []byte, s string) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		b, ok := hexByte(s[2*i], s[2*i+1])
+		if !ok {
+			return false
+		}
+		dst[i] = b
+	}
+	return true
+}
+
+// hexByte decodes two lowercase hex digits; uppercase is rejected, as
+// the W3C spec requires.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

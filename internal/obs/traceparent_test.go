@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	tpTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tpSpan  = "00f067aa0ba902b7"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	for _, h := range []string{
+		"00-" + tpTrace + "-" + tpSpan + "-01",
+		"00-" + tpTrace + "-" + tpSpan + "-00",
+		"00-" + tpTrace + "-" + tpSpan + "-ff",
+		// Future versions: same prefix, optional dash-separated extra data.
+		"01-" + tpTrace + "-" + tpSpan + "-01",
+		"cc-" + tpTrace + "-" + tpSpan + "-01-extra-stuff",
+	} {
+		ctx, err := ParseTraceparent(h)
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q) = %v, want ok", h, err)
+			continue
+		}
+		if ctx.Trace.String() != tpTrace || ctx.Span.String() != tpSpan {
+			t.Errorf("ParseTraceparent(%q) = %s/%s, want %s/%s", h, ctx.Trace, ctx.Span, tpTrace, tpSpan)
+		}
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"00",
+		"00-" + tpTrace + "-" + tpSpan,           // missing flags
+		"00-" + tpTrace + "-" + tpSpan + "-1",    // short flags
+		"00-" + tpTrace + "-" + tpSpan + "-01-x", // v00 must be exactly 55 bytes
+		"01-" + tpTrace + "-" + tpSpan + "-01xyz",               // extra data without dash
+		"ff-" + tpTrace + "-" + tpSpan + "-01",                  // forbidden version
+		"0x-" + tpTrace + "-" + tpSpan + "-01",                  // non-hex version
+		"00-" + strings.ToUpper(tpTrace) + "-" + tpSpan + "-01", // uppercase hex
+		"00-" + tpTrace + "-" + strings.Repeat("0", 16) + "-01", // zero parent-id
+		"00-" + strings.Repeat("0", 32) + "-" + tpSpan + "-01",  // zero trace-id
+		"00_" + tpTrace + "-" + tpSpan + "-01",                  // wrong separator
+		"00-" + tpTrace[:31] + "g-" + tpSpan + "-01",            // non-hex trace digit
+		"00-" + tpTrace + "-" + tpSpan[:15] + "G-01",            // non-hex span digit
+		"00-" + tpTrace + "-" + tpSpan + "-0G",                  // non-hex flags
+	} {
+		if ctx, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) = %s/%s, want error", h, ctx.Trace, ctx.Span)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	h := "00-" + tpTrace + "-" + tpSpan + "-01"
+	ctx, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTraceparent(ctx); got != h {
+		t.Errorf("FormatTraceparent = %q, want %q", got, h)
+	}
+	if got := FormatTraceparent(SpanContext{}); got != "" {
+		t.Errorf("FormatTraceparent(zero) = %q, want empty", got)
+	}
+}
+
+func TestTraceparentOfMintedSpan(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracerSeeded(sink, 11)
+	s := tr.StartSpan("handler", SpanContext{})
+	h := FormatTraceparent(s.Context())
+	back, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("minted span's header %q did not parse back: %v", h, err)
+	}
+	if back != s.Context() {
+		t.Errorf("round trip lost identity: %v vs %v", back, s.Context())
+	}
+	s.End()
+}

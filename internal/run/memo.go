@@ -90,12 +90,20 @@ func ResetMemo() {
 // Concurrent callers for the same (builder, seed) receive the same
 // pointer; Build runs at most once.
 func InstanceFor(b workload.Builder, seed int64) *workload.Instance {
-	inst, _ := instances.Get(instanceKey{builder: b.Name, seed: seed},
+	inst, _ := InstanceForCounted(b, seed)
+	return inst
+}
+
+// InstanceForCounted is InstanceFor, additionally reporting whether the
+// instance was served from the memo cache (true) rather than built by
+// this call — the bit load spans annotate as memo=hit/miss.
+func InstanceForCounted(b workload.Builder, seed int64) (*workload.Instance, bool) {
+	inst, hit, _ := instances.GetCounted(instanceKey{builder: b.Name, seed: seed},
 		func() (*workload.Instance, error) { return b.Build(seed), nil })
 	sharedMu.Lock()
 	shared[inst] = struct{}{}
 	sharedMu.Unlock()
-	return inst
+	return inst, hit
 }
 
 // baselineMemoizable reports whether opts is a plain baseline the cache

@@ -46,6 +46,16 @@ func Jobs(n int) int {
 // byte-identical across -jobs values. Results must be written by index
 // into caller-owned slices; fn must not touch shared mutable state.
 func ParallelResults(ctx context.Context, jobs, n int, fn func(i int) error) []error {
+	return ParallelResultsWorkers(ctx, jobs, n, func(_, i int) error { return fn(i) })
+}
+
+// ParallelResultsWorkers is ParallelResults with the executing worker's
+// index (0..jobs-1) passed to each unit. The worker index is scheduling
+// information — span annotations, debug labels — and must never feed
+// back into what a unit computes, or results would stop being
+// byte-identical across -jobs values. The serial path runs every unit
+// as worker 0.
+func ParallelResultsWorkers(ctx context.Context, jobs, n int, fn func(worker, i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
@@ -53,13 +63,13 @@ func ParallelResults(ctx context.Context, jobs, n int, fn func(i int) error) []e
 	if jobs > n {
 		jobs = n
 	}
-	run := func(i int) {
+	run := func(worker, i int) {
 		defer func() {
 			if v := recover(); v != nil {
 				errs[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
 			}
 		}()
-		errs[i] = fn(i)
+		errs[i] = fn(worker, i)
 	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
@@ -67,7 +77,7 @@ func ParallelResults(ctx context.Context, jobs, n int, fn func(i int) error) []e
 				errs[i] = err
 				continue
 			}
-			run(i)
+			run(0, i)
 		}
 		return errs
 	}
@@ -75,12 +85,12 @@ func ParallelResults(ctx context.Context, jobs, n int, fn func(i int) error) []e
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				run(i)
+				run(worker, i)
 			}
-		}()
+		}(w)
 	}
 	done := ctx.Done()
 dispatch:

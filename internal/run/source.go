@@ -53,33 +53,43 @@ func (s Source) Validate() error {
 // hierarchy — should run the VM against the simulation directly (see
 // experiment E9).
 func (s Source) Load(seed int64) (*workload.Instance, error) {
+	inst, _, err := s.LoadCounted(seed)
+	return inst, err
+}
+
+// LoadCounted is Load, additionally reporting whether the instance was
+// served from the kernel memo cache (true) rather than materialized by
+// this call. Program and trace sources always report false — they are
+// rebuilt per load.
+func (s Source) LoadCounted(seed int64) (*workload.Instance, bool, error) {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	switch {
 	case s.Instance != nil:
-		return s.Instance, nil
+		return s.Instance, false, nil
 	case s.Kernel != "":
 		b, err := workload.ByName(s.Kernel)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return InstanceFor(b, seed), nil
+		inst, hit := InstanceForCounted(b, seed)
+		return inst, hit, nil
 	case s.Program != "":
 		src, ok := isa.Programs()[s.Program]
 		if !ok {
-			return nil, fmt.Errorf("run: unknown program %q (have %v)", s.Program, isa.ProgramNames())
+			return nil, false, fmt.Errorf("run: unknown program %q (have %v)", s.Program, isa.ProgramNames())
 		}
 		_, accs, err := isa.RunProgram(src, isa.CodeBase, isa.DefaultMaxSteps)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return &workload.Instance{Name: s.Program, Accesses: accs}, nil
+		return &workload.Instance{Name: s.Program, Accesses: accs}, false, nil
 	default:
 		accs, err := trace.ReadFile(s.TracePath)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return &workload.Instance{Name: s.TracePath, Accesses: accs}, nil
+		return &workload.Instance{Name: s.TracePath, Accesses: accs}, false, nil
 	}
 }

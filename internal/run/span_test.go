@@ -1,0 +1,279 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// spanSink collects span events concurrently (Compare cells emit from
+// worker goroutines).
+type spanSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *spanSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+func (s *spanSink) spans() []*obs.SpanEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*obs.SpanEvent, len(s.events))
+	for i, e := range s.events {
+		out[i] = e.(*obs.SpanEvent)
+	}
+	return out
+}
+
+func (s *spanSink) named(name string) []*obs.SpanEvent {
+	var out []*obs.SpanEvent
+	for _, sp := range s.spans() {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// assertSpansNest verifies parent links and interval containment
+// locally (the full audit lives in internal/check.ReconcileSpans,
+// which cannot be imported here without a test-only cycle through
+// internal/config).
+func assertSpansNest(t *testing.T, spans []*obs.SpanEvent) {
+	t.Helper()
+	byID := map[string]*obs.SpanEvent{}
+	for _, s := range spans {
+		byID[s.Span] = s
+	}
+	roots := 0
+	for _, s := range spans {
+		p, ok := byID[s.Parent]
+		if s.Parent == "" || !ok {
+			roots++
+			continue
+		}
+		if s.Start < p.Start || s.EndNS() > p.EndNS() {
+			t.Errorf("span %q [%d,%d] escapes parent %q [%d,%d]",
+				s.Name, s.Start, s.EndNS(), p.Name, p.Start, p.EndNS())
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%d root spans, want 1", roots)
+	}
+}
+
+func TestTracedRunEmitsLifecycleSpans(t *testing.T) {
+	ResetMemo()
+	sink := &spanSink{}
+	tracer := obs.NewTracerSeeded(sink, 1)
+	root := tracer.StartSpan("job", obs.SpanContext{})
+
+	spec := Spec{
+		Source:     Source{Kernel: "mm"},
+		Tracer:     tracer,
+		SpanParent: root.Context(),
+	}
+	if _, err := spec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	loads := sink.named("load")
+	if len(loads) != 1 {
+		t.Fatalf("got %d load spans, want 1", len(loads))
+	}
+	if loads[0].Attrs["memo"] != "miss" {
+		t.Errorf("first load memo = %q, want miss", loads[0].Attrs["memo"])
+	}
+	if loads[0].Attrs["source"] == "" || loads[0].Attrs["accesses"] == "" {
+		t.Errorf("load span missing source/accesses attrs: %v", loads[0].Attrs)
+	}
+	runs := sink.named("run")
+	if len(runs) != 1 {
+		t.Fatalf("got %d run spans, want 1", len(runs))
+	}
+	if runs[0].Attrs["workload"] == "" || runs[0].Attrs["variant"] != DefaultVariant {
+		t.Errorf("run span attrs wrong: %v", runs[0].Attrs)
+	}
+	jobs := sink.named("job")
+	if len(jobs) != 1 {
+		t.Fatalf("got %d job spans, want 1", len(jobs))
+	}
+	for _, sp := range []*obs.SpanEvent{loads[0], runs[0]} {
+		if sp.Parent != jobs[0].Span || sp.Trace != jobs[0].Trace {
+			t.Errorf("%s span not parented on job root: %+v", sp.Name, sp)
+		}
+	}
+	assertSpansNest(t, sink.spans())
+
+	// A second resolve of the same kernel must annotate a memo hit.
+	sink2 := &spanSink{}
+	tracer2 := obs.NewTracerSeeded(sink2, 2)
+	if _, err := (Spec{Source: Source{Kernel: "mm"}, Tracer: tracer2}).Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink2.named("load"); len(got) != 1 || got[0].Attrs["memo"] != "hit" {
+		t.Errorf("second load span = %+v, want memo=hit", got)
+	}
+}
+
+func TestTracedCompareEmitsCellSpans(t *testing.T) {
+	ResetMemo()
+	for _, jobs := range []int{1, 4} {
+		sink := &spanSink{}
+		tracer := obs.NewTracerSeeded(sink, 7)
+		root := tracer.StartSpan("job", obs.SpanContext{})
+		sess, err := Spec{
+			Source:     Source{Kernel: "fir"},
+			Jobs:       jobs,
+			Tracer:     tracer,
+			SpanParent: root.Context(),
+		}.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := sess.Compare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+
+		compares := sink.named("compare")
+		if len(compares) != 1 {
+			t.Fatalf("jobs=%d: got %d compare spans, want 1", jobs, len(compares))
+		}
+		cspan := compares[0]
+		if cspan.Attrs["cells"] != strconv.Itoa(len(cmp.Names)) {
+			t.Errorf("jobs=%d: compare cells attr = %q, want %d", jobs, cspan.Attrs["cells"], len(cmp.Names))
+		}
+		cells := sink.named("cell")
+		if len(cells) != len(cmp.Names) {
+			t.Fatalf("jobs=%d: got %d cell spans, want %d", jobs, len(cells), len(cmp.Names))
+		}
+		seen := map[string]bool{}
+		for _, c := range cells {
+			if c.Parent != cspan.Span {
+				t.Errorf("jobs=%d: cell %v not parented on compare span", jobs, c.Attrs)
+			}
+			if c.Attrs["attempt"] != "1" {
+				t.Errorf("jobs=%d: clean cell attempt = %q, want 1", jobs, c.Attrs["attempt"])
+			}
+			w, err := strconv.Atoi(c.Attrs["worker"])
+			if err != nil || w < 0 || w >= jobs {
+				t.Errorf("jobs=%d: cell worker attr %q out of range", jobs, c.Attrs["worker"])
+			}
+			seen[c.Attrs["variant"]] = true
+		}
+		for _, name := range cmp.Names {
+			if !seen[name] {
+				t.Errorf("jobs=%d: no cell span for variant %q", jobs, name)
+			}
+		}
+		assertSpansNest(t, sink.spans())
+	}
+}
+
+// TestTracedCompareRetriesSpanPerAttempt forces one transient failure
+// and expects two cell spans for that variant: attempt 1 carrying the
+// error annotation, attempt 2 clean.
+func TestTracedCompareRetriesSpanPerAttempt(t *testing.T) {
+	ResetMemo()
+	sink := &spanSink{}
+	tracer := obs.NewTracerSeeded(sink, 9)
+	sess, err := Spec{
+		Source:  Source{Kernel: "fir"},
+		Jobs:    1,
+		Retries: 2,
+		Tracer:  tracer,
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	sess.compareHook = func(i int) error {
+		if i == 0 && !failed {
+			failed = true
+			return MarkTransient(errors.New("flaky cell"))
+		}
+		return nil
+	}
+	if _, err := sess.Compare(); err != nil {
+		t.Fatalf("retry should have salvaged the compare: %v", err)
+	}
+	var first, second *obs.SpanEvent
+	for _, c := range sink.named("cell") {
+		switch c.Attrs["attempt"] {
+		case "1":
+			if c.Attrs["error"] != "" {
+				first = c
+			}
+		case "2":
+			second = c
+		}
+	}
+	if first == nil {
+		t.Error("no attempt-1 cell span carrying the transient error")
+	}
+	if second == nil {
+		t.Error("no attempt-2 cell span for the retried cell")
+	} else if second.Attrs["error"] != "" {
+		t.Errorf("retried attempt carries error %q", second.Attrs["error"])
+	}
+}
+
+// TestUntracedRunHasNoSpans pins the disabled path: no tracer, no span
+// events, and results identical to a traced run.
+func TestUntracedRunHasNoSpans(t *testing.T) {
+	ResetMemo()
+	plain, err := (Spec{Source: Source{Kernel: "mm"}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &spanSink{}
+	traced, err := (Spec{Source: Source{Kernel: "mm"}, Tracer: obs.NewTracerSeeded(sink, 3)}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.DEnergy != traced.DEnergy || plain.DStats != traced.DStats {
+		t.Errorf("tracing perturbed the result: %+v vs %+v", plain.DEnergy, traced.DEnergy)
+	}
+	if len(sink.events) == 0 {
+		t.Error("traced run emitted no spans")
+	}
+}
+
+func TestParallelResultsWorkersIndices(t *testing.T) {
+	const n = 32
+	workers := make([]int, n)
+	errs := ParallelResultsWorkers(context.Background(), 4, n, func(worker, i int) error {
+		workers[i] = worker
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		if workers[i] < 0 || workers[i] >= 4 {
+			t.Errorf("unit %d ran on worker %d, want 0..3", i, workers[i])
+		}
+	}
+	// Serial path: everything on worker 0.
+	serial := make([]int, 4)
+	ParallelResultsWorkers(context.Background(), 1, 4, func(worker, i int) error {
+		serial[i] = worker
+		return nil
+	})
+	for i, w := range serial {
+		if w != 0 {
+			t.Errorf("serial unit %d on worker %d, want 0", i, w)
+		}
+	}
+}

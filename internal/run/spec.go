@@ -58,6 +58,18 @@ type Spec struct {
 	Metrics *obs.Registry
 	Trace   obs.Sink
 
+	// Tracer, when non-nil, emits lifecycle spans for this run: source
+	// loading (with memo hit/miss), the replay itself, and per-cell
+	// Compare simulations (with worker index and retry attempt). Spans
+	// flow through the tracer's own sink, not Trace — cache events and
+	// lifecycle spans are separate streams. A nil Tracer costs nothing.
+	Tracer *obs.Tracer
+	// SpanParent parents every span this run emits — typically the
+	// caller's root "job" span, so CLI and daemon runs trace through the
+	// identical shape. The zero value makes each top-level stage span a
+	// trace root of its own.
+	SpanParent obs.SpanContext
+
 	// Fault, when non-nil, attaches the device fault model to both L1s
 	// (internal/fault); each cache mixes its own label into Fault.Seed,
 	// so the two sides draw independent fault streams. Explicitly-
@@ -90,13 +102,15 @@ type Session struct {
 	// SimConfig is the fully-resolved engine configuration.
 	SimConfig core.SimConfig
 
-	seed     int64
-	jobs     int
-	retries  int
-	name     string // D-variant registry name; "" when DOptions was used
-	params   core.Params
-	paramsOK bool
-	sim      *core.Sim
+	seed       int64
+	jobs       int
+	retries    int
+	name       string // D-variant registry name; "" when DOptions was used
+	params     core.Params
+	paramsOK   bool
+	sim        *core.Sim
+	tracer     *obs.Tracer // nil: lifecycle spans off
+	spanParent obs.SpanContext
 
 	// compareHook, when set, observes each Compare cell attempt as it
 	// starts (called with the variant index on the worker goroutine,
@@ -143,7 +157,10 @@ func resolveSide(variant string, params *core.Params, device string) (string, co
 
 // configure resolves everything but the source.
 func (s Spec) configure() (*Session, error) {
-	sess := &Session{seed: s.Seed, jobs: s.Jobs, retries: s.Retries}
+	sess := &Session{
+		seed: s.Seed, jobs: s.Jobs, retries: s.Retries,
+		tracer: s.Tracer, spanParent: s.SpanParent,
+	}
 	if sess.seed == 0 {
 		sess.seed = 1
 	}
@@ -241,10 +258,23 @@ func (s Spec) Resolve() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst, err := s.Source.Load(sess.seed)
+	span := s.Tracer.StartSpan("load", s.SpanParent)
+	inst, memoHit, err := s.Source.LoadCounted(sess.seed)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
+	span.Annotate("source", inst.Name).AnnotateInt("accesses", int64(len(inst.Accesses)))
+	if s.Source.Kernel != "" {
+		// Only kernel sources go through the instance memo; hit means the
+		// immutable instance was shared, not rebuilt.
+		if memoHit {
+			span.Annotate("memo", "hit")
+		} else {
+			span.Annotate("memo", "miss")
+		}
+	}
+	span.End()
 	sess.Instance = inst
 	return sess, nil
 }
@@ -276,6 +306,20 @@ const cancelCheckInterval = 4096
 // report — single simulations are all-or-nothing; partial salvage is a
 // Compare-level concept, where the units are independent.
 func (sess *Session) RunContext(ctx context.Context) (*Report, error) {
+	span := sess.tracer.StartSpan("run", sess.spanParent).
+		Annotate("workload", sess.Instance.Name).
+		AnnotateInt("accesses", int64(len(sess.Instance.Accesses)))
+	rep, err := sess.runContext(ctx)
+	if err == nil && rep.Variant != "" {
+		span.Annotate("variant", rep.Variant)
+	}
+	span.EndErr(err)
+	return rep, err
+}
+
+// runContext is RunContext's body, separated so the span wrapper sees
+// every exit path.
+func (sess *Session) runContext(ctx context.Context) (*Report, error) {
 	m := mem.New()
 	sess.Instance.Preload(m)
 	sim, err := core.NewSim(sess.SimConfig, m)
@@ -353,7 +397,11 @@ func (sess *Session) CompareContext(ctx context.Context) (*core.Comparison, erro
 	for i, v := range variants {
 		cmp.Names[i] = v.Name
 	}
-	errs := ParallelResults(ctx, Jobs(sess.jobs), len(variants), func(i int) error {
+	cspan := sess.tracer.StartSpan("compare", sess.spanParent).
+		Annotate("workload", sess.Instance.Name).
+		AnnotateInt("cells", int64(len(variants))).
+		AnnotateInt("jobs", int64(Jobs(sess.jobs)))
+	errs := ParallelResultsWorkers(ctx, Jobs(sess.jobs), len(variants), func(worker, i int) error {
 		v := variants[i]
 		// Every cell inherits the session's fault model (nil for a healthy
 		// run): the variants compete on the same defective array, exactly
@@ -361,19 +409,32 @@ func (sess *Session) CompareContext(ctx context.Context) (*core.Comparison, erro
 		opts := v.Opts
 		opts.Fault = sess.SimConfig.DOpts.Fault
 		cfg := core.SimConfig{Hierarchy: sess.SimConfig.Hierarchy, DOpts: opts, IOpts: opts}
+		attempt := 0
 		return Retry(ctx, sess.retries, compareRetryBackoff, func() error {
-			if h := sess.compareHook; h != nil {
-				if err := h(i); err != nil {
-					return err
+			attempt++
+			// One span per attempt: a retried cell shows every try, each
+			// annotated with the worker that ran it. cspan.Child is safe
+			// from worker goroutines — it reads only immutable identity.
+			span := cspan.Child("cell").
+				Annotate("variant", v.Name).
+				AnnotateInt("worker", int64(worker)).
+				AnnotateInt("attempt", int64(attempt))
+			err := func() error {
+				if h := sess.compareHook; h != nil {
+					if err := h(i); err != nil {
+						return err
+					}
 				}
-			}
-			rep, err := core.RunInstance(sess.Instance, cfg)
-			if err != nil {
-				return fmt.Errorf("run: variant %s: %w", v.Name, err)
-			}
-			rep.Variant = v.Name
-			cmp.Reports[i] = rep
-			return nil
+				rep, err := core.RunInstance(sess.Instance, cfg)
+				if err != nil {
+					return fmt.Errorf("run: variant %s: %w", v.Name, err)
+				}
+				rep.Variant = v.Name
+				cmp.Reports[i] = rep
+				return nil
+			}()
+			span.EndErr(err)
+			return err
 		})
 	})
 	var perr *PartialError
@@ -386,7 +447,9 @@ func (sess *Session) CompareContext(ctx context.Context) (*core.Comparison, erro
 		}
 	}
 	if perr != nil {
+		cspan.EndErr(perr)
 		return cmp, perr
 	}
+	cspan.End()
 	return cmp, nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	httppprof "net/http/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/config"
@@ -59,6 +60,15 @@ type JobDoc struct {
 	Created  string `json:"created,omitempty"`
 	Started  string `json:"started,omitempty"`
 	Finished string `json:"finished,omitempty"`
+	// Trace is the job's span trace ID when the daemon runs with
+	// tracing; `cntstat -spans` filters on it.
+	Trace string `json:"trace,omitempty"`
+	// QueueMS is the admission-to-dispatch wait and RunMS the
+	// dispatch-to-finish time, both in milliseconds, derived from the
+	// scheduler's timestamps. QueueMS appears once the job has been
+	// claimed (or cancelled while queued); RunMS once it finished.
+	QueueMS float64 `json:"queue_ms,omitempty"`
+	RunMS   float64 `json:"run_ms,omitempty"`
 	// Error is the job-level failure (state "failed" or "cancelled"),
 	// or the partial-failure summary (state "partial").
 	Error string `json:"error,omitempty"`
@@ -95,6 +105,17 @@ func (s *Scheduler) docLocked(j *Job) *JobDoc {
 		Created:  stamp(j.created),
 		Started:  stamp(j.started),
 		Finished: stamp(j.finished),
+		Trace:    j.trace,
+	}
+	switch {
+	case !j.started.IsZero():
+		doc.QueueMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)
+		if !j.finished.IsZero() {
+			doc.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	case !j.finished.IsZero():
+		// Cancelled while queued: the whole lifetime was queue wait.
+		doc.QueueMS = float64(j.finished.Sub(j.created)) / float64(time.Millisecond)
 	}
 	if j.err != nil {
 		doc.Error = j.err.Error()
@@ -135,8 +156,15 @@ func (s *Scheduler) Doc(j *Job, full bool) *JobDoc {
 //	GET    /v1/runs/{id}/events stream the recorded obs JSONL events
 //	DELETE /v1/runs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness + job-state counts
-//	GET    /metrics             obs registry snapshot (JSON)
+//	GET    /metrics             obs registry snapshot (JSON by default;
+//	                            Prometheus text with ?format=prometheus
+//	                            or an Accept header naming text/plain
+//	                            or openmetrics)
 //	GET    /debug/pprof/        standard pprof surface
+//
+// Wrap the returned handler with Instrument to add request spans,
+// latency histograms and an access log; the handlers cooperate through
+// the request context (ReqInfo) but work identically unwrapped.
 //
 // reg may be nil (metrics serves an empty registry snapshot then).
 func NewHandler(s *Scheduler, reg *obs.Registry) http.Handler {
@@ -186,15 +214,7 @@ func NewHandler(s *Scheduler, reg *obs.Registry) http.Handler {
 		if registry == nil {
 			registry = obs.NewRegistry()
 		}
-		// Buffer the snapshot so an encode failure becomes a clean 500
-		// instead of a 200 with a truncated body.
-		var buf bytes.Buffer
-		if err := registry.WriteJSON(&buf); err != nil {
-			httpError(w, http.StatusInternalServerError, "encoding metrics: %v", err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(buf.Bytes())
+		handleMetrics(registry, w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -202,6 +222,49 @@ func NewHandler(s *Scheduler, reg *obs.Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return mux
+}
+
+// promContentType is the Prometheus text exposition format 0.0.4
+// content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// handleMetrics serves the registry snapshot, content-negotiated:
+// JSON stays the default (and the explicit ?format=json), Prometheus
+// text exposition is selected by ?format=prometheus or an Accept
+// header asking for text/plain or an openmetrics type. The query
+// parameter wins over the header.
+func handleMetrics(registry *obs.Registry, w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "prometheus":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown metrics format %q (want json or prometheus)", format)
+		return
+	}
+	prom := format == "prometheus"
+	if format == "" {
+		accept := r.Header.Get("Accept")
+		prom = strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+	}
+	// Buffer the snapshot so an encode failure becomes a clean 500
+	// instead of a 200 with a truncated body.
+	var buf bytes.Buffer
+	var err error
+	if prom {
+		err = registry.WritePrometheus(&buf)
+	} else {
+		err = registry.WriteJSON(&buf)
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding metrics: %v", err)
+		return
+	}
+	if prom {
+		w.Header().Set("Content-Type", promContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.Write(buf.Bytes())
 }
 
 // handleSubmit validates a submission eagerly — every structural error
@@ -217,6 +280,9 @@ func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 	if err := strictDecode(body, &doc); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing submit document: %v", err)
 		return
+	}
+	if info := ReqFrom(r.Context()); info != nil {
+		info.Tenant = doc.Tenant
 	}
 	mode := doc.Mode
 	if mode == "" {
@@ -254,9 +320,11 @@ func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		Mode:     mode,
 		Events:   doc.Events,
 		Spec:     spec,
+		Link:     SpanFrom(r.Context()).Context(),
 	})
 	switch {
 	case err == nil:
+		SpanFrom(r.Context()).Annotate("job", j.ID)
 		writeJSON(w, http.StatusAccepted, s.Doc(j, false))
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantBusy):
 		w.Header().Set("Retry-After", "1")
@@ -286,6 +354,11 @@ func handleReport(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "job %s is %s, report not available", j.ID, state)
 		return
 	}
+	// Rendering belongs to the request, not the job (whose root span
+	// closed at artifact flush), so the render span parents on the
+	// request span when the handler chain is instrumented.
+	rspan := SpanFrom(r.Context()).Child("render").Annotate("job", j.ID)
+	defer rspan.End()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	switch {
 	case rep != nil:

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTP middleware for the serving seam: request spans with W3C
+// traceparent extraction/injection, per-route/status latency
+// histograms, and a serialized structured access log. Everything is
+// opt-in per field of InstrumentOptions; with the zero options,
+// Instrument returns the handler unchanged — the disabled path is not
+// "cheap", it is the very same handler, which is how the 0 allocs/op
+// contract holds trivially (TestInstrumentDisabledIsIdentity).
+
+// InstrumentOptions selects which instrumentation Instrument wraps
+// around a handler. Any subset may be enabled.
+type InstrumentOptions struct {
+	// Tracer emits one "http.request" span per request. If the request
+	// carries a valid traceparent header, the span joins the caller's
+	// trace as a child of the propagated context; either way the span's
+	// own context is injected into the response's Traceparent header, so
+	// clients always learn the server-side span identity.
+	Tracer *obs.Tracer
+	// Metrics receives per-route/status latency histograms
+	// (server.http.seconds{route=...,status=...}, obs.LatencyBounds) in
+	// addition to whatever the inner handlers record.
+	Metrics *obs.Registry
+	// Access, when non-nil, receives one line per completed request.
+	Access *AccessLogger
+}
+
+// Instrument wraps h with the enabled instrumentation. Zero options
+// return h itself.
+func Instrument(h http.Handler, opts InstrumentOptions) http.Handler {
+	if opts.Tracer == nil && opts.Metrics == nil && opts.Access == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		route := routeOf(r.Method, r.URL.Path)
+		info := &ReqInfo{}
+		if opts.Tracer != nil {
+			parent, err := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+			if err != nil {
+				parent = obs.SpanContext{} // no or invalid header: new trace
+			}
+			info.Span = opts.Tracer.StartSpan("http.request", parent).
+				Annotate("route", route).
+				Annotate("method", r.Method).
+				Annotate("path", r.URL.Path)
+			w.Header().Set("Traceparent", obs.FormatTraceparent(info.Span.Context()))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info)))
+		status := sw.Status()
+		dur := time.Since(start)
+		if opts.Metrics != nil {
+			key := fmt.Sprintf(`server.http.seconds{route=%q,status="%d"}`, route, status)
+			opts.Metrics.MustHistogram(key, obs.LatencyBounds).Observe(dur.Seconds())
+		}
+		var trace string
+		if info.Span != nil {
+			info.Span.AnnotateInt("status", int64(status))
+			if info.Tenant != "" {
+				info.Span.Annotate("tenant", info.Tenant)
+			}
+			trace = info.Span.Context().Trace.String()
+			info.Span.End()
+		}
+		if opts.Access != nil {
+			opts.Access.Log(AccessEntry{
+				Time:   start,
+				Method: r.Method,
+				Route:  route,
+				Path:   r.URL.Path,
+				Status: status,
+				Dur:    dur,
+				Trace:  trace,
+				Tenant: info.Tenant,
+			})
+		}
+	})
+}
+
+// ReqInfo is the per-request state the middleware shares with handlers
+// through the request context: the request span (for parenting child
+// spans like report rendering) and the tenant once a handler has
+// parsed it (for the access log and span annotation).
+type ReqInfo struct {
+	Span   *obs.Span
+	Tenant string
+}
+
+type reqInfoKey struct{}
+
+// ReqFrom returns the request's ReqInfo, or nil when the handler chain
+// is not instrumented.
+func ReqFrom(ctx context.Context) *ReqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*ReqInfo)
+	return info
+}
+
+// SpanFrom returns the request span, nil-safe: without instrumentation
+// (or without a tracer) it returns a nil *obs.Span whose methods no-op.
+func SpanFrom(ctx context.Context) *obs.Span {
+	if info := ReqFrom(ctx); info != nil {
+		return info.Span
+	}
+	return nil
+}
+
+// statusWriter records the response status while passing everything
+// through — including Flush, which the events streaming handler needs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Status returns the recorded status, defaulting to 200 for handlers
+// that wrote nothing explicit.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// routeOf normalizes a request to one of a fixed set of route labels,
+// keeping metric and span cardinality bounded no matter what paths
+// clients probe ("other" absorbs the rest; job IDs never become
+// labels).
+func routeOf(method, path string) string {
+	switch {
+	case path == "/v1/runs":
+		if method == http.MethodPost {
+			return "submit"
+		}
+		return "list"
+	case strings.HasPrefix(path, "/v1/runs/"):
+		rest := path[len("/v1/runs/"):]
+		switch {
+		case strings.HasSuffix(rest, "/report"):
+			return "report"
+		case strings.HasSuffix(rest, "/events"):
+			return "events"
+		case !strings.Contains(rest, "/"):
+			if method == http.MethodDelete {
+				return "cancel"
+			}
+			return "status"
+		}
+		return "other"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	}
+	return "other"
+}
+
+// AccessEntry is one completed request, as the access log records it.
+type AccessEntry struct {
+	Time   time.Time
+	Method string
+	Route  string
+	Path   string
+	Status int
+	Dur    time.Duration
+	Trace  string
+	Tenant string
+}
+
+// AccessLogger writes one line per request on a serialized writer, so
+// concurrent requests never interleave bytes. Text by default; JSON
+// lines with jsonFormat (cntd -log-json).
+type AccessLogger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+}
+
+// NewAccessLogger wraps w. jsonFormat selects JSON-lines output.
+func NewAccessLogger(w io.Writer, jsonFormat bool) *AccessLogger {
+	return &AccessLogger{w: w, json: jsonFormat}
+}
+
+// accessDoc is AccessEntry's JSON shape.
+type accessDoc struct {
+	Time   string  `json:"time"`
+	Method string  `json:"method"`
+	Route  string  `json:"route"`
+	Path   string  `json:"path"`
+	Status int     `json:"status"`
+	DurMS  float64 `json:"dur_ms"`
+	Trace  string  `json:"trace,omitempty"`
+	Tenant string  `json:"tenant,omitempty"`
+}
+
+// Log writes one entry. Serialization failures are swallowed — the
+// access log must never take the serving path down.
+func (l *AccessLogger) Log(e AccessEntry) {
+	if l == nil {
+		return
+	}
+	durMS := float64(e.Dur) / float64(time.Millisecond)
+	var line []byte
+	if l.json {
+		buf, err := json.Marshal(accessDoc{
+			Time:   e.Time.UTC().Format(time.RFC3339Nano),
+			Method: e.Method,
+			Route:  e.Route,
+			Path:   e.Path,
+			Status: e.Status,
+			DurMS:  durMS,
+			Trace:  e.Trace,
+			Tenant: e.Tenant,
+		})
+		if err != nil {
+			return
+		}
+		line = append(buf, '\n')
+	} else {
+		s := fmt.Sprintf("%s method=%s route=%s path=%s status=%d dur=%.3fms",
+			e.Time.UTC().Format(time.RFC3339Nano), e.Method, e.Route, e.Path, e.Status, durMS)
+		if e.Trace != "" {
+			s += " trace=" + e.Trace
+		}
+		if e.Tenant != "" {
+			s += fmt.Sprintf(" tenant=%q", e.Tenant)
+		}
+		line = []byte(s + "\n")
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// promLabel escapes a client-supplied string for use as a Prometheus
+// label value inside a registry key: backslash, quote and newline are
+// escaped per the exposition format.
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

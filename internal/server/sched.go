@@ -75,8 +75,15 @@ type Config struct {
 	// shutdown never publishes a truncated artifact.
 	StateDir string
 	// Metrics, when non-nil, receives the scheduler's counters and
-	// gauges (server.jobs.*).
+	// gauges (server.jobs.*), queue-wait and per-mode run-time latency
+	// histograms, and a per-tenant submission counter.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, emits the job lifecycle as spans: a root
+	// "job" span per admitted job (its own trace — the job outlives the
+	// submitting request) with "admission", "queue" and "flush" children
+	// around the run-layer spans (load/run/compare/cell) that the job's
+	// spec inherits through Spec.Tracer.
+	Tracer *obs.Tracer
 	// Logf, when non-nil, receives one line per job lifecycle edge.
 	Logf func(format string, args ...any)
 }
@@ -89,6 +96,12 @@ type JobRequest struct {
 	Mode     string
 	Events   bool
 	Spec     run.Spec
+	// Link is the submitting request's span context, when the HTTP seam
+	// is traced. The job's root span starts its own trace (a parent link
+	// would break span containment: the job outlives the request), so the
+	// two traces are tied together by link.trace/link.span annotations
+	// instead.
+	Link obs.SpanContext
 }
 
 // Job is one scheduled simulation. All mutable fields are guarded by
@@ -117,7 +130,17 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	done     chan struct{}
+
+	// span is the job's root span ("job"), queueSpan the pending-queue
+	// wait; trace is the root's trace ID in hex, surfaced through
+	// JobDoc.Trace. All nil/empty when the scheduler has no tracer.
+	span      *obs.Span
+	queueSpan *obs.Span
+	trace     string
 }
+
+// Trace returns the job's span trace ID (hex), or "" when untraced.
+func (j *Job) Trace() string { return j.trace }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -147,6 +170,8 @@ type Scheduler struct {
 	mSubmitted, mRejected      *obs.Counter
 	mDone, mFailed, mCancelled *obs.Counter
 	gQueued, gRunning          *obs.Gauge
+	hQueue                     *obs.Histogram
+	hRun, hCompare             *obs.Histogram
 
 	// runHook, when set, runs in the worker before a claimed job
 	// resolves; a non-nil return fails the job with that error. Test
@@ -180,6 +205,9 @@ func NewScheduler(cfg Config) *Scheduler {
 		s.mCancelled = reg.Counter("server.jobs.cancelled")
 		s.gQueued = reg.Gauge("server.jobs.queued")
 		s.gRunning = reg.Gauge("server.jobs.running")
+		s.hQueue = reg.MustHistogram("server.job.queue.seconds", obs.LatencyBounds)
+		s.hRun = reg.MustHistogram(`server.job.run.seconds{mode="run"}`, obs.LatencyBounds)
+		s.hCompare = reg.MustHistogram(`server.job.run.seconds{mode="compare"}`, obs.LatencyBounds)
 	}
 	s.wg.Add(s.workers)
 	for w := 0; w < s.workers; w++ {
@@ -232,12 +260,44 @@ func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
 		j.events = newEventLog()
 		j.Spec.Trace = j.events
 	}
+	if tr := s.cfg.Tracer; tr != nil {
+		// The root span opens its own trace: the job outlives the request
+		// that submitted it, so parenting under the request span would
+		// violate span containment. The submitting trace is recorded as a
+		// link annotation instead.
+		j.span = tr.StartSpan("job", obs.SpanContext{}).
+			Annotate("job", j.ID).
+			Annotate("tenant", j.Tenant).
+			Annotate("mode", j.Mode).
+			AnnotateInt("priority", int64(j.Priority))
+		if !req.Link.Trace.IsZero() {
+			j.span.Annotate("link.trace", req.Link.Trace.String()).
+				Annotate("link.span", req.Link.Span.String())
+		}
+		j.trace = j.span.Context().Trace.String()
+		// Admission covers the bookkeeping between acceptance and the job
+		// becoming dispatchable; the queue span then runs until a worker
+		// claims the job (ended in pop) or the job is cancelled while
+		// still queued (ended in finishLocked).
+		adm := j.span.Child("admission")
+		defer func() {
+			adm.End()
+			j.queueSpan = j.span.Child("queue")
+		}()
+		// The run layer's spans (load/run/compare/cell) nest under the
+		// same root through the spec.
+		j.Spec.Tracer = tr
+		j.Spec.SpanParent = j.span.Context()
+	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j)
 	s.queue = append(s.queue, j)
 	s.queuedN++
 	s.inflight[req.Tenant]++
 	s.count(s.mSubmitted)
+	if reg := s.cfg.Metrics; reg != nil {
+		reg.Counter(`server.jobs.tenant.submitted{tenant="` + promLabel(j.Tenant) + `"}`).Inc()
+	}
 	s.gauge()
 	s.cond.Signal()
 	s.logf("job %s queued (tenant=%q mode=%s priority=%d)", j.ID, j.Tenant, j.Mode, j.Priority)
@@ -280,6 +340,7 @@ func (s *Scheduler) Cancel(id string) (*Job, bool) {
 	case StateQueued:
 		s.dequeue(j)
 		s.finishLocked(j, nil, nil, context.Canceled)
+		s.endJobSpan(j, j.state)
 		s.mu.Unlock()
 		return j, true
 	case StateRunning:
@@ -324,6 +385,10 @@ func (s *Scheduler) pop() *Job {
 			s.queuedN--
 			j.state = StateRunning
 			j.started = time.Now()
+			j.queueSpan.End()
+			if s.hQueue != nil {
+				s.hQueue.Observe(j.started.Sub(j.created).Seconds())
+			}
 			s.runningN++
 			ctx, cancel := context.WithCancel(s.runCtx)
 			j.cancelRun = cancel
@@ -379,14 +444,30 @@ func (s *Scheduler) execute(j *Job) {
 	}
 }
 
-// finish records a job's terminal state and flushes its artifact.
+// finish records a job's terminal state and flushes its artifact. The
+// job's root span closes only after the artifact flush — admission
+// through flush is exactly what the root covers.
 func (s *Scheduler) finish(j *Job, rep *run.Report, cmp *core.Comparison, err error) {
 	s.mu.Lock()
 	s.runningN--
 	s.finishLocked(j, rep, cmp, err)
 	doc := s.docLocked(j)
+	state := j.state
 	s.mu.Unlock()
+	fspan := j.span.Child("flush")
 	s.flushArtifact(doc)
+	fspan.End()
+	s.endJobSpan(j, state)
+}
+
+// endJobSpan closes a job's root span with its terminal state. The
+// job is terminal, so j.state and j.err are frozen; End is idempotent.
+func (s *Scheduler) endJobSpan(j *Job, state string) {
+	if j.span == nil {
+		return
+	}
+	j.span.Annotate("state", state)
+	j.span.EndErr(j.err)
 }
 
 // finishLocked classifies the outcome and closes the job. Callers hold
@@ -421,6 +502,17 @@ func (s *Scheduler) finishLocked(j *Job, rep *run.Report, cmp *core.Comparison, 
 		j.err = err
 		s.count(s.mFailed)
 	}
+	if !j.started.IsZero() {
+		switch {
+		case j.Mode == ModeCompare && s.hCompare != nil:
+			s.hCompare.Observe(j.finished.Sub(j.started).Seconds())
+		case j.Mode != ModeCompare && s.hRun != nil:
+			s.hRun.Observe(j.finished.Sub(j.started).Seconds())
+		}
+	}
+	// A job cancelled while still queued never reached pop: close its
+	// queue span here (idempotent for jobs that did run).
+	j.queueSpan.End()
 	if j.events != nil {
 		j.events.close()
 	}
@@ -469,8 +561,9 @@ func (s *Scheduler) Drain(timeout time.Duration) {
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
-		for _, doc := range docs {
+		for i, doc := range docs {
 			s.flushArtifact(doc)
+			s.endJobSpan(queued[i], StateCancelled)
 		}
 	} else {
 		s.mu.Unlock()

@@ -1,0 +1,460 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/obs"
+)
+
+// spanCollector is a concurrency-safe obs sink for span events.
+type spanCollector struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *spanCollector) Emit(e obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+func (c *spanCollector) snapshot() []obs.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Event(nil), c.events...)
+}
+
+func (c *spanCollector) spans() []*obs.SpanEvent {
+	var out []*obs.SpanEvent
+	for _, e := range c.snapshot() {
+		if sp, ok := e.(*obs.SpanEvent); ok {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// noopHandler and nopResponseWriter keep the alloc pin below free of
+// handler- and recorder-side allocations.
+type noopHandler struct{}
+
+func (noopHandler) ServeHTTP(http.ResponseWriter, *http.Request) {}
+
+type nopResponseWriter struct{ h http.Header }
+
+func (w nopResponseWriter) Header() http.Header         { return w.h }
+func (w nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w nopResponseWriter) WriteHeader(int)             {}
+
+// TestInstrumentDisabledIsIdentity pins the disabled contract: zero
+// options return the handler itself, so the uninstrumented serving
+// path adds zero overhead — and in particular 0 allocs/op.
+func TestInstrumentDisabledIsIdentity(t *testing.T) {
+	mux := http.NewServeMux()
+	if got := Instrument(mux, InstrumentOptions{}); got != http.Handler(mux) {
+		t.Fatalf("Instrument with zero options returned a new handler %T", got)
+	}
+
+	h := Instrument(noopHandler{}, InstrumentOptions{})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := nopResponseWriter{h: make(http.Header)}
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.ServeHTTP(w, req)
+	}); allocs != 0 {
+		t.Errorf("disabled Instrument path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestInstrumentTraceparent(t *testing.T) {
+	sink := &spanCollector{}
+	tracer := obs.NewTracerSeeded(sink, 11)
+	h := Instrument(noopHandler{}, InstrumentOptions{Tracer: tracer})
+
+	const inbound = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req := httptest.NewRequest(http.MethodGet, "/v1/runs", nil)
+	req.Header.Set("Traceparent", inbound)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	out := rec.Header().Get("Traceparent")
+	ctx, err := obs.ParseTraceparent(out)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", out, err)
+	}
+	if ctx.Trace.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("response trace = %s, want the inbound trace", ctx.Trace)
+	}
+	if ctx.Span.String() == "00f067aa0ba902b7" {
+		t.Error("response span ID should be the server span, not the inbound parent")
+	}
+	spans := sink.spans()
+	if len(spans) != 1 || spans[0].Name != "http.request" {
+		t.Fatalf("got spans %+v, want one http.request", spans)
+	}
+	sp := spans[0]
+	if sp.Parent != "00f067aa0ba902b7" {
+		t.Errorf("request span parent = %q, want the inbound span", sp.Parent)
+	}
+	if sp.Attrs["route"] != "list" || sp.Attrs["status"] != "200" {
+		t.Errorf("request span attrs = %v, want route=list status=200", sp.Attrs)
+	}
+
+	// An invalid header starts a fresh trace rather than failing.
+	req2 := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req2.Header.Set("Traceparent", "00-BAD-BAD-01")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	ctx2, err := obs.ParseTraceparent(rec2.Header().Get("Traceparent"))
+	if err != nil {
+		t.Fatalf("fresh-trace response traceparent: %v", err)
+	}
+	if ctx2.Trace.String() == "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Error("invalid inbound header must not inherit the previous trace")
+	}
+}
+
+func TestRouteOf(t *testing.T) {
+	cases := []struct {
+		method, path, want string
+	}{
+		{http.MethodPost, "/v1/runs", "submit"},
+		{http.MethodGet, "/v1/runs", "list"},
+		{http.MethodGet, "/v1/runs/job-000001", "status"},
+		{http.MethodDelete, "/v1/runs/job-000001", "cancel"},
+		{http.MethodGet, "/v1/runs/job-000001/report", "report"},
+		{http.MethodGet, "/v1/runs/job-000001/events", "events"},
+		{http.MethodGet, "/v1/runs/a/b/c", "other"},
+		{http.MethodGet, "/healthz", "healthz"},
+		{http.MethodGet, "/metrics", "metrics"},
+		{http.MethodGet, "/debug/pprof/heap", "pprof"},
+		{http.MethodGet, "/nope", "other"},
+	}
+	for _, c := range cases {
+		if got := routeOf(c.method, c.path); got != c.want {
+			t.Errorf("routeOf(%s %s) = %q, want %q", c.method, c.path, got, c.want)
+		}
+	}
+}
+
+func TestAccessLoggerFormats(t *testing.T) {
+	entry := AccessEntry{
+		Time:   time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Method: http.MethodPost,
+		Route:  "submit",
+		Path:   "/v1/runs",
+		Status: 202,
+		Dur:    1500 * time.Microsecond,
+		Trace:  "4bf92f3577b34da6a3ce929d0e0e4736",
+		Tenant: "acme",
+	}
+
+	var text strings.Builder
+	NewAccessLogger(&text, false).Log(entry)
+	line := text.String()
+	for _, want := range []string{
+		"2026-08-08T12:00:00Z", "method=POST", "route=submit", "status=202",
+		"dur=1.500ms", "trace=4bf92f3577b34da6a3ce929d0e0e4736", `tenant="acme"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text access line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Errorf("text access line not newline-terminated: %q", line)
+	}
+
+	var jl strings.Builder
+	NewAccessLogger(&jl, true).Log(entry)
+	var doc struct {
+		Time   string  `json:"time"`
+		Method string  `json:"method"`
+		Route  string  `json:"route"`
+		Status int     `json:"status"`
+		DurMS  float64 `json:"dur_ms"`
+		Trace  string  `json:"trace"`
+		Tenant string  `json:"tenant"`
+	}
+	if err := json.Unmarshal([]byte(jl.String()), &doc); err != nil {
+		t.Fatalf("JSON access line %q: %v", jl.String(), err)
+	}
+	if doc.Route != "submit" || doc.Status != 202 || doc.DurMS != 1.5 ||
+		doc.Trace != entry.Trace || doc.Tenant != "acme" {
+		t.Errorf("JSON access doc = %+v", doc)
+	}
+
+	// A nil logger is a no-op, not a crash.
+	var nilLogger *AccessLogger
+	nilLogger.Log(entry)
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("server.jobs.submitted").Inc()
+	_, ts := newTestServer(t, Config{Workers: 1, Metrics: reg})
+
+	// Default stays JSON for backward compatibility.
+	resp, data := get(t, ts, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default /metrics content type = %q, want application/json", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("default /metrics is not JSON: %v", err)
+	}
+
+	// ?format=prometheus selects text exposition.
+	resp, data = get(t, ts, "/metrics?format=prometheus")
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Errorf("prometheus /metrics content type = %q, want %q", ct, promContentType)
+	}
+	body := string(data)
+	if !strings.Contains(body, "# TYPE server_jobs_submitted counter") ||
+		!strings.Contains(body, "server_jobs_submitted 1") {
+		t.Errorf("prometheus exposition missing counter:\n%s", body)
+	}
+
+	// Accept-header negotiation without a query parameter.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if ct := hresp.Header.Get("Content-Type"); ct != promContentType {
+		t.Errorf("Accept text/plain content type = %q, want %q", ct, promContentType)
+	}
+
+	// Explicit JSON still wins over the Accept header; bad formats 400.
+	req.URL.RawQuery = "format=json"
+	hresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if ct := hresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("format=json content type = %q, want application/json", ct)
+	}
+	resp, _ = get(t, ts, "/metrics?format=xml")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("format=xml status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTracedJobEndToEnd drives the acceptance scenario: a traced cntd
+// compare yields one job trace whose root span covers admission
+// through artifact flush, with queue wait and per-cell simulation
+// spans nested inside, and the whole stream passes the span-nesting
+// audit. It also checks the serving-path histograms and access log.
+func TestTracedJobEndToEnd(t *testing.T) {
+	sink := &spanCollector{}
+	tracer := obs.NewTracerSeeded(sink, 21)
+	reg := obs.NewRegistry()
+	var access strings.Builder
+	var accessMu sync.Mutex
+	logged := &lockedWriter{mu: &accessMu, w: &access}
+
+	sched := NewScheduler(Config{Workers: 2, Metrics: reg, Tracer: tracer})
+	h := Instrument(NewHandler(sched, reg), InstrumentOptions{
+		Tracer:  tracer,
+		Metrics: reg,
+		Access:  NewAccessLogger(logged, false),
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Drain(0)
+	})
+
+	resp, data := post(t, ts, `{"tenant": "acme", "mode": "compare", "spec": {"source": {"kernel": "mm"}}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d; body: %s", resp.StatusCode, data)
+	}
+	var doc JobDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Trace == "" {
+		t.Fatal("submit response carries no trace ID")
+	}
+	waitJob(t, sched, doc.ID)
+	_, statusBody := get(t, ts, "/v1/runs/"+doc.ID)
+	var full JobDoc
+	if err := json.Unmarshal(statusBody, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", full.State, full.Error)
+	}
+	if full.QueueMS <= 0 || full.RunMS <= 0 {
+		t.Errorf("status doc queue_ms=%v run_ms=%v, want both > 0", full.QueueMS, full.RunMS)
+	}
+	if resp, _ := get(t, ts, "/v1/runs/"+doc.ID+"/report"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d", resp.StatusCode)
+	}
+
+	// Done() closes before the artifact flush; the root span is emitted
+	// just after it. Wait for the root to land before auditing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		found := false
+		for _, sp := range sink.spans() {
+			if sp.Name == "job" && sp.Trace == doc.Trace {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job root span never emitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The full stream must pass the nesting audit.
+	if err := check.ReconcileSpans(sink.snapshot()); err != nil {
+		t.Fatalf("span reconciliation: %v", err)
+	}
+
+	// The job trace: root "job" covering admission → flush, with queue
+	// wait and per-cell spans nested inside.
+	byName := map[string][]*obs.SpanEvent{}
+	for _, sp := range sink.spans() {
+		if sp.Trace == doc.Trace {
+			byName[sp.Name] = append(byName[sp.Name], sp)
+		}
+	}
+	root := byName["job"]
+	if len(root) != 1 || root[0].Parent != "" {
+		t.Fatalf("job trace roots = %+v, want exactly one parentless job span", root)
+	}
+	if got := root[0].Attrs; got["tenant"] != "acme" || got["mode"] != ModeCompare || got["state"] != StateDone {
+		t.Errorf("job root attrs = %v", got)
+	}
+	if got := root[0].Attrs["link.trace"]; got == "" || got == doc.Trace {
+		t.Errorf("job root link.trace = %q, want the submitting request's distinct trace", got)
+	}
+	for _, stage := range []string{"admission", "queue", "flush", "load", "compare"} {
+		if len(byName[stage]) != 1 {
+			t.Fatalf("job trace has %d %q spans, want 1 (have %v)", len(byName[stage]), stage, names(byName))
+		}
+	}
+	if n := len(byName["cell"]); n < 2 {
+		t.Errorf("job trace has %d cell spans, want one per comparison variant (>= 2)", n)
+	}
+	for _, cell := range byName["cell"] {
+		if cell.Parent != byName["compare"][0].Span {
+			t.Errorf("cell span %v not parented on the compare span", cell.Attrs)
+		}
+	}
+	for _, sp := range append(byName["admission"], byName["queue"][0], byName["flush"][0]) {
+		if sp.Parent != root[0].Span {
+			t.Errorf("%s span not parented on the job root", sp.Name)
+		}
+		if sp.Start < root[0].Start || sp.EndNS() > root[0].EndNS() {
+			t.Errorf("%s span escapes the job root interval", sp.Name)
+		}
+	}
+
+	// HTTP request spans live in their own traces, annotated with the
+	// submitted job.
+	var submitSpan *obs.SpanEvent
+	for _, sp := range sink.spans() {
+		if sp.Name == "http.request" && sp.Attrs["route"] == "submit" {
+			submitSpan = sp
+		}
+	}
+	if submitSpan == nil {
+		t.Fatal("no http.request span for the submit")
+	}
+	if submitSpan.Trace == doc.Trace {
+		t.Error("request span must not share the job trace")
+	}
+	if submitSpan.Attrs["job"] != doc.ID || submitSpan.Attrs["tenant"] != "acme" {
+		t.Errorf("submit request span attrs = %v", submitSpan.Attrs)
+	}
+	if root[0].Attrs["link.trace"] != submitSpan.Trace {
+		t.Errorf("job link.trace = %q, want the submit request trace %q",
+			root[0].Attrs["link.trace"], submitSpan.Trace)
+	}
+
+	// The report render span parents on its request span.
+	var render *obs.SpanEvent
+	for _, sp := range sink.spans() {
+		if sp.Name == "render" {
+			render = sp
+		}
+	}
+	if render == nil || render.Attrs["job"] != doc.ID {
+		t.Fatalf("render span = %+v, want one annotated with the job", render)
+	}
+
+	// Serving-path metrics: request histogram per route/status, queue
+	// wait, per-mode run time, per-tenant submissions.
+	snap := reg.Snapshot()
+	for _, key := range []string{
+		`server.http.seconds{route="submit",status="202"}`,
+		"server.job.queue.seconds",
+		`server.job.run.seconds{mode="compare"}`,
+	} {
+		h, ok := snap.Histograms[key]
+		if !ok || h.Count == 0 {
+			t.Errorf("histogram %q missing or empty (have %v)", key, histNames(snap))
+		}
+	}
+	if snap.Counters[`server.jobs.tenant.submitted{tenant="acme"}`] != 1 {
+		t.Errorf("per-tenant submission counter = %v", snap.Counters)
+	}
+
+	// Access log: one line per request, carrying route and trace.
+	accessMu.Lock()
+	lines := strings.Split(strings.TrimSpace(access.String()), "\n")
+	accessMu.Unlock()
+	if len(lines) < 3 {
+		t.Fatalf("access log has %d lines, want one per request:\n%s", len(lines), access.String())
+	}
+	if !strings.Contains(lines[0], "route=submit") ||
+		!strings.Contains(lines[0], "trace="+submitSpan.Trace) ||
+		!strings.Contains(lines[0], `tenant="acme"`) {
+		t.Errorf("submit access line = %q", lines[0])
+	}
+}
+
+// lockedWriter serializes test access-log reads against logger writes.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (l *lockedWriter) Write(b []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(b)
+}
+
+func names(m map[string][]*obs.SpanEvent) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func histNames(s obs.Snapshot) []string {
+	out := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		out = append(out, k)
+	}
+	return out
+}

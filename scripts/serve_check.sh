@@ -1,11 +1,15 @@
 #!/bin/sh
 # serve_check.sh — end-to-end gate for the cntd daemon (make serve-check).
 #
-# Boots cntd on a random port, submits the same compare `cntsim
-# -workload mm -compare` runs over HTTP, and diffs the daemon's
-# /report rendering against the CLI's stdout: the two must be
-# byte-identical. Then delivers SIGTERM and requires a graceful exit 0
-# with the job's artifact flushed to the state directory.
+# Boots cntd on a random port with tracing and the JSON access log on,
+# submits the same compare `cntsim -workload mm -compare` runs over
+# HTTP, and diffs the daemon's /report rendering against the CLI's
+# stdout: the two must be byte-identical. It scrapes /metrics in both
+# JSON and Prometheus modes, checks the status document's queue/run
+# latencies and trace ID, then delivers SIGTERM, requires a graceful
+# exit 0 with the job's artifact flushed to the state directory, and
+# renders the committed span trace with cntstat -spans (which re-runs
+# the span-nesting reconciliation).
 set -eu
 
 GO=${GO:-go}
@@ -17,11 +21,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "serve-check: building cntd + cntsim"
+echo "serve-check: building cntd + cntsim + cntstat"
 $GO build -o "$dir/cntd" ./cmd/cntd
 $GO build -o "$dir/cntsim" ./cmd/cntsim
+$GO build -o "$dir/cntstat" ./cmd/cntstat
 
-"$dir/cntd" -addr 127.0.0.1:0 -state-dir "$dir/state" 2>"$dir/cntd.log" &
+"$dir/cntd" -addr 127.0.0.1:0 -state-dir "$dir/state" \
+    -span-out "$dir/spans.jsonl" -access-log "$dir/access.log" -log-json \
+    2>"$dir/cntd.log" &
 daemon_pid=$!
 
 base=""
@@ -72,6 +79,29 @@ if ! cmp -s "$dir/http-report.txt" "$dir/cli-report.txt"; then
 fi
 echo "serve-check: HTTP report byte-identical to cntsim -workload mm -compare"
 
+# The status document surfaces the scheduler's latencies and trace ID.
+for field in '"queue_ms":' '"run_ms":' '"trace":'; do
+    if ! grep -q "$field" "$dir/status.json"; then
+        echo "serve-check: status document missing $field:"; cat "$dir/status.json"; exit 1
+    fi
+done
+echo "serve-check: status document carries queue_ms/run_ms/trace"
+
+# /metrics content negotiation: JSON by default, Prometheus text on
+# request, with the serving-path histograms present.
+curl -sSf -o "$dir/metrics.json" "$base/metrics"
+grep -q '"histograms"' "$dir/metrics.json" || {
+    echo "serve-check: JSON metrics snapshot has no histograms:"; cat "$dir/metrics.json"; exit 1; }
+curl -sSf -o "$dir/metrics.prom" "$base/metrics?format=prometheus"
+for want in '# TYPE server_job_queue_seconds histogram' \
+            'server_http_seconds_bucket{route="submit",status="202"' \
+            'server_jobs_submitted 1'; do
+    if ! grep -qF "$want" "$dir/metrics.prom"; then
+        echo "serve-check: Prometheus exposition missing '$want':"; cat "$dir/metrics.prom"; exit 1
+    fi
+done
+echo "serve-check: /metrics serves JSON and Prometheus text"
+
 kill -TERM "$daemon_pid"
 rc=0
 wait "$daemon_pid" || rc=$?
@@ -83,3 +113,20 @@ if [ ! -s "$dir/state/$id.json" ]; then
     echo "serve-check: missing state artifact $id.json"; ls -la "$dir/state" || true; exit 1
 fi
 echo "serve-check: graceful SIGTERM drain, exit 0, artifact flushed"
+
+# The access log carries one JSON line per request, tagged with the
+# normalized route.
+grep -q '"route":"submit"' "$dir/access.log" || {
+    echo "serve-check: access log has no submit entry:"; cat "$dir/access.log"; exit 1; }
+echo "serve-check: JSON access log recorded the submit"
+
+# The committed span trace renders (and therefore reconciles): the job
+# tree must show the queue wait and per-cell simulation spans nested
+# under the root.
+"$dir/cntstat" -spans "$dir/spans.jsonl" >"$dir/spans.txt"
+for want in 'job' 'queue' 'cell' 'flush' 'stage latency'; do
+    if ! grep -q "$want" "$dir/spans.txt"; then
+        echo "serve-check: cntstat -spans output missing '$want':"; cat "$dir/spans.txt"; exit 1
+    fi
+done
+echo "serve-check: span trace reconciles and renders through cntstat -spans"
