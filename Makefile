@@ -16,6 +16,9 @@
 #                and -span-out, verify each event trace reconciles
 #                through cntstat and each span trace through
 #                cntstat -spans
+#   make geom-check  geometry/energy gate: CACTI parse+calibration
+#                goldens, the per-level energy-conservation audits, and
+#                a quick E15 regeneration to a temp dir
 #   make results regenerate results/ with the full (non-quick) sweeps
 #   make bench-json  quick E3-suite batch emitting BENCH_E3.json plus a
 #                fresh replay-throughput record BENCH_REPLAY.json — the
@@ -37,7 +40,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 lint check fuzz fault obs-check results bench bench-json bench-replay-check serve-check
+.PHONY: tier1 tier2 lint check fuzz fault obs-check geom-check results bench bench-json bench-replay-check serve-check
 
 tier1:
 	$(GO) build ./...
@@ -66,6 +69,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzEventsJSONL$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultConfig$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzCACTIParams$$' -fuzztime $(FUZZTIME) ./internal/check/
 
 # The resilience gate: the fault and atomicio packages in full, the
 # fault/salvage/interrupt tests across the run engine and CLIs, and a
@@ -94,6 +98,17 @@ obs-check:
 		$(GO) run ./cmd/cntstat "$$dir/$$k.jsonl" >/dev/null || exit 1; \
 		$(GO) run ./cmd/cntstat -spans "$$dir/$$k.spans.jsonl" >/dev/null || exit 1; \
 	done
+
+# The geometry/energy gate: the CACTI parse+calibration goldens and the
+# per-level energy-conservation audits (internal/sram + the hierarchy
+# tests of internal/check), then a quick E15 regeneration to a temp dir
+# proving the size x associativity x levels sweep still runs end to end
+# on every cacti-* device.
+geom-check:
+	$(GO) test -run 'CACTI|Calibrate|Hierarchy|AuditMultiLevel|AuditEncoded' \
+		./internal/sram/ ./internal/check/ ./internal/cache/ ./internal/run/
+	$(GO) run ./cmd/cntbench -quick -only E15 \
+		-out $$(mktemp -d cntbench-geom.XXXXXX -p $${TMPDIR:-/tmp}) >/dev/null
 
 results:
 	$(GO) run ./cmd/cntbench -out results

@@ -216,6 +216,13 @@ func BenchmarkExpE14Faults(b *testing.B) {
 	runExperiment(b, "E14", lastRowPct("cnt saving"))
 }
 
+// BenchmarkExpE15Geometry regenerates the size x associativity x levels
+// sweep with per-level energy and CACTI-calibrated devices; the
+// reported metric is the last row's whole-hierarchy saving.
+func BenchmarkExpE15Geometry(b *testing.B) {
+	runExperiment(b, "E15", lastRowPct("total saving"))
+}
+
 // BenchmarkReplayThroughput is the repo's headline performance metric:
 // raw accesses/second replaying the full 10-kernel suite through the
 // batched path, for the baseline array and the full CNT-Cache pipeline.

@@ -65,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("jobs", 0, "comparison worker count (0 = one per CPU)")
 	configPath := fs.String("config", "", "JSON run specification (overrides variant/device/geometry flags)")
 	exampleConfig := fs.Bool("example-config", false, "print a sample configuration file and exit")
-	inspect := fs.Bool("inspect", false, "dump the D-cache line-state snapshot (masks, density histograms) after the run")
+	inspect := fs.Bool("inspect", false, "dump the resolved hierarchy (per-level geometry, device, variant) and the D-cache line-state snapshot (masks, density histograms) after the run")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace of the run to this file (see cntstat)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metric snapshot of the run to this file")
 	spanOut := fs.String("span-out", "", "write a JSONL span trace of the run's lifecycle to this file (see cntstat -spans; works with -compare: cell spans carry variant attributes)")
@@ -290,6 +290,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rspan := root.Child("render")
 	rep.WriteText(stdout)
 	if *inspect {
+		fmt.Fprintln(stdout, "\nresolved hierarchy:")
+		for _, lvl := range sess.Levels() {
+			g := lvl.Geometry
+			fmt.Fprintf(stdout, "  %-4s %4d sets x %2d ways x %2dB (%d KiB)  device=%s  variant=%s\n",
+				lvl.Name, g.Sets, g.Ways, g.LineBytes,
+				g.Sets*g.Ways*g.LineBytes/1024, lvl.Device, lvl.Variant)
+		}
 		snap, err := sess.Snapshot()
 		if err != nil {
 			return err

@@ -321,20 +321,20 @@ func TestHierarchyRouting(t *testing.T) {
 	if h.L1I.Stats().Accesses != 1 || h.L1D.Stats().Accesses != 1 {
 		t.Error("accesses not routed to split L1")
 	}
-	if h.L2.Stats().Accesses != 2 {
-		t.Errorf("L2 accesses = %d, want 2 (both L1 fills)", h.L2.Stats().Accesses)
+	if h.L2().Stats().Accesses != 2 {
+		t.Errorf("L2 accesses = %d, want 2 (both L1 fills)", h.L2().Stats().Accesses)
 	}
 }
 
 func TestHierarchyWithoutL2(t *testing.T) {
 	cfg := DefaultHierarchyConfig()
-	cfg.L2 = Config{}
+	cfg.Shared = nil
 	m := mem.New()
 	h, err := NewHierarchy(cfg, m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.L2 != nil {
+	if h.L2() != nil {
 		t.Fatal("L2 should be omitted")
 	}
 	if _, err := h.Access(trace.Access{Op: trace.Read, Addr: 0x10, Size: 8}); err != nil {

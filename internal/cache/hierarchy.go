@@ -25,12 +25,16 @@ func (b MemBackend) WriteLine(addr uint64, src []byte) error {
 	return nil
 }
 
-// HierarchyConfig describes a 2-level hierarchy with split L1.
+// HierarchyConfig describes a split-L1 hierarchy over any number of
+// shared lower levels: both L1s sit on Shared[0] (conventionally the
+// L2), each shared level on the next, and the last on memory.
 type HierarchyConfig struct {
 	// L1D and L1I are the first-level data and instruction caches.
 	L1D, L1I Config
-	// L2 is the shared second level; a zero Geometry omits it.
-	L2 Config
+	// Shared lists the shared lower levels outermost-first (L2, L3,
+	// ...). Empty means the L1s sit directly on memory. A level with a
+	// zero Geometry is invalid — drop the entry instead.
+	Shared []Config
 }
 
 // DefaultHierarchyConfig returns the configuration used across the
@@ -38,17 +42,77 @@ type HierarchyConfig struct {
 // 8-way shared L2, 64-byte lines everywhere.
 func DefaultHierarchyConfig() HierarchyConfig {
 	return HierarchyConfig{
-		L1D: Config{Name: "L1D", Geometry: sram.Geometry{Sets: 64, Ways: 8, LineBytes: 64}},
-		L1I: Config{Name: "L1I", Geometry: sram.Geometry{Sets: 128, Ways: 4, LineBytes: 64}},
-		L2:  Config{Name: "L2", Geometry: sram.Geometry{Sets: 512, Ways: 8, LineBytes: 64}},
+		L1D:    Config{Name: "L1D", Geometry: sram.Geometry{Sets: 64, Ways: 8, LineBytes: 64}},
+		L1I:    Config{Name: "L1I", Geometry: sram.Geometry{Sets: 128, Ways: 4, LineBytes: 64}},
+		Shared: []Config{{Name: "L2", Geometry: sram.Geometry{Sets: 512, Ways: 8, LineBytes: 64}}},
 	}
 }
 
-// Hierarchy wires split L1 caches over an optional shared L2 over memory.
+// LevelName returns the label of shared level i, defaulting unnamed
+// levels to their conventional position ("L2" for Shared[0], ...).
+func (h *HierarchyConfig) LevelName(i int) string {
+	if i >= 0 && i < len(h.Shared) && h.Shared[i].Name != "" {
+		return h.Shared[i].Name
+	}
+	return fmt.Sprintf("L%d", i+2)
+}
+
+// Zero reports whether nothing in the hierarchy has been configured, so
+// a resolver may substitute the default configuration wholesale.
+func (h *HierarchyConfig) Zero() bool {
+	return h.L1D.Geometry == (sram.Geometry{}) &&
+		h.L1I.Geometry == (sram.Geometry{}) &&
+		len(h.Shared) == 0
+}
+
+// Validate checks the hierarchy as a whole: every level's geometry must
+// be valid on its own, and line sizes must not shrink downward — a
+// lower level refuses lines larger than its own (Cache.ReadLine), so
+// each shared level needs lines at least as large as every level above
+// it. Catching that here turns a mid-replay fill error into an eager
+// configuration error.
+func (h *HierarchyConfig) Validate() error {
+	if err := h.L1D.Geometry.Validate(); err != nil {
+		return fmt.Errorf("cache: L1D: %w", err)
+	}
+	if err := h.L1I.Geometry.Validate(); err != nil {
+		return fmt.Errorf("cache: L1I: %w", err)
+	}
+	upper := h.L1D.Geometry.LineBytes
+	if h.L1I.Geometry.LineBytes > upper {
+		upper = h.L1I.Geometry.LineBytes
+	}
+	for i := range h.Shared {
+		g := &h.Shared[i].Geometry
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("cache: %s: %w", h.LevelName(i), err)
+		}
+		if g.LineBytes < upper {
+			return fmt.Errorf("cache: %s line size %dB is smaller than the %dB lines above it",
+				h.LevelName(i), g.LineBytes, upper)
+		}
+		upper = g.LineBytes
+	}
+	return nil
+}
+
+// Hierarchy wires split L1 caches over any number of shared levels over
+// memory.
 type Hierarchy struct {
 	L1D, L1I *Cache
-	L2       *Cache
-	Memory   *mem.Memory
+	// Shared holds the shared lower levels outermost-first; Shared[0]
+	// is the L2 when present.
+	Shared []*Cache
+	Memory *mem.Memory
+}
+
+// L2 returns the first shared level, or nil when the L1s sit directly
+// on memory.
+func (h *Hierarchy) L2() *Cache {
+	if len(h.Shared) == 0 {
+		return nil
+	}
+	return h.Shared[0]
 }
 
 // NewHierarchy builds the hierarchy over the given memory image.
@@ -56,15 +120,22 @@ func NewHierarchy(cfg HierarchyConfig, m *mem.Memory) (*Hierarchy, error) {
 	if m == nil {
 		return nil, fmt.Errorf("cache: hierarchy needs a memory image")
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	var lower Backend = MemBackend{M: m}
-	h := &Hierarchy{Memory: m}
-	if cfg.L2.Geometry != (sram.Geometry{}) {
-		l2, err := New(cfg.L2, lower)
+	h := &Hierarchy{Memory: m, Shared: make([]*Cache, len(cfg.Shared))}
+	for i := len(cfg.Shared) - 1; i >= 0; i-- {
+		lcfg := cfg.Shared[i]
+		if lcfg.Name == "" {
+			lcfg.Name = cfg.LevelName(i)
+		}
+		lvl, err := New(lcfg, lower)
 		if err != nil {
 			return nil, err
 		}
-		h.L2 = l2
-		lower = l2
+		h.Shared[i] = lvl
+		lower = lvl
 	}
 	l1d, err := New(cfg.L1D, lower)
 	if err != nil {
@@ -109,9 +180,11 @@ func (h *Hierarchy) Access(a trace.Access) ([]Result, error) {
 	return results, nil
 }
 
-// FlushAll drains every level so the memory image is coherent.
+// FlushAll drains every level, L1s first, so the memory image is
+// coherent.
 func (h *Hierarchy) FlushAll() error {
-	for _, c := range []*Cache{h.L1D, h.L1I, h.L2} {
+	levels := append([]*Cache{h.L1D, h.L1I}, h.Shared...)
+	for _, c := range levels {
 		if c == nil {
 			continue
 		}

@@ -97,6 +97,8 @@ func TestInvariantsAcceptValidInput(t *testing.T) {
 		{"asm", AsmInvariant("start: addi r1, r0, 5\n.word 7\n.space 8\nhalt")},
 		{"config", ConfigJSONInvariant([]byte("{}"))},
 		{"fault", FaultConfigInvariant([]byte(`{"seed": 3, "stuck_at_zero": 0.001, "transient_read": 0.01}`))},
+		{"cacti", CACTIParamsInvariant([]byte("Cache size : 16384\nBlock size : 64\nAssociativity : 4\n" +
+			"Access time (ns): 0.399362\nTotal dynamic read energy per access (nJ): 0.0174358\n"))},
 	}
 	for _, c := range cases {
 		if c.err != nil {

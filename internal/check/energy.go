@@ -46,9 +46,15 @@ func closeRel(a, b float64) bool {
 	return d <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
 }
 
-// AuditReport audits energy conservation on one simulation report: both
-// L1 breakdowns are internally consistent and the leakage estimates are
-// finite and non-negative.
+// AuditReport audits energy conservation on one simulation report,
+// level by level: every level's breakdown is internally consistent and
+// its leakage finite; the per-level entries restate the legacy D/I
+// fields exactly (Levels[0] is the L1D, Levels[1] the L1I); and the
+// hierarchy's architectural counters conserve traffic — each level
+// below the L1s sees exactly the fills and writebacks the levels above
+// it generated, reads matching fills and writes matching writebacks.
+// An encoded shared level re-encodes in place, so the conservation
+// equations hold for it unchanged; only its energy split differs.
 func AuditReport(rep *core.Report) error {
 	tag := rep.Workload + "/" + rep.Variant
 	if err := AuditBreakdown(tag+" D", rep.DEnergy); err != nil {
@@ -64,6 +70,55 @@ func AuditReport(rep *core.Report) error {
 		if math.IsNaN(l.v) || math.IsInf(l.v, 0) || l.v < 0 {
 			return fmt.Errorf("check: %s: %s is %g", tag, l.name, l.v)
 		}
+	}
+	if len(rep.Levels) == 0 {
+		// Hand-built reports (render tests, fixtures) predate the
+		// per-level breakdown; the flat audits above still apply.
+		return nil
+	}
+	if len(rep.Levels) < 2 {
+		return fmt.Errorf("check: %s: report has %d levels, want at least the two L1s", tag, len(rep.Levels))
+	}
+	for _, lvl := range rep.Levels {
+		ltag := tag + " " + lvl.Name
+		if err := AuditBreakdown(ltag, lvl.Energy); err != nil {
+			return err
+		}
+		if math.IsNaN(lvl.Leakage) || math.IsInf(lvl.Leakage, 0) || lvl.Leakage < 0 {
+			return fmt.Errorf("check: %s: leakage is %g", ltag, lvl.Leakage)
+		}
+		if s := lvl.Stats; s.Accesses != s.Reads+s.Writes || s.Accesses != s.Hits+s.Misses {
+			return fmt.Errorf("check: %s: stats do not tile accesses: %+v", ltag, s)
+		}
+	}
+	// The per-level view must restate the legacy flat fields, not
+	// re-measure them.
+	d, i := rep.Levels[0], rep.Levels[1]
+	switch {
+	case d.Stats != rep.DStats || d.Energy != rep.DEnergy || d.Leakage != rep.DLeakage:
+		return fmt.Errorf("check: %s: Levels[0] (%s) disagrees with the legacy D fields", tag, d.Name)
+	case i.Stats != rep.IStats || i.Energy != rep.IEnergy || i.Leakage != rep.ILeakage:
+		return fmt.Errorf("check: %s: Levels[1] (%s) disagrees with the legacy I fields", tag, i.Name)
+	case d.FIFO != rep.DFIFO || d.Switches != rep.DSwitches || d.Windows != rep.DWindows || d.MetaBits != rep.DMetaBits:
+		return fmt.Errorf("check: %s: Levels[0] (%s) encoding counters disagree with the legacy D fields", tag, d.Name)
+	}
+	// Traffic conservation down the shared levels: level k+2 is the
+	// backend of everything above it, so its access mix is exactly the
+	// upper levels' fills (reads) plus writebacks (writes). The L1s
+	// jointly feed the first shared level; each further level is fed by
+	// the one shared level above it.
+	upFills := d.Stats.Fills + i.Stats.Fills
+	upWBs := d.Stats.WriteBacks + i.Stats.WriteBacks
+	for k := 2; k < len(rep.Levels); k++ {
+		s := rep.Levels[k].Stats
+		ltag := tag + " " + rep.Levels[k].Name
+		if s.Reads != upFills {
+			return fmt.Errorf("check: %s: %d reads, but the levels above filled %d lines", ltag, s.Reads, upFills)
+		}
+		if s.Writes != upWBs {
+			return fmt.Errorf("check: %s: %d writes, but the levels above wrote back %d lines", ltag, s.Writes, upWBs)
+		}
+		upFills, upWBs = s.Fills, s.WriteBacks
 	}
 	return nil
 }

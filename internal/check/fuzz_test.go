@@ -92,6 +92,24 @@ func FuzzFaultConfig(f *testing.F) {
 	})
 }
 
+func FuzzCACTIParams(f *testing.F) {
+	// Both report dialects the parser understands; the full embedded runs
+	// are in testdata/fuzz/FuzzCACTIParams/ as the on-disk corpus.
+	f.Add([]byte("Cache size                    : 16384\nBlock size                    : 64\nAssociativity                 : 4\nTechnology                    : 0.022\n    Access time (ns): 0.399362\n    Total dynamic read energy per access (nJ): 0.0174358\n"))
+	f.Add([]byte("Total cache size (bytes): 16384\nBlock size (bytes): 64\nAssociativity: 4\nTechnology size (nm): 32\nAccess time (ns): 0.28986\nTotal dynamic read energy per access (nJ): 0.00701711\nTime Components:\n  Decoder + wordline delay (ns): 0.142939\n  Bitline delay (ns): 0.108542\n  Sense Amplifier delay (ns): 0.00257713\n"))
+	f.Add([]byte("Associativity                 : fully associative\nCache size                    : 8192\nBlock size                    : 32\nTotal dynamic read energy per access (nJ): 0.02\n"))
+	f.Add([]byte("Cache size : 16384\nBlock size : 65\nAssociativity : 4\nTotal dynamic read energy per access (nJ): 0.0174\n")) // size not a block multiple
+	f.Add([]byte("Cache size : 16384\nBlock size : 64\nAssociativity : 4\nTotal dynamic read energy per access (nJ): 1e308\n"))  // overflow-scale energy
+	f.Add([]byte("Cache size : 16384\nBlock size : 64\nAssociativity : 4\nTotal dynamic read energy per access (nJ): 0.0001\n")) // target below the cell floor
+	f.Add([]byte("Technology : 0.9999999\nnot a cacti line\n: lonely colon\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := CACTIParamsInvariant(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 func FuzzConfigJSON(f *testing.F) {
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"seed": 7, "device": "cnfet-32", "dcache": {"variant": "cnt-cache", "partitions": 8}}`))

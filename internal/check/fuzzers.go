@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"repro/internal/cnfet"
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/isa"
@@ -228,6 +229,48 @@ func FaultConfigInvariant(data []byte) error {
 	for i := 0; i < 8; i++ {
 		a.TransientBit(i%2 == 0, 8<<uint(i%4))
 		a.UpsetCounter(i)
+	}
+	return nil
+}
+
+// CACTIParamsInvariant feeds arbitrary bytes to the CACTI report
+// parser. Accepted digests must validate and imply a coherent
+// geometry; and whenever calibration against the reference CNFET table
+// succeeds, the fitted periphery must be valid and reproduce the run's
+// per-access read energy exactly — one full set lookup plus a uniform
+// full-line read on the run's geometry lands on the CACTI figure. That
+// is the contract the cacti-* device presets rely on.
+func CACTIParamsInvariant(data []byte) error {
+	p, err := sram.ParseCACTI(bytes.NewReader(data))
+	if err != nil {
+		if err.Error() == "" {
+			return fmt.Errorf("cacti parse failed without a message")
+		}
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("ParseCACTI accepted params Validate rejects: %w", err)
+	}
+	g := p.Geometry()
+	if g.Sets <= 0 || g.Ways <= 0 || g.Sets*g.Ways*g.LineBytes != p.SizeBytes {
+		return fmt.Errorf("implied geometry %+v does not cover size %d", g, p.SizeBytes)
+	}
+	tab := cnfet.MustTable(cnfet.CNFET32())
+	per, err := sram.Calibrate(p, tab)
+	if err != nil {
+		if err.Error() == "" {
+			return fmt.Errorf("calibration failed without a message")
+		}
+		return nil // cell table too hot for this run: correctly refused
+	}
+	if err := per.Validate(); err != nil {
+		return fmt.Errorf("calibration produced an invalid periphery: %w", err)
+	}
+	bits := p.BlockBytes * 8
+	full := per.DecodeEnergy + float64(p.Ways())*per.TagCompareEnergy +
+		tab.ReadBits(bits/2, bits) + float64(p.BlockBytes)*per.ColumnEnergy
+	if target := p.ReadEnergyNJ * 1e6; !closeRel(full, target) {
+		return fmt.Errorf("calibrated full-line read is %g fJ, CACTI says %g", full, target)
 	}
 	return nil
 }

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/run"
+	"repro/internal/sram"
+	"repro/internal/workload"
+)
+
+// TestAuditMultiLevelReports drives real workloads through 2- and
+// 3-level hierarchies — plain, with the adaptive encoding on the shared
+// levels' writeback path, and on a CACTI-calibrated device — and runs
+// every report through the conservation audit: per-level breakdowns
+// tile, legacy fields are restated, and each shared level sees exactly
+// the fills and writebacks of the levels above it.
+func TestAuditMultiLevelReports(t *testing.T) {
+	threeLevel := cache.DefaultHierarchyConfig()
+	threeLevel.Shared = append(threeLevel.Shared, cache.Config{
+		Name: "L3", Geometry: sram.Geometry{Sets: 2048, Ways: 8, LineBytes: 64},
+	})
+	cases := []struct {
+		name   string
+		spec   run.Spec
+		levels int
+	}{
+		{"default-2-level", run.Spec{Variant: "cnt-cache"}, 3},
+		{"encoded-L2", run.Spec{
+			Variant: "cnt-cache",
+			Levels:  []run.LevelSpec{{Variant: "cnt-cache"}},
+		}, 3},
+		{"3-level-encoded", run.Spec{
+			Variant:   "cnt-cache",
+			Hierarchy: threeLevel,
+			Levels:    []run.LevelSpec{{Variant: "cnt-cache"}, {Variant: "cnt-cache"}},
+		}, 4},
+		{"cacti-device", run.Spec{
+			Variant: "cnt-cache", Device: "cacti-16k-32nm",
+		}, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec
+			spec.Seed = 1
+			spec.Source = run.Source{Instance: workload.Histogram(1)}
+			rep, err := spec.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(rep.Levels); got != tc.levels {
+				t.Fatalf("report has %d levels, want %d", got, tc.levels)
+			}
+			if err := AuditReport(rep.Report); err != nil {
+				t.Fatal(err)
+			}
+			// The audit's conservation equations are only meaningful if the
+			// hierarchy actually moved lines; a zero-traffic L2 would make
+			// them vacuous.
+			if l2 := rep.Levels[2]; l2.Stats.Accesses == 0 {
+				t.Fatalf("%s saw no traffic; the workload never missed in the L1s", l2.Name)
+			}
+		})
+	}
+}
+
+// TestAuditEncodedSharedLevel checks the encoded-writeback contract
+// end to end: a cnt-cache shared level must report the encoding
+// machinery at work (metadata bits, windows) while conserving the same
+// traffic as its baseline twin — the encoding changes how lines are
+// stored, never how many move.
+func TestAuditEncodedSharedLevel(t *testing.T) {
+	inst := workload.Stream(1)
+	base, err := run.Spec{Variant: "cnt-cache", Seed: 1, Source: run.Source{Instance: inst}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := run.Spec{
+		Variant: "cnt-cache", Seed: 1, Source: run.Source{Instance: inst},
+		Levels: []run.LevelSpec{{Variant: "cnt-cache"}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []*run.Report{base, enc} {
+		if err := AuditReport(rep.Report); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, e := base.Levels[2], enc.Levels[2]
+	if b.Stats != e.Stats {
+		t.Errorf("encoding changed the L2 traffic: baseline %+v, encoded %+v", b.Stats, e.Stats)
+	}
+	if b.MetaBits != 0 {
+		t.Errorf("baseline L2 reports %d metadata bits, want 0", b.MetaBits)
+	}
+	if e.MetaBits == 0 {
+		t.Error("encoded L2 reports no metadata bits; the encoding never engaged")
+	}
+	if e.Variant == b.Variant {
+		t.Errorf("both L2s report variant %q; the level spec was not applied", e.Variant)
+	}
+}

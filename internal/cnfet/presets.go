@@ -58,10 +58,59 @@ func CMOS32() Device {
 	}
 }
 
+// scaledCNFET derives a CACTI-anchored preset from the reference CNFET
+// cell: every capacitance scales by s, preserving the write and read
+// asymmetry ratios the encoding machinery depends on, while leakage and
+// cycle time come straight from the CACTI run the preset mirrors.
+func scaledCNFET(name string, s, leakNWPerCell, cycleNS float64) Device {
+	d := CNFET32()
+	d.Name = name
+	d.CBitline *= s
+	d.CSense *= s
+	d.CCell *= s
+	d.WriteOneContention *= s
+	d.WriteZeroDischarge *= s
+	d.ReadOneLeak *= s
+	d.MuxInverter *= s
+	d.LeakNWPerCell = leakNWPerCell
+	d.CycleNS = cycleNS
+	return d
+}
+
+// The cacti-* presets pair with the CACTI run reports embedded in
+// internal/sram (testdata/cacti/<name>.txt): each run fixes the
+// preset's leakage (total bank mW spread over its cells) and cycle
+// time directly, and the capacitance scale is chosen so the cell-side
+// read of a full line sits below the run's total per-access read
+// energy — the remainder is the periphery budget sram.Calibrate
+// distributes. The run layer applies that calibration automatically
+// whenever a spec names one of these devices.
+
+// CACTI16K22 mirrors the 16 KiB / 22 nm fully-associative CACTI 7 run.
+// Leakage: 11.0568 mW over 16 KiB of cells; cycle 0.657668 ns.
+func CACTI16K22() Device {
+	return scaledCNFET("cacti-16k-22nm", 0.90, 84.36, 0.657668)
+}
+
+// CACTI16K32 mirrors the 16 KiB / 32 nm 4-way CACTI 6.5 run. Leakage:
+// 6.1861 mW over 16 KiB of cells; cycle 0.28137 ns.
+func CACTI16K32() Device {
+	return scaledCNFET("cacti-16k-32nm", 0.42, 47.20, 0.28137)
+}
+
+// CACTI64K22 mirrors the 64 KiB / 22 nm 4-way CACTI 7 run. Leakage:
+// 22.5863 mW over 64 KiB of cells; cycle 0.464059 ns.
+func CACTI64K22() Device {
+	return scaledCNFET("cacti-64k-22nm", 2.00, 43.08, 0.464059)
+}
+
 // Presets returns all built-in devices keyed by name.
 func Presets() map[string]Device {
 	out := map[string]Device{}
-	for _, d := range []Device{CNFET32(), CNFETLowVdd(), CMOS32()} {
+	for _, d := range []Device{
+		CNFET32(), CNFETLowVdd(), CMOS32(),
+		CACTI16K22(), CACTI16K32(), CACTI64K22(),
+	} {
 		out[d.Name] = d
 	}
 	return out

@@ -32,6 +32,16 @@ type CacheJSON struct {
 	Ways      int    `json:"ways"`
 	LineBytes int    `json:"line_bytes"`
 	Policy    string `json:"policy,omitempty"` // lru (default), plru, fifo, random
+
+	// Device names this level's energy-table preset, overriding the
+	// file-level "device". Shared levels (l2, l3) only: the L1 sides are
+	// powered by the file-level device.
+	Device string `json:"device,omitempty"`
+	// Encoding selects this level's encoding variant and knobs. Shared
+	// levels only — the L1s are configured through "dcache"/"icache".
+	// Present-but-empty means the default variant (cnt-cache) on this
+	// level's writeback path; absent means the unencoded baseline.
+	Encoding *OptionsJSON `json:"encoding,omitempty"`
 }
 
 // SourceJSON selects the access stream of the run. At most one field
@@ -78,10 +88,13 @@ type File struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Jobs bounds the worker pool of comparison runs; 0 means one per CPU.
 	Jobs int `json:"jobs,omitempty"`
-	// L1D, L1I and L2 geometry; zero-valued L2 omits the level.
+	// L1D, L1I and the shared levels. An explicit {"sets": 0} L2 drops
+	// every shared level (the L1s sit on memory); an L3 extends the
+	// hierarchy below the L2 and requires one.
 	L1D *CacheJSON `json:"l1d,omitempty"`
 	L1I *CacheJSON `json:"l1i,omitempty"`
 	L2  *CacheJSON `json:"l2,omitempty"`
+	L3  *CacheJSON `json:"l3,omitempty"`
 	// DCache and ICache select the per-side encoding options.
 	DCache *OptionsJSON `json:"dcache,omitempty"`
 	ICache *OptionsJSON `json:"icache,omitempty"`
@@ -132,22 +145,28 @@ func (f *File) Spec() (run.Spec, error) {
 	}
 
 	hier := cache.DefaultHierarchyConfig()
+	for _, l1 := range []struct {
+		name string
+		src  *CacheJSON
+	}{{"l1d", f.L1D}, {"l1i", f.L1I}} {
+		if l1.src != nil && (l1.src.Device != "" || l1.src.Encoding != nil) {
+			return run.Spec{}, fmt.Errorf("config: %s: device/encoding are shared-level fields; the L1s use the file-level \"device\" and \"dcache\"/\"icache\"", l1.name)
+		}
+	}
 	if err := applyCache(&hier.L1D, f.L1D, f.Seed); err != nil {
 		return run.Spec{}, fmt.Errorf("config: l1d: %w", err)
 	}
 	if err := applyCache(&hier.L1I, f.L1I, f.Seed); err != nil {
 		return run.Spec{}, fmt.Errorf("config: l1i: %w", err)
 	}
-	if f.L2 != nil {
-		if f.L2.Sets == 0 { // explicit {"sets":0} drops the level
-			hier.L2 = cache.Config{}
-		} else if err := applyCache(&hier.L2, f.L2, f.Seed); err != nil {
-			return run.Spec{}, fmt.Errorf("config: l2: %w", err)
-		}
+	shared, lspecs, err := f.sharedLevels()
+	if err != nil {
+		return run.Spec{}, err
 	}
+	hier.Shared = shared
 	spec.Hierarchy = hier
+	spec.Levels = lspecs
 
-	var err error
 	spec.Variant, spec.Params, err = sideSpec(f.DCache)
 	if err != nil {
 		return run.Spec{}, fmt.Errorf("config: dcache: %w", err)
@@ -199,6 +218,61 @@ func applyCache(dst *cache.Config, src *CacheJSON, seed int64) error {
 	}
 	dst.Policy = pol
 	return nil
+}
+
+// sharedLevels resolves the l2/l3 blocks into the shared hierarchy
+// levels (outermost-first) plus their per-level run specs. The default
+// single L2 stands when the file says nothing; an explicit {"sets": 0}
+// l2 drops every shared level. The returned spec list is nil when no
+// level customizes device or encoding, which keeps the run layer on
+// its engine-default path for plain files.
+func (f *File) sharedLevels() ([]cache.Config, []run.LevelSpec, error) {
+	if f.L2 != nil && f.L2.Sets == 0 { // explicit {"sets":0} drops the shared levels
+		if f.L2.Device != "" || f.L2.Encoding != nil {
+			return nil, nil, fmt.Errorf(`config: l2: {"sets": 0} drops the level; device/encoding cannot apply to it`)
+		}
+		if f.L3 != nil {
+			return nil, nil, fmt.Errorf("config: l3 requires an l2 above it, but l2 was dropped")
+		}
+		return nil, nil, nil
+	}
+	shared := []cache.Config{cache.DefaultHierarchyConfig().Shared[0]}
+	srcs := []*CacheJSON{f.L2}
+	names := []string{"l2", "l3"}
+	if f.L3 != nil {
+		if f.L3.Sets == 0 {
+			return nil, nil, fmt.Errorf(`config: l3: omit the block instead of {"sets": 0}`)
+		}
+		shared = append(shared, cache.Config{Name: "L3"})
+		srcs = append(srcs, f.L3)
+	}
+	lspecs := make([]run.LevelSpec, len(shared))
+	custom := false
+	for i, src := range srcs {
+		if src == nil {
+			continue
+		}
+		if err := applyCache(&shared[i], src, f.Seed); err != nil {
+			return nil, nil, fmt.Errorf("config: %s: %w", names[i], err)
+		}
+		if src.Device != "" {
+			lspecs[i].Device = src.Device
+			custom = true
+		}
+		if src.Encoding != nil {
+			variant, params, err := sideSpec(src.Encoding)
+			if err != nil {
+				return nil, nil, fmt.Errorf("config: %s: %w", names[i], err)
+			}
+			lspecs[i].Variant = variant
+			lspecs[i].Params = params
+			custom = true
+		}
+	}
+	if !custom {
+		lspecs = nil
+	}
+	return shared, lspecs, nil
 }
 
 // sideSpec translates one L1's JSON options into a (variant name,

@@ -78,7 +78,7 @@ func TestResolveFullDocument(t *testing.T) {
 	if cfg.Hierarchy.L1D.Policy.Name() != "plru" {
 		t.Errorf("policy = %s", cfg.Hierarchy.L1D.Policy.Name())
 	}
-	if cfg.Hierarchy.L2.Geometry.Sets != 0 {
+	if len(cfg.Hierarchy.Shared) != 0 {
 		t.Error("l2 should be dropped by sets:0")
 	}
 	d := cfg.DOpts
@@ -390,5 +390,82 @@ func TestPredictorOption(t *testing.T) {
 	}
 	if _, _, err := f.Resolve(); err == nil {
 		t.Error("unknown predictor should fail")
+	}
+}
+
+// TestSharedLevelSchema drives the new per-level fields through the one
+// resolution path: l2 device/encoding become a run.LevelSpec, an l3
+// block appends a third shared level, and the resolved session reports
+// exactly what was asked for.
+func TestSharedLevelSchema(t *testing.T) {
+	doc := `{
+		"source": {"kernel": "mm"},
+		"l2": {"sets": 1024, "ways": 8, "line_bytes": 64,
+		       "device": "cmos-32", "encoding": {"variant": "cnt-cache", "partitions": 4}},
+		"l3": {"sets": 2048, "ways": 8, "line_bytes": 64}
+	}`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(spec.Hierarchy.Shared); n != 2 {
+		t.Fatalf("hierarchy has %d shared levels, want 2", n)
+	}
+	if g := spec.Hierarchy.Shared[1].Geometry; g.Sets != 2048 || spec.Hierarchy.Shared[1].Name != "L3" {
+		t.Errorf("l3 resolved as %q %+v", spec.Hierarchy.Shared[1].Name, g)
+	}
+	if n := len(spec.Levels); n != 2 {
+		t.Fatalf("spec has %d level specs, want 2", n)
+	}
+	l2 := spec.Levels[0]
+	if l2.Device != "cmos-32" || l2.Variant != "cnt-cache" || l2.Params == nil || l2.Params.Partitions != 4 {
+		t.Errorf("l2 level spec %+v params %+v", l2, l2.Params)
+	}
+	sess, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvls := sess.Levels()
+	if len(lvls) != 4 {
+		t.Fatalf("session resolved %d levels, want 4", len(lvls))
+	}
+	if lvls[2].Variant != "cnt-cache" || lvls[2].Device != "cmos-32" {
+		t.Errorf("resolved L2 %+v", lvls[2])
+	}
+	if lvls[3].Variant != "baseline" {
+		t.Errorf("resolved L3 %+v, want an un-encoded level", lvls[3])
+	}
+}
+
+func TestSharedLevelSchemaErrors(t *testing.T) {
+	cases := map[string]struct{ doc, want string }{
+		"l1d device": {
+			`{"l1d": {"sets": 64, "ways": 8, "line_bytes": 64, "device": "cmos-32"}}`,
+			"shared-level fields"},
+		"l1i encoding": {
+			`{"l1i": {"sets": 128, "ways": 4, "line_bytes": 64, "encoding": {}}}`,
+			"shared-level fields"},
+		"l3 without l2": {
+			`{"l2": {"sets": 0}, "l3": {"sets": 2048, "ways": 8, "line_bytes": 64}}`,
+			"l3 requires an l2"},
+		"dropped l2 with encoding": {
+			`{"l2": {"sets": 0, "encoding": {}}}`,
+			"drops the level"},
+		"dropped l3": {
+			`{"l3": {"sets": 0}}`,
+			"omit the block"},
+	}
+	for name, c := range cases {
+		f, err := Parse(strings.NewReader(c.doc))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := f.Spec(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", name, err, c.want)
+		}
 	}
 }

@@ -780,6 +780,43 @@ func (c *CNTCache) Access(a trace.Access) error {
 	return nil
 }
 
+// ReadLine implements cache.Backend, letting an encoded cache serve as
+// a shared lower level: an upper level's fill arrives as one full-line
+// read, charged through the exact generic access path (lookup,
+// fill/writeback accounting, decode of the stored image, encoder pass,
+// predictor bookkeeping), followed by the same idle-interval drain an
+// architectural access gets. The request bypasses trace.Access.Validate
+// deliberately — backend traffic is line-granular (a 64-byte-plus line
+// is no trace access) and reads into a destination buffer, both outside
+// the trace grammar; hierarchy validation pins the upper line to at
+// most this level's, so the piece can never cross a line boundary.
+func (c *CNTCache) ReadLine(addr uint64, dst []byte) error {
+	if len(dst) > c.lineBytes {
+		return fmt.Errorf("core: %s: upper-level line %d exceeds mine %d", c.cache.Name(), len(dst), c.lineBytes)
+	}
+	if err := c.accessPiece(trace.Access{Op: trace.Read, Addr: addr, Size: len(dst), Data: dst}); err != nil {
+		return err
+	}
+	c.drain(c.opts.IdleSlots)
+	return nil
+}
+
+// WriteLine implements cache.Backend: an upper level's writeback lands
+// as one full-line write. Under an encoding variant the line is
+// re-encoded on arrival (fill-policy mask on a miss, the live
+// direction state on a hit) — this is the encoded-writeback path the
+// multi-level experiments exercise.
+func (c *CNTCache) WriteLine(addr uint64, src []byte) error {
+	if len(src) > c.lineBytes {
+		return fmt.Errorf("core: %s: upper-level line %d exceeds mine %d", c.cache.Name(), len(src), c.lineBytes)
+	}
+	if err := c.accessPiece(trace.Access{Op: trace.Write, Addr: addr, Size: len(src), Data: src}); err != nil {
+		return err
+	}
+	c.drain(c.opts.IdleSlots)
+	return nil
+}
+
 // AccessBatch replays a block of accesses in order, exactly as calling
 // Access on each would: same cache state transitions, same energy
 // accumulation order, same observable event stream (internal/check

@@ -14,9 +14,10 @@ import (
 )
 
 // SimConfig describes one end-to-end simulation: the hierarchy geometry
-// and the encoding variant of each L1. The L2 (when present) stays a
-// plain architectural cache — the paper optimizes the first-level
-// CNFET arrays.
+// and the encoding variant of every level. Each level — the split L1s
+// and every shared level below them — is a fully energy-modeled CNFET
+// array; the paper optimizes the L1s, and the per-level options open
+// the same machinery to the L2 writeback path and deeper levels.
 type SimConfig struct {
 	// Hierarchy is the cache organization.
 	Hierarchy cache.HierarchyConfig
@@ -24,6 +25,12 @@ type SimConfig struct {
 	DOpts Options
 	// IOpts configures the L1 I-cache variant.
 	IOpts Options
+	// SharedOpts configures the shared levels, parallel to
+	// Hierarchy.Shared. Missing entries (and entries whose energy table
+	// is unset) run the plain unencoded baseline on the D-cache's
+	// table, which keeps a default L2 architecturally and energetically
+	// equivalent to the pre-refactor plain cache.
+	SharedOpts []Options
 }
 
 // DefaultSimConfig returns the experiment configuration: CNT-Cache on both
@@ -60,6 +67,47 @@ type Report struct {
 	// DFaults and IFaults are the fault-injection accounting per L1
 	// (all-zero when the run was fault-free).
 	DFaults, IFaults fault.Stats
+
+	// Levels is the per-level breakdown of the whole hierarchy, in
+	// topological order: L1D, L1I, then every shared level outermost-
+	// first (L2, L3, ...). Levels[0] and Levels[1] restate the legacy
+	// D/I fields above — internal/check audits that they agree — and
+	// the shared entries are what the flat fields never carried: the
+	// energy, stats and leakage of the levels below the L1s.
+	Levels []LevelReport
+}
+
+// LevelReport is one cache level's slice of a Report.
+type LevelReport struct {
+	// Name labels the level ("L1D", "L1I", "L2", ...).
+	Name string
+	// Variant is the level's encoding spec ("none", "adaptive/8", ...).
+	Variant string
+	// Stats are the architectural counters.
+	Stats cache.Stats
+	// Energy is the dynamic-energy breakdown.
+	Energy energy.Breakdown
+	// FIFO is the update-queue accounting (zero for non-adaptive).
+	FIFO fifo.Stats
+	// Switches and Windows count direction switches and completed
+	// prediction windows.
+	Switches, Windows uint64
+	// MetaBits is the H&D width per line.
+	MetaBits int
+	// Leakage is the standby-leakage estimate (fJ).
+	Leakage float64
+	// Faults is the fault-injection accounting.
+	Faults fault.Stats
+}
+
+// Level returns the named level's report, or nil.
+func (r *Report) Level(name string) *LevelReport {
+	for i := range r.Levels {
+		if r.Levels[i].Name == name {
+			return &r.Levels[i]
+		}
+	}
+	return nil
 }
 
 // Sim is a ready-to-run simulation over one memory image.
@@ -67,34 +115,67 @@ type Sim struct {
 	Mem *mem.Memory
 	L1D *CNTCache
 	L1I *CNTCache
-	L2  *cache.Cache
+	// Shared holds the shared lower levels outermost-first (Shared[0]
+	// is the L2 when present), each an energy-modeled CNTCache serving
+	// as the backend of the levels above it.
+	Shared []*CNTCache
 }
 
-// NewSim wires up the hierarchy with CNT-wrapped L1 caches.
+// NewSim wires up the hierarchy bottom-up: every level is a CNTCache —
+// the shared levels on their configured options (plain baseline on the
+// D-cache's table by default) and the CNT-wrapped L1s on top.
 func NewSim(cfg SimConfig, m *mem.Memory) (*Sim, error) {
 	if m == nil {
 		return nil, fmt.Errorf("core: simulation needs a memory image")
 	}
-	s := &Sim{Mem: m}
-	var lower cache.Backend = cache.MemBackend{M: m}
-	if cfg.Hierarchy.L2.Geometry.Sets > 0 {
-		l2, err := cache.New(cfg.Hierarchy.L2, lower)
-		if err != nil {
-			return nil, err
-		}
-		s.L2 = l2
-		lower = l2
+	hier := cfg.Hierarchy
+	if err := hier.Validate(); err != nil {
+		return nil, err
 	}
-	l1d, err := New(cfg.Hierarchy.L1D, lower, cfg.DOpts)
+	if len(cfg.SharedOpts) > len(hier.Shared) {
+		return nil, fmt.Errorf("core: %d shared-level options for %d shared levels",
+			len(cfg.SharedOpts), len(hier.Shared))
+	}
+	s := &Sim{Mem: m, Shared: make([]*CNTCache, len(hier.Shared))}
+	var lower cache.Backend = cache.MemBackend{M: m}
+	for i := len(hier.Shared) - 1; i >= 0; i-- {
+		lcfg := hier.Shared[i]
+		if lcfg.Name == "" {
+			lcfg.Name = hier.LevelName(i)
+		}
+		opts := Options{Table: cfg.DOpts.Table}
+		if i < len(cfg.SharedOpts) {
+			opts = cfg.SharedOpts[i]
+			if opts.Table.Name == "" {
+				opts.Table = cfg.DOpts.Table
+			}
+		}
+		lvl, err := New(lcfg, lower, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", lcfg.Name, err)
+		}
+		s.Shared[i] = lvl
+		lower = lvl
+	}
+	l1d, err := New(hier.L1D, lower, cfg.DOpts)
 	if err != nil {
 		return nil, err
 	}
-	l1i, err := New(cfg.Hierarchy.L1I, lower, cfg.IOpts)
+	l1i, err := New(hier.L1I, lower, cfg.IOpts)
 	if err != nil {
 		return nil, err
 	}
 	s.L1D, s.L1I = l1d, l1i
 	return s, nil
+}
+
+// L2 returns the first shared level, or nil when the L1s sit directly
+// on memory.
+func (s *Sim) L2() *CNTCache {
+	if len(s.Shared) == 0 {
+		return nil
+	}
+	return s.Shared[0]
 }
 
 // Step advances the simulation by one access, routing it to the right
@@ -176,15 +257,48 @@ func (s *Sim) Run(inst *workload.Instance) (*Report, error) {
 	return s.Finish(inst.Name, s.L1D.Options().Spec.String()), nil
 }
 
-// Finish drains pending updates and reports. When a trace sink is
-// attached it also closes each cache's event stream with a
-// SummaryEvent carrying the exact final breakdown.
+// levels returns every cache level in Report.Levels order: L1D, L1I,
+// then the shared levels outermost-first.
+func (s *Sim) levels() []*CNTCache {
+	return append([]*CNTCache{s.L1D, s.L1I}, s.Shared...)
+}
+
+// levelReport snapshots one level's slice of the report.
+func levelReport(c *CNTCache) LevelReport {
+	return LevelReport{
+		Name:     c.Cache().Name(),
+		Variant:  c.Options().Spec.String(),
+		Stats:    c.Stats(),
+		Energy:   c.Energy(),
+		FIFO:     c.FIFOStats(),
+		Switches: c.Switches(),
+		Windows:  c.Windows(),
+		MetaBits: c.MetaBitsPerLine(),
+		Leakage:  c.Leakage(),
+		Faults:   c.FaultStats(),
+	}
+}
+
+// Finish drains pending updates on every level and reports. When a
+// trace sink is attached it also closes each cache's event stream with
+// a SummaryEvent carrying the exact final breakdown. Draining runs
+// top-down (L1s first, then the shared levels) — a drain re-encodes in
+// place and generates no backend traffic, so the per-level stats stay
+// mutually consistent.
 func (s *Sim) Finish(workloadName, variant string) *Report {
-	s.L1D.DrainAll()
-	s.L1I.DrainAll()
-	s.L1D.EmitSummary()
-	s.L1I.EmitSummary()
-	return &Report{
+	for _, c := range s.levels() {
+		c.DrainAll()
+	}
+	for _, c := range s.levels() {
+		c.EmitSummary()
+	}
+	rep := s.report(workloadName, variant)
+	return rep
+}
+
+func (s *Sim) report(workloadName, variant string) *Report {
+	levels := s.levels()
+	rep := &Report{
 		Workload:  workloadName,
 		Variant:   variant,
 		DStats:    s.L1D.Stats(),
@@ -200,6 +314,11 @@ func (s *Sim) Finish(workloadName, variant string) *Report {
 		DFaults:   s.L1D.FaultStats(),
 		IFaults:   s.L1I.FaultStats(),
 	}
+	rep.Levels = make([]LevelReport, len(levels))
+	for i, c := range levels {
+		rep.Levels[i] = levelReport(c)
+	}
+	return rep
 }
 
 // RunInstance replays a workload instance through a fresh simulation.

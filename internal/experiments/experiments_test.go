@@ -10,8 +10,8 @@ func quickCfg() Config { return Config{Seed: 1, Quick: true} }
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Fatalf("registry has %d experiments, want 14 (E1-E14)", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("registry has %d experiments, want 15 (E1-E15)", len(ids))
 	}
 	for i, id := range ids {
 		want := "E" + strconv.Itoa(i+1)
@@ -153,7 +153,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 14 {
+	if len(tabs) != 15 {
 		t.Fatalf("RunAll produced %d tables", len(tabs))
 	}
 	for i, tab := range tabs {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/cnfet"
@@ -21,6 +22,11 @@ func runE1(cfg Config) (*Table, error) {
 		Columns: []string{"device", "E_rd0", "E_rd1", "E_wr0", "E_wr1", "wr1/wr0", "rd_delta", "wr_delta"},
 	}
 	for _, name := range cnfet.PresetNames() {
+		if strings.HasPrefix(name, "cacti-") {
+			// CACTI-calibrated presets are geometry-sweep devices (E15);
+			// Table 1 stays the paper's device comparison.
+			continue
+		}
 		dev, err := cnfet.PresetByName(name)
 		if err != nil {
 			return nil, err
@@ -60,7 +66,9 @@ func runE2(cfg Config) (*Table, error) {
 	}
 	t.AddRow("L1 D-cache", geomStr(hier.L1D.Geometry))
 	t.AddRow("L1 I-cache", geomStr(hier.L1I.Geometry))
-	t.AddRow("L2 cache", geomStr(hier.L2.Geometry))
+	for i, lvl := range hier.Shared {
+		t.AddRow(hier.LevelName(i)+" cache", geomStr(lvl.Geometry))
+	}
 	t.AddRow("device", opts.Table.Name)
 	t.AddRow("encoding", opts.Spec.String())
 	t.AddRow("prediction window W", fmt.Sprintf("%d accesses", opts.Window))

@@ -90,6 +90,8 @@ func Registry() []Experiment {
 			Title: "Direction-prediction policy comparison (window/conf/ewma)", Run: runE13},
 		{ID: "E14", Kind: "Table 6", Tag: "[extension]",
 			Title: "Graceful degradation under CNT fault injection (stuck cells, transients, upsets)", Run: runE14},
+		{ID: "E15", Kind: "Table 7", Tag: "[extension]",
+			Title: "Geometry sweep: size x associativity x levels with CACTI-calibrated devices", Run: runE15},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

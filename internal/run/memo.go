@@ -1,6 +1,8 @@
 package run
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/cache"
@@ -44,7 +46,25 @@ type baselineKey struct {
 	inst        *workload.Instance
 	table       cnfet.EnergyTable
 	granularity core.Granularity
-	hier        cache.HierarchyConfig
+	hier        string
+}
+
+// hierKey fingerprints a hierarchy for memo keying. Geometries compare
+// by value; policies by instance identity (%p) — the same semantics the
+// direct struct comparison had before hierarchies grew a variable-
+// length shared-level list, so a fresh policy instance still means a
+// fresh baseline simulation.
+func hierKey(h cache.HierarchyConfig) string {
+	var b strings.Builder
+	level := func(c cache.Config) {
+		fmt.Fprintf(&b, "%s/%+v/%p;", c.Name, c.Geometry, c.Policy)
+	}
+	level(h.L1D)
+	level(h.L1I)
+	for _, c := range h.Shared {
+		level(c)
+	}
+	return b.String()
 }
 
 var (
@@ -153,7 +173,7 @@ func BaselineReportCounted(inst *workload.Instance, hier cache.HierarchyConfig, 
 		rep, err := sim()
 		return rep, simulated, err
 	}
-	key := baselineKey{inst: inst, table: base.Table, granularity: base.Granularity, hier: hier}
+	key := baselineKey{inst: inst, table: base.Table, granularity: base.Granularity, hier: hierKey(hier)}
 	rep, err := baselines.Get(key, sim)
 	return rep, simulated, err
 }

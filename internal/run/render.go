@@ -43,7 +43,29 @@ func writeReportText(w io.Writer, inst *workload.Instance, rep *core.Report) {
 				rep.IFaults.Upsets, rep.IFaults.CorruptedBits)
 		}
 	}
+	// Shared lower levels (Levels[0] and [1] restate the L1 blocks above;
+	// AuditReport pins that). An encoded shared level carries the same
+	// counter line the L1s get, so the writeback-path encoding is visible
+	// in the report, not only in the totals.
+	hierTotal := rep.DEnergy.Total() + rep.IEnergy.Total()
+	for _, lvl := range rep.Levels[min(2, len(rep.Levels)):] {
+		fmt.Fprintf(w, "%s:  %s\n", lvl.Name, lvl.Stats)
+		fmt.Fprintf(w, "     %s\n", lvl.Energy.String())
+		if lvl.MetaBits > 0 {
+			fmt.Fprintf(w, "     variant=%s (H&D %d bits/line) switches=%d windows=%d fifo: enq=%d drop=%.3f\n",
+				lvl.Variant, lvl.MetaBits, lvl.Switches, lvl.Windows, lvl.FIFO.Enqueued, lvl.FIFO.DropRate())
+		}
+		if lvl.Faults != (fault.Stats{}) {
+			fmt.Fprintf(w, "     faults: stuck=%d flips=%d upsets=%d corrupted-bits=%d\n",
+				lvl.Faults.StuckCells, lvl.Faults.ReadFlips+lvl.Faults.WriteFlips,
+				lvl.Faults.Upsets, lvl.Faults.CorruptedBits)
+		}
+		hierTotal += lvl.Energy.Total()
+	}
 	fmt.Fprintf(w, "total L1 dynamic energy: %s\n", energy.Format(rep.DEnergy.Total()+rep.IEnergy.Total()))
+	if len(rep.Levels) > 2 {
+		fmt.Fprintf(w, "total hierarchy dynamic energy: %s\n", energy.Format(hierTotal))
+	}
 }
 
 // WriteComparisonText renders a variant comparison exactly as

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -603,7 +604,7 @@ func TestFaultRunsDeterministicAcrossJobs(t *testing.T) {
 	for _, jobs := range []int{4, 8} {
 		got := batch(jobs)
 		for i := range ref {
-			if got[i] != ref[i] {
+			if !reflect.DeepEqual(got[i], ref[i]) {
 				t.Errorf("jobs=%d: faulted run %d (%s) diverged from serial", jobs, i, kernels[i])
 			}
 		}
@@ -623,7 +624,7 @@ func TestCompareContextMatchesCompare(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range ref.Reports {
-			if *cmp.Reports[i] != *ref.Reports[i] {
+			if !reflect.DeepEqual(cmp.Reports[i], ref.Reports[i]) {
 				t.Errorf("jobs=%d: report %s diverged", jobs, cmp.Names[i])
 			}
 		}

@@ -4,8 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/sram"
 	"repro/internal/workload"
 )
 
@@ -205,5 +207,74 @@ func TestExplicitOptionsKeepEngineLabel(t *testing.T) {
 	}
 	if rep.Variant != opts.Spec.String() {
 		t.Errorf("variant label = %q, want engine label %q", rep.Variant, opts.Spec.String())
+	}
+}
+
+// TestPartialHierarchyIsEagerError pins the fix for the silent-clobber
+// bug: a partially-configured hierarchy used to be replaced wholesale
+// by the default, so the run reported the spec's geometry but simulated
+// another. It must now fail at Resolve, before anything loads.
+func TestPartialHierarchyIsEagerError(t *testing.T) {
+	var hier cache.HierarchyConfig
+	hier.Shared = []cache.Config{{Name: "L2", Geometry: sram.Geometry{Sets: 512, Ways: 8, LineBytes: 64}}}
+	_, err := Spec{Source: Source{Kernel: "mm"}, Hierarchy: hier}.Resolve()
+	if err == nil || !strings.Contains(err.Error(), "partial hierarchy is not defaulted") {
+		t.Fatalf("partial hierarchy resolved: err = %v, want the eager validation error", err)
+	}
+}
+
+func TestLevelSpecResolution(t *testing.T) {
+	// A shared-level device override resolves into the introspected
+	// hierarchy; an unset variant stays baseline.
+	sess, err := Spec{Source: Source{Kernel: "mm"}, Levels: []LevelSpec{{Device: "cmos-32"}}}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvls := sess.Levels()
+	if len(lvls) != 3 {
+		t.Fatalf("resolved %d levels, want 3", len(lvls))
+	}
+	l2 := lvls[2]
+	if l2.Name != "L2" || l2.Device != "cmos-32" || l2.Variant != "baseline" {
+		t.Errorf("L2 resolved as %+v, want the cmos-32 baseline", l2)
+	}
+	if lvls[0].Device != DefaultDevice || lvls[0].Variant != DefaultVariant {
+		t.Errorf("L1D resolved as %+v", lvls[0])
+	}
+
+	// More level specs than shared levels is a spec error, not a silent
+	// truncation.
+	_, err = Spec{Source: Source{Kernel: "mm"}, Levels: make([]LevelSpec, 2)}.Resolve()
+	if err == nil || !strings.Contains(err.Error(), "level specs for") {
+		t.Errorf("oversized Levels: err = %v", err)
+	}
+
+	// Options escape hatch is exclusive with the declarative fields.
+	opts := core.BaselineOptions()
+	_, err = Spec{Source: Source{Kernel: "mm"},
+		Levels: []LevelSpec{{Options: &opts, Variant: "cnt-cache"}}}.Resolve()
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("Options+Variant: err = %v", err)
+	}
+}
+
+// TestCACTIDeviceAutoCalibrates: naming a cacti-* device must fit the
+// periphery to its CACTI run — the resolved options carry a calibrated
+// Periphery rather than the table-derived default.
+func TestCACTIDeviceAutoCalibrates(t *testing.T) {
+	sess, err := Spec{Source: Source{Kernel: "mm"}, Device: "cacti-16k-32nm"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := sess.SimConfig.DOpts.Periphery
+	if per == nil {
+		t.Fatal("cacti device resolved without a calibrated periphery")
+	}
+	want, err := sram.CalibratedPeriphery("cacti-16k-32nm", sess.SimConfig.DOpts.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *per != want {
+		t.Errorf("periphery %+v, want the calibrated %+v", *per, want)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/sram"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,13 @@ type Spec struct {
 	// I-cache runs the same options as the D-cache.
 	IVariant string
 	IParams  *core.Params
+
+	// Levels configures the shared hierarchy levels, parallel to
+	// Hierarchy.Shared (outermost-first: Levels[0] is the L2). Missing
+	// entries — and the zero LevelSpec — run the plain "baseline"
+	// variant on the spec's device. Listing more levels than the
+	// hierarchy has shared caches is an error.
+	Levels []LevelSpec
 
 	// DOptions/IOptions are the fully-resolved escape hatch for engine
 	// callers that already hold core.Options; each is mutually exclusive
@@ -85,6 +93,38 @@ type Spec struct {
 	Retries int
 }
 
+// LevelSpec configures one shared hierarchy level (the L2, L3, ...).
+// Its zero value means exactly what an absent entry means — a plain
+// baseline level on the spec's device, energy-modeled but unencoded —
+// so sparse Levels lists are safe.
+type LevelSpec struct {
+	// Variant names the level's encoding variant in the core registry.
+	// "" means "baseline", NOT DefaultVariant: a shared level sees only
+	// fills and L1 writebacks, so it is encoded only when the spec asks
+	// for it.
+	Variant string
+	// Params, when non-nil, overrides core.DefaultParams as the builder
+	// input, exactly like the L1 bundles.
+	Params *core.Params
+	// Options is the fully-resolved escape hatch; mutually exclusive
+	// with Variant, Params and Device.
+	Options *core.Options
+	// Device names this level's energy-table preset; "" means the
+	// spec's Device.
+	Device string
+}
+
+// LevelDesc is the resolved description of one hierarchy level — what
+// cntsim -inspect prints. Geometry, device and variant are the values
+// the simulation will actually run, after every default has been
+// filled.
+type LevelDesc struct {
+	Name     string
+	Geometry sram.Geometry
+	Device   string
+	Variant  string
+}
+
 // Report is a run's outcome: the engine report plus the instance that
 // produced it. When the variant was resolved by registry name, the
 // report's Variant field carries that name, so a name written in a
@@ -108,6 +148,7 @@ type Session struct {
 	name       string // D-variant registry name; "" when DOptions was used
 	params     core.Params
 	paramsOK   bool
+	levels     []LevelDesc // resolved per-level descriptions, L1D first
 	sim        *core.Sim
 	tracer     *obs.Tracer // nil: lifecycle spans off
 	spanParent obs.SpanContext
@@ -152,7 +193,22 @@ func resolveSide(variant string, params *core.Params, device string) (string, co
 		p.Table = tab
 	}
 	opts, err := core.BuildVariant(name, p)
-	return name, p, opts, err
+	if err != nil {
+		return "", p, core.Options{}, err
+	}
+	// A CACTI-named table carries a calibrated periphery: the embedded
+	// CACTI run its device preset was fitted against also fixes the
+	// decoder, tag-compare and column energies, so a full-line read on
+	// the calibrated array reproduces the run's per-access read energy
+	// (see sram.Calibrate). Explicit peripheries always win.
+	if opts.Periphery == nil && sram.IsCACTITable(p.Table.Name) {
+		per, err := sram.CalibratedPeriphery(p.Table.Name, p.Table)
+		if err != nil {
+			return "", p, core.Options{}, err
+		}
+		opts.Periphery = &per
+	}
+	return name, p, opts, nil
 }
 
 // configure resolves everything but the source.
@@ -165,9 +221,16 @@ func (s Spec) configure() (*Session, error) {
 		sess.seed = 1
 	}
 
+	// The default hierarchy substitutes only for a fully-zero config. A
+	// partially-configured one (say, an L2 without L1s) used to be
+	// silently replaced wholesale — the run looked like it honored the
+	// spec but simulated the default geometry — so it is now an eager
+	// validation error instead.
 	hier := s.Hierarchy
-	if hier.L1D.Geometry.Sets == 0 {
+	if hier.Zero() {
 		hier = cache.DefaultHierarchyConfig()
+	} else if err := hier.Validate(); err != nil {
+		return nil, fmt.Errorf("run: %w (a partial hierarchy is not defaulted: configure every level or none)", err)
 	}
 	sess.SimConfig.Hierarchy = hier
 
@@ -193,20 +256,75 @@ func (s Spec) configure() (*Session, error) {
 
 	// I side: explicit options, an explicit (variant, params) pair, or —
 	// when nothing is said about it — the same options as the D side.
+	iName := sess.name
 	switch {
 	case s.IOptions != nil:
 		if s.IVariant != "" || s.IParams != nil {
 			return nil, fmt.Errorf("run: IOptions and IVariant/IParams are mutually exclusive")
 		}
 		sess.SimConfig.IOpts = *s.IOptions
+		iName = ""
 	case s.IVariant != "" || s.IParams != nil:
-		_, _, opts, err := resolveSide(s.IVariant, s.IParams, device)
+		name, _, opts, err := resolveSide(s.IVariant, s.IParams, device)
 		if err != nil {
 			return nil, err
 		}
 		sess.SimConfig.IOpts = opts
+		iName = name
 	default:
 		sess.SimConfig.IOpts = sess.SimConfig.DOpts
+	}
+
+	// Shared levels. With no Levels entries SharedOpts stays nil and the
+	// engine default applies — plain baseline on the D-cache's table,
+	// energetically the pre-refactor L2. Any entry switches the whole
+	// list to explicit resolution, so each level's variant and device are
+	// pinned here, on the one path every driver shares.
+	if len(s.Levels) > len(hier.Shared) {
+		return nil, fmt.Errorf("run: %d level specs for %d shared cache levels",
+			len(s.Levels), len(hier.Shared))
+	}
+	levelVariants := make([]string, len(hier.Shared))
+	levelDevices := make([]string, len(hier.Shared))
+	if len(s.Levels) > 0 {
+		sess.SimConfig.SharedOpts = make([]core.Options, len(hier.Shared))
+	}
+	for i := range hier.Shared {
+		lname := hier.LevelName(i)
+		if len(s.Levels) == 0 {
+			levelVariants[i] = "baseline"
+			levelDevices[i] = sess.SimConfig.DOpts.Table.Name
+			continue
+		}
+		var ls LevelSpec
+		if i < len(s.Levels) {
+			ls = s.Levels[i]
+		}
+		switch {
+		case ls.Options != nil:
+			if ls.Variant != "" || ls.Params != nil || ls.Device != "" {
+				return nil, fmt.Errorf("run: %s: Options and Variant/Params/Device are mutually exclusive", lname)
+			}
+			sess.SimConfig.SharedOpts[i] = *ls.Options
+			levelVariants[i] = ls.Options.Spec.String()
+			levelDevices[i] = ls.Options.Table.Name
+		default:
+			variant := ls.Variant
+			if variant == "" {
+				variant = "baseline"
+			}
+			dev := ls.Device
+			if dev == "" {
+				dev = device
+			}
+			name, _, opts, err := resolveSide(variant, ls.Params, dev)
+			if err != nil {
+				return nil, fmt.Errorf("run: %s: %w", lname, err)
+			}
+			sess.SimConfig.SharedOpts[i] = opts
+			levelVariants[i] = name
+			levelDevices[i] = dev
+		}
 	}
 
 	// Telemetry attaches to both L1s, exactly like the pre-run drivers
@@ -233,8 +351,51 @@ func (s Spec) configure() (*Session, error) {
 	if err := sess.SimConfig.IOpts.Validate(hier.L1I.Geometry.LineBytes); err != nil {
 		return nil, err
 	}
+	for i := range sess.SimConfig.SharedOpts {
+		o := sess.SimConfig.SharedOpts[i]
+		if o.Table.Name == "" {
+			// The engine defaults an unset table to the D-cache's; validate
+			// what will actually run.
+			o.Table = sess.SimConfig.DOpts.Table
+		}
+		if err := o.Validate(hier.Shared[i].Geometry.LineBytes); err != nil {
+			return nil, fmt.Errorf("run: %s: %w", hier.LevelName(i), err)
+		}
+	}
+
+	// Resolved per-level descriptions, for introspection (cntsim -inspect).
+	dVariant := sess.name
+	if dVariant == "" {
+		dVariant = sess.SimConfig.DOpts.Spec.String()
+	}
+	if iName == "" {
+		iName = sess.SimConfig.IOpts.Spec.String()
+	}
+	l1dName, l1iName := hier.L1D.Name, hier.L1I.Name
+	if l1dName == "" {
+		l1dName = "L1D"
+	}
+	if l1iName == "" {
+		l1iName = "L1I"
+	}
+	sess.levels = []LevelDesc{
+		{Name: l1dName, Geometry: hier.L1D.Geometry, Device: sess.SimConfig.DOpts.Table.Name, Variant: dVariant},
+		{Name: l1iName, Geometry: hier.L1I.Geometry, Device: sess.SimConfig.IOpts.Table.Name, Variant: iName},
+	}
+	for i := range hier.Shared {
+		sess.levels = append(sess.levels, LevelDesc{
+			Name: hier.LevelName(i), Geometry: hier.Shared[i].Geometry,
+			Device: levelDevices[i], Variant: levelVariants[i],
+		})
+	}
 	return sess, nil
 }
+
+// Levels describes every resolved level of the session's hierarchy:
+// L1D, L1I, then the shared levels outermost-first. Geometry, device
+// and variant are post-default values — what the simulation actually
+// runs.
+func (sess *Session) Levels() []LevelDesc { return sess.levels }
 
 // Configure resolves and validates the spec without touching its
 // source, returning the engine configuration it describes. This is the
@@ -408,7 +569,13 @@ func (sess *Session) CompareContext(ctx context.Context) (*core.Comparison, erro
 		// like the graceful-degradation sweep.
 		opts := v.Opts
 		opts.Fault = sess.SimConfig.DOpts.Fault
-		cfg := core.SimConfig{Hierarchy: sess.SimConfig.Hierarchy, DOpts: opts, IOpts: opts}
+		// Shared levels are kept identical across cells: the comparison
+		// varies the L1 encoding only.
+		cfg := core.SimConfig{
+			Hierarchy: sess.SimConfig.Hierarchy,
+			DOpts:     opts, IOpts: opts,
+			SharedOpts: sess.SimConfig.SharedOpts,
+		}
 		attempt := 0
 		return Retry(ctx, sess.retries, compareRetryBackoff, func() error {
 			attempt++

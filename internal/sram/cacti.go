@@ -1,0 +1,326 @@
+package sram
+
+import (
+	"bufio"
+	"bytes"
+	"embed"
+	"fmt"
+	"io"
+	"math"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnfet"
+)
+
+// CACTI run parsing and periphery calibration.
+//
+// CACTI is the standard cache-geometry estimator; its text reports are
+// what architecture papers (this one included) size their arrays
+// against. A run report states, for one (size, block, associativity,
+// technology) point, the total dynamic energy per access and the
+// access/cycle timing. Our energy model composes the same access from
+// the opposite direction — per-bit cell energies (cnfet.EnergyTable)
+// plus fixed periphery (Periphery) — so a CACTI run gives us an
+// absolute anchor: Calibrate fits the periphery so that a full-line
+// read on the CACTI geometry reproduces the run's per-access read
+// energy exactly, while the cell table keeps the CNFET asymmetry the
+// adaptive encoding exploits.
+//
+// Three runs are embedded (testdata/cacti/*.txt, kept verbatim as
+// produced by CACTI 6.5 and 7.0.3DD) and mirrored by cnfet's cacti-*
+// device presets; the run and the preset share a name, which is how
+// the run layer knows to calibrate (run.resolveSide).
+
+// CACTIParams is the digest of one CACTI run report: the configured
+// geometry and the modeled energy/timing totals. Zero-valued fields
+// were absent from the report (older CACTI versions omit, for example,
+// the write energy and the time components).
+type CACTIParams struct {
+	// Name labels the run; filled from the registry filename for
+	// embedded runs, free-form otherwise.
+	Name string
+
+	// SizeBytes, BlockBytes and Assoc are the configured organization.
+	// Assoc 0 means fully associative (CACTI's own convention in both
+	// its config echo and its report body).
+	SizeBytes  int
+	BlockBytes int
+	Assoc      int
+	// TechNM is the technology node in nanometers.
+	TechNM int
+
+	// ReadEnergyNJ, WriteEnergyNJ and SearchEnergyNJ are the total
+	// dynamic energies per access, in nanojoules.
+	ReadEnergyNJ   float64
+	WriteEnergyNJ  float64
+	SearchEnergyNJ float64
+	// AccessTimeNS and CycleTimeNS are the modeled timings.
+	AccessTimeNS float64
+	CycleTimeNS  float64
+	// LeakageMW is the total leakage power of a bank.
+	LeakageMW float64
+
+	// DecoderNS, BitlineNS and SenseAmpNS are the data-side time
+	// components, when the report includes them. Calibrate uses them as
+	// the attribution shape for the periphery budget.
+	DecoderNS  float64
+	BitlineNS  float64
+	SenseAmpNS float64
+}
+
+// Validate checks that the digest describes a usable run: a coherent
+// geometry, a positive read energy (the calibration target), and
+// finite, non-negative everything else.
+func (p *CACTIParams) Validate() error {
+	switch {
+	case p.SizeBytes <= 0 || p.BlockBytes <= 0:
+		return fmt.Errorf("sram: cacti: size/block must be positive, got %d/%d", p.SizeBytes, p.BlockBytes)
+	case p.BlockBytes > 1<<20:
+		return fmt.Errorf("sram: cacti: block size %d is implausible", p.BlockBytes)
+	case p.Assoc < 0:
+		return fmt.Errorf("sram: cacti: associativity must be non-negative, got %d", p.Assoc)
+	case p.SizeBytes%p.BlockBytes != 0:
+		return fmt.Errorf("sram: cacti: size %d not a multiple of block %d", p.SizeBytes, p.BlockBytes)
+	case p.Assoc > p.SizeBytes/p.BlockBytes:
+		// Also guards the block-group arithmetic below against overflow.
+		return fmt.Errorf("sram: cacti: associativity %d exceeds the %d lines of the array",
+			p.Assoc, p.SizeBytes/p.BlockBytes)
+	case p.Assoc > 0 && p.SizeBytes%(p.BlockBytes*p.Assoc) != 0:
+		return fmt.Errorf("sram: cacti: size %d not a multiple of %d-way block group", p.SizeBytes, p.Assoc)
+	case p.ReadEnergyNJ <= 0:
+		return fmt.Errorf("sram: cacti: read energy must be positive, got %g nJ", p.ReadEnergyNJ)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"read energy", p.ReadEnergyNJ}, {"write energy", p.WriteEnergyNJ},
+		{"search energy", p.SearchEnergyNJ}, {"access time", p.AccessTimeNS},
+		{"cycle time", p.CycleTimeNS}, {"leakage", p.LeakageMW},
+		{"decoder delay", p.DecoderNS}, {"bitline delay", p.BitlineNS},
+		{"sense-amp delay", p.SenseAmpNS},
+	} {
+		if f.v < 0 || math.IsInf(f.v, 0) || math.IsNaN(f.v) {
+			return fmt.Errorf("sram: cacti: %s must be finite and non-negative, got %g", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Ways returns the concrete associativity: Assoc when set-associative,
+// every line in one set when fully associative.
+func (p *CACTIParams) Ways() int {
+	if p.Assoc > 0 {
+		return p.Assoc
+	}
+	return p.SizeBytes / p.BlockBytes
+}
+
+// Sets returns the number of sets implied by the organization.
+func (p *CACTIParams) Sets() int {
+	return p.SizeBytes / (p.BlockBytes * p.Ways())
+}
+
+// Geometry returns the run's organization as an array geometry (no
+// metadata columns).
+func (p *CACTIParams) Geometry() Geometry {
+	return Geometry{Sets: p.Sets(), Ways: p.Ways(), LineBytes: p.BlockBytes}
+}
+
+// ParseCACTI digests a CACTI text report. Both report dialects are
+// understood: the config echo that leads the file ("Cache size : 16384",
+// "Technology : 0.022" in µm) and the "Cache Parameters:" section of
+// the model output ("Total cache size (bytes): 16384", "Technology
+// size (nm): 22"); when both state a field the later section wins by
+// overwriting. Unknown lines are skipped — reports drown the few
+// fields of interest in dozens of others — but the result must pass
+// Validate.
+func ParseCACTI(r io.Reader) (CACTIParams, error) {
+	var p CACTIParams
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		key, val, ok := strings.Cut(sc.Text(), ":")
+		if !ok {
+			continue
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "Cache size", "Total cache size (bytes)":
+			parseInt(&p.SizeBytes, val)
+		case "Block size", "Block size (bytes)":
+			parseInt(&p.BlockBytes, val)
+		case "Associativity":
+			if val == "fully associative" {
+				p.Assoc = 0
+			} else {
+				parseInt(&p.Assoc, val)
+			}
+		case "Technology":
+			// Config echo states the node in micrometers.
+			var um float64
+			parseFloat(&um, val)
+			p.TechNM = int(math.Round(um * 1000))
+		case "Technology size (nm)":
+			parseInt(&p.TechNM, val)
+		case "Access time (ns)":
+			parseFloat(&p.AccessTimeNS, val)
+		case "Cycle time (ns)":
+			parseFloat(&p.CycleTimeNS, val)
+		case "Total dynamic read energy per access (nJ)":
+			parseFloat(&p.ReadEnergyNJ, val)
+		case "Total dynamic write energy per access (nJ)":
+			parseFloat(&p.WriteEnergyNJ, val)
+		case "Total dynamic associative search energy per access (nJ)":
+			parseFloat(&p.SearchEnergyNJ, val)
+		case "Total leakage power of a bank (mW)":
+			parseFloat(&p.LeakageMW, val)
+		// Time components: the data side is reported first and is the
+		// one we attribute from; keep the first occurrence so the tag
+		// side's identical labels never clobber it.
+		case "Decoder + wordline delay (ns)":
+			if p.DecoderNS == 0 {
+				parseFloat(&p.DecoderNS, val)
+			}
+		case "Bitline delay (ns)":
+			if p.BitlineNS == 0 {
+				parseFloat(&p.BitlineNS, val)
+			}
+		case "Sense Amplifier delay (ns)":
+			if p.SenseAmpNS == 0 {
+				parseFloat(&p.SenseAmpNS, val)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return CACTIParams{}, fmt.Errorf("sram: cacti: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return CACTIParams{}, err
+	}
+	return p, nil
+}
+
+// parseInt and parseFloat assign only on clean parses, leaving the
+// destination untouched otherwise — a malformed line reads as absent,
+// and Validate decides whether the run as a whole is usable.
+func parseInt(dst *int, s string) {
+	if v, err := strconv.Atoi(s); err == nil {
+		*dst = v
+	}
+}
+
+func parseFloat(dst *float64, s string) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		*dst = v
+	}
+}
+
+// Calibrate fits a Periphery to a CACTI run for the given cell table:
+// after the fit, one full-line read access on the run's geometry —
+// LookupEnergy plus ReadEnergy of a uniform line — costs exactly the
+// run's per-access read energy. The cell side is fixed by the table
+// (that is where the CNFET asymmetry lives); what CACTI's total says
+// on top of it is the periphery budget, distributed over the three
+// Periphery components.
+//
+// The attribution shape comes from the run's data-side time components
+// when present — decoder+wordline delay backs the row decode, bitline
+// delay the per-way compare banks, sense-amp delay the column/output
+// stage — a crude but monotone proxy: slower stages switch more
+// capacitance. Reports without time components fall back to the
+// DefaultPeriphery proportions. Either way the total is exact; only
+// the split between components is modeled.
+func Calibrate(p CACTIParams, tab cnfet.EnergyTable) (Periphery, error) {
+	if err := p.Validate(); err != nil {
+		return Periphery{}, err
+	}
+	if err := tab.Validate(); err != nil {
+		return Periphery{}, err
+	}
+	bits := p.BlockBytes * 8
+	cell := tab.ReadBits(bits/2, bits)
+	target := p.ReadEnergyNJ * 1e6 // nJ -> fJ
+	if math.IsInf(target, 0) {
+		return Periphery{}, fmt.Errorf("sram: cacti %s: read energy %g nJ is out of range", p.Name, p.ReadEnergyNJ)
+	}
+	budget := target - cell
+	if budget <= 0 {
+		return Periphery{}, fmt.Errorf(
+			"sram: cacti %s: cell read energy %.0f fJ meets or exceeds the CACTI per-access read %.0f fJ; table %q is too hot for this run",
+			p.Name, cell, target, tab.Name)
+	}
+	ways, lineBytes := float64(p.Ways()), float64(p.BlockBytes)
+	def := DefaultPeriphery(tab)
+	wDecode := def.DecodeEnergy
+	wTag := ways * def.TagCompareEnergy
+	wCol := lineBytes * def.ColumnEnergy
+	if p.DecoderNS > 0 || p.BitlineNS > 0 || p.SenseAmpNS > 0 {
+		wDecode, wTag, wCol = p.DecoderNS, p.BitlineNS, p.SenseAmpNS
+	}
+	scale := budget / (wDecode + wTag + wCol)
+	return Periphery{
+		DecodeEnergy:     wDecode * scale,
+		TagCompareEnergy: wTag * scale / ways,
+		ColumnEnergy:     wCol * scale / lineBytes,
+	}, nil
+}
+
+//go:embed testdata/cacti
+var cactiFS embed.FS
+
+const cactiDir = "testdata/cacti"
+
+// CACTIRunNames returns the sorted names of the embedded CACTI runs.
+// Each name doubles as a cnfet device preset calibrated against it.
+func CACTIRunNames() []string {
+	ents, err := cactiFS.ReadDir(cactiDir)
+	if err != nil {
+		// The directory is embedded at compile time; it cannot be absent.
+		panic(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, strings.TrimSuffix(e.Name(), ".txt"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsCACTITable reports whether an embedded CACTI run backs the named
+// energy table — the cacti-* device presets share their run's name.
+func IsCACTITable(name string) bool {
+	if !strings.HasPrefix(name, "cacti-") {
+		return false
+	}
+	_, err := cactiFS.ReadFile(path.Join(cactiDir, name+".txt"))
+	return err == nil
+}
+
+// CACTIRun parses the named embedded run.
+func CACTIRun(name string) (CACTIParams, error) {
+	data, err := cactiFS.ReadFile(path.Join(cactiDir, name+".txt"))
+	if err != nil {
+		return CACTIParams{}, fmt.Errorf("sram: unknown cacti run %q (have %v)", name, CACTIRunNames())
+	}
+	p, err := ParseCACTI(bytes.NewReader(data))
+	if err != nil {
+		return CACTIParams{}, fmt.Errorf("sram: cacti run %q: %w", name, err)
+	}
+	p.Name = name
+	return p, nil
+}
+
+// CalibratedPeriphery parses the named embedded run and fits the
+// periphery for the given cell table — the one-call path the run layer
+// uses for cacti-* devices.
+func CalibratedPeriphery(name string, tab cnfet.EnergyTable) (Periphery, error) {
+	p, err := CACTIRun(name)
+	if err != nil {
+		return Periphery{}, err
+	}
+	return Calibrate(p, tab)
+}

@@ -1,0 +1,240 @@
+package sram
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cnfet"
+)
+
+// The golden pins below are read straight off the embedded CACTI
+// reports (testdata/cacti/*.txt, verbatim CACTI output). If a pin
+// breaks, either the parser regressed or a report was edited — both
+// invalidate every cacti-* device preset calibrated against it.
+
+func TestCACTIRunGoldens(t *testing.T) {
+	goldens := map[string]CACTIParams{
+		"cacti-16k-22nm": {
+			Name: "cacti-16k-22nm", SizeBytes: 16384, BlockBytes: 64, Assoc: 0, TechNM: 22,
+			ReadEnergyNJ: 0.0174358, WriteEnergyNJ: 0.0255604, SearchEnergyNJ: 0.0224624,
+			AccessTimeNS: 0.399362, CycleTimeNS: 0.657668, LeakageMW: 11.0568,
+		},
+		"cacti-16k-32nm": {
+			Name: "cacti-16k-32nm", SizeBytes: 16384, BlockBytes: 64, Assoc: 4, TechNM: 32,
+			ReadEnergyNJ: 0.00701711,
+			AccessTimeNS: 0.28986, CycleTimeNS: 0.28137, LeakageMW: 6.1861,
+			DecoderNS: 0.142939, BitlineNS: 0.108542, SenseAmpNS: 0.00257713,
+		},
+		"cacti-64k-22nm": {
+			Name: "cacti-64k-22nm", SizeBytes: 65536, BlockBytes: 64, Assoc: 4, TechNM: 22,
+			ReadEnergyNJ: 0.0452934, WriteEnergyNJ: 0.0525483,
+			AccessTimeNS: 0.464286, CycleTimeNS: 0.464059, LeakageMW: 22.5863,
+		},
+	}
+	names := CACTIRunNames()
+	if len(names) != len(goldens) {
+		t.Fatalf("embedded runs %v, want %d", names, len(goldens))
+	}
+	for _, name := range names {
+		want, ok := goldens[name]
+		if !ok {
+			t.Errorf("unexpected embedded run %q", name)
+			continue
+		}
+		got, err := CACTIRun(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+func TestCACTIGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		sets, ways, line int
+	}{
+		// 16k-22nm is fully associative: one set of 256 lines.
+		{"cacti-16k-22nm", 1, 256, 64},
+		{"cacti-16k-32nm", 64, 4, 64},
+		{"cacti-64k-22nm", 256, 4, 64},
+	} {
+		p, err := CACTIRun(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := p.Geometry()
+		if g.Sets != tc.sets || g.Ways != tc.ways || g.LineBytes != tc.line {
+			t.Errorf("%s: geometry %+v, want %d x %d x %dB", tc.name, g, tc.sets, tc.ways, tc.line)
+		}
+	}
+}
+
+// TestCalibrateExact pins the calibration contract: against its paired
+// device preset, every embedded run calibrates so that one full set
+// lookup plus a uniform full-line read costs exactly the run's
+// per-access read energy.
+func TestCalibrateExact(t *testing.T) {
+	for _, name := range CACTIRunNames() {
+		p, err := CACTIRun(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := cnfet.PresetByName(name)
+		if err != nil {
+			t.Fatalf("%s: no paired device preset: %v", name, err)
+		}
+		tab := cnfet.MustTable(dev)
+		per, err := Calibrate(p, tab)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := per.Validate(); err != nil {
+			t.Fatalf("%s: fitted periphery invalid: %v", name, err)
+		}
+		bits := p.BlockBytes * 8
+		full := per.DecodeEnergy + float64(p.Ways())*per.TagCompareEnergy +
+			tab.ReadBits(bits/2, bits) + float64(p.BlockBytes)*per.ColumnEnergy
+		target := p.ReadEnergyNJ * 1e6
+		if d := math.Abs(full-target) / target; d > 1e-9 {
+			t.Errorf("%s: calibrated full-line read %g fJ, CACTI says %g fJ (rel err %g)", name, full, target, d)
+		}
+		if per.DecodeEnergy <= 0 || per.TagCompareEnergy <= 0 || per.ColumnEnergy <= 0 {
+			t.Errorf("%s: degenerate component in %+v", name, per)
+		}
+	}
+}
+
+// TestCalibrateShape checks the attribution shape: with time components
+// present the budget splits in their proportions; without them the
+// DefaultPeriphery proportions carry over.
+func TestCalibrateShape(t *testing.T) {
+	p, err := CACTIRun("cacti-16k-32nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := cnfet.MustTable(mustPreset(t, "cacti-16k-32nm"))
+	per, err := Calibrate(p, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// decode : tag-bank : column budget ratio == decoder : bitline : senseamp.
+	tagBank := float64(p.Ways()) * per.TagCompareEnergy
+	colBank := float64(p.BlockBytes) * per.ColumnEnergy
+	if r, want := per.DecodeEnergy/tagBank, p.DecoderNS/p.BitlineNS; math.Abs(r-want)/want > 1e-9 {
+		t.Errorf("decode/tag ratio %g, want the delay ratio %g", r, want)
+	}
+	if r, want := per.DecodeEnergy/colBank, p.DecoderNS/p.SenseAmpNS; math.Abs(r-want)/want > 1e-9 {
+		t.Errorf("decode/column ratio %g, want the delay ratio %g", r, want)
+	}
+
+	// No time components: the fallback shape is DefaultPeriphery's.
+	p22, err := CACTIRun("cacti-64k-22nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab22 := cnfet.MustTable(mustPreset(t, "cacti-64k-22nm"))
+	per22, err := Calibrate(p22, tab22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultPeriphery(tab22)
+	if r, want := per22.DecodeEnergy/per22.TagCompareEnergy, def.DecodeEnergy/def.TagCompareEnergy; math.Abs(r-want)/want > 1e-9 {
+		t.Errorf("fallback decode/tag ratio %g, want DefaultPeriphery's %g", r, want)
+	}
+}
+
+// TestCalibrateTooHot: a cell table whose full-line read alone exceeds
+// the CACTI target must be refused with a diagnosis, not fitted to a
+// negative periphery.
+func TestCalibrateTooHot(t *testing.T) {
+	p, err := CACTIRun("cacti-16k-32nm") // target 7017 fJ
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := cnfet.MustTable(cnfet.CNFET32()) // unscaled: cell read alone is ~13234 fJ
+	if _, err := Calibrate(p, tab); err == nil || !strings.Contains(err.Error(), "too hot") {
+		t.Fatalf("Calibrate with an over-hot table: err = %v, want a too-hot diagnosis", err)
+	}
+}
+
+func TestParseCACTIDialects(t *testing.T) {
+	echo := "Cache size                    : 8192\n" +
+		"Block size                    : 32\n" +
+		"Associativity                 : 2\n" +
+		"Technology                    : 0.022\n" +
+		"Total dynamic read energy per access (nJ): 0.01\n"
+	p, err := ParseCACTI(strings.NewReader(echo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes != 8192 || p.BlockBytes != 32 || p.Assoc != 2 || p.TechNM != 22 {
+		t.Errorf("config-echo dialect parsed %+v", p)
+	}
+
+	// The model-output section overwrites the echo when both are present.
+	both := echo +
+		"    Total cache size (bytes): 16384\n" +
+		"    Associativity: fully associative\n" +
+		"    Block size (bytes): 64\n" +
+		"    Technology size (nm): 32\n"
+	p, err = ParseCACTI(strings.NewReader(both))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes != 16384 || p.BlockBytes != 64 || p.Assoc != 0 || p.TechNM != 32 {
+		t.Errorf("model-output dialect should win: %+v", p)
+	}
+
+	// The tag side repeats the time-component labels; the data side
+	// (first occurrence) must be kept.
+	timed := echo +
+		"Time Components:\n" +
+		"  Decoder + wordline delay (ns): 0.1\n" +
+		"  Bitline delay (ns): 0.2\n" +
+		"  Decoder + wordline delay (ns): 0.9\n" +
+		"  Bitline delay (ns): 0.9\n"
+	p, err = ParseCACTI(strings.NewReader(timed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DecoderNS != 0.1 || p.BitlineNS != 0.2 {
+		t.Errorf("tag-side time components clobbered the data side: %+v", p)
+	}
+
+	// A report without a read energy is not a usable run.
+	if _, err := ParseCACTI(strings.NewReader("Cache size : 8192\nBlock size : 32\n")); err == nil {
+		t.Error("report without read energy should be rejected")
+	}
+}
+
+func TestCACTIRunRegistry(t *testing.T) {
+	for _, name := range CACTIRunNames() {
+		if !IsCACTITable(name) {
+			t.Errorf("IsCACTITable(%q) = false for an embedded run", name)
+		}
+	}
+	for _, name := range []string{"cacti-1k-7nm", "cnfet-32", ""} {
+		if IsCACTITable(name) {
+			t.Errorf("IsCACTITable(%q) = true", name)
+		}
+	}
+	if _, err := CACTIRun("cacti-1k-7nm"); err == nil || !strings.Contains(err.Error(), "unknown cacti run") {
+		t.Errorf("unknown run: err = %v", err)
+	}
+	if _, err := CalibratedPeriphery("cacti-1k-7nm", cnfet.MustTable(cnfet.CNFET32())); err == nil {
+		t.Error("CalibratedPeriphery should propagate the unknown-run error")
+	}
+}
+
+func mustPreset(t *testing.T, name string) cnfet.Device {
+	t.Helper()
+	d, err := cnfet.PresetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
