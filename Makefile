@@ -28,6 +28,15 @@
 #   make bench-replay-check  measure replay throughput and fail if it
 #                regressed more than 20% vs the committed
 #                BENCH_REPLAY.json (the CI bench job's gate)
+#   make chaos-check  crash-recovery gate: race-enabled journal,
+#                recovery, deadline, drain and chaos-injection suites,
+#                then scripts/chaos_check.sh — a real race-enabled cntd
+#                SIGKILLed mid-compare with seeded chaos (CHAOS_SEED,
+#                default 42) and restarted over the same state dir,
+#                asserting both journaled jobs converge to reports
+#                byte-identical to cntsim's, deadlines validate, a
+#                clean SIGTERM empties the journal, and cntstat -jobs
+#                audits the final state dir
 #   make serve-check  serving gate: race-enabled internal/server +
 #                cmd/cntd + cmd/cntbench suites, then the live
 #                scripts/serve_check.sh end-to-end (boot cntd on a
@@ -40,7 +49,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: tier1 tier2 lint check fuzz fault obs-check geom-check results bench bench-json bench-replay-check serve-check
+.PHONY: tier1 tier2 lint check fuzz fault obs-check geom-check results bench bench-json bench-replay-check serve-check chaos-check
 
 tier1:
 	$(GO) build ./...
@@ -70,6 +79,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultConfig$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime $(FUZZTIME) ./internal/check/
 	$(GO) test -run '^$$' -fuzz '^FuzzCACTIParams$$' -fuzztime $(FUZZTIME) ./internal/check/
+	$(GO) test -run '^$$' -fuzz '^FuzzStatusDoc$$' -fuzztime $(FUZZTIME) ./internal/server/
 
 # The resilience gate: the fault and atomicio packages in full, the
 # fault/salvage/interrupt tests across the run engine and CLIs, and a
@@ -130,3 +140,13 @@ bench-replay-check:
 serve-check:
 	$(GO) test -race ./internal/server/ ./cmd/cntd/ ./cmd/cntbench/
 	./scripts/serve_check.sh
+
+# The crash-recovery gate: the durability suites under -race (journal
+# round-trips, boot recovery, deadline taxonomy, drain edge cases,
+# chaos injection, the in-process kill -9 end-to-end), then a real
+# daemon SIGKILLed and recovered by scripts/chaos_check.sh.
+chaos-check:
+	$(GO) test -race ./internal/chaos/ ./internal/atomicio/
+	$(GO) test -race -run 'Journal|Recover|Boot|Deadline|Drain|Chaos|Kill9|StatusDoc|EventsClient|Healthz|Admission|Jobs' \
+		./internal/server/ ./cmd/cntd/ ./cmd/cntstat/
+	./scripts/chaos_check.sh

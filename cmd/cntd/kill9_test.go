@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/run"
+	"repro/internal/server"
+)
+
+// helperEnv re-purposes the test binary as a real cntd process: when
+// set, TestMain runs the daemon with the unit-separator-joined args
+// instead of the tests. That gives the kill -9 end-to-end a genuine
+// child process to SIGKILL — in-process cancellation cannot model a
+// crash, which is the whole point of the journal.
+const helperEnv = "CNTD_HELPER_ARGS"
+
+func TestMain(m *testing.M) {
+	if raw := os.Getenv(helperEnv); raw != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runCtx(ctx, strings.Split(raw, "\x1f"), os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "cntd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// spawnDaemon starts the helper-process daemon on an ephemeral port
+// and waits for its address announcement.
+func spawnDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	joined := strings.Join(append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...), "\x1f")
+	cmd.Env = append(os.Environ(), helperEnv+"="+joined)
+	buf := &lockedBuffer{}
+	cmd.Stderr = buf
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(buf.String()); m != nil {
+			return cmd, "http://" + m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon child never announced its address; stderr: %s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func submitRemote(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body %s (%v)", data, err)
+	}
+	return sub.ID
+}
+
+// pollDoc polls a job document until cond accepts it; 404s are
+// tolerated (recovery re-admits asynchronously after a restart).
+func pollDoc(t *testing.T, base, id string, cond func(map[string]any) bool) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		decErr := json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if decErr != nil {
+				t.Fatal(decErr)
+			}
+			if cond(doc) {
+				return doc
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached the wanted condition; last doc: %v", id, doc)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonKill9Recovery is the crash-recovery end-to-end the journal
+// exists for: SIGKILL a real daemon process mid-compare, restart over
+// the same state dir, and require the recovered job to converge to a
+// report byte-identical to a crash-free run — then a clean SIGTERM
+// must leave an empty journal behind.
+func TestDaemonKill9Recovery(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"source": {"kernel": "mm"}}`
+
+	// Daemon A: a chaos delay parks the worker mid-job so the SIGKILL
+	// reliably lands while the job is running.
+	cmdA, baseA := spawnDaemon(t, "-workers", "1", "-state-dir", dir,
+		"-chaos", "seed=1;worker.delay:every=1,delay=300s")
+	id := submitRemote(t, baseA, `{"mode": "compare", "spec": `+spec+`}`)
+	pollDoc(t, baseA, id, func(doc map[string]any) bool { return doc["state"] == "running" })
+	if err := cmdA.Process.Kill(); err != nil { // SIGKILL: no drain, no compaction
+		t.Fatal(err)
+	}
+	cmdA.Wait()
+
+	// Daemon B over the same state dir, no chaos: recovery re-admits
+	// the journaled job and runs it to completion.
+	cmdB, baseB := spawnDaemon(t, "-workers", "1", "-state-dir", dir)
+	doc := pollDoc(t, baseB, id, func(doc map[string]any) bool { return doc["state"] == "done" })
+	if doc["recovered"] != true {
+		t.Errorf("recovered job doc missing recovered flag: %v", doc)
+	}
+	if doc["restarts"] != float64(1) {
+		t.Errorf("restarts = %v, want 1 (one dispatch before the crash)", doc["restarts"])
+	}
+
+	resp, err := http.Get(baseB + "/v1/runs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report = %d; body: %s", resp.StatusCode, gotText)
+	}
+
+	// Crash-free reference: the same spec through run.Session directly.
+	file, err := config.ParseBytes([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rspec, err := file.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := rspec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := sess.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	run.WriteComparisonText(&want, sess.Instance, cmp)
+	if !bytes.Equal(gotText, want.Bytes()) {
+		t.Errorf("recovered report differs from a crash-free run\n got: %q\nwant: %q", gotText, want.Bytes())
+	}
+
+	// Clean SIGTERM: exit 0 and a journal compacted down to nothing.
+	if err := cmdB.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmdB.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon B exited dirty after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon B did not exit after SIGTERM")
+	}
+	entries, err := server.ReadJournal(filepath.Join(dir, "journal.jsonl"), t.Logf)
+	if err != nil || len(entries) != 0 {
+		t.Errorf("journal after clean shutdown: %d entries (err=%v), want 0", len(entries), err)
+	}
+	// The artifact survives for the next boot to serve.
+	if _, err := os.Stat(filepath.Join(dir, id+".json")); err != nil {
+		t.Errorf("recovered job left no artifact: %v", err)
+	}
+}

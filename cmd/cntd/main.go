@@ -9,7 +9,8 @@
 //
 //	cntd [-addr :7090] [-workers N] [-queue 64] [-tenant-inflight 8]
 //	     [-drain 10s] [-state-dir DIR] [-span-out FILE]
-//	     [-access-log FILE|-] [-log-json]
+//	     [-default-deadline 0] [-max-deadline 0] [-recover-runs 3]
+//	     [-access-log FILE|-] [-log-json] [-chaos SPEC]
 //
 // The HTTP surface is always instrumented with per-route/status
 // latency histograms (scrape /metrics, JSON or Prometheus text by
@@ -30,6 +31,15 @@
 // (queued jobs are cancelled), finished-job artifacts are flushed
 // through atomicio, and the process exits 0. See docs/SERVER.md for
 // the API reference.
+//
+// With -state-dir the daemon is also crash-safe: every accepted job is
+// journaled before the 202 goes out, so after a kill -9 the next boot
+// serves finished jobs from their on-disk documents and re-admits the
+// rest — jobs that died mid-run re-enter the queue flagged "recovered"
+// with at most -recover-runs total starts. Deadlines (deadline_ms on
+// POST /v1/runs, bounded by -default-deadline / -max-deadline) span
+// queue wait, execution and daemon downtime alike. See
+// docs/DURABILITY.md for the journal format and recovery semantics.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -68,7 +79,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	queue := fs.Int("queue", server.DefaultQueueDepth, "max queued jobs across all tenants (beyond it submissions get 429)")
 	tenantInflight := fs.Int("tenant-inflight", server.DefaultTenantInFlight, "max queued+running jobs per tenant (beyond it submissions get 429)")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight requests and running jobs on shutdown")
-	stateDir := fs.String("state-dir", "", "write each finished job's status document here as <id>.json (atomic writes; empty disables)")
+	stateDir := fs.String("state-dir", "", "durable state directory: finished jobs land here as <id>.json and accepted jobs are journaled for crash recovery (empty disables)")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied to submissions that carry no deadline_ms (0 = none)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on any job's deadline; longer requests get 400, unbounded ones are clamped (0 = uncapped)")
+	recoverRuns := fs.Int("recover-runs", server.DefaultRecoverRuns, "max starts per journaled job across crashes before recovery abandons it as failed")
+	chaosSpec := fs.String("chaos", "", `deterministic fault injection, e.g. "seed=42;journal.torn:every=3;worker.delay:delay=2s" (testing only; empty disables)`)
 	spanOut := fs.String("span-out", "", "trace HTTP requests and job lifecycles as spans, committed to this JSONL file at shutdown (see cntstat -spans)")
 	accessLog := fs.String("access-log", "", `write one structured line per HTTP request to this file ("-" = stderr; empty disables)`)
 	logJSON := fs.Bool("log-json", false, "access-log lines as JSON objects instead of text")
@@ -79,10 +94,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if *stateDir != "" {
-		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
-			return err
-		}
+	inj, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		return fmt.Errorf("-chaos: %w", err)
 	}
 
 	logf := func(format string, a ...any) {
@@ -129,19 +143,30 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	}
 
 	reg := obs.NewRegistry()
-	sched := server.NewScheduler(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		TenantInFlight: *tenantInflight,
-		StateDir:       *stateDir,
-		Metrics:        reg,
-		Tracer:         tracer,
+	sched, err := server.NewScheduler(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		TenantInFlight:  *tenantInflight,
+		StateDir:        *stateDir,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		RecoverRuns:     *recoverRuns,
+		Chaos:           inj,
+		Metrics:         reg,
+		Tracer:          tracer,
 		Logf: func(format string, a ...any) {
 			if !*quiet {
 				logf(format, a...)
 			}
 		},
 	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if inj != nil {
+		logf("chaos injection active: %s", inj)
+	}
 	handler := server.Instrument(server.NewHandler(sched, reg), server.InstrumentOptions{
 		Tracer:  tracer,
 		Metrics: reg,

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/server"
+)
+
+// printJobs audits a cntd -state-dir offline: the artifact table (one
+// row per finished job, decoded through the same loader boot recovery
+// uses) and a journal summary naming the work a restarted daemon would
+// resume. Corrupt artifacts are counted, warned to stderr, and
+// skipped — same tolerance as the daemon's own boot.
+func printJobs(stdout, stderr io.Writer, dir string) error {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var docs []*server.JobDoc
+	skipped := 0
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintf(stderr, "cntstat: skipping %s: %v\n", name, err)
+			skipped++
+			continue
+		}
+		doc, err := server.DecodeJobDoc(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "cntstat: skipping %s: %v\n", name, err)
+			skipped++
+			continue
+		}
+		docs = append(docs, doc)
+	}
+	sort.Slice(docs, func(i, k int) bool { return docs[i].ID < docs[k].ID })
+
+	fmt.Fprintf(stdout, "state dir %s: %d artifacts", dir, len(docs))
+	if skipped > 0 {
+		fmt.Fprintf(stdout, " (%d skipped)", skipped)
+	}
+	fmt.Fprintln(stdout)
+	if len(docs) > 0 {
+		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "ID\tSTATE\tTENANT\tMODE\tRUN_MS\tRECOVERED\tERROR")
+		for _, d := range docs {
+			recovered := ""
+			if d.Recovered {
+				recovered = fmt.Sprintf("yes (%d restarts)", d.Restarts)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.1f\t%s\t%s\n",
+				d.ID, d.State, d.Tenant, d.Mode, d.RunMS, recovered, d.Error)
+		}
+		tw.Flush()
+	}
+
+	entries, err := server.ReadJournal(filepath.Join(dir, server.JournalFile), func(format string, a ...any) {
+		fmt.Fprintf(stderr, "cntstat: "+format+"\n", a...)
+	})
+	if err != nil {
+		return err
+	}
+	open, queued, midRun := 0, 0, 0
+	for _, e := range entries {
+		if e.Done {
+			continue
+		}
+		open++
+		if e.Starts > 0 {
+			midRun++
+		} else {
+			queued++
+		}
+	}
+	if open == 0 {
+		fmt.Fprintln(stdout, "journal: empty (clean shutdown)")
+		return nil
+	}
+	fmt.Fprintf(stdout, "journal: %d open jobs a restart would resume (%d queued, %d mid-run at crash)\n",
+		open, queued, midRun)
+	for _, e := range entries {
+		if !e.Done {
+			fmt.Fprintf(stdout, "  %s starts=%d tenant=%s\n", e.ID, e.Starts, e.Tenant)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJobsAuditsStateDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"job-000001.json": `{"id":"job-000001","tenant":"alice","mode":"compare","state":"done","run_ms":12.5}`,
+		"job-000002.json": `{"id":"job-000002","mode":"run","state":"failed","error":"boom","recovered":true,"restarts":2}`,
+		"broken.json":     `{"id":"broken"`,
+		"journal.jsonl": `{"op":"admit","id":"job-000003","seq":3,"tenant":"bob","spec":{"source":{"kernel":"mm"}}}` + "\n" +
+			`{"op":"admit","id":"job-000004","seq":4,"spec":{"source":{"kernel":"mm"}}}` + "\n" +
+			`{"op":"start","id":"job-000004","starts":1}` + "\n",
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-jobs", dir}, &out, &errb); err != nil {
+		t.Fatalf("run -jobs: %v (stderr: %s)", err, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"2 artifacts", "(1 skipped)",
+		"job-000001", "done", "alice",
+		"job-000002", "failed", "yes (2 restarts)", "boom",
+		"2 open jobs", "1 queued, 1 mid-run",
+		"job-000003 starts=0 tenant=bob",
+		"job-000004 starts=1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(errb.String(), "skipping broken.json") {
+		t.Errorf("stderr does not warn about the corrupt artifact: %s", errb.String())
+	}
+}
+
+func TestJobsCleanShutdownAndFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000001.json"),
+		[]byte(`{"id":"job-000001","mode":"run","state":"done"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-jobs", dir}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "journal: empty (clean shutdown)") {
+		t.Errorf("missing clean-shutdown line:\n%s", out.String())
+	}
+
+	if err := run([]string{"-jobs", dir, "extra.jsonl"}, &out, &errb); err == nil {
+		t.Error("-jobs with a trace argument should fail")
+	}
+	if err := run([]string{"-jobs", dir, "-spans"}, &out, &errb); err == nil {
+		t.Error("-jobs with -spans should fail")
+	}
+	if err := run([]string{"-jobs", filepath.Join(dir, "nope")}, &out, &errb); err == nil {
+		t.Error("-jobs over a missing dir should fail")
+	}
+}

@@ -18,6 +18,12 @@
 // stage-latency table (count/p50/p95/max):
 //
 //	cntstat -spans spans.jsonl
+//
+// With -jobs it audits a cntd -state-dir offline: the finished-job
+// artifact table (decoded with the daemon's own tolerant loader) plus
+// a summary of the journal entries a restarted daemon would resume:
+//
+//	cntstat -jobs /var/lib/cntd
 package main
 
 import (
@@ -49,8 +55,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cacheName := fs.String("cache", "", "restrict the report to one cache (e.g. L1D)")
 	bench := fs.String("bench", "", "render throughput lines from a cntbench JSON file (a -json batch summary or a BENCH_REPLAY.json record) instead of reading an event trace")
 	spans := fs.Bool("spans", false, "render per-trace span trees and the stage-latency table from a span JSONL trace (cntd/cntsim -span-out)")
+	jobs := fs.String("jobs", "", "audit a cntd -state-dir: the finished-job artifact table plus the journal entries a restart would resume")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jobs != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-jobs takes no trace argument")
+		}
+		if *spans || *bench != "" {
+			return fmt.Errorf("-jobs is mutually exclusive with -spans and -bench")
+		}
+		return printJobs(stdout, stderr, *jobs)
 	}
 	if *bench != "" {
 		if fs.NArg() != 0 {

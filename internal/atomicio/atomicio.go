@@ -14,6 +14,24 @@ import (
 	"path/filepath"
 )
 
+// Op names one stage of an atomic write, for Hook interception.
+type Op string
+
+// The interceptable stages, in the order they run.
+const (
+	OpCreate Op = "create"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpRename Op = "rename"
+)
+
+// Hook intercepts the stages of an atomic write: it runs before each
+// stage's syscall and a non-nil return fails that stage exactly as the
+// syscall failing would — the temp file is discarded and the target is
+// left untouched. Fault-injection harnesses (internal/chaos) use this
+// to prove crash/error paths; a nil Hook costs one nil check.
+type Hook func(op Op, path string) error
+
 // File is a streaming atomic writer. Write calls land in a temp file;
 // Commit atomically renames it over the target path, Abort discards it.
 // Exactly one of Commit or Abort must be called; calling either after
@@ -23,21 +41,43 @@ type File struct {
 	f      *os.File
 	path   string
 	closed bool
+	hook   Hook
 }
 
 // Create opens a streaming atomic writer for path. The temp file is
 // created next to the target (same directory, hidden name), so the
 // final rename never crosses a filesystem boundary.
 func Create(path string) (*File, error) {
+	return CreateHooked(path, nil)
+}
+
+// CreateHooked is Create with a stage-intercepting hook (nil behaves
+// exactly like Create).
+func CreateHooked(path string, hook Hook) (*File, error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
+	}
+	if err := hookErr(hook, OpCreate, path); err != nil {
+		return nil, err
 	}
 	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("atomicio: %w", err)
 	}
-	return &File{f: tmp, path: path}, nil
+	return &File{f: tmp, path: path, hook: hook}, nil
+}
+
+// hookErr consults a hook for one stage, wrapping a refusal the same
+// way the stage's real failure would be wrapped.
+func hookErr(hook Hook, op Op, path string) error {
+	if hook == nil {
+		return nil
+	}
+	if err := hook(op, path); err != nil {
+		return fmt.Errorf("atomicio: %s %s: %w", op, path, err)
+	}
+	return nil
 }
 
 // Name returns the destination path the file will commit to.
@@ -47,6 +87,9 @@ func (f *File) Name() string { return f.path }
 func (f *File) Write(p []byte) (int, error) {
 	if f.closed {
 		return 0, fmt.Errorf("atomicio: write to resolved file %s", f.path)
+	}
+	if err := hookErr(f.hook, OpWrite, f.path); err != nil {
+		return 0, err
 	}
 	return f.f.Write(p)
 }
@@ -61,6 +104,11 @@ func (f *File) Commit() error {
 	name := f.f.Name()
 	// Sync before rename: the rename must never publish a file whose
 	// bytes are still only in the page cache when a crash follows.
+	if err := hookErr(f.hook, OpSync, f.path); err != nil {
+		f.f.Close()
+		os.Remove(name)
+		return err
+	}
 	if err := f.f.Sync(); err != nil {
 		f.f.Close()
 		os.Remove(name)
@@ -75,6 +123,10 @@ func (f *File) Commit() error {
 	if err := os.Chmod(name, 0o644); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := hookErr(f.hook, OpRename, f.path); err != nil {
+		os.Remove(name)
+		return err
 	}
 	if err := os.Rename(name, f.path); err != nil {
 		os.Remove(name)
@@ -108,7 +160,14 @@ func WriteFile(path string, data []byte) error {
 // mid-write, the temp file is discarded and any previous target content
 // survives untouched.
 func WriteTo(path string, fn func(w io.Writer) error) error {
-	f, err := Create(path)
+	return WriteToHooked(path, nil, fn)
+}
+
+// WriteToHooked is WriteTo with a stage-intercepting hook (nil behaves
+// exactly like WriteTo): a hook refusal at any stage discards the temp
+// file and leaves the target untouched.
+func WriteToHooked(path string, hook Hook, fn func(w io.Writer) error) error {
+	f, err := CreateHooked(path, hook)
 	if err != nil {
 		return err
 	}

@@ -167,3 +167,60 @@ func TestCreateInMissingDirFails(t *testing.T) {
 		t.Error("Create in a missing directory should fail")
 	}
 }
+
+// TestHookInterceptsEachStage: a hook refusal at any stage fails the
+// write exactly like the underlying syscall failing — temp cleaned up,
+// target untouched — and a nil hook is the plain path.
+func TestHookInterceptsEachStage(t *testing.T) {
+	boom := errors.New("injected")
+	for _, stage := range []Op{OpCreate, OpWrite, OpSync, OpRename} {
+		t.Run(string(stage), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			if err := WriteFile(path, []byte("previous")); err != nil {
+				t.Fatal(err)
+			}
+			var seen []Op
+			hook := func(op Op, p string) error {
+				if p != path {
+					t.Errorf("hook path = %q, want %q", p, path)
+				}
+				seen = append(seen, op)
+				if op == stage {
+					return boom
+				}
+				return nil
+			}
+			err := WriteToHooked(path, hook, func(w io.Writer) error {
+				_, werr := io.WriteString(w, "replacement")
+				return werr
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want the injected failure", err)
+			}
+			if len(seen) == 0 || seen[len(seen)-1] != stage {
+				t.Errorf("stages seen = %v, want to stop at %s", seen, stage)
+			}
+			if got, _ := os.ReadFile(path); string(got) != "previous" {
+				t.Errorf("target corrupted by refused %s: %q", stage, got)
+			}
+			if stray := tmpLeft(t, dir); len(stray) != 0 {
+				t.Errorf("stray temp files after refused %s: %v", stage, stray)
+			}
+		})
+	}
+
+	// A hook that allows everything is invisible.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.json")
+	allow := func(Op, string) error { return nil }
+	if err := WriteToHooked(path, allow, func(w io.Writer) error {
+		_, err := io.WriteString(w, "content")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "content" {
+		t.Errorf("read back %q", got)
+	}
+}

@@ -1,0 +1,321 @@
+// Package chaos is a deterministic, seeded failure-point layer for the
+// serving path. Production code asks the injector whether a named point
+// fires *at this hit* (Fire); test harnesses and `cntd -chaos` construct
+// an injector from a compact rule spec. Like obs.Tracer, the disabled
+// path is free: a nil *Injector never fires and costs one nil check, so
+// the seams stay in production code permanently.
+//
+// Firing is a pure function of (seed, point, hit index) plus the rule's
+// counters, so a fixed spec replays the same fault schedule on every
+// run — chaos suites are debuggable, not flaky.
+//
+// Rule spec grammar (the -chaos flag and Parse):
+//
+//	spec   = clause *( ";" clause )
+//	clause = "seed=" int | point [ ":" opt *( "," opt ) ]
+//	opt    = "every=" int | "prob=" float | "delay=" duration | "limit=" int
+//
+// Examples:
+//
+//	seed=42;journal.torn:every=3
+//	worker.delay:every=1,delay=3s;state.write:prob=0.5,limit=2
+//
+// A clause with neither every nor prob fires on every hit. limit caps
+// the total number of fires for that rule; delay attaches a duration
+// the call site sleeps for (only meaningful at delay-shaped points).
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Named failure points of the cntd serving path. The meaning of a fault
+// is fixed by its seam: error-shaped points fail the operation with
+// Fault.Err, delay-shaped points sleep Fault.Delay, and the remaining
+// points trigger their seam's specific misbehaviour (a torn journal
+// record, a worker panic, an event-stream disconnect).
+const (
+	// PointJournalWrite fails the journal append's write syscall.
+	PointJournalWrite = "journal.write"
+	// PointJournalSync fails the journal append's fsync.
+	PointJournalSync = "journal.sync"
+	// PointJournalTorn truncates the journal record mid-write — the
+	// on-disk shape a crash between write and sync leaves behind.
+	PointJournalTorn = "journal.torn"
+	// PointStateCreate/Write/Sync/Rename fail the corresponding stage of
+	// an atomic state-dir write (artifacts and journal compaction).
+	PointStateCreate = "state.create"
+	PointStateWrite  = "state.write"
+	PointStateSync   = "state.sync"
+	PointStateRename = "state.rename"
+	// PointWorkerDelay stalls a worker for the rule's delay before the
+	// claimed job resolves.
+	PointWorkerDelay = "worker.delay"
+	// PointWorkerPanic panics the worker goroutine mid-job.
+	PointWorkerPanic = "worker.panic"
+	// PointWorkerFail fails the claimed job with an injected error.
+	PointWorkerFail = "worker.fail"
+	// PointEventsDisconnect drops an event-stream subscriber as though
+	// the client had gone away.
+	PointEventsDisconnect = "events.disconnect"
+)
+
+// Rule arms one failure point. Every and Prob select hits: Every = N
+// fires each Nth hit (1-based), Prob = p fires each hit independently
+// with probability p (deterministically, from the seed and hit index).
+// Both zero means every hit. Limit > 0 caps total fires; Delay is
+// carried to the call site on each fire.
+type Rule struct {
+	Point string
+	Every int
+	Prob  float64
+	Delay time.Duration
+	Limit int
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Fault is one firing of a failure point. Err is always non-nil and
+// names the point and hit; delay-shaped call sites use Delay instead.
+type Fault struct {
+	Point string
+	Hit   uint64
+	Delay time.Duration
+	Err   error
+}
+
+// Stat counts one point's traffic.
+type Stat struct {
+	Hits  uint64
+	Fires uint64
+}
+
+type rule struct {
+	Rule
+	fires uint64
+}
+
+// Injector decides, per named point, whether the current hit fails.
+// Safe for concurrent use; nil is the valid "chaos off" injector.
+type Injector struct {
+	seed int64
+
+	mu    sync.Mutex
+	rules map[string][]*rule
+	hits  map[string]uint64
+	fires map[string]uint64
+}
+
+// New builds an injector from a config. No rules means a never-firing
+// (but non-nil) injector; callers wanting zero overhead keep nil.
+func New(cfg Config) *Injector {
+	in := &Injector{
+		seed:  cfg.Seed,
+		rules: make(map[string][]*rule),
+		hits:  make(map[string]uint64),
+		fires: make(map[string]uint64),
+	}
+	for _, r := range cfg.Rules {
+		in.rules[r.Point] = append(in.rules[r.Point], &rule{Rule: r})
+	}
+	return in
+}
+
+// Parse builds an injector from the rule-spec grammar above. An empty
+// spec returns (nil, nil): chaos off.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := Config{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %v", rest, err)
+			}
+			cfg.Seed = seed
+			continue
+		}
+		point, opts, _ := strings.Cut(clause, ":")
+		point = strings.TrimSpace(point)
+		if point == "" || strings.ContainsAny(point, "=, ") {
+			return nil, fmt.Errorf("chaos: bad clause %q (want point[:opt,...])", clause)
+		}
+		r := Rule{Point: point}
+		if opts != "" {
+			for _, opt := range strings.Split(opts, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(opt), "=")
+				if !ok {
+					return nil, fmt.Errorf("chaos: bad option %q in clause %q", opt, clause)
+				}
+				var err error
+				switch key {
+				case "every":
+					r.Every, err = strconv.Atoi(val)
+					if err == nil && r.Every < 1 {
+						err = fmt.Errorf("must be >= 1")
+					}
+				case "prob":
+					r.Prob, err = strconv.ParseFloat(val, 64)
+					if err == nil && (r.Prob < 0 || r.Prob > 1 || math.IsNaN(r.Prob)) {
+						err = fmt.Errorf("must be in [0, 1]")
+					}
+				case "limit":
+					r.Limit, err = strconv.Atoi(val)
+					if err == nil && r.Limit < 1 {
+						err = fmt.Errorf("must be >= 1")
+					}
+				case "delay":
+					r.Delay, err = time.ParseDuration(val)
+					if err == nil && r.Delay < 0 {
+						err = fmt.Errorf("must be >= 0")
+					}
+				default:
+					err = fmt.Errorf("unknown option")
+				}
+				if err != nil {
+					return nil, fmt.Errorf("chaos: option %q in clause %q: %v", opt, clause, err)
+				}
+			}
+		}
+		if r.Every > 0 && r.Prob > 0 {
+			return nil, fmt.Errorf("chaos: clause %q sets both every and prob", clause)
+		}
+		cfg.Rules = append(cfg.Rules, r)
+	}
+	return New(cfg), nil
+}
+
+// Fire records a hit at point and reports whether it fails, with the
+// fault to apply. Nil-safe: a nil injector never fires.
+func (in *Injector) Fire(point string) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[point]++
+	hit := in.hits[point]
+	for _, r := range in.rules[point] {
+		if r.Limit > 0 && r.fires >= uint64(r.Limit) {
+			continue
+		}
+		if !fires(in.seed, point, hit, r.Rule) {
+			continue
+		}
+		r.fires++
+		in.fires[point]++
+		return Fault{
+			Point: point,
+			Hit:   hit,
+			Delay: r.Delay,
+			Err:   fmt.Errorf("chaos: injected fault at %s (hit %d)", point, hit),
+		}, true
+	}
+	return Fault{}, false
+}
+
+// fires is the deterministic firing decision for one rule at one hit.
+func fires(seed int64, point string, hit uint64, r Rule) bool {
+	switch {
+	case r.Every > 0:
+		return hit%uint64(r.Every) == 0
+	case r.Prob > 0:
+		if r.Prob >= 1 {
+			return true
+		}
+		h := mix(uint64(seed) ^ fnv1a(point) ^ (hit * 0x9e3779b97f4a7c15))
+		return float64(h)/float64(math.MaxUint64) < r.Prob
+	default:
+		return true
+	}
+}
+
+// Stats snapshots per-point hit and fire counts, for logging and
+// deterministic-schedule assertions.
+func (in *Injector) Stats() map[string]Stat {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]Stat, len(in.hits))
+	for p, h := range in.hits {
+		out[p] = Stat{Hits: h, Fires: in.fires[p]}
+	}
+	return out
+}
+
+// String renders the injector's configuration back in spec form (rules
+// sorted by point for stable logs). Nil renders as "off".
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	points := make([]string, 0, len(in.rules))
+	for p := range in.rules {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	parts := []string{fmt.Sprintf("seed=%d", in.seed)}
+	for _, p := range points {
+		for _, r := range in.rules[p] {
+			var opts []string
+			if r.Every > 0 {
+				opts = append(opts, fmt.Sprintf("every=%d", r.Every))
+			}
+			if r.Prob > 0 {
+				opts = append(opts, fmt.Sprintf("prob=%g", r.Prob))
+			}
+			if r.Delay > 0 {
+				opts = append(opts, fmt.Sprintf("delay=%s", r.Delay))
+			}
+			if r.Limit > 0 {
+				opts = append(opts, fmt.Sprintf("limit=%d", r.Limit))
+			}
+			clause := p
+			if len(opts) > 0 {
+				clause += ":" + strings.Join(opts, ",")
+			}
+			parts = append(parts, clause)
+		}
+	}
+	return strings.Join(parts, ";")
+}
+
+// mix is the splitmix64 finalizer — a cheap, well-distributed hash for
+// the per-hit probability draw.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes a point name (FNV-1a, 64-bit).
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorNeverFires pins the disabled contract: a nil injector
+// is safe to call and never fires.
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if _, ok := in.Fire(PointJournalWrite); ok {
+			t.Fatal("nil injector fired")
+		}
+	}
+	if got := in.Stats(); got != nil {
+		t.Errorf("nil injector stats = %v, want nil", got)
+	}
+	if got := in.String(); got != "off" {
+		t.Errorf("nil injector String() = %q, want off", got)
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	in := New(Config{Seed: 1, Rules: []Rule{{Point: PointJournalTorn, Every: 3}}})
+	var fired []int
+	for hit := 1; hit <= 12; hit++ {
+		if _, ok := in.Fire(PointJournalTorn); ok {
+			fired = append(fired, hit)
+		}
+	}
+	want := []int{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+	// Untargeted points never fire.
+	if _, ok := in.Fire(PointWorkerPanic); ok {
+		t.Error("untargeted point fired")
+	}
+}
+
+// TestProbDeterministic: the probability draw is a pure function of
+// (seed, point, hit), so two injectors with the same seed produce the
+// same schedule, and a different seed produces a different one.
+func TestProbDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(Config{Seed: seed, Rules: []Rule{{Point: PointStateWrite, Prob: 0.5}}})
+		out := make([]bool, 200)
+		for i := range out {
+			_, out[i] = in.Fire(PointStateWrite)
+		}
+		return out
+	}
+	a, b, c := schedule(42), schedule(42), schedule(43)
+	fires, differs := 0, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+	// p=0.5 over 200 draws: expect roughly half, generously bounded.
+	if fires < 50 || fires > 150 {
+		t.Errorf("p=0.5 fired %d/200 times", fires)
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	in := New(Config{Rules: []Rule{{Point: PointWorkerFail, Limit: 2}}})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := in.Fire(PointWorkerFail); ok {
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Errorf("fired %d times, want limit 2", fires)
+	}
+	st := in.Stats()[PointWorkerFail]
+	if st.Hits != 10 || st.Fires != 2 {
+		t.Errorf("stats = %+v, want 10 hits / 2 fires", st)
+	}
+}
+
+func TestFaultShape(t *testing.T) {
+	in := New(Config{Rules: []Rule{{Point: PointWorkerDelay, Delay: 50 * time.Millisecond}}})
+	f, ok := in.Fire(PointWorkerDelay)
+	if !ok {
+		t.Fatal("bare rule did not fire on first hit")
+	}
+	if f.Point != PointWorkerDelay || f.Hit != 1 || f.Delay != 50*time.Millisecond {
+		t.Errorf("fault = %+v", f)
+	}
+	if f.Err == nil || !strings.Contains(f.Err.Error(), PointWorkerDelay) {
+		t.Errorf("fault error = %v, want the point named", f.Err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=42;journal.torn:every=3;state.write:prob=0.5,limit=2;worker.delay:delay=1.5s"
+	in, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(in.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", in.String(), err)
+	}
+	if in.String() != out.String() {
+		t.Errorf("round trip: %q != %q", in.String(), out.String())
+	}
+	// The round-tripped injector replays the same schedule.
+	for hit := 1; hit <= 20; hit++ {
+		_, a := in.Fire("state.write")
+		_, b := out.Fire("state.write")
+		if a != b {
+			t.Fatalf("round-tripped injector diverged at hit %d", hit)
+		}
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if in, err := Parse("  "); err != nil || in != nil {
+		t.Errorf("empty spec = (%v, %v), want (nil, nil)", in, err)
+	}
+	for _, bad := range []string{
+		"seed=abc",
+		"point with spaces",
+		"p:every=0",
+		"p:prob=1.5",
+		"p:prob=-0.1",
+		"p:limit=0",
+		"p:delay=-1s",
+		"p:delay=nope",
+		"p:unknown=1",
+		"p:every",
+		"p:every=2,prob=0.5",
+		"=bare",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentFire runs Fire from many goroutines; the race detector
+// guards the locking, and hit accounting must not lose updates.
+func TestConcurrentFire(t *testing.T) {
+	in := New(Config{Seed: 7, Rules: []Rule{{Point: PointJournalSync, Prob: 0.3}}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				in.Fire(PointJournalSync)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := in.Stats()[PointJournalSync]; st.Hits != 2000 {
+		t.Errorf("hits = %d, want 2000", st.Hits)
+	}
+}

@@ -2,7 +2,10 @@ package check
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -50,6 +53,20 @@ func ReconcileSpans(events []obs.Event) error {
 		}
 		if s.Dur < 0 {
 			return fmt.Errorf("check: trace %s: span %s (%q) has negative duration %d", s.Trace, s.Span, s.Name, s.Dur)
+		}
+		// Duration-valued attributes (obs.Span.AnnotateDuration — keys
+		// ending "_ms", e.g. the scheduler's deadline_remaining_ms) must
+		// carry finite floats, or latency tooling reading them would
+		// silently drop records.
+		for key, val := range s.Attrs {
+			if !strings.HasSuffix(key, "_ms") {
+				continue
+			}
+			ms, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) {
+				return fmt.Errorf("check: trace %s: span %q attr %s=%q is not a finite duration in ms",
+					s.Trace, s.Name, key, val)
+			}
 		}
 		byTrace[s.Trace] = append(byTrace[s.Trace], s)
 	}

@@ -57,6 +57,14 @@ func TestReconcileSpansAcceptsNestedTree(t *testing.T) {
 	if err := ReconcileSpans(nil); err != nil {
 		t.Fatalf("empty stream rejected: %v", err)
 	}
+	// Well-formed duration attributes (_ms convention) pass.
+	timed := asEvents(&obs.SpanEvent{
+		Trace: strings.Repeat("2", 32), Span: strings.Repeat("2", 16),
+		Name: "queue", Attrs: map[string]string{"deadline_remaining_ms": "12.5", "mode": "run"},
+	})
+	if err := ReconcileSpans(timed); err != nil {
+		t.Fatalf("stream with valid _ms attr rejected: %v", err)
+	}
 }
 
 func TestReconcileSpansRejections(t *testing.T) {
@@ -123,6 +131,22 @@ func TestReconcileSpansRejections(t *testing.T) {
 			"negative duration",
 			asEvents(sp("a", "ab", "", "job", 0, -5)),
 			"negative duration",
+		},
+		{
+			"non-numeric _ms attribute",
+			asEvents(&obs.SpanEvent{
+				Trace: strings.Repeat("1", 32), Span: strings.Repeat("1", 16),
+				Name: "queue", Attrs: map[string]string{"deadline_remaining_ms": "soon"},
+			}),
+			"not a finite duration",
+		},
+		{
+			"NaN _ms attribute",
+			asEvents(&obs.SpanEvent{
+				Trace: strings.Repeat("1", 32), Span: strings.Repeat("1", 16),
+				Name: "queue", Attrs: map[string]string{"wait_ms": "NaN"},
+			}),
+			"not a finite duration",
 		},
 		{
 			"malformed trace ID",

@@ -190,6 +190,17 @@ func (s *Span) AnnotateInt(key string, v int64) *Span {
 	return s.Annotate(key, strconv.FormatInt(v, 10))
 }
 
+// AnnotateDuration attaches a duration attribute in fractional
+// milliseconds. By convention the key ends in "_ms";
+// check.ReconcileSpans verifies such attributes parse as floats.
+func (s *Span) AnnotateDuration(key string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	return s.Annotate(key, strconv.FormatFloat(ms, 'g', -1, 64))
+}
+
 // End closes the span and emits its SpanEvent. Idempotent: the second
 // End is a no-op, so shared cleanup paths can End defensively.
 func (s *Span) End() {

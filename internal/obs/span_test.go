@@ -174,6 +174,7 @@ func TestDisabledTracerAllocs(t *testing.T) {
 		s := tr.StartSpan("job", SpanContext{})
 		s.Annotate("k", "v")
 		s.AnnotateInt("n", 42)
+		s.AnnotateDuration("wait_ms", time.Second)
 		c := s.Child("inner")
 		c.EndErr(nil)
 		_ = s.Context()
@@ -181,6 +182,24 @@ func TestDisabledTracerAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("disabled tracer path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAnnotateDuration: durations serialize as fractional milliseconds
+// under the _ms key convention check.ReconcileSpans audits.
+func TestAnnotateDuration(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracerSeeded(sink, 9)
+	s := tr.StartSpan("job", SpanContext{})
+	s.AnnotateDuration("deadline_ms", 1500*time.Millisecond)
+	s.AnnotateDuration("queue_ms", 250*time.Microsecond)
+	s.End()
+	got := sink.spans()[0].Attrs
+	if got["deadline_ms"] != "1500" {
+		t.Errorf("deadline_ms = %q, want 1500", got["deadline_ms"])
+	}
+	if got["queue_ms"] != "0.25" {
+		t.Errorf("queue_ms = %q, want 0.25", got["queue_ms"])
 	}
 }
 

@@ -556,6 +556,32 @@ func TestRunContextCancellation(t *testing.T) {
 	}
 }
 
+// TestRunContextDeadlineVerb: the replay-abort error names which
+// budget ran out — "deadline exceeded" vs "cancelled" — so a daemon
+// log line is diagnosable without the job document.
+func TestRunContextDeadlineVerb(t *testing.T) {
+	sess, err := Spec{Source: Source{Kernel: "mm"}}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = sess.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "deadline exceeded at access") {
+		t.Errorf("error %q does not name the deadline", err)
+	}
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	_, err = sess.RunContext(cctx)
+	if err == nil || !strings.Contains(err.Error(), "cancelled at access") {
+		t.Errorf("error %v does not name the cancellation", err)
+	}
+}
+
 // TestSpecFaultAttachesToBothSides mirrors the telemetry attachment
 // contract: a spec-level fault config reaches both L1s, and the faulted
 // run actually injects.

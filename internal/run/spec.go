@@ -2,6 +2,7 @@ package run
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -494,8 +495,12 @@ func (sess *Session) runContext(ctx context.Context) (*Report, error) {
 	accs := sess.Instance.Accesses
 	for base := 0; base < len(accs); base += cancelCheckInterval {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("run: %s cancelled at access %d of %d: %w",
-				sess.Instance.Name, base, len(accs), err)
+			verb := "cancelled"
+			if errors.Is(err, context.DeadlineExceeded) {
+				verb = "deadline exceeded"
+			}
+			return nil, fmt.Errorf("run: %s %s at access %d of %d: %w",
+				sess.Instance.Name, verb, base, len(accs), err)
 		}
 		end := base + cancelCheckInterval
 		if end > len(accs) {

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -43,8 +44,14 @@ type SubmitDoc struct {
 	// Retries is the per-cell transient-retry budget of a compare job
 	// (run.Spec.Retries).
 	Retries int `json:"retries,omitempty"`
-	// Spec is the run specification.
-	Spec *config.File `json:"spec"`
+	// DeadlineMS bounds the job's total lifetime — queue wait included —
+	// in milliseconds. 0 falls back to the daemon's -default-deadline;
+	// values beyond -max-deadline are rejected with 400. A job that runs
+	// out of budget lands in state "deadline_exceeded".
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Spec is the run specification, kept as raw JSON so the accepted
+	// bytes can be journaled verbatim and re-run after a crash.
+	Spec json.RawMessage `json:"spec"`
 }
 
 // JobDoc is a job's status document: what GET /v1/runs/{id} serves and
@@ -78,6 +85,16 @@ type JobDoc struct {
 	Comparison *core.Comparison  `json:"comparison,omitempty"`
 	// EventsURL is set when the job records an event stream.
 	EventsURL string `json:"events_url,omitempty"`
+	// DeadlineMS is the job's total-lifetime deadline, and
+	// DeadlineRemainingMS the budget left when the document was built
+	// (present only while the job is live; clamped at 0).
+	DeadlineMS          float64  `json:"deadline_ms,omitempty"`
+	DeadlineRemainingMS *float64 `json:"deadline_remaining_ms,omitempty"`
+	// Recovered marks a job that was mid-run when a previous daemon
+	// process died and was re-run from the journal; Restarts counts the
+	// dispatches it had before this process.
+	Recovered bool `json:"recovered,omitempty"`
+	Restarts  int  `json:"restarts,omitempty"`
 }
 
 // encode writes the document as one JSON object. Compact on purpose:
@@ -96,6 +113,11 @@ func stamp(t time.Time) string {
 
 // docLocked builds a job's full status document. Callers hold s.mu.
 func (s *Scheduler) docLocked(j *Job) *JobDoc {
+	if j.loaded != nil {
+		// Restored from disk at boot: the artifact is the document.
+		doc := *j.loaded
+		return &doc
+	}
 	doc := &JobDoc{
 		ID:       j.ID,
 		Tenant:   j.Tenant,
@@ -129,6 +151,21 @@ func (s *Scheduler) docLocked(j *Job) *JobDoc {
 	doc.Comparison = j.cmp
 	if j.events != nil {
 		doc.EventsURL = "/v1/runs/" + j.ID + "/events"
+	}
+	if j.deadline > 0 {
+		doc.DeadlineMS = float64(j.deadline) / float64(time.Millisecond)
+		if !terminalState(j.state) {
+			rem := time.Until(j.deadlineAt)
+			if rem < 0 {
+				rem = 0
+			}
+			ms := float64(rem) / float64(time.Millisecond)
+			doc.DeadlineRemainingMS = &ms
+		}
+	}
+	if j.recovered {
+		doc.Recovered = true
+		doc.Restarts = j.restarts
 	}
 	return doc
 }
@@ -207,7 +244,16 @@ func NewHandler(s *Scheduler, reg *obs.Registry) http.Handler {
 		writeJSON(w, http.StatusAccepted, s.Doc(j, false))
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": s.Counts()})
+		// Phase "recovering" (boot recovery still re-admitting journaled
+		// jobs) stays 200 — the daemon serves traffic throughout — while
+		// "draining" goes 503 so load balancers stop routing here.
+		phase := s.Phase()
+		status := http.StatusOK
+		if phase == "draining" {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, map[string]any{"ok": phase != "draining", "status": phase, "jobs": s.Counts()})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		registry := reg
@@ -296,11 +342,16 @@ func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "events cannot be recorded for a compare job (the variants' streams would interleave)")
 		return
 	}
-	if doc.Spec == nil {
+	if len(doc.Spec) == 0 || string(doc.Spec) == "null" {
 		httpError(w, http.StatusBadRequest, "submit document needs a spec")
 		return
 	}
-	spec, err := doc.Spec.Spec()
+	file, err := config.ParseBytes(doc.Spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing spec: %v", err)
+		return
+	}
+	spec, err := file.Spec()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -314,12 +365,19 @@ func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	deadline, err := s.ResolveDeadline(doc.DeadlineMS)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	j, err := s.Submit(JobRequest{
 		Tenant:   doc.Tenant,
 		Priority: doc.Priority,
 		Mode:     mode,
 		Events:   doc.Events,
 		Spec:     spec,
+		Deadline: deadline,
+		RawSpec:  doc.Spec,
 		Link:     SpanFrom(r.Context()).Context(),
 	})
 	switch {
@@ -330,6 +388,9 @@ func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrDraining):
+		// Draining never un-drains in this process, but the orchestrator's
+		// replacement will accept; same backoff contract as the 429s.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 	default:
 		httpError(w, http.StatusInternalServerError, "%v", err)
@@ -349,8 +410,26 @@ func handleReport(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 	rep := j.report
 	cmp := j.cmp
 	inst := j.inst
+	loaded := j.loaded
 	s.mu.Unlock()
-	if state != StateDone && state != StatePartial {
+	if loaded != nil {
+		// Restored from a previous process: the in-memory structures the
+		// text renderer needs died with it, but the results live on in the
+		// status document.
+		httpError(w, http.StatusConflict,
+			"job %s finished before this daemon started; its results are in the status document at /v1/runs/%s", j.ID, j.ID)
+		return
+	}
+	switch state {
+	case StateDone, StatePartial:
+	case StateDeadline:
+		// A deadline that landed mid-compare salvages completed cells;
+		// without them there is nothing to render.
+		if cmp == nil || inst == nil {
+			httpError(w, http.StatusConflict, "job %s is %s, report not available", j.ID, state)
+			return
+		}
+	default:
 		httpError(w, http.StatusConflict, "job %s is %s, report not available", j.ID, state)
 		return
 	}
@@ -384,8 +463,25 @@ func handleEvents(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Commit the headers before following: a subscriber must learn the
+		// stream is open even when no event line has landed yet.
+		flusher.Flush()
+	}
 	sent := 0
 	for {
+		// A gone client must be noticed promptly even when lines keep
+		// flowing (the select below only runs on an empty batch) — the
+		// write-error returns alone would leak the handler until the next
+		// flush attempt after buffering.
+		if r.Context().Err() != nil {
+			return
+		}
+		if _, ok := s.cfg.Chaos.Fire(chaos.PointEventsDisconnect); ok {
+			// Injected mid-stream disconnect: exactly the abrupt-client
+			// case the goroutine-leak regression test drives.
+			return
+		}
 		lines, closed, wake := j.events.next(sent)
 		for _, line := range lines {
 			if _, err := w.Write(line); err != nil {

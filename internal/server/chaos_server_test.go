@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func mustChaos(t *testing.T, spec string) *chaos.Injector {
+	t.Helper()
+	inj, err := chaos.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// TestChaosWorkerPanicIsolated: an injected worker panic fails that
+// one job — with a panic message in its document — while the daemon
+// keeps serving the jobs around it.
+func TestChaosWorkerPanicIsolated(t *testing.T) {
+	inj := mustChaos(t, "seed=1;worker.panic:every=2")
+	s, ts := newTestServer(t, Config{Workers: 1, Chaos: inj})
+	body := `{"spec": ` + mmSpec + `}`
+
+	id1 := submitOK(t, ts, body)
+	waitJob(t, s, id1)
+	id2 := submitOK(t, ts, body)
+	waitJob(t, s, id2)
+	id3 := submitOK(t, ts, body)
+	waitJob(t, s, id3)
+
+	wantState := map[string]string{id1: StateDone, id2: StateFailed, id3: StateDone}
+	for id, want := range wantState {
+		_, data := get(t, ts, "/v1/runs/"+id)
+		var doc JobDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.State != want {
+			t.Errorf("%s state = %q, want %q", id, doc.State, want)
+		}
+		if id == id2 && !strings.Contains(doc.Error, "panicked") {
+			t.Errorf("panicked job error = %q, want a panic message", doc.Error)
+		}
+	}
+}
+
+// TestChaosWorkerFail: an injected run failure lands the job in failed
+// with the chaos fault named in its document.
+func TestChaosWorkerFail(t *testing.T) {
+	inj := mustChaos(t, "seed=1;worker.fail:every=1")
+	s, ts := newTestServer(t, Config{Workers: 1, Chaos: inj})
+	id := submitOK(t, ts, `{"spec": `+mmSpec+`}`)
+	waitJob(t, s, id)
+	_, data := get(t, ts, "/v1/runs/"+id)
+	var doc JobDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != StateFailed || !strings.Contains(doc.Error, "chaos: injected fault at worker.fail") {
+		t.Errorf("doc = state %q error %q, want failed with the injected fault", doc.State, doc.Error)
+	}
+}
+
+// TestChaosWorkerDelayHitsDeadline: a worker stalled past the job's
+// deadline surfaces as deadline_exceeded, not as a hung daemon.
+func TestChaosWorkerDelayHitsDeadline(t *testing.T) {
+	inj := mustChaos(t, "seed=1;worker.delay:every=1,delay=30s")
+	s, _ := newTestServer(t, Config{Workers: 1, Chaos: inj})
+	spec := specFor(t, mmSpec)
+	j, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec, Deadline: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, j.ID)
+	if got := jobState(s, j); got != StateDeadline {
+		t.Errorf("stalled job state = %s, want %s", got, StateDeadline)
+	}
+}
+
+// TestChaosStateWriteFailure: artifact flushes that cannot reach disk
+// are logged and dropped — the job still reaches its terminal state
+// and the daemon keeps accepting work.
+func TestChaosStateWriteFailure(t *testing.T) {
+	inj := mustChaos(t, "seed=1;state.write:every=1")
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, StateDir: dir, Chaos: inj})
+	for i := 0; i < 2; i++ {
+		id := submitOK(t, ts, `{"spec": `+mmSpec+`}`)
+		j := waitJob(t, s, id)
+		if got := jobState(s, j); got != StateDone {
+			t.Fatalf("job %s state = %s, want %s", id, got, StateDone)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".json")); !os.IsNotExist(err) {
+			t.Errorf("artifact for %s landed despite injected write failure (err=%v)", id, err)
+		}
+	}
+}
+
+// TestChaosEventsDisconnect: the events.disconnect point drops a
+// subscriber at the top of the streaming loop — the handler returns
+// instead of looping on a dead client.
+func TestChaosEventsDisconnect(t *testing.T) {
+	inj := mustChaos(t, "seed=1;events.disconnect:every=1")
+	s, ts := newTestServer(t, Config{Workers: 1, Chaos: inj})
+	id := submitOK(t, ts, `{"events": true, "spec": `+mmSpec+`}`)
+	waitJob(t, s, id)
+	resp, body := get(t, ts, "/v1/runs/"+id+"/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d, want 200", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Errorf("disconnected stream still wrote %d bytes: %q", len(body), body)
+	}
+}
+
+// TestEventsClientDisconnectNoLeak: a client that vanishes mid-follow
+// must not strand the streaming handler — the goroutine count returns
+// to its pre-request level while the job is still running.
+func TestEventsClientDisconnectNoLeak(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	release, begun := blockWorkers(s)
+	defer release()
+	id := submitOK(t, ts, `{"events": true, "spec": `+mmSpec+`}`)
+	<-begun // running and parked: the event stream will follow, not finish
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handler is parked waiting for event lines; drop the client.
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines = %d after disconnect, want back to %d (handler leaked)", n, before)
+	}
+	release()
+	waitJob(t, s, id)
+}

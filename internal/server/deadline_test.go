@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/run"
+)
+
+func TestResolveDeadline(t *testing.T) {
+	cases := []struct {
+		name     string
+		def, max time.Duration
+		ms       int64
+		want     time.Duration
+		wantErr  bool
+	}{
+		{"no policy, none asked", 0, 0, 0, 0, false},
+		{"explicit", 0, 0, 1500, 1500 * time.Millisecond, false},
+		{"default applies", 2 * time.Second, 0, 0, 2 * time.Second, false},
+		{"explicit beats default", 2 * time.Second, 0, 500, 500 * time.Millisecond, false},
+		{"within max", 0, 5 * time.Second, 1000, time.Second, false},
+		{"beyond max", 0, 5 * time.Second, 6000, 0, true},
+		{"default beyond max", 10 * time.Second, 5 * time.Second, 0, 0, true},
+		{"unbounded clamps to max", 0, 5 * time.Second, 0, 5 * time.Second, false},
+		{"negative", 0, 0, -1, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustScheduler(t, Config{Workers: 1, DefaultDeadline: tc.def, MaxDeadline: tc.max})
+			defer s.Drain(0)
+			got, err := s.ResolveDeadline(tc.ms)
+			if tc.wantErr {
+				if !errors.Is(err, ErrDeadline) {
+					t.Fatalf("err = %v, want ErrDeadline", err)
+				}
+				return
+			}
+			if err != nil || got != tc.want {
+				t.Fatalf("got %v (err %v), want %v", got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDeadlineClassification pins the terminal-state taxonomy: the
+// deadline state is reached only when the job's own budget ran out,
+// never for operator cancellations, and salvages partial comparisons.
+func TestDeadlineClassification(t *testing.T) {
+	perr := &run.PartialError{Cells: []run.CellError{
+		{Name: "baseline", Err: context.DeadlineExceeded},
+	}}
+	// A genuine partial: a cell died for its own reasons, not the
+	// job's context — that is what survives as the partial state.
+	perr2 := &run.PartialError{Cells: []run.CellError{
+		{Name: "baseline", Err: errors.New("cell exploded")},
+	}}
+	cmp := &core.Comparison{}
+	cases := []struct {
+		name      string
+		err       error
+		cmp       *core.Comparison
+		deadlined bool
+		want      string
+		wantCmp   bool
+	}{
+		{"deadline hit", context.DeadlineExceeded, nil, true, StateDeadline, false},
+		{"deadline mid-compare salvages cells", perr, cmp, true, StateDeadline, true},
+		{"operator cancel", context.Canceled, nil, false, StateCancelled, false},
+		{"ctx error without deadline flag", context.DeadlineExceeded, nil, false, StateCancelled, false},
+		{"unrelated failure while deadlined", errors.New("boom"), nil, true, StateFailed, false},
+		{"partial without deadline", perr2, cmp, false, StatePartial, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustScheduler(t, Config{Workers: 1})
+			defer s.Drain(0)
+			j := &Job{ID: "job-000001", Tenant: "t", Mode: ModeCompare, done: make(chan struct{}), created: time.Now()}
+			s.mu.Lock()
+			s.inflight["t"]++
+			s.finishLocked(j, nil, tc.cmp, tc.err, tc.deadlined)
+			state, gotCmp, cellErrs := j.state, j.cmp, j.cellErrs
+			s.mu.Unlock()
+			if state != tc.want {
+				t.Fatalf("state = %q, want %q", state, tc.want)
+			}
+			if (gotCmp != nil) != tc.wantCmp {
+				t.Errorf("cmp kept = %v, want %v", gotCmp != nil, tc.wantCmp)
+			}
+			if tc.wantCmp && len(cellErrs) == 0 {
+				t.Error("salvaged partial lost its cell errors")
+			}
+		})
+	}
+}
+
+// jobState snapshots a job's state under the scheduler lock.
+func jobState(s *Scheduler, j *Job) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.state
+}
+
+// TestDeadlineDuringRun: a running job whose deadline expires lands in
+// deadline_exceeded (the context reaches the worker), while a job
+// cancelled by the client stays cancelled — over the same blocked
+// worker seam.
+func TestDeadlineDuringRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	_, begun := blockWorkers(s) // never released: jobs run until their contexts fire
+	spec := specFor(t, mmSpec)
+
+	dj, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec, Deadline: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begun
+	<-begun
+
+	// While running, the status document exposes the shrinking budget.
+	_, body := get(t, ts, "/v1/runs/"+dj.ID)
+	var live JobDoc
+	if err := json.Unmarshal(body, &live); err != nil {
+		t.Fatal(err)
+	}
+	if live.DeadlineMS != 60 {
+		t.Errorf("live doc deadline_ms = %v, want 60", live.DeadlineMS)
+	}
+	if live.State == StateRunning && live.DeadlineRemainingMS == nil {
+		t.Error("running doc missing deadline_remaining_ms")
+	}
+
+	if got := jobState(s, waitJob(t, s, dj.ID)); got != StateDeadline {
+		t.Errorf("deadlined job state = %s, want %s", got, StateDeadline)
+	}
+	if _, ok := s.Cancel(cj.ID); !ok {
+		t.Fatal("cancel refused")
+	}
+	if got := jobState(s, waitJob(t, s, cj.ID)); got != StateCancelled {
+		t.Errorf("cancelled job state = %s, want %s", got, StateCancelled)
+	}
+
+	_, body = get(t, ts, "/v1/runs/"+dj.ID)
+	var done JobDoc
+	if err := json.Unmarshal(body, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDeadline || done.DeadlineRemainingMS != nil {
+		t.Errorf("terminal doc = state %q remaining %v, want %q and no remaining", done.State, done.DeadlineRemainingMS, StateDeadline)
+	}
+	if counts := s.Counts(); counts[StateDeadline] != 1 || counts[StateCancelled] != 1 {
+		t.Errorf("counts = %v, want one deadline_exceeded and one cancelled", counts)
+	}
+}
+
+// TestDeadlineExpiresInQueue: queue wait counts against the deadline —
+// a job that never got a worker still times out, without running.
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	s := mustScheduler(t, Config{Workers: 1})
+	defer s.Drain(0)
+	release, begun := blockWorkers(s)
+	spec := specFor(t, mmSpec)
+	dummy, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begun // worker parked; everything else queues
+	j, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec, Deadline: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let the deadline lapse while queued
+	release()
+	waitJob(t, s, dummy.ID)
+	got := waitJob(t, s, j.ID)
+	s.mu.Lock()
+	state, started := got.state, got.started
+	s.mu.Unlock()
+	if state != StateDeadline {
+		t.Fatalf("state = %s, want %s", state, StateDeadline)
+	}
+	// It was claimed (started set) but the run never began; the report
+	// route answers 409.
+	if started.IsZero() {
+		t.Error("job never claimed")
+	}
+}
+
+// TestDeadlineHTTP drives the wire surface: deadline_ms validation
+// against -max-deadline, and the default application.
+func TestDeadlineHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, DefaultDeadline: 30 * time.Second, MaxDeadline: time.Minute})
+
+	resp, body := post(t, ts, `{"deadline_ms": 120000, "spec": `+mmSpec+`}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "deadline") {
+		t.Errorf("over-max submit: status=%d body=%s, want 400 naming the deadline", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts, `{"deadline_ms": -5, "spec": `+mmSpec+`}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative deadline: status=%d body=%s, want 400", resp.StatusCode, body)
+	}
+
+	resp, body = post(t, ts, `{"spec": `+mmSpec+`}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("default-deadline submit: status=%d body=%s", resp.StatusCode, body)
+	}
+	var doc JobDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DeadlineMS != 30000 {
+		t.Errorf("deadline_ms = %v, want the 30000 default", doc.DeadlineMS)
+	}
+}

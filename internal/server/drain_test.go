@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainZeroTimeoutCancelsEverything: Drain(0) — and any
+// non-positive grace — must not wait for running work: queued jobs are
+// cancelled in place and running jobs are hard-cancelled, and every
+// admitted job is terminal by the time Drain returns.
+func TestDrainZeroTimeoutCancelsEverything(t *testing.T) {
+	for _, timeout := range []time.Duration{0, -time.Second} {
+		t.Run(timeout.String(), func(t *testing.T) {
+			s := mustScheduler(t, Config{Workers: 1})
+			release, begun := blockWorkers(s)
+			defer release()
+			spec := specFor(t, mmSpec)
+			running, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-begun // worker parked on the first job
+			queued, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			done := make(chan struct{})
+			go func() { s.Drain(timeout); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("Drain with non-positive timeout did not return")
+			}
+			if got := jobState(s, running); got != StateCancelled {
+				t.Errorf("running job state = %s, want %s", got, StateCancelled)
+			}
+			if got := jobState(s, queued); got != StateCancelled {
+				t.Errorf("queued job state = %s, want %s", got, StateCancelled)
+			}
+		})
+	}
+}
+
+// TestDrainGracefulWaitsForRunning: with a generous grace a running
+// job finishes as done, never cancelled.
+func TestDrainGracefulWaitsForRunning(t *testing.T) {
+	s := mustScheduler(t, Config{Workers: 1})
+	release, begun := blockWorkers(s)
+	spec := specFor(t, mmSpec)
+	j, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begun
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		release()
+	}()
+	s.Drain(30 * time.Second)
+	if got := jobState(s, j); got != StateDone {
+		t.Errorf("job state after graceful drain = %s, want %s", got, StateDone)
+	}
+}
+
+// TestDrainIdempotent: draining twice — sequentially and from
+// concurrent goroutines — is safe, returns both times, and leaves the
+// job states exactly as the first drain did.
+func TestDrainIdempotent(t *testing.T) {
+	s := mustScheduler(t, Config{Workers: 1})
+	release, begun := blockWorkers(s)
+	defer release()
+	spec := specFor(t, mmSpec)
+	j, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begun
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Drain(0)
+		}()
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent drains did not all return")
+	}
+	if got := jobState(s, j); got != StateCancelled {
+		t.Errorf("job state = %s, want %s", got, StateCancelled)
+	}
+	// One more, sequentially, over the already-drained scheduler.
+	s.Drain(0)
+	if counts := s.Counts(); counts[StateCancelled] != 1 || len(counts) != 1 {
+		t.Errorf("counts after repeated drains = %v, want exactly one cancelled", counts)
+	}
+}
+
+// TestDrainRejectsNewWork: a drained scheduler answers ErrDraining to
+// new submissions instead of queueing work no worker will claim.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := mustScheduler(t, Config{Workers: 1})
+	s.Drain(0)
+	if _, err := s.Submit(JobRequest{Mode: ModeRun, Spec: specFor(t, mmSpec)}); err != ErrDraining {
+		t.Fatalf("submit after drain: err = %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzStatusDoc drives the artifact loader with arbitrary bytes: any
+// input must yield a document or an error — never a panic — and every
+// accepted document must survive a marshal/decode round trip
+// unchanged, since boot recovery re-serves accepted documents verbatim.
+// (It lives here rather than in internal/check because check already
+// imports this package's document types in its own tests.)
+func FuzzStatusDoc(f *testing.F) {
+	f.Add([]byte(`{"id":"job-000001","mode":"run","state":"done"}`))
+	f.Add([]byte(`{"id":"job-000002","tenant":"alice","mode":"compare","state":"partial","priority":3,"deadline_ms":1500,"recovered":true,"restarts":2,"cell_errors":{"baseline":"boom"}}`))
+	f.Add([]byte(`{"id":"job-000003","mode":"run","state":"done"`)) // torn
+	f.Add([]byte(`{"state":"done"}`))                               // no id
+	f.Add([]byte(`{"id":"job-000004"}`))                            // no state
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeJobDoc(data)
+		if err != nil {
+			return
+		}
+		if doc.ID == "" || doc.State == "" {
+			t.Fatalf("accepted document without id/state: %+v", doc)
+		}
+		first, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("accepted document does not marshal: %v", err)
+		}
+		again, err := DecodeJobDoc(first)
+		if err != nil {
+			t.Fatalf("marshalled document does not decode: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("round trip unstable:\nfirst:  %s\nsecond: %s", first, second)
+		}
+	})
+}

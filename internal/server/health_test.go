@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+type healthDoc struct {
+	OK     bool           `json:"ok"`
+	Status string         `json:"status"`
+	Jobs   map[string]int `json:"jobs"`
+}
+
+func getHealth(t *testing.T, ts *httptest.Server) (*http.Response, healthDoc) {
+	t.Helper()
+	resp, data := get(t, ts, "/healthz")
+	var doc healthDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("healthz body %q: %v", data, err)
+	}
+	return resp, doc
+}
+
+// TestHealthzPhases walks the daemon through its three phases —
+// recovering, ok, draining — and checks the health contract at each:
+// recovery serves traffic (200), draining tells balancers to leave
+// (503 + Retry-After).
+func TestHealthzPhases(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalLines(t, dir, admitRec("job-000001", 1, 0, 0))
+	parked := make(chan struct{})
+	reached := make(chan struct{})
+	var signalled bool
+	cfg := Config{Workers: 1, StateDir: dir}
+	cfg.recoverHook = func(JournalEntry) {
+		if !signalled {
+			signalled = true
+			close(reached)
+			<-parked
+		}
+	}
+	s := mustScheduler(t, cfg)
+	ts := httptest.NewServer(NewHandler(s, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(0)
+	})
+
+	<-reached // recovery goroutine is parked mid-re-admission
+	resp, doc := getHealth(t, ts)
+	if resp.StatusCode != http.StatusOK || !doc.OK || doc.Status != "recovering" {
+		t.Errorf("recovering healthz = %d %+v, want 200 ok with status recovering", resp.StatusCode, doc)
+	}
+	close(parked)
+
+	// Recovery finishes; the phase settles at "ok".
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Phase() != "ok" {
+		if time.Now().After(deadline) {
+			t.Fatalf("phase stuck at %q, want ok", s.Phase())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, doc = getHealth(t, ts)
+	if resp.StatusCode != http.StatusOK || !doc.OK || doc.Status != "ok" {
+		t.Errorf("healthy healthz = %d %+v, want 200 ok", resp.StatusCode, doc)
+	}
+
+	s.Drain(0)
+	resp, doc = getHealth(t, ts)
+	if resp.StatusCode != http.StatusServiceUnavailable || doc.OK || doc.Status != "draining" {
+		t.Errorf("draining healthz = %d %+v, want 503 with status draining", resp.StatusCode, doc)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining healthz missing Retry-After")
+	}
+}
+
+// TestAdmissionOutcomes is the table-driven admission contract: every
+// rejection names its reason and every backpressure answer carries
+// Retry-After so clients can pace resubmission.
+func TestAdmissionOutcomes(t *testing.T) {
+	spec := `{"tenant": "alice", "spec": ` + mmSpec + `}`
+	cases := []struct {
+		name       string
+		setup      func(t *testing.T, s *Scheduler, ts *httptest.Server)
+		body       string
+		wantStatus int
+		wantRetry  bool
+	}{
+		{
+			name:       "accepted",
+			setup:      func(*testing.T, *Scheduler, *httptest.Server) {},
+			body:       spec,
+			wantStatus: http.StatusAccepted,
+		},
+		{
+			name: "queue full",
+			setup: func(t *testing.T, s *Scheduler, ts *httptest.Server) {
+				_, begun := blockWorkers(s)
+				submitOK(t, ts, spec) // claimed by the parked worker
+				<-begun
+				// A second tenant fills the depth-1 queue (alice is at her
+				// in-flight cap of one).
+				submitOK(t, ts, `{"tenant": "carol", "spec": `+mmSpec+`}`)
+			},
+			body:       `{"tenant": "bob", "spec": ` + mmSpec + `}`,
+			wantStatus: http.StatusTooManyRequests,
+			wantRetry:  true,
+		},
+		{
+			name: "tenant busy",
+			setup: func(t *testing.T, s *Scheduler, ts *httptest.Server) {
+				_, begun := blockWorkers(s)
+				submitOK(t, ts, spec)
+				<-begun
+			},
+			body:       spec,
+			wantStatus: http.StatusTooManyRequests,
+			wantRetry:  true,
+		},
+		{
+			name: "draining",
+			setup: func(t *testing.T, s *Scheduler, ts *httptest.Server) {
+				s.Drain(0)
+			},
+			body:       spec,
+			wantStatus: http.StatusServiceUnavailable,
+			wantRetry:  true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, TenantInFlight: 1})
+			tc.setup(t, s, ts)
+			resp, data := post(t, ts, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d; body: %s", resp.StatusCode, tc.wantStatus, data)
+			}
+			if got := resp.Header.Get("Retry-After") != ""; got != tc.wantRetry {
+				t.Errorf("Retry-After present = %v, want %v", got, tc.wantRetry)
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/chaos"
+)
+
+// The durable job journal. Every job admitted while the scheduler has a
+// StateDir is appended to <state-dir>/journal.jsonl before Submit
+// returns — accepted implies journaled — and fsynced per record, so a
+// `kill -9` at any instant loses at most the record being written. Each
+// dispatch appends a start record (charging the re-run budget of a job
+// that dies mid-run), and each terminal state appends a done record.
+// The journal is compacted — rewritten through atomicio with only the
+// still-open entries — at boot, every compactEvery done records, and at
+// the end of Drain, so a cleanly-drained daemon leaves an empty journal.
+//
+// Loading is tolerant: a truncated or corrupt line (a torn write from a
+// crash) is skipped with a logged warning, never a boot failure.
+
+// JournalFile is the journal's file name inside a state directory.
+const JournalFile = "journal.jsonl"
+
+// compactEvery is how many done records accumulate before the journal
+// is rewritten with only its open entries.
+const compactEvery = 64
+
+// Journal record operations.
+const (
+	journalAdmit = "admit"
+	journalStart = "start"
+	journalDone  = "done"
+)
+
+// JournalRecord is one line of the job journal. An admit record carries
+// the whole submission (including the verbatim, compacted spec JSON);
+// start and done records carry only the ID plus the cumulative start
+// count / terminal state.
+type JournalRecord struct {
+	Op         string          `json:"op"`
+	ID         string          `json:"id"`
+	Seq        int             `json:"seq,omitempty"`
+	Tenant     string          `json:"tenant,omitempty"`
+	Priority   int             `json:"priority,omitempty"`
+	Mode       string          `json:"mode,omitempty"`
+	Events     bool            `json:"events,omitempty"`
+	Retries    int             `json:"retries,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	Submitted  string          `json:"submitted,omitempty"`
+	Starts     int             `json:"starts,omitempty"`
+	State      string          `json:"state,omitempty"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
+}
+
+// JournalEntry is the folded per-job view of a journal: the admit
+// record with the latest start count, plus whether (and how) the job
+// reached a terminal state.
+type JournalEntry struct {
+	JournalRecord
+	Done bool
+}
+
+// ReadJournal replays a journal file into per-job entries, in admission
+// (seq) order. Corrupt or orphaned lines are skipped through warn (nil
+// for silent); a missing file is an empty journal, not an error.
+func ReadJournal(path string, warn func(format string, args ...any)) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readJournal(f, path, warn)
+}
+
+func readJournal(r io.Reader, path string, warn func(format string, args ...any)) ([]JournalEntry, error) {
+	warnf := func(format string, args ...any) {
+		if warn != nil {
+			warn(format, args...)
+		}
+	}
+	byID := make(map[string]*JournalEntry)
+	var order []*JournalEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSubmitBytes+64*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			warnf("journal %s line %d: skipping corrupt record: %v", path, line, err)
+			continue
+		}
+		if rec.ID == "" {
+			warnf("journal %s line %d: skipping %s record without id", path, line, rec.Op)
+			continue
+		}
+		switch rec.Op {
+		case journalAdmit:
+			if _, dup := byID[rec.ID]; dup {
+				warnf("journal %s line %d: skipping duplicate admit for %s", path, line, rec.ID)
+				continue
+			}
+			e := &JournalEntry{JournalRecord: rec}
+			byID[rec.ID] = e
+			order = append(order, e)
+		case journalStart:
+			e, ok := byID[rec.ID]
+			if !ok {
+				warnf("journal %s line %d: skipping start for unknown job %s", path, line, rec.ID)
+				continue
+			}
+			if rec.Starts > e.Starts {
+				e.Starts = rec.Starts
+			}
+		case journalDone:
+			e, ok := byID[rec.ID]
+			if !ok {
+				warnf("journal %s line %d: skipping done for unknown job %s", path, line, rec.ID)
+				continue
+			}
+			e.Done = true
+			e.State = rec.State
+		default:
+			warnf("journal %s line %d: skipping unknown op %q", path, line, rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// An oversized or unreadable tail: keep what was replayed.
+		warnf("journal %s: stopping at line %d: %v", path, line, err)
+	}
+	return fold(order), nil
+}
+
+func fold(order []*JournalEntry) []JournalEntry {
+	out := make([]JournalEntry, len(order))
+	for i, e := range order {
+		out[i] = *e
+	}
+	return out
+}
+
+// journal is the write side: an append-only, fsync-per-record handle
+// plus atomic compaction. Chaos points journal.write / journal.sync /
+// journal.torn intercept appends; compaction goes through the
+// scheduler's state-dir atomicio hook.
+type journal struct {
+	path string
+	inj  *chaos.Injector
+	hook atomicio.Hook
+	logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	f         *os.File
+	doneSince int
+}
+
+// openJournal opens (creating if needed) the append handle.
+func openJournal(path string, inj *chaos.Injector, hook atomicio.Hook, logf func(format string, args ...any)) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening journal: %w", err)
+	}
+	return &journal{path: path, inj: inj, hook: hook, logf: logf, f: f}, nil
+}
+
+// append writes one record and fsyncs it. A torn-write fault truncates
+// the record mid-line (the shape a crash between write and sync leaves)
+// and reports success — exactly what the tolerant loader must survive.
+func (jl *journal) append(rec JournalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: encoding journal record: %w", err)
+	}
+	line := append(data, '\n')
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	if f, ok := jl.inj.Fire(chaos.PointJournalTorn); ok {
+		torn := append(append([]byte(nil), line[:len(line)/2]...), '\n')
+		jl.f.Write(torn)
+		jl.f.Sync()
+		jl.logf("journal: torn record injected for %s %s (%v)", rec.Op, rec.ID, f.Err)
+		return nil
+	}
+	if f, ok := jl.inj.Fire(chaos.PointJournalWrite); ok {
+		return f.Err
+	}
+	if _, err := jl.f.Write(line); err != nil {
+		return fmt.Errorf("server: journal write: %w", err)
+	}
+	if f, ok := jl.inj.Fire(chaos.PointJournalSync); ok {
+		return f.Err
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("server: journal sync: %w", err)
+	}
+	return nil
+}
+
+// noteDone counts a done append and reports whether the caller should
+// compact now.
+func (jl *journal) noteDone() bool {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	jl.doneSince++
+	if jl.doneSince >= compactEvery {
+		jl.doneSince = 0
+		return true
+	}
+	return false
+}
+
+// rewrite atomically replaces the journal with just the given records
+// (compaction) and reopens the append handle.
+func (jl *journal) rewrite(recs []JournalRecord) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	err := atomicio.WriteToHooked(jl.path, jl.hook, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: compacting journal: %w", err)
+	}
+	// The old handle's inode was replaced; reopen to append to the new
+	// file.
+	f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: reopening journal: %w", err)
+	}
+	jl.f.Close()
+	jl.f = f
+	jl.doneSince = 0
+	return nil
+}
+
+// close releases the append handle.
+func (jl *journal) close() {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}
+
+// journalPath returns the journal location inside a state dir.
+func journalPath(stateDir string) string {
+	return filepath.Join(stateDir, JournalFile)
+}
+
+// admitRecord renders a job's durable admission record. Callers hold
+// the scheduler's mutex (starts mutates under it).
+func admitRecord(j *Job) JournalRecord {
+	return JournalRecord{
+		Op:         journalAdmit,
+		ID:         j.ID,
+		Seq:        j.seq,
+		Tenant:     j.Tenant,
+		Priority:   j.Priority,
+		Mode:       j.Mode,
+		Events:     j.events != nil,
+		Retries:    j.Spec.Retries,
+		DeadlineMS: j.deadline.Milliseconds(),
+		Submitted:  j.created.UTC().Format(time.RFC3339Nano),
+		Starts:     j.starts,
+		Spec:       j.rawSpec,
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func testJournal(t *testing.T, inj *chaos.Injector) (*journal, string) {
+	t.Helper()
+	path := journalPath(t.TempDir())
+	jl, err := openJournal(path, inj, nil, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(jl.close)
+	return jl, path
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	jl, path := testJournal(t, nil)
+	spec := json.RawMessage(`{"source":{"kernel":"mm"}}`)
+	recs := []JournalRecord{
+		{Op: journalAdmit, ID: "job-000001", Seq: 1, Tenant: "alice", Priority: 2, Mode: ModeCompare, Retries: 1, DeadlineMS: 1500, Submitted: "2026-08-08T10:00:00Z", Spec: spec},
+		{Op: journalAdmit, ID: "job-000002", Seq: 2, Mode: ModeRun, Events: true, Spec: spec},
+		{Op: journalStart, ID: "job-000001", Starts: 1},
+		{Op: journalDone, ID: "job-000001", State: StatePartial},
+		{Op: journalStart, ID: "job-000002", Starts: 1},
+		{Op: journalStart, ID: "job-000002", Starts: 2},
+	}
+	for _, rec := range recs {
+		if err := jl.append(rec); err != nil {
+			t.Fatalf("append %s %s: %v", rec.Op, rec.ID, err)
+		}
+	}
+	entries, err := ReadJournal(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	}
+	first, second := entries[0], entries[1]
+	if first.ID != "job-000001" || !first.Done || first.State != StatePartial || first.Starts != 1 {
+		t.Errorf("first entry wrong: %+v", first)
+	}
+	if first.Tenant != "alice" || first.Priority != 2 || first.Mode != ModeCompare ||
+		first.Retries != 1 || first.DeadlineMS != 1500 || string(first.Spec) != string(spec) {
+		t.Errorf("admit fields lost: %+v", first)
+	}
+	if second.ID != "job-000002" || second.Done || second.Starts != 2 || !second.Events {
+		t.Errorf("second entry wrong: %+v", second)
+	}
+}
+
+func TestReadJournalMissingFile(t *testing.T) {
+	entries, err := ReadJournal(filepath.Join(t.TempDir(), "nope.jsonl"), nil)
+	if err != nil || entries != nil {
+		t.Fatalf("missing journal: entries=%v err=%v, want nil/nil", entries, err)
+	}
+}
+
+// TestReadJournalTolerance: corrupt, truncated and orphaned lines are
+// each skipped with a warning, never a load failure.
+func TestReadJournalTolerance(t *testing.T) {
+	path := journalPath(t.TempDir())
+	lines := []string{
+		`{"op":"admit","id":"job-000001","seq":1,"spec":{"source":{"kernel":"mm"}}}`,
+		`{"op":"admit","id":"job-0000`, // torn mid-record (crash shape)
+		`not json at all`,
+		`{"op":"admit","id":""}`,           // no id
+		`{"op":"admit","id":"job-000001"}`, // duplicate admit
+		`{"op":"start","id":"job-000099"}`, // start for unknown job
+		`{"op":"done","id":"job-000099"}`,  // done for unknown job
+		`{"op":"warp","id":"job-000001"}`,  // unknown op
+		``,                                 // blank line
+		`{"op":"start","id":"job-000001","starts":1}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings int
+	entries, err := ReadJournal(path, func(format string, args ...any) {
+		warnings++
+		t.Logf(format, args...)
+	})
+	if err != nil {
+		t.Fatalf("tolerant load failed: %v", err)
+	}
+	if len(entries) != 1 || entries[0].ID != "job-000001" || entries[0].Starts != 1 || entries[0].Done {
+		t.Fatalf("entries = %+v, want just job-000001 with 1 start", entries)
+	}
+	if warnings != 7 {
+		t.Errorf("got %d warnings, want 7 (one per bad line)", warnings)
+	}
+}
+
+// TestJournalTornWriteInjection: the journal.torn chaos point writes a
+// half record — and the loader must shrug it off, keeping every intact
+// neighbor.
+func TestJournalTornWriteInjection(t *testing.T) {
+	inj, err := chaos.Parse("seed=7;journal.torn:every=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, path := testJournal(t, inj)
+	for i := 1; i <= 4; i++ {
+		rec := JournalRecord{Op: journalAdmit, ID: fmt.Sprintf("job-%06d", i), Seq: i}
+		if err := jl.append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	entries, err := ReadJournal(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records 2 and 4 were torn; 1 and 3 must survive.
+	if len(entries) != 2 || entries[0].ID != "job-000001" || entries[1].ID != "job-000003" {
+		t.Fatalf("entries = %+v, want jobs 1 and 3", entries)
+	}
+}
+
+func TestJournalAppendFailureInjection(t *testing.T) {
+	inj, err := chaos.Parse("seed=1;journal.write:every=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, _ := testJournal(t, inj)
+	if err := jl.append(JournalRecord{Op: journalAdmit, ID: "job-000001"}); err != nil {
+		t.Fatalf("first append should pass: %v", err)
+	}
+	if err := jl.append(JournalRecord{Op: journalAdmit, ID: "job-000002"}); err == nil {
+		t.Fatal("second append should hit the injected write fault")
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	jl, path := testJournal(t, nil)
+	for i := 1; i <= 3; i++ {
+		jl.append(JournalRecord{Op: journalAdmit, ID: fmt.Sprintf("job-%06d", i), Seq: i})
+	}
+	jl.append(JournalRecord{Op: journalDone, ID: "job-000002", State: StateDone})
+	if err := jl.rewrite([]JournalRecord{
+		{Op: journalAdmit, ID: "job-000001", Seq: 1},
+		{Op: journalAdmit, ID: "job-000003", Seq: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The append handle must follow the new inode.
+	if err := jl.append(JournalRecord{Op: journalStart, ID: "job-000003", Starts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].ID != "job-000001" || entries[1].ID != "job-000003" || entries[1].Starts != 1 {
+		t.Fatalf("after compaction entries = %+v", entries)
+	}
+	// noteDone triggers only at the threshold.
+	for i := 0; i < compactEvery-1; i++ {
+		if jl.noteDone() {
+			t.Fatalf("noteDone fired after %d dones, want %d", i+1, compactEvery)
+		}
+	}
+	if !jl.noteDone() {
+		t.Fatalf("noteDone did not fire at %d dones", compactEvery)
+	}
+}
+
+// TestSubmitRejectedWhenJournalFails: accepted implies journaled — a
+// failing admission append must reject the submission and leave no job
+// behind.
+func TestSubmitRejectedWhenJournalFails(t *testing.T) {
+	inj, err := chaos.Parse("seed=3;journal.write:every=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, StateDir: dir, Chaos: inj})
+	resp, data := post(t, ts, `{"spec": {"source": {"kernel": "mm"}}}`)
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want 500; body: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "journal") {
+		t.Errorf("error body %q does not mention the journal", data)
+	}
+	if jobs := s.Jobs(""); len(jobs) != 0 {
+		t.Errorf("rejected submission left %d jobs behind", len(jobs))
+	}
+	entries, err := ReadJournal(journalPath(dir), t.Logf)
+	if err != nil || len(entries) != 0 {
+		t.Errorf("journal holds %d entries (err=%v), want none", len(entries), err)
+	}
+}

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/run"
+)
+
+// Crash recovery. A scheduler booted over a state dir first restores
+// the previous process's terminal jobs from their on-disk status
+// documents (served as-is, results included), then replays the job
+// journal: entries without a terminal record are re-admitted with
+// their original IDs, sequence numbers, priorities and deadlines, so
+// dispatch order and deadline accounting continue exactly where the
+// dead process left them. Re-admission runs asynchronously — the
+// daemon serves /healthz as "recovering" meanwhile — and aborts
+// cleanly if a Drain lands first, leaving the untouched entries
+// journaled for the next boot.
+
+// DecodeJobDoc parses one status-document artifact. It is the loader
+// used for boot recovery and `cntstat -jobs`, and the surface the
+// FuzzStatusDoc corpus drives: any byte input must produce a document
+// or an error, never a panic.
+func DecodeJobDoc(data []byte) (*JobDoc, error) {
+	var doc JobDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if doc.ID == "" {
+		return nil, errors.New("status document without id")
+	}
+	if doc.State == "" {
+		return nil, errors.New("status document without state")
+	}
+	return &doc, nil
+}
+
+// jobSeq extracts the numeric sequence from a job ID ("job-000042" →
+// 42); 0 when the ID has another shape.
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// submitTime parses a journaled submission stamp, falling back to now
+// for entries whose stamp was lost.
+func submitTime(e JournalEntry) time.Time {
+	if t, err := time.Parse(time.RFC3339Nano, e.Submitted); err == nil {
+		return t
+	}
+	return time.Now()
+}
+
+// specFromEntry rebuilds a re-admittable run.Spec from a journaled
+// submission, through the same parse/validate pipeline as the API
+// layer — a spec that resolved at admission resolves here.
+func specFromEntry(e JournalEntry) (run.Spec, error) {
+	if len(e.Spec) == 0 {
+		return run.Spec{}, errors.New("no spec recorded")
+	}
+	file, err := config.ParseBytes(e.Spec)
+	if err != nil {
+		return run.Spec{}, err
+	}
+	spec, err := file.Spec()
+	if err != nil {
+		return run.Spec{}, err
+	}
+	spec.Retries = e.Retries
+	if err := spec.Source.Validate(); err != nil {
+		return run.Spec{}, err
+	}
+	if _, err := spec.Configure(); err != nil {
+		return run.Spec{}, err
+	}
+	return spec, nil
+}
+
+// loadState restores the state dir's contents at boot: terminal
+// artifacts become served-from-disk jobs, and the journal's unfinished
+// entries are returned for re-admission. Corrupt artifacts and journal
+// lines are skipped with a warning — a crash must never make the next
+// boot fail. Runs before the worker pool starts; no locking needed.
+func (s *Scheduler) loadState() ([]JournalEntry, error) {
+	dir := s.cfg.StateDir
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading state dir: %w", err)
+	}
+	loaded := make(map[string]*JobDoc)
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			s.logf("state: skipping %s: %v", name, err)
+			continue
+		}
+		doc, err := DecodeJobDoc(data)
+		if err != nil {
+			s.logf("state: skipping %s: %v", name, err)
+			continue
+		}
+		if doc.ID != strings.TrimSuffix(name, ".json") {
+			s.logf("state: skipping %s: document id %q does not match file name", name, doc.ID)
+			continue
+		}
+		if !terminalState(doc.State) {
+			s.logf("state: skipping %s: non-terminal state %q", name, doc.State)
+			continue
+		}
+		loaded[doc.ID] = doc
+	}
+	ids := make([]string, 0, len(loaded))
+	for id := range loaded {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool {
+		si, sk := jobSeq(ids[i]), jobSeq(ids[k])
+		if si != sk {
+			return si < sk
+		}
+		return ids[i] < ids[k]
+	})
+	for _, id := range ids {
+		doc := loaded[id]
+		seq := jobSeq(id)
+		j := &Job{
+			ID:       doc.ID,
+			Tenant:   doc.Tenant,
+			Mode:     doc.Mode,
+			Priority: doc.Priority,
+			seq:      seq,
+			state:    doc.State,
+			trace:    doc.Trace,
+			loaded:   doc,
+			done:     make(chan struct{}),
+		}
+		close(j.done)
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j)
+		if seq > s.seq {
+			s.seq = seq
+		}
+	}
+	if len(loaded) > 0 {
+		s.logf("state: restored %d finished jobs from %s", len(loaded), dir)
+	}
+
+	jpath := journalPath(dir)
+	entries, err := ReadJournal(jpath, s.logf)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading journal: %w", err)
+	}
+	var pending []JournalEntry
+	for _, e := range entries {
+		if e.Seq > s.seq {
+			s.seq = e.Seq
+		}
+		if e.Done {
+			continue
+		}
+		if _, finished := loaded[e.ID]; finished {
+			// The artifact landed but the done record was lost to the
+			// crash: the artifact is authoritative.
+			continue
+		}
+		pending = append(pending, e)
+	}
+	s.journal, err = openJournal(jpath, s.cfg.Chaos, s.stateHook, s.logf)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]JournalRecord, len(pending))
+	for i, e := range pending {
+		recs[i] = e.JournalRecord
+	}
+	if err := s.journal.rewrite(recs); err != nil {
+		// Not fatal: appends continue onto the uncompacted file.
+		s.logf("journal: boot compaction: %v", err)
+	}
+	return pending, nil
+}
+
+// recoverJobs re-admits unfinished journal entries, in journal
+// (admission) order. Runs as a goroutine after the worker pool is up.
+func (s *Scheduler) recoverJobs(pending []JournalEntry) {
+	defer s.recoverWG.Done()
+	readmitted := 0
+	for i, e := range pending {
+		if hook := s.cfg.recoverHook; hook != nil {
+			hook(e)
+		}
+		if s.recoverOne(e) {
+			// Drain won the race: leave this and every later entry
+			// journaled for the next boot.
+			s.mu.Lock()
+			for _, rest := range pending[i:] {
+				s.unrecovered = append(s.unrecovered, rest.JournalRecord)
+			}
+			left := len(pending) - i
+			s.recovering = false
+			s.mu.Unlock()
+			s.logf("recovery: aborted by drain, %d jobs left journaled", left)
+			return
+		}
+		readmitted++
+	}
+	s.mu.Lock()
+	s.recovering = false
+	s.mu.Unlock()
+	s.logf("recovery: processed %d journaled jobs", readmitted)
+}
+
+// recoverOne handles a single journal entry; true means draining
+// interrupted recovery before the entry was processed.
+func (s *Scheduler) recoverOne(e JournalEntry) (aborted bool) {
+	spec, specErr := specFromEntry(e)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return true
+	}
+	if _, exists := s.jobs[e.ID]; exists {
+		s.mu.Unlock()
+		s.logf("recovery: %s already known, skipping journal entry", e.ID)
+		return false
+	}
+	var reason error
+	switch {
+	case specErr != nil:
+		reason = fmt.Errorf("recovery: spec does not resolve: %w", specErr)
+	case e.Starts >= s.cfg.RecoverRuns:
+		// The job keeps dying mid-run: refusing to start it again keeps a
+		// poison job from wedging the daemon in a crash loop.
+		reason = fmt.Errorf("recovery: re-run budget exhausted (%d starts, cap %d)", e.Starts, s.cfg.RecoverRuns)
+	}
+	if reason != nil {
+		j := s.adoptFailedLocked(e, reason)
+		doc := s.docLocked(j)
+		s.mu.Unlock()
+		s.flushArtifact(doc)
+		s.journalDone(j, StateFailed)
+		s.logf("job %s abandoned: %v", j.ID, reason)
+		return false
+	}
+	s.readmitLocked(e, spec)
+	s.mu.Unlock()
+	return false
+}
+
+// adoptFailedLocked installs a journal entry as a terminal failed job
+// (no run). Callers hold s.mu and flush the artifact afterwards.
+func (s *Scheduler) adoptFailedLocked(e JournalEntry, reason error) *Job {
+	j := &Job{
+		ID:        e.ID,
+		Tenant:    e.Tenant,
+		Priority:  e.Priority,
+		Mode:      e.Mode,
+		seq:       e.Seq,
+		state:     StateFailed,
+		err:       reason,
+		created:   submitTime(e),
+		finished:  time.Now(),
+		rawSpec:   e.Spec,
+		starts:    e.Starts,
+		restarts:  e.Starts,
+		recovered: e.Starts > 0,
+		done:      make(chan struct{}),
+	}
+	close(j.done)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.count(s.mFailed)
+	return j
+}
+
+// readmitLocked puts a journaled job back in the queue with its
+// original identity: ID, seq (so FIFO-within-priority order is
+// preserved), submission time and deadline (queue time and daemon
+// downtime both count against it). Callers hold s.mu. Admission caps
+// are deliberately bypassed — these jobs were already admitted once.
+func (s *Scheduler) readmitLocked(e JournalEntry, spec run.Spec) {
+	j := &Job{
+		ID:        e.ID,
+		Tenant:    e.Tenant,
+		Priority:  e.Priority,
+		Mode:      e.Mode,
+		Spec:      spec,
+		seq:       e.Seq,
+		state:     StateQueued,
+		created:   submitTime(e),
+		done:      make(chan struct{}),
+		rawSpec:   e.Spec,
+		starts:    e.Starts,
+		restarts:  e.Starts,
+		recovered: e.Starts > 0,
+	}
+	if e.DeadlineMS > 0 {
+		j.deadline = time.Duration(e.DeadlineMS) * time.Millisecond
+		j.deadlineAt = j.created.Add(j.deadline)
+	}
+	if e.Events {
+		j.events = newEventLog()
+		j.Spec.Trace = j.events
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		// A fresh trace: the original one died with the original process.
+		j.span = tr.StartSpan("job", obs.SpanContext{}).
+			Annotate("job", j.ID).
+			Annotate("tenant", j.Tenant).
+			Annotate("mode", j.Mode).
+			AnnotateInt("priority", int64(j.Priority))
+		if j.deadline > 0 {
+			j.span.AnnotateDuration("deadline_ms", j.deadline)
+		}
+		if j.recovered {
+			j.span.Annotate("recovered", "true").AnnotateInt("restarts", int64(j.restarts))
+		}
+		j.trace = j.span.Context().Trace.String()
+		j.queueSpan = j.span.Child("queue")
+		j.Spec.Tracer = tr
+		j.Spec.SpanParent = j.span.Context()
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.queue = append(s.queue, j)
+	s.queuedN++
+	s.inflight[j.Tenant]++
+	s.gauge()
+	s.cond.Signal()
+	s.logf("job %s recovered into queue (starts=%d)", j.ID, j.starts)
+}

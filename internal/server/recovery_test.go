@@ -1,0 +1,378 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/run"
+)
+
+const mmSpec = `{"source":{"kernel":"mm"}}`
+
+// writeJournalLines hand-crafts a journal file — the deterministic way
+// to stage "what a dead process left behind".
+func writeJournalLines(t *testing.T, dir string, recs ...JournalRecord) {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(journalPath(dir), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func admitRec(id string, seq, priority, starts int) JournalRecord {
+	return JournalRecord{
+		Op: journalAdmit, ID: id, Seq: seq, Priority: priority, Mode: ModeRun,
+		Starts: starts, Submitted: "2026-08-08T10:00:00Z",
+		Spec: json.RawMessage(mmSpec),
+	}
+}
+
+// TestBootServesLoadedArtifacts: a job finished by a previous process
+// is served from its on-disk status document — byte-identical fields,
+// results included — and its report route explains where to look.
+func TestBootServesLoadedArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	id := submitOK(t, ts1, `{"tenant": "alice", "mode": "compare", "spec": `+mmSpec+`}`)
+	waitJob(t, s1, id)
+	_, doc1 := get(t, ts1, "/v1/runs/"+id)
+	ts1.Close()
+	s1.Drain(time.Second)
+
+	// A clean drain compacts the journal down to nothing.
+	entries, err := ReadJournal(journalPath(dir), t.Logf)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("journal after clean drain: %d entries (err=%v), want 0", len(entries), err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	resp, doc2 := get(t, ts2, "/v1/runs/"+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored job status = %d; body: %s", resp.StatusCode, doc2)
+	}
+	if !bytes.Equal(doc1, doc2) {
+		t.Errorf("restored doc differs from the live one:\nlive:     %s\nrestored: %s", doc1, doc2)
+	}
+	var restored JobDoc
+	if err := json.Unmarshal(doc2, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.State != StateDone || restored.Comparison == nil {
+		t.Errorf("restored doc lost results: state=%s comparison=%v", restored.State, restored.Comparison != nil)
+	}
+	// Text rendering needs in-memory structures that died with the old
+	// process: 409 pointing at the status document.
+	resp, body := get(t, ts2, "/v1/runs/"+id+"/report")
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), "status document") {
+		t.Errorf("report for restored job: status=%d body=%s, want 409 naming the status document", resp.StatusCode, body)
+	}
+	// New submissions continue the ID sequence instead of colliding.
+	id2 := submitOK(t, ts2, `{"spec": `+mmSpec+`}`)
+	if id2 == id {
+		t.Errorf("new job reused restored job's ID %s", id)
+	}
+	waitJob(t, s2, id2)
+}
+
+// TestBootSkipsCorruptArtifacts: torn or alien .json files in the
+// state dir are skipped with a warning, never a boot failure.
+func TestBootSkipsCorruptArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"job-000001.json": `{"id":"job-000001","mode":"run","state":"done"`,     // truncated
+		"job-000002.json": `{"id":"job-000002","mode":"run","state":"running"}`, // non-terminal
+		"job-000003.json": `{"id":"mismatch","mode":"run","state":"done"}`,
+		"notes.json":      `"not a status document"`,
+		"job-000004.json": `{"id":"job-000004","mode":"run","state":"done"}`,
+	}
+	for name, body := range files {
+		if err := os.WriteFile(dir+"/"+name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var warned int
+	s, err := NewScheduler(Config{Workers: 1, StateDir: dir, Logf: func(format string, args ...any) {
+		if strings.HasPrefix(format, "state: skipping") {
+			warned++
+		}
+		t.Logf(format, args...)
+	}})
+	if err != nil {
+		t.Fatalf("boot over corrupt state dir failed: %v", err)
+	}
+	defer s.Drain(0)
+	if _, ok := s.Get("job-000004"); !ok {
+		t.Error("intact artifact was not restored")
+	}
+	if len(s.Jobs("")) != 1 {
+		t.Errorf("restored %d jobs, want 1", len(s.Jobs("")))
+	}
+	if warned != 4 {
+		t.Errorf("got %d skip warnings, want 4", warned)
+	}
+}
+
+// TestRecoveryRequeuesJournaledJobs is the in-process crash-recovery
+// core: a journal staged the way a kill -9 leaves it — one job queued,
+// one mid-run, one out of re-run budget, one with a rotten spec — must
+// converge to the same terminal states a crash-free daemon would
+// produce, with the mid-run job flagged recovered.
+func TestRecoveryRequeuesJournaledJobs(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalLines(t, dir,
+		admitRec("job-000001", 1, 0, 0), // queued at crash
+		admitRec("job-000002", 2, 0, 1), // running at crash
+		admitRec("job-000003", 3, 0, 3), // re-run budget spent (cap 3)
+		JournalRecord{Op: journalAdmit, ID: "job-000004", Seq: 4, Mode: ModeRun,
+			Spec: json.RawMessage(`{"no_such_field":true}`)},
+	)
+	s, ts := newTestServer(t, Config{Workers: 2, StateDir: dir})
+	deadlineAt := time.Now().Add(30 * time.Second)
+	for _, id := range []string{"job-000001", "job-000002", "job-000003", "job-000004"} {
+		for {
+			if j, ok := s.Get(id); ok {
+				select {
+				case <-j.Done():
+				case <-time.After(30 * time.Second):
+					t.Fatalf("job %s never finished", id)
+				}
+				break
+			}
+			if time.Now().After(deadlineAt) {
+				t.Fatalf("job %s never re-admitted", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	wantState := map[string]string{
+		"job-000001": StateDone,
+		"job-000002": StateDone,
+		"job-000003": StateFailed,
+		"job-000004": StateFailed,
+	}
+	wantRecovered := map[string]bool{"job-000002": true, "job-000003": true}
+	for id, want := range wantState {
+		_, body := get(t, ts, "/v1/runs/"+id)
+		var doc JobDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.State != want {
+			t.Errorf("%s state = %q, want %q (doc: %s)", id, doc.State, want, body)
+		}
+		if doc.Recovered != wantRecovered[id] {
+			t.Errorf("%s recovered = %v, want %v", id, doc.Recovered, wantRecovered[id])
+		}
+	}
+	_, body := get(t, ts, "/v1/runs/job-000003")
+	if !strings.Contains(string(body), "re-run budget exhausted") {
+		t.Errorf("budget-exhausted job doc does not say so: %s", body)
+	}
+	_, body = get(t, ts, "/v1/runs/job-000004")
+	if !strings.Contains(string(body), "spec does not resolve") {
+		t.Errorf("bad-spec job doc does not say so: %s", body)
+	}
+
+	// Recovered-then-finished jobs must not resurrect on the next boot.
+	ts.Close()
+	s.Drain(time.Second)
+	entries, err := ReadJournal(journalPath(dir), t.Logf)
+	if err != nil || len(entries) != 0 {
+		t.Errorf("journal after recovery + drain: %d entries (err=%v), want 0", len(entries), err)
+	}
+}
+
+// TestRecoveredReportByteIdentical: a job re-run from the journal
+// produces exactly the bytes a crash-free run would have.
+func TestRecoveredReportByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalLines(t, dir, admitRec("job-000042", 42, 0, 1))
+	s, ts := newTestServer(t, Config{Workers: 1, StateDir: dir})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok := s.Get("job-000042"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never re-admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitJob(t, s, "job-000042")
+	resp, got := get(t, ts, "/v1/runs/job-000042/report")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d; body: %s", resp.StatusCode, got)
+	}
+	var want bytes.Buffer
+	directReport(t, mmSpec).WriteText(&want)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("recovered report differs from direct run:\n--- got ---\n%s\n--- want ---\n%s", got, want.Bytes())
+	}
+	var doc JobDoc
+	_, body := get(t, ts, "/v1/runs/job-000042")
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Recovered || doc.Restarts != 1 {
+		t.Errorf("doc recovered=%v restarts=%d, want true/1", doc.Recovered, doc.Restarts)
+	}
+}
+
+// TestPopPrefersLowestSeqWithinPriority pins the dispatch tie-break
+// that keeps recovered jobs (old, low seqs) ahead of new submissions
+// at the same priority, regardless of queue slice order.
+func TestPopPrefersLowestSeqWithinPriority(t *testing.T) {
+	s := mustScheduler(t, Config{Workers: 1})
+	defer s.Drain(0)
+	release, begun := blockWorkers(s)
+	defer release()
+	spec := specFor(t, mmSpec)
+	dummy, err := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-begun
+	a, _ := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	b, _ := s.Submit(JobRequest{Mode: ModeRun, Spec: spec})
+	s.mu.Lock()
+	s.queue[0], s.queue[1] = s.queue[1], s.queue[0] // b before a in the slice
+	s.mu.Unlock()
+	release()
+	waitJob(t, s, dummy.ID)
+	if first := <-begun; first != a.ID {
+		t.Errorf("dispatched %s first, want %s (lowest seq)", first, a.ID)
+	}
+	waitJob(t, s, a.ID)
+	waitJob(t, s, b.ID)
+}
+
+// specFor parses a config JSON into a run.Spec for direct Submit calls.
+func specFor(t *testing.T, specJSON string) run.Spec {
+	t.Helper()
+	file, err := config.ParseBytes([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := file.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestDrainRacesRecovery: Drain landing mid-recovery must stop the
+// re-admission loop cleanly — every journaled job either reached a
+// terminal state in this process or is still journaled for the next
+// boot; none vanish.
+func TestDrainRacesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	var recs []JournalRecord
+	ids := make(map[string]bool)
+	for i := 1; i <= 8; i++ {
+		id := fmt.Sprintf("job-%06d", i)
+		recs = append(recs, admitRec(id, i, 0, 0))
+		ids[id] = true
+	}
+	writeJournalLines(t, dir, recs...)
+
+	reached := make(chan struct{})
+	unblock := make(chan struct{})
+	var once sync.Once
+	cfg := Config{Workers: 1, StateDir: dir}
+	cfg.recoverHook = func(e JournalEntry) {
+		if e.ID == "job-000003" {
+			once.Do(func() {
+				close(reached)
+				<-unblock
+			})
+		}
+	}
+	s, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reached // recovery parked mid-list with 2 jobs admitted
+	drained := make(chan struct{})
+	go func() {
+		s.Drain(0)
+		close(drained)
+	}()
+	// Drain waits for the recovery goroutine: it must not finish yet.
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while recovery was still parked")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(unblock)
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned")
+	}
+
+	// The invariant: in-memory jobs are all terminal, and every other
+	// journaled job survived in the journal.
+	inMemory := make(map[string]bool)
+	for _, j := range s.Jobs("") {
+		inMemory[j.ID] = true
+		s.mu.Lock()
+		state := j.state
+		s.mu.Unlock()
+		if !terminalState(state) {
+			t.Errorf("job %s left non-terminal after drain: %s", j.ID, state)
+		}
+	}
+	entries, err := ReadJournal(journalPath(dir), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := make(map[string]bool)
+	for _, e := range entries {
+		if !e.Done {
+			journaled[e.ID] = true
+		}
+	}
+	for id := range ids {
+		if !inMemory[id] && !journaled[id] {
+			t.Errorf("job %s vanished: neither terminal in memory nor journaled", id)
+		}
+	}
+	if len(journaled) == 0 {
+		t.Error("expected some jobs left journaled for the next boot (recovery was interrupted)")
+	}
+
+	// And a fresh boot picks the leftovers up.
+	s2, _ := newTestServer(t, Config{Workers: 2, StateDir: dir})
+	deadline := time.Now().Add(30 * time.Second)
+	for id := range journaled {
+		for {
+			if j, ok := s2.Get(id); ok {
+				select {
+				case <-j.Done():
+				case <-time.After(30 * time.Second):
+					t.Fatalf("leftover job %s never finished on second boot", id)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("leftover job %s never re-admitted on second boot", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

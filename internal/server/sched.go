@@ -2,13 +2,17 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/run"
@@ -33,7 +37,22 @@ const (
 	StatePartial   = "partial" // compare finished but lost cells (run.PartialError)
 	StateFailed    = "failed"
 	StateCancelled = "cancelled"
+	// StateDeadline marks a job that ran out of its deadline budget —
+	// distinct from cancelled, which is an operator/client decision.
+	// Queue time counts against the deadline, so a job can reach this
+	// state without ever running. A compare whose deadline landed
+	// mid-flight keeps its salvaged cells, like partial.
+	StateDeadline = "deadline_exceeded"
 )
+
+// terminalState reports whether a state name is terminal.
+func terminalState(state string) bool {
+	switch state {
+	case StateDone, StatePartial, StateFailed, StateCancelled, StateDeadline:
+		return true
+	}
+	return false
+}
 
 // Admission-control rejections. The API layer maps these to HTTP 429
 // (full queue, busy tenant) and 503 (draining).
@@ -47,12 +66,20 @@ var (
 	ErrTenantBusy = errors.New("server: tenant at max in-flight jobs")
 	// ErrDraining rejects every submission once Drain has begun.
 	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrDeadline rejects a submission whose requested deadline exceeds
+	// Config.MaxDeadline. The API layer maps it to HTTP 400.
+	ErrDeadline = errors.New("server: requested deadline exceeds the maximum")
 )
 
 // Default admission limits.
 const (
 	DefaultQueueDepth     = 64
 	DefaultTenantInFlight = 8
+	// DefaultRecoverRuns caps how many times a journaled job may be
+	// (re)started across crashes before recovery gives up and records a
+	// terminal failure — a poison job that kills the daemon on every
+	// replay must not wedge it in a crash loop.
+	DefaultRecoverRuns = 3
 )
 
 // Config parameterizes a Scheduler.
@@ -72,8 +99,25 @@ type Config struct {
 	TenantInFlight int
 	// StateDir, when non-empty, receives every finished job's status
 	// document as <id>.json, written through atomicio so a crash or
-	// shutdown never publishes a truncated artifact.
+	// shutdown never publishes a truncated artifact. It also holds the
+	// job journal (JournalFile): admitted jobs are journaled before
+	// Submit returns, and on the next boot finished artifacts are served
+	// from disk while unfinished journal entries are re-admitted.
 	StateDir string
+	// DefaultDeadline, when > 0, applies to submissions that carry no
+	// deadline of their own. Zero means no default.
+	DefaultDeadline time.Duration
+	// MaxDeadline, when > 0, caps every job's deadline: requests beyond
+	// it are rejected with ErrDeadline, and requests with no deadline are
+	// clamped to it. Zero means uncapped.
+	MaxDeadline time.Duration
+	// RecoverRuns caps total starts per journaled job across crashes;
+	// <= 0 means DefaultRecoverRuns.
+	RecoverRuns int
+	// Chaos, when non-nil, injects deterministic faults at the
+	// scheduler's failure points (journal appends, state-dir writes,
+	// worker execution). Nil — the production default — costs nothing.
+	Chaos *chaos.Injector
 	// Metrics, when non-nil, receives the scheduler's counters and
 	// gauges (server.jobs.*), queue-wait and per-mode run-time latency
 	// histograms, and a per-tenant submission counter.
@@ -86,6 +130,11 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Logf, when non-nil, receives one line per job lifecycle edge.
 	Logf func(format string, args ...any)
+
+	// recoverHook, when set, runs before each boot-recovery step. Test
+	// seam (unexported: in-package tests only) for pausing recovery and
+	// racing it against Drain.
+	recoverHook func(e JournalEntry)
 }
 
 // JobRequest is a validated submission: the API layer has already
@@ -96,6 +145,14 @@ type JobRequest struct {
 	Mode     string
 	Events   bool
 	Spec     run.Spec
+	// Deadline, when > 0, bounds the job's total lifetime — queue wait
+	// included — from admission. The API layer resolves the wire
+	// deadline_ms against the scheduler's default/max first
+	// (ResolveDeadline).
+	Deadline time.Duration
+	// RawSpec is the verbatim spec JSON, journaled so a crash-recovered
+	// job re-runs exactly what was submitted.
+	RawSpec json.RawMessage
 	// Link is the submitting request's span context, when the HTTP seam
 	// is traced. The job's root span starts its own trace (a parent link
 	// would break span containment: the job outlives the request), so the
@@ -131,6 +188,23 @@ type Job struct {
 	finished time.Time
 	done     chan struct{}
 
+	// deadline is the job's total-lifetime budget; deadlineAt the wall
+	// instant it expires (created + deadline). Zero values mean none.
+	deadline   time.Duration
+	deadlineAt time.Time
+	// rawSpec is the verbatim submitted spec JSON (journaled).
+	rawSpec json.RawMessage
+	// starts counts dispatches across process lifetimes (journal start
+	// records); restarts is how many the job had before this boot.
+	// recovered marks a job that was running when a previous process
+	// died and re-entered the queue at boot.
+	starts    int
+	restarts  int
+	recovered bool
+	// loaded, when non-nil, is a terminal status document restored from
+	// the state dir at boot; the job is a read-only shell around it.
+	loaded *JobDoc
+
 	// span is the job's root span ("job"), queueSpan the pending-queue
 	// wait; trace is the root's trace ID in hex, surfaced through
 	// JobDoc.Trace. All nil/empty when the scheduler has no tracer.
@@ -165,7 +239,20 @@ type Scheduler struct {
 	queuedN  int
 	runningN int
 	draining bool
-	seq      int
+	// recovering is true while the boot-recovery goroutine is still
+	// re-admitting journaled jobs; surfaced through Phase.
+	recovering bool
+	seq        int
+
+	// journal is the durable job log (nil without a StateDir);
+	// stateHook intercepts state-dir atomicio stages for chaos.
+	journal   *journal
+	stateHook atomicio.Hook
+	recoverWG sync.WaitGroup
+	// unrecovered holds journal entries boot recovery never re-admitted
+	// because Drain interrupted it; compaction must keep them so the
+	// next boot picks them up.
+	unrecovered []JournalRecord
 
 	mSubmitted, mRejected      *obs.Counter
 	mDone, mFailed, mCancelled *obs.Counter
@@ -178,11 +265,16 @@ type Scheduler struct {
 	// seam for holding workers busy and forcing failures; never set in
 	// production.
 	runHook func(ctx context.Context, j *Job) error
+
+	mDeadline *obs.Counter
 }
 
 // NewScheduler starts the worker pool and returns the scheduler. It
-// must be stopped with Drain.
-func NewScheduler(cfg Config) *Scheduler {
+// must be stopped with Drain. With a StateDir it first recovers the
+// previous process's state: terminal artifacts are served from disk,
+// and unfinished journal entries are re-admitted (asynchronously, in
+// original priority/FIFO order) once the pool is up.
+func NewScheduler(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:      cfg,
 		workers:  run.Jobs(cfg.Workers),
@@ -195,25 +287,89 @@ func NewScheduler(cfg Config) *Scheduler {
 	if s.cfg.TenantInFlight <= 0 {
 		s.cfg.TenantInFlight = DefaultTenantInFlight
 	}
+	if s.cfg.RecoverRuns <= 0 {
+		s.cfg.RecoverRuns = DefaultRecoverRuns
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.stateHook = chaosStateHook(s.cfg.Chaos)
 	if reg := cfg.Metrics; reg != nil {
 		s.mSubmitted = reg.Counter("server.jobs.submitted")
 		s.mRejected = reg.Counter("server.jobs.rejected")
 		s.mDone = reg.Counter("server.jobs.done")
 		s.mFailed = reg.Counter("server.jobs.failed")
 		s.mCancelled = reg.Counter("server.jobs.cancelled")
+		s.mDeadline = reg.Counter("server.jobs.deadline_exceeded")
 		s.gQueued = reg.Gauge("server.jobs.queued")
 		s.gRunning = reg.Gauge("server.jobs.running")
 		s.hQueue = reg.MustHistogram("server.job.queue.seconds", obs.LatencyBounds)
 		s.hRun = reg.MustHistogram(`server.job.run.seconds{mode="run"}`, obs.LatencyBounds)
 		s.hCompare = reg.MustHistogram(`server.job.run.seconds{mode="compare"}`, obs.LatencyBounds)
 	}
+	var pending []JournalEntry
+	if s.cfg.StateDir != "" {
+		if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating state dir: %w", err)
+		}
+		var err error
+		pending, err = s.loadState()
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.wg.Add(s.workers)
 	for w := 0; w < s.workers; w++ {
 		go s.worker()
 	}
-	return s
+	if len(pending) > 0 {
+		s.recovering = true
+		s.recoverWG.Add(1)
+		go s.recoverJobs(pending)
+	}
+	return s, nil
+}
+
+// chaosStateHook adapts chaos state.* points to an atomicio.Hook; nil
+// injector means nil hook, so the untested path stays allocation-free.
+func chaosStateHook(inj *chaos.Injector) atomicio.Hook {
+	if inj == nil {
+		return nil
+	}
+	points := map[atomicio.Op]string{
+		atomicio.OpCreate: chaos.PointStateCreate,
+		atomicio.OpWrite:  chaos.PointStateWrite,
+		atomicio.OpSync:   chaos.PointStateSync,
+		atomicio.OpRename: chaos.PointStateRename,
+	}
+	return func(op atomicio.Op, path string) error {
+		if f, ok := inj.Fire(points[op]); ok {
+			return f.Err
+		}
+		return nil
+	}
+}
+
+// ResolveDeadline turns a request's deadline_ms into the effective
+// deadline: 0 falls back to DefaultDeadline, then to MaxDeadline (a
+// cap implies no job may run unbounded); anything beyond MaxDeadline
+// is rejected with ErrDeadline.
+func (s *Scheduler) ResolveDeadline(ms int64) (time.Duration, error) {
+	if ms < 0 {
+		return 0, fmt.Errorf("%w: deadline_ms must be >= 0", ErrDeadline)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d == 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if max := s.cfg.MaxDeadline; max > 0 {
+		if d == 0 {
+			d = max
+		}
+		if d > max {
+			return 0, fmt.Errorf("%w (%v > %v)", ErrDeadline, d, max)
+		}
+	}
+	return d, nil
 }
 
 // Workers reports the size of the worker pool.
@@ -255,10 +411,24 @@ func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
 		state:    StateQueued,
 		created:  time.Now(),
 		done:     make(chan struct{}),
+		deadline: req.Deadline,
+		rawSpec:  req.RawSpec,
+	}
+	if j.deadline > 0 {
+		j.deadlineAt = j.created.Add(j.deadline)
 	}
 	if req.Events {
 		j.events = newEventLog()
 		j.Spec.Trace = j.events
+	}
+	// Accepted implies journaled: if the admission record cannot be made
+	// durable, the job is rejected — a crash right after Submit returns
+	// must never lose an accepted job.
+	if s.journal != nil {
+		if err := s.journal.append(admitRecord(j)); err != nil {
+			s.count(s.mRejected)
+			return nil, fmt.Errorf("server: journaling admission: %w", err)
+		}
 	}
 	if tr := s.cfg.Tracer; tr != nil {
 		// The root span opens its own trace: the job outlives the request
@@ -270,6 +440,9 @@ func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
 			Annotate("tenant", j.Tenant).
 			Annotate("mode", j.Mode).
 			AnnotateInt("priority", int64(j.Priority))
+		if j.deadline > 0 {
+			j.span.AnnotateDuration("deadline_ms", j.deadline)
+		}
 		if !req.Link.Trace.IsZero() {
 			j.span.Annotate("link.trace", req.Link.Trace.String()).
 				Annotate("link.span", req.Link.Span.String())
@@ -339,9 +512,13 @@ func (s *Scheduler) Cancel(id string) (*Job, bool) {
 	switch j.state {
 	case StateQueued:
 		s.dequeue(j)
-		s.finishLocked(j, nil, nil, context.Canceled)
-		s.endJobSpan(j, j.state)
+		s.finishLocked(j, nil, nil, context.Canceled, false)
+		doc := s.docLocked(j)
+		state := j.state
 		s.mu.Unlock()
+		s.flushArtifact(doc)
+		s.endJobSpan(j, state)
+		s.journalDone(j, state)
 		return j, true
 	case StateRunning:
 		cancel := j.cancelRun
@@ -376,7 +553,11 @@ func (s *Scheduler) pop() *Job {
 		if len(s.queue) > 0 {
 			best := 0
 			for i, j := range s.queue {
-				if j.Priority > s.queue[best].Priority {
+				b := s.queue[best]
+				// Highest priority first; within a level, lowest seq — the
+				// original admission order, which crash recovery preserves by
+				// pinning re-admitted jobs' sequence numbers.
+				if j.Priority > b.Priority || (j.Priority == b.Priority && j.seq < b.seq) {
 					best = i
 				}
 			}
@@ -385,7 +566,18 @@ func (s *Scheduler) pop() *Job {
 			s.queuedN--
 			j.state = StateRunning
 			j.started = time.Now()
+			j.starts++
+			if s.journal != nil {
+				// The start record charges the re-run budget before the run
+				// begins: a job that dies mid-run has this dispatch counted.
+				if err := s.journal.append(JournalRecord{Op: journalStart, ID: j.ID, Starts: j.starts}); err != nil {
+					s.logf("job %s: journaling start: %v", j.ID, err)
+				}
+			}
 			j.queueSpan.End()
+			if j.deadline > 0 {
+				j.span.AnnotateDuration("deadline_remaining_ms", time.Until(j.deadlineAt))
+			}
 			if s.hQueue != nil {
 				s.hQueue.Observe(j.started.Sub(j.created).Seconds())
 			}
@@ -416,20 +608,62 @@ func (s *Scheduler) worker() {
 }
 
 // execute resolves and runs one claimed job, then records its outcome.
+// A deadline, when set, is carried from here down through the run
+// layer's worker pool as a context deadline.
 func (s *Scheduler) execute(j *Job) {
 	ctx := j.runBegun
 	defer j.cancelRun()
 	s.logf("job %s running", j.ID)
+	if !j.deadlineAt.IsZero() {
+		dctx, cancel := context.WithDeadline(ctx, j.deadlineAt)
+		defer cancel()
+		ctx = dctx
+	}
+	rep, cmp, err := s.runJob(ctx, j)
+	// Deadline-vs-cancel: only the deadline context can tell them apart —
+	// both surface as a context error from the run layer.
+	deadlined := err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)
+	s.finish(j, rep, cmp, err, deadlined)
+}
+
+// runJob runs one claimed job under ctx, converting worker panics
+// (including injected ones) into job failures so a poison job cannot
+// take the daemon down.
+func (s *Scheduler) runJob(ctx context.Context, j *Job) (rep *run.Report, cmp *core.Comparison, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, cmp = nil, nil
+			err = fmt.Errorf("server: job %s panicked: %v\n%s", j.ID, r, debug.Stack())
+		}
+	}()
+	if f, ok := s.cfg.Chaos.Fire(chaos.PointWorkerDelay); ok && f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil, ctx.Err()
+		}
+	}
+	if f, ok := s.cfg.Chaos.Fire(chaos.PointWorkerPanic); ok {
+		panic(f.Err)
+	}
+	if f, ok := s.cfg.Chaos.Fire(chaos.PointWorkerFail); ok {
+		return nil, nil, f.Err
+	}
+	// A deadline (or cancellation) that landed while the job sat queued:
+	// don't start the run at all.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if hook := s.runHook; hook != nil {
 		if err := hook(ctx, j); err != nil {
-			s.finish(j, nil, nil, err)
-			return
+			return nil, nil, err
 		}
 	}
 	sess, err := j.Spec.Resolve()
 	if err != nil {
-		s.finish(j, nil, nil, err)
-		return
+		return nil, nil, err
 	}
 	s.mu.Lock()
 	j.inst = sess.Instance
@@ -437,20 +671,20 @@ func (s *Scheduler) execute(j *Job) {
 	switch j.Mode {
 	case ModeCompare:
 		cmp, err := sess.CompareContext(ctx)
-		s.finish(j, nil, cmp, err)
+		return nil, cmp, err
 	default:
 		rep, err := sess.RunContext(ctx)
-		s.finish(j, rep, nil, err)
+		return rep, nil, err
 	}
 }
 
 // finish records a job's terminal state and flushes its artifact. The
 // job's root span closes only after the artifact flush — admission
 // through flush is exactly what the root covers.
-func (s *Scheduler) finish(j *Job, rep *run.Report, cmp *core.Comparison, err error) {
+func (s *Scheduler) finish(j *Job, rep *run.Report, cmp *core.Comparison, err error, deadlined bool) {
 	s.mu.Lock()
 	s.runningN--
-	s.finishLocked(j, rep, cmp, err)
+	s.finishLocked(j, rep, cmp, err, deadlined)
 	doc := s.docLocked(j)
 	state := j.state
 	s.mu.Unlock()
@@ -458,6 +692,43 @@ func (s *Scheduler) finish(j *Job, rep *run.Report, cmp *core.Comparison, err er
 	s.flushArtifact(doc)
 	fspan.End()
 	s.endJobSpan(j, state)
+	s.journalDone(j, state)
+}
+
+// journalDone records a terminal state in the journal and compacts
+// when enough done records have piled up. The artifact is already on
+// disk by now, so losing the done record to a crash is safe: boot
+// treats a terminal artifact as done.
+func (s *Scheduler) journalDone(j *Job, state string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(JournalRecord{Op: journalDone, ID: j.ID, State: state}); err != nil {
+		s.logf("job %s: journaling done: %v", j.ID, err)
+	}
+	if s.journal.noteDone() {
+		s.compactJournal()
+	}
+}
+
+// compactJournal rewrites the journal with only the still-open jobs.
+func (s *Scheduler) compactJournal() {
+	if s.journal == nil {
+		return
+	}
+	s.mu.Lock()
+	var open []JournalRecord
+	for _, j := range s.order {
+		if j.loaded != nil || terminalState(j.state) {
+			continue
+		}
+		open = append(open, admitRecord(j))
+	}
+	open = append(open, s.unrecovered...)
+	s.mu.Unlock()
+	if err := s.journal.rewrite(open); err != nil {
+		s.logf("journal: %v", err)
+	}
 }
 
 // endJobSpan closes a job's root span with its terminal state. The
@@ -473,7 +744,7 @@ func (s *Scheduler) endJobSpan(j *Job, state string) {
 // finishLocked classifies the outcome and closes the job. Callers hold
 // s.mu; queue/running accounting is the caller's (finish decrements
 // runningN, Cancel has already dequeued).
-func (s *Scheduler) finishLocked(j *Job, rep *run.Report, cmp *core.Comparison, err error) {
+func (s *Scheduler) finishLocked(j *Job, rep *run.Report, cmp *core.Comparison, err error, deadlined bool) {
 	j.report = rep
 	j.cmp = cmp
 	j.finished = time.Now()
@@ -482,6 +753,19 @@ func (s *Scheduler) finishLocked(j *Job, rep *run.Report, cmp *core.Comparison, 
 	case err == nil:
 		j.state = StateDone
 		s.count(s.mDone)
+	case deadlined && (errors.As(err, &perr) || errors.Is(err, context.DeadlineExceeded)):
+		// The job's own deadline expired — distinct from cancellation. A
+		// salvaged partial comparison keeps its completed cells.
+		j.state = StateDeadline
+		j.err = err
+		if perr != nil {
+			j.cmp = cmp
+			j.cellErrs = make(map[string]string, len(perr.Cells))
+			for name, cellErr := range perr.ErrorMap() {
+				j.cellErrs[name] = cellErr.Error()
+			}
+		}
+		s.count(s.mDeadline)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCancelled
 		j.err = err
@@ -535,7 +819,7 @@ func (s *Scheduler) flushArtifact(doc *JobDoc) {
 		return
 	}
 	path := filepath.Join(s.cfg.StateDir, doc.ID+".json")
-	if err := atomicio.WriteTo(path, doc.encode); err != nil {
+	if err := atomicio.WriteToHooked(path, s.stateHook, doc.encode); err != nil {
 		s.logf("job %s: writing artifact %s: %v", doc.ID, path, err)
 	}
 }
@@ -553,7 +837,7 @@ func (s *Scheduler) Drain(timeout time.Duration) {
 		s.queue = nil
 		s.queuedN = 0
 		for _, j := range queued {
-			s.finishLocked(j, nil, nil, context.Canceled)
+			s.finishLocked(j, nil, nil, context.Canceled, false)
 		}
 		docs := make([]*JobDoc, 0, len(queued))
 		for _, j := range queued {
@@ -564,27 +848,39 @@ func (s *Scheduler) Drain(timeout time.Duration) {
 		for i, doc := range docs {
 			s.flushArtifact(doc)
 			s.endJobSpan(queued[i], StateCancelled)
+			s.journalDone(queued[i], StateCancelled)
 		}
 	} else {
 		s.mu.Unlock()
 	}
+
+	// Boot recovery aborts at its next re-admission once draining is
+	// set; wait so no job slips into the queue after the sweep above.
+	s.recoverWG.Wait()
 
 	workersDone := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(workersDone)
 	}()
+	graceful := false
 	if timeout > 0 {
 		select {
 		case <-workersDone:
-			return
+			graceful = true
 		case <-time.After(timeout):
 		}
 	}
-	// Deadline passed (or no grace requested): hard-cancel running jobs
-	// and wait for the workers to record their cancelled outcomes.
-	s.cancelRun()
-	<-workersDone
+	if !graceful {
+		// Deadline passed (or no grace requested): hard-cancel running
+		// jobs and wait for the workers to record their cancelled outcomes.
+		s.cancelRun()
+		<-workersDone
+	}
+	// Every admitted job is terminal (or, if recovery aborted, still
+	// safely journaled): compact so a clean shutdown leaves a journal
+	// holding only the work the next boot must resume.
+	s.compactJournal()
 }
 
 // Counts reports how many jobs sit in each state — the health
@@ -597,6 +893,23 @@ func (s *Scheduler) Counts() map[string]int {
 		out[j.state]++
 	}
 	return out
+}
+
+// Phase reports the scheduler's lifecycle phase for health checks:
+// "draining" once Drain has begun (it wins over recovery), "recovering"
+// while boot recovery is still re-admitting journaled jobs, and "ok"
+// otherwise.
+func (s *Scheduler) Phase() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.draining:
+		return "draining"
+	case s.recovering:
+		return "recovering"
+	default:
+		return "ok"
+	}
 }
 
 func (s *Scheduler) count(c *obs.Counter) {

@@ -20,10 +20,20 @@ import (
 	"repro/internal/run"
 )
 
+// mustScheduler builds a scheduler or fails the test.
+func mustScheduler(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	return s
+}
+
 // newTestServer wires a scheduler and its API onto an httptest server.
 func newTestServer(t *testing.T, cfg Config) (*Scheduler, *httptest.Server) {
 	t.Helper()
-	s := NewScheduler(cfg)
+	s := mustScheduler(t, cfg)
 	ts := httptest.NewServer(NewHandler(s, cfg.Metrics))
 	t.Cleanup(func() {
 		ts.Close()
@@ -217,7 +227,7 @@ func TestAdmissionControl(t *testing.T) {
 // TestPriorityDispatchOrder proves dispatch is highest-priority-first
 // and FIFO within a level.
 func TestPriorityDispatchOrder(t *testing.T) {
-	s := NewScheduler(Config{Workers: 1, QueueDepth: 16})
+	s := mustScheduler(t, Config{Workers: 1, QueueDepth: 16})
 	defer s.Drain(0)
 	release, begun := blockWorkers(s)
 	defer release()
@@ -550,7 +560,7 @@ func mustGet(t *testing.T, s *Scheduler, id string) *Job {
 // TestDrainDeadlineCancelsRunning: when a running job outlives the
 // grace period, the drain hard-cancels it rather than hanging.
 func TestDrainDeadlineCancelsRunning(t *testing.T) {
-	sched := NewScheduler(Config{Workers: 1})
+	sched := mustScheduler(t, Config{Workers: 1})
 	_, begun := blockWorkers(sched) // never released: job runs until cancelled
 	spec := run.Spec{Source: run.Source{Kernel: "mm"}}
 	j, err := sched.Submit(JobRequest{Mode: ModeRun, Spec: spec})

@@ -264,7 +264,7 @@ func TestTracedJobEndToEnd(t *testing.T) {
 	var accessMu sync.Mutex
 	logged := &lockedWriter{mu: &accessMu, w: &access}
 
-	sched := NewScheduler(Config{Workers: 2, Metrics: reg, Tracer: tracer})
+	sched := mustScheduler(t, Config{Workers: 2, Metrics: reg, Tracer: tracer})
 	h := Instrument(NewHandler(sched, reg), InstrumentOptions{
 		Tracer:  tracer,
 		Metrics: reg,

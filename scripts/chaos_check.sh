@@ -1,0 +1,147 @@
+#!/bin/sh
+# chaos_check.sh — crash-recovery gate for the cntd daemon (make chaos-check).
+#
+# Boots a race-enabled cntd over a state directory with deterministic
+# chaos injection (seeded via CHAOS_SEED, default 42) parking the
+# worker mid-compare, then SIGKILLs the process with one job running
+# and one queued — the crash shape the journal exists for. A second
+# daemon over the same state dir must re-admit both journaled jobs and
+# converge them to reports byte-identical to `cntsim -workload mm
+# -compare`. The same boot smoke-tests the deadline surface
+# (-max-deadline rejection), drains cleanly on SIGTERM leaving an
+# empty journal, and a third boot serves the recovered results from
+# disk. The final state dir is audited offline with cntstat -jobs.
+set -eu
+
+GO=${GO:-go}
+SEED=${CHAOS_SEED:-42}
+dir=$(mktemp -d cntd-chaos.XXXXXX -p "${TMPDIR:-/tmp}")
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+echo "chaos-check: seed $SEED; building cntd (race-enabled) + cntsim + cntstat"
+$GO build -race -o "$dir/cntd" ./cmd/cntd
+$GO build -o "$dir/cntsim" ./cmd/cntsim
+$GO build -o "$dir/cntstat" ./cmd/cntstat
+
+# boot_daemon <logfile> [extra args...] — sets daemon_pid and base.
+boot_daemon() {
+    log=$1; shift
+    "$dir/cntd" -addr 127.0.0.1:0 -workers 1 -state-dir "$dir/state" "$@" \
+        2>"$log" &
+    daemon_pid=$!
+    base=""
+    i=0
+    while [ $i -lt 300 ]; do
+        base=$(sed -n 's/.*listening at \(http:\/\/[^ ]*\).*/\1/p' "$log" | head -n 1)
+        [ -n "$base" ] && break
+        kill -0 "$daemon_pid" 2>/dev/null || { echo "chaos-check: cntd died at startup:"; cat "$log"; exit 1; }
+        i=$((i + 1))
+        sleep 0.1
+    done
+    if [ -z "$base" ]; then
+        echo "chaos-check: cntd never announced its address:"; cat "$log"; exit 1
+    fi
+}
+
+submit_job() {
+    curl -sSf -o "$dir/submit.json" -X POST "$base/v1/runs" -d "$1"
+    sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$dir/submit.json"
+}
+
+# wait_state <id> <state> — polls the status document; 404s are
+# tolerated while boot recovery is still re-admitting.
+wait_state() {
+    i=0
+    while [ $i -lt 600 ]; do
+        curl -s -o "$dir/status.json" "$base/v1/runs/$1" || true
+        case "$(sed -n 's/.*"state":"\([^"]*\)".*/\1/p' "$dir/status.json")" in
+            "$2") return 0 ;;
+            failed|cancelled)
+                echo "chaos-check: job $1 finished as the wrong state:"; cat "$dir/status.json"; exit 1 ;;
+        esac
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "chaos-check: job $1 never reached state '$2'; last document:"; cat "$dir/status.json"
+    exit 1
+}
+
+# Phase 1: crash with one job mid-run and one queued. The seeded delay
+# parks the single worker on the first job, so the second sits queued.
+boot_daemon "$dir/cntd-a.log" -chaos "seed=$SEED;worker.delay:every=1,delay=300s"
+echo "chaos-check: daemon A at $base (chaos delay parking the worker)"
+id1=$(submit_job '{"mode":"compare","tenant":"chaos","spec":{"source":{"kernel":"mm"}}}')
+id2=$(submit_job '{"mode":"compare","tenant":"chaos","spec":{"source":{"kernel":"mm"}}}')
+[ -n "$id1" ] && [ -n "$id2" ] || { echo "chaos-check: submissions failed"; exit 1; }
+wait_state "$id1" running
+echo "chaos-check: $id1 running, $id2 queued — delivering SIGKILL"
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+# Phase 2: recovery. No chaos this time; both journaled jobs must
+# converge, and the recovered reports must match a crash-free run.
+boot_daemon "$dir/cntd-b.log" -max-deadline 60s
+echo "chaos-check: daemon B at $base (recovering)"
+wait_state "$id1" done
+wait_state "$id2" done
+curl -s -o "$dir/doc1.json" "$base/v1/runs/$id1"
+if ! grep -q '"recovered":true' "$dir/doc1.json"; then
+    echo "chaos-check: $id1 was mid-run at the crash but is not flagged recovered:"; cat "$dir/doc1.json"; exit 1
+fi
+"$dir/cntsim" -workload mm -compare >"$dir/cli-report.txt"
+for id in "$id1" "$id2"; do
+    curl -sSf -o "$dir/report-$id.txt" "$base/v1/runs/$id/report"
+    if ! cmp -s "$dir/report-$id.txt" "$dir/cli-report.txt"; then
+        echo "chaos-check: recovered report for $id differs from a crash-free run:"
+        diff "$dir/cli-report.txt" "$dir/report-$id.txt" || true
+        exit 1
+    fi
+done
+echo "chaos-check: both jobs recovered, reports byte-identical to cntsim"
+
+# Deadline smoke on the same boot: over-max is rejected up front.
+code=$(curl -s -o "$dir/deadline.json" -w '%{http_code}' -X POST "$base/v1/runs" \
+    -d '{"deadline_ms":120000,"spec":{"source":{"kernel":"mm"}}}')
+if [ "$code" != "400" ]; then
+    echo "chaos-check: over-max deadline answered $code, want 400:"; cat "$dir/deadline.json"; exit 1
+fi
+echo "chaos-check: deadline_ms beyond -max-deadline rejected with 400"
+
+# Clean SIGTERM: exit 0 and a journal compacted to nothing.
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "chaos-check: daemon B exited $rc on SIGTERM:"; cat "$dir/cntd-b.log"; exit 1
+fi
+if grep -q '"op":"admit"' "$dir/state/journal.jsonl" 2>/dev/null; then
+    echo "chaos-check: journal still holds entries after a clean drain:"; cat "$dir/state/journal.jsonl"; exit 1
+fi
+echo "chaos-check: clean SIGTERM drain, journal empty"
+
+# Phase 3: a third boot serves the recovered results from disk.
+boot_daemon "$dir/cntd-c.log"
+curl -sSf -o "$dir/restored.json" "$base/v1/runs/$id1"
+grep -q '"state":"done"' "$dir/restored.json" || {
+    echo "chaos-check: restored document is not done:"; cat "$dir/restored.json"; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "chaos-check: daemon C exited dirty"; exit 1; }
+daemon_pid=""
+echo "chaos-check: third boot serves recovered results from disk"
+
+# Offline audit: the artifact table and journal summary render.
+"$dir/cntstat" -jobs "$dir/state" >"$dir/jobs.txt"
+for want in "$id1" "$id2" 'journal: empty'; do
+    if ! grep -q "$want" "$dir/jobs.txt"; then
+        echo "chaos-check: cntstat -jobs output missing '$want':"; cat "$dir/jobs.txt"; exit 1
+    fi
+done
+echo "chaos-check: cntstat -jobs audit passed"
+echo "chaos-check: OK (seed $SEED)"
